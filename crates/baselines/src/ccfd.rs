@@ -1,0 +1,216 @@
+//! Constant conditional functional dependencies (CFDs), mined from ground
+//! truth — the paper's third comparator (§V-A):
+//!
+//! > "For constant CFDs, they were generated from ground truth. We simulated
+//! > the user behavior by repairing the right hand side of a tuple t based on
+//! > a constant CFD, if the left side values of t were the same as the values
+//! > in the given constant CFD."
+//!
+//! The baseline is precise and near-instant (pure hash lookups) but blind to
+//! errors on its left-hand side and to fuzzy matches.
+
+use crate::fd::Fd;
+use dr_kb::FxHashMap;
+use dr_relation::{AttrId, CellRef, Relation};
+
+/// A constant CFD `(lhs = consts) → (rhs = const)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstantCfd {
+    /// LHS attributes and their constant pattern values.
+    pub lhs: Vec<(AttrId, String)>,
+    /// RHS attribute and its constant value.
+    pub rhs: (AttrId, String),
+}
+
+/// A compiled set of constant CFDs grouped by the embedded FD, with a hash
+/// map per FD for O(1) application.
+pub struct ConstantCfdSet {
+    per_fd: Vec<(Fd, FxHashMap<String, String>)>,
+    total: usize,
+}
+
+/// One repair performed by [`ConstantCfdSet::apply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfdRepair {
+    /// Rewritten cell.
+    pub cell: CellRef,
+    /// Value before.
+    pub old: String,
+    /// Value after.
+    pub new: String,
+}
+
+/// Mines constant CFDs from a clean relation for the given embedded FDs:
+/// one pattern per distinct LHS value combination, keeping only functional
+/// (unambiguous) patterns.
+pub fn mine_constant_cfds(clean: &Relation, fds: &[Fd]) -> ConstantCfdSet {
+    let mut per_fd = Vec::with_capacity(fds.len());
+    let mut total = 0;
+    for fd in fds {
+        let mut map: FxHashMap<String, String> = FxHashMap::default();
+        let mut ambiguous: dr_kb::FxHashSet<String> = dr_kb::FxHashSet::default();
+        for t in clean.tuples() {
+            let key = fd.key_of(t);
+            let rhs = t.get(fd.rhs).to_owned();
+            match map.get(&key) {
+                Some(prev) if *prev != rhs => {
+                    ambiguous.insert(key);
+                }
+                Some(_) => {}
+                None => {
+                    map.insert(key, rhs);
+                }
+            }
+        }
+        for key in &ambiguous {
+            map.remove(key);
+        }
+        total += map.len();
+        per_fd.push((fd.clone(), map));
+    }
+    ConstantCfdSet { per_fd, total }
+}
+
+impl ConstantCfdSet {
+    /// Number of mined patterns.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether no patterns were mined.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Materializes the individual [`ConstantCfd`] patterns (diagnostics).
+    pub fn patterns(&self) -> Vec<ConstantCfd> {
+        let mut out = Vec::with_capacity(self.total);
+        for (fd, map) in &self.per_fd {
+            let mut entries: Vec<(&String, &String)> = map.iter().collect();
+            entries.sort();
+            for (key, rhs) in entries {
+                let parts: Vec<&str> = key.split('\u{1f}').collect();
+                out.push(ConstantCfd {
+                    lhs: fd
+                        .lhs
+                        .iter()
+                        .zip(parts)
+                        .map(|(&a, v)| (a, v.to_owned()))
+                        .collect(),
+                    rhs: (fd.rhs, rhs.clone()),
+                });
+            }
+        }
+        out
+    }
+
+    /// Applies the patterns to `relation`: wherever a tuple's LHS values
+    /// equal a pattern's constants and the RHS differs, the RHS is rewritten.
+    /// Returns the repairs performed.
+    pub fn apply(&self, relation: &mut Relation) -> Vec<CfdRepair> {
+        let mut repairs = Vec::new();
+        for (fd, map) in &self.per_fd {
+            for row in 0..relation.len() {
+                let key = fd.key_of(relation.tuple(row));
+                if let Some(expected) = map.get(&key) {
+                    let current = relation.tuple(row).get(fd.rhs);
+                    if current != expected {
+                        let old = current.to_owned();
+                        relation.tuple_mut(row).set(fd.rhs, expected.clone());
+                        repairs.push(CfdRepair {
+                            cell: CellRef {
+                                row,
+                                attr: fd.rhs,
+                            },
+                            old,
+                            new: expected.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        repairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_relation::Schema;
+
+    fn clean() -> Relation {
+        let schema = Schema::new("R", &["Country", "Capital"]);
+        let mut r = Relation::new(schema);
+        r.push_strs(&["China", "Beijing"]);
+        r.push_strs(&["Japan", "Tokyo"]);
+        r.push_strs(&["France", "Paris"]);
+        r
+    }
+
+    #[test]
+    fn mines_one_pattern_per_lhs_value() {
+        let r = clean();
+        let fds = vec![Fd::new(r.schema(), &["Country"], "Capital")];
+        let set = mine_constant_cfds(&r, &fds);
+        assert_eq!(set.len(), 3);
+        let patterns = set.patterns();
+        assert!(patterns
+            .iter()
+            .any(|p| p.lhs[0].1 == "China" && p.rhs.1 == "Beijing"));
+    }
+
+    #[test]
+    fn repairs_rhs_errors() {
+        let r = clean();
+        let fds = vec![Fd::new(r.schema(), &["Country"], "Capital")];
+        let set = mine_constant_cfds(&r, &fds);
+
+        let mut dirty = r.clone();
+        let capital = dirty.schema().attr_expect("Capital");
+        dirty.tuple_mut(0).set(capital, "Shanghai");
+        let repairs = set.apply(&mut dirty);
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(repairs[0].old, "Shanghai");
+        assert_eq!(repairs[0].new, "Beijing");
+        assert_eq!(dirty.tuple(0).get(capital), "Beijing");
+    }
+
+    #[test]
+    fn lhs_errors_break_the_pattern() {
+        // The paper's noted weakness: errors on the LHS.
+        let r = clean();
+        let fds = vec![Fd::new(r.schema(), &["Country"], "Capital")];
+        let set = mine_constant_cfds(&r, &fds);
+
+        let mut dirty = r.clone();
+        let country = dirty.schema().attr_expect("Country");
+        dirty.tuple_mut(0).set(country, "Chima"); // typo on LHS
+        let repairs = set.apply(&mut dirty);
+        assert!(repairs.is_empty(), "typo'd LHS matches no pattern");
+    }
+
+    #[test]
+    fn lhs_semantic_error_causes_wrong_repair() {
+        // LHS replaced by another valid country ⇒ the CFD "repairs" the
+        // correct capital into a wrong one — a false positive by design.
+        let r = clean();
+        let fds = vec![Fd::new(r.schema(), &["Country"], "Capital")];
+        let set = mine_constant_cfds(&r, &fds);
+
+        let mut dirty = r.clone();
+        let country = dirty.schema().attr_expect("Country");
+        dirty.tuple_mut(0).set(country, "Japan");
+        let repairs = set.apply(&mut dirty);
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(repairs[0].new, "Tokyo");
+    }
+
+    #[test]
+    fn ambiguous_patterns_are_dropped() {
+        let mut r = clean();
+        r.push_strs(&["China", "Shanghai"]); // conflicting ground truth
+        let fds = vec![Fd::new(r.schema(), &["Country"], "Capital")];
+        let set = mine_constant_cfds(&r, &fds);
+        assert_eq!(set.len(), 2, "the China pattern is ambiguous and dropped");
+    }
+}

@@ -1,0 +1,98 @@
+//! Functional dependencies, shared by the Llunatic-style and constant-CFD
+//! baselines.
+
+use dr_relation::{AttrId, Relation, Schema};
+
+/// A functional dependency `lhs → rhs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fd {
+    /// Determinant attributes.
+    pub lhs: Vec<AttrId>,
+    /// Dependent attribute.
+    pub rhs: AttrId,
+}
+
+impl Fd {
+    /// Builds an FD from attribute names.
+    ///
+    /// # Panics
+    /// Panics if a name is missing from the schema.
+    pub fn new(schema: &Schema, lhs: &[&str], rhs: &str) -> Self {
+        Self {
+            lhs: lhs.iter().map(|a| schema.attr_expect(a)).collect(),
+            rhs: schema.attr_expect(rhs),
+        }
+    }
+
+    /// The LHS values of `tuple`, joined as a lookup key.
+    pub fn key_of(&self, tuple: &dr_relation::Tuple) -> String {
+        let mut key = String::new();
+        for (i, &a) in self.lhs.iter().enumerate() {
+            if i > 0 {
+                key.push('\u{1f}'); // unit separator: cannot occur in fields
+            }
+            key.push_str(tuple.get(a));
+        }
+        key
+    }
+
+    /// Whether the FD holds on `relation` (no two tuples agree on `lhs` but
+    /// disagree on `rhs`).
+    pub fn holds_on(&self, relation: &Relation) -> bool {
+        let mut seen: dr_kb::FxHashMap<String, &str> = dr_kb::FxHashMap::default();
+        for t in relation.tuples() {
+            let key = self.key_of(t);
+            let rhs = t.get(self.rhs);
+            match seen.get(&key) {
+                Some(&prev) if prev != rhs => return false,
+                Some(_) => {}
+                None => {
+                    seen.insert(key, rhs);
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_relation::{Relation, Schema};
+
+    fn sample() -> Relation {
+        let schema = Schema::new("R", &["Country", "Capital"]);
+        let mut r = Relation::new(schema);
+        r.push_strs(&["China", "Beijing"]);
+        r.push_strs(&["Japan", "Tokyo"]);
+        r.push_strs(&["China", "Beijing"]);
+        r
+    }
+
+    #[test]
+    fn fd_holds_on_clean_data() {
+        let r = sample();
+        let fd = Fd::new(r.schema(), &["Country"], "Capital");
+        assert!(fd.holds_on(&r));
+    }
+
+    #[test]
+    fn fd_violated_by_conflict() {
+        let mut r = sample();
+        r.push_strs(&["China", "Shanghai"]);
+        let fd = Fd::new(r.schema(), &["Country"], "Capital");
+        assert!(!fd.holds_on(&r));
+    }
+
+    #[test]
+    fn composite_lhs_key() {
+        let schema = Schema::new("R", &["A", "B", "C"]);
+        let mut r = Relation::new(schema);
+        r.push_strs(&["x", "y", "1"]);
+        r.push_strs(&["x", "z", "2"]);
+        let fd = Fd::new(r.schema(), &["A", "B"], "C");
+        assert!(fd.holds_on(&r));
+        let t = r.tuple(0);
+        assert_eq!(fd.key_of(t), "x\u{1f}y");
+    }
+}

@@ -1,0 +1,25 @@
+//! # dr-baselines — comparator systems
+//!
+//! Re-implementations of the three systems the paper's evaluation compares
+//! detective rules against (§V):
+//!
+//! * [`katara`] — KATARA (SIGMOD 2015) with the paper's expert-free
+//!   revision: full match ⇒ mark correct, partial match ⇒ repair the
+//!   minimally unmatched attributes at minimum repair cost. Exact matching
+//!   only.
+//! * [`llunatic`] — a Llunatic-style FD-based holistic repair with the
+//!   frequency cost-manager and lluns (labelled nulls, scored 0.5).
+//! * [`ccfd`] — constant CFDs mined from ground truth, applied by exact
+//!   LHS lookup.
+
+#![warn(missing_docs)]
+
+pub mod ccfd;
+pub mod fd;
+pub mod katara;
+pub mod llunatic;
+
+pub use ccfd::{mine_constant_cfds, CfdRepair, ConstantCfd, ConstantCfdSet};
+pub use fd::Fd;
+pub use katara::{nobel_table_pattern, Katara, KataraOutcome, KataraReport};
+pub use llunatic::{llunatic_repair, LlunaticChange, LlunaticConfig, LLUN};

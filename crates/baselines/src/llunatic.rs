@@ -1,0 +1,264 @@
+//! A Llunatic-style FD-based holistic repair baseline (§V-A).
+//!
+//! Reproduces the behaviour the paper measures from Llunatic (Geerts et al.,
+//! PVLDB 2013) configured with FDs and the *frequency cost-manager*:
+//!
+//! * violations of an FD `X → A` are grouped into equivalence classes of
+//!   tuples agreeing on `X`;
+//! * within a class, the conflicting `A` cells are repaired to the most
+//!   frequent value — with a tolerance for typos, near-duplicate values
+//!   (small edit distance) vote together and the representative of the
+//!   largest cluster wins;
+//! * when no value wins (a tie), the cells are set to a **llun** (a labelled
+//!   null), scored 0.5 in the paper's quality metric.
+//!
+//! Chasing repeats until no FD is violated or a bounded number of rounds
+//! elapses (value changes can re-trigger other FDs).
+
+use crate::fd::Fd;
+use dr_kb::FxHashMap;
+use dr_relation::{CellRef, Relation};
+use dr_simmatch::within_bool;
+
+/// The sentinel stored in cells repaired to a llun (labelled null).
+pub const LLUN: &str = "_LLUN_";
+
+/// One cell rewrite performed by the Llunatic-style chase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LlunaticChange {
+    /// Rewritten cell.
+    pub cell: CellRef,
+    /// Value before.
+    pub old: String,
+    /// Value after (`LLUN` when repaired to a labelled null).
+    pub new: String,
+    /// Whether the repair is a llun.
+    pub is_llun: bool,
+}
+
+/// Configuration of the Llunatic-style baseline.
+#[derive(Debug, Clone)]
+pub struct LlunaticConfig {
+    /// Edit-distance tolerance under which conflicting values are clustered
+    /// as typo variants of each other before the frequency vote.
+    pub typo_tolerance: usize,
+    /// Maximum chase rounds (FD interactions).
+    pub max_rounds: usize,
+}
+
+impl Default for LlunaticConfig {
+    fn default() -> Self {
+        Self {
+            typo_tolerance: 2,
+            max_rounds: 5,
+        }
+    }
+}
+
+/// Clusters the conflicting values by edit distance and returns the
+/// representative (most frequent member) of the **strictly** largest
+/// cluster, or `None` on a tie.
+fn frequency_winner(values: &[&str], tolerance: usize) -> Option<String> {
+    // Count exact duplicates first.
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for &v in values {
+        match counts.iter_mut().find(|(u, _)| u == v) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((v.to_owned(), 1)),
+        }
+    }
+    // Greedy clustering: process by descending count; absorb later values
+    // within the tolerance.
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let mut clusters: Vec<(String, usize)> = Vec::new();
+    'outer: for (value, count) in counts {
+        for cluster in clusters.iter_mut() {
+            if within_bool(&cluster.0, &value, tolerance) {
+                cluster.1 += count;
+                continue 'outer;
+            }
+        }
+        clusters.push((value, count));
+    }
+    clusters.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    match clusters.as_slice() {
+        [] => None,
+        [only] => Some(only.0.clone()),
+        [first, second, ..] if first.1 > second.1 => Some(first.0.clone()),
+        _ => None, // tie → llun
+    }
+}
+
+/// Runs the Llunatic-style chase over `relation` with the given FDs.
+/// Returns all changes performed (lluns included).
+pub fn llunatic_repair(
+    relation: &mut Relation,
+    fds: &[Fd],
+    cfg: &LlunaticConfig,
+) -> Vec<LlunaticChange> {
+    let mut changes: Vec<LlunaticChange> = Vec::new();
+    for _ in 0..cfg.max_rounds {
+        let mut dirty_round = false;
+        for fd in fds {
+            // Group rows by LHS key.
+            let mut groups: FxHashMap<String, Vec<usize>> = FxHashMap::default();
+            for row in 0..relation.len() {
+                // Rows whose LHS contains a llun cannot be grouped reliably.
+                if fd.lhs.iter().any(|&a| relation.tuple(row).get(a) == LLUN) {
+                    continue;
+                }
+                groups
+                    .entry(fd.key_of(relation.tuple(row)))
+                    .or_default()
+                    .push(row);
+            }
+            let mut keys: Vec<String> = groups.keys().cloned().collect();
+            keys.sort_unstable();
+            for key in keys {
+                let rows = &groups[&key];
+                let values: Vec<&str> =
+                    rows.iter().map(|&r| relation.tuple(r).get(fd.rhs)).collect();
+                if values.windows(2).all(|w| w[0] == w[1]) {
+                    continue; // no violation
+                }
+                let winner = frequency_winner(&values, cfg.typo_tolerance);
+                let (target, is_llun) = match winner {
+                    Some(w) => (w, false),
+                    None => (LLUN.to_owned(), true),
+                };
+                for &row in rows {
+                    let current = relation.tuple(row).get(fd.rhs);
+                    if current != target {
+                        let old = current.to_owned();
+                        relation.tuple_mut(row).set(fd.rhs, target.clone());
+                        changes.push(LlunaticChange {
+                            cell: CellRef {
+                                row,
+                                attr: fd.rhs,
+                            },
+                            old,
+                            new: target.clone(),
+                            is_llun,
+                        });
+                        dirty_round = true;
+                    }
+                }
+            }
+        }
+        if !dirty_round {
+            break;
+        }
+    }
+    changes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_relation::Schema;
+
+    fn capitals(rows: &[(&str, &str)]) -> Relation {
+        let schema = Schema::new("R", &["Country", "Capital"]);
+        let mut r = Relation::new(schema);
+        for &(c, k) in rows {
+            r.push_strs(&[c, k]);
+        }
+        r
+    }
+
+    #[test]
+    fn majority_wins() {
+        let mut r = capitals(&[
+            ("China", "Beijing"),
+            ("China", "Beijing"),
+            ("China", "Shanghai"),
+        ]);
+        let fds = vec![Fd::new(r.schema(), &["Country"], "Capital")];
+        let changes = llunatic_repair(&mut r, &fds, &LlunaticConfig::default());
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].new, "Beijing");
+        assert!(!changes[0].is_llun);
+        assert_eq!(r.tuple(2).get(r.schema().attr_expect("Capital")), "Beijing");
+    }
+
+    #[test]
+    fn tie_produces_llun() {
+        let mut r = capitals(&[("China", "Beijing"), ("China", "Shanghai")]);
+        let fds = vec![Fd::new(r.schema(), &["Country"], "Capital")];
+        let changes = llunatic_repair(&mut r, &fds, &LlunaticConfig::default());
+        assert_eq!(changes.len(), 2);
+        assert!(changes.iter().all(|c| c.is_llun && c.new == LLUN));
+    }
+
+    #[test]
+    fn typo_variants_vote_together() {
+        // "Beijing" ×1 + "Beijng" ×1 cluster (ED 1) and outvote "Shanghai" ×1.
+        let mut r = capitals(&[
+            ("China", "Beijing"),
+            ("China", "Beijng"),
+            ("China", "Shanghai"),
+        ]);
+        let fds = vec![Fd::new(r.schema(), &["Country"], "Capital")];
+        let changes = llunatic_repair(&mut r, &fds, &LlunaticConfig::default());
+        let cap = r.schema().attr_expect("Capital");
+        for row in 0..3 {
+            assert_eq!(r.tuple(row).get(cap), "Beijing");
+        }
+        assert_eq!(changes.len(), 2);
+    }
+
+    #[test]
+    fn clean_relation_untouched() {
+        let mut r = capitals(&[("China", "Beijing"), ("Japan", "Tokyo")]);
+        let fds = vec![Fd::new(r.schema(), &["Country"], "Capital")];
+        let changes = llunatic_repair(&mut r, &fds, &LlunaticConfig::default());
+        assert!(changes.is_empty());
+    }
+
+    #[test]
+    fn lhs_error_merges_wrong_groups() {
+        // A semantic LHS error drags a correct capital into the wrong group:
+        // Llunatic "repairs" Tokyo to Beijing — the false positive the paper
+        // observes at higher error rates.
+        let mut r = capitals(&[
+            ("China", "Beijing"),
+            ("China", "Beijing"),
+            ("China", "Tokyo"), // should be (Japan, Tokyo)
+        ]);
+        let fds = vec![Fd::new(r.schema(), &["Country"], "Capital")];
+        let changes = llunatic_repair(&mut r, &fds, &LlunaticConfig::default());
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].old, "Tokyo");
+        assert_eq!(changes[0].new, "Beijing");
+    }
+
+    #[test]
+    fn chase_runs_multiple_fds() {
+        let schema = Schema::new("R", &["Zip", "City", "State"]);
+        let mut r = Relation::new(schema);
+        r.push_strs(&["10001", "New York", "NY"]);
+        r.push_strs(&["10001", "New York", "NY"]);
+        r.push_strs(&["10001", "Albany", "NJ"]); // both wrong
+        let fds = vec![
+            Fd::new(r.schema(), &["Zip"], "City"),
+            Fd::new(r.schema(), &["Zip"], "State"),
+        ];
+        let changes = llunatic_repair(&mut r, &fds, &LlunaticConfig::default());
+        assert_eq!(changes.len(), 2);
+        let city = r.schema().attr_expect("City");
+        let state = r.schema().attr_expect("State");
+        assert_eq!(r.tuple(2).get(city), "New York");
+        assert_eq!(r.tuple(2).get(state), "NY");
+    }
+
+    #[test]
+    fn frequency_winner_edge_cases() {
+        assert_eq!(frequency_winner(&[], 2), None);
+        assert_eq!(frequency_winner(&["a"], 2), Some("a".into()));
+        assert_eq!(frequency_winner(&["aaaa", "bbbb"], 2), None);
+        assert_eq!(
+            frequency_winner(&["aaaa", "aaaa", "bbbb"], 2),
+            Some("aaaa".into())
+        );
+    }
+}

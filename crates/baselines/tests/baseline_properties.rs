@@ -1,0 +1,85 @@
+//! Property tests for the baseline systems.
+
+use dr_baselines::llunatic::{llunatic_repair, LlunaticConfig};
+use dr_baselines::{mine_constant_cfds, Fd, Katara};
+use dr_core::MatchContext;
+use dr_kb::fixtures::nobel_mini_kb;
+use dr_relation::{Relation, Schema, Tuple};
+use proptest::prelude::*;
+
+fn capitals_relation(rows: &[(String, String)]) -> Relation {
+    let schema = Schema::new("R", &["Country", "Capital"]);
+    let mut r = Relation::new(schema);
+    for (c, k) in rows {
+        r.push(Tuple::from_strs(&[c, k]));
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Constant CFDs mined from a relation never change that relation.
+    #[test]
+    fn ccfds_are_identity_on_their_source(
+        rows in prop::collection::vec(("[a-d]{1,4}", "[a-d]{1,4}"), 1..20),
+    ) {
+        let clean = capitals_relation(&rows);
+        let fds = vec![Fd::new(clean.schema(), &["Country"], "Capital")];
+        let cfds = mine_constant_cfds(&clean, &fds);
+        let mut working = clean.clone();
+        let repairs = cfds.apply(&mut working);
+        prop_assert!(repairs.is_empty(), "{repairs:?}");
+    }
+
+    /// The Llunatic chase is idempotent: a second run changes nothing.
+    #[test]
+    fn llunatic_is_idempotent(
+        rows in prop::collection::vec(("[ab]{1,2}", "[ab]{1,3}"), 1..20),
+    ) {
+        let mut relation = capitals_relation(&rows);
+        let fds = vec![Fd::new(relation.schema(), &["Country"], "Capital")];
+        let cfg = LlunaticConfig::default();
+        llunatic_repair(&mut relation, &fds, &cfg);
+        let snapshot = relation.clone();
+        let second = llunatic_repair(&mut relation, &fds, &cfg);
+        prop_assert!(second.is_empty(), "second chase changed {second:?}");
+        for cell in snapshot.cell_refs() {
+            prop_assert_eq!(snapshot.value(cell), relation.value(cell));
+        }
+    }
+
+    /// After the chase, no FD violation remains (every group agrees).
+    #[test]
+    fn llunatic_reaches_consistency(
+        rows in prop::collection::vec(("[ab]{1,2}", "[ab]{1,3}"), 1..25),
+    ) {
+        let mut relation = capitals_relation(&rows);
+        let fds = vec![Fd::new(relation.schema(), &["Country"], "Capital")];
+        llunatic_repair(&mut relation, &fds, &LlunaticConfig::default());
+        prop_assert!(
+            fds[0].holds_on(&relation),
+            "chase left a violation: {:?}",
+            relation.tuples()
+        );
+    }
+
+    /// KATARA never panics on junk tuples and never claims a full match
+    /// for values absent from the KB.
+    #[test]
+    fn katara_handles_junk(cells in prop::collection::vec("[x-z]{0,8}", 6..=6)) {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let schema = dr_core::fixtures::nobel_schema();
+        let pattern = dr_baselines::nobel_table_pattern(&kb, &schema);
+        let katara = Katara::new(&ctx, &pattern);
+        let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+        let mut tuple = Tuple::from_strs(&refs);
+        let outcome = katara.match_tuple(&mut tuple);
+        prop_assert_ne!(
+            outcome,
+            dr_baselines::KataraOutcome::FullMatch,
+            "junk cannot fully match"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Ablation benches for the design choices DESIGN.md §4 calls out:
+//!
+//! 1. **Rule order selection** — fRepair's topological check order vs the
+//!    basic chase's re-scanning, with the element cache held constant.
+//! 2. **Shared element cache** — per-rule element memoization vs fresh
+//!    caches, with the check order held constant.
+//! 3. **Signature index** — PASS-JOIN threshold-ED lookup vs a linear scan
+//!    with the banded verifier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dr_bench::uis_workload;
+use dr_core::repair::basic::basic_repair;
+use dr_core::repair::cache::ElementCache;
+use dr_core::repair::rule_graph::RuleGraph;
+use dr_core::{apply_rule_cached, fast_repair, ApplyOptions, MatchContext};
+use dr_datasets::KbFlavor;
+use dr_relation::Relation;
+use dr_simmatch::{within_bool, SignatureIndex};
+
+/// fRepair's check order but a fresh cache per rule application
+/// (order-only ablation).
+fn order_only_repair(
+    ctx: &MatchContext<'_>,
+    rules: &[dr_core::DetectiveRule],
+    relation: &mut Relation,
+    opts: &ApplyOptions,
+) {
+    let order = RuleGraph::build(rules).check_order();
+    for row in 0..relation.len() {
+        let tuple = relation.tuple_mut(row);
+        for group in &order {
+            let mut remaining = group.clone();
+            loop {
+                let mut fired = None;
+                for (pos, &ri) in remaining.iter().enumerate() {
+                    let mut cache = ElementCache::new(); // fresh: no sharing
+                    if apply_rule_cached(ctx, &rules[ri], tuple, opts, &mut cache).applied() {
+                        fired = Some(pos);
+                        break;
+                    }
+                }
+                match fired {
+                    Some(pos) => {
+                        remaining.remove(pos);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+}
+
+fn bench_repair_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_repair");
+    group.sample_size(10);
+    let workload = uis_workload(1_000, KbFlavor::YagoLike);
+    let ctx = workload.ctx();
+    let opts = ApplyOptions::default();
+
+    group.bench_function("full_fRepair(order+cache)", |b| {
+        b.iter(|| {
+            let mut working = workload.dirty.clone();
+            fast_repair(&ctx, &workload.rules, &mut working, &opts)
+        })
+    });
+    group.bench_function("order_only(no shared cache)", |b| {
+        b.iter(|| {
+            let mut working = workload.dirty.clone();
+            order_only_repair(&ctx, &workload.rules, &mut working, &opts)
+        })
+    });
+    group.bench_function("neither(bRepair)", |b| {
+        b.iter(|| {
+            let mut working = workload.dirty.clone();
+            basic_repair(&ctx, &workload.rules, &mut working, &opts)
+        })
+    });
+    group.finish();
+}
+
+fn bench_signature_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_signature_index");
+
+    // A realistic label pool: UIS street names.
+    let world = dr_datasets::UisWorld::generate(20_000, 3);
+    let labels: Vec<String> = world.streets.clone();
+    let queries: Vec<String> = labels.iter().take(50).map(|s| {
+        // Perturb to force fuzzy matching.
+        let mut chars: Vec<char> = s.chars().collect();
+        if chars.len() > 2 {
+            chars.swap(0, 1);
+        }
+        chars.into_iter().collect()
+    }).collect();
+
+    let index = SignatureIndex::build(
+        2,
+        labels.iter().enumerate().map(|(i, s)| (i as u32, s.as_str())),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("passjoin_index", labels.len()),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in &queries {
+                    hits += index.lookup(q).len();
+                }
+                hits
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("linear_scan", labels.len()),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in &queries {
+                    hits += labels.iter().filter(|l| within_bool(q, l, 2)).count();
+                }
+                hits
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_repair_ablations, bench_signature_index);
+criterion_main!(benches);

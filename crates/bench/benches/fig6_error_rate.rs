@@ -1,0 +1,50 @@
+//! Figure 6 bench: repair cost as the error rate grows (4%–20%), DRs vs
+//! the IC-based baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dr_baselines::{llunatic_repair, mine_constant_cfds, LlunaticConfig};
+use dr_core::{fast_repair, ApplyOptions, MatchContext};
+use dr_datasets::{KbFlavor, KbProfile, NobelWorld};
+use dr_eval::runner::fds;
+use dr_relation::noise::{inject, NoiseSpec};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_error_rate");
+    group.sample_size(10);
+
+    let world = NobelWorld::generate(500, 23);
+    let clean = world.clean_relation();
+    let name = clean.schema().attr_expect("Name");
+    let kb = world.kb(&KbProfile::of(KbFlavor::YagoLike));
+    let rules = NobelWorld::rules(&kb);
+    let ctx = MatchContext::new(&kb);
+    let fd_list = fds::nobel(clean.schema());
+    let cfds = mine_constant_cfds(&clean, &fd_list);
+
+    for rate_pct in [4u64, 12, 20] {
+        let spec = NoiseSpec::new(rate_pct as f64 / 100.0, 23).with_excluded(vec![name]);
+        let (dirty, _) = inject(&clean, &spec, &world.semantic_source());
+        group.bench_with_input(BenchmarkId::new("drs", rate_pct), &(), |b, ()| {
+            b.iter(|| {
+                let mut working = dirty.clone();
+                fast_repair(&ctx, &rules, &mut working, &ApplyOptions::default())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("llunatic", rate_pct), &(), |b, ()| {
+            b.iter(|| {
+                let mut working = dirty.clone();
+                llunatic_repair(&mut working, &fd_list, &LlunaticConfig::default())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ccfd", rate_pct), &(), |b, ()| {
+            b.iter(|| {
+                let mut working = dirty.clone();
+                cfds.apply(&mut working)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

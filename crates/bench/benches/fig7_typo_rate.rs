@@ -1,0 +1,36 @@
+//! Figure 7 bench: repair cost as the typo share varies (0%–100% of a 10%
+//! error rate) — fuzzy matching dominates at high typo shares.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dr_core::{fast_repair, ApplyOptions, MatchContext};
+use dr_datasets::{KbFlavor, KbProfile, UisWorld};
+use dr_relation::noise::{inject, NoiseSpec};
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_typo_rate");
+    group.sample_size(10);
+
+    let world = UisWorld::generate(1_000, 29);
+    let clean = world.clean_relation();
+    let name = clean.schema().attr_expect("Name");
+    let kb = world.kb(&KbProfile::of(KbFlavor::YagoLike));
+    let rules = UisWorld::rules(&kb);
+    let ctx = MatchContext::new(&kb);
+
+    for typo_pct in [0u64, 50, 100] {
+        let spec = NoiseSpec::new(0.10, 29)
+            .with_typo_share(typo_pct as f64 / 100.0)
+            .with_excluded(vec![name]);
+        let (dirty, _) = inject(&clean, &spec, &world.semantic_source());
+        group.bench_with_input(BenchmarkId::new("drs", typo_pct), &(), |b, ()| {
+            b.iter(|| {
+                let mut working = dirty.clone();
+                fast_repair(&ctx, &rules, &mut working, &ApplyOptions::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 8(a) bench: WebTables repair time vs rule-pool size (10–50),
+//! bRepair vs fRepair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dr_core::repair::basic::basic_repair;
+use dr_core::{fast_repair, ApplyOptions, MatchContext};
+use dr_datasets::{KbProfile, WebTablesWorld};
+
+fn bench_fig8a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8a_webtables_rules");
+    group.sample_size(10);
+
+    let world = WebTablesWorld::generate(41);
+    let kb = world.kb(&KbProfile::yago());
+    let ctx = MatchContext::new(&kb);
+    let all_rules = world.rules(&kb);
+
+    for n_rules in [10usize, 30, 50] {
+        let rules = &all_rules[..n_rules.min(all_rules.len())];
+        group.bench_with_input(BenchmarkId::new("bRepair", n_rules), &(), |b, ()| {
+            b.iter(|| {
+                for table in &world.tables {
+                    let table_rules =
+                        WebTablesWorld::applicable_rules(rules, table.dirty.schema().arity());
+                    let mut working = table.dirty.clone();
+                    basic_repair(&ctx, &table_rules, &mut working, &ApplyOptions::default());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fRepair", n_rules), &(), |b, ()| {
+            b.iter(|| {
+                for table in &world.tables {
+                    let table_rules =
+                        WebTablesWorld::applicable_rules(rules, table.dirty.schema().arity());
+                    let mut working = table.dirty.clone();
+                    fast_repair(&ctx, &table_rules, &mut working, &ApplyOptions::default());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8a);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 8(b) bench: Nobel repair time vs rule count (1–5), bRepair vs
+//! fRepair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dr_bench::nobel_workload;
+use dr_core::repair::basic::basic_repair;
+use dr_core::{fast_repair, ApplyOptions};
+use dr_datasets::KbFlavor;
+
+fn bench_fig8b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8b_nobel_rules");
+    group.sample_size(10);
+
+    let workload = nobel_workload(1_069, KbFlavor::YagoLike);
+    let ctx = workload.ctx();
+
+    for n_rules in 1..=5usize {
+        let rules = &workload.rules[..n_rules];
+        group.bench_with_input(BenchmarkId::new("bRepair", n_rules), &(), |b, ()| {
+            b.iter(|| {
+                let mut working = workload.dirty.clone();
+                basic_repair(&ctx, rules, &mut working, &ApplyOptions::default())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fRepair", n_rules), &(), |b, ()| {
+            b.iter(|| {
+                let mut working = workload.dirty.clone();
+                fast_repair(&ctx, rules, &mut working, &ApplyOptions::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8b);
+criterion_main!(benches);

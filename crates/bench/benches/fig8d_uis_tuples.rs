@@ -1,0 +1,51 @@
+//! Figure 8(d) bench: UIS repair time vs tuple count, all methods.
+//! (Criterion scale is reduced; the `exp_fig8` binary runs 20K–100K.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dr_baselines::{llunatic_repair, mine_constant_cfds, LlunaticConfig};
+use dr_bench::uis_workload;
+use dr_core::repair::basic::basic_repair;
+use dr_core::{fast_repair, ApplyOptions};
+use dr_datasets::KbFlavor;
+use dr_eval::runner::fds;
+
+fn bench_fig8d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8d_uis_tuples");
+    group.sample_size(10);
+
+    for size in [500usize, 1_000, 2_000] {
+        let workload = uis_workload(size, KbFlavor::YagoLike);
+        let ctx = workload.ctx();
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::new("bRepair", size), &(), |b, ()| {
+            b.iter(|| {
+                let mut working = workload.dirty.clone();
+                basic_repair(&ctx, &workload.rules, &mut working, &ApplyOptions::default())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fRepair", size), &(), |b, ()| {
+            b.iter(|| {
+                let mut working = workload.dirty.clone();
+                fast_repair(&ctx, &workload.rules, &mut working, &ApplyOptions::default())
+            })
+        });
+        let fd_list = fds::uis(workload.clean.schema());
+        group.bench_with_input(BenchmarkId::new("llunatic", size), &(), |b, ()| {
+            b.iter(|| {
+                let mut working = workload.dirty.clone();
+                llunatic_repair(&mut working, &fd_list, &LlunaticConfig::default())
+            })
+        });
+        let cfds = mine_constant_cfds(&workload.clean, &fd_list);
+        group.bench_with_input(BenchmarkId::new("ccfd", size), &(), |b, ()| {
+            b.iter(|| {
+                let mut working = workload.dirty.clone();
+                cfds.apply(&mut working)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8d);
+criterion_main!(benches);

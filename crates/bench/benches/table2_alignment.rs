@@ -1,0 +1,32 @@
+//! Table II bench: alignment counting between the datasets and both KBs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dr_datasets::{alignment, KbFlavor, KbProfile, NobelWorld, UisWorld};
+
+fn bench_alignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_alignment");
+    group.sample_size(20);
+
+    let nobel = NobelWorld::generate(500, 5);
+    let nobel_relation = nobel.clean_relation();
+    let uis = UisWorld::generate(1_000, 5);
+    let uis_relation = uis.clean_relation();
+
+    for flavor in [KbFlavor::YagoLike, KbFlavor::DbpediaLike] {
+        let profile = KbProfile::of(flavor);
+        let nobel_kb = nobel.kb(&profile);
+        group.bench_with_input(
+            BenchmarkId::new("nobel", flavor.label()),
+            &(),
+            |b, ()| b.iter(|| alignment(&nobel_kb, &nobel_relation, 500)),
+        );
+        let uis_kb = uis.kb(&profile);
+        group.bench_with_input(BenchmarkId::new("uis", flavor.label()), &(), |b, ()| {
+            b.iter(|| alignment(&uis_kb, &uis_relation, 500))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alignment);
+criterion_main!(benches);

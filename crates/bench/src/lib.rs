@@ -1,0 +1,72 @@
+//! # dr-bench — benchmark harness support
+//!
+//! Shared fixtures for the Criterion benches under `benches/`: each bench
+//! regenerates the timing behaviour behind one of the paper's tables or
+//! figures (see DESIGN.md §3 for the index), and `ablations` measures the
+//! design choices of §IV-B in isolation.
+
+#![warn(missing_docs)]
+
+use dr_core::MatchContext;
+use dr_datasets::{KbFlavor, KbProfile, NobelWorld, UisWorld};
+use dr_relation::noise::{inject, NoiseSpec};
+use dr_relation::Relation;
+
+/// A prepared keyed-dataset workload: KB + rules + clean/dirty relations.
+pub struct Workload {
+    /// The knowledge base.
+    pub kb: dr_kb::KnowledgeBase,
+    /// The verified rule set.
+    pub rules: Vec<dr_core::DetectiveRule>,
+    /// Ground truth.
+    pub clean: Relation,
+    /// Noisy input.
+    pub dirty: Relation,
+}
+
+impl Workload {
+    /// A match context over the workload's KB.
+    pub fn ctx(&self) -> MatchContext<'_> {
+        MatchContext::new(&self.kb)
+    }
+}
+
+/// Builds a Nobel workload of `n` tuples with 10% noise.
+pub fn nobel_workload(n: usize, flavor: KbFlavor) -> Workload {
+    let world = NobelWorld::generate(n, 71);
+    let clean = world.clean_relation();
+    let name = clean.schema().attr_expect("Name");
+    let (dirty, _) = inject(
+        &clean,
+        &NoiseSpec::new(0.10, 71).with_excluded(vec![name]),
+        &world.semantic_source(),
+    );
+    let kb = world.kb(&KbProfile::of(flavor));
+    let rules = NobelWorld::rules(&kb);
+    Workload {
+        kb,
+        rules,
+        clean,
+        dirty,
+    }
+}
+
+/// Builds a UIS workload of `n` tuples with 10% noise.
+pub fn uis_workload(n: usize, flavor: KbFlavor) -> Workload {
+    let world = UisWorld::generate(n, 73);
+    let clean = world.clean_relation();
+    let name = clean.schema().attr_expect("Name");
+    let (dirty, _) = inject(
+        &clean,
+        &NoiseSpec::new(0.10, 73).with_excluded(vec![name]),
+        &world.semantic_source(),
+    );
+    let kb = world.kb(&KbProfile::of(flavor));
+    let rules = UisWorld::rules(&kb);
+    Workload {
+        kb,
+        rules,
+        clean,
+        dirty,
+    }
+}

@@ -1,0 +1,190 @@
+//! Shared matching context: a KB plus lazily built, memoized value indexes.
+//!
+//! Rule nodes repeatedly ask "which KB nodes of type `T` match this cell
+//! under `sim`?". A [`MatchContext`] owns one [`MatchIndex`] per `(type,
+//! sim)` pair, built on first use and shared across rules, tuples, and
+//! threads — the "efficient instance matching" machinery of §IV-B(2).
+
+use crate::graph::schema::NodeType;
+use dr_kb::{FxHashMap, InstanceId, KnowledgeBase, LiteralId, Node};
+use dr_simmatch::{MatchIndex, SimFn};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A knowledge base with memoized per-(type, sim) match indexes.
+pub struct MatchContext<'kb> {
+    kb: &'kb KnowledgeBase,
+    indexes: Mutex<FxHashMap<(NodeType, SimFn), Arc<MatchIndex>>>,
+}
+
+impl<'kb> MatchContext<'kb> {
+    /// Wraps a KB.
+    pub fn new(kb: &'kb KnowledgeBase) -> Self {
+        Self {
+            kb,
+            indexes: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// The underlying KB.
+    pub fn kb(&self) -> &'kb KnowledgeBase {
+        self.kb
+    }
+
+    /// The memoized index for `(ty, sim)`, building it on first use.
+    pub fn index_for(&self, ty: NodeType, sim: SimFn) -> Arc<MatchIndex> {
+        if let Some(idx) = self.indexes.lock().get(&(ty, sim)) {
+            return Arc::clone(idx);
+        }
+        // Build outside the lock: index construction can be slow and other
+        // (ty, sim) lookups shouldn't wait on it. A racing builder wastes
+        // work but stays correct; first insert wins.
+        let built = Arc::new(self.build_index(ty, sim));
+        let mut guard = self.indexes.lock();
+        Arc::clone(guard.entry((ty, sim)).or_insert(built))
+    }
+
+    fn build_index(&self, ty: NodeType, sim: SimFn) -> MatchIndex {
+        match ty {
+            NodeType::Class(c) => MatchIndex::build(
+                sim,
+                self.kb
+                    .instances_of(c)
+                    .iter()
+                    .map(|&i| (i.index() as u32, self.kb.instance_label(i))),
+            ),
+            NodeType::Literal => MatchIndex::build(
+                sim,
+                (0..self.kb.num_literals()).map(|i| {
+                    (
+                        i as u32,
+                        self.kb.literal_value(LiteralId::from_index(i)),
+                    )
+                }),
+            ),
+        }
+    }
+
+    /// All KB nodes of type `ty` whose value matches `value` under `sim`.
+    pub fn candidates(&self, ty: NodeType, sim: SimFn, value: &str) -> Vec<Node> {
+        let index = self.index_for(ty, sim);
+        let hits = index.lookup(value);
+        match ty {
+            NodeType::Class(_) => hits
+                .into_iter()
+                .map(|id| Node::Instance(InstanceId::from_index(id as usize)))
+                .collect(),
+            NodeType::Literal => hits
+                .into_iter()
+                .map(|id| Node::Literal(LiteralId::from_index(id as usize)))
+                .collect(),
+        }
+    }
+
+    /// Whether `node` has the required type.
+    pub fn type_ok(&self, node: Node, ty: NodeType) -> bool {
+        match (ty, node) {
+            (NodeType::Class(c), Node::Instance(i)) => self.kb.has_type(i, c),
+            (NodeType::Literal, Node::Literal(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// Whether `node` satisfies both the type and the value constraint.
+    pub fn node_matches(&self, node: Node, ty: NodeType, sim: SimFn, value: &str) -> bool {
+        self.type_ok(node, ty) && sim.matches(value, self.kb.node_value(node))
+    }
+
+    /// Every KB node of type `ty` (the unfiltered extent) — the fallback
+    /// candidate set for unconstrained pattern nodes.
+    pub fn extent(&self, ty: NodeType) -> Vec<Node> {
+        match ty {
+            NodeType::Class(c) => self
+                .kb
+                .instances_of(c)
+                .iter()
+                .map(|&i| Node::Instance(i))
+                .collect(),
+            NodeType::Literal => (0..self.kb.num_literals())
+                .map(|i| Node::Literal(LiteralId::from_index(i)))
+                .collect(),
+        }
+    }
+
+    /// Number of indexes built so far (diagnostics).
+    pub fn index_count(&self) -> usize {
+        self.indexes.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_kb::fixtures::{figure1_kb, names};
+
+    #[test]
+    fn candidates_by_exact_match() {
+        let kb = figure1_kb();
+        let ctx = MatchContext::new(&kb);
+        let city = NodeType::Class(kb.class_named(names::CITY).unwrap());
+        let hits = ctx.candidates(city, SimFn::Equal, "Haifa");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(kb.node_value(hits[0]), "Haifa");
+        assert!(ctx.candidates(city, SimFn::Equal, "Tel Aviv").is_empty());
+    }
+
+    #[test]
+    fn candidates_by_edit_distance() {
+        let kb = figure1_kb();
+        let ctx = MatchContext::new(&kb);
+        let org = NodeType::Class(kb.class_named(names::ORGANIZATION).unwrap());
+        let hits = ctx.candidates(org, SimFn::EditDistance(2), "Israel Institute of Technolgy");
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn literal_candidates() {
+        let kb = figure1_kb();
+        let ctx = MatchContext::new(&kb);
+        let hits = ctx.candidates(NodeType::Literal, SimFn::Equal, "1937-12-31");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].is_literal());
+    }
+
+    #[test]
+    fn indexes_are_memoized() {
+        let kb = figure1_kb();
+        let ctx = MatchContext::new(&kb);
+        let city = NodeType::Class(kb.class_named(names::CITY).unwrap());
+        let a = ctx.index_for(city, SimFn::Equal);
+        let b = ctx.index_for(city, SimFn::Equal);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(ctx.index_count(), 1);
+        let _ = ctx.index_for(city, SimFn::EditDistance(1));
+        assert_eq!(ctx.index_count(), 2);
+    }
+
+    #[test]
+    fn type_ok_respects_kinds() {
+        let kb = figure1_kb();
+        let ctx = MatchContext::new(&kb);
+        let city = NodeType::Class(kb.class_named(names::CITY).unwrap());
+        let country = NodeType::Class(kb.class_named(names::COUNTRY).unwrap());
+        let haifa = Node::Instance(kb.instances_labeled("Haifa")[0]);
+        assert!(ctx.type_ok(haifa, city));
+        assert!(!ctx.type_ok(haifa, country));
+        assert!(!ctx.type_ok(haifa, NodeType::Literal));
+        let lit = Node::Literal(kb.literal_with_value("1937-12-31").unwrap());
+        assert!(ctx.type_ok(lit, NodeType::Literal));
+        assert!(!ctx.type_ok(lit, city));
+    }
+
+    #[test]
+    fn extent_enumerates_type() {
+        let kb = figure1_kb();
+        let ctx = MatchContext::new(&kb);
+        let city = NodeType::Class(kb.class_named(names::CITY).unwrap());
+        assert_eq!(ctx.extent(city).len(), 2);
+        assert_eq!(ctx.extent(NodeType::Literal).len(), 1);
+    }
+}

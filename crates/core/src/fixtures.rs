@@ -1,0 +1,222 @@
+//! Running-example fixtures from the paper: the Nobel schema (Table I) and
+//! the four detective rules of Figure 4.
+//!
+//! These are exported (not test-only) so integration tests, examples, and
+//! benches can all exercise the exact scenario the paper walks through.
+
+use crate::graph::schema::NodeType;
+use crate::rule::{DetectiveRule, RuleEdge, RuleNodeRef};
+use dr_kb::fixtures::names;
+use dr_kb::KnowledgeBase;
+use dr_relation::{Relation, Schema};
+use std::sync::Arc;
+
+/// The `Nobel(Name, DOB, Country, Prize, Institution, City)` schema.
+pub fn nobel_schema() -> Arc<Schema> {
+    Schema::new(
+        "Nobel",
+        &["Name", "DOB", "Country", "Prize", "Institution", "City"],
+    )
+}
+
+/// Table I as published: four tuples with their highlighted errors.
+pub fn table1_dirty() -> Relation {
+    let mut r = Relation::new(nobel_schema());
+    r.push_strs(&[
+        "Avram Hershko",
+        "1937-12-31",
+        "Israel",
+        "Albert Lasker Award for Medicine",
+        "Israel Institute of Technology",
+        "Karcag",
+    ]);
+    r.push_strs(&[
+        "Marie Curie",
+        "1867-11-07",
+        "France",
+        "Nobel Prize in Chemistry",
+        "Paster Institute",
+        "Paris",
+    ]);
+    r.push_strs(&[
+        "Roald Hoffmann",
+        "1937-07-18",
+        "Ukraine",
+        "National Medal of Science",
+        "Cornell University",
+        "Ithaca",
+    ]);
+    r.push_strs(&[
+        "Melvin Calvin",
+        "1911-04-08",
+        "United States",
+        "Nobel Prize in Chemistry",
+        "University of Minnesota",
+        "St. Paul",
+    ]);
+    r
+}
+
+/// Table I with the bracketed corrections applied (Calvin repaired to the
+/// UC Berkeley variant, as in the table).
+pub fn table1_clean() -> Relation {
+    let mut r = Relation::new(nobel_schema());
+    r.push_strs(&[
+        "Avram Hershko",
+        "1937-12-31",
+        "Israel",
+        "Nobel Prize in Chemistry",
+        "Israel Institute of Technology",
+        "Haifa",
+    ]);
+    r.push_strs(&[
+        "Marie Curie",
+        "1867-11-07",
+        "France",
+        "Nobel Prize in Chemistry",
+        "Pasteur Institute",
+        "Paris",
+    ]);
+    r.push_strs(&[
+        "Roald Hoffmann",
+        "1937-07-18",
+        "United States",
+        "Nobel Prize in Chemistry",
+        "Cornell University",
+        "Ithaca",
+    ]);
+    r.push_strs(&[
+        "Melvin Calvin",
+        "1911-04-08",
+        "United States",
+        "Nobel Prize in Chemistry",
+        "UC Berkeley",
+        "Berkeley",
+    ]);
+    r
+}
+
+/// The four detective rules of Figure 4 instantiated against `kb`
+/// (typically [`dr_kb::fixtures::nobel_mini_kb`]).
+///
+/// * `phi1` — Institution: worksAt (positive) vs graduatedFrom (negative);
+/// * `phi2` — City: worksAt∘locatedIn (positive) vs wasBornIn (negative);
+/// * `phi3` — Country: isCitizenOf + city-locatedIn (positive) vs bornAt
+///   (negative);
+/// * `phi4` — Prize: wonPrize→Chemistry awards (positive) vs
+///   wonPrize→American awards (negative).
+pub fn figure4_rules(kb: &KnowledgeBase) -> Vec<DetectiveRule> {
+    use dr_simmatch::SimFn;
+    let schema = nobel_schema();
+    let class = |n: &str| NodeType::Class(kb.class_named(n).expect("fixture class"));
+    let pred = |n: &str| kb.pred_named(n).expect("fixture pred");
+    let col = |n: &str| schema.attr_expect(n);
+    let node = crate::rule::node;
+
+    let laureate = class(names::LAUREATE);
+    let organization = class(names::ORGANIZATION);
+    let city = class(names::CITY);
+    let country = class(names::COUNTRY);
+    let chem_awards = class(names::CHEM_AWARDS);
+    let us_awards = class(names::US_AWARDS);
+
+    let name_node = node(col("Name"), laureate, SimFn::Equal);
+    let inst_node = node(col("Institution"), organization, SimFn::EditDistance(2));
+
+    use RuleNodeRef::{Evidence, Negative, Positive};
+    let edge = |from, rel, to| RuleEdge { from, to, rel };
+
+    // ϕ1: x1 = Name, x2 = DOB; p1/n1 = Institution.
+    let phi1 = DetectiveRule::new(
+        "phi1",
+        vec![name_node, node(col("DOB"), NodeType::Literal, SimFn::Equal)],
+        inst_node,
+        inst_node,
+        vec![
+            edge(Evidence(0), pred(names::BORN_ON_DATE), Evidence(1)),
+            edge(Evidence(0), pred(names::WORKS_AT), Positive),
+            edge(Evidence(0), pred(names::GRADUATED_FROM), Negative),
+        ],
+    )
+    .expect("phi1 valid");
+
+    // ϕ2: w1 = Name, w2 = Institution; p2/n2 = City.
+    let phi2 = DetectiveRule::new(
+        "phi2",
+        vec![name_node, inst_node],
+        node(col("City"), city, SimFn::Equal),
+        node(col("City"), city, SimFn::Equal),
+        vec![
+            edge(Evidence(0), pred(names::WORKS_AT), Evidence(1)),
+            edge(Evidence(1), pred(names::LOCATED_IN), Positive),
+            edge(Evidence(0), pred(names::BORN_IN), Negative),
+        ],
+    )
+    .expect("phi2 valid");
+
+    // ϕ3: z1 = Name, z2 = Institution, z3 = City; p3/n3 = Country.
+    let phi3 = DetectiveRule::new(
+        "phi3",
+        vec![
+            name_node,
+            inst_node,
+            node(col("City"), city, SimFn::Equal),
+        ],
+        node(col("Country"), country, SimFn::Equal),
+        node(col("Country"), country, SimFn::Equal),
+        vec![
+            edge(Evidence(0), pred(names::WORKS_AT), Evidence(1)),
+            edge(Evidence(1), pred(names::LOCATED_IN), Evidence(2)),
+            edge(Evidence(0), pred(names::CITIZEN_OF), Positive),
+            edge(Evidence(2), pred(names::LOCATED_IN), Positive),
+            edge(Evidence(0), pred(names::BORN_AT), Negative),
+        ],
+    )
+    .expect("phi3 valid");
+
+    // ϕ4: v1 = Name; p4 = Prize (Chemistry awards), n4 = Prize (American
+    // awards).
+    let phi4 = DetectiveRule::new(
+        "phi4",
+        vec![name_node],
+        node(col("Prize"), chem_awards, SimFn::Equal),
+        node(col("Prize"), us_awards, SimFn::Equal),
+        vec![
+            edge(Evidence(0), pred(names::WON_PRIZE), Positive),
+            edge(Evidence(0), pred(names::WON_PRIZE), Negative),
+        ],
+    )
+    .expect("phi4 valid");
+
+    vec![phi1, phi2, phi3, phi4]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_kb::fixtures::nobel_mini_kb;
+    use dr_relation::GroundTruth;
+
+    #[test]
+    fn table1_shapes_agree() {
+        let dirty = table1_dirty();
+        let clean = table1_clean();
+        assert_eq!(dirty.len(), 4);
+        assert_eq!(clean.len(), 4);
+        let gt = GroundTruth::new(clean);
+        // Errors: r1.Prize, r1.City, r2.Institution, r3.Country, r3.Prize,
+        // r4.Institution, r4.City = 7 cells.
+        assert_eq!(gt.error_count(&dirty), 7);
+    }
+
+    #[test]
+    fn rules_cover_four_columns() {
+        let kb = nobel_mini_kb();
+        let schema = nobel_schema();
+        let cols: Vec<&str> = figure4_rules(&kb)
+            .iter()
+            .map(|r| schema.attr_name(r.repair_col()))
+            .collect();
+        assert_eq!(cols, vec!["Institution", "City", "Country", "Prize"]);
+    }
+}

@@ -1,0 +1,470 @@
+//! Instance-level matching graphs (§II-B): binding a tuple's cells to KB
+//! nodes so that every node and edge constraint of a schema-level pattern is
+//! satisfied.
+//!
+//! The solver is a backtracking subgraph search specialized for detective
+//! rules: patterns are tiny (a handful of nodes), every node carries a value
+//! constraint except at most one *free* node (the positive node during proof
+//! negative), and candidates are drawn from the memoized
+//! [`MatchContext`] indexes or derived from KB
+//! adjacency.
+
+use crate::context::MatchContext;
+use crate::graph::schema::NodeType;
+use dr_kb::{Node, PredId};
+use dr_simmatch::SimFn;
+use std::sync::Arc;
+
+/// One node of a matching pattern.
+#[derive(Debug, Clone)]
+pub struct PatternNode {
+    /// Required KB type.
+    pub ty: NodeType,
+    /// Matching operation for the value constraint.
+    pub sim: SimFn,
+    /// The cell value this node must match; `None` makes the node *free*
+    /// (type- and edge-constrained only).
+    pub value: Option<String>,
+    /// Precomputed type+value candidates (e.g. from the fast-repair cache).
+    /// When present, used instead of a context lookup.
+    pub base: Option<Arc<Vec<Node>>>,
+}
+
+impl PatternNode {
+    /// A value-constrained node.
+    pub fn constrained(ty: NodeType, sim: SimFn, value: impl Into<String>) -> Self {
+        Self {
+            ty,
+            sim,
+            value: Some(value.into()),
+            base: None,
+        }
+    }
+
+    /// A free node (no value constraint).
+    pub fn free(ty: NodeType, sim: SimFn) -> Self {
+        Self {
+            ty,
+            sim,
+            value: None,
+            base: None,
+        }
+    }
+}
+
+/// A matching pattern: nodes plus directed, labeled edges (indexes into
+/// `nodes`).
+#[derive(Debug, Clone, Default)]
+pub struct Pattern {
+    /// Pattern nodes.
+    pub nodes: Vec<PatternNode>,
+    /// Directed edges `(from, rel, to)`.
+    pub edges: Vec<(usize, PredId, usize)>,
+}
+
+impl Pattern {
+    /// Candidate KB nodes for pattern node `i`, honoring `base` when present.
+    fn base_candidates(&self, ctx: &MatchContext<'_>, i: usize) -> Option<Arc<Vec<Node>>> {
+        let node = &self.nodes[i];
+        if let Some(base) = &node.base {
+            return Some(Arc::clone(base));
+        }
+        node.value
+            .as_deref()
+            .map(|v| Arc::new(ctx.candidates(node.ty, node.sim, v)))
+    }
+
+    /// A search order: start from the constrained node with the fewest base
+    /// candidates, then expand along edges (BFS); disconnected leftovers are
+    /// appended with fresh starts.
+    fn order(&self, base: &[Option<Arc<Vec<Node>>>]) -> Vec<usize> {
+        let n = self.nodes.len();
+        let mut order = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        // Undirected adjacency.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(u, _, v) in &self.edges {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        while order.len() < n {
+            // Next start: unplaced constrained node with fewest candidates,
+            // else any unplaced node.
+            let start = (0..n)
+                .filter(|&i| !placed[i])
+                .min_by_key(|&i| base[i].as_ref().map_or(usize::MAX, |c| c.len()))
+                .expect("unplaced node exists");
+            let mut queue = std::collections::VecDeque::from([start]);
+            placed[start] = true;
+            while let Some(u) = queue.pop_front() {
+                order.push(u);
+                for &v in &adj[u] {
+                    if !placed[v] {
+                        placed[v] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        order
+    }
+}
+
+/// A complete assignment: `assignment[i]` is the KB node bound to pattern
+/// node `i`.
+pub type Assignment = Vec<Node>;
+
+/// Searches for assignments of `pattern` against `ctx`.
+///
+/// Returns the first complete assignment, or `None`.
+pub fn find_assignment(ctx: &MatchContext<'_>, pattern: &Pattern) -> Option<Assignment> {
+    let mut result = None;
+    solve(ctx, pattern, &mut |assignment| {
+        result = Some(assignment.to_vec());
+        Control::Stop
+    });
+    result
+}
+
+/// Whether any complete assignment exists.
+pub fn has_assignment(ctx: &MatchContext<'_>, pattern: &Pattern) -> bool {
+    find_assignment(ctx, pattern).is_some()
+}
+
+/// Collects the distinct KB nodes that pattern node `target` takes across
+/// **all** assignments (used to enumerate repair candidates; sorted).
+pub fn collect_bindings(ctx: &MatchContext<'_>, pattern: &Pattern, target: usize) -> Vec<Node> {
+    let mut out: Vec<Node> = Vec::new();
+    solve(ctx, pattern, &mut |assignment| {
+        out.push(assignment[target]);
+        Control::Continue
+    });
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Visits every complete assignment; the callback returns `false` to stop
+/// the enumeration early.
+pub fn for_each_assignment(
+    ctx: &MatchContext<'_>,
+    pattern: &Pattern,
+    mut f: impl FnMut(&Assignment) -> bool,
+) {
+    solve(ctx, pattern, &mut |assignment| {
+        if f(assignment) {
+            Control::Continue
+        } else {
+            Control::Stop
+        }
+    });
+}
+
+/// Visitor control flow.
+enum Control {
+    Continue,
+    Stop,
+}
+
+fn solve(
+    ctx: &MatchContext<'_>,
+    pattern: &Pattern,
+    visit: &mut dyn FnMut(&Assignment) -> Control,
+) {
+    let n = pattern.nodes.len();
+    if n == 0 {
+        return;
+    }
+    let base: Vec<Option<Arc<Vec<Node>>>> = (0..n)
+        .map(|i| pattern.base_candidates(ctx, i))
+        .collect();
+    // A constrained node with zero candidates makes the pattern unsatisfiable.
+    if base
+        .iter()
+        .any(|b| b.as_ref().is_some_and(|c| c.is_empty()))
+    {
+        return;
+    }
+    let order = pattern.order(&base);
+    let mut assignment: Vec<Option<Node>> = vec![None; n];
+    recurse(ctx, pattern, &base, &order, 0, &mut assignment, visit);
+}
+
+/// Candidates for `node` given the current partial assignment.
+fn candidates_for(
+    ctx: &MatchContext<'_>,
+    pattern: &Pattern,
+    base: &[Option<Arc<Vec<Node>>>],
+    assignment: &[Option<Node>],
+    node: usize,
+) -> Vec<Node> {
+    let pnode = &pattern.nodes[node];
+    let kb = ctx.kb();
+
+    // Constraint check against every edge touching `node` whose other
+    // endpoint is already assigned.
+    let edge_ok = |candidate: Node| -> bool {
+        pattern.edges.iter().all(|&(u, rel, v)| {
+            if u == node {
+                match assignment[v] {
+                    Some(xv) => match candidate {
+                        Node::Instance(ci) => kb.has_edge(ci, rel, xv),
+                        Node::Literal(_) => false,
+                    },
+                    None => true,
+                }
+            } else if v == node {
+                match assignment[u] {
+                    Some(Node::Instance(xu)) => kb.has_edge(xu, rel, candidate),
+                    Some(Node::Literal(_)) => false,
+                    None => true,
+                }
+            } else {
+                true
+            }
+        })
+    };
+
+    if let Some(base_list) = &base[node] {
+        return base_list
+            .iter()
+            .copied()
+            .filter(|&c| edge_ok(c))
+            .collect();
+    }
+
+    // Free node: derive candidates from an assigned neighbor if possible.
+    for &(u, rel, v) in &pattern.edges {
+        if u == node {
+            if let Some(xv) = assignment[v] {
+                return kb
+                    .subjects(xv, rel)
+                    .iter()
+                    .map(|&s| Node::Instance(s))
+                    .filter(|&c| ctx.type_ok(c, pnode.ty) && edge_ok(c))
+                    .collect();
+            }
+        } else if v == node {
+            if let Some(Node::Instance(xu)) = assignment[u] {
+                return kb
+                    .objects(xu, rel)
+                    .iter()
+                    .copied()
+                    .filter(|&c| ctx.type_ok(c, pnode.ty) && edge_ok(c))
+                    .collect();
+            }
+        }
+    }
+
+    // No assigned neighbor: fall back to the full type extent.
+    ctx.extent(pnode.ty)
+        .into_iter()
+        .filter(|&c| edge_ok(c))
+        .collect()
+}
+
+fn recurse(
+    ctx: &MatchContext<'_>,
+    pattern: &Pattern,
+    base: &[Option<Arc<Vec<Node>>>],
+    order: &[usize],
+    pos: usize,
+    assignment: &mut Vec<Option<Node>>,
+    visit: &mut dyn FnMut(&Assignment) -> Control,
+) -> Control {
+    if pos == order.len() {
+        let complete: Assignment = assignment
+            .iter()
+            .map(|a| a.expect("complete assignment"))
+            .collect();
+        return visit(&complete);
+    }
+    let node = order[pos];
+    for candidate in candidates_for(ctx, pattern, base, assignment, node) {
+        assignment[node] = Some(candidate);
+        if let Control::Stop = recurse(ctx, pattern, base, order, pos + 1, assignment, visit) {
+            assignment[node] = None;
+            return Control::Stop;
+        }
+        assignment[node] = None;
+    }
+    Control::Continue
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_kb::fixtures::{names, nobel_mini_kb};
+    use dr_kb::KnowledgeBase;
+
+    fn class(kb: &KnowledgeBase, name: &str) -> NodeType {
+        NodeType::Class(kb.class_named(name).unwrap())
+    }
+
+    /// Figure 3(b): Name/DOB/Country/Institution of r1 all bind.
+    #[test]
+    fn figure3b_instance_graph_exists() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let mut p = Pattern::default();
+        p.nodes.push(PatternNode::constrained(
+            class(&kb, names::LAUREATE),
+            SimFn::Equal,
+            "Avram Hershko",
+        ));
+        p.nodes.push(PatternNode::constrained(
+            NodeType::Literal,
+            SimFn::Equal,
+            "1937-12-31",
+        ));
+        p.nodes.push(PatternNode::constrained(
+            class(&kb, names::COUNTRY),
+            SimFn::Equal,
+            "Israel",
+        ));
+        p.nodes.push(PatternNode::constrained(
+            class(&kb, names::ORGANIZATION),
+            SimFn::EditDistance(2),
+            "Israel Institute of Technology",
+        ));
+        p.edges.push((0, kb.pred_named(names::BORN_ON_DATE).unwrap(), 1));
+        p.edges.push((0, kb.pred_named(names::CITIZEN_OF).unwrap(), 2));
+        p.edges.push((0, kb.pred_named(names::WORKS_AT).unwrap(), 3));
+
+        let a = find_assignment(&ctx, &p).expect("r1 matches Figure 3(a)");
+        assert_eq!(kb.node_value(a[0]), "Avram Hershko");
+        assert_eq!(kb.node_value(a[3]), "Israel Institute of Technology");
+    }
+
+    /// The negative side of ϕ2: Karcag is where Hershko was born, and a free
+    /// positive node finds Haifa through worksAt ∘ locatedIn.
+    #[test]
+    fn proof_negative_shape_for_city() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        // Nodes: 0 = Name, 1 = Institution, 2 = negative City (value Karcag),
+        // 3 = free positive City.
+        let mut p = Pattern::default();
+        p.nodes.push(PatternNode::constrained(
+            class(&kb, names::LAUREATE),
+            SimFn::Equal,
+            "Avram Hershko",
+        ));
+        p.nodes.push(PatternNode::constrained(
+            class(&kb, names::ORGANIZATION),
+            SimFn::EditDistance(2),
+            "Israel Institute of Technology",
+        ));
+        p.nodes.push(PatternNode::constrained(
+            class(&kb, names::CITY),
+            SimFn::Equal,
+            "Karcag",
+        ));
+        p.nodes
+            .push(PatternNode::free(class(&kb, names::CITY), SimFn::Equal));
+        let works_at = kb.pred_named(names::WORKS_AT).unwrap();
+        let located_in = kb.pred_named(names::LOCATED_IN).unwrap();
+        let born_in = kb.pred_named(names::BORN_IN).unwrap();
+        p.edges.push((0, works_at, 1));
+        p.edges.push((0, born_in, 2));
+        p.edges.push((1, located_in, 3));
+
+        let bindings = collect_bindings(&ctx, &p, 3);
+        assert_eq!(bindings.len(), 1);
+        assert_eq!(kb.node_value(bindings[0]), "Haifa");
+    }
+
+    /// Melvin Calvin works at two institutions: the free node enumerates
+    /// both (multi-version repairs, Example 10).
+    #[test]
+    fn free_node_enumerates_all_bindings() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let mut p = Pattern::default();
+        p.nodes.push(PatternNode::constrained(
+            class(&kb, names::LAUREATE),
+            SimFn::Equal,
+            "Melvin Calvin",
+        ));
+        p.nodes.push(PatternNode::free(
+            class(&kb, names::ORGANIZATION),
+            SimFn::EditDistance(2),
+        ));
+        p.edges.push((0, kb.pred_named(names::WORKS_AT).unwrap(), 1));
+
+        let bindings = collect_bindings(&ctx, &p, 1);
+        let mut values: Vec<&str> = bindings.iter().map(|&n| kb.node_value(n)).collect();
+        values.sort_unstable();
+        assert_eq!(values, vec!["UC Berkeley", "University of Manchester"]);
+    }
+
+    #[test]
+    fn violated_edge_fails() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let mut p = Pattern::default();
+        p.nodes.push(PatternNode::constrained(
+            class(&kb, names::LAUREATE),
+            SimFn::Equal,
+            "Avram Hershko",
+        ));
+        p.nodes.push(PatternNode::constrained(
+            class(&kb, names::CITY),
+            SimFn::Equal,
+            "Haifa",
+        ));
+        // Hershko was NOT born in Haifa.
+        p.edges.push((0, kb.pred_named(names::BORN_IN).unwrap(), 1));
+        assert!(find_assignment(&ctx, &p).is_none());
+    }
+
+    #[test]
+    fn wrong_value_fails() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let mut p = Pattern::default();
+        p.nodes.push(PatternNode::constrained(
+            class(&kb, names::LAUREATE),
+            SimFn::Equal,
+            "Nobody Inparticular",
+        ));
+        assert!(find_assignment(&ctx, &p).is_none());
+    }
+
+    #[test]
+    fn empty_pattern_has_no_assignment() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        assert!(find_assignment(&ctx, &Pattern::default()).is_none());
+    }
+
+    #[test]
+    fn edge_into_literal_node() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let mut p = Pattern::default();
+        p.nodes.push(PatternNode::constrained(
+            class(&kb, names::LAUREATE),
+            SimFn::Equal,
+            "Marie Curie",
+        ));
+        p.nodes.push(PatternNode::free(NodeType::Literal, SimFn::Equal));
+        p.edges.push((0, kb.pred_named(names::BORN_ON_DATE).unwrap(), 1));
+        let bindings = collect_bindings(&ctx, &p, 1);
+        assert_eq!(bindings.len(), 1);
+        assert_eq!(kb.node_value(bindings[0]), "1867-11-07");
+    }
+
+    #[test]
+    fn precomputed_base_is_respected() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let mut p = Pattern::default();
+        let mut node = PatternNode::constrained(class(&kb, names::CITY), SimFn::Equal, "Haifa");
+        // Deliberately empty base: the solver must treat the node as
+        // unsatisfiable even though "Haifa" exists.
+        node.base = Some(Arc::new(Vec::new()));
+        p.nodes.push(node);
+        assert!(find_assignment(&ctx, &p).is_none());
+    }
+}

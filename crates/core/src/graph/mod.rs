@@ -1,0 +1,5 @@
+//! Matching graphs: schema-level patterns and their instance-level
+//! instantiations against a KB (§II-B).
+
+pub mod instance;
+pub mod schema;

@@ -1,0 +1,289 @@
+//! The basic repair algorithm — Algorithm 1 of the paper (§IV-A).
+//!
+//! A chase: repeatedly pick any rule applicable to the tuple, apply it, and
+//! remove it from the working set (each rule applies at most once). With a
+//! consistent rule set the chase is Church–Rosser — every application order
+//! reaches the same fixpoint. Termination is structural: every application
+//! strictly grows the set of positively marked attributes, so at most `|R|`
+//! rules can fire.
+
+use crate::context::MatchContext;
+use crate::repair::cache::ElementCache;
+use crate::rule::apply::{apply_rule_cached, ApplyOptions, RuleApplication};
+use crate::rule::DetectiveRule;
+use dr_relation::{AttrId, Relation, Tuple};
+
+/// One applied rule in a tuple's repair trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairStep {
+    /// Index of the rule in the rule slice passed to the repairer.
+    pub rule_index: usize,
+    /// Name of the rule.
+    pub rule_name: String,
+    /// What the rule did.
+    pub application: RuleApplication,
+}
+
+/// The repair trace of one tuple.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TupleReport {
+    /// Applied rules, in application order.
+    pub steps: Vec<RepairStep>,
+}
+
+impl TupleReport {
+    /// Number of value rewrites (repairs + normalizations).
+    pub fn changes(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| match &s.application {
+                RuleApplication::Repaired { normalized, .. } => 1 + normalized.len(),
+                RuleApplication::ProofPositive { normalized, .. } => normalized.len(),
+                RuleApplication::DetectedWrong { .. } | RuleApplication::NotApplicable => 0,
+            })
+            .sum()
+    }
+
+    /// Every `(col, old, new)` rewrite in order.
+    pub fn rewrites(&self) -> Vec<(AttrId, String, String)> {
+        let mut out = Vec::new();
+        for step in &self.steps {
+            match &step.application {
+                RuleApplication::Repaired {
+                    col,
+                    old,
+                    new,
+                    normalized,
+                    ..
+                } => {
+                    for n in normalized {
+                        out.push((n.col, n.old.clone(), n.new.clone()));
+                    }
+                    out.push((*col, old.clone(), new.clone()));
+                }
+                RuleApplication::ProofPositive { normalized, .. } => {
+                    for n in normalized {
+                        out.push((n.col, n.old.clone(), n.new.clone()));
+                    }
+                }
+                RuleApplication::DetectedWrong { .. } | RuleApplication::NotApplicable => {}
+            }
+        }
+        out
+    }
+}
+
+/// The repair trace of a relation.
+#[derive(Debug, Clone, Default)]
+pub struct RelationReport {
+    /// Per-tuple traces, indexed by row.
+    pub tuples: Vec<TupleReport>,
+}
+
+impl RelationReport {
+    /// Total rules applied across all tuples.
+    pub fn total_applications(&self) -> usize {
+        self.tuples.iter().map(|t| t.steps.len()).sum()
+    }
+
+    /// Total value rewrites across all tuples.
+    pub fn total_changes(&self) -> usize {
+        self.tuples.iter().map(TupleReport::changes).sum()
+    }
+}
+
+/// Repairs one tuple with Algorithm 1: scan the remaining rules for an
+/// applicable one, apply it, repeat to fixpoint.
+///
+/// The element cache is local to the call (the basic algorithm re-derives
+/// candidates per rule, which is exactly the cost the fast variant removes —
+/// see [`fast`](crate::repair::fast)); correctness is identical.
+pub fn basic_repair_tuple(
+    ctx: &MatchContext<'_>,
+    rules: &[DetectiveRule],
+    tuple: &mut Tuple,
+    opts: &ApplyOptions,
+) -> TupleReport {
+    let mut remaining: Vec<usize> = (0..rules.len()).collect();
+    let mut report = TupleReport::default();
+    loop {
+        let mut fired: Option<usize> = None;
+        // Basic algorithm: no shared cache — every rule check recomputes its
+        // element matches (a fresh cache per check).
+        for (pos, &ri) in remaining.iter().enumerate() {
+            let mut cache = ElementCache::new();
+            let application = apply_rule_cached(ctx, &rules[ri], tuple, opts, &mut cache);
+            if application.applied() {
+                report.steps.push(RepairStep {
+                    rule_index: ri,
+                    rule_name: rules[ri].name().to_owned(),
+                    application,
+                });
+                fired = Some(pos);
+                break;
+            }
+        }
+        match fired {
+            Some(pos) => {
+                remaining.remove(pos);
+            }
+            None => break,
+        }
+    }
+    report
+}
+
+/// Repairs every tuple of `relation` with Algorithm 1.
+pub fn basic_repair(
+    ctx: &MatchContext<'_>,
+    rules: &[DetectiveRule],
+    relation: &mut Relation,
+    opts: &ApplyOptions,
+) -> RelationReport {
+    let mut report = RelationReport::default();
+    for row in 0..relation.len() {
+        let tuple = relation.tuple_mut(row);
+        report.tuples.push(basic_repair_tuple(ctx, rules, tuple, opts));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure4_rules, nobel_schema, table1_clean, table1_dirty};
+    use dr_kb::fixtures::nobel_mini_kb;
+    use dr_relation::GroundTruth;
+
+    /// Example 7: the fixpoint of r1 under all four rules is the fully
+    /// repaired, fully marked tuple.
+    #[test]
+    fn example7_r1_reaches_fixpoint() {
+        let kb = nobel_mini_kb();
+        let rules = figure4_rules(&kb);
+        let ctx = MatchContext::new(&kb);
+        let schema = nobel_schema();
+        let mut r1 = table1_dirty().tuple(0).clone();
+
+        let report = basic_repair_tuple(&ctx, &rules, &mut r1, &ApplyOptions::default());
+        assert_eq!(report.steps.len(), 4, "all four rules fire on r1");
+
+        let expect = [
+            ("Name", "Avram Hershko"),
+            ("DOB", "1937-12-31"),
+            ("Country", "Israel"),
+            ("Prize", "Nobel Prize in Chemistry"),
+            ("Institution", "Israel Institute of Technology"),
+            ("City", "Haifa"),
+        ];
+        for (col, value) in expect {
+            let attr = schema.attr_expect(col);
+            assert_eq!(r1.get(attr), value, "column {col}");
+            assert!(r1.is_positive(attr), "column {col} marked positive");
+        }
+    }
+
+    /// Whole-table repair of Table I reaches the published clean table
+    /// (Calvin resolves to the UC Berkeley variant via candidate ordering).
+    #[test]
+    fn table1_repairs_to_clean() {
+        let kb = nobel_mini_kb();
+        let rules = figure4_rules(&kb);
+        let ctx = MatchContext::new(&kb);
+        let mut dirty = table1_dirty();
+        let report = basic_repair(&ctx, &rules, &mut dirty, &ApplyOptions::default());
+        assert!(report.total_applications() >= 12);
+
+        let gt = GroundTruth::new(table1_clean());
+        let leftover = gt.erroneous_cells(&dirty);
+        assert!(
+            leftover.is_empty(),
+            "unrepaired cells: {:?} (values {:?})",
+            leftover,
+            leftover
+                .iter()
+                .map(|&c| dirty.value(c))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    /// Rule application order within the chase does not change the fixpoint
+    /// (Church–Rosser for a consistent rule set).
+    #[test]
+    fn chase_is_order_insensitive_on_table1() {
+        let kb = nobel_mini_kb();
+        let rules = figure4_rules(&kb);
+        let ctx = MatchContext::new(&kb);
+        let opts = ApplyOptions::default();
+
+        let mut baseline = table1_dirty();
+        basic_repair(&ctx, &rules, &mut baseline, &opts);
+
+        // All 24 permutations of the four rules.
+        let perms = permutations(rules.len());
+        for perm in perms {
+            let reordered: Vec<_> = perm.iter().map(|&i| rules[i].clone()).collect();
+            let mut relation = table1_dirty();
+            basic_repair(&ctx, &reordered, &mut relation, &opts);
+            for cell in relation.cell_refs() {
+                assert_eq!(
+                    relation.value(cell),
+                    baseline.value(cell),
+                    "order {perm:?} diverged at {cell:?}"
+                );
+            }
+        }
+    }
+
+    fn permutations(n: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut items: Vec<usize> = (0..n).collect();
+        heap_permute(&mut items, n, &mut out);
+        out
+    }
+
+    fn heap_permute(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+        if k == 1 {
+            out.push(items.clone());
+            return;
+        }
+        for i in 0..k {
+            heap_permute(items, k - 1, out);
+            if k.is_multiple_of(2) {
+                items.swap(i, k - 1);
+            } else {
+                items.swap(0, k - 1);
+            }
+        }
+    }
+
+    /// An empty rule set leaves the relation untouched.
+    #[test]
+    fn empty_rules_do_nothing() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let mut dirty = table1_dirty();
+        let report = basic_repair(&ctx, &[], &mut dirty, &ApplyOptions::default());
+        assert_eq!(report.total_applications(), 0);
+        assert_eq!(dirty.positive_count(), 0);
+    }
+
+    /// The trace records the rewrites actually performed.
+    #[test]
+    fn report_rewrites_match_diff() {
+        let kb = nobel_mini_kb();
+        let rules = figure4_rules(&kb);
+        let ctx = MatchContext::new(&kb);
+        let before = table1_dirty();
+        let mut after = before.clone();
+        let report = basic_repair(&ctx, &rules, &mut after, &ApplyOptions::default());
+        for (row, tuple_report) in report.tuples.iter().enumerate() {
+            for (col, old, new) in tuple_report.rewrites() {
+                assert_eq!(before.tuple(row).get(col), old);
+                // `new` must either persist or have been further repaired —
+                // marks forbid the latter, so it persists.
+                assert_eq!(after.tuple(row).get(col), new);
+            }
+        }
+    }
+}

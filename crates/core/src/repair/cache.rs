@@ -1,0 +1,197 @@
+//! Shared per-tuple element cache (§IV-B(3)).
+//!
+//! Rule nodes and edges recur across rules — `(Name, Nobel laureates in
+//! Chemistry, =)` appears in all four rules of Figure 4. The fast repair
+//! algorithm checks each distinct element once per tuple and shares the
+//! result: this cache memoizes, per `(col, type, sim)` node signature, the
+//! KB candidates matching the tuple's current cell value, and per edge
+//! signature whether any candidate pair is connected. Entries touching a
+//! column are invalidated when a repair (or typo normalization) rewrites
+//! that column's value.
+
+use crate::context::MatchContext;
+use crate::graph::schema::SchemaNode;
+use dr_kb::{FxHashMap, Node, PredId};
+use dr_relation::{AttrId, Tuple};
+use std::sync::Arc;
+
+/// An edge signature: source node, predicate, target node.
+pub type EdgeSig = (SchemaNode, PredId, SchemaNode);
+
+/// Memoized per-tuple element checks, shared across rules.
+#[derive(Default)]
+pub struct ElementCache {
+    nodes: FxHashMap<SchemaNode, Arc<Vec<Node>>>,
+    edges: FxHashMap<EdgeSig, bool>,
+    hits: usize,
+    misses: usize,
+}
+
+impl ElementCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Candidates of `node` against the tuple's current value of
+    /// `node.col`, memoized by node signature.
+    pub fn candidates(
+        &mut self,
+        ctx: &MatchContext<'_>,
+        tuple: &Tuple,
+        node: &SchemaNode,
+    ) -> Arc<Vec<Node>> {
+        if let Some(cands) = self.nodes.get(node) {
+            self.hits += 1;
+            return Arc::clone(cands);
+        }
+        self.misses += 1;
+        let cands = Arc::new(ctx.candidates(node.ty, node.sim, tuple.get(node.col)));
+        self.nodes.insert(*node, Arc::clone(&cands));
+        cands
+    }
+
+    /// Whether the tuple matches node `node` (has any candidate).
+    pub fn node_ok(&mut self, ctx: &MatchContext<'_>, tuple: &Tuple, node: &SchemaNode) -> bool {
+        !self.candidates(ctx, tuple, node).is_empty()
+    }
+
+    /// Whether some candidate pair of `(from, to)` is connected by `rel`,
+    /// memoized by edge signature.
+    pub fn edge_ok(
+        &mut self,
+        ctx: &MatchContext<'_>,
+        tuple: &Tuple,
+        from: &SchemaNode,
+        rel: PredId,
+        to: &SchemaNode,
+    ) -> bool {
+        let sig = (*from, rel, *to);
+        if let Some(&ok) = self.edges.get(&sig) {
+            self.hits += 1;
+            return ok;
+        }
+        self.misses += 1;
+        let from_cands = self.candidates(ctx, tuple, from);
+        let to_cands = self.candidates(ctx, tuple, to);
+        let kb = ctx.kb();
+        let to_set: dr_kb::FxHashSet<Node> = to_cands.iter().copied().collect();
+        let ok = from_cands.iter().any(|&f| match f {
+            Node::Instance(i) => kb.objects(i, rel).iter().any(|o| to_set.contains(o)),
+            Node::Literal(_) => false,
+        });
+        self.edges.insert(sig, ok);
+        ok
+    }
+
+    /// Drops every entry whose signature involves `col` — called after the
+    /// column's value changed.
+    pub fn invalidate_col(&mut self, col: AttrId) {
+        self.nodes.retain(|n, _| n.col != col);
+        self.edges
+            .retain(|(f, _, t), _| f.col != col && t.col != col);
+    }
+
+    /// Clears everything (new tuple).
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.edges.clear();
+    }
+
+    /// `(hits, misses)` counters for diagnostics and ablation benches.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{nobel_schema, table1_dirty};
+    use crate::graph::schema::NodeType;
+    use dr_kb::fixtures::{names, nobel_mini_kb};
+    use dr_simmatch::SimFn;
+
+    fn name_node(kb: &dr_kb::KnowledgeBase) -> SchemaNode {
+        SchemaNode::new(
+            nobel_schema().attr_expect("Name"),
+            NodeType::Class(kb.class_named(names::LAUREATE).unwrap()),
+            SimFn::Equal,
+        )
+    }
+
+    #[test]
+    fn node_candidates_are_memoized() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let tuple = table1_dirty().tuple(0).clone();
+        let mut cache = ElementCache::new();
+        let node = name_node(&kb);
+        let a = cache.candidates(&ctx, &tuple, &node);
+        let b = cache.candidates(&ctx, &tuple, &node);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn edge_check_and_memoization() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let schema = nobel_schema();
+        let tuple = table1_dirty().tuple(0).clone();
+        let mut cache = ElementCache::new();
+        let name = name_node(&kb);
+        let inst = SchemaNode::new(
+            schema.attr_expect("Institution"),
+            NodeType::Class(kb.class_named(names::ORGANIZATION).unwrap()),
+            SimFn::EditDistance(2),
+        );
+        let works_at = kb.pred_named(names::WORKS_AT).unwrap();
+        let born_in = kb.pred_named(names::BORN_IN).unwrap();
+        assert!(cache.edge_ok(&ctx, &tuple, &name, works_at, &inst));
+        assert!(cache.edge_ok(&ctx, &tuple, &name, works_at, &inst)); // hit
+        assert!(!cache.edge_ok(&ctx, &tuple, &name, born_in, &inst));
+    }
+
+    #[test]
+    fn invalidation_is_column_scoped() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let schema = nobel_schema();
+        let mut tuple = table1_dirty().tuple(0).clone();
+        let mut cache = ElementCache::new();
+        let city = SchemaNode::new(
+            schema.attr_expect("City"),
+            NodeType::Class(kb.class_named(names::CITY).unwrap()),
+            SimFn::Equal,
+        );
+        let name = name_node(&kb);
+        assert_eq!(cache.candidates(&ctx, &tuple, &city).len(), 1); // Karcag
+        let _ = cache.candidates(&ctx, &tuple, &name);
+
+        // Repair City and invalidate: the city entry refreshes, name stays.
+        tuple.set(schema.attr_expect("City"), "Haifa");
+        cache.invalidate_col(schema.attr_expect("City"));
+        let refreshed = cache.candidates(&ctx, &tuple, &city);
+        assert_eq!(kb.node_value(refreshed[0]), "Haifa");
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (0, 3));
+    }
+
+    #[test]
+    fn literal_source_edge_is_false() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let schema = nobel_schema();
+        let tuple = table1_dirty().tuple(0).clone();
+        let mut cache = ElementCache::new();
+        let dob = SchemaNode::new(schema.attr_expect("DOB"), NodeType::Literal, SimFn::Equal);
+        let name = name_node(&kb);
+        let born_on = kb.pred_named(names::BORN_ON_DATE).unwrap();
+        // Literal → instance edges cannot exist.
+        assert!(!cache.edge_ok(&ctx, &tuple, &dob, born_on, &name));
+        // Instance → literal works.
+        assert!(cache.edge_ok(&ctx, &tuple, &name, born_on, &dob));
+    }
+}

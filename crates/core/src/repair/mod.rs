@@ -1,0 +1,10 @@
+//! Repair algorithms: the chase-based basic repair (Algorithm 1), the fast
+//! repair with rule ordering and inverted indexes (Algorithm 2), and
+//! multi-version repairs (§IV).
+
+pub mod basic;
+pub mod fast;
+pub mod multi;
+pub mod parallel;
+pub mod rule_graph;
+pub mod cache;

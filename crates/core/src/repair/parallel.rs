@@ -1,0 +1,155 @@
+//! Parallel relation repair.
+//!
+//! The paper's scalability argument (§V summary) is that "repairing one
+//! tuple is irrelevant to any other tuple": tuples share nothing but the
+//! immutable KB and indexes. This module exploits that with scoped threads —
+//! rows are split into contiguous chunks, each chunk repaired independently
+//! with its own element cache, and the per-tuple reports stitched back in
+//! row order. Results are bit-identical to the sequential
+//! [`FastRepairer`].
+
+use crate::context::MatchContext;
+use crate::repair::basic::{RelationReport, TupleReport};
+use crate::repair::fast::FastRepairer;
+use crate::rule::apply::ApplyOptions;
+use crate::rule::DetectiveRule;
+use dr_relation::{Relation, Tuple};
+
+/// Parallel repair configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelOptions {
+    /// Rule-application options.
+    pub apply: ApplyOptions,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+}
+
+/// Repairs `relation` with `threads` workers. Equivalent to
+/// [`FastRepairer::repair_relation`], row for row.
+pub fn parallel_repair(
+    ctx: &MatchContext<'_>,
+    rules: &[DetectiveRule],
+    relation: &mut Relation,
+    opts: &ParallelOptions,
+) -> RelationReport {
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        opts.threads
+    };
+    let repairer = FastRepairer::new(rules);
+    if threads <= 1 || relation.len() < 2 {
+        return repairer.repair_relation(ctx, relation, &opts.apply);
+    }
+
+    // Pre-warm the shared (lock-guarded) match indexes so workers don't
+    // race to build them: repair one tuple up front.
+    let mut reports: Vec<TupleReport> = Vec::with_capacity(relation.len());
+    {
+        let first = relation.tuple_mut(0);
+        reports.push(repairer.repair_tuple(ctx, first, &opts.apply));
+    }
+
+    let rest = &mut relation.tuples_mut()[1..];
+    let chunk_size = rest.len().div_ceil(threads).max(1);
+    let mut chunk_reports: Vec<Vec<TupleReport>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = rest
+            .chunks_mut(chunk_size)
+            .map(|chunk: &mut [Tuple]| {
+                let repairer = &repairer;
+                let apply = &opts.apply;
+                scope.spawn(move |_| {
+                    chunk
+                        .iter_mut()
+                        .map(|tuple| repairer.repair_tuple(ctx, tuple, apply))
+                        .collect::<Vec<TupleReport>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            chunk_reports.push(handle.join().expect("worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    for chunk in chunk_reports {
+        reports.extend(chunk);
+    }
+    RelationReport { tuples: reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure4_rules, table1_dirty};
+    use crate::repair::fast::fast_repair;
+    use dr_kb::fixtures::nobel_mini_kb;
+
+    #[test]
+    fn parallel_matches_sequential_on_table1() {
+        let kb = nobel_mini_kb();
+        let rules = figure4_rules(&kb);
+        let ctx = MatchContext::new(&kb);
+
+        let mut sequential = table1_dirty();
+        let seq_report = fast_repair(&ctx, &rules, &mut sequential, &ApplyOptions::default());
+
+        for threads in [1, 2, 4] {
+            let mut parallel = table1_dirty();
+            let par_report = parallel_repair(
+                &ctx,
+                &rules,
+                &mut parallel,
+                &ParallelOptions {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            for cell in sequential.cell_refs() {
+                assert_eq!(
+                    sequential.value(cell),
+                    parallel.value(cell),
+                    "{threads} threads diverged at {cell:?}"
+                );
+                assert_eq!(
+                    sequential.tuple(cell.row).is_positive(cell.attr),
+                    parallel.tuple(cell.row).is_positive(cell.attr),
+                );
+            }
+            assert_eq!(
+                seq_report.total_applications(),
+                par_report.total_applications()
+            );
+            // Reports line up row for row.
+            assert_eq!(seq_report.tuples.len(), par_report.tuples.len());
+            for (a, b) in seq_report.tuples.iter().zip(&par_report.tuples) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_relation_is_fine() {
+        let kb = nobel_mini_kb();
+        let rules = figure4_rules(&kb);
+        let ctx = MatchContext::new(&kb);
+        let mut relation = dr_relation::Relation::new(crate::fixtures::nobel_schema());
+        let report = parallel_repair(&ctx, &rules, &mut relation, &ParallelOptions::default());
+        assert!(report.tuples.is_empty());
+    }
+
+    #[test]
+    fn single_row_uses_sequential_path() {
+        let kb = nobel_mini_kb();
+        let rules = figure4_rules(&kb);
+        let ctx = MatchContext::new(&kb);
+        let mut relation = dr_relation::Relation::new(crate::fixtures::nobel_schema());
+        relation.push(table1_dirty().tuple(0).clone());
+        let report = parallel_repair(&ctx, &rules, &mut relation, &ParallelOptions::default());
+        assert_eq!(report.tuples.len(), 1);
+        assert_eq!(report.tuples[0].steps.len(), 4);
+    }
+}

@@ -1,0 +1,300 @@
+//! Rule order selection (§IV-B(1)).
+//!
+//! Applying rule ϕ can only affect rule ϕ′ if ϕ may rewrite a column that ϕ′
+//! reads as evidence — i.e. `col(p_ϕ) ∈ col(V′e)`. The **rule graph** has an
+//! edge ϕ → ϕ′ for each such pair; checking rules in a topological order of
+//! its strongly-connected-component condensation means each rule outside a
+//! cycle is checked exactly once. Cycles are collapsed into groups whose
+//! members are re-scanned until quiescent.
+
+use crate::rule::DetectiveRule;
+
+/// The dependency graph over a rule set.
+#[derive(Debug, Clone)]
+pub struct RuleGraph {
+    /// `succ[i]` = rules that must be checked after rule `i` (i.e. `i → j`).
+    succ: Vec<Vec<usize>>,
+}
+
+impl RuleGraph {
+    /// Builds the graph: edge `i → j` iff rule `i` can affect what rule `j`
+    /// observes — `col(p_i) ∈ col(Ve_j)` (the paper's condition), or the two
+    /// rules repair the same column (`col(p_i) = col(p_j)`, `i ≠ j`): a
+    /// repair by one freezes or rewrites the other's positive/negative
+    /// column. Same-column writers are therefore mutually dependent and land
+    /// in one SCC, which the repairer re-scans — keeping the fast algorithm
+    /// chase-equivalent.
+    pub fn build(rules: &[DetectiveRule]) -> Self {
+        let succ = rules
+            .iter()
+            .enumerate()
+            .map(|(i, ri)| {
+                let writes = ri.repair_col();
+                rules
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, rj)| {
+                        rj.evidence_cols().any(|c| c == writes)
+                            || (i != j && rj.repair_col() == writes)
+                    })
+                    .map(|(j, _)| j)
+                    .collect()
+            })
+            .collect();
+        Self { succ }
+    }
+
+    /// Successors of rule `i`.
+    pub fn successors(&self, i: usize) -> &[usize] {
+        &self.succ[i]
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+
+    /// Number of edges (diagnostics).
+    pub fn edge_count(&self) -> usize {
+        self.succ.iter().map(Vec::len).sum()
+    }
+
+    /// Strongly connected components via Tarjan's algorithm (iterative).
+    /// Components are returned in **reverse topological order** of the
+    /// condensation (Tarjan's natural output order).
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let n = self.succ.len();
+        const UNSET: usize = usize::MAX;
+        let mut index = vec![UNSET; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut components: Vec<Vec<usize>> = Vec::new();
+
+        // Explicit DFS stack of (node, next-successor position).
+        let mut call_stack: Vec<(usize, usize)> = Vec::new();
+        for root in 0..n {
+            if index[root] != UNSET {
+                continue;
+            }
+            call_stack.push((root, 0));
+            index[root] = next_index;
+            low[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+
+            while let Some(&mut (v, ref mut pos)) = call_stack.last_mut() {
+                if *pos < self.succ[v].len() {
+                    let w = self.succ[v][*pos];
+                    *pos += 1;
+                    if index[w] == UNSET {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call_stack.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    call_stack.pop();
+                    if let Some(&(parent, _)) = call_stack.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut component = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("SCC stack underflow");
+                            on_stack[w] = false;
+                            component.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        component.sort_unstable();
+                        components.push(component);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// Check groups in topological order of the condensation: each group is
+    /// one SCC; singleton groups are rules checked exactly once, larger
+    /// groups are cycles whose members the repairer re-scans.
+    ///
+    /// Deterministic: groups are emitted in topological order with ties
+    /// broken by smallest member index.
+    pub fn check_order(&self) -> Vec<Vec<usize>> {
+        let sccs = self.sccs();
+        let n_comp = sccs.len();
+        // Map node -> component.
+        let mut comp_of = vec![0usize; self.succ.len()];
+        for (ci, comp) in sccs.iter().enumerate() {
+            for &v in comp {
+                comp_of[v] = ci;
+            }
+        }
+        // Condensation edges + in-degrees.
+        let mut cedges: Vec<dr_kb::FxHashSet<usize>> =
+            vec![dr_kb::FxHashSet::default(); n_comp];
+        let mut indeg = vec![0usize; n_comp];
+        for (v, outs) in self.succ.iter().enumerate() {
+            for &w in outs {
+                let (cv, cw) = (comp_of[v], comp_of[w]);
+                if cv != cw && cedges[cv].insert(cw) {
+                    indeg[cw] += 1;
+                }
+            }
+        }
+        // Kahn with a min-heap keyed on the smallest rule index in the
+        // component, for deterministic output.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut heap: BinaryHeap<Reverse<(usize, usize)>> = (0..n_comp)
+            .filter(|&c| indeg[c] == 0)
+            .map(|c| Reverse((sccs[c][0], c)))
+            .collect();
+        let mut order = Vec::with_capacity(n_comp);
+        while let Some(Reverse((_, c))) = heap.pop() {
+            order.push(sccs[c].clone());
+            for &w in &cedges[c] {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    heap.push(Reverse((sccs[w][0], w)));
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n_comp, "condensation must be acyclic");
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure4_rules;
+    use dr_kb::fixtures::nobel_mini_kb;
+
+    /// Example 8: ϕ1 → ϕ2 → ϕ3 (with ϕ1 → ϕ3 transitively direct too);
+    /// ϕ4 is independent.
+    #[test]
+    fn figure4_rule_graph() {
+        let kb = nobel_mini_kb();
+        let rules = figure4_rules(&kb);
+        let g = RuleGraph::build(&rules);
+        assert_eq!(g.successors(0), &[1, 2]); // Institution feeds ϕ2 and ϕ3
+        assert_eq!(g.successors(1), &[2]); // City feeds ϕ3
+        assert_eq!(g.successors(2), &[] as &[usize]); // Country feeds nobody
+        assert_eq!(g.successors(3), &[] as &[usize]); // Prize feeds nobody
+    }
+
+    #[test]
+    fn figure4_check_order_respects_dependencies() {
+        let kb = nobel_mini_kb();
+        let rules = figure4_rules(&kb);
+        let order = RuleGraph::build(&rules).check_order();
+        // All singleton groups.
+        assert!(order.iter().all(|g| g.len() == 1));
+        let flat: Vec<usize> = order.into_iter().flatten().collect();
+        let pos = |r: usize| flat.iter().position(|&x| x == r).unwrap();
+        assert!(pos(0) < pos(1), "ϕ1 before ϕ2");
+        assert!(pos(1) < pos(2), "ϕ2 before ϕ3");
+        assert_eq!(flat.len(), 4);
+    }
+
+    /// Two rules reading each other's repair columns form a cycle and are
+    /// grouped into one SCC.
+    #[test]
+    fn cycle_collapses_into_group() {
+        let kb = nobel_mini_kb();
+        let rules = figure4_rules(&kb);
+        // ϕ2 repairs City with Institution evidence. Craft ϕ2' repairing
+        // Institution with City evidence → cycle {ϕ2, ϕ2'}.
+        use crate::graph::schema::NodeType;
+        use crate::rule::{node, DetectiveRule, RuleEdge, RuleNodeRef};
+        use dr_simmatch::SimFn;
+        let schema = crate::fixtures::nobel_schema();
+        let city = NodeType::Class(kb.class_named("city").unwrap());
+        let org = NodeType::Class(kb.class_named("organization").unwrap());
+        let laureate = NodeType::Class(kb.class_named("Nobel laureates in Chemistry").unwrap());
+        let phi2p = DetectiveRule::new(
+            "phi2-prime",
+            vec![
+                node(schema.attr_expect("Name"), laureate, SimFn::Equal),
+                node(schema.attr_expect("City"), city, SimFn::Equal),
+            ],
+            node(schema.attr_expect("Institution"), org, SimFn::EditDistance(2)),
+            node(schema.attr_expect("Institution"), org, SimFn::EditDistance(2)),
+            vec![
+                RuleEdge {
+                    from: RuleNodeRef::Evidence(0),
+                    to: RuleNodeRef::Positive,
+                    rel: kb.pred_named("worksAt").unwrap(),
+                },
+                RuleEdge {
+                    from: RuleNodeRef::Positive,
+                    to: RuleNodeRef::Evidence(1),
+                    rel: kb.pred_named("locatedIn").unwrap(),
+                },
+                RuleEdge {
+                    from: RuleNodeRef::Evidence(0),
+                    to: RuleNodeRef::Negative,
+                    rel: kb.pred_named("graduatedFrom").unwrap(),
+                },
+                RuleEdge {
+                    from: RuleNodeRef::Negative,
+                    to: RuleNodeRef::Evidence(1),
+                    rel: kb.pred_named("locatedIn").unwrap(),
+                },
+            ],
+        )
+        .unwrap();
+        let set = vec![rules[1].clone(), phi2p];
+        let g = RuleGraph::build(&set);
+        let sccs = g.sccs();
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0], vec![0, 1]);
+        let order = g.check_order();
+        assert_eq!(order, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = RuleGraph::build(&[]);
+        assert!(g.is_empty());
+        assert!(g.check_order().is_empty());
+
+        let kb = nobel_mini_kb();
+        let rules = figure4_rules(&kb);
+        let g = RuleGraph::build(&rules[3..4]);
+        assert_eq!(g.check_order(), vec![vec![0]]);
+    }
+
+    /// Self-loop: a rule whose repaired column is its own evidence cannot
+    /// exist (validation forbids it), but a rule writing a column read by
+    /// itself through another rule chain still terminates via SCC grouping.
+    #[test]
+    fn long_chain_order() {
+        // Chain of figure-4 rules duplicated: order must still be topological.
+        let kb = nobel_mini_kb();
+        let mut rules = figure4_rules(&kb);
+        let extra = figure4_rules(&kb);
+        rules.extend(extra);
+        let order = RuleGraph::build(&rules).check_order();
+        let flat: Vec<usize> = order.into_iter().flatten().collect();
+        let pos = |r: usize| flat.iter().position(|&x| x == r).unwrap();
+        for (a, b) in [(0, 1), (1, 2), (4, 5), (5, 6), (0, 5), (4, 1)] {
+            assert!(pos(a) < pos(b), "rule {a} must precede rule {b}");
+        }
+    }
+}

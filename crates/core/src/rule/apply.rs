@@ -1,0 +1,734 @@
+//! Applying one detective rule to one tuple (§II-C semantics, the body of
+//! Algorithm 1's loop).
+//!
+//! Three outcomes:
+//!
+//! 1. **Proof positive** — an instance-level match of `Ve ∪ {p}` exists:
+//!    every matched column is marked `+`.
+//! 2. **Proof negative + correction** — a match of `Ve ∪ {n}` exists *and*
+//!    the same evidence instances extend to `Ve ∪ {p}` with some `x_p ≠ x_n`:
+//!    `t[col(n)]` is wrong and is repaired to the value of `x_p`, then all of
+//!    `col(Ve ∪ {p})` are marked `+`.
+//! 3. **Not applicable** — neither holds, or nothing new would be marked.
+//!
+//! ### Fuzzy-value normalization
+//!
+//! When a node matches through a tolerant `sim` (e.g. `ED,2`), the cell may
+//! hold a typo'd variant of the KB label (*Paster Institute*). The paper's
+//! experiments repair typos "to the most similar candidate" (§V Exp-2(B));
+//! we implement that as *normalization*: if every instance-level match binds
+//! the node to a single canonical label, the cell is rewritten to it while
+//! being marked. Normalization is skipped when matches are ambiguous (two
+//! different labels) or the cell is already frozen. It can be disabled via
+//! [`ApplyOptions::normalize_fuzzy`] for ablations.
+
+use crate::context::MatchContext;
+use crate::graph::instance::{for_each_assignment, Pattern, PatternNode};
+use crate::graph::schema::SchemaNode;
+use crate::repair::cache::ElementCache;
+use crate::rule::{DetectiveRule, RuleNodeRef};
+use dr_kb::{FxHashSet, Node};
+use dr_relation::{AttrId, Tuple};
+
+/// Options controlling rule application.
+#[derive(Debug, Clone)]
+pub struct ApplyOptions {
+    /// Rewrite fuzzily matched cells to the canonical KB label when the
+    /// binding is unambiguous.
+    pub normalize_fuzzy: bool,
+    /// Stop enumerating instance-level matches after this many assignments
+    /// (existence is already established; only normalization/multi-version
+    /// completeness degrades).
+    pub max_assignments: usize,
+    /// §II-C case (2) without correction: when the negative side matches
+    /// but the KB holds no repair instance `x_p`, still mark the evidence
+    /// positive and flag the cell as detected-wrong (Sherlock-style
+    /// annotation). Off by default — Algorithm 1 only acts when a full
+    /// repair exists.
+    pub detect_without_repair: bool,
+}
+
+impl Default for ApplyOptions {
+    fn default() -> Self {
+        Self {
+            normalize_fuzzy: true,
+            max_assignments: 10_000,
+            detect_without_repair: false,
+        }
+    }
+}
+
+/// A value rewrite performed while marking (typo normalization).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Normalization {
+    /// The rewritten column.
+    pub col: AttrId,
+    /// Previous cell value.
+    pub old: String,
+    /// Canonical KB label now stored.
+    pub new: String,
+}
+
+/// The result of applying one rule to one tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleApplication {
+    /// The rule neither matched nor could mark anything new.
+    NotApplicable,
+    /// Proof positive: columns marked correct, possibly normalized.
+    ProofPositive {
+        /// Columns newly marked positive.
+        newly_marked: Vec<AttrId>,
+        /// Typo normalizations applied while marking.
+        normalized: Vec<Normalization>,
+    },
+    /// Proof negative without correction (only with
+    /// [`ApplyOptions::detect_without_repair`]): the negative semantics
+    /// matched but the KB offers no repair instance. The evidence is marked
+    /// positive and `col` is flagged wrong, its value untouched.
+    DetectedWrong {
+        /// The detected-wrong column.
+        col: AttrId,
+        /// Evidence columns newly marked positive.
+        newly_marked: Vec<AttrId>,
+    },
+    /// Proof negative + correction: `col` was wrong and has been repaired.
+    Repaired {
+        /// The repaired column (`col(n) = col(p)`).
+        col: AttrId,
+        /// The wrong value that was replaced.
+        old: String,
+        /// The value written (first of `candidates`).
+        new: String,
+        /// All valid repair values (multi-version repairs, sorted). Contains
+        /// `new` as its first element.
+        candidates: Vec<String>,
+        /// Columns newly marked positive (evidence + repaired column).
+        newly_marked: Vec<AttrId>,
+        /// Typo normalizations applied to evidence cells.
+        normalized: Vec<Normalization>,
+    },
+}
+
+impl RuleApplication {
+    /// Whether the rule did anything to the tuple.
+    pub fn applied(&self) -> bool {
+        !matches!(self, RuleApplication::NotApplicable)
+    }
+}
+
+/// Builds a constrained pattern node for `node`, seeding its base candidate
+/// list from the shared element cache.
+fn cached_node(
+    ctx: &MatchContext<'_>,
+    cache: &mut ElementCache,
+    tuple: &Tuple,
+    node: &SchemaNode,
+) -> PatternNode {
+    let mut pn = PatternNode::constrained(node.ty, node.sim, tuple.get(node.col));
+    pn.base = Some(cache.candidates(ctx, tuple, node));
+    pn
+}
+
+/// Builds the proof-positive pattern `Ve ∪ {p}` for `tuple`.
+/// Node indexes: evidence `0..k`, then `p` at `k`.
+pub(crate) fn positive_pattern(
+    ctx: &MatchContext<'_>,
+    cache: &mut ElementCache,
+    rule: &DetectiveRule,
+    tuple: &Tuple,
+) -> Pattern {
+    let mut pattern = Pattern::default();
+    for ev in rule.evidence() {
+        pattern.nodes.push(cached_node(ctx, cache, tuple, ev));
+    }
+    pattern
+        .nodes
+        .push(cached_node(ctx, cache, tuple, rule.positive()));
+    let p_idx = rule.evidence().len();
+    // Auxiliary nodes used by positive-side edges join as free nodes.
+    let mut aux_idx: dr_kb::FxHashMap<usize, usize> = dr_kb::FxHashMap::default();
+    for e in rule.positive_edges() {
+        for end in [e.from, e.to] {
+            if let RuleNodeRef::Aux(i) = end {
+                aux_idx.entry(i).or_insert_with(|| {
+                    pattern
+                        .nodes
+                        .push(PatternNode::free(rule.aux()[i], dr_simmatch::SimFn::Equal));
+                    pattern.nodes.len() - 1
+                });
+            }
+        }
+    }
+    for e in rule.positive_edges() {
+        let map = |r: RuleNodeRef| match r {
+            RuleNodeRef::Evidence(i) => i,
+            RuleNodeRef::Positive => p_idx,
+            RuleNodeRef::Aux(i) => aux_idx[&i],
+            RuleNodeRef::Negative => unreachable!("positive edges never touch n"),
+        };
+        pattern.edges.push((map(e.from), e.rel, map(e.to)));
+    }
+    pattern
+}
+
+/// Builds the combined proof-negative pattern `Ve ∪ {n} ∪ {p·free}`.
+/// Node indexes: evidence `0..k`, `n` at `k`, free `p` at `k + 1`.
+pub(crate) fn negative_pattern(
+    ctx: &MatchContext<'_>,
+    cache: &mut ElementCache,
+    rule: &DetectiveRule,
+    tuple: &Tuple,
+) -> Pattern {
+    let mut pattern = Pattern::default();
+    for ev in rule.evidence() {
+        pattern.nodes.push(cached_node(ctx, cache, tuple, ev));
+    }
+    let k = rule.evidence().len();
+    pattern
+        .nodes
+        .push(cached_node(ctx, cache, tuple, rule.negative()));
+    let p = rule.positive();
+    pattern.nodes.push(PatternNode::free(p.ty, p.sim));
+    // All auxiliary nodes may be needed (the negative check replays the
+    // positive structure for x_p).
+    let mut aux_idx: dr_kb::FxHashMap<usize, usize> = dr_kb::FxHashMap::default();
+    for e in rule.edges() {
+        for end in [e.from, e.to] {
+            if let RuleNodeRef::Aux(i) = end {
+                aux_idx.entry(i).or_insert_with(|| {
+                    pattern
+                        .nodes
+                        .push(PatternNode::free(rule.aux()[i], dr_simmatch::SimFn::Equal));
+                    pattern.nodes.len() - 1
+                });
+            }
+        }
+    }
+    for e in rule.edges() {
+        let map = |r: RuleNodeRef| match r {
+            RuleNodeRef::Evidence(i) => i,
+            RuleNodeRef::Negative => k,
+            RuleNodeRef::Positive => k + 1,
+            RuleNodeRef::Aux(i) => aux_idx[&i],
+        };
+        pattern.edges.push((map(e.from), e.rel, map(e.to)));
+    }
+    pattern
+}
+
+/// Per-node label observations across assignments, driving normalization.
+struct LabelObservations {
+    /// `labels[i]` = distinct canonical labels bound to pattern node `i`.
+    labels: Vec<FxHashSet<String>>,
+}
+
+impl LabelObservations {
+    fn new(n: usize) -> Self {
+        Self {
+            labels: (0..n).map(|_| FxHashSet::default()).collect(),
+        }
+    }
+
+    fn record(&mut self, kb: &dr_kb::KnowledgeBase, assignment: &[Node]) {
+        for (i, &node) in assignment.iter().enumerate() {
+            // Bound: sets stay tiny in practice; only distinct labels stored.
+            self.labels[i].insert(kb.node_value(node).to_owned());
+        }
+    }
+
+    /// The unique label for node `i`, if unambiguous.
+    fn unique(&self, i: usize) -> Option<&str> {
+        let set = &self.labels[i];
+        if set.len() == 1 {
+            set.iter().next().map(String::as_str)
+        } else {
+            None
+        }
+    }
+}
+
+/// Normalizes unmarked, fuzzily matched cells to their unique canonical
+/// label; returns the rewrites performed.
+///
+/// A cell is only rewritten when its current value matches **no** KB value
+/// of the node's type exactly: an exact match means the value names a real
+/// entity (possibly a near-twin of the bound one), not a typo, and
+/// rewriting it would trade a trusted value for a guess.
+fn normalize_cells(
+    ctx: &MatchContext<'_>,
+    rule: &DetectiveRule,
+    tuple: &mut Tuple,
+    obs: &LabelObservations,
+    // (pattern node index, node) pairs to consider.
+    nodes: &[(usize, SchemaNode)],
+) -> Vec<Normalization> {
+    let mut out = Vec::new();
+    let _ = rule;
+    for &(idx, node) in nodes {
+        let col = node.col;
+        if node.sim.is_exact() || tuple.is_positive(col) {
+            continue;
+        }
+        if let Some(label) = obs.unique(idx) {
+            let current = tuple.get(col);
+            if current != label
+                && ctx
+                    .candidates(node.ty, dr_simmatch::SimFn::Equal, current)
+                    .is_empty()
+            {
+                let old = current.to_owned();
+                tuple.set(col, label);
+                out.push(Normalization {
+                    col,
+                    old,
+                    new: label.to_owned(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Applies `rule` to `tuple` against `ctx`, mutating the tuple on success.
+///
+/// The tuple's positive marks are respected: frozen cells are never modified,
+/// and the rule is [`RuleApplication::NotApplicable`] if it could not mark
+/// anything new.
+///
+/// Uses a private, throwaway element cache; the fast repair algorithm shares
+/// one across rules via [`apply_rule_cached`].
+pub fn apply_rule(
+    ctx: &MatchContext<'_>,
+    rule: &DetectiveRule,
+    tuple: &mut Tuple,
+    opts: &ApplyOptions,
+) -> RuleApplication {
+    let mut cache = ElementCache::new();
+    apply_rule_cached(ctx, rule, tuple, opts, &mut cache)
+}
+
+/// Maps a [`RuleNodeRef`] to its schema node; `None` for auxiliary nodes
+/// (which carry no column and cannot be prefiltered by value).
+fn ref_node(rule: &DetectiveRule, r: RuleNodeRef) -> Option<&SchemaNode> {
+    match r {
+        RuleNodeRef::Evidence(i) => Some(&rule.evidence()[i]),
+        RuleNodeRef::Positive => Some(rule.positive()),
+        RuleNodeRef::Negative => Some(rule.negative()),
+        RuleNodeRef::Aux(_) => None,
+    }
+}
+
+/// Prefilter check for one edge; edges touching auxiliary nodes cannot be
+/// decided from per-column signatures and pass the prefilter.
+fn prefilter_edge(
+    ctx: &MatchContext<'_>,
+    cache: &mut ElementCache,
+    rule: &DetectiveRule,
+    tuple: &Tuple,
+    e: &crate::rule::RuleEdge,
+) -> bool {
+    match (ref_node(rule, e.from), ref_node(rule, e.to)) {
+        (Some(from), Some(to)) => cache.edge_ok(ctx, tuple, from, e.rel, to),
+        _ => true,
+    }
+}
+
+/// [`apply_rule`] with a caller-provided element cache shared across rules
+/// (§IV-B(3)). Per-element results memoize in `cache`; the caller must
+/// invalidate columns whose values this application changes (see
+/// [`RuleApplication`]'s repair and normalization fields).
+pub fn apply_rule_cached(
+    ctx: &MatchContext<'_>,
+    rule: &DetectiveRule,
+    tuple: &mut Tuple,
+    opts: &ApplyOptions,
+    cache: &mut ElementCache,
+) -> RuleApplication {
+    let kb = ctx.kb();
+    let k = rule.evidence().len();
+    let marked_cols = rule.marked_cols();
+    let would_mark_new = marked_cols.iter().any(|&c| !tuple.is_positive(c));
+    if !would_mark_new {
+        return RuleApplication::NotApplicable;
+    }
+
+    // ---- Shared evidence prefilter ----------------------------------------
+    // Both proofs need every evidence node and evidence-internal edge to
+    // match individually; these checks are memoized across rules.
+    for ev in rule.evidence() {
+        if !cache.node_ok(ctx, tuple, ev) {
+            return RuleApplication::NotApplicable;
+        }
+    }
+    for e in rule.evidence_edges() {
+        if !prefilter_edge(ctx, cache, rule, tuple, e) {
+            return RuleApplication::NotApplicable;
+        }
+    }
+
+    // ---- Proof positive ----------------------------------------------------
+    let positive_edges: Vec<_> = rule.positive_edges().cloned().collect();
+    let positive_prefilter_ok = cache.node_ok(ctx, tuple, rule.positive())
+        && positive_edges
+            .iter()
+            .all(|e| prefilter_edge(ctx, cache, rule, tuple, e));
+    if positive_prefilter_ok {
+        let pattern = positive_pattern(ctx, cache, rule, tuple);
+        let mut obs = LabelObservations::new(pattern.nodes.len());
+        let mut found = false;
+        let mut visits = 0usize;
+        for_each_assignment(ctx, &pattern, |assignment| {
+            found = true;
+            obs.record(kb, assignment);
+            visits += 1;
+            visits < opts.max_assignments
+        });
+        if found {
+            let mut to_normalize: Vec<(usize, SchemaNode)> = rule
+                .evidence()
+                .iter()
+                .enumerate()
+                .map(|(i, ev)| (i, *ev))
+                .collect();
+            to_normalize.push((k, *rule.positive()));
+            let normalized = if opts.normalize_fuzzy {
+                normalize_cells(ctx, rule, tuple, &obs, &to_normalize)
+            } else {
+                Vec::new()
+            };
+            let mut newly_marked = Vec::new();
+            for &c in &marked_cols {
+                if !tuple.is_positive(c) {
+                    tuple.mark_positive(c);
+                    newly_marked.push(c);
+                }
+            }
+            return RuleApplication::ProofPositive {
+                newly_marked,
+                normalized,
+            };
+        }
+    }
+
+    // ---- Proof negative + correction --------------------------------------
+    let repair_col = rule.repair_col();
+    if tuple.is_positive(repair_col) {
+        return RuleApplication::NotApplicable;
+    }
+    // Prefilter the negative node and the negative edges that do not touch
+    // the (value-unconstrained) positive node.
+    if !cache.node_ok(ctx, tuple, rule.negative()) {
+        return RuleApplication::NotApplicable;
+    }
+    let negative_edges: Vec<_> = rule.negative_edges().cloned().collect();
+    let negative_prefilter_ok = negative_edges
+        .iter()
+        .all(|e| prefilter_edge(ctx, cache, rule, tuple, e));
+    if !negative_prefilter_ok {
+        return RuleApplication::NotApplicable;
+    }
+    let pattern = negative_pattern(ctx, cache, rule, tuple);
+    let n_idx = k;
+    let p_idx = k + 1;
+    let mut obs = LabelObservations::new(pattern.nodes.len());
+    let mut candidates: FxHashSet<String> = FxHashSet::default();
+    let mut visits = 0usize;
+    for_each_assignment(ctx, &pattern, |assignment| {
+        if assignment[p_idx] != assignment[n_idx] {
+            candidates.insert(kb.node_value(assignment[p_idx]).to_owned());
+            obs.record(kb, assignment);
+        }
+        visits += 1;
+        visits < opts.max_assignments
+    });
+    if candidates.is_empty() {
+        if opts.detect_without_repair {
+            // Does the negative side alone match (evidence + n, ignoring
+            // the positive structure)? Then §II-C case (2) marks the
+            // evidence correct and flags the cell as potentially wrong.
+            let mut negative_only = Pattern::default();
+            for ev in rule.evidence() {
+                negative_only
+                    .nodes
+                    .push(cached_node(ctx, cache, tuple, ev));
+            }
+            negative_only
+                .nodes
+                .push(cached_node(ctx, cache, tuple, rule.negative()));
+            let mut aux_idx: dr_kb::FxHashMap<usize, usize> = dr_kb::FxHashMap::default();
+            let negative_edges: Vec<_> = rule.negative_edges().cloned().collect();
+            for e in &negative_edges {
+                for end in [e.from, e.to] {
+                    if let RuleNodeRef::Aux(i) = end {
+                        aux_idx.entry(i).or_insert_with(|| {
+                            negative_only.nodes.push(PatternNode::free(
+                                rule.aux()[i],
+                                dr_simmatch::SimFn::Equal,
+                            ));
+                            negative_only.nodes.len() - 1
+                        });
+                    }
+                }
+            }
+            for e in &negative_edges {
+                let map = |r: RuleNodeRef| match r {
+                    RuleNodeRef::Evidence(i) => i,
+                    RuleNodeRef::Negative => k,
+                    RuleNodeRef::Aux(i) => aux_idx[&i],
+                    RuleNodeRef::Positive => unreachable!("negative edges never touch p"),
+                };
+                negative_only.edges.push((map(e.from), e.rel, map(e.to)));
+            }
+            if crate::graph::instance::has_assignment(ctx, &negative_only) {
+                let mut newly_marked = Vec::new();
+                for ev in rule.evidence() {
+                    if !tuple.is_positive(ev.col) {
+                        tuple.mark_positive(ev.col);
+                        newly_marked.push(ev.col);
+                    }
+                }
+                // Returned even when the evidence was already marked: the
+                // wrong-flag on `repair_col` is the annotation of value.
+                return RuleApplication::DetectedWrong {
+                    col: repair_col,
+                    newly_marked,
+                };
+            }
+        }
+        return RuleApplication::NotApplicable;
+    }
+    let mut candidates: Vec<String> = candidates.into_iter().collect();
+    candidates.sort_unstable();
+
+    let to_normalize: Vec<(usize, SchemaNode)> = rule
+        .evidence()
+        .iter()
+        .enumerate()
+        .map(|(i, ev)| (i, *ev))
+        .collect();
+    let normalized = if opts.normalize_fuzzy {
+        normalize_cells(ctx, rule, tuple, &obs, &to_normalize)
+    } else {
+        Vec::new()
+    };
+
+    let old = tuple.get(repair_col).to_owned();
+    let new = candidates[0].clone();
+    tuple.set(repair_col, new.clone());
+    let mut newly_marked = Vec::new();
+    for &c in &marked_cols {
+        if !tuple.is_positive(c) {
+            tuple.mark_positive(c);
+            newly_marked.push(c);
+        }
+    }
+    RuleApplication::Repaired {
+        col: repair_col,
+        old,
+        new,
+        candidates,
+        newly_marked,
+        normalized,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure4_rules, nobel_schema, table1_dirty};
+    use dr_kb::fixtures::nobel_mini_kb;
+
+    fn setup() -> (dr_kb::KnowledgeBase, Vec<DetectiveRule>) {
+        let kb = nobel_mini_kb();
+        let rules = figure4_rules(&kb);
+        (kb, rules)
+    }
+
+    /// Example 5(1)/Example 6: ϕ2 repairs r1.City from Karcag to Haifa.
+    #[test]
+    fn phi2_repairs_r1_city() {
+        let (kb, rules) = setup();
+        let ctx = MatchContext::new(&kb);
+        let schema = nobel_schema();
+        let mut r1 = table1_dirty().tuple(0).clone();
+        let result = apply_rule(&ctx, &rules[1], &mut r1, &ApplyOptions::default());
+        match result {
+            RuleApplication::Repaired {
+                col,
+                old,
+                new,
+                candidates,
+                newly_marked,
+                ..
+            } => {
+                assert_eq!(schema.attr_name(col), "City");
+                assert_eq!(old, "Karcag");
+                assert_eq!(new, "Haifa");
+                assert_eq!(candidates, vec!["Haifa".to_owned()]);
+                // Example 6: Name⁺, Institution⁺, City⁺.
+                let names: Vec<&str> =
+                    newly_marked.iter().map(|&c| schema.attr_name(c)).collect();
+                assert_eq!(names, vec!["Name", "Institution", "City"]);
+            }
+            other => panic!("expected repair, got {other:?}"),
+        }
+        assert_eq!(r1.get(schema.attr_expect("City")), "Haifa");
+        assert!(r1.is_positive(schema.attr_expect("City")));
+        assert!(!r1.is_positive(schema.attr_expect("Country")));
+    }
+
+    /// Example 5(1): ϕ1 proof positive on r1 marks Name, DOB, Institution.
+    #[test]
+    fn phi1_marks_r1_positive() {
+        let (kb, rules) = setup();
+        let ctx = MatchContext::new(&kb);
+        let schema = nobel_schema();
+        let mut r1 = table1_dirty().tuple(0).clone();
+        let result = apply_rule(&ctx, &rules[0], &mut r1, &ApplyOptions::default());
+        match result {
+            RuleApplication::ProofPositive {
+                newly_marked,
+                normalized,
+            } => {
+                let names: Vec<&str> =
+                    newly_marked.iter().map(|&c| schema.attr_name(c)).collect();
+                assert_eq!(names, vec!["Name", "DOB", "Institution"]);
+                assert!(normalized.is_empty());
+            }
+            other => panic!("expected proof positive, got {other:?}"),
+        }
+    }
+
+    /// ϕ4 repairs r1.Prize (American award → Chemistry award).
+    #[test]
+    fn phi4_repairs_r1_prize() {
+        let (kb, rules) = setup();
+        let ctx = MatchContext::new(&kb);
+        let schema = nobel_schema();
+        let mut r1 = table1_dirty().tuple(0).clone();
+        let result = apply_rule(&ctx, &rules[3], &mut r1, &ApplyOptions::default());
+        match result {
+            RuleApplication::Repaired { old, new, .. } => {
+                assert_eq!(old, "Albert Lasker Award for Medicine");
+                assert_eq!(new, "Nobel Prize in Chemistry");
+            }
+            other => panic!("expected repair, got {other:?}"),
+        }
+        assert_eq!(
+            r1.get(schema.attr_expect("Prize")),
+            "Nobel Prize in Chemistry"
+        );
+    }
+
+    /// ϕ1 on r2 (Marie Curie) proof-positive-normalizes the Institution typo
+    /// "Paster Institute" → "Pasteur Institute".
+    #[test]
+    fn phi1_normalizes_typo() {
+        let (kb, rules) = setup();
+        let ctx = MatchContext::new(&kb);
+        let schema = nobel_schema();
+        let mut r2 = table1_dirty().tuple(1).clone();
+        let result = apply_rule(&ctx, &rules[0], &mut r2, &ApplyOptions::default());
+        match result {
+            RuleApplication::ProofPositive { normalized, .. } => {
+                assert_eq!(normalized.len(), 1);
+                assert_eq!(normalized[0].old, "Paster Institute");
+                assert_eq!(normalized[0].new, "Pasteur Institute");
+            }
+            other => panic!("expected proof positive, got {other:?}"),
+        }
+        assert_eq!(
+            r2.get(schema.attr_expect("Institution")),
+            "Pasteur Institute"
+        );
+    }
+
+    /// Normalization can be disabled.
+    #[test]
+    fn normalization_opt_out() {
+        let (kb, rules) = setup();
+        let ctx = MatchContext::new(&kb);
+        let schema = nobel_schema();
+        let mut r2 = table1_dirty().tuple(1).clone();
+        let opts = ApplyOptions {
+            normalize_fuzzy: false,
+            ..Default::default()
+        };
+        let result = apply_rule(&ctx, &rules[0], &mut r2, &opts);
+        assert!(matches!(
+            result,
+            RuleApplication::ProofPositive { ref normalized, .. } if normalized.is_empty()
+        ));
+        assert_eq!(r2.get(schema.attr_expect("Institution")), "Paster Institute");
+    }
+
+    /// ϕ1 on r4 (Melvin Calvin) yields the two-institution multi-version
+    /// repair of Example 10.
+    #[test]
+    fn phi1_multi_version_on_r4() {
+        let (kb, rules) = setup();
+        let ctx = MatchContext::new(&kb);
+        let mut r4 = table1_dirty().tuple(3).clone();
+        let result = apply_rule(&ctx, &rules[0], &mut r4, &ApplyOptions::default());
+        match result {
+            RuleApplication::Repaired {
+                old, candidates, ..
+            } => {
+                assert_eq!(old, "University of Minnesota");
+                assert_eq!(
+                    candidates,
+                    vec!["UC Berkeley".to_owned(), "University of Manchester".to_owned()]
+                );
+            }
+            other => panic!("expected repair, got {other:?}"),
+        }
+    }
+
+    /// A frozen repair column blocks proof negative.
+    #[test]
+    fn frozen_column_blocks_repair() {
+        let (kb, rules) = setup();
+        let ctx = MatchContext::new(&kb);
+        let schema = nobel_schema();
+        let mut r1 = table1_dirty().tuple(0).clone();
+        r1.mark_positive(schema.attr_expect("City"));
+        // ϕ2's proof positive fails (Karcag is not the work city); proof
+        // negative is blocked by the mark.
+        let result = apply_rule(&ctx, &rules[1], &mut r1, &ApplyOptions::default());
+        assert_eq!(result, RuleApplication::NotApplicable);
+        assert_eq!(r1.get(schema.attr_expect("City")), "Karcag");
+    }
+
+    /// A rule whose every marked column is already positive does nothing.
+    #[test]
+    fn fully_marked_rule_is_not_applicable() {
+        let (kb, rules) = setup();
+        let ctx = MatchContext::new(&kb);
+        let schema = nobel_schema();
+        let mut r1 = table1_dirty().tuple(0).clone();
+        for col in ["Name", "DOB", "Institution"] {
+            r1.mark_positive(schema.attr_expect(col));
+        }
+        let result = apply_rule(&ctx, &rules[0], &mut r1, &ApplyOptions::default());
+        assert_eq!(result, RuleApplication::NotApplicable);
+    }
+
+    /// No evidence match at all: not applicable.
+    #[test]
+    fn unknown_person_not_applicable() {
+        let (kb, rules) = setup();
+        let ctx = MatchContext::new(&kb);
+        let mut t = dr_relation::Tuple::from_strs(&[
+            "Dmitri Unknown",
+            "1900-01-01",
+            "Atlantis",
+            "Fields Medal",
+            "Unseen University",
+            "Ankh-Morpork",
+        ]);
+        for rule in &rules {
+            let result = apply_rule(&ctx, rule, &mut t, &ApplyOptions::default());
+            assert_eq!(result, RuleApplication::NotApplicable, "{}", rule.name());
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Tests for the auxiliary-node extension (§II-C's "negative path" remark):
+//! rules whose positive or negative semantics route through KB entities
+//! that are not table columns.
+
+use dr_core::fixtures::{nobel_schema, table1_dirty};
+use dr_core::graph::schema::NodeType;
+use dr_core::rule::{node, DetectiveRule, RuleEdge, RuleError, RuleNodeRef};
+use dr_core::{apply_rule, ApplyOptions, MatchContext, RuleApplication};
+use dr_kb::fixtures::{names, nobel_mini_kb};
+use dr_kb::KnowledgeBase;
+use dr_simmatch::SimFn;
+
+fn class(kb: &KnowledgeBase, name: &str) -> NodeType {
+    NodeType::Class(kb.class_named(name).unwrap())
+}
+
+fn edge(from: RuleNodeRef, rel: dr_kb::PredId, to: RuleNodeRef) -> RuleEdge {
+    RuleEdge { from, to, rel }
+}
+
+/// ϕ2 without the Institution column: the work city is reached through an
+/// auxiliary organization node (positive *path*).
+fn city_rule_via_aux(kb: &KnowledgeBase) -> DetectiveRule {
+    use RuleNodeRef::{Aux, Evidence, Negative, Positive};
+    let schema = nobel_schema();
+    DetectiveRule::with_aux(
+        "city-via-aux",
+        vec![node(
+            schema.attr_expect("Name"),
+            class(kb, names::LAUREATE),
+            SimFn::Equal,
+        )],
+        vec![class(kb, names::ORGANIZATION)],
+        node(schema.attr_expect("City"), class(kb, names::CITY), SimFn::Equal),
+        node(schema.attr_expect("City"), class(kb, names::CITY), SimFn::Equal),
+        vec![
+            edge(Evidence(0), kb.pred_named(names::WORKS_AT).unwrap(), Aux(0)),
+            edge(Aux(0), kb.pred_named(names::LOCATED_IN).unwrap(), Positive),
+            edge(Evidence(0), kb.pred_named(names::BORN_IN).unwrap(), Negative),
+        ],
+    )
+    .expect("aux rule valid")
+}
+
+#[test]
+fn positive_path_repairs_r1_without_institution_column() {
+    let kb = nobel_mini_kb();
+    let ctx = MatchContext::new(&kb);
+    let schema = nobel_schema();
+    let rule = city_rule_via_aux(&kb);
+    let mut r1 = table1_dirty().tuple(0).clone();
+    match apply_rule(&ctx, &rule, &mut r1, &ApplyOptions::default()) {
+        RuleApplication::Repaired { old, new, .. } => {
+            assert_eq!(old, "Karcag");
+            assert_eq!(new, "Haifa");
+        }
+        other => panic!("expected repair, got {other:?}"),
+    }
+    assert_eq!(r1.get(schema.attr_expect("City")), "Haifa");
+    // The Institution column was never consulted — only Name is evidence.
+    assert!(!r1.is_positive(schema.attr_expect("Institution")));
+}
+
+#[test]
+fn positive_path_multi_version_for_calvin() {
+    let kb = nobel_mini_kb();
+    let ctx = MatchContext::new(&kb);
+    let rule = city_rule_via_aux(&kb);
+    let mut r4 = table1_dirty().tuple(3).clone();
+    match apply_rule(&ctx, &rule, &mut r4, &ApplyOptions::default()) {
+        RuleApplication::Repaired { candidates, .. } => {
+            // Both workplaces' cities are valid repairs.
+            assert_eq!(candidates, vec!["Berkeley".to_owned(), "Manchester".to_owned()]);
+        }
+        other => panic!("expected repair, got {other:?}"),
+    }
+}
+
+/// A negative *path*: City holds the city of the alma mater, reached via
+/// graduatedFrom ∘ locatedIn through an auxiliary organization.
+#[test]
+fn negative_path_detects_alma_mater_city() {
+    use RuleNodeRef::{Aux, Evidence, Negative, Positive};
+    let kb = nobel_mini_kb();
+    let ctx = MatchContext::new(&kb);
+    let schema = nobel_schema();
+    let rule = DetectiveRule::with_aux(
+        "city-alma-mater-confusion",
+        vec![node(
+            schema.attr_expect("Name"),
+            class(&kb, names::LAUREATE),
+            SimFn::Equal,
+        )],
+        vec![class(&kb, names::ORGANIZATION), class(&kb, names::ORGANIZATION)],
+        node(schema.attr_expect("City"), class(&kb, names::CITY), SimFn::Equal),
+        node(schema.attr_expect("City"), class(&kb, names::CITY), SimFn::Equal),
+        vec![
+            edge(Evidence(0), kb.pred_named(names::WORKS_AT).unwrap(), Aux(0)),
+            edge(Aux(0), kb.pred_named(names::LOCATED_IN).unwrap(), Positive),
+            edge(
+                Evidence(0),
+                kb.pred_named(names::GRADUATED_FROM).unwrap(),
+                Aux(1),
+            ),
+            edge(Aux(1), kb.pred_named(names::LOCATED_IN).unwrap(), Negative),
+        ],
+    )
+    .expect("negative-path rule valid");
+
+    // Calvin's Table-I City is "St. Paul" — exactly the city of his alma
+    // mater (University of Minnesota): the negative path matches.
+    let mut r4 = table1_dirty().tuple(3).clone();
+    match apply_rule(&ctx, &rule, &mut r4, &ApplyOptions::default()) {
+        RuleApplication::Repaired { old, candidates, .. } => {
+            assert_eq!(old, "St. Paul");
+            assert_eq!(candidates, vec!["Berkeley".to_owned(), "Manchester".to_owned()]);
+        }
+        other => panic!("expected negative-path repair, got {other:?}"),
+    }
+}
+
+#[test]
+fn aux_validation_catches_errors() {
+    use RuleNodeRef::{Aux, Evidence, Negative, Positive};
+    let kb = nobel_mini_kb();
+    let schema = nobel_schema();
+    let name_node = node(
+        schema.attr_expect("Name"),
+        class(&kb, names::LAUREATE),
+        SimFn::Equal,
+    );
+    let city_node = node(schema.attr_expect("City"), class(&kb, names::CITY), SimFn::Equal);
+    let works_at = kb.pred_named(names::WORKS_AT).unwrap();
+    let located_in = kb.pred_named(names::LOCATED_IN).unwrap();
+    let born_in = kb.pred_named(names::BORN_IN).unwrap();
+
+    // Aux index out of range.
+    let err = DetectiveRule::with_aux(
+        "bad-index",
+        vec![name_node],
+        vec![class(&kb, names::ORGANIZATION)],
+        city_node,
+        city_node,
+        vec![
+            edge(Evidence(0), works_at, Aux(7)),
+            edge(Aux(7), located_in, Positive),
+            edge(Evidence(0), born_in, Negative),
+        ],
+    )
+    .unwrap_err();
+    assert_eq!(err, RuleError::BadAuxIndex(7));
+
+    // Dangling aux (declared, never used).
+    let err = DetectiveRule::with_aux(
+        "dangling",
+        vec![name_node],
+        vec![class(&kb, names::ORGANIZATION), class(&kb, names::CITY)],
+        city_node,
+        city_node,
+        vec![
+            edge(Evidence(0), works_at, Aux(0)),
+            edge(Aux(0), located_in, Positive),
+            edge(Evidence(0), born_in, Negative),
+        ],
+    )
+    .unwrap_err();
+    assert_eq!(err, RuleError::DanglingAux(1));
+
+    // Positive side disconnected: p only reachable through an aux that has
+    // no link back to the evidence.
+    let err = DetectiveRule::with_aux(
+        "disconnected",
+        vec![name_node],
+        vec![class(&kb, names::ORGANIZATION)],
+        city_node,
+        city_node,
+        vec![
+            edge(Aux(0), located_in, Positive),
+            edge(Evidence(0), born_in, Negative),
+        ],
+    )
+    .unwrap_err();
+    assert!(matches!(err, RuleError::BadPositiveSide(_)), "{err:?}");
+}
+
+#[test]
+fn basic_and_fast_agree_with_aux_rules() {
+    let kb = nobel_mini_kb();
+    let ctx = MatchContext::new(&kb);
+    let rules = vec![city_rule_via_aux(&kb)];
+
+    let mut via_basic = table1_dirty();
+    dr_core::basic_repair(&ctx, &rules, &mut via_basic, &ApplyOptions::default());
+    let mut via_fast = table1_dirty();
+    dr_core::fast_repair(&ctx, &rules, &mut via_fast, &ApplyOptions::default());
+    for cell in via_basic.cell_refs() {
+        assert_eq!(via_basic.value(cell), via_fast.value(cell));
+    }
+}
+
+#[test]
+fn render_shows_aux_nodes() {
+    let kb = nobel_mini_kb();
+    let schema = nobel_schema();
+    let rule = city_rule_via_aux(&kb);
+    let text = rule.render(&kb, &schema);
+    assert!(text.contains("aux0"), "{text}");
+    assert!(text.contains("organization"), "{text}");
+}

@@ -1,0 +1,52 @@
+//! Property tests for consistency analysis: any subset of a consistent rule
+//! set stays consistent, and the checker's verdict is order-stable.
+
+use dr_core::fixtures::{figure4_rules, table1_dirty};
+use dr_core::rule::consistency::{check_consistency, ConsistencyOptions};
+use dr_core::MatchContext;
+use dr_kb::fixtures::nobel_mini_kb;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every subset and permutation of the Figure-4 rules is consistent on
+    /// Table I (subsets of a consistent set cannot introduce divergence).
+    #[test]
+    fn subsets_of_consistent_rules_stay_consistent(
+        mask in 1u8..16,
+        seed in 0u64..1_000,
+    ) {
+        let kb = nobel_mini_kb();
+        let all = figure4_rules(&kb);
+        let rules: Vec<_> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, r)| r.clone())
+            .collect();
+        let ctx = MatchContext::new(&kb);
+        let opts = ConsistencyOptions {
+            seed,
+            ..Default::default()
+        };
+        let verdict = check_consistency(&ctx, &rules, &table1_dirty(), &opts);
+        prop_assert!(verdict.is_consistent(), "mask {mask:#06b}: {verdict:?}");
+    }
+
+    /// The checker's verdict does not depend on its sampling seed for a
+    /// consistent set (no false positives from sampling).
+    #[test]
+    fn verdict_is_seed_stable(seed in 0u64..10_000) {
+        let kb = nobel_mini_kb();
+        let rules = figure4_rules(&kb);
+        let ctx = MatchContext::new(&kb);
+        let opts = ConsistencyOptions {
+            seed,
+            random_orders: 3,
+            ..Default::default()
+        };
+        let verdict = check_consistency(&ctx, &rules, &table1_dirty(), &opts);
+        prop_assert!(verdict.is_consistent());
+    }
+}

@@ -1,0 +1,64 @@
+//! Thread-safety of the shared match context: concurrent lazy index builds
+//! must race safely and answer identically.
+
+use dr_core::graph::schema::NodeType;
+use dr_core::MatchContext;
+use dr_kb::{KbBuilder, KnowledgeBase};
+use dr_simmatch::SimFn;
+
+/// A KB with enough instances that index construction takes real time,
+/// widening the race window.
+fn sizable_kb() -> KnowledgeBase {
+    let mut b = KbBuilder::new();
+    let city = b.class("city");
+    let org = b.class("organization");
+    let located_in = b.pred("locatedIn");
+    for i in 0..500 {
+        let c = b.instance(&format!("City Number {i}"));
+        b.set_type(c, city);
+        let o = b.instance(&format!("Organization Number {i}"));
+        b.set_type(o, org);
+        b.edge(o, located_in, c);
+    }
+    b.finalize().unwrap()
+}
+
+#[test]
+fn concurrent_candidate_lookups_agree() {
+    let kb = sizable_kb();
+    let ctx = MatchContext::new(&kb);
+    let city = NodeType::Class(kb.class_named("city").unwrap());
+    let org = NodeType::Class(kb.class_named("organization").unwrap());
+
+    // Queries across several (type, sim) pairs, hammered from 8 threads
+    // while the indexes are still cold.
+    let queries: Vec<(NodeType, SimFn, String)> = (0..40)
+        .map(|i| (city, SimFn::Equal, format!("City Number {i}")))
+        .chain((0..40).map(|i| (org, SimFn::EditDistance(2), format!("Organization Numbr {i}"))))
+        .collect();
+
+    let expected: Vec<usize> = queries
+        .iter()
+        .map(|(ty, sim, q)| MatchContext::new(&kb).candidates(*ty, *sim, q).len())
+        .collect();
+    // Sanity: the fuzzy queries actually match something.
+    assert!(expected.iter().all(|&n| n >= 1));
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..8 {
+            let ctx = &ctx;
+            let queries = &queries;
+            let expected = &expected;
+            scope.spawn(move |_| {
+                for ((ty, sim, q), &want) in queries.iter().zip(expected) {
+                    let got = ctx.candidates(*ty, *sim, q).len();
+                    assert_eq!(got, want, "query {q:?} under {sim}");
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    // Exactly one index per (type, sim) pair survives the race.
+    assert_eq!(ctx.index_count(), 2);
+}

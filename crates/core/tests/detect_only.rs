@@ -1,0 +1,136 @@
+//! Tests for detection-without-repair (§II-C case (2) before correction):
+//! when the negative semantics matches but the KB holds no repair instance,
+//! the rule can still mark the evidence correct and flag the cell wrong.
+
+use dr_core::graph::schema::NodeType;
+use dr_core::rule::{node, DetectiveRule, RuleEdge, RuleNodeRef};
+use dr_core::{apply_rule, ApplyOptions, MatchContext, RuleApplication};
+use dr_kb::KbBuilder;
+use dr_relation::{Schema, Tuple};
+use dr_simmatch::SimFn;
+
+/// A person the KB knows was *born* in a city, with no residence edge at
+/// all — the City column's wrong value can be detected but not corrected.
+fn incomplete_kb() -> dr_kb::KnowledgeBase {
+    let mut b = KbBuilder::new();
+    let person = b.class("person");
+    let city = b.class("city");
+    let born_in = b.pred("bornIn");
+    let _lives_in = b.pred("livesIn"); // exists as a predicate, no edges
+    let ada = b.instance("Ada Example");
+    let springfield = b.instance("Springfield");
+    b.set_type(ada, person);
+    b.set_type(springfield, city);
+    b.edge(ada, born_in, springfield);
+    b.finalize().unwrap()
+}
+
+fn city_rule(kb: &dr_kb::KnowledgeBase, schema: &Schema) -> DetectiveRule {
+    use RuleNodeRef::{Evidence, Negative, Positive};
+    let person = NodeType::Class(kb.class_named("person").unwrap());
+    let city = NodeType::Class(kb.class_named("city").unwrap());
+    DetectiveRule::new(
+        "city-rule",
+        vec![node(schema.attr_expect("Name"), person, SimFn::Equal)],
+        node(schema.attr_expect("City"), city, SimFn::Equal),
+        node(schema.attr_expect("City"), city, SimFn::Equal),
+        vec![
+            RuleEdge {
+                from: Evidence(0),
+                to: Positive,
+                rel: kb.pred_named("livesIn").unwrap(),
+            },
+            RuleEdge {
+                from: Evidence(0),
+                to: Negative,
+                rel: kb.pred_named("bornIn").unwrap(),
+            },
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn default_options_skip_unrepairable_detection() {
+    let kb = incomplete_kb();
+    let ctx = MatchContext::new(&kb);
+    let schema = Schema::new("R", &["Name", "City"]);
+    let rule = city_rule(&kb, &schema);
+    let mut tuple = Tuple::from_strs(&["Ada Example", "Springfield"]);
+    // Algorithm 1 semantics: no repair instance ⇒ not applicable.
+    let outcome = apply_rule(&ctx, &rule, &mut tuple, &ApplyOptions::default());
+    assert_eq!(outcome, RuleApplication::NotApplicable);
+    assert!(!tuple.is_marked());
+}
+
+#[test]
+fn detect_without_repair_flags_and_marks_evidence() {
+    let kb = incomplete_kb();
+    let ctx = MatchContext::new(&kb);
+    let schema = Schema::new("R", &["Name", "City"]);
+    let rule = city_rule(&kb, &schema);
+    let mut tuple = Tuple::from_strs(&["Ada Example", "Springfield"]);
+    let opts = ApplyOptions {
+        detect_without_repair: true,
+        ..Default::default()
+    };
+    match apply_rule(&ctx, &rule, &mut tuple, &opts) {
+        RuleApplication::DetectedWrong { col, newly_marked } => {
+            assert_eq!(col, schema.attr_expect("City"));
+            assert_eq!(newly_marked, vec![schema.attr_expect("Name")]);
+        }
+        other => panic!("expected detection, got {other:?}"),
+    }
+    // The flagged value is untouched and NOT marked positive.
+    assert_eq!(tuple.get(schema.attr_expect("City")), "Springfield");
+    assert!(!tuple.is_positive(schema.attr_expect("City")));
+    assert!(tuple.is_positive(schema.attr_expect("Name")));
+}
+
+#[test]
+fn detection_requires_the_negative_match() {
+    let kb = incomplete_kb();
+    let ctx = MatchContext::new(&kb);
+    let schema = Schema::new("R", &["Name", "City"]);
+    let rule = city_rule(&kb, &schema);
+    // A city the person was NOT born in: nothing to detect.
+    let mut tuple = Tuple::from_strs(&["Ada Example", "Shelbyville"]);
+    let opts = ApplyOptions {
+        detect_without_repair: true,
+        ..Default::default()
+    };
+    let outcome = apply_rule(&ctx, &rule, &mut tuple, &opts);
+    assert_eq!(outcome, RuleApplication::NotApplicable);
+}
+
+#[test]
+fn repairable_cases_still_repair_with_detection_enabled() {
+    // Extend the KB with a residence edge: the same rule must now repair.
+    let mut b = KbBuilder::new();
+    let person = b.class("person");
+    let city = b.class("city");
+    let born_in = b.pred("bornIn");
+    let lives_in = b.pred("livesIn");
+    let ada = b.instance("Ada Example");
+    let springfield = b.instance("Springfield");
+    let capital = b.instance("Capital City");
+    b.set_type(ada, person);
+    b.set_type(springfield, city);
+    b.set_type(capital, city);
+    b.edge(ada, born_in, springfield);
+    b.edge(ada, lives_in, capital);
+    let kb = b.finalize().unwrap();
+
+    let ctx = MatchContext::new(&kb);
+    let schema = Schema::new("R", &["Name", "City"]);
+    let rule = city_rule(&kb, &schema);
+    let mut tuple = Tuple::from_strs(&["Ada Example", "Springfield"]);
+    let opts = ApplyOptions {
+        detect_without_repair: true,
+        ..Default::default()
+    };
+    match apply_rule(&ctx, &rule, &mut tuple, &opts) {
+        RuleApplication::Repaired { new, .. } => assert_eq!(new, "Capital City"),
+        other => panic!("expected repair, got {other:?}"),
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for rule-order selection: on randomly generated rule
+//! sets, the check order must be a topological order of the condensation,
+//! and SCCs must partition the rules.
+
+use dr_core::graph::schema::NodeType;
+use dr_core::repair::rule_graph::RuleGraph;
+use dr_core::rule::{node, DetectiveRule, RuleEdge, RuleNodeRef};
+use dr_kb::fixtures::nobel_mini_kb;
+use dr_relation::{AttrId, Schema};
+use dr_simmatch::SimFn;
+use proptest::prelude::*;
+
+/// Builds a synthetic rule over a wide schema: evidence column `ev`,
+/// repaired column `target`. The KB types/preds are fixed (they do not
+/// matter for graph structure).
+fn synthetic_rule(
+    kb: &dr_kb::KnowledgeBase,
+    schema: &Schema,
+    name: String,
+    ev: usize,
+    target: usize,
+) -> DetectiveRule {
+    let laureate = NodeType::Class(kb.class_named("Nobel laureates in Chemistry").unwrap());
+    let city = NodeType::Class(kb.class_named("city").unwrap());
+    let works_at = kb.pred_named("worksAt").unwrap();
+    let born_in = kb.pred_named("wasBornIn").unwrap();
+    let ev_node = node(AttrId::from_index(ev), laureate, SimFn::Equal);
+    let target_node = node(AttrId::from_index(target), city, SimFn::Equal);
+    let _ = schema;
+    DetectiveRule::new(
+        name,
+        vec![ev_node],
+        target_node,
+        target_node,
+        vec![
+            RuleEdge {
+                from: RuleNodeRef::Evidence(0),
+                to: RuleNodeRef::Positive,
+                rel: works_at,
+            },
+            RuleEdge {
+                from: RuleNodeRef::Evidence(0),
+                to: RuleNodeRef::Negative,
+                rel: born_in,
+            },
+        ],
+    )
+    .expect("synthetic rule valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn check_order_is_topological(
+        // Each rule: (evidence column, target column), over 8 columns.
+        specs in prop::collection::vec((0usize..8, 0usize..8), 1..12),
+    ) {
+        let kb = nobel_mini_kb();
+        let cols: Vec<String> = (0..8).map(|i| format!("C{i}")).collect();
+        let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        let schema = Schema::new("W", &col_refs);
+
+        let rules: Vec<DetectiveRule> = specs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(ev, target))| ev != target) // repair col ∉ evidence
+            .map(|(i, &(ev, target))| {
+                synthetic_rule(&kb, &schema, format!("r{i}"), ev, target)
+            })
+            .collect();
+        prop_assume!(!rules.is_empty());
+
+        let graph = RuleGraph::build(&rules);
+        let order = graph.check_order();
+
+        // 1. The groups partition the rule set.
+        let mut seen = vec![false; rules.len()];
+        for group in &order {
+            for &r in group {
+                prop_assert!(!seen[r], "rule {r} appears twice");
+                seen[r] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "every rule appears");
+
+        // 2. Cross-group edges only point forward.
+        let group_of = |r: usize| order.iter().position(|g| g.contains(&r)).unwrap();
+        for (i, _) in rules.iter().enumerate() {
+            for &j in graph.successors(i) {
+                prop_assert!(
+                    group_of(i) <= group_of(j),
+                    "edge {i}→{j} goes backwards in the order"
+                );
+            }
+        }
+
+        // 3. Every SCC member reaches every other member (mutual
+        //    reachability) — verified by BFS within the full graph.
+        for group in &order {
+            if group.len() < 2 {
+                continue;
+            }
+            for &a in group {
+                for &b in group {
+                    prop_assert!(reaches(&graph, a, b), "{a} cannot reach {b} in its SCC");
+                }
+            }
+        }
+    }
+}
+
+fn reaches(graph: &RuleGraph, from: usize, to: usize) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut seen = vec![false; graph.len()];
+    let mut stack = vec![from];
+    seen[from] = true;
+    while let Some(v) = stack.pop() {
+        for &w in graph.successors(v) {
+            if w == to {
+                return true;
+            }
+            if !seen[w] {
+                seen[w] = true;
+                stack.push(w);
+            }
+        }
+    }
+    false
+}

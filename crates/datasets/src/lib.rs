@@ -1,0 +1,29 @@
+//! # dr-datasets — synthetic evaluation workloads
+//!
+//! Generators for the paper's three datasets and the two KB flavors they
+//! are cleaned against (§V-A):
+//!
+//! * [`nobel`] — 1069-tuple laureate relation (Table I schema) + 5 DRs;
+//! * [`uis`] — UIS-style person/address records, scalable to 100K tuples,
+//!   + 5 DRs;
+//! * [`webtables`] — 37 small, heterogeneous, originally-dirty Web tables
+//!   + ~50 DRs;
+//! * [`profile`] — Yago-like (deep taxonomy, high coverage) vs DBpedia-like
+//!   (flat, lower coverage) KB generation knobs.
+//!
+//! Every generator is a pure function of its seed.
+
+#![warn(missing_docs)]
+
+pub mod alignment;
+pub mod names;
+pub mod nobel;
+pub mod uis;
+pub mod webtables;
+pub mod profile;
+
+pub use alignment::{alignment, AlignmentStats};
+pub use nobel::NobelWorld;
+pub use uis::UisWorld;
+pub use webtables::WebTablesWorld;
+pub use profile::{KbFlavor, KbProfile};

@@ -1,0 +1,183 @@
+//! Deterministic synthetic name pools.
+//!
+//! The generators need large pools of distinct, human-looking entity names —
+//! people, cities, countries, streets — whose composition is a pure function
+//! of an index. Syllable concatenation gives pronounceable, collision-free
+//! names without shipping word lists.
+
+/// Onset syllables for place-like names.
+const PLACE_ONSETS: &[&str] = &[
+    "Bar", "Cal", "Dor", "El", "Fen", "Gar", "Hal", "Ist", "Jor", "Kel", "Lun", "Mar", "Nor",
+    "Or", "Pel", "Quin", "Ros", "Sal", "Tor", "Ul", "Ver", "Wil", "Xan", "Yor", "Zel",
+];
+
+/// Middle syllables.
+const PLACE_MIDDLES: &[&str] = &[
+    "a", "ba", "da", "en", "go", "i", "ka", "lo", "ma", "ne", "o", "pa", "ri", "sa", "ti", "u",
+];
+
+/// Coda syllables for place-like names.
+const PLACE_CODAS: &[&str] = &[
+    "burg", "by", "dale", "field", "ford", "grad", "ham", "holm", "mont", "mouth", "port",
+    "stad", "ton", "ville", "wick", "worth",
+];
+
+/// First names for person pools.
+const FIRST_NAMES: &[&str] = &[
+    "Ada", "Boris", "Clara", "Dmitri", "Elena", "Farid", "Greta", "Hugo", "Irene", "Jonas",
+    "Karin", "Lars", "Mira", "Nils", "Olga", "Pavel", "Quentin", "Rosa", "Stefan", "Tania",
+    "Ulrich", "Vera", "Walter", "Xenia", "Yusuf", "Zelda", "Anton", "Beatrix", "Casimir",
+    "Daphne", "Edmund", "Felicia", "Gustav", "Henrietta", "Ivan", "Jolanda", "Konrad", "Lydia",
+    "Magnus", "Nadia",
+];
+
+/// Last names for person pools.
+const LAST_NAMES: &[&str] = &[
+    "Abernathy", "Bergström", "Calloway", "Drummond", "Eriksson", "Falkenrath", "Grimaldi",
+    "Holloway", "Ivanov", "Jankowski", "Kowalczyk", "Lindqvist", "Montague", "Novak",
+    "Oppenheim", "Petrov", "Quimby", "Rasmussen", "Sokolov", "Thorvald", "Ulanov", "Vasquez",
+    "Whitfield", "Xanthos", "Yamamoto", "Zielinski", "Ashworth", "Blackwood", "Castellan",
+    "Davenport", "Engelhardt", "Fitzgerald", "Granger", "Huxley", "Ingram", "Jefferson",
+    "Kellerman", "Langley", "Mansfield", "Northcott", "Ostrander", "Pemberton", "Quillfeather",
+    "Rothschild", "Silverstein", "Templeton", "Underwood", "Vandermeer", "Wainwright",
+    "Yarborough",
+];
+
+/// The `i`-th synthetic place name (distinct for distinct `i`).
+pub fn place_name(i: usize) -> String {
+    let onset = PLACE_ONSETS[i % PLACE_ONSETS.len()];
+    let rest = i / PLACE_ONSETS.len();
+    let coda = PLACE_CODAS[rest % PLACE_CODAS.len()];
+    let deeper = rest / PLACE_CODAS.len();
+    if deeper == 0 {
+        format!("{onset}{coda}")
+    } else {
+        let middle = PLACE_MIDDLES[(deeper - 1) % PLACE_MIDDLES.len()];
+        let suffix = (deeper - 1) / PLACE_MIDDLES.len();
+        if suffix == 0 {
+            format!("{onset}{middle}{coda}")
+        } else {
+            format!("{onset}{middle}{coda} {suffix}")
+        }
+    }
+}
+
+/// The `i`-th synthetic person name (distinct for distinct `i`).
+pub fn person_name(i: usize) -> String {
+    let first = FIRST_NAMES[i % FIRST_NAMES.len()];
+    let rest = i / FIRST_NAMES.len();
+    let last = LAST_NAMES[rest % LAST_NAMES.len()];
+    let suffix = rest / LAST_NAMES.len();
+    if suffix == 0 {
+        format!("{first} {last}")
+    } else {
+        // Beyond 2000 combinations, disambiguate with a roman-like ordinal.
+        format!("{first} {last} {}", ordinal(suffix))
+    }
+}
+
+fn ordinal(mut n: usize) -> String {
+    // Small roman numerals are enough (pools are large).
+    const PAIRS: &[(usize, &str)] = &[
+        (100, "C"),
+        (90, "XC"),
+        (50, "L"),
+        (40, "XL"),
+        (10, "X"),
+        (9, "IX"),
+        (5, "V"),
+        (4, "IV"),
+        (1, "I"),
+    ];
+    let mut out = String::new();
+    for &(value, glyph) in PAIRS {
+        while n >= value {
+            out.push_str(glyph);
+            n -= value;
+        }
+    }
+    out
+}
+
+/// A synthetic ISO-like date derived from `i`, in `YYYY-MM-DD` form.
+pub fn date(i: usize) -> String {
+    let year = 1880 + (i * 7) % 120;
+    let month = 1 + (i * 11) % 12;
+    let day = 1 + (i * 17) % 28;
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
+/// A synthetic 9-digit SSN-like identifier derived from `i`.
+pub fn ssn(i: usize) -> String {
+    let a = 100 + (i * 37) % 900;
+    let b = 10 + (i * 53) % 90;
+    let c = 1000 + (i * 7919) % 9000;
+    format!("{a:03}-{b:02}-{c:04}")
+}
+
+/// A synthetic street address derived from `i`.
+pub fn street(i: usize) -> String {
+    const KINDS: &[&str] = &["St", "Ave", "Blvd", "Rd", "Ln"];
+    let number = 1 + (i * 13) % 9900;
+    let name = place_name(i / 3 + 7);
+    let kind = KINDS[i % KINDS.len()];
+    format!("{number} {name} {kind}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_kb::FxHashSet;
+
+    #[test]
+    fn place_names_are_distinct() {
+        let mut seen = FxHashSet::default();
+        for i in 0..5000 {
+            assert!(seen.insert(place_name(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn person_names_are_distinct() {
+        let mut seen = FxHashSet::default();
+        for i in 0..5000 {
+            assert!(seen.insert(person_name(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn names_are_deterministic() {
+        assert_eq!(person_name(42), person_name(42));
+        assert_eq!(place_name(999), place_name(999));
+    }
+
+    #[test]
+    fn dates_are_plausible() {
+        for i in 0..1000 {
+            let d = date(i);
+            assert_eq!(d.len(), 10);
+            let year: u32 = d[0..4].parse().unwrap();
+            let month: u32 = d[5..7].parse().unwrap();
+            let day: u32 = d[8..10].parse().unwrap();
+            assert!((1880..2001).contains(&year));
+            assert!((1..=12).contains(&month));
+            assert!((1..=28).contains(&day));
+        }
+    }
+
+    #[test]
+    fn ssn_format() {
+        for i in 0..100 {
+            let s = ssn(i);
+            assert_eq!(s.len(), 11);
+            assert_eq!(&s[3..4], "-");
+            assert_eq!(&s[6..7], "-");
+        }
+    }
+
+    #[test]
+    fn streets_have_number_and_kind() {
+        let s = street(17);
+        assert!(s.split(' ').count() >= 3, "{s}");
+    }
+}

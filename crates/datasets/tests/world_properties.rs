@@ -1,0 +1,87 @@
+//! Property tests over the synthetic worlds: the invariants the detective
+//! rules rely on must hold for every size and seed.
+
+use dr_datasets::{KbFlavor, KbProfile, NobelWorld, UisWorld, WebTablesWorld};
+use dr_kb::FxHashSet;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn nobel_world_invariants(n in 10usize..150, seed in 0u64..1_000) {
+        let w = NobelWorld::generate(n, seed);
+        prop_assert_eq!(w.persons.len(), n);
+
+        let mut names = FxHashSet::default();
+        for p in &w.persons {
+            prop_assert!(names.insert(p.name.clone()), "duplicate name {}", p.name);
+            // ϕ3's positive shape: citizenship = country of the work city.
+            let work_city = w.institutions[p.institution].1;
+            prop_assert_eq!(p.citizenship, w.cities[work_city].1);
+            prop_assert_ne!(p.birth_city, work_city);
+            prop_assert_ne!(p.grad_institution, p.institution);
+            prop_assert_ne!(&p.dob, &p.died);
+            prop_assert!(w.prizes[p.prize].1, "main prize must be chemistry");
+            if let Some(second) = p.second_institution {
+                prop_assert_ne!(second, p.institution);
+            }
+            if let Some(other) = p.other_prize {
+                prop_assert!(!w.prizes[other].1, "second prize must be non-chemistry");
+            }
+        }
+    }
+
+    #[test]
+    fn uis_world_invariants(n in 10usize..150, seed in 0u64..1_000) {
+        let w = UisWorld::generate(n, seed);
+        prop_assert_eq!(w.persons.len(), n);
+        for p in &w.persons {
+            prop_assert_ne!(p.home_street, p.work_street);
+            prop_assert_ne!(p.home_city, p.birth_city);
+            prop_assert_ne!(&p.ssn, &p.tax_id);
+            prop_assert!(p.home_city < w.cities.len());
+            prop_assert!(w.cities[p.home_city].1 < w.states.len());
+            prop_assert!(w.cities[p.home_city].2 < w.zips.len());
+        }
+    }
+
+    #[test]
+    fn kb_generation_respects_full_coverage(seed in 0u64..200) {
+        // coverage 1.0 + dropout 0.0 ⇒ every person has every edge.
+        let w = NobelWorld::generate(30, seed);
+        let profile = KbProfile {
+            flavor: KbFlavor::YagoLike,
+            entity_coverage: 1.0,
+            edge_dropout: 0.0,
+            seed,
+        };
+        let kb = w.kb(&profile);
+        let works_at = kb.pred_named("worksAt").unwrap();
+        let born_in = kb.pred_named("wasBornIn").unwrap();
+        for p in &w.persons {
+            let ids = kb.instances_labeled(&p.name);
+            prop_assert_eq!(ids.len(), 1, "{}", p.name);
+            prop_assert!(!kb.objects(ids[0], works_at).is_empty());
+            prop_assert!(!kb.objects(ids[0], born_in).is_empty());
+        }
+    }
+
+    #[test]
+    fn webtables_dirt_respects_ground_truth_shape(seed in 0u64..100) {
+        let w = WebTablesWorld::generate(seed);
+        for table in &w.tables {
+            prop_assert_eq!(table.clean.len(), table.dirty.len(), "{}", table.name);
+            prop_assert_eq!(
+                table.clean.schema().arity(),
+                table.dirty.schema().arity(),
+                "{}", table.name
+            );
+            // Keys are never dirtied.
+            let key = dr_relation::AttrId::from_index(0);
+            for (c, d) in table.clean.tuples().iter().zip(table.dirty.tuples()) {
+                prop_assert_eq!(c.get(key), d.get(key));
+            }
+        }
+    }
+}

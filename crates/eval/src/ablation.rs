@@ -1,0 +1,204 @@
+//! Quality ablations for the design choices beyond raw speed (the speed
+//! ablations live in `dr-bench`):
+//!
+//! * **Typo normalization** (DESIGN.md extensions) — disabling
+//!   `normalize_fuzzy` shows how much recall the paper's "repair to the most
+//!   similar candidate" behaviour is worth on a typo-heavy workload.
+//! * **Detection without repair** (§II-C case (2)) — enabling
+//!   `detect_without_repair` shows the extra annotation (#-POS) available
+//!   when the KB can prove a value wrong but offers no correction.
+
+use crate::metrics::{evaluate, Quality, RepairExtras};
+use dr_core::repair::fast::FastRepairer;
+use dr_core::{ApplyOptions, MatchContext};
+use dr_datasets::{KbProfile, NobelWorld, UisWorld};
+use dr_relation::noise::{inject, NoiseSpec};
+
+/// One ablation measurement.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub config: String,
+    /// Quality against ground truth.
+    pub quality: Quality,
+    /// Cells marked positive.
+    pub pos: usize,
+    /// Cells flagged wrong without a repair (detection mode only).
+    pub flagged: usize,
+}
+
+/// Ablation sizes and seeds.
+#[derive(Debug, Clone)]
+pub struct AblationConfig {
+    /// Tuple count.
+    pub size: usize,
+    /// Error rate.
+    pub error_rate: f64,
+    /// Typo share of the injected errors.
+    pub typo_share: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for AblationConfig {
+    fn default() -> Self {
+        Self {
+            size: 1_000,
+            error_rate: 0.10,
+            typo_share: 0.5,
+            seed: 47,
+        }
+    }
+}
+
+fn run_with_options(
+    kb: &dr_kb::KnowledgeBase,
+    rules: &[dr_core::DetectiveRule],
+    clean: &dr_relation::Relation,
+    dirty: &dr_relation::Relation,
+    label: &str,
+    opts: &ApplyOptions,
+) -> AblationRow {
+    let ctx = MatchContext::new(kb);
+    let mut working = dirty.clone();
+    let report = FastRepairer::new(rules).repair_relation(&ctx, &mut working, opts);
+    let extras = RepairExtras::from_report(&report);
+    let flagged = report
+        .tuples
+        .iter()
+        .flat_map(|t| &t.steps)
+        .filter(|s| matches!(s.application, dr_core::RuleApplication::DetectedWrong { .. }))
+        .count();
+    AblationRow {
+        config: label.to_owned(),
+        quality: evaluate(clean, dirty, &working, &extras),
+        pos: working.positive_count(),
+        flagged,
+    }
+}
+
+/// Normalization ablation on a typo-heavy Nobel workload.
+pub fn normalization_ablation(cfg: &AblationConfig) -> Vec<AblationRow> {
+    let world = NobelWorld::generate(cfg.size, cfg.seed);
+    let clean = world.clean_relation();
+    let name = clean.schema().attr_expect("Name");
+    let (dirty, _) = inject(
+        &clean,
+        &NoiseSpec::new(cfg.error_rate, cfg.seed)
+            .with_typo_share(cfg.typo_share)
+            .with_excluded(vec![name]),
+        &world.semantic_source(),
+    );
+    let kb = world.kb(&KbProfile::yago());
+    let rules = NobelWorld::rules(&kb);
+    vec![
+        run_with_options(
+            &kb,
+            &rules,
+            &clean,
+            &dirty,
+            "normalize_fuzzy=on (default)",
+            &ApplyOptions::default(),
+        ),
+        run_with_options(
+            &kb,
+            &rules,
+            &clean,
+            &dirty,
+            "normalize_fuzzy=off",
+            &ApplyOptions {
+                normalize_fuzzy: false,
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
+/// Detection-without-repair ablation on a sparse UIS KB: positive edges
+/// are frequently missing, so the negative semantics often matches with no
+/// correction available — exactly the situation §II-C case (2) covers.
+pub fn detection_ablation(cfg: &AblationConfig) -> Vec<AblationRow> {
+    let world = UisWorld::generate(cfg.size, cfg.seed);
+    let clean = world.clean_relation();
+    let name = clean.schema().attr_expect("Name");
+    let (dirty, _) = inject(
+        &clean,
+        &NoiseSpec::new(cfg.error_rate, cfg.seed)
+            .with_typo_share(cfg.typo_share)
+            .with_excluded(vec![name]),
+        &world.semantic_source(),
+    );
+    let mut profile = KbProfile::dbpedia();
+    profile.edge_dropout = 0.35; // a very incomplete KB
+    let kb = world.kb(&profile);
+    let rules = UisWorld::rules(&kb);
+    vec![
+        run_with_options(
+            &kb,
+            &rules,
+            &clean,
+            &dirty,
+            "detect_without_repair=off (default)",
+            &ApplyOptions::default(),
+        ),
+        run_with_options(
+            &kb,
+            &rules,
+            &clean,
+            &dirty,
+            "detect_without_repair=on",
+            &ApplyOptions {
+                detect_without_repair: true,
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> AblationConfig {
+        AblationConfig {
+            size: 200,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn normalization_buys_recall_on_typos() {
+        let cfg = AblationConfig {
+            typo_share: 1.0, // all typos: normalization is the only repair path
+            ..tiny()
+        };
+        let rows = normalization_ablation(&cfg);
+        assert_eq!(rows.len(), 2);
+        let on = &rows[0];
+        let off = &rows[1];
+        assert!(
+            on.quality.recall > off.quality.recall + 0.2,
+            "normalization should dominate on typos: on {:?} vs off {:?}",
+            on.quality,
+            off.quality
+        );
+        // Without normalization, typos are never *rewritten*.
+        assert_eq!(off.quality.repaired, 0);
+    }
+
+    #[test]
+    fn detection_flags_unrepairable_errors_without_hurting_precision() {
+        let rows = detection_ablation(&tiny());
+        let off = &rows[0];
+        let on = &rows[1];
+        assert_eq!(off.flagged, 0, "default mode never flags");
+        assert!(
+            on.flagged > 0,
+            "a 35%-dropout KB leaves detectable-but-unrepairable errors"
+        );
+        assert!(on.pos >= off.pos, "detection can only add marks");
+        // Repair quality is untouched (detection never rewrites values).
+        assert_eq!(on.quality.repaired, off.quality.repaired);
+        assert_eq!(on.quality.correct, off.quality.correct);
+    }
+}

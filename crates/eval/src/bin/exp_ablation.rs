@@ -1,0 +1,62 @@
+//! Quality ablations (see `dr_eval::ablation`): what typo normalization and
+//! detection-without-repair are worth.
+//!
+//! Usage: `cargo run -p dr-eval --bin exp_ablation --release [-- --quick]`
+
+use dr_eval::ablation::{detection_ablation, normalization_ablation, AblationConfig};
+use dr_eval::report::{f3, render_table};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = AblationConfig {
+        size: if quick { 200 } else { 2_000 },
+        ..Default::default()
+    };
+
+    let typo_cfg = AblationConfig {
+        typo_share: 1.0,
+        ..cfg.clone()
+    };
+    let rows: Vec<Vec<String>> = normalization_ablation(&typo_cfg)
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.clone(),
+                f3(r.quality.precision),
+                f3(r.quality.recall),
+                f3(r.quality.f_measure),
+                r.pos.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "ABLATION: TYPO NORMALIZATION (Nobel, 100% typos)",
+            &["config", "Precision", "Recall", "F-measure", "#-POS"],
+            &rows,
+        )
+    );
+
+    let rows: Vec<Vec<String>> = detection_ablation(&cfg)
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.clone(),
+                f3(r.quality.precision),
+                f3(r.quality.recall),
+                f3(r.quality.f_measure),
+                r.pos.to_string(),
+                r.flagged.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "ABLATION: DETECTION WITHOUT REPAIR (UIS, sparse KB)",
+            &["config", "Precision", "Recall", "F-measure", "#-POS", "#-flagged"],
+            &rows,
+        )
+    );
+}

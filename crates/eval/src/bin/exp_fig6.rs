@@ -1,0 +1,60 @@
+//! Regenerates **Figure 6**: precision / recall / F-measure vs error rate
+//! (4%–20%) on Nobel and UIS for bRepair(Yago), bRepair(DBpedia), Llunatic,
+//! and constant CFDs, with a 50/50 typo/semantic split.
+//!
+//! Usage: `cargo run -p dr-eval --bin exp_fig6 --release [-- --quick]`
+
+use dr_eval::exp2::{error_rate_sweep, Exp2Config, SweepDataset, SweepPoint};
+use dr_eval::report::{f3, render_table};
+use dr_eval::DrAlgo;
+
+fn print_sweep(title: &str, points: &[SweepPoint]) {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}%", p.x * 100.0),
+                p.method.clone(),
+                f3(p.quality.precision),
+                f3(p.quality.recall),
+                f3(p.quality.f_measure),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            title,
+            &["error rate", "method", "Precision", "Recall", "F-measure"],
+            &rows,
+        )
+    );
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (nobel_size, uis_size, algo) = if quick {
+        (200, 300, DrAlgo::Fast)
+    } else {
+        (dr_datasets::nobel::PAPER_SIZE, 5_000, DrAlgo::Basic)
+    };
+    let rates = [0.04, 0.08, 0.12, 0.16, 0.20];
+
+    let cfg = Exp2Config {
+        size: nobel_size,
+        seed: 23,
+        dr_algo: algo,
+    };
+    eprintln!("running Fig 6 Nobel sweep (n={nobel_size})...");
+    let points = error_rate_sweep(SweepDataset::Nobel, &rates, &cfg);
+    print_sweep("FIGURE 6 (a,c,e). EFFECTIVENESS vs ERROR RATE — Nobel", &points);
+
+    let cfg = Exp2Config {
+        size: uis_size,
+        seed: 23,
+        dr_algo: algo,
+    };
+    eprintln!("running Fig 6 UIS sweep (n={uis_size})...");
+    let points = error_rate_sweep(SweepDataset::Uis, &rates, &cfg);
+    print_sweep("FIGURE 6 (b,d,f). EFFECTIVENESS vs ERROR RATE — UIS", &points);
+}

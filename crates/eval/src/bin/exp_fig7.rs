@@ -1,0 +1,59 @@
+//! Regenerates **Figure 7**: precision / recall / F-measure vs typo rate
+//! (0%–100% of a fixed 10% error rate) on Nobel and UIS.
+//!
+//! Usage: `cargo run -p dr-eval --bin exp_fig7 --release [-- --quick]`
+
+use dr_eval::exp2::{typo_rate_sweep, Exp2Config, SweepDataset, SweepPoint};
+use dr_eval::report::{f3, render_table};
+use dr_eval::DrAlgo;
+
+fn print_sweep(title: &str, points: &[SweepPoint]) {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}%", p.x * 100.0),
+                p.method.clone(),
+                f3(p.quality.precision),
+                f3(p.quality.recall),
+                f3(p.quality.f_measure),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            title,
+            &["typo rate", "method", "Precision", "Recall", "F-measure"],
+            &rows,
+        )
+    );
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (nobel_size, uis_size, algo) = if quick {
+        (200, 300, DrAlgo::Fast)
+    } else {
+        (dr_datasets::nobel::PAPER_SIZE, 5_000, DrAlgo::Basic)
+    };
+    let shares = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+    let cfg = Exp2Config {
+        size: nobel_size,
+        seed: 29,
+        dr_algo: algo,
+    };
+    eprintln!("running Fig 7 Nobel sweep (n={nobel_size})...");
+    let points = typo_rate_sweep(SweepDataset::Nobel, &shares, &cfg);
+    print_sweep("FIGURE 7 (a,c,e). EFFECTIVENESS vs TYPO RATE — Nobel", &points);
+
+    let cfg = Exp2Config {
+        size: uis_size,
+        seed: 29,
+        dr_algo: algo,
+    };
+    eprintln!("running Fig 7 UIS sweep (n={uis_size})...");
+    let points = typo_rate_sweep(SweepDataset::Uis, &shares, &cfg);
+    print_sweep("FIGURE 7 (b,d,f). EFFECTIVENESS vs TYPO RATE — UIS", &points);
+}

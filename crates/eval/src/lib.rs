@@ -1,0 +1,26 @@
+//! # dr-eval — experiment harness
+//!
+//! Quality metrics (§V-A) and drivers regenerating **every table and
+//! figure** of the paper's evaluation:
+//!
+//! | paper artifact | module / binary |
+//! |---|---|
+//! | Table II (alignment) | [`exp1::table2`] / `exp_table2` |
+//! | Table III (DRs vs KATARA) | [`exp1::table3`] / `exp_table3` |
+//! | Fig. 6 (vary error rate) | [`exp2::error_rate_sweep`] / `exp_fig6` |
+//! | Fig. 7 (vary typo rate) | [`exp2::typo_rate_sweep`] / `exp_fig7` |
+//! | Fig. 8 (efficiency) | [`exp3`] / `exp_fig8` |
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod coverage;
+pub mod exp1;
+pub mod exp2;
+pub mod exp3;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+
+pub use metrics::{evaluate, evaluate_masked, evaluate_per_column, fmt_quality, Quality, RepairExtras};
+pub use runner::{katara_pattern, run_ccfd, run_drs, run_katara, run_llunatic, DrAlgo, RunOutcome};

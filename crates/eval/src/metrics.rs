@@ -1,0 +1,344 @@
+//! Repair-quality metrics (§V-A "Measuring Quality"):
+//!
+//! > "precision is the ratio of correctly repaired attribute values to the
+//! > number of all the repaired attributes; recall is the ratio of correctly
+//! > repaired attribute values to the number of all erroneous values; and
+//! > F-measure is the harmonic mean of precision and recall."
+//!
+//! Two refinements from the paper are honored: multi-version repairs count
+//! as correct when **any** candidate equals the ground truth, and Llunatic's
+//! lluns (labelled nulls) count **0.5** ("metric 0.5").
+
+use dr_baselines::llunatic::{LlunaticChange, LLUN};
+use dr_core::repair::basic::RelationReport;
+use dr_core::RuleApplication;
+use dr_kb::FxHashMap;
+use dr_relation::{CellRef, Relation};
+
+/// Precision / recall / F-measure plus raw counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quality {
+    /// Correct repairs ÷ all repairs (1.0 when nothing was repaired).
+    pub precision: f64,
+    /// Correct repairs ÷ all erroneous cells (1.0 when nothing was wrong).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f_measure: f64,
+    /// Number of cells the system rewrote.
+    pub repaired: usize,
+    /// Correct-repair mass (fractional because lluns score 0.5).
+    pub correct: f64,
+    /// Number of erroneous cells in the dirty relation.
+    pub errors: usize,
+}
+
+impl Quality {
+    pub(crate) fn from_counts(repaired: usize, correct: f64, errors: usize) -> Self {
+        let precision = if repaired == 0 {
+            1.0
+        } else {
+            correct / repaired as f64
+        };
+        let recall = if errors == 0 {
+            1.0
+        } else {
+            correct / errors as f64
+        };
+        let f_measure = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Self {
+            precision,
+            recall,
+            f_measure,
+            repaired,
+            correct,
+            errors,
+        }
+    }
+}
+
+/// Per-cell extra information extracted from a repair run.
+#[derive(Debug, Clone, Default)]
+pub struct RepairExtras {
+    /// Multi-version candidate sets per repaired cell.
+    pub candidates: FxHashMap<CellRef, Vec<String>>,
+    /// Cells repaired to a llun (count 0.5 each when judging correctness).
+    pub lluns: dr_kb::FxHashSet<CellRef>,
+}
+
+impl RepairExtras {
+    /// Extracts candidate sets from a detective-rule [`RelationReport`].
+    pub fn from_report(report: &RelationReport) -> Self {
+        let mut extras = Self::default();
+        for (row, tuple_report) in report.tuples.iter().enumerate() {
+            for step in &tuple_report.steps {
+                if let RuleApplication::Repaired {
+                    col, candidates, ..
+                } = &step.application
+                {
+                    if candidates.len() > 1 {
+                        extras
+                            .candidates
+                            .insert(CellRef { row, attr: *col }, candidates.clone());
+                    }
+                }
+            }
+        }
+        extras
+    }
+
+    /// Extracts llun cells from a list of Llunatic changes.
+    pub fn from_llunatic(changes: &[LlunaticChange]) -> Self {
+        let mut extras = Self::default();
+        for change in changes {
+            if change.is_llun {
+                extras.lluns.insert(change.cell);
+            }
+        }
+        extras
+    }
+}
+
+/// Scores a repair: `clean` is the ground truth, `dirty` the pre-repair
+/// relation, `repaired` the post-repair relation, `extras` the
+/// candidate/llun information (use `RepairExtras::default()` for plain
+/// systems).
+pub fn evaluate(
+    clean: &Relation,
+    dirty: &Relation,
+    repaired: &Relation,
+    extras: &RepairExtras,
+) -> Quality {
+    evaluate_masked(clean, dirty, repaired, extras, None)
+}
+
+/// [`evaluate`] restricted to the rows where `mask` is `true` — the paper
+/// evaluates "the tuples whose value in key attribute have corresponding
+/// entities in KBs" (§V-A).
+pub fn evaluate_masked(
+    clean: &Relation,
+    dirty: &Relation,
+    repaired: &Relation,
+    extras: &RepairExtras,
+    mask: Option<&[bool]>,
+) -> Quality {
+    assert_eq!(clean.len(), dirty.len(), "row count mismatch");
+    assert_eq!(clean.len(), repaired.len(), "row count mismatch");
+    if let Some(mask) = mask {
+        assert_eq!(mask.len(), clean.len(), "mask length mismatch");
+    }
+    let mut n_repaired = 0usize;
+    let mut correct = 0f64;
+    let mut errors = 0usize;
+    for cell in clean.cell_refs() {
+        if mask.is_some_and(|m| !m[cell.row]) {
+            continue;
+        }
+        let truth = clean.value(cell);
+        let before = dirty.value(cell);
+        let after = repaired.value(cell);
+        if before != truth {
+            errors += 1;
+        }
+        if after != before {
+            n_repaired += 1;
+            if after == truth {
+                correct += 1.0;
+            } else if extras.lluns.contains(&cell) && after == LLUN {
+                // A llun on a genuinely erroneous cell is half credit
+                // (the paper's "metric 0.5").
+                if before != truth {
+                    correct += 0.5;
+                }
+            } else if extras
+                .candidates
+                .get(&cell)
+                .is_some_and(|cands| cands.iter().any(|c| c == truth))
+            {
+                // Multi-version repair containing the ground truth.
+                correct += 1.0;
+            }
+        }
+    }
+    Quality::from_counts(n_repaired, correct, errors)
+}
+
+/// Per-column quality breakdown: one [`Quality`] per attribute, useful to
+/// diagnose which rules carry a dataset's recall.
+pub fn evaluate_per_column(
+    clean: &Relation,
+    dirty: &Relation,
+    repaired: &Relation,
+    extras: &RepairExtras,
+) -> Vec<(String, Quality)> {
+    let schema = clean.schema().clone();
+    schema
+        .attrs()
+        .map(|(attr, name)| {
+            let mut n_repaired = 0usize;
+            let mut correct = 0f64;
+            let mut errors = 0usize;
+            for row in 0..clean.len() {
+                let cell = CellRef { row, attr };
+                let truth = clean.value(cell);
+                let before = dirty.value(cell);
+                let after = repaired.value(cell);
+                if before != truth {
+                    errors += 1;
+                }
+                if after != before {
+                    n_repaired += 1;
+                    if after == truth
+                        || extras
+                            .candidates
+                            .get(&cell)
+                            .is_some_and(|cands| cands.iter().any(|c| c == truth))
+                    {
+                        correct += 1.0;
+                    } else if extras.lluns.contains(&cell) && after == LLUN && before != truth {
+                        correct += 0.5;
+                    }
+                }
+            }
+            (name.to_owned(), Quality::from_counts(n_repaired, correct, errors))
+        })
+        .collect()
+}
+
+/// Formats a quality triple the way the paper's tables print it.
+pub fn fmt_quality(q: &Quality) -> String {
+    format!(
+        "P={:.2} R={:.2} F={:.2} (repaired {}, errors {})",
+        q.precision, q.recall, q.f_measure, q.repaired, q.errors
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_relation::{Schema, Tuple};
+
+    fn relation(rows: &[&[&str]]) -> Relation {
+        let schema = Schema::new("R", &["A", "B"]);
+        let mut r = Relation::new(schema);
+        for row in rows {
+            r.push(Tuple::from_strs(row));
+        }
+        r
+    }
+
+    #[test]
+    fn perfect_repair() {
+        let clean = relation(&[&["x", "1"], &["y", "2"]]);
+        let dirty = relation(&[&["x", "9"], &["y", "2"]]);
+        let repaired = clean.clone();
+        let q = evaluate(&clean, &dirty, &repaired, &RepairExtras::default());
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.f_measure, 1.0);
+        assert_eq!(q.errors, 1);
+        assert_eq!(q.repaired, 1);
+    }
+
+    #[test]
+    fn no_repairs_is_precision_one_recall_zero() {
+        let clean = relation(&[&["x", "1"]]);
+        let dirty = relation(&[&["x", "9"]]);
+        let q = evaluate(&clean, &dirty, &dirty, &RepairExtras::default());
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.f_measure, 0.0);
+    }
+
+    #[test]
+    fn wrong_repair_costs_precision() {
+        let clean = relation(&[&["x", "1"], &["y", "2"]]);
+        let dirty = relation(&[&["x", "9"], &["y", "2"]]);
+        // Repairs the error incorrectly AND breaks a correct cell.
+        let repaired = relation(&[&["x", "8"], &["y", "3"]]);
+        let q = evaluate(&clean, &dirty, &repaired, &RepairExtras::default());
+        assert_eq!(q.repaired, 2);
+        assert_eq!(q.correct, 0.0);
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.recall, 0.0);
+    }
+
+    #[test]
+    fn llun_scores_half() {
+        let clean = relation(&[&["x", "1"], &["y", "2"]]);
+        let dirty = relation(&[&["x", "9"], &["y", "8"]]);
+        let repaired = relation(&[&["x", LLUN], &["y", "2"]]);
+        let mut extras = RepairExtras::default();
+        extras.lluns.insert(CellRef {
+            row: 0,
+            attr: clean.schema().attr_expect("B"),
+        });
+        let q = evaluate(&clean, &dirty, &repaired, &extras);
+        assert_eq!(q.repaired, 2);
+        assert_eq!(q.correct, 1.5);
+        assert!((q.precision - 0.75).abs() < 1e-12);
+        assert!((q.recall - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_version_counts_when_truth_among_candidates() {
+        let clean = relation(&[&["x", "1"]]);
+        let dirty = relation(&[&["x", "9"]]);
+        let repaired = relation(&[&["x", "7"]]); // picked the other branch
+        let mut extras = RepairExtras::default();
+        extras.candidates.insert(
+            CellRef {
+                row: 0,
+                attr: clean.schema().attr_expect("B"),
+            },
+            vec!["7".into(), "1".into()],
+        );
+        let q = evaluate(&clean, &dirty, &repaired, &extras);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+    }
+
+    #[test]
+    fn per_column_breakdown() {
+        let clean = relation(&[&["x", "1"], &["y", "2"]]);
+        let dirty = relation(&[&["x", "9"], &["z", "2"]]); // B and A errors
+        let repaired = relation(&[&["x", "1"], &["z", "2"]]); // only B repaired
+        let cols = evaluate_per_column(&clean, &dirty, &repaired, &RepairExtras::default());
+        assert_eq!(cols.len(), 2);
+        let a = &cols[0];
+        let b = &cols[1];
+        assert_eq!(a.0, "A");
+        assert_eq!(a.1.errors, 1);
+        assert_eq!(a.1.recall, 0.0);
+        assert_eq!(b.0, "B");
+        assert_eq!(b.1.recall, 1.0);
+        assert_eq!(b.1.precision, 1.0);
+    }
+
+    #[test]
+    fn per_column_agrees_with_overall() {
+        let clean = relation(&[&["x", "1"], &["y", "2"], &["w", "3"]]);
+        let dirty = relation(&[&["a", "9"], &["y", "8"], &["w", "3"]]);
+        let repaired = relation(&[&["x", "9"], &["y", "2"], &["w", "3"]]);
+        let overall = evaluate(&clean, &dirty, &repaired, &RepairExtras::default());
+        let cols = evaluate_per_column(&clean, &dirty, &repaired, &RepairExtras::default());
+        let repaired_sum: usize = cols.iter().map(|(_, q)| q.repaired).sum();
+        let correct_sum: f64 = cols.iter().map(|(_, q)| q.correct).sum();
+        let errors_sum: usize = cols.iter().map(|(_, q)| q.errors).sum();
+        assert_eq!(repaired_sum, overall.repaired);
+        assert_eq!(correct_sum, overall.correct);
+        assert_eq!(errors_sum, overall.errors);
+    }
+
+    #[test]
+    fn clean_input_scores_perfect() {
+        let clean = relation(&[&["x", "1"]]);
+        let q = evaluate(&clean, &clean, &clean, &RepairExtras::default());
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.errors, 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Plain-text table rendering for experiment output, shaped like the
+//! paper's tables.
+
+/// Renders a fixed-width text table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!(" {:<width$} ", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_owned()).collect();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with three decimals (the paper's precision).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats seconds adaptively (ms below one second).
+pub fn secs(x: f64) -> String {
+    if x < 1.0 {
+        format!("{:.1}ms", x * 1e3)
+    } else {
+        format!("{x:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let text = render_table(
+            "TABLE",
+            &["method", "P"],
+            &[
+                vec!["DRs".into(), "1.000".into()],
+                vec!["KATARA(long)".into(), "0.730".into()],
+            ],
+        );
+        assert!(text.contains("TABLE"));
+        assert!(text.contains("KATARA(long)"));
+        let lines: Vec<&str> = text.lines().collect();
+        // Header, separator, two rows + title.
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(0.5), "0.500");
+        assert_eq!(secs(0.0123), "12.3ms");
+        assert_eq!(secs(2.5), "2.50s");
+    }
+}

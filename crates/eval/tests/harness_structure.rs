@@ -1,0 +1,78 @@
+//! Structural tests for the experiment harness: every driver emits the
+//! series its figure requires, with sane values.
+
+use dr_eval::exp1::{table2, table3, Exp1Config};
+use dr_eval::exp2::{error_rate_sweep, typo_rate_sweep, Exp2Config, SweepDataset};
+use dr_eval::exp3::{keyed_rule_sweep, webtables_rule_sweep, Exp3Config};
+use dr_eval::DrAlgo;
+
+fn tiny1() -> Exp1Config {
+    Exp1Config {
+        nobel_size: 120,
+        uis_size: 150,
+        error_rate: 0.10,
+        seed: 17,
+    }
+}
+
+#[test]
+fn table_drivers_emit_complete_grids() {
+    let rows = table2(&tiny1());
+    // 3 datasets × 2 KBs.
+    assert_eq!(rows.len(), 6);
+
+    let rows = table3(&tiny1());
+    // 3 datasets × 2 methods × 2 KBs.
+    assert_eq!(rows.len(), 12);
+    for row in &rows {
+        assert!((0.0..=1.0).contains(&row.quality.precision), "{row:?}");
+        assert!((0.0..=1.0).contains(&row.quality.recall), "{row:?}");
+        assert!(row.seconds >= 0.0);
+    }
+}
+
+#[test]
+fn sweep_drivers_emit_every_series_at_every_point() {
+    let cfg = Exp2Config {
+        size: 150,
+        seed: 23,
+        dr_algo: DrAlgo::Fast,
+    };
+    let xs = [0.05, 0.15];
+    for points in [
+        error_rate_sweep(SweepDataset::Nobel, &xs, &cfg),
+        typo_rate_sweep(SweepDataset::Nobel, &xs, &cfg),
+    ] {
+        assert_eq!(points.len(), xs.len() * 4);
+        for &x in &xs {
+            let methods: Vec<&str> = points
+                .iter()
+                .filter(|p| p.x == x)
+                .map(|p| p.method.as_str())
+                .collect();
+            assert_eq!(methods.len(), 4, "at x={x}: {methods:?}");
+            assert!(methods.iter().any(|m| m.contains("Yago")));
+            assert!(methods.iter().any(|m| m.contains("DBpedia")));
+            assert!(methods.contains(&"Llunatic"));
+            assert!(methods.contains(&"constant CFDs"));
+        }
+    }
+}
+
+#[test]
+fn timing_drivers_cover_both_algorithms() {
+    let cfg = Exp3Config {
+        nobel_size: 100,
+        uis_size: 120,
+        error_rate: 0.10,
+        seed: 41,
+    };
+    let points = webtables_rule_sweep(&[10], &cfg);
+    assert_eq!(points.len(), 4); // 2 algos × 2 KBs
+    let points = keyed_rule_sweep(SweepDataset::Nobel, &[2, 5], &cfg);
+    assert_eq!(points.len(), 8); // 2 counts × 2 algos × 2 KBs
+    for p in &points {
+        assert!(p.seconds >= 0.0);
+        assert!(p.method.starts_with("bRepair") || p.method.starts_with("fRepair"));
+    }
+}

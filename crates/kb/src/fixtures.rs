@@ -1,0 +1,292 @@
+//! Shared KB fixtures mirroring the paper's running example.
+//!
+//! [`figure1_kb`] reproduces the Yago excerpt of Figure 1 (Avram Hershko);
+//! [`nobel_mini_kb`] extends it with the other three tuples of Table I
+//! (Marie Curie, Roald Hoffmann, Melvin Calvin), which downstream crates use
+//! to exercise every rule of Figure 4 — including Melvin Calvin's
+//! two-institution multi-version repair.
+
+use crate::graph::{KbBuilder, KnowledgeBase};
+
+/// The class/predicate names used by the running-example fixtures.
+pub mod names {
+    /// Class of Chemistry Nobel laureates.
+    pub const LAUREATE: &str = "Nobel laureates in Chemistry";
+    /// Class of organizations (institutes, universities).
+    pub const ORGANIZATION: &str = "organization";
+    /// Class of chemistry awards.
+    pub const CHEM_AWARDS: &str = "Chemistry awards";
+    /// Class of American awards.
+    pub const US_AWARDS: &str = "American awards";
+    /// Class of countries.
+    pub const COUNTRY: &str = "country";
+    /// Class of cities.
+    pub const CITY: &str = "city";
+    /// person worksAt organization.
+    pub const WORKS_AT: &str = "worksAt";
+    /// organization/city locatedIn city/country.
+    pub const LOCATED_IN: &str = "locatedIn";
+    /// person isCitizenOf country.
+    pub const CITIZEN_OF: &str = "isCitizenOf";
+    /// person wasBornIn city.
+    pub const BORN_IN: &str = "wasBornIn";
+    /// person wonPrize award.
+    pub const WON_PRIZE: &str = "wonPrize";
+    /// person graduatedFrom organization.
+    pub const GRADUATED_FROM: &str = "graduatedFrom";
+    /// person bornOnDate literal.
+    pub const BORN_ON_DATE: &str = "bornOnDate";
+    /// person bornAt country (the negative semantics of ϕ3).
+    pub const BORN_AT: &str = "bornAt";
+}
+
+/// Builds the Figure-1 excerpt: the Avram Hershko neighbourhood only.
+pub fn figure1_kb() -> KnowledgeBase {
+    let mut b = KbBuilder::new();
+    add_hershko(&mut b);
+    b.finalize().expect("fixture taxonomy is acyclic")
+}
+
+/// Builds a KB covering all four tuples of Table I, sufficient to apply all
+/// four detective rules of Figure 4 to every row.
+pub fn nobel_mini_kb() -> KnowledgeBase {
+    let mut b = KbBuilder::new();
+    add_hershko(&mut b);
+    add_curie(&mut b);
+    add_hoffmann(&mut b);
+    add_calvin(&mut b);
+    b.finalize().expect("fixture taxonomy is acyclic")
+}
+
+fn add_hershko(b: &mut KbBuilder) {
+    use names::*;
+    let laureate = b.class(LAUREATE);
+    let organization = b.class(ORGANIZATION);
+    let chem_awards = b.class(CHEM_AWARDS);
+    let us_awards = b.class(US_AWARDS);
+    let country = b.class(COUNTRY);
+    let city = b.class(CITY);
+
+    let works_at = b.pred(WORKS_AT);
+    let located_in = b.pred(LOCATED_IN);
+    let citizen_of = b.pred(CITIZEN_OF);
+    let born_in = b.pred(BORN_IN);
+    let won_prize = b.pred(WON_PRIZE);
+    let born_on = b.pred(BORN_ON_DATE);
+
+    let hershko = b.instance("Avram Hershko");
+    let technion = b.instance("Israel Institute of Technology");
+    let nobel_chem = b.instance("Nobel Prize in Chemistry");
+    let lasker = b.instance("Albert Lasker Award for Medicine");
+    let karcag = b.instance("Karcag");
+    let israel = b.instance("Israel");
+    let haifa = b.instance("Haifa");
+    let dob = b.literal("1937-12-31");
+
+    b.set_type(hershko, laureate);
+    b.set_type(technion, organization);
+    b.set_type(nobel_chem, chem_awards);
+    b.set_type(lasker, us_awards);
+    b.set_type(karcag, city);
+    b.set_type(israel, country);
+    b.set_type(haifa, city);
+
+    b.edge(hershko, works_at, technion);
+    b.edge(hershko, citizen_of, israel);
+    b.edge(hershko, born_in, karcag);
+    b.edge(hershko, won_prize, nobel_chem);
+    b.edge(hershko, won_prize, lasker);
+    b.edge(hershko, born_on, dob);
+    b.edge(technion, located_in, haifa);
+    b.edge(haifa, located_in, israel);
+
+    let born_at = b.pred(BORN_AT);
+    let hungary = b.instance("Hungary");
+    b.set_type(hungary, country);
+    b.edge(hershko, born_at, hungary);
+    b.edge(karcag, located_in, hungary);
+}
+
+fn add_curie(b: &mut KbBuilder) {
+    use names::*;
+    let laureate = b.class(LAUREATE);
+    let organization = b.class(ORGANIZATION);
+    let country = b.class(COUNTRY);
+    let city = b.class(CITY);
+    let chem_awards = b.class(CHEM_AWARDS);
+
+    let works_at = b.pred(WORKS_AT);
+    let located_in = b.pred(LOCATED_IN);
+    let citizen_of = b.pred(CITIZEN_OF);
+    let born_in = b.pred(BORN_IN);
+    let won_prize = b.pred(WON_PRIZE);
+    let born_on = b.pred(BORN_ON_DATE);
+
+    let curie = b.instance("Marie Curie");
+    let pasteur = b.instance("Pasteur Institute");
+    let paris = b.instance("Paris");
+    let warsaw = b.instance("Warsaw");
+    let france = b.instance("France");
+    let nobel_chem = b.instance("Nobel Prize in Chemistry");
+    let dob = b.literal("1867-11-07");
+
+    b.set_type(curie, laureate);
+    b.set_type(pasteur, organization);
+    b.set_type(paris, city);
+    b.set_type(warsaw, city);
+    b.set_type(france, country);
+    b.set_type(nobel_chem, chem_awards);
+
+    b.edge(curie, works_at, pasteur);
+    b.edge(curie, citizen_of, france);
+    b.edge(curie, born_in, warsaw);
+    b.edge(curie, won_prize, nobel_chem);
+    b.edge(curie, born_on, dob);
+    b.edge(pasteur, located_in, paris);
+    b.edge(paris, located_in, france);
+
+    let born_at = b.pred(BORN_AT);
+    let poland = b.instance("Poland");
+    b.set_type(poland, country);
+    b.edge(curie, born_at, poland);
+    b.edge(warsaw, located_in, poland);
+}
+
+fn add_hoffmann(b: &mut KbBuilder) {
+    use names::*;
+    let laureate = b.class(LAUREATE);
+    let organization = b.class(ORGANIZATION);
+    let country = b.class(COUNTRY);
+    let city = b.class(CITY);
+    let chem_awards = b.class(CHEM_AWARDS);
+    let us_awards = b.class(US_AWARDS);
+
+    let works_at = b.pred(WORKS_AT);
+    let located_in = b.pred(LOCATED_IN);
+    let citizen_of = b.pred(CITIZEN_OF);
+    let born_in = b.pred(BORN_IN);
+    let won_prize = b.pred(WON_PRIZE);
+    let born_on = b.pred(BORN_ON_DATE);
+
+    let hoffmann = b.instance("Roald Hoffmann");
+    let cornell = b.instance("Cornell University");
+    let ithaca = b.instance("Ithaca");
+    let zloczow = b.instance("Zloczow");
+    let usa = b.instance("United States");
+    let nobel_chem = b.instance("Nobel Prize in Chemistry");
+    let medal = b.instance("National Medal of Science");
+    let dob = b.literal("1937-07-18");
+
+    b.set_type(hoffmann, laureate);
+    b.set_type(cornell, organization);
+    b.set_type(ithaca, city);
+    b.set_type(zloczow, city);
+    b.set_type(usa, country);
+    b.set_type(nobel_chem, chem_awards);
+    b.set_type(medal, us_awards);
+
+    b.edge(hoffmann, works_at, cornell);
+    b.edge(hoffmann, citizen_of, usa);
+    b.edge(hoffmann, born_in, zloczow);
+    b.edge(hoffmann, won_prize, nobel_chem);
+    b.edge(hoffmann, won_prize, medal);
+    b.edge(hoffmann, born_on, dob);
+    b.edge(cornell, located_in, ithaca);
+    b.edge(ithaca, located_in, usa);
+
+    let born_at = b.pred(BORN_AT);
+    let ukraine = b.instance("Ukraine");
+    b.set_type(ukraine, country);
+    b.edge(hoffmann, born_at, ukraine);
+    b.edge(zloczow, located_in, ukraine);
+}
+
+fn add_calvin(b: &mut KbBuilder) {
+    use names::*;
+    let laureate = b.class(LAUREATE);
+    let organization = b.class(ORGANIZATION);
+    let country = b.class(COUNTRY);
+    let city = b.class(CITY);
+    let chem_awards = b.class(CHEM_AWARDS);
+
+    let works_at = b.pred(WORKS_AT);
+    let located_in = b.pred(LOCATED_IN);
+    let citizen_of = b.pred(CITIZEN_OF);
+    let born_in = b.pred(BORN_IN);
+    let won_prize = b.pred(WON_PRIZE);
+    let born_on = b.pred(BORN_ON_DATE);
+    let graduated = b.pred(GRADUATED_FROM);
+
+    let calvin = b.instance("Melvin Calvin");
+    let berkeley_u = b.instance("UC Berkeley");
+    let manchester_u = b.instance("University of Manchester");
+    let minnesota_u = b.instance("University of Minnesota");
+    let berkeley = b.instance("Berkeley");
+    let manchester = b.instance("Manchester");
+    let st_paul = b.instance("St. Paul");
+    let usa = b.instance("United States");
+    let nobel_chem = b.instance("Nobel Prize in Chemistry");
+    let dob = b.literal("1911-04-08");
+
+    b.set_type(calvin, laureate);
+    b.set_type(berkeley_u, organization);
+    b.set_type(manchester_u, organization);
+    b.set_type(minnesota_u, organization);
+    b.set_type(berkeley, city);
+    b.set_type(manchester, city);
+    b.set_type(st_paul, city);
+    b.set_type(usa, country);
+    b.set_type(nobel_chem, chem_awards);
+
+    // Calvin worked at two institutions (paper Example 10): the source of
+    // multi-version repairs.
+    b.edge(calvin, works_at, berkeley_u);
+    b.edge(calvin, works_at, manchester_u);
+    b.edge(calvin, graduated, minnesota_u);
+    b.edge(calvin, citizen_of, usa);
+    b.edge(calvin, born_in, st_paul);
+    b.edge(calvin, won_prize, nobel_chem);
+    b.edge(calvin, born_on, dob);
+    b.edge(berkeley_u, located_in, berkeley);
+    b.edge(manchester_u, located_in, manchester);
+    b.edge(minnesota_u, located_in, st_paul);
+    b.edge(berkeley, located_in, usa);
+    b.edge(manchester, located_in, usa);
+    b.edge(st_paul, located_in, usa);
+
+    let born_at = b.pred(BORN_AT);
+    b.edge(calvin, born_at, usa);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Node;
+
+    #[test]
+    fn mini_kb_has_all_four_laureates() {
+        let kb = nobel_mini_kb();
+        let laureate = kb.class_named(names::LAUREATE).unwrap();
+        assert_eq!(kb.instances_of(laureate).len(), 4);
+    }
+
+    #[test]
+    fn calvin_has_two_workplaces() {
+        let kb = nobel_mini_kb();
+        let calvin = kb.instances_labeled("Melvin Calvin")[0];
+        let works_at = kb.pred_named(names::WORKS_AT).unwrap();
+        assert_eq!(kb.objects(calvin, works_at).len(), 2);
+    }
+
+    #[test]
+    fn shared_entities_are_merged() {
+        // "Nobel Prize in Chemistry" and "United States" appear in several
+        // neighbourhoods and must intern to single instances.
+        let kb = nobel_mini_kb();
+        assert_eq!(kb.instances_labeled("Nobel Prize in Chemistry").len(), 1);
+        assert_eq!(kb.instances_labeled("United States").len(), 1);
+        let nobel = kb.instances_labeled("Nobel Prize in Chemistry")[0];
+        let won = kb.pred_named(names::WON_PRIZE).unwrap();
+        assert_eq!(kb.subjects(Node::Instance(nobel), won).len(), 4);
+    }
+}

@@ -1,0 +1,606 @@
+//! The knowledge-base graph: a finalized, index-backed RDF triple store.
+//!
+//! A KB is a set of triples `(s, p, o)` where `s` is an instance, `p` is a
+//! relationship or property, and `o` is an instance or literal (§II-A of the
+//! paper). Construction goes through [`KbBuilder`]; [`KbBuilder::finalize`]
+//! produces an immutable [`KnowledgeBase`] with all the indexes detective
+//! rules need on the hot path:
+//!
+//! * type index with taxonomy closure (`instances_of`),
+//! * forward adjacency (`objects`), backward adjacency (`subjects`),
+//! * O(log n) membership (`has_edge`),
+//! * exact-label lookup (`instances_labeled`).
+
+use crate::hash::FxHashMap;
+use crate::ids::{ClassId, InstanceId, LiteralId, Node, PredId};
+use crate::symbol::{Symbol, SymbolTable};
+use crate::taxonomy::Taxonomy;
+use std::fmt;
+
+/// Errors raised while finalizing a KB.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KbError {
+    /// The `subClassOf` hierarchy contains a cycle through this class.
+    TaxonomyCycle(String),
+}
+
+impl fmt::Display for KbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KbError::TaxonomyCycle(c) => write!(f, "subClassOf cycle through class `{c}`"),
+        }
+    }
+}
+
+impl std::error::Error for KbError {}
+
+#[derive(Debug, Clone)]
+struct InstanceMeta {
+    label: Symbol,
+    classes: Vec<ClassId>,
+}
+
+/// Incremental constructor for a [`KnowledgeBase`].
+///
+/// All `add_*`/lookup methods are idempotent on names: asking for the class
+/// `"city"` twice yields the same [`ClassId`].
+#[derive(Default)]
+pub struct KbBuilder {
+    symbols: SymbolTable,
+    class_names: Vec<Symbol>,
+    class_by_name: FxHashMap<Symbol, ClassId>,
+    pred_names: Vec<Symbol>,
+    pred_by_name: FxHashMap<Symbol, PredId>,
+    instances: Vec<InstanceMeta>,
+    instance_by_label: FxHashMap<Symbol, Vec<InstanceId>>,
+    literal_values: Vec<Symbol>,
+    literal_by_value: FxHashMap<Symbol, LiteralId>,
+    taxonomy: Taxonomy,
+    edges: Vec<(InstanceId, PredId, Node)>,
+}
+
+impl KbBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a class by name.
+    pub fn class(&mut self, name: &str) -> ClassId {
+        let sym = self.symbols.intern(name);
+        if let Some(&c) = self.class_by_name.get(&sym) {
+            return c;
+        }
+        let id = ClassId::from_index(self.class_names.len());
+        self.class_names.push(sym);
+        self.class_by_name.insert(sym, id);
+        self.taxonomy.ensure(id);
+        id
+    }
+
+    /// Interns a predicate (relationship or property) by name.
+    pub fn pred(&mut self, name: &str) -> PredId {
+        let sym = self.symbols.intern(name);
+        if let Some(&p) = self.pred_by_name.get(&sym) {
+            return p;
+        }
+        let id = PredId::from_index(self.pred_names.len());
+        self.pred_names.push(sym);
+        self.pred_by_name.insert(sym, id);
+        id
+    }
+
+    /// Returns the instance labeled `label`, creating it if absent.
+    ///
+    /// Labels are treated as entity keys by this convenience constructor; use
+    /// [`KbBuilder::new_instance`] to create homonymous entities.
+    pub fn instance(&mut self, label: &str) -> InstanceId {
+        let sym = self.symbols.intern(label);
+        if let Some(ids) = self.instance_by_label.get(&sym) {
+            if let Some(&first) = ids.first() {
+                return first;
+            }
+        }
+        self.push_instance(sym)
+    }
+
+    /// Creates a fresh instance with `label`, even if the label already names
+    /// another entity.
+    pub fn new_instance(&mut self, label: &str) -> InstanceId {
+        let sym = self.symbols.intern(label);
+        self.push_instance(sym)
+    }
+
+    fn push_instance(&mut self, sym: Symbol) -> InstanceId {
+        let id = InstanceId::from_index(self.instances.len());
+        self.instances.push(InstanceMeta {
+            label: sym,
+            classes: Vec::new(),
+        });
+        self.instance_by_label.entry(sym).or_default().push(id);
+        id
+    }
+
+    /// Interns a literal by value.
+    pub fn literal(&mut self, value: &str) -> LiteralId {
+        let sym = self.symbols.intern(value);
+        if let Some(&l) = self.literal_by_value.get(&sym) {
+            return l;
+        }
+        let id = LiteralId::from_index(self.literal_values.len());
+        self.literal_values.push(sym);
+        self.literal_by_value.insert(sym, id);
+        id
+    }
+
+    /// Types instance `i` with class `c` (an `rdf:type` edge).
+    pub fn set_type(&mut self, i: InstanceId, c: ClassId) {
+        let meta = &mut self.instances[i.index()];
+        if !meta.classes.contains(&c) {
+            meta.classes.push(c);
+        }
+    }
+
+    /// Declares `sub ⊑ sup` in the taxonomy.
+    pub fn subclass(&mut self, sub: ClassId, sup: ClassId) {
+        self.taxonomy.add_subclass(sub, sup);
+    }
+
+    /// Adds a triple `(s, p, o)`.
+    pub fn edge(&mut self, s: InstanceId, p: PredId, o: impl Into<Node>) {
+        self.edges.push((s, p, o.into()));
+    }
+
+    /// Number of instances created so far.
+    pub fn num_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Seals the builder into an immutable, fully indexed KB.
+    ///
+    /// # Errors
+    /// Fails if the taxonomy is cyclic.
+    pub fn finalize(mut self) -> Result<KnowledgeBase, KbError> {
+        self.taxonomy.finalize().map_err(|c| {
+            KbError::TaxonomyCycle(
+                self.class_names
+                    .get(c.index())
+                    .map(|&s| self.symbols.resolve(s).to_owned())
+                    .unwrap_or_else(|| format!("{c:?}")),
+            )
+        })?;
+
+        // Forward and backward adjacency, sorted + deduped for binary search.
+        let mut out: FxHashMap<(InstanceId, PredId), Vec<Node>> = FxHashMap::default();
+        let mut inn: FxHashMap<(Node, PredId), Vec<InstanceId>> = FxHashMap::default();
+        for &(s, p, o) in &self.edges {
+            out.entry((s, p)).or_default().push(o);
+            inn.entry((o, p)).or_default().push(s);
+        }
+        for v in out.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        for v in inn.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        let edge_count = out.values().map(Vec::len).sum();
+
+        // Per-instance predicate lists: which predicates have out-edges from
+        // each instance (for neighbourhood enumeration without scanning the
+        // whole predicate vocabulary).
+        let mut preds_of: Vec<Vec<PredId>> = vec![Vec::new(); self.instances.len()];
+        for &(s, p) in out.keys() {
+            preds_of[s.index()].push(p);
+        }
+        for v in &mut preds_of {
+            v.sort_unstable();
+            v.dedup();
+        }
+
+        // Per-class instance lists, direct and with taxonomy closure.
+        let num_classes = self.class_names.len().max(self.taxonomy.num_classes());
+        let mut direct: Vec<Vec<InstanceId>> = vec![Vec::new(); num_classes];
+        for (idx, meta) in self.instances.iter().enumerate() {
+            for &c in &meta.classes {
+                direct[c.index()].push(InstanceId::from_index(idx));
+            }
+        }
+        let mut closed: Vec<Vec<InstanceId>> = Vec::with_capacity(num_classes);
+        for c in 0..num_classes {
+            let class = ClassId::from_index(c);
+            let mut acc: Vec<InstanceId> = Vec::new();
+            for &d in self.taxonomy.descendants(class) {
+                acc.extend_from_slice(&direct[d.index()]);
+            }
+            acc.sort_unstable();
+            acc.dedup();
+            closed.push(acc);
+        }
+        for v in &mut direct {
+            v.sort_unstable();
+        }
+
+        for v in self.instance_by_label.values_mut() {
+            v.sort_unstable();
+        }
+
+        Ok(KnowledgeBase {
+            symbols: self.symbols,
+            class_names: self.class_names,
+            class_by_name: self.class_by_name,
+            pred_names: self.pred_names,
+            pred_by_name: self.pred_by_name,
+            instances: self.instances,
+            instance_by_label: self.instance_by_label,
+            literal_values: self.literal_values,
+            literal_by_value: self.literal_by_value,
+            taxonomy: self.taxonomy,
+            out,
+            inn,
+            preds_of,
+            direct_instances: direct,
+            closed_instances: closed,
+            edge_count,
+        })
+    }
+}
+
+/// An immutable RDF knowledge base with matching-oriented indexes.
+pub struct KnowledgeBase {
+    symbols: SymbolTable,
+    class_names: Vec<Symbol>,
+    class_by_name: FxHashMap<Symbol, ClassId>,
+    pred_names: Vec<Symbol>,
+    pred_by_name: FxHashMap<Symbol, PredId>,
+    instances: Vec<InstanceMeta>,
+    instance_by_label: FxHashMap<Symbol, Vec<InstanceId>>,
+    literal_values: Vec<Symbol>,
+    literal_by_value: FxHashMap<Symbol, LiteralId>,
+    taxonomy: Taxonomy,
+    out: FxHashMap<(InstanceId, PredId), Vec<Node>>,
+    inn: FxHashMap<(Node, PredId), Vec<InstanceId>>,
+    preds_of: Vec<Vec<PredId>>,
+    direct_instances: Vec<Vec<InstanceId>>,
+    closed_instances: Vec<Vec<InstanceId>>,
+    edge_count: usize,
+}
+
+impl KnowledgeBase {
+    // ----- name lookups ------------------------------------------------
+
+    /// Resolves a class by name.
+    pub fn class_named(&self, name: &str) -> Option<ClassId> {
+        self.symbols
+            .get(name)
+            .and_then(|s| self.class_by_name.get(&s).copied())
+    }
+
+    /// Resolves a predicate by name.
+    pub fn pred_named(&self, name: &str) -> Option<PredId> {
+        self.symbols
+            .get(name)
+            .and_then(|s| self.pred_by_name.get(&s).copied())
+    }
+
+    /// The name of class `c`.
+    pub fn class_name(&self, c: ClassId) -> &str {
+        self.symbols.resolve(self.class_names[c.index()])
+    }
+
+    /// The name of predicate `p`.
+    pub fn pred_name(&self, p: PredId) -> &str {
+        self.symbols.resolve(self.pred_names[p.index()])
+    }
+
+    /// The human-readable label of instance `i`.
+    pub fn instance_label(&self, i: InstanceId) -> &str {
+        self.symbols.resolve(self.instances[i.index()].label)
+    }
+
+    /// The value of literal `l`.
+    pub fn literal_value(&self, l: LiteralId) -> &str {
+        self.symbols.resolve(self.literal_values[l.index()])
+    }
+
+    /// The textual value of any node (instance label or literal value).
+    pub fn node_value(&self, n: Node) -> &str {
+        match n {
+            Node::Instance(i) => self.instance_label(i),
+            Node::Literal(l) => self.literal_value(l),
+        }
+    }
+
+    /// Instances whose label is exactly `label` (sorted by id).
+    pub fn instances_labeled(&self, label: &str) -> &[InstanceId] {
+        self.symbols
+            .get(label)
+            .and_then(|s| self.instance_by_label.get(&s))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The literal with exactly this value, if present.
+    pub fn literal_with_value(&self, value: &str) -> Option<LiteralId> {
+        self.symbols
+            .get(value)
+            .and_then(|s| self.literal_by_value.get(&s).copied())
+    }
+
+    // ----- typing -------------------------------------------------------
+
+    /// Direct classes of instance `i` (no taxonomy closure).
+    pub fn instance_classes(&self, i: InstanceId) -> &[ClassId] {
+        &self.instances[i.index()].classes
+    }
+
+    /// Whether `i` is typed with `c` or any subclass of `c`.
+    pub fn has_type(&self, i: InstanceId, c: ClassId) -> bool {
+        self.instances[i.index()]
+            .classes
+            .iter()
+            .any(|&d| self.taxonomy.subsumes(c, d))
+    }
+
+    /// All instances of class `c`, **including** instances of subclasses.
+    /// Sorted by id.
+    pub fn instances_of(&self, c: ClassId) -> &[InstanceId] {
+        self.closed_instances
+            .get(c.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Instances typed directly with `c` (no closure). Sorted by id.
+    pub fn direct_instances_of(&self, c: ClassId) -> &[InstanceId] {
+        self.direct_instances
+            .get(c.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    // ----- adjacency ------------------------------------------------------
+
+    /// Objects `o` with a triple `(s, p, o)`. Sorted.
+    pub fn objects(&self, s: InstanceId, p: PredId) -> &[Node] {
+        self.out.get(&(s, p)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Subjects `s` with a triple `(s, p, o)`. Sorted.
+    pub fn subjects(&self, o: Node, p: PredId) -> &[InstanceId] {
+        self.inn.get(&(o, p)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether the triple `(s, p, o)` is in the KB.
+    pub fn has_edge(&self, s: InstanceId, p: PredId, o: Node) -> bool {
+        self.objects(s, p).binary_search(&o).is_ok()
+    }
+
+    /// The predicates with at least one out-edge from `s`. Sorted.
+    pub fn preds_of(&self, s: InstanceId) -> &[PredId] {
+        self.preds_of
+            .get(s.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates over all out-edges of `s` as `(pred, object)` pairs.
+    pub fn edges_from(&self, s: InstanceId) -> impl Iterator<Item = (PredId, Node)> + '_ {
+        self.preds_of(s)
+            .iter()
+            .flat_map(move |&p| self.objects(s, p).iter().map(move |&o| (p, o)))
+    }
+
+    // ----- sizes ----------------------------------------------------------
+
+    /// Number of instances.
+    pub fn num_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Number of predicates.
+    pub fn num_preds(&self) -> usize {
+        self.pred_names.len()
+    }
+
+    /// Number of literals.
+    pub fn num_literals(&self) -> usize {
+        self.literal_values.len()
+    }
+
+    /// Number of distinct triples.
+    pub fn num_edges(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The class taxonomy.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// Iterates over all class ids.
+    pub fn classes(&self) -> impl Iterator<Item = ClassId> {
+        (0..self.class_names.len()).map(ClassId::from_index)
+    }
+
+    /// Iterates over all predicate ids.
+    pub fn preds(&self) -> impl Iterator<Item = PredId> {
+        (0..self.pred_names.len()).map(PredId::from_index)
+    }
+
+    /// Iterates over all instance ids.
+    pub fn instances(&self) -> impl Iterator<Item = InstanceId> {
+        (0..self.instances.len()).map(InstanceId::from_index)
+    }
+
+    /// Iterates over all triples `(s, p, o)` in unspecified order.
+    pub fn triples(&self) -> impl Iterator<Item = (InstanceId, PredId, Node)> + '_ {
+        self.out
+            .iter()
+            .flat_map(|(&(s, p), objs)| objs.iter().map(move |&o| (s, p, o)))
+    }
+}
+
+impl fmt::Debug for KnowledgeBase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KnowledgeBase")
+            .field("instances", &self.num_instances())
+            .field("classes", &self.num_classes())
+            .field("preds", &self.num_preds())
+            .field("literals", &self.num_literals())
+            .field("edges", &self.num_edges())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1_kb;
+
+    #[test]
+    fn figure1_basic_lookups() {
+        let kb = figure1_kb();
+        assert_eq!(kb.num_classes(), 6);
+        assert_eq!(kb.num_preds(), 7);
+        assert_eq!(kb.num_instances(), 8);
+        assert_eq!(kb.num_literals(), 1);
+        assert_eq!(kb.num_edges(), 10);
+
+        let city = kb.class_named("city").unwrap();
+        let haifa = kb.instances_labeled("Haifa")[0];
+        assert!(kb.has_type(haifa, city));
+        assert_eq!(kb.instances_of(city).len(), 2); // Karcag + Haifa
+    }
+
+    #[test]
+    fn adjacency_queries() {
+        let kb = figure1_kb();
+        let hershko = kb.instances_labeled("Avram Hershko")[0];
+        let technion = kb.instances_labeled("Israel Institute of Technology")[0];
+        let haifa = kb.instances_labeled("Haifa")[0];
+        let works_at = kb.pred_named("worksAt").unwrap();
+        let located_in = kb.pred_named("locatedIn").unwrap();
+
+        assert_eq!(kb.objects(hershko, works_at), &[Node::Instance(technion)]);
+        assert!(kb.has_edge(technion, located_in, Node::Instance(haifa)));
+        assert_eq!(kb.subjects(Node::Instance(technion), works_at), &[hershko]);
+    }
+
+    #[test]
+    fn two_hop_lives_at_semantics() {
+        // worksAt ∘ locatedIn reaches Haifa, while wasBornIn reaches Karcag.
+        let kb = figure1_kb();
+        let hershko = kb.instances_labeled("Avram Hershko")[0];
+        let works_at = kb.pred_named("worksAt").unwrap();
+        let located_in = kb.pred_named("locatedIn").unwrap();
+        let born_in = kb.pred_named("wasBornIn").unwrap();
+
+        let inst = kb.objects(hershko, works_at)[0].as_instance().unwrap();
+        let lives = kb.objects(inst, located_in)[0];
+        assert_eq!(kb.node_value(lives), "Haifa");
+        let born = kb.objects(hershko, born_in)[0];
+        assert_eq!(kb.node_value(born), "Karcag");
+        assert_ne!(lives, born);
+    }
+
+    #[test]
+    fn property_edges_reach_literals() {
+        let kb = figure1_kb();
+        let hershko = kb.instances_labeled("Avram Hershko")[0];
+        let born_on = kb.pred_named("bornOnDate").unwrap();
+        let objs = kb.objects(hershko, born_on);
+        assert_eq!(objs.len(), 1);
+        assert!(objs[0].is_literal());
+        assert_eq!(kb.node_value(objs[0]), "1937-12-31");
+        let lit = kb.literal_with_value("1937-12-31").unwrap();
+        assert_eq!(kb.subjects(Node::Literal(lit), born_on), &[hershko]);
+    }
+
+    #[test]
+    fn duplicate_edges_count_once() {
+        let mut b = KbBuilder::new();
+        let p = b.pred("r");
+        let a = b.instance("a");
+        let bb = b.instance("b");
+        b.edge(a, p, bb);
+        b.edge(a, p, bb);
+        let kb = b.finalize().unwrap();
+        assert_eq!(kb.num_edges(), 1);
+        assert_eq!(kb.objects(a, p).len(), 1);
+    }
+
+    #[test]
+    fn taxonomy_closure_in_instances_of() {
+        let mut b = KbBuilder::new();
+        let person = b.class("person");
+        let chemist = b.class("chemist");
+        b.subclass(chemist, person);
+        let i = b.instance("Marie Curie");
+        b.set_type(i, chemist);
+        let kb = b.finalize().unwrap();
+        assert_eq!(kb.instances_of(person), &[i]);
+        assert!(kb.direct_instances_of(person).is_empty());
+        assert!(kb.has_type(i, person));
+    }
+
+    #[test]
+    fn homonymous_instances() {
+        let mut b = KbBuilder::new();
+        let c = b.class("city");
+        let paris_fr = b.new_instance("Paris");
+        let paris_tx = b.new_instance("Paris");
+        b.set_type(paris_fr, c);
+        b.set_type(paris_tx, c);
+        let kb = b.finalize().unwrap();
+        assert_eq!(kb.instances_labeled("Paris").len(), 2);
+    }
+
+    #[test]
+    fn cyclic_taxonomy_reported_by_name() {
+        let mut b = KbBuilder::new();
+        let a = b.class("alpha");
+        let bb = b.class("beta");
+        b.subclass(a, bb);
+        b.subclass(bb, a);
+        match b.finalize() {
+            Err(KbError::TaxonomyCycle(name)) => {
+                assert!(name == "alpha" || name == "beta");
+            }
+            other => panic!("expected cycle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_instance_neighbourhood() {
+        let kb = figure1_kb();
+        let hershko = kb.instances_labeled("Avram Hershko")[0];
+        // worksAt, isCitizenOf, wasBornIn, wonPrize, bornOnDate, bornAt.
+        assert_eq!(kb.preds_of(hershko).len(), 6);
+        let edges: Vec<_> = kb.edges_from(hershko).collect();
+        assert_eq!(edges.len(), 7); // wonPrize has two objects
+        for (p, o) in edges {
+            assert!(kb.has_edge(hershko, p, o));
+        }
+        // A leaf node (literal target) has no out-edges.
+        let karcag = kb.instances_labeled("Karcag")[0];
+        assert_eq!(kb.preds_of(karcag).len(), 1); // locatedIn Hungary
+    }
+
+    #[test]
+    fn triples_iterator_covers_all_edges() {
+        let kb = figure1_kb();
+        let mut n = 0;
+        for (s, p, o) in kb.triples() {
+            assert!(kb.has_edge(s, p, o));
+            n += 1;
+        }
+        assert_eq!(n, kb.num_edges());
+    }
+}

@@ -1,0 +1,117 @@
+//! A small, fast, non-cryptographic hasher for interned-id keys.
+//!
+//! The default `std` hasher (SipHash 1-3) is DoS-resistant but slow for the
+//! tiny integer keys that dominate this workspace (interned symbols, instance
+//! ids, `(instance, predicate)` pairs). Knowledge bases and rules are trusted,
+//! locally-generated inputs, so HashDoS is not a concern and we trade
+//! resistance for speed, following the Fx-hash design used by rustc.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant used by the Fx hash family (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// An Fx-style streaming hasher: fast mix of machine words.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the fast Fx hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of<T: std::hash::Hash>(v: T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(42u64), hash_of(42u64));
+        assert_eq!(hash_of("detective"), hash_of("detective"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        assert_ne!(hash_of(1u64), hash_of(2u64));
+        assert_ne!(hash_of((1u32, 2u32)), hash_of((2u32, 1u32)));
+        assert_ne!(hash_of("ab"), hash_of("ba"));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(u32, u32), Vec<u32>> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.entry((i % 37, i % 11)).or_default().push(i);
+        }
+        // 37 and 11 are coprime, and 1000 > 37 * 11, so every residue pair appears.
+        assert_eq!(m.len(), 37 * 11);
+        assert!(m.contains_key(&(0, 0)));
+    }
+
+    #[test]
+    fn uneven_tail_bytes_hash_differently() {
+        assert_ne!(hash_of("abcdefghi"), hash_of("abcdefghj"));
+        assert_ne!(hash_of([1u8, 2, 3]), hash_of([1u8, 2, 4]));
+    }
+}

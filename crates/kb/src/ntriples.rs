@@ -1,0 +1,533 @@
+//! A plain-text triple exchange format, modeled on N-Triples.
+//!
+//! Lines look like:
+//!
+//! ```text
+//! <Avram_Hershko> <rdf:type> <class:Nobel_laureates_in_Chemistry> .
+//! <class:Nobel_laureates_in_Chemistry> <rdfs:subClassOf> <class:person> .
+//! <Avram_Hershko> <worksAt> <Israel_Institute_of_Technology> .
+//! <Avram_Hershko> <bornOnDate> "1937-12-31" .
+//! # comment
+//! ```
+//!
+//! * IRIs in `<…>` name instances, except those with the `class:` prefix,
+//!   which name classes. Underscores in local names render as spaces in
+//!   labels.
+//! * `"…"` objects are literals (with `\"` and `\\` escapes).
+//! * The reserved predicates `rdf:type` and `rdfs:subClassOf` populate the
+//!   type assignments and the taxonomy.
+//!
+//! The format exists so synthetic KBs can be persisted, diffed, and reloaded
+//! deterministically; it is not a full RDF parser.
+
+use crate::graph::{KbBuilder, KbError, KnowledgeBase};
+use crate::ids::Node;
+use std::fmt;
+
+/// Prefix distinguishing class IRIs from instance IRIs.
+const CLASS_PREFIX: &str = "class:";
+/// Reserved predicate for type assignment.
+const RDF_TYPE: &str = "rdf:type";
+/// Reserved predicate for taxonomy edges.
+const RDFS_SUBCLASS: &str = "rdfs:subClassOf";
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Errors from [`parse`] and [`load_file`].
+#[derive(Debug)]
+pub enum LoadError {
+    /// The text failed to parse.
+    Parse(ParseError),
+    /// Parsing succeeded but the KB failed to finalize.
+    Kb(KbError),
+    /// The file could not be read.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Parse(e) => write!(f, "parse error: {e}"),
+            LoadError::Kb(e) => write!(f, "kb error: {e}"),
+            LoadError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<ParseError> for LoadError {
+    fn from(e: ParseError) -> Self {
+        LoadError::Parse(e)
+    }
+}
+
+impl From<KbError> for LoadError {
+    fn from(e: KbError) -> Self {
+        LoadError::Kb(e)
+    }
+}
+
+/// One parsed term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Term {
+    Iri(String),
+    Literal(String),
+}
+
+/// Decodes an IRI local name back to a label: underscores become spaces,
+/// then percent-escapes decode.
+fn local_to_label(local: &str) -> String {
+    let spaced = local.replace('_', " ");
+    let mut out = String::with_capacity(spaced.len());
+    let mut chars = spaced.chars().peekable();
+    while let Some(ch) = chars.next() {
+        if ch == '%' {
+            let hi = chars.next();
+            let lo = chars.next();
+            let decoded = match (hi, lo) {
+                (Some(h), Some(l)) => u8::from_str_radix(&format!("{h}{l}"), 16).ok(),
+                _ => None,
+            };
+            match decoded {
+                Some(byte) => out.push(byte as char),
+                None => out.push('%'), // tolerate stray '%'
+            }
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Encodes a label as an IRI local name: characters that would collide with
+/// the syntax (`_ % < > " #` and control characters) are percent-escaped,
+/// then spaces become underscores.
+fn label_to_local(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for ch in label.chars() {
+        match ch {
+            '_' | '%' | '<' | '>' | '"' | '#' => {
+                out.push_str(&format!("%{:02X}", ch as u32));
+            }
+            c if c.is_control() => out.push_str(&format!("%{:02X}", c as u32 & 0xff)),
+            ' ' => out.push('_'),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn escape_literal(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    for ch in value.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Parses one term starting at `chars` and returns it with the rest.
+fn parse_term(s: &str, line: usize) -> Result<(Term, &str), ParseError> {
+    let s = s.trim_start();
+    let err = |message: &str| ParseError {
+        line,
+        message: message.to_owned(),
+    };
+    if let Some(rest) = s.strip_prefix('<') {
+        let end = rest
+            .find('>')
+            .ok_or_else(|| err("unterminated IRI (missing `>`)"))?;
+        Ok((Term::Iri(rest[..end].to_owned()), &rest[end + 1..]))
+    } else if let Some(rest) = s.strip_prefix('"') {
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        while let Some((i, ch)) = chars.next() {
+            match ch {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, 'r')) => value.push('\r'),
+                    Some((_, escaped)) => value.push(escaped),
+                    None => return Err(err("dangling escape in literal")),
+                },
+                '"' => return Ok((Term::Literal(value), &rest[i + 1..])),
+                _ => value.push(ch),
+            }
+        }
+        Err(err("unterminated literal (missing closing quote)"))
+    } else {
+        Err(err("expected `<iri>` or `\"literal\"`"))
+    }
+}
+
+/// Parses triple text into a [`KbBuilder`].
+///
+/// # Errors
+/// Returns the first malformed line.
+pub fn parse_into(builder: &mut KbBuilder, text: &str) -> Result<(), ParseError> {
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (subject, rest) = parse_term(trimmed, line)?;
+        let (pred, rest) = parse_term(rest, line)?;
+        let (object, rest) = parse_term(rest, line)?;
+        let tail = rest.trim();
+        if tail != "." {
+            return Err(ParseError {
+                line,
+                message: format!("expected trailing `.`, found `{tail}`"),
+            });
+        }
+        let Term::Iri(subj_iri) = subject else {
+            return Err(ParseError {
+                line,
+                message: "subject must be an IRI".into(),
+            });
+        };
+        let Term::Iri(pred_iri) = pred else {
+            return Err(ParseError {
+                line,
+                message: "predicate must be an IRI".into(),
+            });
+        };
+
+        match pred_iri.as_str() {
+            RDF_TYPE => {
+                let Term::Iri(obj_iri) = object else {
+                    return Err(ParseError {
+                        line,
+                        message: "rdf:type object must be a class IRI".into(),
+                    });
+                };
+                let Some(class_local) = obj_iri.strip_prefix(CLASS_PREFIX) else {
+                    return Err(ParseError {
+                        line,
+                        message: format!("rdf:type object must have `{CLASS_PREFIX}` prefix"),
+                    });
+                };
+                let c = builder.class(&local_to_label(class_local));
+                let i = builder.instance(&local_to_label(&subj_iri));
+                builder.set_type(i, c);
+            }
+            RDFS_SUBCLASS => {
+                let Term::Iri(obj_iri) = object else {
+                    return Err(ParseError {
+                        line,
+                        message: "subClassOf object must be a class IRI".into(),
+                    });
+                };
+                let (Some(sub_local), Some(sup_local)) = (
+                    subj_iri.strip_prefix(CLASS_PREFIX),
+                    obj_iri.strip_prefix(CLASS_PREFIX),
+                ) else {
+                    return Err(ParseError {
+                        line,
+                        message: format!("subClassOf requires `{CLASS_PREFIX}` on both sides"),
+                    });
+                };
+                let sub = builder.class(&local_to_label(sub_local));
+                let sup = builder.class(&local_to_label(sup_local));
+                builder.subclass(sub, sup);
+            }
+            _ => {
+                let s = builder.instance(&local_to_label(&subj_iri));
+                let p = builder.pred(&local_to_label(&pred_iri));
+                match object {
+                    Term::Iri(obj_iri) => {
+                        let o = builder.instance(&local_to_label(&obj_iri));
+                        builder.edge(s, p, o);
+                    }
+                    Term::Literal(value) => {
+                        let l = builder.literal(&value);
+                        builder.edge(s, p, l);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses triple text into a finalized [`KnowledgeBase`].
+///
+/// # Errors
+/// Fails on malformed lines or a cyclic taxonomy.
+pub fn parse(text: &str) -> Result<KnowledgeBase, LoadError> {
+    let mut builder = KbBuilder::new();
+    parse_into(&mut builder, text)?;
+    Ok(builder.finalize()?)
+}
+
+/// Loads a KB from a triple-text file.
+///
+/// # Errors
+/// I/O errors are wrapped in [`LoadError::Io`]; parse and taxonomy failures
+/// as in [`parse`].
+pub fn load_file(path: impl AsRef<std::path::Path>) -> Result<KnowledgeBase, LoadError> {
+    let text = std::fs::read_to_string(path).map_err(LoadError::Io)?;
+    parse(&text)
+}
+
+/// Writes a KB to a triple-text file (see [`serialize`]).
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn save_file(kb: &KnowledgeBase, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::write(path, serialize(kb))
+}
+
+/// Serializes a KB back to triple text. Deterministic: type assignments,
+/// taxonomy edges, then data triples, each block sorted.
+pub fn serialize(kb: &KnowledgeBase) -> String {
+    let mut lines: Vec<String> = Vec::new();
+
+    for i in kb.instances() {
+        let label = label_to_local(kb.instance_label(i));
+        for &c in kb.instance_classes(i) {
+            lines.push(format!(
+                "<{label}> <{RDF_TYPE}> <{CLASS_PREFIX}{}> .",
+                label_to_local(kb.class_name(c))
+            ));
+        }
+    }
+    for c in kb.classes() {
+        for &sup in kb.taxonomy().parents(c) {
+            lines.push(format!(
+                "<{CLASS_PREFIX}{}> <{RDFS_SUBCLASS}> <{CLASS_PREFIX}{}> .",
+                label_to_local(kb.class_name(c)),
+                label_to_local(kb.class_name(sup))
+            ));
+        }
+    }
+    let mut data: Vec<String> = kb
+        .triples()
+        .map(|(s, p, o)| {
+            let subj = label_to_local(kb.instance_label(s));
+            let pred = label_to_local(kb.pred_name(p));
+            match o {
+                Node::Instance(i) => {
+                    format!("<{subj}> <{pred}> <{}> .", label_to_local(kb.instance_label(i)))
+                }
+                Node::Literal(l) => {
+                    format!("<{subj}> <{pred}> \"{}\" .", escape_literal(kb.literal_value(l)))
+                }
+            }
+        })
+        .collect();
+    lines.sort();
+    data.sort();
+    lines.extend(data);
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1_kb;
+
+    #[test]
+    fn parse_small_kb() {
+        let text = r#"
+            # the Hershko excerpt, abridged
+            <Avram_Hershko> <rdf:type> <class:Nobel_laureates_in_Chemistry> .
+            <class:Nobel_laureates_in_Chemistry> <rdfs:subClassOf> <class:person> .
+            <Avram_Hershko> <worksAt> <Israel_Institute_of_Technology> .
+            <Avram_Hershko> <bornOnDate> "1937-12-31" .
+        "#;
+        let kb = parse(text).unwrap();
+        assert_eq!(kb.num_instances(), 2);
+        assert_eq!(kb.num_classes(), 2);
+        let person = kb.class_named("person").unwrap();
+        let hershko = kb.instances_labeled("Avram Hershko")[0];
+        assert!(kb.has_type(hershko, person));
+        let born_on = kb.pred_named("bornOnDate").unwrap();
+        assert_eq!(kb.node_value(kb.objects(hershko, born_on)[0]), "1937-12-31");
+    }
+
+    #[test]
+    fn roundtrip_figure1() {
+        let kb = figure1_kb();
+        let text = serialize(&kb);
+        let kb2 = parse(&text).unwrap();
+        assert_eq!(kb.num_instances(), kb2.num_instances());
+        assert_eq!(kb.num_classes(), kb2.num_classes());
+        assert_eq!(kb.num_preds(), kb2.num_preds());
+        assert_eq!(kb.num_edges(), kb2.num_edges());
+        // Serialization is canonical: a second roundtrip is byte-identical.
+        assert_eq!(text, serialize(&kb2));
+    }
+
+    #[test]
+    fn literal_escapes_roundtrip() {
+        let mut b = KbBuilder::new();
+        let p = b.pred("quote");
+        let i = b.instance("speaker");
+        let l = b.literal("she said \"hi\\there\"\nnewline");
+        b.edge(i, p, l);
+        let kb = b.finalize().unwrap();
+        let kb2 = parse(&serialize(&kb)).unwrap();
+        assert_eq!(kb2.num_literals(), 1);
+        let i2 = kb2.instances_labeled("speaker")[0];
+        let p2 = kb2.pred_named("quote").unwrap();
+        assert_eq!(
+            kb2.node_value(kb2.objects(i2, p2)[0]),
+            "she said \"hi\\there\"\nnewline"
+        );
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let text = "<a> <r> <b> .\n<a> <r> oops .";
+        let err = parse(text).unwrap_err();
+        match err {
+            LoadError::Parse(p) => assert_eq!(p.line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_dot() {
+        let err = parse("<a> <r> <b>").unwrap_err();
+        assert!(matches!(err, LoadError::Parse(_)));
+    }
+
+    #[test]
+    fn rejects_literal_subject() {
+        let err = parse("\"a\" <r> <b> .").unwrap_err();
+        assert!(matches!(err, LoadError::Parse(_)));
+    }
+
+    #[test]
+    fn hostile_labels_roundtrip() {
+        let mut b = KbBuilder::new();
+        let c = b.class("weird class_name % with <brackets>");
+        let p = b.pred("rel with space_and_underscore");
+        let a = b.instance("label_with_underscores and spaces");
+        let o = b.instance("100% \"quoted\" # comment-ish");
+        b.set_type(a, c);
+        b.set_type(o, c);
+        b.edge(a, p, o);
+        let kb = b.finalize().unwrap();
+        let text = serialize(&kb);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.num_instances(), 2);
+        assert_eq!(
+            back.instances_labeled("label_with_underscores and spaces").len(),
+            1
+        );
+        assert_eq!(back.instances_labeled("100% \"quoted\" # comment-ish").len(), 1);
+        let p2 = back.pred_named("rel with space_and_underscore").unwrap();
+        let a2 = back.instances_labeled("label_with_underscores and spaces")[0];
+        assert_eq!(back.objects(a2, p2).len(), 1);
+        assert_eq!(text, serialize(&back), "canonical");
+    }
+
+    #[test]
+    fn carriage_return_literal_roundtrips() {
+        let mut b = KbBuilder::new();
+        let p = b.pred("note");
+        let i = b.instance("x");
+        let l = b.literal("line1\r\nline2");
+        b.edge(i, p, l);
+        let kb = b.finalize().unwrap();
+        let back = parse(&serialize(&kb)).unwrap();
+        let i2 = back.instances_labeled("x")[0];
+        let p2 = back.pred_named("note").unwrap();
+        assert_eq!(back.node_value(back.objects(i2, p2)[0]), "line1\r\nline2");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let kb = figure1_kb();
+        let path = std::env::temp_dir().join("dr_kb_roundtrip_test.nt");
+        save_file(&kb, &path).unwrap();
+        let back = load_file(&path).unwrap();
+        assert_eq!(kb.num_edges(), back.num_edges());
+        assert_eq!(kb.num_instances(), back.num_instances());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load_file("/nonexistent/definitely/missing.nt").unwrap_err();
+        assert!(matches!(err, LoadError::Io(_)));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::Config::with_cases(64))]
+        /// Arbitrary printable labels and literal values survive the text
+        /// roundtrip.
+        #[test]
+        fn arbitrary_kb_roundtrips(
+            labels in proptest::collection::vec("\\PC{1,16}", 2..6),
+            literal in "\\PC{0,16}",
+        ) {
+            let mut b = KbBuilder::new();
+            let class = b.class("thing");
+            let p = b.pred("linksTo");
+            let note = b.pred("note");
+            let ids: Vec<_> = labels
+                .iter()
+                .map(|l| {
+                    let i = b.instance(l);
+                    b.set_type(i, class);
+                    i
+                })
+                .collect();
+            for w in ids.windows(2) {
+                b.edge(w[0], p, w[1]);
+            }
+            let lit = b.literal(&literal);
+            b.edge(ids[0], note, lit);
+            let kb = b.finalize().unwrap();
+
+            let text = serialize(&kb);
+            let back = parse(&text).unwrap();
+            proptest::prop_assert_eq!(kb.num_instances(), back.num_instances());
+            proptest::prop_assert_eq!(kb.num_edges(), back.num_edges());
+            for l in &labels {
+                proptest::prop_assert!(
+                    !back.instances_labeled(l).is_empty(),
+                    "label {:?} lost in roundtrip", l
+                );
+            }
+            let i0 = back.instances_labeled(&labels[0])[0];
+            let note2 = back.pred_named("note").unwrap();
+            proptest::prop_assert_eq!(
+                back.node_value(back.objects(i0, note2)[0]),
+                literal.as_str()
+            );
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let kb = parse("\n# nothing\n\n<a> <r> <b> .\n").unwrap();
+        assert_eq!(kb.num_edges(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Aggregate statistics over a knowledge base.
+//!
+//! Used by the experiment harness to report Table-II-style alignment numbers
+//! and by examples to describe generated KBs.
+
+use crate::graph::KnowledgeBase;
+use crate::hash::FxHashSet;
+use crate::ids::PredId;
+
+/// The kind of a predicate, derived from the objects it connects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredKind {
+    /// All observed objects are instances (a relationship in §II-A terms).
+    Relationship,
+    /// All observed objects are literals (a property in §II-A terms).
+    Property,
+    /// Objects of both kinds were observed.
+    Mixed,
+    /// The predicate appears in no triple.
+    Unused,
+}
+
+/// Summary counters for a KB.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KbStats {
+    /// Number of instances.
+    pub instances: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Number of predicates used as relationships (instance → instance).
+    pub relationships: usize,
+    /// Number of predicates used as properties (instance → literal).
+    pub properties: usize,
+    /// Number of predicates with mixed or zero usage.
+    pub other_preds: usize,
+    /// Number of literals.
+    pub literals: usize,
+    /// Number of distinct triples.
+    pub edges: usize,
+    /// Depth of the class taxonomy.
+    pub taxonomy_depth: usize,
+    /// Number of instances with at least one class.
+    pub typed_instances: usize,
+}
+
+/// Classifies one predicate by scanning its triples.
+pub fn pred_kind(kb: &KnowledgeBase, p: PredId) -> PredKind {
+    let mut saw_instance = false;
+    let mut saw_literal = false;
+    for s in kb.instances() {
+        for o in kb.objects(s, p) {
+            if o.is_literal() {
+                saw_literal = true;
+            } else {
+                saw_instance = true;
+            }
+            if saw_instance && saw_literal {
+                return PredKind::Mixed;
+            }
+        }
+    }
+    match (saw_instance, saw_literal) {
+        (true, false) => PredKind::Relationship,
+        (false, true) => PredKind::Property,
+        (true, true) => PredKind::Mixed,
+        (false, false) => PredKind::Unused,
+    }
+}
+
+/// Computes all [`KbStats`] for `kb`.
+pub fn stats(kb: &KnowledgeBase) -> KbStats {
+    let mut relationships = 0;
+    let mut properties = 0;
+    let mut other = 0;
+    // Single pass over triples instead of per-pred scans.
+    let mut inst_preds: FxHashSet<PredId> = FxHashSet::default();
+    let mut lit_preds: FxHashSet<PredId> = FxHashSet::default();
+    for (_, p, o) in kb.triples() {
+        if o.is_literal() {
+            lit_preds.insert(p);
+        } else {
+            inst_preds.insert(p);
+        }
+    }
+    for p in kb.preds() {
+        match (inst_preds.contains(&p), lit_preds.contains(&p)) {
+            (true, false) => relationships += 1,
+            (false, true) => properties += 1,
+            _ => other += 1,
+        }
+    }
+    let typed_instances = kb
+        .instances()
+        .filter(|&i| !kb.instance_classes(i).is_empty())
+        .count();
+    KbStats {
+        instances: kb.num_instances(),
+        classes: kb.num_classes(),
+        relationships,
+        properties,
+        other_preds: other,
+        literals: kb.num_literals(),
+        edges: kb.num_edges(),
+        taxonomy_depth: kb.taxonomy().depth(),
+        typed_instances,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure1_kb, names};
+
+    #[test]
+    fn figure1_stats() {
+        let kb = figure1_kb();
+        let s = stats(&kb);
+        assert_eq!(s.instances, 8);
+        assert_eq!(s.classes, 6);
+        // worksAt, locatedIn, isCitizenOf, wasBornIn, wonPrize, bornAt
+        assert_eq!(s.relationships, 6);
+        assert_eq!(s.properties, 1); // bornOnDate
+        assert_eq!(s.other_preds, 0);
+        assert_eq!(s.edges, 10);
+        assert_eq!(s.typed_instances, 8);
+    }
+
+    #[test]
+    fn pred_kind_classification() {
+        let kb = figure1_kb();
+        let works_at = kb.pred_named(names::WORKS_AT).unwrap();
+        let born_on = kb.pred_named(names::BORN_ON_DATE).unwrap();
+        assert_eq!(pred_kind(&kb, works_at), PredKind::Relationship);
+        assert_eq!(pred_kind(&kb, born_on), PredKind::Property);
+    }
+
+    #[test]
+    fn unused_pred() {
+        let mut b = crate::graph::KbBuilder::new();
+        let p = b.pred("never-used");
+        let kb = b.finalize().unwrap();
+        assert_eq!(pred_kind(&kb, p), PredKind::Unused);
+        let s = stats(&kb);
+        assert_eq!(s.other_preds, 1);
+    }
+
+    #[test]
+    fn mixed_pred() {
+        let mut b = crate::graph::KbBuilder::new();
+        let p = b.pred("mixed");
+        let a = b.instance("a");
+        let x = b.instance("x");
+        let l = b.literal("1");
+        b.edge(a, p, x);
+        b.edge(a, p, l);
+        let kb = b.finalize().unwrap();
+        assert_eq!(pred_kind(&kb, p), PredKind::Mixed);
+    }
+}

@@ -1,0 +1,154 @@
+//! String interning.
+//!
+//! Every name in a knowledge base — instance labels, class names, predicate
+//! names, literal values — is interned into a 4-byte [`Symbol`]. All
+//! downstream structures (adjacency indexes, rule nodes, signature indexes)
+//! key on symbols instead of strings, which keeps hot maps small and hashing
+//! cheap (see the type-sizes and hashing guidance in the Rust perf book).
+
+use crate::hash::FxHashMap;
+use std::fmt;
+
+/// An interned string handle. Cheap to copy, hash, and compare.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw index of this symbol inside its [`SymbolTable`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+/// An append-only intern table mapping strings to [`Symbol`]s and back.
+///
+/// Lookups by string use a fast hash map; lookups by symbol are a direct
+/// vector index. Interning the same string twice returns the same symbol.
+#[derive(Default, Clone)]
+pub struct SymbolTable {
+    strings: Vec<Box<str>>,
+    index: FxHashMap<Box<str>, Symbol>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty table with room for `cap` distinct strings.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            strings: Vec::with_capacity(cap),
+            index: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+        }
+    }
+
+    /// Interns `s`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.index.get(s) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.strings.len()).expect("more than u32::MAX symbols"));
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.index.insert(boxed, sym);
+        sym
+    }
+
+    /// Returns the symbol for `s` if it has been interned.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.index.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was produced by a different table and is out of range.
+    #[inline]
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(symbol, string)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_ref()))
+    }
+}
+
+impl fmt::Debug for SymbolTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SymbolTable")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("Haifa");
+        let b = t.intern("Haifa");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("Haifa");
+        let b = t.intern("Karcag");
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "Haifa");
+        assert_eq!(t.resolve(b), "Karcag");
+    }
+
+    #[test]
+    fn get_without_interning() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.get("x"), None);
+        let s = t.intern("x");
+        assert_eq!(t.get("x"), Some(s));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        let pairs: Vec<_> = t.iter().collect();
+        assert_eq!(pairs, vec![(a, "a"), (b, "b")]);
+    }
+
+    #[test]
+    fn empty_string_is_a_valid_symbol() {
+        let mut t = SymbolTable::new();
+        let e = t.intern("");
+        assert_eq!(t.resolve(e), "");
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,271 @@
+//! The class taxonomy: `subClassOf` edges and their transitive closure.
+//!
+//! Yago-style KBs have deep taxonomies (e.g. *Nobel laureates in Chemistry*
+//! ⊑ *chemist* ⊑ *scientist* ⊑ *person*), while DBpedia-style KBs are flat.
+//! Detective-rule nodes name a class and must match any instance typed with
+//! that class **or any of its subclasses**, so subsumption queries are on the
+//! hot path of instance matching and are precomputed here.
+
+use crate::hash::FxHashSet;
+use crate::ids::ClassId;
+
+/// A directed acyclic `subClassOf` hierarchy over classes.
+///
+/// Built incrementally while loading a KB, then [`Taxonomy::finalize`]d into
+/// reachability sets for O(1) amortized subsumption checks.
+#[derive(Debug, Default, Clone)]
+pub struct Taxonomy {
+    /// `parents[c]` = direct superclasses of `c`.
+    parents: Vec<Vec<ClassId>>,
+    /// `children[c]` = direct subclasses of `c`.
+    children: Vec<Vec<ClassId>>,
+    /// `descendants[c]` = every class `d` with `d ⊑ c` (including `c`),
+    /// populated by `finalize`.
+    descendants: Vec<Vec<ClassId>>,
+    finalized: bool,
+}
+
+impl Taxonomy {
+    /// Creates an empty taxonomy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures internal vectors can index class `c`.
+    pub(crate) fn ensure(&mut self, c: ClassId) {
+        let need = c.index() + 1;
+        if self.parents.len() < need {
+            self.parents.resize_with(need, Vec::new);
+            self.children.resize_with(need, Vec::new);
+        }
+    }
+
+    /// Records `sub ⊑ sup` (a direct `subClassOf` edge).
+    ///
+    /// # Panics
+    /// Panics if called after [`Taxonomy::finalize`].
+    pub fn add_subclass(&mut self, sub: ClassId, sup: ClassId) {
+        assert!(!self.finalized, "taxonomy already finalized");
+        self.ensure(sub);
+        self.ensure(sup);
+        if !self.parents[sub.index()].contains(&sup) {
+            self.parents[sub.index()].push(sup);
+            self.children[sup.index()].push(sub);
+        }
+    }
+
+    /// Number of classes known to the taxonomy.
+    pub fn num_classes(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Direct superclasses of `c`.
+    pub fn parents(&self, c: ClassId) -> &[ClassId] {
+        self.parents.get(c.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Direct subclasses of `c`.
+    pub fn children(&self, c: ClassId) -> &[ClassId] {
+        self.children
+            .get(c.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Computes descendant sets. Must be called once, after all
+    /// `add_subclass` calls; cycles are rejected.
+    ///
+    /// # Errors
+    /// Returns the offending class if the hierarchy contains a cycle.
+    pub fn finalize(&mut self) -> Result<(), ClassId> {
+        assert!(!self.finalized, "taxonomy already finalized");
+        let n = self.parents.len();
+        // Topological sort (Kahn) over child -> parent edges.
+        let mut out_degree: Vec<usize> = (0..n).map(|c| self.parents[c].len()).collect();
+        let mut stack: Vec<usize> = (0..n).filter(|&c| out_degree[c] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(c) = stack.pop() {
+            order.push(c);
+            for &ch in &self.children[c] {
+                out_degree[ch.index()] -= 1;
+                if out_degree[ch.index()] == 0 {
+                    stack.push(ch.index());
+                }
+            }
+        }
+        if order.len() != n {
+            let cyclic = (0..n)
+                .find(|&c| out_degree[c] > 0)
+                .expect("cycle implies positive out-degree");
+            return Err(ClassId::from_index(cyclic));
+        }
+        // Accumulate descendants bottom-up: roots are processed first in
+        // `order`, so iterate in reverse (leaves first).
+        self.descendants = vec![Vec::new(); n];
+        let mut seen: FxHashSet<ClassId> = FxHashSet::default();
+        for &c in order.iter().rev() {
+            seen.clear();
+            let mut acc = vec![ClassId::from_index(c)];
+            seen.insert(ClassId::from_index(c));
+            for &ch in &self.children[c] {
+                for &d in &self.descendants[ch.index()] {
+                    if seen.insert(d) {
+                        acc.push(d);
+                    }
+                }
+            }
+            acc.sort_unstable();
+            self.descendants[c] = acc;
+        }
+        self.finalized = true;
+        Ok(())
+    }
+
+    /// Every class `d` with `d ⊑ c`, including `c` itself. Sorted.
+    ///
+    /// # Panics
+    /// Panics if the taxonomy has not been finalized.
+    pub fn descendants(&self, c: ClassId) -> &[ClassId] {
+        assert!(self.finalized, "taxonomy not finalized");
+        self.descendants
+            .get(c.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Whether `sub ⊑ sup` holds (reflexive, transitive).
+    pub fn subsumes(&self, sup: ClassId, sub: ClassId) -> bool {
+        if sup == sub {
+            return true;
+        }
+        if self.finalized {
+            return self.descendants(sup).binary_search(&sub).is_ok();
+        }
+        // Fallback BFS for un-finalized taxonomies (used by validators).
+        let mut stack = vec![sub];
+        let mut seen: FxHashSet<ClassId> = FxHashSet::default();
+        while let Some(c) = stack.pop() {
+            if c == sup {
+                return true;
+            }
+            for &p in self.parents(c) {
+                if seen.insert(p) {
+                    stack.push(p);
+                }
+            }
+        }
+        false
+    }
+
+    /// Maximum depth of the hierarchy (a root-only taxonomy has depth 1).
+    pub fn depth(&self) -> usize {
+        let n = self.parents.len();
+        if n == 0 {
+            return 0;
+        }
+        let mut memo = vec![0usize; n];
+        fn depth_of(c: usize, parents: &[Vec<ClassId>], memo: &mut [usize]) -> usize {
+            if memo[c] != 0 {
+                return memo[c];
+            }
+            let d = 1 + parents[c]
+                .iter()
+                .map(|p| depth_of(p.index(), parents, memo))
+                .max()
+                .unwrap_or(0);
+            memo[c] = d;
+            d
+        }
+        (0..n)
+            .map(|c| depth_of(c, &self.parents, &mut memo))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: usize) -> ClassId {
+        ClassId::from_index(i)
+    }
+
+    fn chain() -> Taxonomy {
+        // 0 = person, 1 = scientist, 2 = chemist, 3 = nobel-chemist
+        let mut t = Taxonomy::new();
+        t.add_subclass(c(1), c(0));
+        t.add_subclass(c(2), c(1));
+        t.add_subclass(c(3), c(2));
+        t.finalize().unwrap();
+        t
+    }
+
+    #[test]
+    fn descendants_include_self_and_transitive() {
+        let t = chain();
+        assert_eq!(t.descendants(c(0)), &[c(0), c(1), c(2), c(3)]);
+        assert_eq!(t.descendants(c(3)), &[c(3)]);
+    }
+
+    #[test]
+    fn subsumes_is_reflexive_and_transitive() {
+        let t = chain();
+        assert!(t.subsumes(c(0), c(0)));
+        assert!(t.subsumes(c(0), c(3)));
+        assert!(t.subsumes(c(1), c(2)));
+        assert!(!t.subsumes(c(3), c(0)));
+        assert!(!t.subsumes(c(2), c(1)));
+    }
+
+    #[test]
+    fn diamond_hierarchy() {
+        // 3 ⊑ 1, 3 ⊑ 2, 1 ⊑ 0, 2 ⊑ 0
+        let mut t = Taxonomy::new();
+        t.add_subclass(c(1), c(0));
+        t.add_subclass(c(2), c(0));
+        t.add_subclass(c(3), c(1));
+        t.add_subclass(c(3), c(2));
+        t.finalize().unwrap();
+        assert_eq!(t.descendants(c(0)), &[c(0), c(1), c(2), c(3)]);
+        assert!(t.subsumes(c(0), c(3)));
+        assert!(t.subsumes(c(1), c(3)));
+        assert!(t.subsumes(c(2), c(3)));
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut t = Taxonomy::new();
+        t.add_subclass(c(0), c(1));
+        t.add_subclass(c(1), c(0));
+        assert!(t.finalize().is_err());
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let mut t = Taxonomy::new();
+        t.add_subclass(c(1), c(0));
+        t.add_subclass(c(1), c(0));
+        assert_eq!(t.parents(c(1)), &[c(0)]);
+        assert_eq!(t.children(c(0)), &[c(1)]);
+    }
+
+    #[test]
+    fn depth_of_chain_and_flat() {
+        assert_eq!(chain().depth(), 4);
+        let mut flat = Taxonomy::new();
+        flat.add_subclass(c(1), c(0));
+        flat.add_subclass(c(2), c(0));
+        flat.finalize().unwrap();
+        assert_eq!(flat.depth(), 2);
+    }
+
+    #[test]
+    fn subsumes_before_finalize_uses_bfs() {
+        let mut t = Taxonomy::new();
+        t.add_subclass(c(1), c(0));
+        t.add_subclass(c(2), c(1));
+        assert!(t.subsumes(c(0), c(2)));
+        assert!(!t.subsumes(c(2), c(0)));
+    }
+}

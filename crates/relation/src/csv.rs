@@ -1,0 +1,305 @@
+//! Minimal RFC-4180-style CSV reading and writing for relations.
+//!
+//! Supports quoted fields with embedded commas, quotes (doubled), and
+//! newlines. The first record is the header and becomes the schema.
+
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use std::fmt;
+
+/// CSV parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based record number (header = 1).
+    pub record: usize,
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "csv record {}: {}", self.record, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Splits CSV text into records of fields.
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut fields: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut record_no = 1usize;
+    // Track whether the current record has any content (avoids emitting a
+    // phantom empty record for a trailing newline).
+    let mut record_started = false;
+
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(ch),
+            }
+            continue;
+        }
+        match ch {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(CsvError {
+                        record: record_no,
+                        message: "quote inside unquoted field".into(),
+                    });
+                }
+                in_quotes = true;
+                record_started = true;
+            }
+            ',' => {
+                fields.push(std::mem::take(&mut field));
+                record_started = true;
+            }
+            '\r' => {
+                // Swallow; \r\n handled by the \n branch.
+            }
+            '\n' => {
+                if record_started || !field.is_empty() || !fields.is_empty() {
+                    fields.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut fields));
+                    record_no += 1;
+                }
+                record_started = false;
+            }
+            _ => {
+                field.push(ch);
+                record_started = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError {
+            record: record_no,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if record_started || !field.is_empty() || !fields.is_empty() {
+        fields.push(field);
+        records.push(fields);
+    }
+    Ok(records)
+}
+
+/// Parses CSV text into a relation named `name`. The first record is the
+/// header.
+///
+/// # Errors
+/// Fails on malformed CSV, a missing header, or ragged rows.
+pub fn parse(name: &str, text: &str) -> Result<Relation, CsvError> {
+    let records = parse_records(text)?;
+    let mut iter = records.into_iter();
+    let header = iter.next().ok_or(CsvError {
+        record: 1,
+        message: "missing header record".into(),
+    })?;
+    let attr_names: Vec<&str> = header.iter().map(String::as_str).collect();
+    let schema = Schema::new(name, &attr_names);
+    let mut relation = Relation::new(schema);
+    for (i, record) in iter.enumerate() {
+        if record.len() != attr_names.len() {
+            return Err(CsvError {
+                record: i + 2,
+                message: format!(
+                    "expected {} fields, found {}",
+                    attr_names.len(),
+                    record.len()
+                ),
+            });
+        }
+        relation.push(Tuple::new(record));
+    }
+    Ok(relation)
+}
+
+/// Loads a relation from a CSV file; the relation is named after the file
+/// stem.
+///
+/// # Errors
+/// I/O failures and malformed CSV are both reported as [`CsvError`] (I/O
+/// errors use record 0).
+pub fn load_file(path: impl AsRef<std::path::Path>) -> Result<Relation, CsvError> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("relation")
+        .to_owned();
+    let text = std::fs::read_to_string(path).map_err(|e| CsvError {
+        record: 0,
+        message: format!("io error: {e}"),
+    })?;
+    parse(&name, &text)
+}
+
+/// Writes a relation to a CSV file (see [`serialize`]).
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn save_file(relation: &Relation, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::write(path, serialize(relation))
+}
+
+fn needs_quoting(field: &str) -> bool {
+    field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r')
+}
+
+fn write_field(out: &mut String, field: &str) {
+    if needs_quoting(field) {
+        out.push('"');
+        for ch in field.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Serializes a relation to CSV text (header + rows). Marks are not encoded.
+pub fn serialize(relation: &Relation) -> String {
+    let mut out = String::new();
+    let schema = relation.schema();
+    for (i, (_, name)) in schema.attrs().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_field(&mut out, name);
+    }
+    out.push('\n');
+    for tuple in relation.tuples() {
+        for (i, cell) in tuple.cells().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_field(&mut out, cell);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_simple() {
+        let r = parse("Nobel", "Name,City\nAvram Hershko,Karcag\nMarie Curie,Paris\n").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.schema().arity(), 2);
+        let city = r.schema().attr_expect("City");
+        assert_eq!(r.tuple(1).get(city), "Paris");
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let r = parse("R", "A,B\n\"x, y\",\"say \"\"hi\"\"\"\n").unwrap();
+        let a = r.schema().attr_expect("A");
+        let b = r.schema().attr_expect("B");
+        assert_eq!(r.tuple(0).get(a), "x, y");
+        assert_eq!(r.tuple(0).get(b), "say \"hi\"");
+    }
+
+    #[test]
+    fn embedded_newline_in_quotes() {
+        let r = parse("R", "A\n\"line1\nline2\"\n").unwrap();
+        let a = r.schema().attr_expect("A");
+        assert_eq!(r.tuple(0).get(a), "line1\nline2");
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let r = parse("R", "A,B\r\n1,2\r\n").unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        let err = parse("R", "A,B\n1\n").unwrap_err();
+        assert_eq!(err.record, 2);
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(parse("R", "A\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn empty_text_rejected() {
+        assert!(parse("R", "").is_err());
+    }
+
+    #[test]
+    fn no_trailing_newline_ok() {
+        let r = parse("R", "A\nlast").unwrap();
+        let a = r.schema().attr_expect("A");
+        assert_eq!(r.tuple(0).get(a), "last");
+    }
+
+    #[test]
+    fn empty_fields_preserved() {
+        let r = parse("R", "A,B,C\n,,\n").unwrap();
+        assert_eq!(r.tuple(0).cells(), &["", "", ""]);
+    }
+
+    #[test]
+    fn file_roundtrip_uses_stem_as_name() {
+        let r = parse("X", "A,B\n1,2\n").unwrap();
+        let path = std::env::temp_dir().join("dr_relation_roundtrip.csv");
+        save_file(&r, &path).unwrap();
+        let back = load_file(&path).unwrap();
+        assert_eq!(back.schema().name(), "dr_relation_roundtrip");
+        assert_eq!(back.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_reports_io() {
+        let err = load_file("/nonexistent/missing.csv").unwrap_err();
+        assert_eq!(err.record, 0);
+        assert!(err.message.contains("io error"));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(
+            rows in prop::collection::vec(
+                prop::collection::vec("[a-z,\"\n ]{0,8}", 2..=2),
+                0..6,
+            ),
+        ) {
+            let schema = Schema::new("R", &["A", "B"]);
+            let mut rel = Relation::new(schema);
+            for row in &rows {
+                rel.push(Tuple::new(row.clone()));
+            }
+            let text = serialize(&rel);
+            let back = parse("R", &text).unwrap();
+            prop_assert_eq!(back.len(), rel.len());
+            for (i, row) in rows.iter().enumerate() {
+                prop_assert_eq!(back.tuple(i).cells(), row.as_slice());
+            }
+        }
+    }
+}

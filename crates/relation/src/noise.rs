@@ -1,0 +1,348 @@
+//! Error injection, reproducing the paper's noise model (§V-A):
+//!
+//! > "Noises injected ... have two types: (i) typos; (ii) semantic errors:
+//! > the value is replaced with a different one from a semantically related
+//! > attribute. Errors were produced by adding noises with a certain rate
+//! > e%, i.e., the percentage of dirty cells over all data cells."
+//!
+//! Injection is deterministic given the seed, records every change, and
+//! guarantees the dirty value differs from the clean value.
+
+use crate::relation::{CellRef, Relation};
+use crate::schema::AttrId;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Which kind of noise dirtied a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Character-level perturbation of the clean value.
+    Typo,
+    /// Replacement by a semantically related (but wrong) value.
+    Semantic,
+}
+
+/// One injected error, for ground-truth bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedError {
+    /// The dirtied cell.
+    pub cell: CellRef,
+    /// The original (correct) value.
+    pub clean: String,
+    /// The injected (wrong) value.
+    pub dirty: String,
+    /// The noise type used.
+    pub kind: ErrorKind,
+}
+
+/// Supplies semantically related wrong values for cells.
+pub trait SemanticSource {
+    /// A wrong-but-related replacement for the cell's clean value, or `None`
+    /// if this source has nothing better than a typo for that cell.
+    fn related_value(&self, relation: &Relation, cell: CellRef, rng: &mut StdRng)
+        -> Option<String>;
+}
+
+/// Default semantic source: replaces a value with a *different* value drawn
+/// from the same column — a value of the right domain in the wrong row,
+/// which is how the UIS generator produces semantic errors.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ColumnSwapSource;
+
+impl SemanticSource for ColumnSwapSource {
+    fn related_value(
+        &self,
+        relation: &Relation,
+        cell: CellRef,
+        rng: &mut StdRng,
+    ) -> Option<String> {
+        let current = relation.value(cell);
+        let others: Vec<&str> = relation
+            .column_values(cell.attr)
+            .into_iter()
+            .filter(|&v| v != current)
+            .collect();
+        others.choose(rng).map(|&v| v.to_owned())
+    }
+}
+
+/// Noise-injection parameters.
+#[derive(Debug, Clone)]
+pub struct NoiseSpec {
+    /// Fraction of all data cells to dirty (`e%` in the paper), in `[0, 1]`.
+    pub error_rate: f64,
+    /// Fraction of errors that are typos (the rest are semantic), in `[0, 1]`.
+    pub typo_share: f64,
+    /// RNG seed; equal seeds give identical injections.
+    pub seed: u64,
+    /// Columns never dirtied (e.g. a key attribute used to anchor tuples).
+    pub excluded_attrs: Vec<AttrId>,
+}
+
+impl NoiseSpec {
+    /// A spec with the paper's default 50/50 typo/semantic split.
+    pub fn new(error_rate: f64, seed: u64) -> Self {
+        Self {
+            error_rate,
+            typo_share: 0.5,
+            seed,
+            excluded_attrs: Vec::new(),
+        }
+    }
+
+    /// Sets the typo share (the remainder becomes semantic errors).
+    pub fn with_typo_share(mut self, share: f64) -> Self {
+        self.typo_share = share;
+        self
+    }
+
+    /// Excludes columns from injection.
+    pub fn with_excluded(mut self, attrs: Vec<AttrId>) -> Self {
+        self.excluded_attrs = attrs;
+        self
+    }
+}
+
+const TYPO_ALPHABET: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
+    's', 't', 'u', 'v', 'w', 'x', 'y', 'z',
+];
+
+/// Applies 1–2 character edits to `value`, guaranteeing a different result.
+pub fn make_typo(value: &str, rng: &mut StdRng) -> String {
+    let mut chars: Vec<char> = value.chars().collect();
+    if chars.is_empty() {
+        // Nothing to perturb: fabricate a short junk token.
+        let len = rng.gen_range(1..=3);
+        return (0..len).map(|_| *TYPO_ALPHABET.choose(rng).expect("nonempty")).collect();
+    }
+    let edits = if chars.len() > 3 && rng.gen_bool(0.3) { 2 } else { 1 };
+    for _ in 0..edits {
+        match rng.gen_range(0..4u8) {
+            // substitution
+            0 => {
+                let pos = rng.gen_range(0..chars.len());
+                let old = chars[pos];
+                let mut new = *TYPO_ALPHABET.choose(rng).expect("nonempty");
+                while new == old {
+                    new = *TYPO_ALPHABET.choose(rng).expect("nonempty");
+                }
+                chars[pos] = new;
+            }
+            // insertion
+            1 => {
+                let pos = rng.gen_range(0..=chars.len());
+                chars.insert(pos, *TYPO_ALPHABET.choose(rng).expect("nonempty"));
+            }
+            // deletion
+            2 => {
+                if chars.len() > 1 {
+                    let pos = rng.gen_range(0..chars.len());
+                    chars.remove(pos);
+                } else {
+                    chars.push(*TYPO_ALPHABET.choose(rng).expect("nonempty"));
+                }
+            }
+            // adjacent transposition
+            _ => {
+                if chars.len() >= 2 {
+                    let pos = rng.gen_range(0..chars.len() - 1);
+                    chars.swap(pos, pos + 1);
+                } else {
+                    chars.push(*TYPO_ALPHABET.choose(rng).expect("nonempty"));
+                }
+            }
+        }
+    }
+    let result: String = chars.into_iter().collect();
+    if result == value {
+        // Rare (e.g. transposing equal chars): force a substitution.
+        let mut chars: Vec<char> = result.chars().collect();
+        let pos = 0;
+        let old = chars[pos];
+        let mut new = *TYPO_ALPHABET.choose(rng).expect("nonempty");
+        while new == old {
+            new = *TYPO_ALPHABET.choose(rng).expect("nonempty");
+        }
+        chars[pos] = new;
+        chars.into_iter().collect()
+    } else {
+        result
+    }
+}
+
+/// Injects noise into a copy of `clean` according to `spec`, drawing semantic
+/// errors from `semantic`. Returns the dirty relation and the error log
+/// (sorted by cell).
+pub fn inject(
+    clean: &Relation,
+    spec: &NoiseSpec,
+    semantic: &dyn SemanticSource,
+) -> (Relation, Vec<InjectedError>) {
+    assert!(
+        (0.0..=1.0).contains(&spec.error_rate),
+        "error_rate must be in [0, 1]"
+    );
+    assert!(
+        (0.0..=1.0).contains(&spec.typo_share),
+        "typo_share must be in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut dirty = clean.clone();
+    dirty.clear_marks();
+
+    let mut candidates: Vec<CellRef> = clean
+        .cell_refs()
+        .filter(|c| !spec.excluded_attrs.contains(&c.attr))
+        .collect();
+    candidates.shuffle(&mut rng);
+    let n_errors = ((clean.cell_count() as f64) * spec.error_rate).round() as usize;
+    let n_errors = n_errors.min(candidates.len());
+    let n_typos = ((n_errors as f64) * spec.typo_share).round() as usize;
+
+    let mut log = Vec::with_capacity(n_errors);
+    for (i, &cell) in candidates[..n_errors].iter().enumerate() {
+        let clean_value = clean.value(cell).to_owned();
+        let want_typo = i < n_typos;
+        let (dirty_value, kind) = if want_typo {
+            (make_typo(&clean_value, &mut rng), ErrorKind::Typo)
+        } else {
+            match semantic.related_value(clean, cell, &mut rng) {
+                Some(v) if v != clean_value => (v, ErrorKind::Semantic),
+                // No usable related value: degrade to a typo so the target
+                // error count is still met.
+                _ => (make_typo(&clean_value, &mut rng), ErrorKind::Typo),
+            }
+        };
+        debug_assert_ne!(dirty_value, clean_value);
+        dirty.tuple_mut(cell.row).set(cell.attr, dirty_value.clone());
+        log.push(InjectedError {
+            cell,
+            clean: clean_value,
+            dirty: dirty_value,
+            kind,
+        });
+    }
+    log.sort_by_key(|e| e.cell);
+    (dirty, log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use proptest::prelude::*;
+
+    fn sample(n: usize) -> Relation {
+        let schema = Schema::new("R", &["Name", "City", "State"]);
+        let mut r = Relation::new(schema);
+        for i in 0..n {
+            r.push_strs(&[
+                &format!("person {i}"),
+                &format!("city {}", i % 7),
+                &format!("state {}", i % 3),
+            ]);
+        }
+        r
+    }
+
+    #[test]
+    fn injects_requested_count() {
+        let clean = sample(100);
+        let spec = NoiseSpec::new(0.10, 42);
+        let (dirty, log) = inject(&clean, &spec, &ColumnSwapSource);
+        assert_eq!(log.len(), 30); // 300 cells * 10%
+        // Every logged cell actually differs; all others are untouched.
+        let mut logged: Vec<CellRef> = log.iter().map(|e| e.cell).collect();
+        logged.dedup();
+        assert_eq!(logged.len(), log.len(), "cells dirtied at most once");
+        for cell in clean.cell_refs() {
+            let changed = clean.value(cell) != dirty.value(cell);
+            assert_eq!(changed, logged.binary_search(&cell).is_ok());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let clean = sample(50);
+        let spec = NoiseSpec::new(0.2, 7);
+        let (d1, l1) = inject(&clean, &spec, &ColumnSwapSource);
+        let (d2, l2) = inject(&clean, &spec, &ColumnSwapSource);
+        assert_eq!(l1, l2);
+        for cell in clean.cell_refs() {
+            assert_eq!(d1.value(cell), d2.value(cell));
+        }
+        let other = NoiseSpec::new(0.2, 8);
+        let (_, l3) = inject(&clean, &other, &ColumnSwapSource);
+        assert_ne!(l1, l3, "different seeds should differ");
+    }
+
+    #[test]
+    fn typo_share_controls_kinds() {
+        let clean = sample(200);
+        for share in [0.0, 0.5, 1.0] {
+            let spec = NoiseSpec::new(0.1, 3).with_typo_share(share);
+            let (_, log) = inject(&clean, &spec, &ColumnSwapSource);
+            let typos = log.iter().filter(|e| e.kind == ErrorKind::Typo).count();
+            let expect = ((log.len() as f64) * share).round() as usize;
+            // Semantic fallback can only increase typos.
+            assert!(typos >= expect, "share {share}: {typos} < {expect}");
+            if share == 1.0 {
+                assert_eq!(typos, log.len());
+            }
+        }
+    }
+
+    #[test]
+    fn excluded_attrs_never_dirtied() {
+        let clean = sample(100);
+        let name = clean.schema().attr_expect("Name");
+        let spec = NoiseSpec::new(0.5, 11).with_excluded(vec![name]);
+        let (_, log) = inject(&clean, &spec, &ColumnSwapSource);
+        assert!(log.iter().all(|e| e.cell.attr != name));
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn semantic_errors_stay_in_domain() {
+        let clean = sample(100);
+        let spec = NoiseSpec::new(0.2, 5).with_typo_share(0.0);
+        let (_, log) = inject(&clean, &spec, &ColumnSwapSource);
+        for e in &log {
+            if e.kind == ErrorKind::Semantic {
+                // The replacement is another value of the same column.
+                let domain = clean.column_values(e.cell.attr);
+                assert!(domain.contains(&e.dirty.as_str()));
+                assert_ne!(e.dirty, e.clean);
+            }
+        }
+        assert!(log.iter().any(|e| e.kind == ErrorKind::Semantic));
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let clean = sample(10);
+        let (dirty, log) = inject(&clean, &NoiseSpec::new(0.0, 1), &ColumnSwapSource);
+        assert!(log.is_empty());
+        for cell in clean.cell_refs() {
+            assert_eq!(clean.value(cell), dirty.value(cell));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn typos_always_differ(value in "\\PC{0,12}", seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let typo = make_typo(&value, &mut rng);
+            prop_assert_ne!(typo, value);
+        }
+
+        #[test]
+        fn error_count_tracks_rate(rate in 0.0f64..=0.3, seed in 0u64..20) {
+            let clean = sample(40); // 120 cells
+            let (_, log) = inject(&clean, &NoiseSpec::new(rate, seed), &ColumnSwapSource);
+            let expect = ((120.0 * rate).round()) as usize;
+            prop_assert_eq!(log.len(), expect);
+        }
+    }
+}

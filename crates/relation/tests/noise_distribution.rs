@@ -1,0 +1,76 @@
+//! Statistical checks on the noise injector: the realized error mix must
+//! match the requested rates across seeds, not just for one lucky seed.
+
+use dr_relation::noise::{inject, ColumnSwapSource, NoiseSpec};
+use dr_relation::{ErrorKind, Relation, Schema};
+
+fn sample(n: usize) -> Relation {
+    let schema = Schema::new("R", &["A", "B", "C", "D"]);
+    let mut r = Relation::new(schema);
+    for i in 0..n {
+        r.push_strs(&[
+            &format!("a{i}"),
+            &format!("b{}", i % 13),
+            &format!("c{}", i % 7),
+            &format!("d{}", i % 5),
+        ]);
+    }
+    r
+}
+
+#[test]
+fn error_counts_are_exact_across_seeds() {
+    let clean = sample(250); // 1000 cells
+    for seed in 0..20 {
+        for rate_pct in [4usize, 10, 20] {
+            let spec = NoiseSpec::new(rate_pct as f64 / 100.0, seed);
+            let (_, log) = inject(&clean, &spec, &ColumnSwapSource);
+            assert_eq!(
+                log.len(),
+                rate_pct * 10,
+                "seed {seed}, rate {rate_pct}%"
+            );
+        }
+    }
+}
+
+#[test]
+fn typo_share_is_respected_within_tolerance() {
+    let clean = sample(500); // 2000 cells
+    for seed in 0..10 {
+        let spec = NoiseSpec::new(0.10, seed).with_typo_share(0.5);
+        let (_, log) = inject(&clean, &spec, &ColumnSwapSource);
+        let typos = log.iter().filter(|e| e.kind == ErrorKind::Typo).count();
+        let share = typos as f64 / log.len() as f64;
+        // Semantic fallback can only push the share up, never down.
+        assert!(
+            (0.48..=0.65).contains(&share),
+            "seed {seed}: typo share {share}"
+        );
+    }
+}
+
+#[test]
+fn errors_spread_across_rows_and_columns() {
+    let clean = sample(400);
+    let spec = NoiseSpec::new(0.10, 3);
+    let (_, log) = inject(&clean, &spec, &ColumnSwapSource);
+    let rows: dr_kb::FxHashSet<usize> = log.iter().map(|e| e.cell.row).collect();
+    let cols: dr_kb::FxHashSet<usize> = log.iter().map(|e| e.cell.attr.index()).collect();
+    assert_eq!(cols.len(), 4, "every column gets some errors");
+    // 160 errors over 400 rows: most land on distinct rows.
+    assert!(rows.len() > 100, "{}", rows.len());
+}
+
+#[test]
+fn seeds_produce_disjoint_error_patterns() {
+    let clean = sample(200);
+    let spec_a = NoiseSpec::new(0.05, 100);
+    let spec_b = NoiseSpec::new(0.05, 101);
+    let (_, log_a) = inject(&clean, &spec_a, &ColumnSwapSource);
+    let (_, log_b) = inject(&clean, &spec_b, &ColumnSwapSource);
+    let cells_a: dr_kb::FxHashSet<_> = log_a.iter().map(|e| e.cell).collect();
+    let overlap = log_b.iter().filter(|e| cells_a.contains(&e.cell)).count();
+    // 40 of 800 cells each: overlap should be far below identity.
+    assert!(overlap < log_b.len() / 2, "overlap {overlap}");
+}

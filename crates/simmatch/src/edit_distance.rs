@@ -1,0 +1,181 @@
+//! Levenshtein edit distance: full dynamic program and a banded,
+//! threshold-aware variant.
+//!
+//! Rule nodes with `sim: ED,k` only ever ask "is the distance ≤ k?", so the
+//! hot path is [`within`], which runs the DP restricted to a `2k+1` diagonal
+//! band and exits early when the band exceeds the threshold — O(k·min(n,m))
+//! instead of O(n·m).
+
+/// Full Levenshtein distance between `a` and `b` (unit costs for insert,
+/// delete, substitute).
+///
+/// Operates on Unicode scalar values, matching the paper's character-level
+/// examples (`ED(Chemistry, Chamstry) = 2`).
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // One-row DP.
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            let val = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = val;
+        }
+    }
+    row[b.len()]
+}
+
+/// Returns `Some(distance)` iff `edit_distance(a, b) <= k`; `None` otherwise.
+///
+/// Runs a banded DP over the `2k+1` diagonals around the main diagonal, with
+/// early exit once every cell in the current band exceeds `k`.
+pub fn within(a: &str, b: &str, k: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n.abs_diff(m) > k {
+        return None;
+    }
+    if n == 0 {
+        return (m <= k).then_some(m);
+    }
+    if m == 0 {
+        return (n <= k).then_some(n);
+    }
+    const BIG: usize = usize::MAX / 2;
+    // row[j] = distance for prefix (i, j); only j in [i-k, i+k] is live.
+    let mut row = vec![BIG; m + 1];
+    for (j, cell) in row.iter_mut().enumerate().take(k.min(m) + 1) {
+        *cell = j;
+    }
+    for i in 1..=n {
+        let lo = i.saturating_sub(k).max(1);
+        let hi = (i + k).min(m);
+        let mut prev_diag = if lo == 1 { i - 1 } else { row[lo - 1] };
+        let left_of_band = if i <= k { i } else { BIG };
+        let mut left = left_of_band; // row[lo-1] in the *new* row
+        if i <= k {
+            row[0] = i;
+        }
+        let mut min_in_row = BIG;
+        for j in lo..=hi {
+            let up = row[j];
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let val = (prev_diag + cost).min(up + 1).min(left + 1);
+            prev_diag = up;
+            row[j] = val;
+            left = val;
+            min_in_row = min_in_row.min(val);
+        }
+        if hi < m {
+            row[hi + 1] = BIG; // stale cell from previous row is out of band
+        }
+        if min_in_row > k {
+            return None;
+        }
+    }
+    (row[m] <= k).then_some(row[m])
+}
+
+/// Convenience predicate: `edit_distance(a, b) <= k`.
+#[inline]
+pub fn within_bool(a: &str, b: &str, k: usize) -> bool {
+    within(a, b, k).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example() {
+        assert_eq!(edit_distance("Chemistry", "Chamstry"), 2);
+    }
+
+    #[test]
+    fn identical_and_empty() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", ""), 3);
+    }
+
+    #[test]
+    fn single_operations() {
+        assert_eq!(edit_distance("cat", "cats"), 1); // insert
+        assert_eq!(edit_distance("cats", "cat"), 1); // delete
+        assert_eq!(edit_distance("cat", "cut"), 1); // substitute
+    }
+
+    #[test]
+    fn unicode_chars_count_as_one() {
+        assert_eq!(edit_distance("café", "cafe"), 1);
+        assert_eq!(edit_distance("北京", "東京"), 1);
+    }
+
+    #[test]
+    fn within_agrees_on_small_cases() {
+        assert_eq!(within("Chemistry", "Chamstry", 2), Some(2));
+        assert_eq!(within("Chemistry", "Chamstry", 1), None);
+        assert_eq!(within("abc", "abc", 0), Some(0));
+        assert_eq!(within("abc", "abd", 0), None);
+    }
+
+    #[test]
+    fn within_length_filter() {
+        // Length gap alone exceeds k.
+        assert_eq!(within("a", "abcdef", 2), None);
+        assert_eq!(within("", "ab", 1), None);
+        assert_eq!(within("", "ab", 2), Some(2));
+    }
+
+    #[test]
+    fn within_band_edges() {
+        assert_eq!(within("kitten", "sitting", 3), Some(3));
+        assert_eq!(within("kitten", "sitting", 2), None);
+    }
+
+    proptest! {
+        #[test]
+        fn banded_matches_full(a in "[a-d]{0,12}", b in "[a-d]{0,12}", k in 0usize..6) {
+            let full = edit_distance(&a, &b);
+            let banded = within(&a, &b, k);
+            if full <= k {
+                prop_assert_eq!(banded, Some(full));
+            } else {
+                prop_assert_eq!(banded, None);
+            }
+        }
+
+        #[test]
+        fn symmetric(a in "\\PC{0,16}", b in "\\PC{0,16}") {
+            prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+        }
+
+        #[test]
+        fn triangle_inequality(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
+            let ab = edit_distance(&a, &b);
+            let bc = edit_distance(&b, &c);
+            let ac = edit_distance(&a, &c);
+            prop_assert!(ac <= ab + bc);
+        }
+
+        #[test]
+        fn zero_iff_equal(a in "\\PC{0,16}", b in "\\PC{0,16}") {
+            let a_chars: Vec<char> = a.chars().collect();
+            let b_chars: Vec<char> = b.chars().collect();
+            prop_assert_eq!(edit_distance(&a, &b) == 0, a_chars == b_chars);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! A unified value-lookup index dispatching on the node's [`SimFn`].
+//!
+//! Rule evaluation repeatedly asks "which KB values of this type match this
+//! cell?". A [`MatchIndex`] is built once per (class, sim) pair and answers
+//! that query without scanning all instances:
+//!
+//! * `=` — hash lookup on the normalized value;
+//! * `ED,k` — PASS-JOIN signature index ([`SignatureIndex`]);
+//! * `JAC,t` / `COS,t` — token inverted index with share-a-token filtering
+//!   (sound for any threshold > 0), then exact verification.
+
+use crate::passjoin::SignatureIndex;
+use crate::normalize::normalize;
+use crate::simfn::SimFn;
+use crate::setsim::{cosine, jaccard};
+use crate::tokens::{token_set, word_tokens};
+use dr_kb::FxHashMap;
+
+/// Token inverted index used for Jaccard/cosine nodes.
+struct TokenIndex {
+    sim: SimFn,
+    /// token → offsets of sets containing it.
+    postings: FxHashMap<Box<str>, Vec<u32>>,
+    /// Offsets of items whose token set is empty (they can only match
+    /// queries that also tokenize to nothing).
+    empty_items: Vec<u32>,
+    /// Per indexed item: caller id and its sorted token set.
+    items: Vec<(u32, Vec<String>)>,
+}
+
+impl TokenIndex {
+    fn build<'a>(sim: SimFn, items: impl IntoIterator<Item = (u32, &'a str)>) -> Self {
+        let mut postings: FxHashMap<Box<str>, Vec<u32>> = FxHashMap::default();
+        let mut empty_items = Vec::new();
+        let mut stored = Vec::new();
+        for (id, value) in items {
+            let set = token_set(word_tokens(value));
+            let offset = stored.len() as u32;
+            if set.is_empty() {
+                empty_items.push(offset);
+            }
+            for token in &set {
+                postings
+                    .entry(token.clone().into_boxed_str())
+                    .or_default()
+                    .push(offset);
+            }
+            stored.push((id, set));
+        }
+        Self {
+            sim,
+            postings,
+            empty_items,
+            items: stored,
+        }
+    }
+
+    fn lookup(&self, value: &str) -> Vec<u32> {
+        let query = token_set(word_tokens(value));
+        let (threshold, measure): (f64, SetMeasure) = match self.sim {
+            SimFn::Jaccard(pm) => (f64::from(pm) / 1000.0, jaccard),
+            SimFn::Cosine(pm) => (f64::from(pm) / 1000.0, cosine),
+            _ => unreachable!("TokenIndex only built for set measures"),
+        };
+        let mut offsets: Vec<u32> = if threshold <= 0.0 {
+            // Everything passes a zero threshold; the share-a-token filter
+            // would be incomplete here.
+            (0..self.items.len() as u32).collect()
+        } else {
+            let mut candidates: Vec<u32> = query
+                .iter()
+                .filter_map(|t| self.postings.get(t.as_str()))
+                .flatten()
+                .copied()
+                .collect();
+            // Empty sets share no token but have similarity 1 with an empty
+            // query under the two-empty-sets convention.
+            if query.is_empty() {
+                candidates.extend_from_slice(&self.empty_items);
+            }
+            candidates
+        };
+        offsets.sort_unstable();
+        offsets.dedup();
+        offsets
+            .into_iter()
+            .filter(|&off| {
+                let (_, set) = &self.items[off as usize];
+                measure(&query, set) >= threshold
+            })
+            .map(|off| self.items[off as usize].0)
+            .collect()
+    }
+}
+
+/// A set-similarity measure over sorted token sets.
+type SetMeasure = fn(&[String], &[String]) -> f64;
+
+enum Backend {
+    Exact(FxHashMap<Box<str>, Vec<u32>>),
+    Signature(SignatureIndex),
+    Token(TokenIndex),
+}
+
+/// Index over `(id, value)` pairs answering "which ids match this value under
+/// the given [`SimFn`]?".
+pub struct MatchIndex {
+    sim: SimFn,
+    backend: Backend,
+    len: usize,
+}
+
+impl MatchIndex {
+    /// Builds an index appropriate for `sim` over the given items.
+    pub fn build<'a>(sim: SimFn, items: impl IntoIterator<Item = (u32, &'a str)>) -> Self {
+        let mut len = 0;
+        let backend = match sim {
+            SimFn::Equal => {
+                let mut map: FxHashMap<Box<str>, Vec<u32>> = FxHashMap::default();
+                for (id, value) in items {
+                    map.entry(normalize(value).into_boxed_str())
+                        .or_default()
+                        .push(id);
+                    len += 1;
+                }
+                Backend::Exact(map)
+            }
+            SimFn::EditDistance(k) => {
+                let idx = SignatureIndex::build(k, items);
+                len = idx.len();
+                Backend::Signature(idx)
+            }
+            SimFn::Jaccard(_) | SimFn::Cosine(_) => {
+                let idx = TokenIndex::build(sim, items);
+                len = idx.items.len();
+                Backend::Token(idx)
+            }
+        };
+        Self { sim, backend, len }
+    }
+
+    /// The similarity function this index answers for.
+    pub fn sim(&self) -> SimFn {
+        self.sim
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All ids whose value matches `value` under `sim`. Verified (no false
+    /// positives), complete (no false negatives).
+    pub fn lookup(&self, value: &str) -> Vec<u32> {
+        match &self.backend {
+            Backend::Exact(map) => map
+                .get(normalize(value).as_str())
+                .map(|v| v.to_vec())
+                .unwrap_or_default(),
+            Backend::Signature(idx) => idx.lookup(value).into_iter().map(|m| m.id).collect(),
+            Backend::Token(idx) => idx.lookup(value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const CITIES: &[&str] = &["Haifa", "Karcag", "Paris", "Ithaca", "St. Paul", "Berkeley"];
+
+    fn build(sim: SimFn) -> MatchIndex {
+        MatchIndex::build(sim, CITIES.iter().enumerate().map(|(i, &s)| (i as u32, s)))
+    }
+
+    #[test]
+    fn exact_lookup() {
+        let idx = build(SimFn::Equal);
+        assert_eq!(idx.lookup("haifa"), vec![0]);
+        assert_eq!(idx.lookup(" ST.  PAUL "), vec![4]);
+        assert!(idx.lookup("Москва").is_empty());
+    }
+
+    #[test]
+    fn ed_lookup() {
+        let idx = build(SimFn::EditDistance(2));
+        assert!(idx.lookup("Haifa").contains(&0));
+        assert!(idx.lookup("Hafia").contains(&0)); // transposition = 2 edits
+        assert!(idx.lookup("Karxag").contains(&1));
+        assert!(!idx.lookup("Completely Different").contains(&0));
+    }
+
+    #[test]
+    fn jaccard_lookup() {
+        let idx = MatchIndex::build(
+            SimFn::jaccard_threshold(0.5),
+            [(0u32, "University of Manchester"), (1u32, "UC Berkeley")],
+        );
+        assert_eq!(idx.lookup("Manchester University"), vec![0]);
+        assert_eq!(idx.lookup("Berkeley UC"), vec![1]);
+        assert!(idx.lookup("ETH Zurich").is_empty());
+    }
+
+    #[test]
+    fn cosine_lookup() {
+        let idx = MatchIndex::build(
+            SimFn::cosine_threshold(0.7),
+            [(0u32, "Israel Institute of Technology")],
+        );
+        assert_eq!(idx.lookup("israel institute of technology"), vec![0]);
+        assert!(idx.lookup("institute").is_empty()); // cos = 1/2 < 0.7
+    }
+
+    #[test]
+    fn duplicate_values_share_a_bucket() {
+        let idx = MatchIndex::build(SimFn::Equal, [(1u32, "Paris"), (2u32, "Paris")]);
+        let mut hits = idx.lookup("paris");
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_index() {
+        for sim in [SimFn::Equal, SimFn::EditDistance(2), SimFn::jaccard_threshold(0.5)] {
+            let idx = MatchIndex::build(sim, std::iter::empty());
+            assert!(idx.is_empty());
+            assert!(idx.lookup("x").is_empty());
+        }
+    }
+
+    proptest! {
+        /// Index lookups agree with brute-force `SimFn::matches` scans.
+        #[test]
+        fn agrees_with_bruteforce(
+            values in prop::collection::vec("[ab ]{0,8}", 1..12),
+            query in "[ab ]{0,8}",
+            which in 0usize..3,
+        ) {
+            let sim = match which {
+                0 => SimFn::Equal,
+                1 => SimFn::EditDistance(1),
+                _ => SimFn::jaccard_threshold(0.5),
+            };
+            let idx = MatchIndex::build(
+                sim,
+                values.iter().enumerate().map(|(i, s)| (i as u32, s.as_str())),
+            );
+            let mut got = idx.lookup(&query);
+            got.sort_unstable();
+            let mut want: Vec<u32> = values
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| sim.matches(&query, v))
+                .map(|(i, _)| i as u32)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

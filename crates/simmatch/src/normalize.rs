@@ -1,0 +1,80 @@
+//! Value normalization applied before similarity comparison.
+//!
+//! Table cells and KB labels come from different pipelines; trimming,
+//! case-folding and whitespace-collapsing removes formatting-only mismatches
+//! so that similarity functions measure real differences.
+
+/// Normalizes a value: trim, collapse internal whitespace runs to single
+/// spaces, and lowercase.
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_was_space = true; // leading spaces dropped
+    for ch in s.chars() {
+        if ch.is_whitespace() {
+            if !last_was_space {
+                out.push(' ');
+                last_was_space = true;
+            }
+        } else {
+            for lower in ch.to_lowercase() {
+                out.push(lower);
+            }
+            last_was_space = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Whether two values are equal after normalization.
+pub fn eq_normalized(a: &str, b: &str) -> bool {
+    // Cheap path: byte equality.
+    a == b || normalize(a) == normalize(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn trims_and_collapses() {
+        assert_eq!(normalize("  Israel   Institute  of Technology "), "israel institute of technology");
+    }
+
+    #[test]
+    fn lowercases_unicode() {
+        assert_eq!(normalize("HAİFA"), "hai\u{307}fa"); // dotted capital I decomposes
+        assert_eq!(normalize("ÉCOLE"), "école");
+    }
+
+    #[test]
+    fn tabs_and_newlines_collapse() {
+        assert_eq!(normalize("a\t\nb"), "a b");
+    }
+
+    #[test]
+    fn eq_normalized_matches_variants() {
+        assert!(eq_normalized("Haifa", "haifa"));
+        assert!(eq_normalized(" Haifa ", "HAIFA"));
+        assert!(!eq_normalized("Haifa", "Karcag"));
+    }
+
+    proptest! {
+        #[test]
+        fn idempotent(s in "\\PC{0,32}") {
+            let once = normalize(&s);
+            prop_assert_eq!(normalize(&once), once);
+        }
+
+        #[test]
+        fn no_double_spaces(s in "\\PC{0,32}") {
+            let n = normalize(&s);
+            prop_assert!(!n.contains("  "));
+            prop_assert!(!n.starts_with(' '));
+            prop_assert!(!n.ends_with(' '));
+        }
+    }
+}

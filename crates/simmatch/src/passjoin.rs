@@ -1,0 +1,272 @@
+//! Partition-based signature index for threshold edit-distance lookup,
+//! following the PASS-JOIN scheme the paper cites for fast instance matching
+//! (§IV-B(2), citing Li et al., PVLDB 2011).
+//!
+//! Every indexed string is split into `k + 1` contiguous segments. If
+//! `ED(q, s) ≤ k`, then by pigeonhole at least one segment of `s` survives
+//! unedited and occurs in `q` as a contiguous substring, displaced by at most
+//! `k` positions. Probing the inverted index with the `O(k²)` windowed
+//! substrings of `q` therefore finds **every** true match (no false
+//! negatives); candidates are then verified with the banded edit-distance DP.
+
+use crate::edit_distance::within;
+use crate::normalize::normalize;
+use dr_kb::FxHashMap;
+
+/// Key of one posting list: (indexed string char-length, segment index,
+/// segment content).
+type SigKey = (u16, u8, Box<str>);
+
+/// A verified match returned by [`SignatureIndex::lookup`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match {
+    /// Caller-supplied id of the matching string.
+    pub id: u32,
+    /// Its edit distance from the query (≤ k).
+    pub distance: u32,
+}
+
+/// The start offset and length (in chars) of each of the `k+1` segments of a
+/// string with `len` chars.
+fn partition(len: usize, k: usize) -> Vec<(usize, usize)> {
+    let parts = k + 1;
+    let base = len / parts;
+    let extra = len % parts; // first `extra` segments get one more char
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let seg_len = base + usize::from(i < extra);
+        out.push((start, seg_len));
+        start += seg_len;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// An inverted index over segment signatures supporting
+/// `ED(query, indexed) ≤ k` retrieval.
+pub struct SignatureIndex {
+    k: usize,
+    /// Normalized strings, indexed by insertion order; `ids[i]` is the
+    /// caller id of `strings[i]`.
+    strings: Vec<Box<str>>,
+    ids: Vec<u32>,
+    postings: FxHashMap<SigKey, Vec<u32>>, // values are offsets into strings/ids
+    /// Char-lengths present in the index (sorted, deduped).
+    lengths: Vec<u16>,
+}
+
+impl SignatureIndex {
+    /// Builds an index for threshold `k` over `(id, value)` pairs. Values are
+    /// normalized before indexing; queries are normalized before lookup.
+    pub fn build<'a>(k: u32, items: impl IntoIterator<Item = (u32, &'a str)>) -> Self {
+        let k = k as usize;
+        let mut strings = Vec::new();
+        let mut ids = Vec::new();
+        let mut postings: FxHashMap<SigKey, Vec<u32>> = FxHashMap::default();
+        let mut lengths = Vec::new();
+        for (id, raw) in items {
+            let value = normalize(raw);
+            let chars: Vec<char> = value.chars().collect();
+            let len = chars.len();
+            let offset = strings.len() as u32;
+            strings.push(value.into_boxed_str());
+            ids.push(id);
+            lengths.push(len.min(u16::MAX as usize) as u16);
+            for (seg_idx, &(start, seg_len)) in partition(len, k).iter().enumerate() {
+                // Zero-length segments (len < k+1) match the empty substring;
+                // index them too so short strings remain findable.
+                let content: String = chars[start..start + seg_len].iter().collect();
+                postings
+                    .entry((len as u16, seg_idx as u8, content.into_boxed_str()))
+                    .or_default()
+                    .push(offset);
+            }
+        }
+        lengths.sort_unstable();
+        lengths.dedup();
+        Self {
+            k,
+            strings,
+            ids,
+            postings,
+            lengths,
+        }
+    }
+
+    /// The edit-distance threshold this index was built for.
+    pub fn threshold(&self) -> usize {
+        self.k
+    }
+
+    /// Number of indexed strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Candidate offsets whose strings *may* be within distance `k` of
+    /// `query` (superset of the true matches). Deduplicated.
+    fn candidate_offsets(&self, query_chars: &[char]) -> Vec<u32> {
+        let qlen = query_chars.len();
+        let mut out: Vec<u32> = Vec::new();
+        let lo = qlen.saturating_sub(self.k) as u16;
+        let hi = (qlen + self.k).min(u16::MAX as usize) as u16;
+        let from = self.lengths.partition_point(|&l| l < lo);
+        for &len in &self.lengths[from..] {
+            if len > hi {
+                break;
+            }
+            for (seg_idx, &(start, seg_len)) in
+                partition(len as usize, self.k).iter().enumerate()
+            {
+                if seg_len > qlen {
+                    continue;
+                }
+                let win_lo = start.saturating_sub(self.k);
+                let win_hi = (start + self.k).min(qlen - seg_len);
+                for sp in win_lo..=win_hi {
+                    let content: String = query_chars[sp..sp + seg_len].iter().collect();
+                    if let Some(list) =
+                        self.postings
+                            .get(&(len, seg_idx as u8, content.into_boxed_str()))
+                    {
+                        out.extend_from_slice(list);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// All indexed ids within edit distance `k` of `query`, verified with the
+    /// banded DP. Results are sorted by offset (insertion order).
+    pub fn lookup(&self, query: &str) -> Vec<Match> {
+        let q = normalize(query);
+        let q_chars: Vec<char> = q.chars().collect();
+        self.candidate_offsets(&q_chars)
+            .into_iter()
+            .filter_map(|off| {
+                within(&q, &self.strings[off as usize], self.k).map(|d| Match {
+                    id: self.ids[off as usize],
+                    distance: d as u32,
+                })
+            })
+            .collect()
+    }
+
+    /// Number of raw candidates generated for `query` before verification
+    /// (for filtering-effectiveness diagnostics and ablation benches).
+    pub fn candidate_count(&self, query: &str) -> usize {
+        let q = normalize(query);
+        let q_chars: Vec<char> = q.chars().collect();
+        self.candidate_offsets(&q_chars).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit_distance::edit_distance;
+    use proptest::prelude::*;
+
+    #[test]
+    fn partition_covers_string() {
+        for len in 0..40 {
+            for k in 0..5 {
+                let parts = partition(len, k);
+                assert_eq!(parts.len(), k + 1);
+                let total: usize = parts.iter().map(|&(_, l)| l).sum();
+                assert_eq!(total, len);
+                // Contiguous.
+                let mut expect = 0;
+                for &(start, l) in &parts {
+                    assert_eq!(start, expect);
+                    expect += l;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn finds_exact_and_near_matches() {
+        let names = ["Pasteur Institute", "Cornell University", "UC Berkeley"];
+        let idx = SignatureIndex::build(
+            2,
+            names.iter().enumerate().map(|(i, &s)| (i as u32, s)),
+        );
+        let hits = idx.lookup("Paster Institute");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(hits[0].distance, 1); // normalized: one deletion... see note
+    }
+
+    #[test]
+    fn respects_threshold() {
+        let idx = SignatureIndex::build(1, [(7u32, "haifa")]);
+        assert_eq!(idx.lookup("haifa").len(), 1);
+        assert_eq!(idx.lookup("haifaa").len(), 1);
+        assert!(idx.lookup("hfx").is_empty());
+    }
+
+    #[test]
+    fn empty_index_and_empty_query() {
+        let idx = SignatureIndex::build(2, std::iter::empty());
+        assert!(idx.is_empty());
+        assert!(idx.lookup("anything").is_empty());
+
+        let idx = SignatureIndex::build(2, [(1u32, "ab")]);
+        // Empty query within distance 2 of "ab".
+        let hits = idx.lookup("");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].distance, 2);
+    }
+
+    #[test]
+    fn short_strings_with_large_k() {
+        // len < k+1 creates zero-length segments; matching must still work.
+        let idx = SignatureIndex::build(3, [(1u32, "ab"), (2u32, "a")]);
+        let hits = idx.lookup("ab");
+        let ids: Vec<u32> = hits.iter().map(|m| m.id).collect();
+        assert!(ids.contains(&1));
+        assert!(ids.contains(&2));
+    }
+
+    #[test]
+    fn duplicate_ids_allowed() {
+        let idx = SignatureIndex::build(1, [(5u32, "x"), (5u32, "y")]);
+        assert_eq!(idx.len(), 2);
+    }
+
+    proptest! {
+        /// The signature filter must never lose a true match.
+        #[test]
+        fn no_false_negatives(
+            strings in prop::collection::vec("[ab]{0,10}", 1..20),
+            query in "[ab]{0,10}",
+            k in 0u32..4,
+        ) {
+            let idx = SignatureIndex::build(
+                k,
+                strings.iter().enumerate().map(|(i, s)| (i as u32, s.as_str())),
+            );
+            let hits = idx.lookup(&query);
+            for (i, s) in strings.iter().enumerate() {
+                let d = edit_distance(&normalize(&query), &normalize(s));
+                let hit = hits.iter().find(|m| m.id == i as u32);
+                if d <= k as usize {
+                    prop_assert!(hit.is_some(), "missed {s:?} at distance {d} (k={k})");
+                    prop_assert_eq!(hit.unwrap().distance as usize, d);
+                } else {
+                    prop_assert!(hit.is_none(), "false positive {s:?} at distance {d} (k={k})");
+                }
+            }
+        }
+    }
+}

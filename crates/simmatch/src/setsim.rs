@@ -1,0 +1,125 @@
+//! Set-based similarity measures over sorted token sets.
+
+/// Size of the intersection of two **sorted, deduplicated** slices.
+fn intersection_size(a: &[String], b: &[String]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Jaccard similarity `|A ∩ B| / |A ∪ B|` of two sorted, deduplicated token
+/// sets. Two empty sets are defined as similarity 1.
+pub fn jaccard(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = intersection_size(a, b);
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Cosine similarity `|A ∩ B| / sqrt(|A| · |B|)` over sorted, deduplicated
+/// token sets (set semantics). Two empty sets are similarity 1; one empty set
+/// gives 0.
+pub fn cosine(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = intersection_size(a, b);
+    inter as f64 / ((a.len() as f64) * (b.len() as f64)).sqrt()
+}
+
+/// Overlap coefficient `|A ∩ B| / min(|A|, |B|)`.
+pub fn overlap(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = intersection_size(a, b);
+    inter as f64 / a.len().min(b.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens::{token_set, word_tokens};
+    use proptest::prelude::*;
+
+    fn set(s: &str) -> Vec<String> {
+        token_set(word_tokens(s))
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard(&set("a b c"), &set("a b c")), 1.0);
+        assert_eq!(jaccard(&set("a b"), &set("c d")), 0.0);
+        assert!((jaccard(&set("a b c"), &set("b c d")) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert_eq!(cosine(&set("a b"), &set("a b")), 1.0);
+        assert_eq!(cosine(&set("a"), &set("b")), 0.0);
+        assert!((cosine(&set("a b c d"), &set("a")) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_basics() {
+        assert_eq!(overlap(&set("a b c"), &set("a")), 1.0);
+        assert_eq!(overlap(&set("a b"), &set("c")), 0.0);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let e: Vec<String> = vec![];
+        assert_eq!(jaccard(&e, &e), 1.0);
+        assert_eq!(cosine(&e, &e), 1.0);
+        assert_eq!(jaccard(&e, &set("a")), 0.0);
+        assert_eq!(cosine(&e, &set("a")), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn symmetric_and_bounded(a in "[a-c ]{0,16}", b in "[a-c ]{0,16}") {
+            let (sa, sb) = (set(&a), set(&b));
+            for f in [jaccard, cosine, overlap] {
+                let v = f(&sa, &sb);
+                prop_assert!((0.0..=1.0).contains(&v));
+                prop_assert_eq!(v.to_bits(), f(&sb, &sa).to_bits());
+            }
+        }
+
+        #[test]
+        fn identity_is_one(a in "[a-c ]{0,16}") {
+            let sa = set(&a);
+            prop_assert_eq!(jaccard(&sa, &sa), 1.0);
+            prop_assert_eq!(cosine(&sa, &sa), 1.0);
+        }
+
+        #[test]
+        fn jaccard_le_cosine_le_overlap(a in "[a-c ]{1,16}", b in "[a-c ]{1,16}") {
+            let (sa, sb) = (set(&a), set(&b));
+            prop_assume!(!sa.is_empty() && !sb.is_empty());
+            let j = jaccard(&sa, &sb);
+            let c = cosine(&sa, &sb);
+            let o = overlap(&sa, &sb);
+            prop_assert!(j <= c + 1e-12);
+            prop_assert!(c <= o + 1e-12);
+        }
+    }
+}

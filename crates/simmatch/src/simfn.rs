@@ -1,0 +1,186 @@
+//! The matching operation attached to a rule node (`sim(u)` in §II-B).
+//!
+//! A [`SimFn`] decides whether a table cell and a KB value refer to the same
+//! entity. The paper uses string equality and edit distance as the running
+//! examples and mentions Jaccard/cosine; all four are supported. Thresholds
+//! for the set measures are stored in per-mille so `SimFn` stays `Eq + Hash`
+//! (rule nodes are hash-map keys in the fast repair algorithm).
+
+use crate::edit_distance::within_bool;
+use crate::normalize::{eq_normalized, normalize};
+use crate::setsim::{cosine, jaccard};
+use crate::tokens::{token_set, word_tokens};
+use std::fmt;
+use std::str::FromStr;
+
+/// A similarity-based matching operation between a cell value and a KB value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SimFn {
+    /// Equality after normalization (`sim: =`).
+    Equal,
+    /// Edit distance at most `k` after normalization (`sim: ED,k`).
+    EditDistance(u32),
+    /// Jaccard similarity over word tokens ≥ threshold (per-mille).
+    Jaccard(u16),
+    /// Cosine similarity over word tokens ≥ threshold (per-mille).
+    Cosine(u16),
+}
+
+impl SimFn {
+    /// Whether `cell` matches `kb_value` under this operation.
+    pub fn matches(&self, cell: &str, kb_value: &str) -> bool {
+        match *self {
+            SimFn::Equal => eq_normalized(cell, kb_value),
+            SimFn::EditDistance(k) => {
+                within_bool(&normalize(cell), &normalize(kb_value), k as usize)
+            }
+            SimFn::Jaccard(pm) => {
+                let a = token_set(word_tokens(cell));
+                let b = token_set(word_tokens(kb_value));
+                jaccard(&a, &b) >= f64::from(pm) / 1000.0
+            }
+            SimFn::Cosine(pm) => {
+                let a = token_set(word_tokens(cell));
+                let b = token_set(word_tokens(kb_value));
+                cosine(&a, &b) >= f64::from(pm) / 1000.0
+            }
+        }
+    }
+
+    /// Builds a Jaccard matcher from a `0.0..=1.0` threshold.
+    pub fn jaccard_threshold(t: f64) -> Self {
+        SimFn::Jaccard(Self::per_mille(t))
+    }
+
+    /// Builds a cosine matcher from a `0.0..=1.0` threshold.
+    pub fn cosine_threshold(t: f64) -> Self {
+        SimFn::Cosine(Self::per_mille(t))
+    }
+
+    fn per_mille(t: f64) -> u16 {
+        assert!((0.0..=1.0).contains(&t), "threshold must be in [0, 1]");
+        (t * 1000.0).round() as u16
+    }
+
+    /// Whether this operation is plain (normalized) equality.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, SimFn::Equal)
+    }
+}
+
+impl fmt::Display for SimFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SimFn::Equal => write!(f, "="),
+            SimFn::EditDistance(k) => write!(f, "ED,{k}"),
+            SimFn::Jaccard(pm) => write!(f, "JAC,{:.3}", f64::from(pm) / 1000.0),
+            SimFn::Cosine(pm) => write!(f, "COS,{:.3}", f64::from(pm) / 1000.0),
+        }
+    }
+}
+
+/// Error from parsing a [`SimFn`] spec such as `"ED,2"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSimFnError(String);
+
+impl fmt::Display for ParseSimFnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid sim spec `{}` (expected `=`, `ED,k`, `JAC,t`, or `COS,t`)", self.0)
+    }
+}
+
+impl std::error::Error for ParseSimFnError {}
+
+impl FromStr for SimFn {
+    type Err = ParseSimFnError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        if trimmed == "=" {
+            return Ok(SimFn::Equal);
+        }
+        let err = || ParseSimFnError(s.to_owned());
+        let (head, arg) = trimmed.split_once(',').ok_or_else(err)?;
+        match head.trim().to_ascii_uppercase().as_str() {
+            "ED" => arg.trim().parse::<u32>().map(SimFn::EditDistance).map_err(|_| err()),
+            "JAC" => {
+                let t: f64 = arg.trim().parse().map_err(|_| err())?;
+                if !(0.0..=1.0).contains(&t) {
+                    return Err(err());
+                }
+                Ok(SimFn::jaccard_threshold(t))
+            }
+            "COS" => {
+                let t: f64 = arg.trim().parse().map_err(|_| err())?;
+                if !(0.0..=1.0).contains(&t) {
+                    return Err(err());
+                }
+                Ok(SimFn::cosine_threshold(t))
+            }
+            _ => Err(err()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_normalizes() {
+        assert!(SimFn::Equal.matches("  Haifa ", "haifa"));
+        assert!(!SimFn::Equal.matches("Haifa", "Karcag"));
+    }
+
+    #[test]
+    fn edit_distance_tolerates_typos() {
+        let ed2 = SimFn::EditDistance(2);
+        assert!(ed2.matches("Paster Institute", "Pasteur Institute"));
+        assert!(!ed2.matches("Cornell University", "University of Minnesota"));
+    }
+
+    #[test]
+    fn jaccard_word_level() {
+        let j = SimFn::jaccard_threshold(0.5);
+        assert!(j.matches("Israel Institute of Technology", "institute of technology israel"));
+        assert!(!j.matches("UC Berkeley", "Cornell University"));
+    }
+
+    #[test]
+    fn cosine_word_level() {
+        let c = SimFn::cosine_threshold(0.5);
+        assert!(c.matches("University of Manchester", "Manchester University"));
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for spec in ["=", "ED,2", "JAC,0.800", "COS,0.500"] {
+            let f: SimFn = spec.parse().unwrap();
+            assert_eq!(f.to_string(), spec, "roundtrip of {spec}");
+            let again: SimFn = f.to_string().parse().unwrap();
+            assert_eq!(f, again);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("ED".parse::<SimFn>().is_err());
+        assert!("ED,x".parse::<SimFn>().is_err());
+        assert!("JAC,1.5".parse::<SimFn>().is_err());
+        assert!("LEV,2".parse::<SimFn>().is_err());
+        assert!("".parse::<SimFn>().is_err());
+    }
+
+    #[test]
+    fn exact_flag() {
+        assert!(SimFn::Equal.is_exact());
+        assert!(!SimFn::EditDistance(1).is_exact());
+    }
+
+    #[test]
+    fn ed_zero_equals_equality_on_normalized() {
+        let ed0 = SimFn::EditDistance(0);
+        assert!(ed0.matches("Haifa", " haifa "));
+        assert!(!ed0.matches("Haifa", "Haifb"));
+    }
+}

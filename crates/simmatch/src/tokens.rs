@@ -1,0 +1,90 @@
+//! Tokenization for set-based similarity: word tokens and character q-grams.
+
+/// Splits a string into lowercase word tokens (alphanumeric runs).
+pub fn word_tokens(s: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in s.chars() {
+        if ch.is_alphanumeric() {
+            for lower in ch.to_lowercase() {
+                current.push(lower);
+            }
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Character q-grams of the string (over chars, not bytes). Strings shorter
+/// than `q` yield a single gram containing the whole string; empty input
+/// yields no grams.
+pub fn qgrams(s: &str, q: usize) -> Vec<String> {
+    assert!(q > 0, "q must be positive");
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return Vec::new();
+    }
+    if chars.len() <= q {
+        return vec![chars.iter().collect()];
+    }
+    (0..=chars.len() - q)
+        .map(|i| chars[i..i + q].iter().collect())
+        .collect()
+}
+
+/// Sorted, deduplicated token set (for set-semantics similarity).
+pub fn token_set(mut tokens: Vec<String>) -> Vec<String> {
+    tokens.sort_unstable();
+    tokens.dedup();
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_tokens_split_on_punctuation() {
+        assert_eq!(
+            word_tokens("St. Paul, MN"),
+            vec!["st".to_owned(), "paul".to_owned(), "mn".to_owned()]
+        );
+    }
+
+    #[test]
+    fn word_tokens_lowercase() {
+        assert_eq!(word_tokens("UC Berkeley"), vec!["uc".to_owned(), "berkeley".to_owned()]);
+    }
+
+    #[test]
+    fn empty_input_no_tokens() {
+        assert!(word_tokens("").is_empty());
+        assert!(word_tokens("—!?").is_empty());
+        assert!(qgrams("", 2).is_empty());
+    }
+
+    #[test]
+    fn qgrams_basic() {
+        assert_eq!(qgrams("abcd", 2), vec!["ab", "bc", "cd"]);
+        assert_eq!(qgrams("ab", 2), vec!["ab"]);
+        assert_eq!(qgrams("a", 2), vec!["a"]);
+    }
+
+    #[test]
+    fn qgrams_count_invariant() {
+        let s = "knowledge";
+        for q in 1..=3 {
+            assert_eq!(qgrams(s, q).len(), s.chars().count() - q + 1);
+        }
+    }
+
+    #[test]
+    fn token_set_dedupes_and_sorts() {
+        let set = token_set(vec!["b".into(), "a".into(), "b".into()]);
+        assert_eq!(set, vec!["a".to_owned(), "b".to_owned()]);
+    }
+}

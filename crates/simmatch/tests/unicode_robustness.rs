@@ -1,0 +1,89 @@
+//! Unicode robustness for the similarity layer: multi-byte scripts must
+//! behave identically to ASCII through distances, indexes, and sim specs.
+
+use dr_simmatch::{edit_distance, within, MatchIndex, SignatureIndex, SimFn};
+use proptest::prelude::*;
+
+#[test]
+fn cjk_and_cyrillic_edit_distances() {
+    assert_eq!(edit_distance("北京市", "北京"), 1);
+    assert_eq!(edit_distance("Москва", "Масква"), 1);
+    assert_eq!(edit_distance("Ελλάδα", "Ελλαδα"), 1); // ά vs α
+    assert_eq!(within("東京都", "東京都", 0), Some(0));
+}
+
+#[test]
+fn signature_index_over_mixed_scripts() {
+    let labels = [
+        "Avram Hershko",
+        "אברהם הרשקו",
+        "アヴラム・ハーシュコ",
+        "Аврам Гершко",
+        "Ἀβραάμ",
+    ];
+    let index = SignatureIndex::build(
+        2,
+        labels.iter().enumerate().map(|(i, &s)| (i as u32, s)),
+    );
+    // Exact self-matches.
+    for (i, label) in labels.iter().enumerate() {
+        let hits = index.lookup(label);
+        assert!(
+            hits.iter().any(|m| m.id == i as u32 && m.distance == 0),
+            "{label} must match itself"
+        );
+    }
+    // One-character perturbation of the Hebrew label still matches it.
+    let hits = index.lookup("אברהם הרשקa");
+    assert!(hits.iter().any(|m| m.id == 1));
+}
+
+#[test]
+fn match_index_exact_with_unicode_normalizes_case() {
+    let index = MatchIndex::build(
+        SimFn::Equal,
+        [(0u32, "STRASSE Süd"), (1u32, "çğüö")],
+    );
+    assert_eq!(index.lookup("strasse süd"), vec![0]);
+    assert_eq!(index.lookup("ÇĞÜÖ"), vec![1]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Distances and threshold checks never panic and stay consistent on
+    /// arbitrary Unicode (any non-control chars).
+    #[test]
+    fn unicode_never_panics(a in "\\PC{0,12}", b in "\\PC{0,12}", k in 0usize..4) {
+        let d = edit_distance(&a, &b);
+        let w = within(&a, &b, k);
+        match w {
+            Some(x) => prop_assert!(x == d && d <= k),
+            None => prop_assert!(d > k),
+        }
+    }
+
+    /// Signature lookup on Unicode pools finds every true match.
+    #[test]
+    fn unicode_signature_completeness(
+        pool in prop::collection::vec("[α-ε一-三a-c]{0,6}", 1..12),
+        query in "[α-ε一-三a-c]{0,6}",
+    ) {
+        let index = SignatureIndex::build(
+            1,
+            pool.iter().enumerate().map(|(i, s)| (i as u32, s.as_str())),
+        );
+        let hits = index.lookup(&query);
+        for (i, s) in pool.iter().enumerate() {
+            let d = edit_distance(
+                &dr_simmatch::normalize(&query),
+                &dr_simmatch::normalize(s),
+            );
+            prop_assert_eq!(
+                hits.iter().any(|m| m.id == i as u32),
+                d <= 1,
+                "pool entry {:?} (d={}) vs query {:?}", s, d, query
+            );
+        }
+    }
+}

@@ -1,0 +1,1 @@
+//! Example support crate.

@@ -1,0 +1,94 @@
+//! Cross-crate property tests: randomized worlds and noise, checking the
+//! invariants DESIGN.md §6 lists at the whole-pipeline level.
+
+use dr_core::repair::basic::basic_repair;
+use dr_core::repair::fast::FastRepairer;
+use dr_core::{ApplyOptions, MatchContext};
+use dr_datasets::{KbFlavor, KbProfile, NobelWorld, UisWorld};
+use dr_relation::noise::{inject, NoiseSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Basic and fast repair agree on arbitrary seeds, sizes, rates, and
+    /// KB flavors (chase equivalence).
+    #[test]
+    fn algorithms_agree_on_random_worlds(
+        seed in 0u64..1_000,
+        n in 20usize..80,
+        rate in 0.0f64..0.25,
+        yago in any::<bool>(),
+    ) {
+        let world = NobelWorld::generate(n, seed);
+        let clean = world.clean_relation();
+        let name = clean.schema().attr_expect("Name");
+        let (dirty, _) = inject(
+            &clean,
+            &NoiseSpec::new(rate, seed).with_excluded(vec![name]),
+            &world.semantic_source(),
+        );
+        let flavor = if yago { KbFlavor::YagoLike } else { KbFlavor::DbpediaLike };
+        let kb = world.kb(&KbProfile::of(flavor));
+        let rules = NobelWorld::rules(&kb);
+        let ctx = MatchContext::new(&kb);
+
+        let mut a = dirty.clone();
+        basic_repair(&ctx, &rules, &mut a, &ApplyOptions::default());
+        let mut b = dirty.clone();
+        FastRepairer::new(&rules).repair_relation(&ctx, &mut b, &ApplyOptions::default());
+        for cell in dirty.cell_refs() {
+            prop_assert_eq!(a.value(cell), b.value(cell), "diverged at {:?}", cell);
+        }
+    }
+
+    /// Repair never rewrites a cell that matches the ground truth AND is
+    /// positively marked afterwards to a different value (soundness of
+    /// marking): marked cells hold KB-backed values.
+    #[test]
+    fn repair_changes_are_conservative(seed in 0u64..500, rate in 0.05f64..0.2) {
+        let world = UisWorld::generate(60, seed);
+        let clean = world.clean_relation();
+        let name = clean.schema().attr_expect("Name");
+        let (dirty, log) = inject(
+            &clean,
+            &NoiseSpec::new(rate, seed).with_excluded(vec![name]),
+            &world.semantic_source(),
+        );
+        let kb = world.kb(&KbProfile::yago());
+        let rules = UisWorld::rules(&kb);
+        let ctx = MatchContext::new(&kb);
+        let mut repaired = dirty.clone();
+        let report = FastRepairer::new(&rules)
+            .repair_relation(&ctx, &mut repaired, &ApplyOptions::default());
+
+        // Every rewrite targets an injected-dirty cell (UIS has no
+        // multi-version sources, so no cascades).
+        for (row, tr) in report.tuples.iter().enumerate() {
+            for (col, _, _) in tr.rewrites() {
+                let was_injected = log
+                    .iter()
+                    .any(|e| e.cell.row == row && e.cell.attr == col);
+                prop_assert!(was_injected, "rewrote an uninjected cell at row {row}");
+            }
+        }
+    }
+
+    /// Zero noise ⇒ zero rewrites, for every KB flavor (pure marking).
+    #[test]
+    fn clean_input_is_never_rewritten(seed in 0u64..500, yago in any::<bool>()) {
+        let world = NobelWorld::generate(40, seed);
+        let clean = world.clean_relation();
+        let flavor = if yago { KbFlavor::YagoLike } else { KbFlavor::DbpediaLike };
+        let kb = world.kb(&KbProfile::of(flavor));
+        let rules = NobelWorld::rules(&kb);
+        let ctx = MatchContext::new(&kb);
+        let mut working = clean.clone();
+        let report = FastRepairer::new(&rules)
+            .repair_relation(&ctx, &mut working, &ApplyOptions::default());
+        prop_assert_eq!(report.total_changes(), 0);
+        for cell in clean.cell_refs() {
+            prop_assert_eq!(working.value(cell), clean.value(cell));
+        }
+    }
+}
