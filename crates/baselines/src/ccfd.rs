@@ -118,10 +118,7 @@ impl ConstantCfdSet {
                         let old = current.to_owned();
                         relation.tuple_mut(row).set(fd.rhs, expected.clone());
                         repairs.push(CfdRepair {
-                            cell: CellRef {
-                                row,
-                                attr: fd.rhs,
-                            },
+                            cell: CellRef { row, attr: fd.rhs },
                             old,
                             new: expected.clone(),
                         });

@@ -65,8 +65,11 @@ impl<'kb, 'p> Katara<'kb, 'p> {
         let mut p = Pattern::default();
         for (i, node) in self.pattern.nodes().iter().enumerate() {
             if constrained[i] {
-                p.nodes
-                    .push(PatternNode::constrained(node.ty, node.sim, tuple.get(node.col)));
+                p.nodes.push(PatternNode::constrained(
+                    node.ty,
+                    node.sim,
+                    tuple.get(node.col),
+                ));
             } else {
                 p.nodes.push(PatternNode::free(node.ty, node.sim));
             }
@@ -102,10 +105,7 @@ impl<'kb, 'p> Katara<'kb, 'p> {
                         .filter(|&i| !subset[i])
                         .map(|i| {
                             let col = self.pattern.nodes()[i].col;
-                            edit_distance(
-                                tuple.get(col),
-                                self.ctx.kb().node_value(assignment[i]),
-                            )
+                            edit_distance(tuple.get(col), self.ctx.kb().node_value(assignment[i]))
                         })
                         .sum();
                     if local_best.as_ref().is_none_or(|&(_, c)| cost < c) {
@@ -152,7 +152,10 @@ impl<'kb, 'p> Katara<'kb, 'p> {
                 // "by only checking the full matches that they mark as
                 // correct" — partial-match marks are heuristic guesses.
                 KataraOutcome::FullMatch => report.marked_positive += n_cols,
-                KataraOutcome::PartialMatch { matched: _, repairs } => {
+                KataraOutcome::PartialMatch {
+                    matched: _,
+                    repairs,
+                } => {
                     for (col, old, new) in repairs {
                         if old != new {
                             report.repairs.push((
@@ -197,10 +200,7 @@ fn subsets_of_size(n: usize, k: usize) -> Vec<Vec<bool>> {
 
 /// Builds the natural KATARA table pattern for the Nobel running example:
 /// the exact-match version of the schema graph in Figure 2.
-pub fn nobel_table_pattern(
-    kb: &dr_kb::KnowledgeBase,
-    schema: &dr_relation::Schema,
-) -> SchemaGraph {
+pub fn nobel_table_pattern(kb: &dr_kb::KnowledgeBase, schema: &dr_relation::Schema) -> SchemaGraph {
     use dr_core::graph::schema::{NodeType, SchemaNode};
     use dr_kb::fixtures::names;
     use dr_simmatch::SimFn;

@@ -116,8 +116,10 @@ pub fn llunatic_repair(
             keys.sort_unstable();
             for key in keys {
                 let rows = &groups[&key];
-                let values: Vec<&str> =
-                    rows.iter().map(|&r| relation.tuple(r).get(fd.rhs)).collect();
+                let values: Vec<&str> = rows
+                    .iter()
+                    .map(|&r| relation.tuple(r).get(fd.rhs))
+                    .collect();
                 if values.windows(2).all(|w| w[0] == w[1]) {
                     continue; // no violation
                 }
@@ -132,10 +134,7 @@ pub fn llunatic_repair(
                         let old = current.to_owned();
                         relation.tuple_mut(row).set(fd.rhs, target.clone());
                         changes.push(LlunaticChange {
-                            cell: CellRef {
-                                row,
-                                attr: fd.rhs,
-                            },
+                            cell: CellRef { row, attr: fd.rhs },
                             old,
                             new: target.clone(),
                             is_llun,

@@ -6,6 +6,10 @@
 //!    caches, with the check order held constant.
 //! 3. **Signature index** — PASS-JOIN threshold-ED lookup vs a linear scan
 //!    with the banded verifier.
+//! 4. **Relation-scoped value cache** — cross-tuple memoization of element
+//!    checks (sequential and work-stealing parallel) vs the per-tuple-only
+//!    overlay, on a duplicate-heavy relation; prints the hit rate and phase
+//!    timings from the repair report.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dr_bench::uis_workload;
@@ -78,24 +82,107 @@ fn bench_repair_ablations(c: &mut Criterion) {
     group.finish();
 }
 
+/// The pre-`ValueCache` fast repair: per-tuple element caches only, no
+/// cross-tuple sharing (cache-scope ablation baseline).
+fn tuple_only_repair(
+    ctx: &MatchContext<'_>,
+    rules: &[dr_core::DetectiveRule],
+    relation: &mut Relation,
+    opts: &ApplyOptions,
+) {
+    let repairer = dr_core::FastRepairer::new(rules);
+    for row in 0..relation.len() {
+        let _ = repairer.repair_tuple(ctx, relation.tuple_mut(row), opts);
+    }
+}
+
+fn bench_value_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_value_cache");
+    group.sample_size(10);
+    // UIS columns (City/State/Zip) are drawn from small pools, so values
+    // repeat across many rows — the duplicate-heavy shape the
+    // relation-scoped cache targets.
+    let workload = uis_workload(1_000, KbFlavor::YagoLike);
+    let ctx = workload.ctx();
+    let opts = ApplyOptions::default();
+
+    // Measure (and report) the cross-tuple hit rate once, outside timing.
+    let mut probe = workload.dirty.clone();
+    let report = fast_repair(&ctx, &workload.rules, &mut probe, &opts);
+    assert!(
+        report.cache.hits() > 0,
+        "duplicate-heavy relation must produce cross-tuple cache hits: {:?}",
+        report.cache
+    );
+    eprintln!(
+        "value-cache: sequential hit rate {:.1}% ({} hits / {} misses), prewarm {:?}, repair {:?}",
+        report.cache.hit_rate() * 100.0,
+        report.cache.hits(),
+        report.cache.misses(),
+        report.timing.prewarm,
+        report.timing.repair,
+    );
+    let mut probe = workload.dirty.clone();
+    let par_opts = dr_core::ParallelOptions {
+        apply: opts.clone(),
+        threads: 4,
+    };
+    let report = dr_core::parallel_repair(&ctx, &workload.rules, &mut probe, &par_opts);
+    eprintln!(
+        "value-cache: 4-thread hit rate {:.1}% ({} hits / {} misses), prewarm {:?}, repair {:?}",
+        report.cache.hit_rate() * 100.0,
+        report.cache.hits(),
+        report.cache.misses(),
+        report.timing.prewarm,
+        report.timing.repair,
+    );
+
+    group.bench_function("shared_value_cache(sequential)", |b| {
+        b.iter(|| {
+            let mut working = workload.dirty.clone();
+            fast_repair(&ctx, &workload.rules, &mut working, &opts)
+        })
+    });
+    group.bench_function("shared_value_cache(4 threads)", |b| {
+        b.iter(|| {
+            let mut working = workload.dirty.clone();
+            dr_core::parallel_repair(&ctx, &workload.rules, &mut working, &par_opts)
+        })
+    });
+    group.bench_function("per_tuple_cache_only", |b| {
+        b.iter(|| {
+            let mut working = workload.dirty.clone();
+            tuple_only_repair(&ctx, &workload.rules, &mut working, &opts)
+        })
+    });
+    group.finish();
+}
+
 fn bench_signature_index(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_signature_index");
 
     // A realistic label pool: UIS street names.
     let world = dr_datasets::UisWorld::generate(20_000, 3);
     let labels: Vec<String> = world.streets.clone();
-    let queries: Vec<String> = labels.iter().take(50).map(|s| {
-        // Perturb to force fuzzy matching.
-        let mut chars: Vec<char> = s.chars().collect();
-        if chars.len() > 2 {
-            chars.swap(0, 1);
-        }
-        chars.into_iter().collect()
-    }).collect();
+    let queries: Vec<String> = labels
+        .iter()
+        .take(50)
+        .map(|s| {
+            // Perturb to force fuzzy matching.
+            let mut chars: Vec<char> = s.chars().collect();
+            if chars.len() > 2 {
+                chars.swap(0, 1);
+            }
+            chars.into_iter().collect()
+        })
+        .collect();
 
     let index = SignatureIndex::build(
         2,
-        labels.iter().enumerate().map(|(i, s)| (i as u32, s.as_str())),
+        labels
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_str())),
     );
     group.bench_with_input(
         BenchmarkId::new("passjoin_index", labels.len()),
@@ -126,5 +213,10 @@ fn bench_signature_index(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_repair_ablations, bench_signature_index);
+criterion_group!(
+    benches,
+    bench_repair_ablations,
+    bench_value_cache,
+    bench_signature_index
+);
 criterion_main!(benches);

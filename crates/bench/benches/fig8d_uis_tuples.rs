@@ -20,13 +20,23 @@ fn bench_fig8d(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("bRepair", size), &(), |b, ()| {
             b.iter(|| {
                 let mut working = workload.dirty.clone();
-                basic_repair(&ctx, &workload.rules, &mut working, &ApplyOptions::default())
+                basic_repair(
+                    &ctx,
+                    &workload.rules,
+                    &mut working,
+                    &ApplyOptions::default(),
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("fRepair", size), &(), |b, ()| {
             b.iter(|| {
                 let mut working = workload.dirty.clone();
-                fast_repair(&ctx, &workload.rules, &mut working, &ApplyOptions::default())
+                fast_repair(
+                    &ctx,
+                    &workload.rules,
+                    &mut working,
+                    &ApplyOptions::default(),
+                )
             })
         });
         let fd_list = fds::uis(workload.clean.schema());

@@ -15,11 +15,9 @@ fn bench_alignment(c: &mut Criterion) {
     for flavor in [KbFlavor::YagoLike, KbFlavor::DbpediaLike] {
         let profile = KbProfile::of(flavor);
         let nobel_kb = nobel.kb(&profile);
-        group.bench_with_input(
-            BenchmarkId::new("nobel", flavor.label()),
-            &(),
-            |b, ()| b.iter(|| alignment(&nobel_kb, &nobel_relation, 500)),
-        );
+        group.bench_with_input(BenchmarkId::new("nobel", flavor.label()), &(), |b, ()| {
+            b.iter(|| alignment(&nobel_kb, &nobel_relation, 500))
+        });
         let uis_kb = uis.kb(&profile);
         group.bench_with_input(BenchmarkId::new("uis", flavor.label()), &(), |b, ()| {
             b.iter(|| alignment(&uis_kb, &uis_relation, 500))

@@ -55,12 +55,8 @@ impl<'kb> MatchContext<'kb> {
             ),
             NodeType::Literal => MatchIndex::build(
                 sim,
-                (0..self.kb.num_literals()).map(|i| {
-                    (
-                        i as u32,
-                        self.kb.literal_value(LiteralId::from_index(i)),
-                    )
-                }),
+                (0..self.kb.num_literals())
+                    .map(|i| (i as u32, self.kb.literal_value(LiteralId::from_index(i)))),
             ),
         }
     }
@@ -114,6 +110,30 @@ impl<'kb> MatchContext<'kb> {
     /// Number of indexes built so far (diagnostics).
     pub fn index_count(&self) -> usize {
         self.indexes.lock().len()
+    }
+
+    /// Builds every `(type, sim)` index the rule set can ask for, up front.
+    ///
+    /// Rule application touches indexes for each rule node's `(ty, sim)`
+    /// pair and, for fuzzily matched nodes, the exact `(ty, =)` index (the
+    /// normalization guard checks whether a cell names a real entity
+    /// exactly). Free pattern nodes (the positive node during proof
+    /// negative, auxiliary nodes) match through KB adjacency, not indexes.
+    /// Calling this before fanning out to worker threads means no worker
+    /// stalls on (or duplicates) an index build mid-repair.
+    pub fn prewarm(&self, rules: &[crate::rule::DetectiveRule]) {
+        for rule in rules {
+            for node in rule
+                .evidence()
+                .iter()
+                .chain([rule.positive(), rule.negative()])
+            {
+                let _ = self.index_for(node.ty, node.sim);
+                if !node.sim.is_exact() {
+                    let _ = self.index_for(node.ty, SimFn::Equal);
+                }
+            }
+        }
     }
 }
 

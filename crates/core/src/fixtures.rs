@@ -157,11 +157,7 @@ pub fn figure4_rules(kb: &KnowledgeBase) -> Vec<DetectiveRule> {
     // ϕ3: z1 = Name, z2 = Institution, z3 = City; p3/n3 = Country.
     let phi3 = DetectiveRule::new(
         "phi3",
-        vec![
-            name_node,
-            inst_node,
-            node(col("City"), city, SimFn::Equal),
-        ],
+        vec![name_node, inst_node, node(col("City"), city, SimFn::Equal)],
         node(col("Country"), country, SimFn::Equal),
         node(col("Country"), country, SimFn::Equal),
         vec![

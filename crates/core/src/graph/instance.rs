@@ -166,18 +166,13 @@ enum Control {
     Stop,
 }
 
-fn solve(
-    ctx: &MatchContext<'_>,
-    pattern: &Pattern,
-    visit: &mut dyn FnMut(&Assignment) -> Control,
-) {
+fn solve(ctx: &MatchContext<'_>, pattern: &Pattern, visit: &mut dyn FnMut(&Assignment) -> Control) {
     let n = pattern.nodes.len();
     if n == 0 {
         return;
     }
-    let base: Vec<Option<Arc<Vec<Node>>>> = (0..n)
-        .map(|i| pattern.base_candidates(ctx, i))
-        .collect();
+    let base: Vec<Option<Arc<Vec<Node>>>> =
+        (0..n).map(|i| pattern.base_candidates(ctx, i)).collect();
     // A constrained node with zero candidates makes the pattern unsatisfiable.
     if base
         .iter()
@@ -226,11 +221,7 @@ fn candidates_for(
     };
 
     if let Some(base_list) = &base[node] {
-        return base_list
-            .iter()
-            .copied()
-            .filter(|&c| edge_ok(c))
-            .collect();
+        return base_list.iter().copied().filter(|&c| edge_ok(c)).collect();
     }
 
     // Free node: derive candidates from an assigned neighbor if possible.
@@ -327,9 +318,12 @@ mod tests {
             SimFn::EditDistance(2),
             "Israel Institute of Technology",
         ));
-        p.edges.push((0, kb.pred_named(names::BORN_ON_DATE).unwrap(), 1));
-        p.edges.push((0, kb.pred_named(names::CITIZEN_OF).unwrap(), 2));
-        p.edges.push((0, kb.pred_named(names::WORKS_AT).unwrap(), 3));
+        p.edges
+            .push((0, kb.pred_named(names::BORN_ON_DATE).unwrap(), 1));
+        p.edges
+            .push((0, kb.pred_named(names::CITIZEN_OF).unwrap(), 2));
+        p.edges
+            .push((0, kb.pred_named(names::WORKS_AT).unwrap(), 3));
 
         let a = find_assignment(&ctx, &p).expect("r1 matches Figure 3(a)");
         assert_eq!(kb.node_value(a[0]), "Avram Hershko");
@@ -390,7 +384,8 @@ mod tests {
             class(&kb, names::ORGANIZATION),
             SimFn::EditDistance(2),
         ));
-        p.edges.push((0, kb.pred_named(names::WORKS_AT).unwrap(), 1));
+        p.edges
+            .push((0, kb.pred_named(names::WORKS_AT).unwrap(), 1));
 
         let bindings = collect_bindings(&ctx, &p, 1);
         let mut values: Vec<&str> = bindings.iter().map(|&n| kb.node_value(n)).collect();
@@ -448,8 +443,10 @@ mod tests {
             SimFn::Equal,
             "Marie Curie",
         ));
-        p.nodes.push(PatternNode::free(NodeType::Literal, SimFn::Equal));
-        p.edges.push((0, kb.pred_named(names::BORN_ON_DATE).unwrap(), 1));
+        p.nodes
+            .push(PatternNode::free(NodeType::Literal, SimFn::Equal));
+        p.edges
+            .push((0, kb.pred_named(names::BORN_ON_DATE).unwrap(), 1));
         let bindings = collect_bindings(&ctx, &p, 1);
         assert_eq!(bindings.len(), 1);
         assert_eq!(kb.node_value(bindings[0]), "1867-11-07");

@@ -254,13 +254,7 @@ impl SchemaGraph {
             );
         }
         for e in &self.edges {
-            let _ = writeln!(
-                out,
-                "v{} -[{}]-> v{}",
-                e.from,
-                kb.pred_name(e.rel),
-                e.to
-            );
+            let _ = writeln!(out, "v{} -[{}]-> v{}", e.from, kb.pred_name(e.rel), e.to);
         }
         out
     }

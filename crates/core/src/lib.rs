@@ -30,16 +30,21 @@ pub mod rule;
 
 pub use context::MatchContext;
 pub use graph::schema::{NodeType, SchemaGraph, SchemaNode};
-pub use repair::basic::{basic_repair, basic_repair_tuple, RelationReport, RepairStep, TupleReport};
+pub use repair::basic::PhaseTimings;
+pub use repair::basic::{
+    basic_repair, basic_repair_tuple, RelationReport, RepairStep, TupleReport,
+};
 pub use repair::cache::ElementCache;
 pub use repair::fast::{fast_repair, FastRepairer};
 pub use repair::multi::{multi_repair_tuple, MultiOptions};
 pub use repair::parallel::{parallel_repair, ParallelOptions};
 pub use repair::rule_graph::RuleGraph;
-pub use rule::apply::{apply_rule, apply_rule_cached, ApplyOptions, Normalization, RuleApplication};
+pub use repair::value_cache::{CacheStats, ValueCache};
+pub use rule::apply::{
+    apply_rule, apply_rule_cached, ApplyOptions, Normalization, RuleApplication,
+};
 pub use rule::consistency::{
-    check_consistency, check_consistency_multi, contending_pairs, Consistency,
-    ConsistencyOptions,
+    check_consistency, check_consistency_multi, contending_pairs, Consistency, ConsistencyOptions,
 };
 pub use rule::generation::{
     discover_graph, generate_rules, rule_repairs_examples, rule_respects_positives,

@@ -73,11 +73,27 @@ impl TupleReport {
     }
 }
 
+/// Wall-clock phase timings of a relation repair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Time spent building the `(type, sim)` match indexes up front
+    /// ([`MatchContext::prewarm`]). Zero when the repairer did not prewarm.
+    pub prewarm: std::time::Duration,
+    /// Time spent in the per-tuple repair loop proper.
+    pub repair: std::time::Duration,
+}
+
 /// The repair trace of a relation.
 #[derive(Debug, Clone, Default)]
 pub struct RelationReport {
     /// Per-tuple traces, indexed by row.
     pub tuples: Vec<TupleReport>,
+    /// Relation-scoped [`ValueCache`](crate::repair::value_cache::ValueCache)
+    /// counters; all-zero for repairers that do not share one (e.g. the
+    /// basic chase).
+    pub cache: crate::repair::value_cache::CacheStats,
+    /// Per-phase wall-clock timings; zero for the basic chase.
+    pub timing: PhaseTimings,
 }
 
 impl RelationReport {
@@ -143,7 +159,9 @@ pub fn basic_repair(
     let mut report = RelationReport::default();
     for row in 0..relation.len() {
         let tuple = relation.tuple_mut(row);
-        report.tuples.push(basic_repair_tuple(ctx, rules, tuple, opts));
+        report
+            .tuples
+            .push(basic_repair_tuple(ctx, rules, tuple, opts));
     }
     report
 }
@@ -200,10 +218,7 @@ mod tests {
             leftover.is_empty(),
             "unrepaired cells: {:?} (values {:?})",
             leftover,
-            leftover
-                .iter()
-                .map(|&c| dirty.value(c))
-                .collect::<Vec<_>>()
+            leftover.iter().map(|&c| dirty.value(c)).collect::<Vec<_>>()
         );
     }
 

@@ -1,4 +1,5 @@
-//! Shared per-tuple element cache (§IV-B(3)).
+//! Per-tuple element cache (§IV-B(3)) — the innermost layer of the caching
+//! hierarchy (see DESIGN.md).
 //!
 //! Rule nodes and edges recur across rules — `(Name, Nobel laureates in
 //! Chemistry, =)` appears in all four rules of Figure 4. The fast repair
@@ -8,29 +9,48 @@
 //! signature whether any candidate pair is connected. Entries touching a
 //! column are invalidated when a repair (or typo normalization) rewrites
 //! that column's value.
+//!
+//! The cache can optionally *overlay* a relation-scoped [`ValueCache`]: on a
+//! local miss the shared, value-keyed cache is consulted before computing
+//! from scratch, so identical values recur across tuples for free. Local
+//! entries are keyed by signature only (the tuple's value is implicit), so
+//! column invalidation stays local — the shared entries are value-keyed and
+//! never go stale.
 
 use crate::context::MatchContext;
 use crate::graph::schema::SchemaNode;
+use crate::repair::value_cache::{edge_connected, ValueCache};
 use dr_kb::{FxHashMap, Node, PredId};
 use dr_relation::{AttrId, Tuple};
 use std::sync::Arc;
 
-/// An edge signature: source node, predicate, target node.
-pub type EdgeSig = (SchemaNode, PredId, SchemaNode);
+pub use crate::repair::value_cache::EdgeSig;
 
-/// Memoized per-tuple element checks, shared across rules.
+/// Memoized per-tuple element checks, shared across rules; optionally backed
+/// by a relation-scoped [`ValueCache`].
 #[derive(Default)]
-pub struct ElementCache {
+pub struct ElementCache<'v> {
+    shared: Option<&'v ValueCache>,
     nodes: FxHashMap<SchemaNode, Arc<Vec<Node>>>,
     edges: FxHashMap<EdgeSig, bool>,
     hits: usize,
     misses: usize,
 }
 
-impl ElementCache {
-    /// An empty cache.
+impl ElementCache<'static> {
+    /// An empty, standalone cache (no shared backing).
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+impl<'v> ElementCache<'v> {
+    /// An empty per-tuple overlay over the relation-scoped `shared` cache.
+    pub fn with_shared(shared: &'v ValueCache) -> Self {
+        Self {
+            shared: Some(shared),
+            ..Default::default()
+        }
     }
 
     /// Candidates of `node` against the tuple's current value of
@@ -46,7 +66,10 @@ impl ElementCache {
             return Arc::clone(cands);
         }
         self.misses += 1;
-        let cands = Arc::new(ctx.candidates(node.ty, node.sim, tuple.get(node.col)));
+        let cands = match self.shared {
+            Some(shared) => shared.candidates(ctx, node, tuple.get(node.col)),
+            None => Arc::new(ctx.candidates(node.ty, node.sim, tuple.get(node.col))),
+        };
         self.nodes.insert(*node, Arc::clone(&cands));
         cands
     }
@@ -72,27 +95,30 @@ impl ElementCache {
             return ok;
         }
         self.misses += 1;
-        let from_cands = self.candidates(ctx, tuple, from);
-        let to_cands = self.candidates(ctx, tuple, to);
-        let kb = ctx.kb();
-        let to_set: dr_kb::FxHashSet<Node> = to_cands.iter().copied().collect();
-        let ok = from_cands.iter().any(|&f| match f {
-            Node::Instance(i) => kb.objects(i, rel).iter().any(|o| to_set.contains(o)),
-            Node::Literal(_) => false,
-        });
+        let ok = match self.shared {
+            Some(shared) => {
+                shared.edge_ok(ctx, from, rel, to, tuple.get(from.col), tuple.get(to.col))
+            }
+            None => {
+                let from_cands = self.candidates(ctx, tuple, from);
+                let to_cands = self.candidates(ctx, tuple, to);
+                edge_connected(ctx, &from_cands, rel, &to_cands)
+            }
+        };
         self.edges.insert(sig, ok);
         ok
     }
 
-    /// Drops every entry whose signature involves `col` — called after the
-    /// column's value changed.
+    /// Drops every local entry whose signature involves `col` — called after
+    /// the column's value changed. Shared entries are value-keyed and need no
+    /// invalidation.
     pub fn invalidate_col(&mut self, col: AttrId) {
         self.nodes.retain(|n, _| n.col != col);
         self.edges
             .retain(|(f, _, t), _| f.col != col && t.col != col);
     }
 
-    /// Clears everything (new tuple).
+    /// Clears everything local (new tuple).
     pub fn clear(&mut self) {
         self.nodes.clear();
         self.edges.clear();
@@ -193,5 +219,41 @@ mod tests {
         assert!(!cache.edge_ok(&ctx, &tuple, &dob, born_on, &name));
         // Instance → literal works.
         assert!(cache.edge_ok(&ctx, &tuple, &name, born_on, &dob));
+    }
+
+    #[test]
+    fn overlay_pulls_from_shared_and_invalidation_stays_local() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let schema = nobel_schema();
+        let shared = ValueCache::new();
+        let node = name_node(&kb);
+        let mut tuple_a = table1_dirty().tuple(0).clone();
+        let tuple_b = table1_dirty().tuple(0).clone(); // identical values
+
+        let mut cache_a = ElementCache::with_shared(&shared);
+        let a = cache_a.candidates(&ctx, &tuple_a, &node);
+        assert_eq!(shared.stats().node_misses, 1);
+
+        // A second per-tuple overlay sees the shared entry: cross-tuple hit.
+        let mut cache_b = ElementCache::with_shared(&shared);
+        let b = cache_b.candidates(&ctx, &tuple_b, &node);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(shared.stats().node_hits, 1);
+
+        // Local invalidation refetches from shared without recomputing: the
+        // value did not change, so the shared key still matches.
+        cache_a.invalidate_col(node.col);
+        let again = cache_a.candidates(&ctx, &tuple_a, &node);
+        assert!(Arc::ptr_eq(&a, &again));
+        assert_eq!(shared.stats().node_hits, 2);
+        assert_eq!(shared.stats().node_misses, 1);
+
+        // After an actual value change, the new value probes a new key.
+        tuple_a.set(schema.attr_expect("Name"), "Marie Curie");
+        cache_a.invalidate_col(node.col);
+        let curie = cache_a.candidates(&ctx, &tuple_a, &node);
+        assert_eq!(kb.node_value(curie[0]), "Marie Curie");
+        assert_eq!(shared.stats().node_misses, 2);
     }
 }

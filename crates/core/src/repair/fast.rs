@@ -16,12 +16,14 @@
 //!    column.
 
 use crate::context::MatchContext;
-use crate::repair::basic::{RelationReport, RepairStep, TupleReport};
+use crate::repair::basic::{PhaseTimings, RelationReport, RepairStep, TupleReport};
 use crate::repair::cache::ElementCache;
 use crate::repair::rule_graph::RuleGraph;
+use crate::repair::value_cache::ValueCache;
 use crate::rule::apply::{apply_rule_cached, ApplyOptions, RuleApplication};
 use crate::rule::DetectiveRule;
 use dr_relation::{Relation, Tuple};
+use std::time::Instant;
 
 /// A prepared fast repairer: rule set + precomputed check order.
 ///
@@ -52,11 +54,34 @@ impl<'r> FastRepairer<'r> {
         tuple: &mut Tuple,
         opts: &ApplyOptions,
     ) -> TupleReport {
-        let mut cache = ElementCache::new();
+        self.repair_tuple_with(ctx, tuple, opts, &mut ElementCache::new())
+    }
+
+    /// [`Self::repair_tuple`] with the per-tuple overlay backed by a
+    /// relation-scoped [`ValueCache`], so element checks also share across
+    /// tuples (and across threads — see
+    /// [`parallel_repair`](crate::repair::parallel::parallel_repair)).
+    pub fn repair_tuple_shared(
+        &self,
+        ctx: &MatchContext<'_>,
+        tuple: &mut Tuple,
+        opts: &ApplyOptions,
+        shared: &ValueCache,
+    ) -> TupleReport {
+        self.repair_tuple_with(ctx, tuple, opts, &mut ElementCache::with_shared(shared))
+    }
+
+    fn repair_tuple_with(
+        &self,
+        ctx: &MatchContext<'_>,
+        tuple: &mut Tuple,
+        opts: &ApplyOptions,
+        cache: &mut ElementCache<'_>,
+    ) -> TupleReport {
         let mut report = TupleReport::default();
         for group in &self.order {
             if group.len() == 1 {
-                self.try_rule(ctx, group[0], tuple, opts, &mut cache, &mut report);
+                self.try_rule(ctx, group[0], tuple, opts, cache, &mut report);
             } else {
                 // A dependency cycle: re-scan the group until no member
                 // fires. Each rule still applies at most once.
@@ -64,7 +89,7 @@ impl<'r> FastRepairer<'r> {
                 loop {
                     let mut fired = None;
                     for (pos, &ri) in remaining.iter().enumerate() {
-                        if self.try_rule(ctx, ri, tuple, opts, &mut cache, &mut report) {
+                        if self.try_rule(ctx, ri, tuple, opts, cache, &mut report) {
                             fired = Some(pos);
                             break;
                         }
@@ -89,7 +114,7 @@ impl<'r> FastRepairer<'r> {
         ri: usize,
         tuple: &mut Tuple,
         opts: &ApplyOptions,
-        cache: &mut ElementCache,
+        cache: &mut ElementCache<'_>,
         report: &mut TupleReport,
     ) -> bool {
         let application = apply_rule_cached(ctx, &self.rules[ri], tuple, opts, cache);
@@ -122,19 +147,35 @@ impl<'r> FastRepairer<'r> {
         true
     }
 
-    /// Repairs every tuple of `relation`.
+    /// Repairs every tuple of `relation`, sharing a relation-scoped
+    /// [`ValueCache`] across tuples: identical cell values recur across rows
+    /// (duplicate-heavy columns), and their element checks are computed
+    /// once. The cache counters and per-phase timings land in the report.
     pub fn repair_relation(
         &self,
         ctx: &MatchContext<'_>,
         relation: &mut Relation,
         opts: &ApplyOptions,
     ) -> RelationReport {
+        let prewarm_start = Instant::now();
+        ctx.prewarm(self.rules);
+        let prewarm = prewarm_start.elapsed();
+        let shared = ValueCache::new();
+        let repair_start = Instant::now();
         let mut report = RelationReport::default();
         for row in 0..relation.len() {
-            report
-                .tuples
-                .push(self.repair_tuple(ctx, relation.tuple_mut(row), opts));
+            report.tuples.push(self.repair_tuple_shared(
+                ctx,
+                relation.tuple_mut(row),
+                opts,
+                &shared,
+            ));
         }
+        report.cache = shared.stats();
+        report.timing = PhaseTimings {
+            prewarm,
+            repair: repair_start.elapsed(),
+        };
         report
     }
 }
@@ -251,7 +292,13 @@ mod tests {
         // Drive the rules manually through one shared cache.
         for group in repairer.check_order() {
             for &ri in group {
-                let _ = apply_rule_cached(&ctx, &rules[ri], &mut r1, &ApplyOptions::default(), &mut cache);
+                let _ = apply_rule_cached(
+                    &ctx,
+                    &rules[ri],
+                    &mut r1,
+                    &ApplyOptions::default(),
+                    &mut cache,
+                );
             }
         }
         let (hits, _) = cache.stats();

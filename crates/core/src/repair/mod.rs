@@ -3,8 +3,9 @@
 //! multi-version repairs (§IV).
 
 pub mod basic;
+pub mod cache;
 pub mod fast;
 pub mod multi;
 pub mod parallel;
 pub mod rule_graph;
-pub mod cache;
+pub mod value_cache;

@@ -1,19 +1,28 @@
 //! Parallel relation repair.
 //!
 //! The paper's scalability argument (§V summary) is that "repairing one
-//! tuple is irrelevant to any other tuple": tuples share nothing but the
-//! immutable KB and indexes. This module exploits that with scoped threads —
-//! rows are split into contiguous chunks, each chunk repaired independently
-//! with its own element cache, and the per-tuple reports stitched back in
-//! row order. Results are bit-identical to the sequential
-//! [`FastRepairer`].
+//! tuple is irrelevant to any other tuple": tuples share nothing mutable —
+//! only the immutable KB, the [`MatchContext`] indexes (prewarmed up front
+//! so workers never stall on an index build), and a relation-scoped
+//! [`ValueCache`] whose value-keyed entries are pure functions of the KB.
+//!
+//! Scheduling is work-stealing by atomic counter: every worker claims the
+//! next unclaimed row with a `fetch_add`, so a worker that lands on cheap
+//! rows simply claims more of them — no fixed partitioning, no stragglers
+//! pinned to an expensive chunk. Per-tuple reports are written into
+//! row-indexed slots, so the stitched report is in row order and the whole
+//! result is bit-identical to the sequential [`FastRepairer`].
 
 use crate::context::MatchContext;
-use crate::repair::basic::{RelationReport, TupleReport};
+use crate::repair::basic::{PhaseTimings, RelationReport, TupleReport};
 use crate::repair::fast::FastRepairer;
+use crate::repair::value_cache::ValueCache;
 use crate::rule::apply::ApplyOptions;
 use crate::rule::DetectiveRule;
 use dr_relation::{Relation, Tuple};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Parallel repair configuration.
 #[derive(Debug, Clone, Default)]
@@ -44,41 +53,45 @@ pub fn parallel_repair(
         return repairer.repair_relation(ctx, relation, &opts.apply);
     }
 
-    // Pre-warm the shared (lock-guarded) match indexes so workers don't
-    // race to build them: repair one tuple up front.
-    let mut reports: Vec<TupleReport> = Vec::with_capacity(relation.len());
-    {
-        let first = relation.tuple_mut(0);
-        reports.push(repairer.repair_tuple(ctx, first, &opts.apply));
-    }
+    let prewarm_start = Instant::now();
+    ctx.prewarm(rules);
+    let prewarm = prewarm_start.elapsed();
 
-    let rest = &mut relation.tuples_mut()[1..];
-    let chunk_size = rest.len().div_ceil(threads).max(1);
-    let mut chunk_reports: Vec<Vec<TupleReport>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = rest
-            .chunks_mut(chunk_size)
-            .map(|chunk: &mut [Tuple]| {
-                let repairer = &repairer;
-                let apply = &opts.apply;
-                scope.spawn(move |_| {
-                    chunk
-                        .iter_mut()
-                        .map(|tuple| repairer.repair_tuple(ctx, tuple, apply))
-                        .collect::<Vec<TupleReport>>()
-                })
-            })
-            .collect();
-        for handle in handles {
-            chunk_reports.push(handle.join().expect("worker panicked"));
+    let shared = ValueCache::new();
+    let repair_start = Instant::now();
+    // Each row index is claimed exactly once via `fetch_add`, so the
+    // per-row mutexes are never contended — they exist to hand a `&mut
+    // Tuple` through a `Sync` type. A claimed row's report lands in its
+    // row-indexed slot, keeping the stitched report in row order.
+    let rows: Vec<Mutex<&mut Tuple>> = relation.tuples_mut().iter_mut().map(Mutex::new).collect();
+    let slots: Vec<Mutex<Option<TupleReport>>> =
+        (0..rows.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(rows.len()) {
+            scope.spawn(|| loop {
+                let row = next.fetch_add(1, Ordering::Relaxed);
+                if row >= rows.len() {
+                    break;
+                }
+                let mut tuple = rows[row].lock();
+                let report = repairer.repair_tuple_shared(ctx, &mut tuple, &opts.apply, &shared);
+                *slots[row].lock() = Some(report);
+            });
         }
-    })
-    .expect("crossbeam scope");
+    });
 
-    for chunk in chunk_reports {
-        reports.extend(chunk);
+    RelationReport {
+        tuples: slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every row claimed and repaired"))
+            .collect(),
+        cache: shared.stats(),
+        timing: PhaseTimings {
+            prewarm,
+            repair: repair_start.elapsed(),
+        },
     }
-    RelationReport { tuples: reports }
 }
 
 #[cfg(test)]
@@ -151,5 +164,68 @@ mod tests {
         let report = parallel_repair(&ctx, &rules, &mut relation, &ParallelOptions::default());
         assert_eq!(report.tuples.len(), 1);
         assert_eq!(report.tuples[0].steps.len(), 4);
+    }
+
+    /// Duplicated rows make the shared `ValueCache` pay off across tuples:
+    /// the second copy of a row resolves its element checks from the cache.
+    #[test]
+    fn duplicate_rows_hit_the_shared_cache() {
+        let kb = nobel_mini_kb();
+        let rules = figure4_rules(&kb);
+        let ctx = MatchContext::new(&kb);
+        let mut relation = dr_relation::Relation::new(crate::fixtures::nobel_schema());
+        let base = table1_dirty();
+        for _ in 0..4 {
+            for t in base.tuples() {
+                relation.push(t.clone());
+            }
+        }
+        let report = parallel_repair(
+            &ctx,
+            &rules,
+            &mut relation,
+            &ParallelOptions {
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert!(
+            report.cache.hits() > 0,
+            "duplicate rows must produce cross-tuple cache hits: {:?}",
+            report.cache
+        );
+        // The four duplicated copies converge on the same repaired values.
+        let n = table1_dirty().len();
+        for cell in relation.cell_refs() {
+            let base = dr_relation::CellRef {
+                row: cell.row % n,
+                attr: cell.attr,
+            };
+            assert_eq!(relation.value(cell), relation.value(base));
+        }
+        // Prewarm happened before the repair loop: every index the rule set
+        // needs exists, and the timing phases are populated.
+        assert!(ctx.index_count() > 0);
+        assert!(report.timing.repair > std::time::Duration::ZERO);
+    }
+
+    /// More workers than rows: the claim counter just runs out early.
+    #[test]
+    fn more_threads_than_rows() {
+        let kb = nobel_mini_kb();
+        let rules = figure4_rules(&kb);
+        let ctx = MatchContext::new(&kb);
+        let mut relation = table1_dirty();
+        let report = parallel_repair(
+            &ctx,
+            &rules,
+            &mut relation,
+            &ParallelOptions {
+                threads: 64,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.tuples.len(), table1_dirty().len());
+        assert!(report.tuples.iter().all(|t| !t.steps.is_empty()));
     }
 }

@@ -17,25 +17,38 @@ pub struct RuleGraph {
 }
 
 impl RuleGraph {
-    /// Builds the graph: edge `i → j` iff rule `i` can affect what rule `j`
-    /// observes — `col(p_i) ∈ col(Ve_j)` (the paper's condition), or the two
-    /// rules repair the same column (`col(p_i) = col(p_j)`, `i ≠ j`): a
-    /// repair by one freezes or rewrites the other's positive/negative
-    /// column. Same-column writers are therefore mutually dependent and land
-    /// in one SCC, which the repairer re-scans — keeping the fast algorithm
-    /// chase-equivalent.
+    /// Builds the graph: edge `i → j` (`i ≠ j`) iff rule `i` can affect
+    /// what rule `j` observes — some column rule `i` may **write**
+    /// ([`DetectiveRule::write_cols`]: the repaired column `col(p_i)` plus
+    /// its fuzzy-matched evidence columns, which get rewritten to canonical
+    /// KB labels on success) is read by `j` as evidence (`∈ col(Ve_j)`, the
+    /// paper's condition extended to normalization writes) or repaired by
+    /// `j` (`= col(p_j)`): a repair by one freezes or rewrites the other's
+    /// positive/negative column. Same-column writers are therefore mutually
+    /// dependent and land in one SCC, which the repairer re-scans — keeping
+    /// the fast algorithm chase-equivalent.
+    ///
+    /// Counting only `col(p_i)` as a write (the paper's literal condition)
+    /// is unsound under fuzzy normalization: a rule whose evidence is
+    /// matched with `ED,k` rewrites that evidence cell when it fires, which
+    /// can enable an already-checked rule reading or repairing the same
+    /// column. The missing back-edges let [`super::fast`] skip re-checks
+    /// that [`super::basic`]'s rescan loop performs, so the two algorithms
+    /// diverged on noisy fuzzy-heavy inputs.
     pub fn build(rules: &[DetectiveRule]) -> Self {
         let succ = rules
             .iter()
             .enumerate()
             .map(|(i, ri)| {
-                let writes = ri.repair_col();
+                let writes = ri.write_cols();
                 rules
                     .iter()
                     .enumerate()
                     .filter(|&(j, rj)| {
-                        rj.evidence_cols().any(|c| c == writes)
-                            || (i != j && rj.repair_col() == writes)
+                        i != j
+                            && writes.iter().any(|&w| {
+                                rj.evidence_cols().any(|c| c == w) || rj.repair_col() == w
+                            })
                     })
                     .map(|(j, _)| j)
                     .collect()
@@ -145,8 +158,7 @@ impl RuleGraph {
             }
         }
         // Condensation edges + in-degrees.
-        let mut cedges: Vec<dr_kb::FxHashSet<usize>> =
-            vec![dr_kb::FxHashSet::default(); n_comp];
+        let mut cedges: Vec<dr_kb::FxHashSet<usize>> = vec![dr_kb::FxHashSet::default(); n_comp];
         let mut indeg = vec![0usize; n_comp];
         for (v, outs) in self.succ.iter().enumerate() {
             for &w in outs {
@@ -185,16 +197,19 @@ mod tests {
     use crate::fixtures::figure4_rules;
     use dr_kb::fixtures::nobel_mini_kb;
 
-    /// Example 8: ϕ1 → ϕ2 → ϕ3 (with ϕ1 → ϕ3 transitively direct too);
-    /// ϕ4 is independent.
+    /// Example 8, extended with normalization writes: ϕ1 → ϕ2 → ϕ3 as in
+    /// the paper (Institution feeds ϕ2/ϕ3, City feeds ϕ3), plus back-edges
+    /// because ϕ2 and ϕ3 match Institution fuzzily (`ED,2`) and therefore
+    /// may rewrite it — re-enabling ϕ1 (repairs Institution) and each
+    /// other. ϕ4 is independent.
     #[test]
     fn figure4_rule_graph() {
         let kb = nobel_mini_kb();
         let rules = figure4_rules(&kb);
         let g = RuleGraph::build(&rules);
         assert_eq!(g.successors(0), &[1, 2]); // Institution feeds ϕ2 and ϕ3
-        assert_eq!(g.successors(1), &[2]); // City feeds ϕ3
-        assert_eq!(g.successors(2), &[] as &[usize]); // Country feeds nobody
+        assert_eq!(g.successors(1), &[0, 2]); // City feeds ϕ3; Inst norm feeds ϕ1
+        assert_eq!(g.successors(2), &[0, 1]); // Inst norm feeds ϕ1 and ϕ2
         assert_eq!(g.successors(3), &[] as &[usize]); // Prize feeds nobody
     }
 
@@ -203,8 +218,41 @@ mod tests {
         let kb = nobel_mini_kb();
         let rules = figure4_rules(&kb);
         let order = RuleGraph::build(&rules).check_order();
-        // All singleton groups.
-        assert!(order.iter().all(|g| g.len() == 1));
+        // ϕ1–ϕ3 are mutually dependent through the fuzzy Institution
+        // column and collapse into one re-scanned group; ϕ4 stays alone.
+        assert_eq!(order, vec![vec![0, 1, 2], vec![3]]);
+    }
+
+    /// With all-exact similarities the paper's original picture holds:
+    /// no normalization writes, so the graph is the plain
+    /// `col(p) ∈ col(Ve')` DAG and every group is a singleton.
+    #[test]
+    fn exact_rules_keep_the_papers_dag() {
+        let kb = nobel_mini_kb();
+        let rules: Vec<_> = figure4_rules(&kb)
+            .into_iter()
+            .map(|r| {
+                let mut evidence = r.evidence().to_vec();
+                for n in &mut evidence {
+                    n.sim = dr_simmatch::SimFn::Equal;
+                }
+                DetectiveRule::new(
+                    "exact",
+                    evidence,
+                    *r.positive(),
+                    *r.negative(),
+                    r.edges().to_vec(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let g = RuleGraph::build(&rules);
+        assert_eq!(g.successors(0), &[1, 2]);
+        assert_eq!(g.successors(1), &[2]);
+        assert_eq!(g.successors(2), &[] as &[usize]);
+        assert_eq!(g.successors(3), &[] as &[usize]);
+        let order = g.check_order();
+        assert!(order.iter().all(|grp| grp.len() == 1));
         let flat: Vec<usize> = order.into_iter().flatten().collect();
         let pos = |r: usize| flat.iter().position(|&x| x == r).unwrap();
         assert!(pos(0) < pos(1), "ϕ1 before ϕ2");
@@ -233,8 +281,16 @@ mod tests {
                 node(schema.attr_expect("Name"), laureate, SimFn::Equal),
                 node(schema.attr_expect("City"), city, SimFn::Equal),
             ],
-            node(schema.attr_expect("Institution"), org, SimFn::EditDistance(2)),
-            node(schema.attr_expect("Institution"), org, SimFn::EditDistance(2)),
+            node(
+                schema.attr_expect("Institution"),
+                org,
+                SimFn::EditDistance(2),
+            ),
+            node(
+                schema.attr_expect("Institution"),
+                org,
+                SimFn::EditDistance(2),
+            ),
             vec![
                 RuleEdge {
                     from: RuleNodeRef::Evidence(0),
@@ -285,16 +341,15 @@ mod tests {
     /// itself through another rule chain still terminates via SCC grouping.
     #[test]
     fn long_chain_order() {
-        // Chain of figure-4 rules duplicated: order must still be topological.
+        // Figure-4 rules duplicated: the two ϕ1–ϕ3 chains touch the same
+        // columns, so all six collapse into one re-scanned group, and the
+        // two Prize writers (ϕ4, ϕ4') form a second group. Every rule
+        // appears exactly once.
         let kb = nobel_mini_kb();
         let mut rules = figure4_rules(&kb);
         let extra = figure4_rules(&kb);
         rules.extend(extra);
         let order = RuleGraph::build(&rules).check_order();
-        let flat: Vec<usize> = order.into_iter().flatten().collect();
-        let pos = |r: usize| flat.iter().position(|&x| x == r).unwrap();
-        for (a, b) in [(0, 1), (1, 2), (4, 5), (5, 6), (0, 5), (4, 1)] {
-            assert!(pos(a) < pos(b), "rule {a} must precede rule {b}");
-        }
+        assert_eq!(order, vec![vec![0, 1, 2, 4, 5, 6], vec![3, 7]]);
     }
 }

@@ -1,0 +1,287 @@
+//! Relation-scoped concurrent element cache.
+//!
+//! The per-tuple [`ElementCache`](crate::repair::cache::ElementCache) shares
+//! element checks *within* one tuple; on real relations the same values
+//! recur across thousands of rows (every laureate row holds "Nobel Prize in
+//! Chemistry"), so the same KB lookups are recomputed per row. The
+//! `ValueCache` memoizes them once per *value*: node candidates are keyed by
+//! `(schema-node signature, cell value)` and edge checks by `(edge
+//! signature, from-value, to-value)`.
+//!
+//! Because keys include the cell value — not just the column — entries are
+//! pure functions of the immutable KB and never go stale: repairing a cell
+//! simply probes a different key. That makes the cache safely shareable
+//! across tuples and across threads; concurrency is a fixed array of shards,
+//! each a [`parking_lot::RwLock`]-guarded map, so readers never contend and
+//! writers only lock one shard.
+
+use crate::context::MatchContext;
+use crate::graph::schema::SchemaNode;
+use dr_kb::{FxHashMap, Node, PredId};
+use parking_lot::RwLock;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// An edge signature: source node, predicate, target node.
+pub type EdgeSig = (SchemaNode, PredId, SchemaNode);
+
+/// Shard count; a small power of two keeps the modulo a mask while spreading
+/// writer contention well past typical thread counts.
+const SHARDS: usize = 16;
+
+type NodeKey = (SchemaNode, String);
+type EdgeKey = (EdgeSig, String, String);
+
+/// Aggregated cache counters, surfaced through
+/// [`RelationReport`](crate::repair::basic::RelationReport).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Node-candidate lookups answered from the cache.
+    pub node_hits: u64,
+    /// Node-candidate lookups that had to compute.
+    pub node_misses: u64,
+    /// Edge-connectivity lookups answered from the cache.
+    pub edge_hits: u64,
+    /// Edge-connectivity lookups that had to compute.
+    pub edge_misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.node_hits + self.edge_hits
+    }
+
+    /// Total lookups that computed fresh results.
+    pub fn misses(&self) -> u64 {
+        self.node_misses + self.edge_misses
+    }
+
+    /// Fraction of lookups answered from the cache (`0.0` when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+}
+
+/// Whether any candidate pair of `(from, to)` is connected by `rel` in the
+/// KB. Shared by the per-tuple and relation-scoped caches.
+pub(crate) fn edge_connected(
+    ctx: &MatchContext<'_>,
+    from_cands: &[Node],
+    rel: PredId,
+    to_cands: &[Node],
+) -> bool {
+    let kb = ctx.kb();
+    let to_set: dr_kb::FxHashSet<Node> = to_cands.iter().copied().collect();
+    from_cands.iter().any(|&f| match f {
+        Node::Instance(i) => kb.objects(i, rel).iter().any(|o| to_set.contains(o)),
+        Node::Literal(_) => false,
+    })
+}
+
+/// A relation-scoped, thread-safe element cache keyed by cell values.
+pub struct ValueCache {
+    nodes: [RwLock<FxHashMap<NodeKey, Arc<Vec<Node>>>>; SHARDS],
+    edges: [RwLock<FxHashMap<EdgeKey, bool>>; SHARDS],
+    node_hits: AtomicU64,
+    node_misses: AtomicU64,
+    edge_hits: AtomicU64,
+    edge_misses: AtomicU64,
+}
+
+impl Default for ValueCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn shard_of<K: Hash>(key: &K) -> usize {
+    let mut h = std::hash::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % SHARDS
+}
+
+impl ValueCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            nodes: std::array::from_fn(|_| RwLock::new(FxHashMap::default())),
+            edges: std::array::from_fn(|_| RwLock::new(FxHashMap::default())),
+            node_hits: AtomicU64::new(0),
+            node_misses: AtomicU64::new(0),
+            edge_hits: AtomicU64::new(0),
+            edge_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Candidates of `node` against `value`, memoized by `(node, value)`.
+    pub fn candidates(
+        &self,
+        ctx: &MatchContext<'_>,
+        node: &SchemaNode,
+        value: &str,
+    ) -> Arc<Vec<Node>> {
+        let key = (*node, value.to_owned());
+        let shard = &self.nodes[shard_of(&key)];
+        if let Some(cands) = shard.read().get(&key).map(Arc::clone) {
+            self.node_hits.fetch_add(1, Relaxed);
+            return cands;
+        }
+        self.node_misses.fetch_add(1, Relaxed);
+        // Compute outside the lock; a racing writer wastes work but stays
+        // correct (the lookup is a pure function of the KB) — first insert
+        // wins, everyone returns the same candidates.
+        let cands = Arc::new(ctx.candidates(node.ty, node.sim, value));
+        Arc::clone(shard.write().entry(key).or_insert(cands))
+    }
+
+    /// Whether some candidate pair of `(from, to)` is connected by `rel`,
+    /// memoized by `(edge signature, from-value, to-value)`.
+    pub fn edge_ok(
+        &self,
+        ctx: &MatchContext<'_>,
+        from: &SchemaNode,
+        rel: PredId,
+        to: &SchemaNode,
+        from_value: &str,
+        to_value: &str,
+    ) -> bool {
+        let sig = (*from, rel, *to);
+        let key = (sig, from_value.to_owned(), to_value.to_owned());
+        let shard = &self.edges[shard_of(&key)];
+        if let Some(&ok) = shard.read().get(&key) {
+            self.edge_hits.fetch_add(1, Relaxed);
+            return ok;
+        }
+        self.edge_misses.fetch_add(1, Relaxed);
+        let from_cands = self.candidates(ctx, from, from_value);
+        let to_cands = self.candidates(ctx, to, to_value);
+        let ok = edge_connected(ctx, &from_cands, rel, &to_cands);
+        shard.write().entry(key).or_insert(ok);
+        ok
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            node_hits: self.node_hits.load(Relaxed),
+            node_misses: self.node_misses.load(Relaxed),
+            edge_hits: self.edge_hits.load(Relaxed),
+            edge_misses: self.edge_misses.load(Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::nobel_schema;
+    use crate::graph::schema::NodeType;
+    use dr_kb::fixtures::{names, nobel_mini_kb};
+    use dr_simmatch::SimFn;
+
+    fn city_node(kb: &dr_kb::KnowledgeBase) -> SchemaNode {
+        SchemaNode::new(
+            nobel_schema().attr_expect("City"),
+            NodeType::Class(kb.class_named(names::CITY).unwrap()),
+            SimFn::Equal,
+        )
+    }
+
+    #[test]
+    fn value_keyed_entries_survive_value_changes() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let cache = ValueCache::new();
+        let node = city_node(&kb);
+        let a = cache.candidates(&ctx, &node, "Haifa");
+        assert_eq!(a.len(), 1);
+        // A different value is a different key — no invalidation involved.
+        let b = cache.candidates(&ctx, &node, "Karcag");
+        assert_eq!(kb.node_value(b[0]), "Karcag");
+        // Probing the first value again hits.
+        let again = cache.candidates(&ctx, &node, "Haifa");
+        assert!(Arc::ptr_eq(&a, &again));
+        assert_eq!(cache.stats().node_hits, 1);
+        assert_eq!(cache.stats().node_misses, 2);
+    }
+
+    #[test]
+    fn edge_checks_memoize_per_value_pair() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let schema = nobel_schema();
+        let cache = ValueCache::new();
+        let name = SchemaNode::new(
+            schema.attr_expect("Name"),
+            NodeType::Class(kb.class_named(names::LAUREATE).unwrap()),
+            SimFn::Equal,
+        );
+        let inst = SchemaNode::new(
+            schema.attr_expect("Institution"),
+            NodeType::Class(kb.class_named(names::ORGANIZATION).unwrap()),
+            SimFn::EditDistance(2),
+        );
+        let works_at = kb.pred_named(names::WORKS_AT).unwrap();
+        assert!(cache.edge_ok(
+            &ctx,
+            &name,
+            works_at,
+            &inst,
+            "Avram Hershko",
+            "Israel Institute of Technology",
+        ));
+        assert!(cache.edge_ok(
+            &ctx,
+            &name,
+            works_at,
+            &inst,
+            "Avram Hershko",
+            "Israel Institute of Technology",
+        ));
+        let stats = cache.stats();
+        assert_eq!((stats.edge_hits, stats.edge_misses), (1, 1));
+        // The edge miss pulled both endpoint candidate sets into the cache.
+        assert_eq!(stats.node_misses, 2);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let cache = ValueCache::new();
+        let node = city_node(&kb);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        assert_eq!(cache.candidates(&ctx, &node, "Haifa").len(), 1);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.node_hits + stats.node_misses, 32);
+        // At least one lookup computed, and most were hits.
+        assert!(stats.node_misses >= 1);
+        assert!(stats.node_hits >= 32 - 4);
+    }
+
+    #[test]
+    fn hit_rate_is_well_defined() {
+        let stats = CacheStats::default();
+        assert_eq!(stats.hit_rate(), 0.0);
+        let stats = CacheStats {
+            node_hits: 3,
+            node_misses: 1,
+            ..Default::default()
+        };
+        assert_eq!(stats.hit_rate(), 0.75);
+    }
+}

@@ -120,7 +120,7 @@ impl RuleApplication {
 /// list from the shared element cache.
 fn cached_node(
     ctx: &MatchContext<'_>,
-    cache: &mut ElementCache,
+    cache: &mut ElementCache<'_>,
     tuple: &Tuple,
     node: &SchemaNode,
 ) -> PatternNode {
@@ -133,7 +133,7 @@ fn cached_node(
 /// Node indexes: evidence `0..k`, then `p` at `k`.
 pub(crate) fn positive_pattern(
     ctx: &MatchContext<'_>,
-    cache: &mut ElementCache,
+    cache: &mut ElementCache<'_>,
     rule: &DetectiveRule,
     tuple: &Tuple,
 ) -> Pattern {
@@ -175,7 +175,7 @@ pub(crate) fn positive_pattern(
 /// Node indexes: evidence `0..k`, `n` at `k`, free `p` at `k + 1`.
 pub(crate) fn negative_pattern(
     ctx: &MatchContext<'_>,
-    cache: &mut ElementCache,
+    cache: &mut ElementCache<'_>,
     rule: &DetectiveRule,
     tuple: &Tuple,
 ) -> Pattern {
@@ -322,7 +322,7 @@ fn ref_node(rule: &DetectiveRule, r: RuleNodeRef) -> Option<&SchemaNode> {
 /// decided from per-column signatures and pass the prefilter.
 fn prefilter_edge(
     ctx: &MatchContext<'_>,
-    cache: &mut ElementCache,
+    cache: &mut ElementCache<'_>,
     rule: &DetectiveRule,
     tuple: &Tuple,
     e: &crate::rule::RuleEdge,
@@ -342,7 +342,7 @@ pub fn apply_rule_cached(
     rule: &DetectiveRule,
     tuple: &mut Tuple,
     opts: &ApplyOptions,
-    cache: &mut ElementCache,
+    cache: &mut ElementCache<'_>,
 ) -> RuleApplication {
     let kb = ctx.kb();
     let k = rule.evidence().len();
@@ -448,9 +448,7 @@ pub fn apply_rule_cached(
             // evidence correct and flags the cell as potentially wrong.
             let mut negative_only = Pattern::default();
             for ev in rule.evidence() {
-                negative_only
-                    .nodes
-                    .push(cached_node(ctx, cache, tuple, ev));
+                negative_only.nodes.push(cached_node(ctx, cache, tuple, ev));
             }
             negative_only
                 .nodes
@@ -461,10 +459,9 @@ pub fn apply_rule_cached(
                 for end in [e.from, e.to] {
                     if let RuleNodeRef::Aux(i) = end {
                         aux_idx.entry(i).or_insert_with(|| {
-                            negative_only.nodes.push(PatternNode::free(
-                                rule.aux()[i],
-                                dr_simmatch::SimFn::Equal,
-                            ));
+                            negative_only
+                                .nodes
+                                .push(PatternNode::free(rule.aux()[i], dr_simmatch::SimFn::Equal));
                             negative_only.nodes.len() - 1
                         });
                     }
@@ -566,8 +563,7 @@ mod tests {
                 assert_eq!(new, "Haifa");
                 assert_eq!(candidates, vec!["Haifa".to_owned()]);
                 // Example 6: Name⁺, Institution⁺, City⁺.
-                let names: Vec<&str> =
-                    newly_marked.iter().map(|&c| schema.attr_name(c)).collect();
+                let names: Vec<&str> = newly_marked.iter().map(|&c| schema.attr_name(c)).collect();
                 assert_eq!(names, vec!["Name", "Institution", "City"]);
             }
             other => panic!("expected repair, got {other:?}"),
@@ -590,8 +586,7 @@ mod tests {
                 newly_marked,
                 normalized,
             } => {
-                let names: Vec<&str> =
-                    newly_marked.iter().map(|&c| schema.attr_name(c)).collect();
+                let names: Vec<&str> = newly_marked.iter().map(|&c| schema.attr_name(c)).collect();
                 assert_eq!(names, vec!["Name", "DOB", "Institution"]);
                 assert!(normalized.is_empty());
             }
@@ -659,7 +654,10 @@ mod tests {
             result,
             RuleApplication::ProofPositive { ref normalized, .. } if normalized.is_empty()
         ));
-        assert_eq!(r2.get(schema.attr_expect("Institution")), "Paster Institute");
+        assert_eq!(
+            r2.get(schema.attr_expect("Institution")),
+            "Paster Institute"
+        );
     }
 
     /// ϕ1 on r4 (Melvin Calvin) yields the two-institution multi-version
@@ -677,7 +675,10 @@ mod tests {
                 assert_eq!(old, "University of Minnesota");
                 assert_eq!(
                     candidates,
-                    vec!["UC Berkeley".to_owned(), "University of Manchester".to_owned()]
+                    vec![
+                        "UC Berkeley".to_owned(),
+                        "University of Manchester".to_owned()
+                    ]
                 );
             }
             other => panic!("expected repair, got {other:?}"),

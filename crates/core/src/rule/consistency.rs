@@ -192,8 +192,11 @@ pub fn check_consistency_multi(
                             other.last().cloned().unwrap_or_else(|| tuple.clone()),
                         )
                     });
-                let (col, value_a, value_b) = first_diff(&a, &b)
-                    .unwrap_or((AttrId::from_index(0), String::new(), String::new()));
+                let (col, value_a, value_b) = first_diff(&a, &b).unwrap_or((
+                    AttrId::from_index(0),
+                    String::new(),
+                    String::new(),
+                ));
                 return Consistency::Inconsistent(Box::new(Divergence {
                     row,
                     order_a: orders[0].clone(),
@@ -265,7 +268,11 @@ mod tests {
             "born-city",
             vec![
                 node(schema.attr_expect("Name"), laureate, SimFn::Equal),
-                node(schema.attr_expect("Institution"), org, SimFn::EditDistance(2)),
+                node(
+                    schema.attr_expect("Institution"),
+                    org,
+                    SimFn::EditDistance(2),
+                ),
             ],
             node(schema.attr_expect("City"), city, SimFn::Equal),
             node(schema.attr_expect("City"), city, SimFn::Equal),
@@ -293,12 +300,8 @@ mod tests {
         assert_eq!(contending_pairs(&pair).len(), 1);
 
         let ctx = MatchContext::new(&kb);
-        let verdict = check_consistency(
-            &ctx,
-            &pair,
-            &table1_dirty(),
-            &ConsistencyOptions::default(),
-        );
+        let verdict =
+            check_consistency(&ctx, &pair, &table1_dirty(), &ConsistencyOptions::default());
         match verdict {
             Consistency::Inconsistent(d) => {
                 assert_eq!(nobel_schema().attr_name(d.col), "City");
@@ -338,7 +341,11 @@ mod tests {
             "born-city",
             vec![
                 node(schema.attr_expect("Name"), laureate, SimFn::Equal),
-                node(schema.attr_expect("Institution"), org, SimFn::EditDistance(2)),
+                node(
+                    schema.attr_expect("Institution"),
+                    org,
+                    SimFn::EditDistance(2),
+                ),
             ],
             node(schema.attr_expect("City"), city, SimFn::Equal),
             node(schema.attr_expect("City"), city, SimFn::Equal),

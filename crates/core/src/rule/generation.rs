@@ -338,10 +338,17 @@ fn build_candidate(
             });
         }
     }
-    for (side, list) in [(RuleNodeRef::Positive, pos_edges), (RuleNodeRef::Negative, neg_edges)] {
+    for (side, list) in [
+        (RuleNodeRef::Positive, pos_edges),
+        (RuleNodeRef::Negative, neg_edges),
+    ] {
         for e in list {
             let ev = RuleNodeRef::Evidence(index_of(e.other));
-            let (from, to) = if e.into_target { (ev, side) } else { (side, ev) };
+            let (from, to) = if e.into_target {
+                (ev, side)
+            } else {
+                (side, ev)
+            };
             edges.push(RuleEdge {
                 from,
                 to,
@@ -386,10 +393,7 @@ pub fn generate_rules(
         .edges
         .keys()
         .filter(|&&(a, _, b)| {
-            a != target
-                && b != target
-                && evidence_cols.contains(&a)
-                && evidence_cols.contains(&b)
+            a != target && b != target && evidence_cols.contains(&a) && evidence_cols.contains(&b)
         })
         .filter(|k| gn.edges.contains_key(k))
         .copied()
@@ -574,14 +578,18 @@ mod tests {
 
         // The worksAt edge Name → Institution is discovered.
         let works_at = kb.pred_named(names::WORKS_AT).unwrap();
-        assert!(g
-            .edges
-            .contains_key(&(schema.attr_expect("Name"), works_at, schema.attr_expect("Institution"))));
+        assert!(g.edges.contains_key(&(
+            schema.attr_expect("Name"),
+            works_at,
+            schema.attr_expect("Institution")
+        )));
         // And bornOnDate Name → DOB.
         let born_on = kb.pred_named(names::BORN_ON_DATE).unwrap();
-        assert!(g
-            .edges
-            .contains_key(&(schema.attr_expect("Name"), born_on, schema.attr_expect("DOB"))));
+        assert!(g.edges.contains_key(&(
+            schema.attr_expect("Name"),
+            born_on,
+            schema.attr_expect("DOB")
+        )));
     }
 
     /// Build negatives for City: replace City with the birth city, then
@@ -694,8 +702,7 @@ mod tests {
         let schema = nobel_schema();
         let empty = Relation::new(schema.clone());
         let cfg = GenerationConfig::default();
-        let candidates =
-            generate_rules(&ctx, schema.attr_expect("City"), &empty, &empty, &cfg);
+        let candidates = generate_rules(&ctx, schema.attr_expect("City"), &empty, &empty, &cfg);
         assert!(candidates.is_empty());
     }
 }

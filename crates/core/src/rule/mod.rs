@@ -14,6 +14,7 @@ pub mod text;
 use crate::graph::schema::{NodeType, SchemaGraph, SchemaGraphError, SchemaNode};
 use dr_kb::{KnowledgeBase, PredId};
 use dr_relation::{AttrId, Schema};
+use dr_simmatch::SimFn;
 use std::fmt;
 
 /// Refers to a node of a detective rule.
@@ -72,7 +73,10 @@ impl fmt::Display for RuleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuleError::PositiveNegativeColumnMismatch => {
-                write!(f, "positive and negative nodes must reference the same column")
+                write!(
+                    f,
+                    "positive and negative nodes must reference the same column"
+                )
             }
             RuleError::RepairColumnInEvidence => {
                 write!(f, "the repaired column may not also be an evidence column")
@@ -306,6 +310,23 @@ impl DetectiveRule {
         self.evidence.iter().map(|n| n.col)
     }
 
+    /// Columns this rule may **rewrite** when it applies: the repaired
+    /// column `col(p)`, plus every evidence column matched with a
+    /// non-exact similarity. Fuzzy-matched evidence cells are rewritten to
+    /// their canonical KB label on success (see
+    /// [`apply::ApplyOptions::normalize_fuzzy`]), so they are writes for
+    /// dependency purposes — a rule checked earlier could be re-enabled by
+    /// such a rewrite exactly like by a repair.
+    pub fn write_cols(&self) -> Vec<AttrId> {
+        let mut cols = vec![self.repair_col()];
+        for n in &self.evidence {
+            if n.sim != SimFn::Equal && !cols.contains(&n.col) {
+                cols.push(n.col);
+            }
+        }
+        cols
+    }
+
     /// The largest column index the rule touches. A rule only applies to
     /// relations whose arity exceeds this (used to scope shared rule pools
     /// to compatible tables).
@@ -449,10 +470,7 @@ mod tests {
         let rules = figure4_rules(&kb);
         let phi1 = &rules[0];
         assert_eq!(schema.attr_name(phi1.repair_col()), "Institution");
-        let ev: Vec<&str> = phi1
-            .evidence_cols()
-            .map(|c| schema.attr_name(c))
-            .collect();
+        let ev: Vec<&str> = phi1.evidence_cols().map(|c| schema.attr_name(c)).collect();
         assert_eq!(ev, vec!["Name", "DOB"]);
         assert_eq!(phi1.positive_edges().count(), 2); // Name→DOB, Name→p
         assert_eq!(phi1.negative_edges().count(), 2); // Name→DOB, Name→n
@@ -549,8 +567,16 @@ mod tests {
                 NodeType::Class(laureate),
                 SimFn::Equal,
             )],
-            node(schema.attr_expect("City"), NodeType::Class(city), SimFn::Equal),
-            node(schema.attr_expect("City"), NodeType::Class(city), SimFn::Equal),
+            node(
+                schema.attr_expect("City"),
+                NodeType::Class(city),
+                SimFn::Equal,
+            ),
+            node(
+                schema.attr_expect("City"),
+                NodeType::Class(city),
+                SimFn::Equal,
+            ),
             vec![],
         )
         .unwrap_err();
@@ -565,8 +591,16 @@ mod tests {
         let err = DetectiveRule::new(
             "broken",
             vec![],
-            node(schema.attr_expect("City"), NodeType::Class(city), SimFn::Equal),
-            node(schema.attr_expect("City"), NodeType::Class(city), SimFn::Equal),
+            node(
+                schema.attr_expect("City"),
+                NodeType::Class(city),
+                SimFn::Equal,
+            ),
+            node(
+                schema.attr_expect("City"),
+                NodeType::Class(city),
+                SimFn::Equal,
+            ),
             vec![],
         )
         .unwrap_err();

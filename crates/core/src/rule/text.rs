@@ -214,10 +214,7 @@ impl<'a> Parser<'a> {
 }
 
 /// Resolves a type token (`literal` keyword or quoted class name).
-fn parse_type(
-    parser: &mut Parser<'_>,
-    kb: &KnowledgeBase,
-) -> Result<NodeType, RuleTextError> {
+fn parse_type(parser: &mut Parser<'_>, kb: &KnowledgeBase) -> Result<NodeType, RuleTextError> {
     match parser.next() {
         Some((_, Tok::Word(w))) if w == "literal" => Ok(NodeType::Literal),
         Some((line, Tok::Quoted(name))) => kb
@@ -530,7 +527,10 @@ rule city-via-aux {
         let kb = nobel_mini_kb();
         let schema = nobel_schema();
         for (text, needle) in [
-            ("rule x {\n  evidence e: Nope type \"city\" sim =;\n}", "unknown column"),
+            (
+                "rule x {\n  evidence e: Nope type \"city\" sim =;\n}",
+                "unknown column",
+            ),
             (
                 "rule x {\n  evidence e: Name type \"no-such-class\" sim =;\n}",
                 "unknown class",

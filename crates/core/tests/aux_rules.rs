@@ -31,12 +31,24 @@ fn city_rule_via_aux(kb: &KnowledgeBase) -> DetectiveRule {
             SimFn::Equal,
         )],
         vec![class(kb, names::ORGANIZATION)],
-        node(schema.attr_expect("City"), class(kb, names::CITY), SimFn::Equal),
-        node(schema.attr_expect("City"), class(kb, names::CITY), SimFn::Equal),
+        node(
+            schema.attr_expect("City"),
+            class(kb, names::CITY),
+            SimFn::Equal,
+        ),
+        node(
+            schema.attr_expect("City"),
+            class(kb, names::CITY),
+            SimFn::Equal,
+        ),
         vec![
             edge(Evidence(0), kb.pred_named(names::WORKS_AT).unwrap(), Aux(0)),
             edge(Aux(0), kb.pred_named(names::LOCATED_IN).unwrap(), Positive),
-            edge(Evidence(0), kb.pred_named(names::BORN_IN).unwrap(), Negative),
+            edge(
+                Evidence(0),
+                kb.pred_named(names::BORN_IN).unwrap(),
+                Negative,
+            ),
         ],
     )
     .expect("aux rule valid")
@@ -70,7 +82,10 @@ fn positive_path_multi_version_for_calvin() {
     match apply_rule(&ctx, &rule, &mut r4, &ApplyOptions::default()) {
         RuleApplication::Repaired { candidates, .. } => {
             // Both workplaces' cities are valid repairs.
-            assert_eq!(candidates, vec!["Berkeley".to_owned(), "Manchester".to_owned()]);
+            assert_eq!(
+                candidates,
+                vec!["Berkeley".to_owned(), "Manchester".to_owned()]
+            );
         }
         other => panic!("expected repair, got {other:?}"),
     }
@@ -91,9 +106,20 @@ fn negative_path_detects_alma_mater_city() {
             class(&kb, names::LAUREATE),
             SimFn::Equal,
         )],
-        vec![class(&kb, names::ORGANIZATION), class(&kb, names::ORGANIZATION)],
-        node(schema.attr_expect("City"), class(&kb, names::CITY), SimFn::Equal),
-        node(schema.attr_expect("City"), class(&kb, names::CITY), SimFn::Equal),
+        vec![
+            class(&kb, names::ORGANIZATION),
+            class(&kb, names::ORGANIZATION),
+        ],
+        node(
+            schema.attr_expect("City"),
+            class(&kb, names::CITY),
+            SimFn::Equal,
+        ),
+        node(
+            schema.attr_expect("City"),
+            class(&kb, names::CITY),
+            SimFn::Equal,
+        ),
         vec![
             edge(Evidence(0), kb.pred_named(names::WORKS_AT).unwrap(), Aux(0)),
             edge(Aux(0), kb.pred_named(names::LOCATED_IN).unwrap(), Positive),
@@ -111,9 +137,14 @@ fn negative_path_detects_alma_mater_city() {
     // mater (University of Minnesota): the negative path matches.
     let mut r4 = table1_dirty().tuple(3).clone();
     match apply_rule(&ctx, &rule, &mut r4, &ApplyOptions::default()) {
-        RuleApplication::Repaired { old, candidates, .. } => {
+        RuleApplication::Repaired {
+            old, candidates, ..
+        } => {
             assert_eq!(old, "St. Paul");
-            assert_eq!(candidates, vec!["Berkeley".to_owned(), "Manchester".to_owned()]);
+            assert_eq!(
+                candidates,
+                vec!["Berkeley".to_owned(), "Manchester".to_owned()]
+            );
         }
         other => panic!("expected negative-path repair, got {other:?}"),
     }
@@ -129,7 +160,11 @@ fn aux_validation_catches_errors() {
         class(&kb, names::LAUREATE),
         SimFn::Equal,
     );
-    let city_node = node(schema.attr_expect("City"), class(&kb, names::CITY), SimFn::Equal);
+    let city_node = node(
+        schema.attr_expect("City"),
+        class(&kb, names::CITY),
+        SimFn::Equal,
+    );
     let works_at = kb.pred_named(names::WORKS_AT).unwrap();
     let located_in = kb.pred_named(names::LOCATED_IN).unwrap();
     let born_in = kb.pred_named(names::BORN_IN).unwrap();

@@ -34,7 +34,13 @@ fn concurrent_candidate_lookups_agree() {
     // while the indexes are still cold.
     let queries: Vec<(NodeType, SimFn, String)> = (0..40)
         .map(|i| (city, SimFn::Equal, format!("City Number {i}")))
-        .chain((0..40).map(|i| (org, SimFn::EditDistance(2), format!("Organization Numbr {i}"))))
+        .chain((0..40).map(|i| {
+            (
+                org,
+                SimFn::EditDistance(2),
+                format!("Organization Numbr {i}"),
+            )
+        }))
         .collect();
 
     let expected: Vec<usize> = queries
@@ -44,20 +50,19 @@ fn concurrent_candidate_lookups_agree() {
     // Sanity: the fuzzy queries actually match something.
     assert!(expected.iter().all(|&n| n >= 1));
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..8 {
             let ctx = &ctx;
             let queries = &queries;
             let expected = &expected;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for ((ty, sim, q), &want) in queries.iter().zip(expected) {
                     let got = ctx.candidates(*ty, *sim, q).len();
                     assert_eq!(got, want, "query {q:?} under {sim}");
                 }
             });
         }
-    })
-    .unwrap();
+    });
 
     // Exactly one index per (type, sim) pair survives the race.
     assert_eq!(ctx.index_count(), 2);

@@ -91,9 +91,7 @@ fn count_into(
                 }
                 for &x in from {
                     for &p in kb.preds_of(x) {
-                        if !rels.contains(&p)
-                            && targets.iter().any(|&t| kb.has_edge(x, p, t))
-                        {
+                        if !rels.contains(&p) && targets.iter().any(|&t| kb.has_edge(x, p, t)) {
                             rels.insert(p);
                         }
                     }

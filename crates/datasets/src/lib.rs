@@ -18,12 +18,12 @@
 pub mod alignment;
 pub mod names;
 pub mod nobel;
+pub mod profile;
 pub mod uis;
 pub mod webtables;
-pub mod profile;
 
 pub use alignment::{alignment, AlignmentStats};
 pub use nobel::NobelWorld;
+pub use profile::{KbFlavor, KbProfile};
 pub use uis::UisWorld;
 pub use webtables::WebTablesWorld;
-pub use profile::{KbFlavor, KbProfile};

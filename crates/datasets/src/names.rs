@@ -7,8 +7,8 @@
 
 /// Onset syllables for place-like names.
 const PLACE_ONSETS: &[&str] = &[
-    "Bar", "Cal", "Dor", "El", "Fen", "Gar", "Hal", "Ist", "Jor", "Kel", "Lun", "Mar", "Nor",
-    "Or", "Pel", "Quin", "Ros", "Sal", "Tor", "Ul", "Ver", "Wil", "Xan", "Yor", "Zel",
+    "Bar", "Cal", "Dor", "El", "Fen", "Gar", "Hal", "Ist", "Jor", "Kel", "Lun", "Mar", "Nor", "Or",
+    "Pel", "Quin", "Ros", "Sal", "Tor", "Ul", "Ver", "Wil", "Xan", "Yor", "Zel",
 ];
 
 /// Middle syllables.
@@ -18,28 +18,105 @@ const PLACE_MIDDLES: &[&str] = &[
 
 /// Coda syllables for place-like names.
 const PLACE_CODAS: &[&str] = &[
-    "burg", "by", "dale", "field", "ford", "grad", "ham", "holm", "mont", "mouth", "port",
-    "stad", "ton", "ville", "wick", "worth",
+    "burg", "by", "dale", "field", "ford", "grad", "ham", "holm", "mont", "mouth", "port", "stad",
+    "ton", "ville", "wick", "worth",
 ];
 
 /// First names for person pools.
 const FIRST_NAMES: &[&str] = &[
-    "Ada", "Boris", "Clara", "Dmitri", "Elena", "Farid", "Greta", "Hugo", "Irene", "Jonas",
-    "Karin", "Lars", "Mira", "Nils", "Olga", "Pavel", "Quentin", "Rosa", "Stefan", "Tania",
-    "Ulrich", "Vera", "Walter", "Xenia", "Yusuf", "Zelda", "Anton", "Beatrix", "Casimir",
-    "Daphne", "Edmund", "Felicia", "Gustav", "Henrietta", "Ivan", "Jolanda", "Konrad", "Lydia",
-    "Magnus", "Nadia",
+    "Ada",
+    "Boris",
+    "Clara",
+    "Dmitri",
+    "Elena",
+    "Farid",
+    "Greta",
+    "Hugo",
+    "Irene",
+    "Jonas",
+    "Karin",
+    "Lars",
+    "Mira",
+    "Nils",
+    "Olga",
+    "Pavel",
+    "Quentin",
+    "Rosa",
+    "Stefan",
+    "Tania",
+    "Ulrich",
+    "Vera",
+    "Walter",
+    "Xenia",
+    "Yusuf",
+    "Zelda",
+    "Anton",
+    "Beatrix",
+    "Casimir",
+    "Daphne",
+    "Edmund",
+    "Felicia",
+    "Gustav",
+    "Henrietta",
+    "Ivan",
+    "Jolanda",
+    "Konrad",
+    "Lydia",
+    "Magnus",
+    "Nadia",
 ];
 
 /// Last names for person pools.
 const LAST_NAMES: &[&str] = &[
-    "Abernathy", "Bergström", "Calloway", "Drummond", "Eriksson", "Falkenrath", "Grimaldi",
-    "Holloway", "Ivanov", "Jankowski", "Kowalczyk", "Lindqvist", "Montague", "Novak",
-    "Oppenheim", "Petrov", "Quimby", "Rasmussen", "Sokolov", "Thorvald", "Ulanov", "Vasquez",
-    "Whitfield", "Xanthos", "Yamamoto", "Zielinski", "Ashworth", "Blackwood", "Castellan",
-    "Davenport", "Engelhardt", "Fitzgerald", "Granger", "Huxley", "Ingram", "Jefferson",
-    "Kellerman", "Langley", "Mansfield", "Northcott", "Ostrander", "Pemberton", "Quillfeather",
-    "Rothschild", "Silverstein", "Templeton", "Underwood", "Vandermeer", "Wainwright",
+    "Abernathy",
+    "Bergström",
+    "Calloway",
+    "Drummond",
+    "Eriksson",
+    "Falkenrath",
+    "Grimaldi",
+    "Holloway",
+    "Ivanov",
+    "Jankowski",
+    "Kowalczyk",
+    "Lindqvist",
+    "Montague",
+    "Novak",
+    "Oppenheim",
+    "Petrov",
+    "Quimby",
+    "Rasmussen",
+    "Sokolov",
+    "Thorvald",
+    "Ulanov",
+    "Vasquez",
+    "Whitfield",
+    "Xanthos",
+    "Yamamoto",
+    "Zielinski",
+    "Ashworth",
+    "Blackwood",
+    "Castellan",
+    "Davenport",
+    "Engelhardt",
+    "Fitzgerald",
+    "Granger",
+    "Huxley",
+    "Ingram",
+    "Jefferson",
+    "Kellerman",
+    "Langley",
+    "Mansfield",
+    "Northcott",
+    "Ostrander",
+    "Pemberton",
+    "Quillfeather",
+    "Rothschild",
+    "Silverstein",
+    "Templeton",
+    "Underwood",
+    "Vandermeer",
+    "Wainwright",
     "Yarborough",
 ];
 

@@ -81,8 +81,9 @@ impl NobelWorld {
         let n_chem_prizes = 8.min(2 + n / 100).max(2);
         let n_other_prizes = 10.min(2 + n / 80).max(2);
 
-        let countries: Vec<String> =
-            (0..n_countries).map(|i| names::place_name(i) + " Republic").collect();
+        let countries: Vec<String> = (0..n_countries)
+            .map(|i| names::place_name(i) + " Republic")
+            .collect();
         let cities: Vec<(String, usize)> = (0..n_cities)
             .map(|i| (names::place_name(1000 + i), i % n_countries))
             .collect();
@@ -100,10 +101,16 @@ impl NobelWorld {
         let mut prizes: Vec<(String, bool)> = Vec::new();
         prizes.push(("Nobel Prize in Chemistry".to_owned(), true));
         for i in 1..n_chem_prizes {
-            prizes.push((format!("{} Prize in Chemistry", names::place_name(3000 + i)), true));
+            prizes.push((
+                format!("{} Prize in Chemistry", names::place_name(3000 + i)),
+                true,
+            ));
         }
         for i in 0..n_other_prizes {
-            prizes.push((format!("{} Medal of Science", names::place_name(4000 + i)), false));
+            prizes.push((
+                format!("{} Medal of Science", names::place_name(4000 + i)),
+                false,
+            ));
         }
 
         let persons: Vec<NobelPerson> = (0..n)
@@ -344,7 +351,11 @@ impl NobelWorld {
             class(rel_names::ORGANIZATION),
             SimFn::EditDistance(2),
         );
-        let inst_neg = node(col("Institution"), class(rel_names::ORGANIZATION), SimFn::Equal);
+        let inst_neg = node(
+            col("Institution"),
+            class(rel_names::ORGANIZATION),
+            SimFn::Equal,
+        );
         let city_node = node(col("City"), class(rel_names::CITY), SimFn::EditDistance(2));
         let city_neg = node(col("City"), class(rel_names::CITY), SimFn::Equal);
         let country_node = node(
@@ -567,11 +578,7 @@ mod tests {
         let rules = NobelWorld::rules(&kb);
         let ctx = MatchContext::new(&kb);
         let clean = w.clean_relation();
-        let (dirty, _) = inject(
-            &clean,
-            &NoiseSpec::new(0.1, 5),
-            &w.semantic_source(),
-        );
+        let (dirty, _) = inject(&clean, &NoiseSpec::new(0.1, 5), &w.semantic_source());
         let verdict = check_consistency(&ctx, &rules, &dirty, &ConsistencyOptions::default());
         assert!(verdict.is_consistent(), "{verdict:?}");
     }

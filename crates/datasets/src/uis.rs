@@ -439,10 +439,7 @@ mod tests {
         let schema = r.schema().clone();
         for (i, p) in w.persons.iter().enumerate() {
             let (_, state, zip) = w.cities[p.home_city];
-            assert_eq!(
-                r.tuple(i).get(schema.attr_expect("State")),
-                w.states[state]
-            );
+            assert_eq!(r.tuple(i).get(schema.attr_expect("State")), w.states[state]);
             assert_eq!(r.tuple(i).get(schema.attr_expect("Zip")), w.zips[zip]);
         }
     }

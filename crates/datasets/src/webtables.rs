@@ -719,8 +719,7 @@ mod tests {
             let gt = GroundTruth::new(table.clean.clone());
             let mut relation = table.dirty.clone();
             before += gt.error_count(&relation);
-            let applicable =
-                WebTablesWorld::applicable_rules(&rules, relation.schema().arity());
+            let applicable = WebTablesWorld::applicable_rules(&rules, relation.schema().arity());
             fast_repair(&ctx, &applicable, &mut relation, &ApplyOptions::default());
             after += gt.error_count(&relation);
         }

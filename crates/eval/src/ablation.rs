@@ -67,7 +67,12 @@ fn run_with_options(
         .tuples
         .iter()
         .flat_map(|t| &t.steps)
-        .filter(|s| matches!(s.application, dr_core::RuleApplication::DetectedWrong { .. }))
+        .filter(|s| {
+            matches!(
+                s.application,
+                dr_core::RuleApplication::DetectedWrong { .. }
+            )
+        })
         .count();
     AblationRow {
         config: label.to_owned(),

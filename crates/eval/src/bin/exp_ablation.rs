@@ -55,7 +55,14 @@ fn main() {
         "{}",
         render_table(
             "ABLATION: DETECTION WITHOUT REPAIR (UIS, sparse KB)",
-            &["config", "Precision", "Recall", "F-measure", "#-POS", "#-flagged"],
+            &[
+                "config",
+                "Precision",
+                "Recall",
+                "F-measure",
+                "#-POS",
+                "#-flagged"
+            ],
             &rows,
         )
     );

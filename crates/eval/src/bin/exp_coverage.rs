@@ -10,7 +10,11 @@ use dr_eval::report::{f3, render_table};
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let cfg = CoverageConfig {
-        size: if quick { 300 } else { dr_datasets::nobel::PAPER_SIZE },
+        size: if quick {
+            300
+        } else {
+            dr_datasets::nobel::PAPER_SIZE
+        },
         ..Default::default()
     };
     let coverages = [0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 0.95, 1.0];

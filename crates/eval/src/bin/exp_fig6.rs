@@ -47,7 +47,10 @@ fn main() {
     };
     eprintln!("running Fig 6 Nobel sweep (n={nobel_size})...");
     let points = error_rate_sweep(SweepDataset::Nobel, &rates, &cfg);
-    print_sweep("FIGURE 6 (a,c,e). EFFECTIVENESS vs ERROR RATE — Nobel", &points);
+    print_sweep(
+        "FIGURE 6 (a,c,e). EFFECTIVENESS vs ERROR RATE — Nobel",
+        &points,
+    );
 
     let cfg = Exp2Config {
         size: uis_size,
@@ -56,5 +59,8 @@ fn main() {
     };
     eprintln!("running Fig 6 UIS sweep (n={uis_size})...");
     let points = error_rate_sweep(SweepDataset::Uis, &rates, &cfg);
-    print_sweep("FIGURE 6 (b,d,f). EFFECTIVENESS vs ERROR RATE — UIS", &points);
+    print_sweep(
+        "FIGURE 6 (b,d,f). EFFECTIVENESS vs ERROR RATE — UIS",
+        &points,
+    );
 }

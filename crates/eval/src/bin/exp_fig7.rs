@@ -46,7 +46,10 @@ fn main() {
     };
     eprintln!("running Fig 7 Nobel sweep (n={nobel_size})...");
     let points = typo_rate_sweep(SweepDataset::Nobel, &shares, &cfg);
-    print_sweep("FIGURE 7 (a,c,e). EFFECTIVENESS vs TYPO RATE — Nobel", &points);
+    print_sweep(
+        "FIGURE 7 (a,c,e). EFFECTIVENESS vs TYPO RATE — Nobel",
+        &points,
+    );
 
     let cfg = Exp2Config {
         size: uis_size,
@@ -55,5 +58,8 @@ fn main() {
     };
     eprintln!("running Fig 7 UIS sweep (n={uis_size})...");
     let points = typo_rate_sweep(SweepDataset::Uis, &shares, &cfg);
-    print_sweep("FIGURE 7 (b,d,f). EFFECTIVENESS vs TYPO RATE — UIS", &points);
+    print_sweep(
+        "FIGURE 7 (b,d,f). EFFECTIVENESS vs TYPO RATE — UIS",
+        &points,
+    );
 }

@@ -8,7 +8,9 @@
 //! Usage: `cargo run -p dr-eval --bin exp_fig8 --release [-- --quick]`
 
 use dr_eval::exp2::SweepDataset;
-use dr_eval::exp3::{keyed_rule_sweep, uis_tuple_sweep, webtables_rule_sweep, Exp3Config, TimingPoint};
+use dr_eval::exp3::{
+    keyed_rule_sweep, uis_tuple_sweep, webtables_rule_sweep, Exp3Config, TimingPoint,
+};
 use dr_eval::report::{render_table, secs};
 
 fn print_points(title: &str, x_label: &str, points: &[TimingPoint]) {
@@ -38,7 +40,10 @@ fn main() {
     let points = webtables_rule_sweep(&[10, 20, 30, 40, 50], &cfg);
     print_points("FIGURE 8(a). TIME vs #-RULE — WebTables", "#-rule", &points);
 
-    eprintln!("running Fig 8(b) Nobel rule sweep (n={})...", cfg.nobel_size);
+    eprintln!(
+        "running Fig 8(b) Nobel rule sweep (n={})...",
+        cfg.nobel_size
+    );
     let points = keyed_rule_sweep(SweepDataset::Nobel, &[1, 2, 3, 4, 5], &cfg);
     print_points("FIGURE 8(b). TIME vs #-RULE — Nobel", "#-rule", &points);
 

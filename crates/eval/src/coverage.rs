@@ -62,8 +62,11 @@ pub fn coverage_sweep(coverages: &[f64], cfg: &CoverageConfig) -> Vec<CoveragePo
             let rules = NobelWorld::rules(&kb);
             let ctx = MatchContext::new(&kb);
             let mut working = dirty.clone();
-            let report =
-                FastRepairer::new(&rules).repair_relation(&ctx, &mut working, &ApplyOptions::default());
+            let report = FastRepairer::new(&rules).repair_relation(
+                &ctx,
+                &mut working,
+                &ApplyOptions::default(),
+            );
             let extras = RepairExtras::from_report(&report);
             CoveragePoint {
                 coverage,
@@ -99,7 +102,11 @@ mod tests {
             assert!(p.quality.precision > 0.97, "{:?}", p.quality);
         }
         // Full coverage repairs nearly everything that isn't an evidence
-        // error.
-        assert!(points[2].quality.recall > 0.8, "{:?}", points[2].quality);
+        // error. Noise spreads uniformly over the five non-Name columns
+        // and DOB errors are structurally unrepairable (DOB is evidence
+        // only — no rule has it as positive column), so expected recall
+        // caps at ~0.8; multi-error tuples whose evidence is itself dirty
+        // shave off a little more. Demand ~90% of the repairable share.
+        assert!(points[2].quality.recall > 0.72, "{:?}", points[2].quality);
     }
 }

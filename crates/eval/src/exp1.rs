@@ -7,7 +7,9 @@ use crate::runner::{katara_pattern, run_drs, run_katara, DrAlgo, RunOutcome};
 use dr_baselines::katara::Katara;
 use dr_core::graph::schema::{NodeType, SchemaGraph, SchemaNode};
 use dr_core::MatchContext;
-use dr_datasets::{alignment, AlignmentStats, KbFlavor, KbProfile, NobelWorld, UisWorld, WebTablesWorld};
+use dr_datasets::{
+    alignment, AlignmentStats, KbFlavor, KbProfile, NobelWorld, UisWorld, WebTablesWorld,
+};
 use dr_relation::noise::{inject, NoiseSpec};
 use dr_relation::Relation;
 use dr_simmatch::SimFn;
@@ -131,15 +133,26 @@ fn webtables_katara_patterns(
             let vc = kb.class_named(&domain.value_class)?;
             let pos = kb.pred_named(&domain.pos_rel)?;
             let mut g = SchemaGraph::new();
-            let key = g.add_node(SchemaNode::new(entity_col, NodeType::Class(kc), SimFn::Equal));
-            let value = g.add_node(SchemaNode::new(value_col, NodeType::Class(vc), SimFn::Equal));
+            let key = g.add_node(SchemaNode::new(
+                entity_col,
+                NodeType::Class(kc),
+                SimFn::Equal,
+            ));
+            let value = g.add_node(SchemaNode::new(
+                value_col,
+                NodeType::Class(vc),
+                SimFn::Equal,
+            ));
             g.add_edge(key, value, pos);
             if let Some(sc) = &domain.second {
                 let value2_col = WebTablesWorld::schema3().attr_expect("Value2");
                 let c2 = kb.class_named(&sc.class)?;
                 let pos2 = kb.pred_named(&sc.pos_rel)?;
-                let value2 =
-                    g.add_node(SchemaNode::new(value2_col, NodeType::Class(c2), SimFn::Equal));
+                let value2 = g.add_node(SchemaNode::new(
+                    value2_col,
+                    NodeType::Class(c2),
+                    SimFn::Equal,
+                ));
                 g.add_edge(key, value2, pos2);
             }
             Some(g)
@@ -160,8 +173,7 @@ fn webtables_rows(cfg: &Exp1Config, flavor: KbFlavor, rows: &mut Vec<Exp1Row>) {
     let mut dr_totals = (0usize, 0f64, 0usize, 0usize, 0f64); // repaired, correct, errors, pos, secs
     let mut ka_totals = (0usize, 0f64, 0usize, 0usize, 0f64);
     for table in &world.tables {
-        let table_rules =
-            WebTablesWorld::applicable_rules(&rules, table.dirty.schema().arity());
+        let table_rules = WebTablesWorld::applicable_rules(&rules, table.dirty.schema().arity());
         let outcome = run_drs(&ctx, &table_rules, &table.clean, &table.dirty, DrAlgo::Fast);
         dr_totals.0 += outcome.quality.repaired;
         dr_totals.1 += outcome.quality.correct;
@@ -175,7 +187,12 @@ fn webtables_rows(cfg: &Exp1Config, flavor: KbFlavor, rows: &mut Vec<Exp1Row>) {
             let start = std::time::Instant::now();
             let report = katara.clean(&mut working);
             ka_totals.4 += start.elapsed().as_secs_f64();
-            let q = evaluate(&table.clean, &table.dirty, &working, &RepairExtras::default());
+            let q = evaluate(
+                &table.clean,
+                &table.dirty,
+                &working,
+                &RepairExtras::default(),
+            );
             ka_totals.0 += q.repaired;
             ka_totals.1 += q.correct;
             ka_totals.2 += q.errors;
@@ -207,7 +224,11 @@ fn quality_from_totals(t: (usize, f64, usize, usize, f64)) -> Quality {
     } else {
         correct / repaired as f64
     };
-    let recall = if errors == 0 { 1.0 } else { correct / errors as f64 };
+    let recall = if errors == 0 {
+        1.0
+    } else {
+        correct / errors as f64
+    };
     let f_measure = if precision + recall == 0.0 {
         0.0
     } else {
@@ -297,13 +318,7 @@ pub fn table3(cfg: &Exp1Config) -> Vec<Exp1Row> {
         let uis_kb = uis.kb(&profile);
         let uis_rules = UisWorld::rules(&uis_kb);
         keyed_rows(
-            "UIS",
-            &uis_clean,
-            &uis_dirty,
-            &uis_kb,
-            &uis_rules,
-            flavor,
-            &mut rows,
+            "UIS", &uis_clean, &uis_dirty, &uis_kb, &uis_rules, flavor, &mut rows,
         );
     }
     rows

@@ -230,11 +230,7 @@ fn run_drs_masked(
 
 /// Fig. 6: varies the error rate (paper: 4%–20%) at a fixed 50/50
 /// typo/semantic split.
-pub fn error_rate_sweep(
-    dataset: SweepDataset,
-    rates: &[f64],
-    cfg: &Exp2Config,
-) -> Vec<SweepPoint> {
+pub fn error_rate_sweep(dataset: SweepDataset, rates: &[f64], cfg: &Exp2Config) -> Vec<SweepPoint> {
     let env = build_env(dataset, cfg);
     let mut out = Vec::new();
     for &rate in rates {

@@ -100,7 +100,15 @@ pub fn keyed_rule_sweep(
                 let kb = world.kb(&KbProfile::of(flavor));
                 let ctx = MatchContext::new(&kb);
                 let all_rules = NobelWorld::rules(&kb);
-                sweep_rules(&ctx, &all_rules, rule_counts, flavor, &clean, &dirty, &mut out);
+                sweep_rules(
+                    &ctx,
+                    &all_rules,
+                    rule_counts,
+                    flavor,
+                    &clean,
+                    &dirty,
+                    &mut out,
+                );
             }
         }
         SweepDataset::Uis => {
@@ -116,7 +124,15 @@ pub fn keyed_rule_sweep(
                 let kb = world.kb(&KbProfile::of(flavor));
                 let ctx = MatchContext::new(&kb);
                 let all_rules = UisWorld::rules(&kb);
-                sweep_rules(&ctx, &all_rules, rule_counts, flavor, &clean, &dirty, &mut out);
+                sweep_rules(
+                    &ctx,
+                    &all_rules,
+                    rule_counts,
+                    flavor,
+                    &clean,
+                    &dirty,
+                    &mut out,
+                );
             }
         }
     }
@@ -222,8 +238,7 @@ mod tests {
         let points = webtables_rule_sweep(&[10, 50], &tiny_cfg());
         // 2 rule counts × 2 algos × 2 KBs.
         assert_eq!(points.len(), 8);
-        let methods: dr_kb::FxHashSet<&str> =
-            points.iter().map(|p| p.method.as_str()).collect();
+        let methods: dr_kb::FxHashSet<&str> = points.iter().map(|p| p.method.as_str()).collect();
         assert_eq!(methods.len(), 4);
     }
 
@@ -254,14 +269,8 @@ mod tests {
         let points = uis_tuple_sweep(&[200], &tiny_cfg());
         // 4 DR series + 2 KATARA + Llunatic + CFDs = 8 methods.
         assert_eq!(points.len(), 8);
-        let ccfd = points
-            .iter()
-            .find(|p| p.method == "constant CFDs")
-            .unwrap();
-        let dr = points
-            .iter()
-            .find(|p| p.method == "bRepair(Yago)")
-            .unwrap();
+        let ccfd = points.iter().find(|p| p.method == "constant CFDs").unwrap();
+        let dr = points.iter().find(|p| p.method == "bRepair(Yago)").unwrap();
         assert!(
             ccfd.seconds < dr.seconds,
             "constant CFDs are the fastest method"

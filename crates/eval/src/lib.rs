@@ -22,5 +22,7 @@ pub mod metrics;
 pub mod report;
 pub mod runner;
 
-pub use metrics::{evaluate, evaluate_masked, evaluate_per_column, fmt_quality, Quality, RepairExtras};
+pub use metrics::{
+    evaluate, evaluate_masked, evaluate_per_column, fmt_quality, Quality, RepairExtras,
+};
 pub use runner::{katara_pattern, run_ccfd, run_drs, run_katara, run_llunatic, DrAlgo, RunOutcome};

@@ -102,6 +102,58 @@ impl RepairExtras {
     }
 }
 
+/// Accumulates the §V-A counters one cell at a time — the single scoring
+/// path shared by [`evaluate_masked`] and [`evaluate_per_column`], so the
+/// llun/multi-version branch order cannot drift between them.
+#[derive(Debug, Default)]
+struct CellScorer {
+    repaired: usize,
+    correct: f64,
+    errors: usize,
+}
+
+impl CellScorer {
+    /// Scores one cell: `truth` from the clean relation, `before`/`after`
+    /// from the dirty and repaired relations.
+    fn observe(
+        &mut self,
+        cell: CellRef,
+        truth: &str,
+        before: &str,
+        after: &str,
+        extras: &RepairExtras,
+    ) {
+        if before != truth {
+            self.errors += 1;
+        }
+        if after == before {
+            return;
+        }
+        self.repaired += 1;
+        if after == truth {
+            self.correct += 1.0;
+        } else if extras.lluns.contains(&cell) && after == LLUN {
+            // A llun on a genuinely erroneous cell is half credit (the
+            // paper's "metric 0.5"); a llun takes precedence over any
+            // multi-version candidate set for the same cell.
+            if before != truth {
+                self.correct += 0.5;
+            }
+        } else if extras
+            .candidates
+            .get(&cell)
+            .is_some_and(|cands| cands.iter().any(|c| c == truth))
+        {
+            // Multi-version repair containing the ground truth.
+            self.correct += 1.0;
+        }
+    }
+
+    fn quality(self) -> Quality {
+        Quality::from_counts(self.repaired, self.correct, self.errors)
+    }
+}
+
 /// Scores a repair: `clean` is the ground truth, `dirty` the pre-repair
 /// relation, `repaired` the post-repair relation, `extras` the
 /// candidate/llun information (use `RepairExtras::default()` for plain
@@ -130,40 +182,20 @@ pub fn evaluate_masked(
     if let Some(mask) = mask {
         assert_eq!(mask.len(), clean.len(), "mask length mismatch");
     }
-    let mut n_repaired = 0usize;
-    let mut correct = 0f64;
-    let mut errors = 0usize;
+    let mut scorer = CellScorer::default();
     for cell in clean.cell_refs() {
         if mask.is_some_and(|m| !m[cell.row]) {
             continue;
         }
-        let truth = clean.value(cell);
-        let before = dirty.value(cell);
-        let after = repaired.value(cell);
-        if before != truth {
-            errors += 1;
-        }
-        if after != before {
-            n_repaired += 1;
-            if after == truth {
-                correct += 1.0;
-            } else if extras.lluns.contains(&cell) && after == LLUN {
-                // A llun on a genuinely erroneous cell is half credit
-                // (the paper's "metric 0.5").
-                if before != truth {
-                    correct += 0.5;
-                }
-            } else if extras
-                .candidates
-                .get(&cell)
-                .is_some_and(|cands| cands.iter().any(|c| c == truth))
-            {
-                // Multi-version repair containing the ground truth.
-                correct += 1.0;
-            }
-        }
+        scorer.observe(
+            cell,
+            clean.value(cell),
+            dirty.value(cell),
+            repaired.value(cell),
+            extras,
+        );
     }
-    Quality::from_counts(n_repaired, correct, errors)
+    scorer.quality()
 }
 
 /// Per-column quality breakdown: one [`Quality`] per attribute, useful to
@@ -178,32 +210,18 @@ pub fn evaluate_per_column(
     schema
         .attrs()
         .map(|(attr, name)| {
-            let mut n_repaired = 0usize;
-            let mut correct = 0f64;
-            let mut errors = 0usize;
+            let mut scorer = CellScorer::default();
             for row in 0..clean.len() {
                 let cell = CellRef { row, attr };
-                let truth = clean.value(cell);
-                let before = dirty.value(cell);
-                let after = repaired.value(cell);
-                if before != truth {
-                    errors += 1;
-                }
-                if after != before {
-                    n_repaired += 1;
-                    if after == truth
-                        || extras
-                            .candidates
-                            .get(&cell)
-                            .is_some_and(|cands| cands.iter().any(|c| c == truth))
-                    {
-                        correct += 1.0;
-                    } else if extras.lluns.contains(&cell) && after == LLUN && before != truth {
-                        correct += 0.5;
-                    }
-                }
+                scorer.observe(
+                    cell,
+                    clean.value(cell),
+                    dirty.value(cell),
+                    repaired.value(cell),
+                    extras,
+                );
             }
-            (name.to_owned(), Quality::from_counts(n_repaired, correct, errors))
+            (name.to_owned(), scorer.quality())
         })
         .collect()
 }
@@ -331,6 +349,33 @@ mod tests {
         assert_eq!(repaired_sum, overall.repaired);
         assert_eq!(correct_sum, overall.correct);
         assert_eq!(errors_sum, overall.errors);
+    }
+
+    /// Branch-order pin: a llun repair takes precedence over a candidate set
+    /// listing the truth — in the overall *and* the per-column scorer (the
+    /// two used to disagree on this order before sharing [`CellScorer`]).
+    #[test]
+    fn llun_precedes_candidates_in_both_scorers() {
+        let clean = relation(&[&["x", "1"]]);
+        let dirty = relation(&[&["x", "9"]]);
+        let repaired = relation(&[&["x", LLUN]]);
+        let cell = CellRef {
+            row: 0,
+            attr: clean.schema().attr_expect("B"),
+        };
+        let mut extras = RepairExtras::default();
+        extras.lluns.insert(cell);
+        extras
+            .candidates
+            .insert(cell, vec![LLUN.into(), "1".into()]);
+        let overall = evaluate(&clean, &dirty, &repaired, &extras);
+        assert_eq!(
+            overall.correct, 0.5,
+            "llun half-credit, not full candidate credit"
+        );
+        let cols = evaluate_per_column(&clean, &dirty, &repaired, &extras);
+        assert_eq!(cols[1].1.correct, 0.5);
+        assert_eq!(cols[1].1.repaired, overall.repaired);
     }
 
     #[test]

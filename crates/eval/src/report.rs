@@ -23,7 +23,13 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
         cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!(" {:<width$} ", c, width = widths.get(i).copied().unwrap_or(0)))
+            .map(|(i, c)| {
+                format!(
+                    " {:<width$} ",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(0)
+                )
+            })
             .collect::<Vec<_>>()
             .join("|")
     };

@@ -42,6 +42,9 @@ pub struct RunOutcome {
     pub seconds: f64,
     /// Cells marked positive (`#-POS`), where the system supports marking.
     pub pos_marks: usize,
+    /// Relation-scoped value-cache counters (all-zero for systems that do
+    /// not share one — the baselines and the basic chase).
+    pub cache: dr_core::CacheStats,
 }
 
 /// Runs detective rules over a copy of `dirty` and scores the result.
@@ -66,6 +69,7 @@ pub fn run_drs(
         quality,
         seconds,
         pos_marks: working.positive_count(),
+        cache: report.cache,
     }
 }
 
@@ -75,9 +79,9 @@ pub fn katara_pattern(rules: &[DetectiveRule]) -> SchemaGraph {
     let mut graph = SchemaGraph::new();
     let mut index_of = dr_kb::FxHashMap::default();
     let mut node_for = |graph: &mut SchemaGraph, n: &SchemaNode| -> usize {
-        *index_of.entry(n.col).or_insert_with(|| {
-            graph.add_node(SchemaNode::new(n.col, n.ty, SimFn::Equal))
-        })
+        *index_of
+            .entry(n.col)
+            .or_insert_with(|| graph.add_node(SchemaNode::new(n.col, n.ty, SimFn::Equal)))
     };
     let mut seen_edges = dr_kb::FxHashSet::default();
     for rule in rules {
@@ -112,6 +116,7 @@ pub fn run_katara(
         quality,
         seconds,
         pos_marks: report.marked_positive,
+        cache: dr_core::CacheStats::default(),
     }
 }
 
@@ -127,6 +132,7 @@ pub fn run_llunatic(fds: &[Fd], clean: &Relation, dirty: &Relation) -> RunOutcom
         quality,
         seconds,
         pos_marks: 0,
+        cache: dr_core::CacheStats::default(),
     }
 }
 
@@ -141,6 +147,7 @@ pub fn run_ccfd(cfds: &ConstantCfdSet, clean: &Relation, dirty: &Relation) -> Ru
         quality,
         seconds,
         pos_marks: 0,
+        cache: dr_core::CacheStats::default(),
     }
 }
 
@@ -191,9 +198,23 @@ mod tests {
         );
         for algo in [DrAlgo::Basic, DrAlgo::Fast] {
             let outcome = run_drs(&ctx, &rules, &clean, &dirty, algo);
-            assert!(outcome.quality.precision > 0.9, "{algo:?}: {:?}", outcome.quality);
-            assert!(outcome.quality.recall > 0.4, "{algo:?}: {:?}", outcome.quality);
+            assert!(
+                outcome.quality.precision > 0.9,
+                "{algo:?}: {:?}",
+                outcome.quality
+            );
+            assert!(
+                outcome.quality.recall > 0.4,
+                "{algo:?}: {:?}",
+                outcome.quality
+            );
             assert!(outcome.pos_marks > 0);
+            match algo {
+                // The fast repairer shares a relation-scoped value cache:
+                // repeated values across the 80 rows must produce hits.
+                DrAlgo::Fast => assert!(outcome.cache.hits() > 0, "{:?}", outcome.cache),
+                DrAlgo::Basic => assert_eq!(outcome.cache.hits(), 0),
+            }
         }
     }
 

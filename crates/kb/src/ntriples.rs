@@ -329,10 +329,16 @@ pub fn serialize(kb: &KnowledgeBase) -> String {
             let pred = label_to_local(kb.pred_name(p));
             match o {
                 Node::Instance(i) => {
-                    format!("<{subj}> <{pred}> <{}> .", label_to_local(kb.instance_label(i)))
+                    format!(
+                        "<{subj}> <{pred}> <{}> .",
+                        label_to_local(kb.instance_label(i))
+                    )
                 }
                 Node::Literal(l) => {
-                    format!("<{subj}> <{pred}> \"{}\" .", escape_literal(kb.literal_value(l)))
+                    format!(
+                        "<{subj}> <{pred}> \"{}\" .",
+                        escape_literal(kb.literal_value(l))
+                    )
                 }
             }
         })
@@ -437,10 +443,15 @@ mod tests {
         let back = parse(&text).unwrap();
         assert_eq!(back.num_instances(), 2);
         assert_eq!(
-            back.instances_labeled("label_with_underscores and spaces").len(),
+            back.instances_labeled("label_with_underscores and spaces")
+                .len(),
             1
         );
-        assert_eq!(back.instances_labeled("100% \"quoted\" # comment-ish").len(), 1);
+        assert_eq!(
+            back.instances_labeled("100% \"quoted\" # comment-ish")
+                .len(),
+            1
+        );
         let p2 = back.pred_named("rel with space_and_underscore").unwrap();
         let a2 = back.instances_labeled("label_with_underscores and spaces")[0];
         assert_eq!(back.objects(a2, p2).len(), 1);

@@ -61,7 +61,10 @@ impl Taxonomy {
 
     /// Direct superclasses of `c`.
     pub fn parents(&self, c: ClassId) -> &[ClassId] {
-        self.parents.get(c.index()).map(Vec::as_slice).unwrap_or(&[])
+        self.parents
+            .get(c.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Direct subclasses of `c`.

@@ -205,7 +205,11 @@ mod tests {
 
     #[test]
     fn parse_simple() {
-        let r = parse("Nobel", "Name,City\nAvram Hershko,Karcag\nMarie Curie,Paris\n").unwrap();
+        let r = parse(
+            "Nobel",
+            "Name,City\nAvram Hershko,Karcag\nMarie Curie,Paris\n",
+        )
+        .unwrap();
         assert_eq!(r.len(), 2);
         assert_eq!(r.schema().arity(), 2);
         let city = r.schema().attr_expect("City");

@@ -104,8 +104,8 @@ impl NoiseSpec {
 }
 
 const TYPO_ALPHABET: &[char] = &[
-    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
-    's', 't', 'u', 'v', 'w', 'x', 'y', 'z',
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's',
+    't', 'u', 'v', 'w', 'x', 'y', 'z',
 ];
 
 /// Applies 1–2 character edits to `value`, guaranteeing a different result.
@@ -114,9 +114,15 @@ pub fn make_typo(value: &str, rng: &mut StdRng) -> String {
     if chars.is_empty() {
         // Nothing to perturb: fabricate a short junk token.
         let len = rng.gen_range(1..=3);
-        return (0..len).map(|_| *TYPO_ALPHABET.choose(rng).expect("nonempty")).collect();
+        return (0..len)
+            .map(|_| *TYPO_ALPHABET.choose(rng).expect("nonempty"))
+            .collect();
     }
-    let edits = if chars.len() > 3 && rng.gen_bool(0.3) { 2 } else { 1 };
+    let edits = if chars.len() > 3 && rng.gen_bool(0.3) {
+        2
+    } else {
+        1
+    };
     for _ in 0..edits {
         match rng.gen_range(0..4u8) {
             // substitution
@@ -215,7 +221,9 @@ pub fn inject(
             }
         };
         debug_assert_ne!(dirty_value, clean_value);
-        dirty.tuple_mut(cell.row).set(cell.attr, dirty_value.clone());
+        dirty
+            .tuple_mut(cell.row)
+            .set(cell.attr, dirty_value.clone());
         log.push(InjectedError {
             cell,
             clean: clean_value,
@@ -252,7 +260,7 @@ mod tests {
         let spec = NoiseSpec::new(0.10, 42);
         let (dirty, log) = inject(&clean, &spec, &ColumnSwapSource);
         assert_eq!(log.len(), 30); // 300 cells * 10%
-        // Every logged cell actually differs; all others are untouched.
+                                   // Every logged cell actually differs; all others are untouched.
         let mut logged: Vec<CellRef> = log.iter().map(|e| e.cell).collect();
         logged.dedup();
         assert_eq!(logged.len(), log.len(), "cells dirtied at most once");

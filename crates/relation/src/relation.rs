@@ -172,10 +172,7 @@ mod tests {
         assert_eq!(r.len(), 2);
         let city = r.schema().attr_expect("City");
         assert_eq!(r.tuple(0).get(city), "Karcag");
-        assert_eq!(
-            r.value(CellRef { row: 1, attr: city }),
-            "Paris"
-        );
+        assert_eq!(r.value(CellRef { row: 1, attr: city }), "Paris");
     }
 
     #[test]

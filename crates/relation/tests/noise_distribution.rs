@@ -25,11 +25,7 @@ fn error_counts_are_exact_across_seeds() {
         for rate_pct in [4usize, 10, 20] {
             let spec = NoiseSpec::new(rate_pct as f64 / 100.0, seed);
             let (_, log) = inject(&clean, &spec, &ColumnSwapSource);
-            assert_eq!(
-                log.len(),
-                rate_pct * 10,
-                "seed {seed}, rate {rate_pct}%"
-            );
+            assert_eq!(log.len(), rate_pct * 10, "seed {seed}, rate {rate_pct}%");
         }
     }
 }

@@ -9,10 +9,10 @@
 //! * `JAC,t` / `COS,t` — token inverted index with share-a-token filtering
 //!   (sound for any threshold > 0), then exact verification.
 
-use crate::passjoin::SignatureIndex;
 use crate::normalize::normalize;
-use crate::simfn::SimFn;
+use crate::passjoin::SignatureIndex;
 use crate::setsim::{cosine, jaccard};
+use crate::simfn::SimFn;
 use crate::tokens::{token_set, word_tokens};
 use dr_kb::FxHashMap;
 
@@ -227,7 +227,11 @@ mod tests {
 
     #[test]
     fn empty_index() {
-        for sim in [SimFn::Equal, SimFn::EditDistance(2), SimFn::jaccard_threshold(0.5)] {
+        for sim in [
+            SimFn::Equal,
+            SimFn::EditDistance(2),
+            SimFn::jaccard_threshold(0.5),
+        ] {
             let idx = MatchIndex::build(sim, std::iter::empty());
             assert!(idx.is_empty());
             assert!(idx.lookup("x").is_empty());

@@ -41,7 +41,10 @@ mod tests {
 
     #[test]
     fn trims_and_collapses() {
-        assert_eq!(normalize("  Israel   Institute  of Technology "), "israel institute of technology");
+        assert_eq!(
+            normalize("  Israel   Institute  of Technology "),
+            "israel institute of technology"
+        );
     }
 
     #[test]

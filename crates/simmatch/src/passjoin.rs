@@ -121,9 +121,7 @@ impl SignatureIndex {
             if len > hi {
                 break;
             }
-            for (seg_idx, &(start, seg_len)) in
-                partition(len as usize, self.k).iter().enumerate()
-            {
+            for (seg_idx, &(start, seg_len)) in partition(len as usize, self.k).iter().enumerate() {
                 if seg_len > qlen {
                     continue;
                 }
@@ -197,14 +195,20 @@ mod tests {
     #[test]
     fn finds_exact_and_near_matches() {
         let names = ["Pasteur Institute", "Cornell University", "UC Berkeley"];
-        let idx = SignatureIndex::build(
-            2,
-            names.iter().enumerate().map(|(i, &s)| (i as u32, s)),
-        );
+        let idx = SignatureIndex::build(2, names.iter().enumerate().map(|(i, &s)| (i as u32, s)));
         let hits = idx.lookup("Paster Institute");
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].id, 0);
-        assert_eq!(hits[0].distance, 1); // normalized: one deletion... see note
+        // Both sides are normalized (trim, collapse whitespace, lowercase)
+        // before the distance is computed: "paster institute" vs
+        // "pasteur institute" differ by the single missing 'u'.
+        assert_eq!(hits[0].distance, 1);
+        assert_eq!(normalize("Paster Institute"), "paster institute");
+        // Normalization itself never contributes to the distance: a query
+        // differing only in case/whitespace is an exact (distance-0) match.
+        let exact = idx.lookup("  pasteur   INSTITUTE ");
+        assert_eq!(exact.len(), 1);
+        assert_eq!((exact[0].id, exact[0].distance), (0, 0));
     }
 
     #[test]

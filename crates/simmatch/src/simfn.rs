@@ -85,7 +85,11 @@ pub struct ParseSimFnError(String);
 
 impl fmt::Display for ParseSimFnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid sim spec `{}` (expected `=`, `ED,k`, `JAC,t`, or `COS,t`)", self.0)
+        write!(
+            f,
+            "invalid sim spec `{}` (expected `=`, `ED,k`, `JAC,t`, or `COS,t`)",
+            self.0
+        )
     }
 }
 
@@ -102,7 +106,11 @@ impl FromStr for SimFn {
         let err = || ParseSimFnError(s.to_owned());
         let (head, arg) = trimmed.split_once(',').ok_or_else(err)?;
         match head.trim().to_ascii_uppercase().as_str() {
-            "ED" => arg.trim().parse::<u32>().map(SimFn::EditDistance).map_err(|_| err()),
+            "ED" => arg
+                .trim()
+                .parse::<u32>()
+                .map(SimFn::EditDistance)
+                .map_err(|_| err()),
             "JAC" => {
                 let t: f64 = arg.trim().parse().map_err(|_| err())?;
                 if !(0.0..=1.0).contains(&t) {
@@ -142,7 +150,10 @@ mod tests {
     #[test]
     fn jaccard_word_level() {
         let j = SimFn::jaccard_threshold(0.5);
-        assert!(j.matches("Israel Institute of Technology", "institute of technology israel"));
+        assert!(j.matches(
+            "Israel Institute of Technology",
+            "institute of technology israel"
+        ));
         assert!(!j.matches("UC Berkeley", "Cornell University"));
     }
 

@@ -57,7 +57,10 @@ mod tests {
 
     #[test]
     fn word_tokens_lowercase() {
-        assert_eq!(word_tokens("UC Berkeley"), vec!["uc".to_owned(), "berkeley".to_owned()]);
+        assert_eq!(
+            word_tokens("UC Berkeley"),
+            vec!["uc".to_owned(), "berkeley".to_owned()]
+        );
     }
 
     #[test]

@@ -21,10 +21,7 @@ fn signature_index_over_mixed_scripts() {
         "Аврам Гершко",
         "Ἀβραάμ",
     ];
-    let index = SignatureIndex::build(
-        2,
-        labels.iter().enumerate().map(|(i, &s)| (i as u32, s)),
-    );
+    let index = SignatureIndex::build(2, labels.iter().enumerate().map(|(i, &s)| (i as u32, s)));
     // Exact self-matches.
     for (i, label) in labels.iter().enumerate() {
         let hits = index.lookup(label);
@@ -40,10 +37,7 @@ fn signature_index_over_mixed_scripts() {
 
 #[test]
 fn match_index_exact_with_unicode_normalizes_case() {
-    let index = MatchIndex::build(
-        SimFn::Equal,
-        [(0u32, "STRASSE Süd"), (1u32, "çğüö")],
-    );
+    let index = MatchIndex::build(SimFn::Equal, [(0u32, "STRASSE Süd"), (1u32, "çğüö")]);
     assert_eq!(index.lookup("strasse süd"), vec![0]);
     assert_eq!(index.lookup("ÇĞÜÖ"), vec![1]);
 }

@@ -40,9 +40,10 @@ fn main() {
         let person = &world.persons[row];
         // Curate examples the KB actually covers — the user verifying the
         // rules would pick such examples.
-        let covered = kb.instances_labeled(&person.name).iter().any(|&i| {
-            !kb.objects(i, works_at).is_empty() && !kb.objects(i, born_in).is_empty()
-        });
+        let covered = kb
+            .instances_labeled(&person.name)
+            .iter()
+            .any(|&i| !kb.objects(i, works_at).is_empty() && !kb.objects(i, born_in).is_empty());
         if !covered {
             continue;
         }
@@ -54,7 +55,10 @@ fn main() {
         negatives.push(Tuple::new(cells));
         truth.push(tuple.clone());
     }
-    println!("\nbuilt {} negative examples for column City", negatives.len());
+    println!(
+        "\nbuilt {} negative examples for column City",
+        negatives.len()
+    );
 
     let candidates = generate_rules(&ctx, city, &positives, &negatives, &cfg);
     println!("generated {} candidate rules:", candidates.len());

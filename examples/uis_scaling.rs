@@ -27,7 +27,10 @@ fn main() {
         }
     };
 
-    println!("{:>8} {:>12} {:>12} {:>12} {:>12}", "tuples", "bRepair", "fRepair", "Llunatic", "cCFDs");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "tuples", "bRepair", "fRepair", "Llunatic", "cCFDs"
+    );
     for size in sizes {
         let world = UisWorld::generate(size, 8);
         let clean = world.clean_relation();
@@ -55,7 +58,11 @@ fn main() {
 
         // The two algorithms must agree cell-for-cell (Church–Rosser).
         for cell in a.cell_refs() {
-            assert_eq!(a.value(cell), b.value(cell), "algorithms diverged at {cell:?}");
+            assert_eq!(
+                a.value(cell),
+                b.value(cell),
+                "algorithms diverged at {cell:?}"
+            );
         }
 
         let fd_list = fds::uis(clean.schema());

@@ -37,7 +37,12 @@ fn main() {
         // DRs: only the rules compatible with this table's arity run.
         let table_rules = WebTablesWorld::applicable_rules(&rules, table.dirty.schema().arity());
         let mut dr_version = table.dirty.clone();
-        let report = fast_repair(&ctx, &table_rules, &mut dr_version, &ApplyOptions::default());
+        let report = fast_repair(
+            &ctx,
+            &table_rules,
+            &mut dr_version,
+            &ApplyOptions::default(),
+        );
         let extras = RepairExtras::from_report(&report);
         let dr_quality = evaluate(&table.clean, &table.dirty, &dr_version, &extras);
         dr_remaining += gt.error_count(&dr_version);
@@ -50,7 +55,12 @@ fn main() {
                 let katara = Katara::new(&ctx, pattern);
                 let mut ka_version = table.dirty.clone();
                 katara.clean(&mut ka_version);
-                let q = evaluate(&table.clean, &table.dirty, &ka_version, &RepairExtras::default());
+                let q = evaluate(
+                    &table.clean,
+                    &table.dirty,
+                    &ka_version,
+                    &RepairExtras::default(),
+                );
                 katara_wrong += (q.repaired as f64 - q.correct) as usize;
                 Some(q)
             }

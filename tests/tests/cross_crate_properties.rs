@@ -3,7 +3,7 @@
 
 use dr_core::repair::basic::basic_repair;
 use dr_core::repair::fast::FastRepairer;
-use dr_core::{ApplyOptions, MatchContext};
+use dr_core::{parallel_repair, ApplyOptions, MatchContext, ParallelOptions};
 use dr_datasets::{KbFlavor, KbProfile, NobelWorld, UisWorld};
 use dr_relation::noise::{inject, NoiseSpec};
 use proptest::prelude::*;
@@ -70,6 +70,74 @@ proptest! {
                     .iter()
                     .any(|e| e.cell.row == row && e.cell.attr == col);
                 prop_assert!(was_injected, "rewrote an uninjected cell at row {row}");
+            }
+        }
+    }
+
+    /// The work-stealing parallel repair with its shared relation-scoped
+    /// value cache is cell-for-cell and mark-for-mark identical to the
+    /// sequential fast repair, over randomized duplicate-heavy relations
+    /// (repeated rows maximize cross-tuple cache reuse — exactly where a
+    /// staleness or ordering bug would surface) for 1, 2, 4, and 8 workers.
+    #[test]
+    fn parallel_repair_is_bit_identical_to_sequential(
+        seed in 0u64..500,
+        n in 10usize..40,
+        rate in 0.0f64..0.25,
+        copies in 2usize..5,
+        yago in any::<bool>(),
+    ) {
+        let world = UisWorld::generate(n, seed);
+        let clean = world.clean_relation();
+        let name = clean.schema().attr_expect("Name");
+        let (dirty, _) = inject(
+            &clean,
+            &NoiseSpec::new(rate, seed).with_excluded(vec![name]),
+            &world.semantic_source(),
+        );
+        // Duplicate the dirty rows so the same values recur across tuples.
+        let mut heavy = dr_relation::Relation::new(dirty.schema().clone());
+        for _ in 0..copies {
+            for t in dirty.tuples() {
+                heavy.push(t.clone());
+            }
+        }
+        let flavor = if yago { KbFlavor::YagoLike } else { KbFlavor::DbpediaLike };
+        let kb = world.kb(&KbProfile::of(flavor));
+        let rules = UisWorld::rules(&kb);
+        let ctx = MatchContext::new(&kb);
+
+        let mut sequential = heavy.clone();
+        let seq_report = FastRepairer::new(&rules)
+            .repair_relation(&ctx, &mut sequential, &ApplyOptions::default());
+
+        for threads in [1usize, 2, 4, 8] {
+            let mut parallel = heavy.clone();
+            let par_report = parallel_repair(
+                &ctx,
+                &rules,
+                &mut parallel,
+                &ParallelOptions { threads, ..Default::default() },
+            );
+            for cell in sequential.cell_refs() {
+                prop_assert_eq!(
+                    sequential.value(cell),
+                    parallel.value(cell),
+                    "{} threads diverged at {:?}",
+                    threads,
+                    cell
+                );
+                prop_assert_eq!(
+                    sequential.tuple(cell.row).is_positive(cell.attr),
+                    parallel.tuple(cell.row).is_positive(cell.attr),
+                    "{} threads: marks diverged at {:?}",
+                    threads,
+                    cell
+                );
+            }
+            prop_assert_eq!(seq_report.tuples.len(), par_report.tuples.len());
+            for (a, b) in seq_report.tuples.iter().zip(&par_report.tuples) {
+                prop_assert_eq!(a, b);
             }
         }
     }

@@ -63,11 +63,8 @@ fn uis_pipeline_quality_and_consistency() {
     assert!(verdict.is_consistent(), "{verdict:?}");
 
     let mut repaired = dirty.clone();
-    let report = FastRepairer::new(&rules).repair_relation(
-        &ctx,
-        &mut repaired,
-        &ApplyOptions::default(),
-    );
+    let report =
+        FastRepairer::new(&rules).repair_relation(&ctx, &mut repaired, &ApplyOptions::default());
     let extras = RepairExtras::from_report(&report);
     let quality = evaluate(&clean, &dirty, &repaired, &extras);
     assert!(quality.precision > 0.98, "{quality:?}");

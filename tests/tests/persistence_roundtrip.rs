@@ -34,9 +34,19 @@ fn kb_roundtrip_preserves_repairs() {
     let ctx_b = MatchContext::new(&reloaded);
 
     let mut via_original = dirty.clone();
-    fast_repair(&ctx_a, &rules_a, &mut via_original, &ApplyOptions::default());
+    fast_repair(
+        &ctx_a,
+        &rules_a,
+        &mut via_original,
+        &ApplyOptions::default(),
+    );
     let mut via_reloaded = dirty.clone();
-    fast_repair(&ctx_b, &rules_b, &mut via_reloaded, &ApplyOptions::default());
+    fast_repair(
+        &ctx_b,
+        &rules_b,
+        &mut via_reloaded,
+        &ApplyOptions::default(),
+    );
     for cell in dirty.cell_refs() {
         assert_eq!(via_original.value(cell), via_reloaded.value(cell));
     }

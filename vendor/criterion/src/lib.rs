@@ -1,0 +1,362 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Implements the slice of the criterion API the bench targets use
+//! (`benchmark_group` / `sample_size` / `throughput` / `bench_function` /
+//! `bench_with_input` / `BenchmarkId` / `criterion_group!` /
+//! `criterion_main!`) over a plain `Instant`-based timing loop, with
+//! mean/min/max reporting to stdout.
+//!
+//! Like upstream, `--test` mode (what `cargo test --benches` passes to a
+//! `harness = false` target) runs every benchmark body exactly once with
+//! no measurement, so benches double as smoke tests.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier (upstream parity).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Run each benchmark once, unmeasured (set by `--test`).
+    test_mode: bool,
+    /// Substring filter from positional CLI args.
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            test_mode: false,
+            filter: None,
+            default_sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI arguments (`--test`, `--bench`, a positional filter;
+    /// other flags are accepted and ignored).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--benches" | "-q" | "--quiet" | "--verbose" | "--noplot"
+                | "--exact" | "--nocapture" => {}
+                "--sample-size" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        self.default_sample_size = v;
+                    }
+                }
+                s if s.starts_with('-') => {
+                    // Unknown flag: skip, plus its value if present.
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let sample_size = self.default_sample_size;
+        self.run_benchmark(&id, sample_size, None, f);
+        self
+    }
+
+    /// Prints the closing summary (upstream parity; a no-op here).
+    pub fn final_summary(&mut self) {}
+
+    fn run_benchmark<F>(
+        &mut self,
+        id: &str,
+        sample_size: usize,
+        throughput: Option<&Throughput>,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {id} ... ok (bench smoke run)");
+            return;
+        }
+        bencher.report(id, throughput);
+    }
+}
+
+/// A set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares work-per-iteration so the report can show rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `name` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        let throughput = self.throughput.clone();
+        self.criterion
+            .run_benchmark(&id, sample_size, throughput.as_ref(), f);
+        self
+    }
+
+    /// Benchmarks `f`, passing `input` through (criterion's input-capture
+    /// API; the input is borrowed for the closure).
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (upstream parity; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus a parameter value.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (upstream parity).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Conversion into a benchmark id (so both `&str` and [`BenchmarkId`]
+/// work as the id argument).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated runs of `routine` (or runs it once in test mode).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: at least one run, up to ~100 ms.
+        let warmup_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warmup_start.elapsed() > Duration::from_millis(100) {
+                break;
+            }
+        }
+        // Measurement: `sample_size` samples, but stop after a wall-clock
+        // budget so slow benchmarks stay bounded.
+        let budget = Duration::from_secs(3);
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size.max(1) {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            if run_start.elapsed() > budget {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<&Throughput>) {
+        if self.samples.is_empty() {
+            println!("{id:<50} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                format!("  {:.0} elem/s", *n as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                format!("  {:.0} B/s", *n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{id:<50} time: [{min:>10.3?} {mean:>10.3?} {max:>10.3?}]  ({} samples){rate}",
+            self.samples.len(),
+        );
+    }
+}
+
+/// Defines a benchmark group function running each target in sequence.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_mode_criterion() -> Criterion {
+        Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        }
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut c = test_mode_criterion();
+        let mut count = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("f", 1), &(), |b, ()| b.iter(|| count += 1));
+        group.finish();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn bench_mode_collects_samples() {
+        let mut c = Criterion {
+            default_sample_size: 5,
+            ..Criterion::default()
+        };
+        let mut runs = 0u64;
+        c.bench_function("quick", |b| b.iter(|| runs += 1));
+        assert!(runs > 5, "warmup + samples should run multiple times");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("nomatch".into()),
+            ..Criterion::default()
+        };
+        let mut count = 0u32;
+        c.bench_function("something_else", |b| b.iter(|| count += 1));
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_slash_param() {
+        assert_eq!(BenchmarkId::new("drs", 40).to_string(), "drs/40");
+    }
+}

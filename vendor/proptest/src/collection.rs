@@ -1,0 +1,112 @@
+//! Collection strategies (subset of `proptest::collection`).
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Element-count bounds for collection strategies (inclusive).
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl SizeRange {
+    /// A new inclusive size range.
+    pub fn new(min: usize, max: usize) -> Self {
+        assert!(min <= max, "empty SizeRange");
+        Self { min, max }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self::new(n, n)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty SizeRange");
+        Self::new(r.start, r.end - 1)
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self::new(*r.start(), *r.end())
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length
+/// falls in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min + 1) as u128;
+        let len = self.size.min + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn minimal(&self) -> Option<Vec<S::Value>> {
+        (0..self.size.min).map(|_| self.element.minimal()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_and_element_strategy() {
+        let mut rng = TestRng::seed_from(3);
+        let strat = vec("[ab]{1,3}", 2..5);
+        for _ in 0..300 {
+            let v = strat.generate(&mut rng);
+            assert!((2..=4).contains(&v.len()), "len {}", v.len());
+            for s in &v {
+                assert!((1..=3).contains(&s.chars().count()));
+                assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+            }
+        }
+    }
+
+    #[test]
+    fn nested_vec_and_inclusive_sizes() {
+        let mut rng = TestRng::seed_from(4);
+        let strat = vec(vec("[a-z]{0,2}", 2..=2), 0..6);
+        for _ in 0..200 {
+            let rows = strat.generate(&mut rng);
+            assert!(rows.len() < 6);
+            for row in rows {
+                assert_eq!(row.len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_is_min_len_of_minimal_elements() {
+        let strat = vec("[a-c]{1,4}", 2..5);
+        assert_eq!(
+            strat.minimal().unwrap(),
+            vec!["a".to_string(), "a".to_string()]
+        );
+    }
+}

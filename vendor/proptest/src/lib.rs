@@ -1,0 +1,153 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of proptest it uses:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`, multiple
+//!   `#[test] fn name(arg in strategy, ..)` items, and the
+//!   `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!` macros;
+//! * range strategies for integers and floats, `any::<bool>()`, a
+//!   regex-subset string strategy (`"[a-z]{0,8}"`, `"\\PC{0,16}"`),
+//!   tuples, and [`collection::vec`];
+//! * [`test_runner::TestRunner`] / [`test_runner::Config`] for manual
+//!   property loops;
+//! * regression-file replay and persistence compatible with upstream's
+//!   `proptest-regressions/**.txt` layout (`cc <hash> # shrinks to a = 1,
+//!   b = false` lines; the `shrinks to` assignments are authoritative).
+//!
+//! Differences from upstream: case generation is **deterministic** per test
+//! name (stable across runs and machines — a feature for CI), and failing
+//! cases are reported without shrinking. Regression entries record the
+//! failing values directly, so replay does not depend on RNG stream
+//! compatibility.
+
+pub mod collection;
+pub mod persistence;
+pub mod strategy;
+pub mod sugar;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything a property test usually needs in scope.
+    /// Upstream exposes the crate under the `prop` alias in its prelude
+    /// (`prop::collection::vec(..)`).
+    pub use crate as prop;
+    pub use crate::collection;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Property-test entry point: one or more `#[test] fn name(arg in strategy,
+/// ..) { body }` items, optionally preceded by
+/// `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Internal: expands each captured test item. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); $($(#[$attr:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __strategies = ($(&($strat),)+);
+                $crate::sugar::run_property_test(
+                    ::core::convert::Into::into($config),
+                    env!("CARGO_MANIFEST_DIR"),
+                    file!(),
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &[$(stringify!($arg)),+],
+                    &__strategies,
+                    |($($arg,)+)| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current property case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{} (`{:?}` vs `{:?}`)",
+                    format!($($fmt)+), left, right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current property case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left != *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{} (both `{:?}`)",
+                    format!($($fmt)+), left
+                ),
+            ));
+        }
+    }};
+}
+
+/// Rejects (skips) the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,214 @@
+//! Regression-file handling, layout-compatible with upstream proptest:
+//! `proptest-regressions/<test file sans leading dir>.txt` next to the
+//! workspace/crate root, with `cc <hash> # shrinks to a = 1, b = false`
+//! entries.
+//!
+//! Upstream replays the `cc` *seed hash*; this shim instead parses the
+//! human-readable `shrinks to` assignments and replays those values
+//! directly, so replay survives RNG-stream differences.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One persisted failing case: `(argument name, Debug repr)` pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegressionCase {
+    /// Named assignments parsed from the `shrinks to` clause.
+    pub assignments: Vec<(String, String)>,
+}
+
+/// Resolves the regression file for a test file.
+///
+/// `file` is the `file!()` of the test (relative to the workspace root at
+/// macro-expansion time); `manifest_dir` anchors the search: walk up from
+/// it until `base/file` exists, then map `dir/rest/of/path.rs` →
+/// `base/proptest-regressions/rest/of/path.txt` (upstream drops the first
+/// path component — `src` or `tests`).
+pub fn regression_path(manifest_dir: &str, file: &str) -> Option<PathBuf> {
+    let file_rel = Path::new(file);
+    let mut base = Path::new(manifest_dir);
+    loop {
+        if base.join(file_rel).is_file() {
+            break;
+        }
+        base = base.parent()?;
+    }
+    let mut components = file_rel.components();
+    components.next()?; // drop `src` / `tests` / crate dir
+    let rest = components.as_path();
+    let rest = if rest.as_os_str().is_empty() {
+        file_rel
+    } else {
+        rest
+    };
+    Some(
+        base.join("proptest-regressions")
+            .join(rest)
+            .with_extension("txt"),
+    )
+}
+
+/// Loads persisted cases (missing file = no cases).
+pub fn load(path: &Path) -> Vec<RegressionCase> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines().filter_map(parse_line).collect()
+}
+
+/// Parses one `cc <hash> # shrinks to name = value, ...` line.
+fn parse_line(line: &str) -> Option<RegressionCase> {
+    let line = line.trim();
+    if !line.starts_with("cc ") {
+        return None;
+    }
+    let (_, clause) = line.split_once("# shrinks to ")?;
+    let assignments = parse_assignments(clause);
+    if assignments.is_empty() {
+        None
+    } else {
+        Some(RegressionCase { assignments })
+    }
+}
+
+/// Splits `a = 1, s = "x, y", b = false` into name/repr pairs. A chunk is
+/// glued onto the previous value when that value sits inside an
+/// unterminated string literal (commas inside `Debug` reprs) or when the
+/// chunk has no identifier-`=`-prefix of its own.
+fn parse_assignments(clause: &str) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = Vec::new();
+    for chunk in clause.split(", ") {
+        let open = out.last().is_some_and(|(_, v)| in_open_string(v));
+        if !open {
+            if let Some((name, value)) = chunk.split_once(" = ") {
+                let name = name.trim();
+                if !name.is_empty() && name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                    out.push((name.to_string(), value.to_string()));
+                    continue;
+                }
+            }
+        }
+        if let Some(last) = out.last_mut() {
+            last.1.push_str(", ");
+            last.1.push_str(chunk);
+        }
+    }
+    out
+}
+
+/// True when `value` ends inside an unterminated `"…"` literal, honoring
+/// backslash escapes.
+fn in_open_string(value: &str) -> bool {
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in value.chars() {
+        if escaped {
+            escaped = false;
+        } else if in_string && c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            in_string = !in_string;
+        }
+    }
+    in_string
+}
+
+/// Appends a failing case unless an identical `shrinks to` clause is
+/// already present. Returns `false` if persisting was impossible (e.g.
+/// read-only checkout) — the failure is still reported either way.
+pub fn save(path: &Path, clause: &str) -> bool {
+    let existing = fs::read_to_string(path).unwrap_or_default();
+    if existing
+        .lines()
+        .any(|l| l.trim_end().ends_with(&format!("# shrinks to {clause}")))
+    {
+        return true;
+    }
+    if let Some(parent) = path.parent() {
+        if fs::create_dir_all(parent).is_err() {
+            return false;
+        }
+    }
+    let mut text = existing;
+    if text.is_empty() {
+        text.push_str(
+            "# Seeds for failure cases proptest has generated in the past. It is\n\
+             # automatically read and these particular cases re-run before any\n\
+             # novel cases are generated.\n\
+             #\n\
+             # It is recommended to check this file in to source control so that\n\
+             # everyone who runs the test benefits from these saved cases.\n",
+        );
+    }
+    text.push_str(&format!(
+        "cc {:016x} # shrinks to {clause}\n",
+        fnv1a(clause)
+    ));
+    fs::write(path, text).is_ok()
+}
+
+/// FNV-1a over the clause; only used to give each line a stable id.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_line() {
+        let case =
+            parse_line("cc 02d337ade4a4cb3d0526c7aca661027d1217eaa608d8a691f273295353c54031 # shrinks to seed = 80, yago = false")
+                .unwrap();
+        assert_eq!(
+            case.assignments,
+            vec![
+                ("seed".to_string(), "80".to_string()),
+                ("yago".to_string(), "false".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn glues_commas_inside_string_reprs() {
+        let case = parse_line("cc 00 # shrinks to s = \"a, b = c\", n = 3").unwrap();
+        assert_eq!(
+            case.assignments,
+            vec![
+                ("s".to_string(), "\"a, b = c\"".to_string()),
+                ("n".to_string(), "3".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn ignores_comments_and_blanks() {
+        assert!(parse_line("# a comment").is_none());
+        assert!(parse_line("").is_none());
+    }
+
+    #[test]
+    fn save_dedups_and_appends() {
+        let dir = std::env::temp_dir().join(format!(
+            "proptest-shim-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path = dir.join("case.txt");
+        let _ = fs::remove_dir_all(&dir);
+        assert!(save(&path, "seed = 1, yago = true"));
+        assert!(save(&path, "seed = 1, yago = true")); // dedup
+        assert!(save(&path, "seed = 2, yago = false"));
+        let cases = load(&path);
+        assert_eq!(cases.len(), 2);
+        assert_eq!(cases[0].assignments[0].1, "1");
+        assert_eq!(cases[1].assignments[1].1, "false");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

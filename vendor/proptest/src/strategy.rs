@@ -1,0 +1,643 @@
+//! Value-generation strategies (subset of upstream `proptest::strategy` +
+//! `proptest::arbitrary` + the regex-string sugar).
+//!
+//! A [`Strategy`] here is a plain generator: no shrink tree. Failing inputs
+//! are persisted verbatim in the regression file instead of being shrunk,
+//! so strategies also know how to `parse_repr` a `Debug`-formatted value
+//! back (used for regression replay) and how to produce a `minimal` value
+//! (used for assignments a regression line does not pin).
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::sync::OnceLock;
+
+use crate::test_runner::TestRng;
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Parses a value back from its `Debug` representation (regression
+    /// replay). `None` means this strategy cannot replay reprs.
+    fn parse_repr(&self, _repr: &str) -> Option<Self::Value> {
+        None
+    }
+
+    /// The smallest value this strategy produces, if meaningful. Used for
+    /// assignments absent from a regression entry (upstream shrinks them
+    /// to their minimum).
+    fn minimal(&self) -> Option<Self::Value> {
+        None
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+
+    fn parse_repr(&self, repr: &str) -> Option<Self::Value> {
+        (**self).parse_repr(repr)
+    }
+
+    fn minimal(&self) -> Option<Self::Value> {
+        (**self).minimal()
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+
+    fn minimal(&self) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Numeric ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = rng.below(span) as i128;
+                (self.start as i128 + off) as $ty
+            }
+
+            fn parse_repr(&self, repr: &str) -> Option<$ty> {
+                repr.trim().parse().ok().filter(|v| self.contains(v))
+            }
+
+            fn minimal(&self) -> Option<$ty> {
+                Some(self.start)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = rng.below(span) as i128;
+                (lo as i128 + off) as $ty
+            }
+
+            fn parse_repr(&self, repr: &str) -> Option<$ty> {
+                repr.trim().parse().ok().filter(|v| self.contains(v))
+            }
+
+            fn minimal(&self) -> Option<$ty> {
+                Some(*self.start())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = rng.unit_f64() as $ty;
+                let v = self.start + u * (self.end - self.start);
+                if v >= self.end { self.start } else { v }
+            }
+
+            fn parse_repr(&self, repr: &str) -> Option<$ty> {
+                repr.trim().parse().ok().filter(|v| self.contains(v))
+            }
+
+            fn minimal(&self) -> Option<$ty> {
+                Some(self.start)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let u = rng.unit_f64() as $ty;
+                lo + u * (hi - lo)
+            }
+
+            fn parse_repr(&self, repr: &str) -> Option<$ty> {
+                repr.trim().parse().ok().filter(|v| self.contains(v))
+            }
+
+            fn minimal(&self) -> Option<$ty> {
+                Some(*self.start())
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws an arbitrary value of `Self`.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+    /// Parses the `Debug` repr back.
+    fn parse(repr: &str) -> Option<Self>;
+    /// The minimal value of `Self`.
+    fn minimal() -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+
+    fn parse(repr: &str) -> Option<bool> {
+        repr.trim().parse().ok()
+    }
+
+    fn minimal() -> bool {
+        false
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+
+            fn parse(repr: &str) -> Option<$ty> {
+                repr.trim().parse().ok()
+            }
+
+            fn minimal() -> $ty {
+                0
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The whole-domain strategy for `T` (`any::<bool>()` and friends).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Creates the whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+
+    fn parse_repr(&self, repr: &str) -> Option<T> {
+        T::parse(repr)
+    }
+
+    fn minimal(&self) -> Option<T> {
+        Some(T::minimal())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples of strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+
+            fn minimal(&self) -> Option<Self::Value> {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                Some(($($name.minimal()?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategy: `"[a-z0-9 ]{0,8}"`, `"\PC{1,16}"`
+// ---------------------------------------------------------------------------
+
+/// One parsed atom of the pattern plus its repetition bounds.
+#[derive(Clone, Debug)]
+struct Atom {
+    pool: Pool,
+    min: usize,
+    max: usize,
+}
+
+#[derive(Clone, Debug)]
+enum Pool {
+    /// `\PC`: any non-control char, drawn from a fixed printable sample.
+    Printable,
+    /// `[...]`: inclusive char ranges (singletons are `(c, c)`).
+    Ranges(Vec<(char, char)>),
+    /// A literal character.
+    Literal(char),
+}
+
+impl Pool {
+    fn count(&self) -> u128 {
+        match self {
+            Pool::Printable => printable_pool().len() as u128,
+            Pool::Ranges(rs) => rs
+                .iter()
+                .map(|&(lo, hi)| (hi as u128) - (lo as u128) + 1)
+                .sum(),
+            Pool::Literal(_) => 1,
+        }
+    }
+
+    fn pick(&self, rng: &mut TestRng) -> char {
+        match self {
+            Pool::Printable => {
+                let pool = printable_pool();
+                pool[rng.below(pool.len() as u128) as usize]
+            }
+            Pool::Ranges(rs) => {
+                let mut k = rng.below(self.count()) as u128;
+                for &(lo, hi) in rs {
+                    let n = (hi as u128) - (lo as u128) + 1;
+                    if k < n {
+                        // Our patterns never span the surrogate gap, so the
+                        // offset char is always valid.
+                        return char::from_u32(lo as u32 + k as u32)
+                            .expect("char range spans surrogates");
+                    }
+                    k -= n;
+                }
+                unreachable!("pick past pool end")
+            }
+            Pool::Literal(c) => *c,
+        }
+    }
+
+    fn first(&self) -> char {
+        match self {
+            Pool::Printable => ' ',
+            Pool::Ranges(rs) => rs[0].0,
+            Pool::Literal(c) => *c,
+        }
+    }
+}
+
+/// Printable sample for `\PC`: full printable ASCII plus a spread of
+/// multi-byte chars (accents, Greek, Cyrillic, CJK, an astral-plane char)
+/// so Unicode handling is genuinely exercised.
+fn printable_pool() -> &'static [char] {
+    static POOL: OnceLock<Vec<char>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let mut v: Vec<char> = (0x20u8..=0x7e).map(char::from).collect();
+        v.extend("ßàéîõüçñÆøДжщЮяαβγδεΩλ北京市東一二三ἀΣ€—…アヴ한글ʼn🦀".chars());
+        v
+    })
+}
+
+fn parse_pattern(pattern: &str) -> Option<Vec<Atom>> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let pool = match chars[i] {
+            '\\' => {
+                // `\PC` (non-control) or an escaped literal.
+                if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                    i += 3;
+                    Pool::Printable
+                } else {
+                    let c = *chars.get(i + 1)?;
+                    i += 2;
+                    Pool::Literal(c)
+                }
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while *chars.get(i)? != ']' {
+                    let lo = chars[i];
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']')
+                    {
+                        let hi = chars[i + 2];
+                        if hi < lo {
+                            return None;
+                        }
+                        ranges.push((lo, hi));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                if ranges.is_empty() {
+                    return None;
+                }
+                Pool::Ranges(ranges)
+            }
+            c => {
+                i += 1;
+                Pool::Literal(c)
+            }
+        };
+        // Optional repetition: `{m,n}`, `{m}`, `?`, `*`, `+`.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..].iter().position(|&c| c == '}')? + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (m.trim().parse().ok()?, n.trim().parse().ok()?),
+                    None => {
+                        let m: usize = body.trim().parse().ok()?;
+                        (m, m)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        if max < min {
+            return None;
+        }
+        atoms.push(Atom { pool, min, max });
+    }
+    Some(atoms)
+}
+
+/// Unescapes a Rust `Debug`-formatted string literal (`"ab\nc"` → `ab␊c`).
+fn parse_string_repr(repr: &str) -> Option<String> {
+    let inner = repr
+        .trim()
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))?;
+    let mut out = String::new();
+    let mut it = inner.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next()? {
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            '0' => out.push('\0'),
+            '\\' => out.push('\\'),
+            '"' => out.push('"'),
+            '\'' => out.push('\''),
+            'u' => {
+                if it.next()? != '{' {
+                    return None;
+                }
+                let mut hex = String::new();
+                loop {
+                    match it.next()? {
+                        '}' => break,
+                        h => hex.push(h),
+                    }
+                }
+                out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// `&str` patterns are strategies producing `String` (upstream's
+/// `StrategyFromRegex` sugar for the supported regex subset).
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported regex pattern {self:?} (vendored proptest)"));
+        let mut out = String::new();
+        for atom in &atoms {
+            let len = atom.min + rng.below((atom.max - atom.min + 1) as u128) as usize;
+            for _ in 0..len {
+                out.push(atom.pool.pick(rng));
+            }
+        }
+        out
+    }
+
+    fn parse_repr(&self, repr: &str) -> Option<String> {
+        parse_string_repr(repr)
+    }
+
+    fn minimal(&self) -> Option<String> {
+        let atoms = parse_pattern(self)?;
+        let mut out = String::new();
+        for atom in &atoms {
+            for _ in 0..atom.min {
+                out.push(atom.pool.first());
+            }
+        }
+        Some(out)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+
+    fn parse_repr(&self, repr: &str) -> Option<String> {
+        parse_string_repr(repr)
+    }
+
+    fn minimal(&self) -> Option<String> {
+        Strategy::minimal(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from(0xfeed_beef)
+    }
+
+    #[test]
+    fn int_ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..2_000 {
+            let v = (3u64..17).generate(&mut r);
+            assert!((3..17).contains(&v));
+            let w = (-5i32..=5).generate(&mut r);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn int_range_covers_endpoints() {
+        let mut r = rng();
+        let mut seen = [false; 4];
+        for _ in 0..500 {
+            seen[(0usize..4).generate(&mut r)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..4 should appear");
+    }
+
+    #[test]
+    fn float_range_in_bounds() {
+        let mut r = rng();
+        for _ in 0..2_000 {
+            let v = (0.0f64..0.25).generate(&mut r);
+            assert!((0.0..0.25).contains(&v));
+            let w = (0.0f64..=0.3).generate(&mut r);
+            assert!((0.0..=0.3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn class_pattern_generates_within_class() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = "[a-c ]{0,16}".generate(&mut r);
+            assert!(s.len() <= 16);
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | ' ')), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_class_pattern() {
+        let mut r = rng();
+        for _ in 0..300 {
+            let s = "[α-ε一-三a-c]{0,6}".generate(&mut r);
+            for c in s.chars() {
+                assert!(
+                    ('α'..='ε').contains(&c)
+                        || ('一'..='三').contains(&c)
+                        || ('a'..='c').contains(&c),
+                    "{c:?} outside class"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn printable_pattern_is_non_control() {
+        let mut r = rng();
+        let mut saw_multibyte = false;
+        for _ in 0..500 {
+            let s = "\\PC{0,12}".generate(&mut r);
+            assert!(s.chars().count() <= 12);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            saw_multibyte |= s.chars().any(|c| c.len_utf8() > 1);
+        }
+        assert!(saw_multibyte, "\\PC should exercise multi-byte chars");
+    }
+
+    #[test]
+    fn class_with_quote_comma_newline() {
+        // The CSV roundtrip test's pattern.
+        let mut r = rng();
+        for _ in 0..300 {
+            let s = "[a-z,\"\n ]{0,8}".generate(&mut r);
+            assert!(
+                s.chars()
+                    .all(|c| matches!(c, 'a'..='z' | ',' | '"' | '\n' | ' ')),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn string_repr_roundtrip() {
+        for s in ["", "plain", "with \"quotes\"", "line\nbreak", "héllo\t北"] {
+            let repr = format!("{s:?}");
+            assert_eq!("\\PC{0,32}".parse_repr(&repr).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn numeric_reprs_roundtrip() {
+        assert_eq!((0u64..1_000).parse_repr("80"), Some(80));
+        assert_eq!((0u64..1_000).parse_repr("2000"), None);
+        assert_eq!(any::<bool>().parse_repr("false"), Some(false));
+        assert_eq!((0.0f64..0.25).parse_repr("0.1"), Some(0.1));
+    }
+
+    #[test]
+    fn minimal_values() {
+        assert_eq!((20usize..80).minimal(), Some(20));
+        assert_eq!(Strategy::minimal(&any::<bool>()), Some(false));
+        assert_eq!("[a-c]{2,5}".minimal().unwrap(), "aa");
+        assert_eq!((0.0f64..0.25).minimal(), Some(0.0));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = TestRng::seed_from(7);
+        let mut b = TestRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!("\\PC{0,16}".generate(&mut a), "\\PC{0,16}".generate(&mut b));
+        }
+    }
+}

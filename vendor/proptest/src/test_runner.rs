@@ -1,0 +1,290 @@
+//! Test execution: RNG, configuration, error types, and the manual
+//! [`TestRunner`] API.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::strategy::Strategy;
+
+/// Deterministic generator backing all strategies (xoshiro256**; seeded per
+/// test via SplitMix64 so runs are reproducible across machines).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeds the generator from a single word.
+    pub fn seed_from(seed: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut s = [next(), next(), next(), next()];
+        if s == [0; 4] {
+            s[0] = 1;
+        }
+        Self { s }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform draw in `0..bound` (`bound` ≥ 1, ≤ 2^64 treated via u128 to
+    /// keep the widening-multiply trick branch-light).
+    pub fn below(&mut self, bound: u128) -> u64 {
+        assert!(bound >= 1, "below(0)");
+        debug_assert!(bound <= (1u128 << 64), "bound too large");
+        if bound == 1 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * bound) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)` with 53-bit resolution.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runner configuration (subset of upstream `Config`; also exported as
+/// `ProptestConfig` from the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Maximum `prop_assume!` rejections tolerated before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// A config that runs `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — draw another.
+    Reject,
+    /// The property does not hold.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection (API parity with upstream).
+    pub fn reject(_reason: impl Into<String>) -> Self {
+        TestCaseError::Reject
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A failed property run: message plus the `Debug` repr of the failing
+/// input.
+#[derive(Clone)]
+pub struct TestError {
+    /// Human-readable failure description.
+    pub message: String,
+    /// `Debug` repr of the failing input.
+    pub input: String,
+}
+
+impl fmt::Debug for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "property failed: {}; failing input: {}",
+            self.message, self.input
+        )
+    }
+}
+
+impl fmt::Display for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl std::error::Error for TestError {}
+
+/// Runs a closure over generated cases, as in
+/// `TestRunner::new(Config::with_cases(256)).run(&strategy, |v| { ..; Ok(()) })`.
+pub struct TestRunner {
+    config: Config,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// A runner with the given config and a fixed deterministic seed.
+    pub fn new(config: Config) -> Self {
+        Self {
+            config,
+            rng: TestRng::seed_from(0x0ddc_0ffe_eba5_e5ed),
+        }
+    }
+
+    /// Mutable access to the underlying RNG (upstream parity).
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    /// Runs `test` over `config.cases` generated inputs. Panics inside the
+    /// closure are converted to failures.
+    pub fn run<S: Strategy, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+    where
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            let repr = format!("{value:?}");
+            match run_one(&mut test, value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        return Err(TestError {
+                            message: "too many prop_assume! rejections".into(),
+                            input: repr,
+                        });
+                    }
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    return Err(TestError {
+                        message,
+                        input: repr,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs one case, converting panics into `Fail`.
+pub(crate) fn run_one<V, F>(test: &mut F, value: V) -> Result<(), TestCaseError>
+where
+    F: FnMut(V) -> Result<(), TestCaseError>,
+{
+    match catch_unwind(AssertUnwindSafe(|| test(value))) {
+        Ok(outcome) => outcome,
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "test panicked".into());
+            Err(TestCaseError::Fail(format!("panic: {msg}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_passes_trivial_property() {
+        let mut runner = TestRunner::new(Config::with_cases(64));
+        runner
+            .run(&(0u64..100), |v| {
+                if v >= 100 {
+                    return Err(TestCaseError::fail("out of range"));
+                }
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn runner_reports_failure_with_input() {
+        let mut runner = TestRunner::new(Config::with_cases(64));
+        let err = runner
+            .run(&(0u64..100), |v| {
+                if v > 10 {
+                    Err(TestCaseError::fail("too big"))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        assert!(err.message.contains("too big"));
+        assert!(err.input.parse::<u64>().unwrap() > 10);
+    }
+
+    #[test]
+    fn runner_converts_panics_to_failures() {
+        let mut runner = TestRunner::new(Config::with_cases(8));
+        let err = runner
+            .run(&(0u64..4), |_| -> Result<(), TestCaseError> {
+                panic!("boom");
+            })
+            .unwrap_err();
+        assert!(err.message.contains("boom"), "{}", err.message);
+    }
+
+    #[test]
+    fn runner_rejections_draw_new_cases() {
+        let mut runner = TestRunner::new(Config::with_cases(32));
+        runner
+            .run(&(0u64..100), |v| {
+                if v % 2 == 1 {
+                    return Err(TestCaseError::Reject);
+                }
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn rng_is_uniform_enough() {
+        let mut rng = TestRng::seed_from(11);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8_000 {
+            buckets[rng.below(8) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((800..1_200).contains(&b), "bucket count {b}");
+        }
+    }
+}
