@@ -10,9 +10,14 @@
 //!    checks (sequential and work-stealing parallel) vs the per-tuple-only
 //!    overlay, on a duplicate-heavy relation; prints the hit rate and phase
 //!    timings from the repair report.
+//! 5. **Cache persistence** — a stream of same-schema relations repaired
+//!    cold (fresh value cache per relation) vs warm (one `CacheRegistry`
+//!    shared across the stream).
+//! 6. **Batch claiming** — the work-stealing scheduler claiming one row per
+//!    `fetch_add` vs an auto-tuned batch of rows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dr_bench::uis_workload;
+use dr_bench::{nobel_stream_workload, uis_workload};
 use dr_core::repair::basic::basic_repair;
 use dr_core::repair::cache::ElementCache;
 use dr_core::repair::rule_graph::RuleGraph;
@@ -126,6 +131,7 @@ fn bench_value_cache(c: &mut Criterion) {
     let par_opts = dr_core::ParallelOptions {
         apply: opts.clone(),
         threads: 4,
+        ..Default::default()
     };
     let report = dr_core::parallel_repair(&ctx, &workload.rules, &mut probe, &par_opts);
     eprintln!(
@@ -213,10 +219,69 @@ fn bench_signature_index(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_cache_persistence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cache_persistence");
+    group.sample_size(10);
+    let (workload, stream) = nobel_stream_workload(1_000, 5, KbFlavor::YagoLike);
+    let repairer = dr_core::FastRepairer::new(&workload.rules);
+    let opts = ApplyOptions::default();
+
+    // Both regimes share `workload`'s match context indexes; only the value
+    // cache's lifetime differs, so the delta isolates persistence.
+    let ctx = workload.ctx();
+    group.bench_function("cold(fresh cache per relation)", |b| {
+        b.iter(|| {
+            for dirty in &stream {
+                let mut working = dirty.clone();
+                repairer.repair_relation(&ctx, &mut working, &opts);
+            }
+        })
+    });
+    group.bench_function("warm(shared registry)", |b| {
+        b.iter(|| {
+            // A fresh registry per iteration: relation 1 is the cold fill,
+            // relations 2..n warm-start from it.
+            let registry = std::sync::Arc::new(dr_core::CacheRegistry::new(
+                dr_core::RegistryConfig::default(),
+            ));
+            let ctx = workload.ctx_with_registry(registry);
+            for dirty in &stream {
+                let mut working = dirty.clone();
+                repairer.repair_relation(&ctx, &mut working, &opts);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_batch_claim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_batch_claim");
+    group.sample_size(10);
+    // UIS is narrow (arity 6), the shape batch claiming targets.
+    let workload = uis_workload(1_000, KbFlavor::YagoLike);
+    let ctx = workload.ctx();
+    for (label, batch_claim) in [("single_row_claim", false), ("batch_claim(auto)", true)] {
+        let par_opts = dr_core::ParallelOptions {
+            threads: 4,
+            batch_claim,
+            ..Default::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut working = workload.dirty.clone();
+                dr_core::parallel_repair(&ctx, &workload.rules, &mut working, &par_opts)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_repair_ablations,
     bench_value_cache,
-    bench_signature_index
+    bench_signature_index,
+    bench_cache_persistence,
+    bench_batch_claim
 );
 criterion_main!(benches);

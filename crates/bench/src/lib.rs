@@ -29,6 +29,15 @@ impl Workload {
     pub fn ctx(&self) -> MatchContext<'_> {
         MatchContext::new(&self.kb)
     }
+
+    /// A match context sharing `registry`, so repairs warm-start from value
+    /// caches populated by earlier same-schema runs.
+    pub fn ctx_with_registry(
+        &self,
+        registry: std::sync::Arc<dr_core::CacheRegistry>,
+    ) -> MatchContext<'_> {
+        MatchContext::with_registry(&self.kb, registry)
+    }
 }
 
 /// Builds a Nobel workload of `n` tuples with 10% noise.
@@ -49,6 +58,43 @@ pub fn nobel_workload(n: usize, flavor: KbFlavor) -> Workload {
         clean,
         dirty,
     }
+}
+
+/// Builds a Nobel workload plus a stream of `stream_len` dirty variants of
+/// its clean relation (same schema, different noise seeds) — the
+/// same-schema stream shape the
+/// [`CacheRegistry`](dr_core::CacheRegistry) targets. The workload's own
+/// `dirty` is the first element of the stream.
+pub fn nobel_stream_workload(
+    n: usize,
+    stream_len: usize,
+    flavor: KbFlavor,
+) -> (Workload, Vec<Relation>) {
+    let world = NobelWorld::generate(n, 71);
+    let clean = world.clean_relation();
+    let name = clean.schema().attr_expect("Name");
+    let stream: Vec<Relation> = (0..stream_len.max(1) as u64)
+        .map(|i| {
+            inject(
+                &clean,
+                &NoiseSpec::new(0.10, 71 ^ (i + 1)).with_excluded(vec![name]),
+                &world.semantic_source(),
+            )
+            .0
+        })
+        .collect();
+    let kb = world.kb(&KbProfile::of(flavor));
+    let rules = NobelWorld::rules(&kb);
+    let dirty = stream[0].clone();
+    (
+        Workload {
+            kb,
+            rules,
+            clean,
+            dirty,
+        },
+        stream,
+    )
 }
 
 /// Builds a UIS workload of `n` tuples with 10% noise.

@@ -6,15 +6,21 @@
 //! threads — the "efficient instance matching" machinery of §IV-B(2).
 
 use crate::graph::schema::NodeType;
+use crate::repair::registry::CacheRegistry;
+use crate::repair::value_cache::ValueCache;
 use dr_kb::{FxHashMap, InstanceId, KnowledgeBase, LiteralId, Node};
 use dr_simmatch::{MatchIndex, SimFn};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-/// A knowledge base with memoized per-(type, sim) match indexes.
+/// A knowledge base with memoized per-(type, sim) match indexes, and
+/// optionally a [`CacheRegistry`] handing out persistent, schema-keyed
+/// [`ValueCache`]s so repairs of consecutive same-schema relations
+/// warm-start.
 pub struct MatchContext<'kb> {
     kb: &'kb KnowledgeBase,
     indexes: Mutex<FxHashMap<(NodeType, SimFn), Arc<MatchIndex>>>,
+    registry: Option<Arc<CacheRegistry>>,
 }
 
 impl<'kb> MatchContext<'kb> {
@@ -23,6 +29,33 @@ impl<'kb> MatchContext<'kb> {
         Self {
             kb,
             indexes: Mutex::new(FxHashMap::default()),
+            registry: None,
+        }
+    }
+
+    /// Wraps a KB and attaches a persistent cache registry: repairers
+    /// running through this context draw their relation-scoped
+    /// [`ValueCache`] from the registry instead of starting cold.
+    pub fn with_registry(kb: &'kb KnowledgeBase, registry: Arc<CacheRegistry>) -> Self {
+        Self {
+            kb,
+            indexes: Mutex::new(FxHashMap::default()),
+            registry: Some(registry),
+        }
+    }
+
+    /// The attached registry, if any.
+    pub fn registry(&self) -> Option<&Arc<CacheRegistry>> {
+        self.registry.as_ref()
+    }
+
+    /// The shared value cache a relation repair over `schema` should use:
+    /// the registry's warm, persistent cache when one is attached, or a
+    /// fresh relation-lifetime cache otherwise.
+    pub fn value_cache_for(&self, schema: &dr_relation::Schema) -> Arc<ValueCache> {
+        match &self.registry {
+            Some(registry) => registry.cache_for(self.kb, schema),
+            None => Arc::new(ValueCache::new()),
         }
     }
 
@@ -197,6 +230,25 @@ mod tests {
         let lit = Node::Literal(kb.literal_with_value("1937-12-31").unwrap());
         assert!(ctx.type_ok(lit, NodeType::Literal));
         assert!(!ctx.type_ok(lit, city));
+    }
+
+    #[test]
+    fn value_cache_comes_from_registry_when_attached() {
+        let kb = figure1_kb();
+        let schema = dr_relation::Schema::new("R", &["X"]);
+        let registry = Arc::new(crate::repair::registry::CacheRegistry::default());
+        let ctx = MatchContext::with_registry(&kb, Arc::clone(&registry));
+        let a = ctx.value_cache_for(&schema);
+        let b = ctx.value_cache_for(&schema);
+        assert!(Arc::ptr_eq(&a, &b), "registry hands back the warm cache");
+        assert!(ctx.registry().is_some());
+        assert_eq!(registry.stats().warm_hits, 1);
+
+        let plain = MatchContext::new(&kb);
+        let c = plain.value_cache_for(&schema);
+        let d = plain.value_cache_for(&schema);
+        assert!(!Arc::ptr_eq(&c, &d), "no registry: fresh cache per ask");
+        assert!(plain.registry().is_none());
     }
 
     #[test]

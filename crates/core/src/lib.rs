@@ -38,8 +38,9 @@ pub use repair::cache::ElementCache;
 pub use repair::fast::{fast_repair, FastRepairer};
 pub use repair::multi::{multi_repair_tuple, MultiOptions};
 pub use repair::parallel::{parallel_repair, ParallelOptions};
+pub use repair::registry::{CacheKey, CacheRegistry, RegistryConfig, RegistryStats};
 pub use repair::rule_graph::RuleGraph;
-pub use repair::value_cache::{CacheStats, ValueCache};
+pub use repair::value_cache::{CacheStats, ValueCache, ValueCacheConfig};
 pub use rule::apply::{
     apply_rule, apply_rule_cached, ApplyOptions, Normalization, RuleApplication,
 };

@@ -83,6 +83,15 @@ pub struct PhaseTimings {
     pub repair: std::time::Duration,
 }
 
+impl std::ops::AddAssign for PhaseTimings {
+    /// Phase-wise accumulation — used by experiment harnesses summing
+    /// per-table reports into one row.
+    fn add_assign(&mut self, rhs: Self) {
+        self.prewarm += rhs.prewarm;
+        self.repair += rhs.repair;
+    }
+}
+
 /// The repair trace of a relation.
 #[derive(Debug, Clone, Default)]
 pub struct RelationReport {

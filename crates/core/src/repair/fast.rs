@@ -150,17 +150,35 @@ impl<'r> FastRepairer<'r> {
     /// Repairs every tuple of `relation`, sharing a relation-scoped
     /// [`ValueCache`] across tuples: identical cell values recur across rows
     /// (duplicate-heavy columns), and their element checks are computed
-    /// once. The cache counters and per-phase timings land in the report.
+    /// once. When the context carries a
+    /// [`CacheRegistry`](crate::repair::registry::CacheRegistry), the cache
+    /// is the registry's persistent, schema-keyed instance and this repair
+    /// warm-starts from earlier same-schema relations. The cache counters
+    /// (this repair's delta, not the cache's lifetime totals) and per-phase
+    /// timings land in the report.
     pub fn repair_relation(
         &self,
         ctx: &MatchContext<'_>,
         relation: &mut Relation,
         opts: &ApplyOptions,
     ) -> RelationReport {
+        let shared = ctx.value_cache_for(relation.schema());
+        self.repair_relation_with_cache(ctx, relation, opts, &shared)
+    }
+
+    /// [`Self::repair_relation`] against an explicit shared cache (the
+    /// building block the parallel repairer and benches drive directly).
+    pub fn repair_relation_with_cache(
+        &self,
+        ctx: &MatchContext<'_>,
+        relation: &mut Relation,
+        opts: &ApplyOptions,
+        shared: &ValueCache,
+    ) -> RelationReport {
+        let before = shared.stats();
         let prewarm_start = Instant::now();
         ctx.prewarm(self.rules);
         let prewarm = prewarm_start.elapsed();
-        let shared = ValueCache::new();
         let repair_start = Instant::now();
         let mut report = RelationReport::default();
         for row in 0..relation.len() {
@@ -168,10 +186,10 @@ impl<'r> FastRepairer<'r> {
                 ctx,
                 relation.tuple_mut(row),
                 opts,
-                &shared,
+                shared,
             ));
         }
-        report.cache = shared.stats();
+        report.cache = shared.stats().delta_since(&before);
         report.timing = PhaseTimings {
             prewarm,
             repair: repair_start.elapsed(),
@@ -278,6 +296,45 @@ mod tests {
         for cell in baseline.cell_refs() {
             assert_eq!(baseline.value(cell), relation.value(cell));
         }
+    }
+
+    /// A registry-backed context warm-starts the second repair of a
+    /// same-schema relation — and produces bit-identical results.
+    #[test]
+    fn registry_warm_start_is_transparent() {
+        use crate::repair::registry::CacheRegistry;
+        use std::sync::Arc;
+
+        let kb = nobel_mini_kb();
+        let rules = figure4_rules(&kb);
+        let opts = ApplyOptions::default();
+
+        let cold_ctx = MatchContext::new(&kb);
+        let mut cold = table1_dirty();
+        let cold_report = fast_repair(&cold_ctx, &rules, &mut cold, &opts);
+
+        let registry = Arc::new(CacheRegistry::default());
+        let ctx = MatchContext::with_registry(&kb, Arc::clone(&registry));
+        let mut first = table1_dirty();
+        let first_report = fast_repair(&ctx, &rules, &mut first, &opts);
+        let mut second = table1_dirty();
+        let second_report = fast_repair(&ctx, &rules, &mut second, &opts);
+
+        // Bit-identical relations and traces, cold or warm.
+        for cell in cold.cell_refs() {
+            assert_eq!(cold.value(cell), first.value(cell));
+            assert_eq!(cold.value(cell), second.value(cell));
+        }
+        assert_eq!(cold_report.tuples, first_report.tuples);
+        assert_eq!(cold_report.tuples, second_report.tuples);
+
+        // The second pass ran against the warm cache: every lookup the
+        // first pass computed is now a hit, and the report's counters are
+        // the per-repair delta (its misses don't double-count the first's).
+        assert_eq!(registry.stats().warm_hits, 1);
+        assert!(first_report.cache.misses() > 0, "cold pass computes");
+        assert!(second_report.cache.hits() > 0, "warm pass reuses");
+        assert_eq!(second_report.cache.misses(), 0, "{:?}", second_report.cache);
     }
 
     /// The element cache produces hits across rules sharing nodes.

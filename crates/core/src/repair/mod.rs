@@ -7,5 +7,6 @@ pub mod cache;
 pub mod fast;
 pub mod multi;
 pub mod parallel;
+pub mod registry;
 pub mod rule_graph;
 pub mod value_cache;

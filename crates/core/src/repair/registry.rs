@@ -1,0 +1,348 @@
+//! Persistent, schema-keyed registry of shared [`ValueCache`]s — level 0 of
+//! the caching hierarchy (DESIGN.md §4a).
+//!
+//! A [`ValueCache`]'s entries are pure functions of one immutable KB, keyed
+//! by cell values of one schema's columns. Server-style workloads repair
+//! *streams* of relations over the same schema (batches of rows, repeated
+//! uploads, partitioned tables), and every batch re-derives the same
+//! candidate sets from scratch when the cache dies with the relation. The
+//! `CacheRegistry` keeps those caches alive across relations: callers ask
+//! for the cache belonging to `(KB generation, schema fingerprint)` and get
+//! the same warm instance back for as long as both stay live.
+//!
+//! Invalidation is by construction rather than by scanning:
+//!
+//! * **KB generation** — every finalized [`KnowledgeBase`] carries a
+//!   process-unique generation id, and it is part of the cache key. A
+//!   rebuilt (even byte-identical) KB has a new generation, so entries
+//!   computed against a stale KB can never be served — they are simply
+//!   unreachable under the new key.
+//! * **Schema fingerprint** — hash of the relation name and ordered
+//!   attribute names; schema changes re-key the cache the same way.
+//!
+//! Memory is bounded twice: each `ValueCache` evicts entries under its own
+//! budget (clock over per-shard entry counts, see
+//! [`ValueCacheConfig`]), and the registry itself retains at most
+//! `max_caches` distinct caches, dropping the least recently used whole
+//! cache beyond that.
+
+use crate::repair::value_cache::{ValueCache, ValueCacheConfig};
+use dr_kb::{FxHashMap, KnowledgeBase};
+use dr_relation::Schema;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// Cache identity: (KB generation, schema fingerprint).
+pub type CacheKey = (u64, u64);
+
+/// Sizing knobs for a [`CacheRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryConfig {
+    /// Entry budget for each retained [`ValueCache`] (`0` = unbounded).
+    pub max_entries_per_cache: usize,
+    /// Shard count per cache (`0` = derive from `threads`).
+    pub shards: usize,
+    /// Worker-count hint used to size shards when `shards == 0`.
+    pub threads: usize,
+    /// Distinct `(KB, schema)` caches retained; beyond this the least
+    /// recently used cache is dropped. Must be at least 1.
+    pub max_caches: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        Self {
+            max_entries_per_cache: 0,
+            shards: 0,
+            threads: 0,
+            max_caches: 8,
+        }
+    }
+}
+
+impl RegistryConfig {
+    /// The per-cache [`ValueCacheConfig`] this registry hands out.
+    fn cache_config(&self) -> ValueCacheConfig {
+        let base = if self.shards != 0 {
+            ValueCacheConfig {
+                shards: self.shards,
+                max_entries: 0,
+            }
+        } else {
+            let threads = if self.threads != 0 {
+                self.threads
+            } else {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            };
+            ValueCacheConfig::for_threads(threads)
+        };
+        base.with_max_entries(self.max_entries_per_cache)
+    }
+}
+
+/// Registry-level counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Lookups that found a live cache for the key (warm starts).
+    pub warm_hits: u64,
+    /// Lookups that created a fresh cache (cold starts).
+    pub cold_misses: u64,
+    /// Whole caches dropped to stay under `max_caches`.
+    pub evicted_caches: u64,
+    /// Caches currently retained.
+    pub live_caches: usize,
+    /// Total entries across all retained caches.
+    pub live_entries: usize,
+}
+
+struct Slot {
+    cache: Arc<ValueCache>,
+    last_used: u64,
+}
+
+/// A process-lifetime pool of schema-keyed [`ValueCache`]s.
+pub struct CacheRegistry {
+    config: RegistryConfig,
+    slots: Mutex<FxHashMap<CacheKey, Slot>>,
+    clock: AtomicU64,
+    warm_hits: AtomicU64,
+    cold_misses: AtomicU64,
+    evicted_caches: AtomicU64,
+}
+
+impl Default for CacheRegistry {
+    fn default() -> Self {
+        Self::new(RegistryConfig::default())
+    }
+}
+
+impl CacheRegistry {
+    /// An empty registry.
+    pub fn new(config: RegistryConfig) -> Self {
+        assert!(config.max_caches >= 1, "max_caches must be at least 1");
+        Self {
+            config,
+            slots: Mutex::new(FxHashMap::default()),
+            clock: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
+            cold_misses: AtomicU64::new(0),
+            evicted_caches: AtomicU64::new(0),
+        }
+    }
+
+    /// The registry's configuration.
+    pub fn config(&self) -> &RegistryConfig {
+        &self.config
+    }
+
+    /// The shared cache for `(kb, schema)`, creating (and, beyond
+    /// `max_caches`, evicting the least recently used) as needed. Repeated
+    /// calls with the same live KB and an equal schema return the same warm
+    /// instance.
+    pub fn cache_for(&self, kb: &KnowledgeBase, schema: &Schema) -> Arc<ValueCache> {
+        self.cache_for_key((kb.generation(), schema.fingerprint()))
+    }
+
+    fn cache_for_key(&self, key: CacheKey) -> Arc<ValueCache> {
+        let stamp = self.clock.fetch_add(1, Relaxed) + 1;
+        let mut slots = self.slots.lock();
+        if let Some(slot) = slots.get_mut(&key) {
+            slot.last_used = stamp;
+            self.warm_hits.fetch_add(1, Relaxed);
+            return Arc::clone(&slot.cache);
+        }
+        self.cold_misses.fetch_add(1, Relaxed);
+        while slots.len() >= self.config.max_caches {
+            let lru = slots
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(&k, _)| k);
+            match lru {
+                Some(k) => {
+                    slots.remove(&k);
+                    self.evicted_caches.fetch_add(1, Relaxed);
+                }
+                None => break,
+            }
+        }
+        let cache = Arc::new(ValueCache::with_config(self.config.cache_config()));
+        slots.insert(
+            key,
+            Slot {
+                cache: Arc::clone(&cache),
+                last_used: stamp,
+            },
+        );
+        cache
+    }
+
+    /// Drops every cache not belonging to `live_generation` — for
+    /// server-style workloads that rebuild their KB in place and want the
+    /// stale caches' memory back immediately instead of waiting for LRU
+    /// pressure. (Correctness never depends on this: stale generations are
+    /// unreachable through [`Self::cache_for`] regardless.)
+    pub fn evict_stale(&self, live_generation: u64) {
+        let mut slots = self.slots.lock();
+        let before = slots.len();
+        slots.retain(|&(generation, _), _| generation == live_generation);
+        let dropped = (before - slots.len()) as u64;
+        if dropped > 0 {
+            self.evicted_caches.fetch_add(dropped, Relaxed);
+        }
+    }
+
+    /// Snapshot of the registry counters.
+    pub fn stats(&self) -> RegistryStats {
+        let slots = self.slots.lock();
+        RegistryStats {
+            warm_hits: self.warm_hits.load(Relaxed),
+            cold_misses: self.cold_misses.load(Relaxed),
+            evicted_caches: self.evicted_caches.load(Relaxed),
+            live_caches: slots.len(),
+            live_entries: slots.values().map(|s| s.cache.len()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::MatchContext;
+    use crate::fixtures::nobel_schema;
+    use crate::graph::schema::{NodeType, SchemaNode};
+    use dr_kb::fixtures::{names, nobel_mini_kb};
+    use dr_simmatch::SimFn;
+
+    fn city_node(kb: &KnowledgeBase) -> SchemaNode {
+        SchemaNode::new(
+            nobel_schema().attr_expect("City"),
+            NodeType::Class(kb.class_named(names::CITY).unwrap()),
+            SimFn::Equal,
+        )
+    }
+
+    #[test]
+    fn same_kb_and_schema_warm_start() {
+        let kb = nobel_mini_kb();
+        let schema = nobel_schema();
+        let registry = CacheRegistry::default();
+        let a = registry.cache_for(&kb, &schema);
+        let b = registry.cache_for(&kb, &schema);
+        assert!(Arc::ptr_eq(&a, &b), "same key must return the same cache");
+        let stats = registry.stats();
+        assert_eq!((stats.warm_hits, stats.cold_misses), (1, 1));
+        assert_eq!(stats.live_caches, 1);
+    }
+
+    #[test]
+    fn entries_persist_across_lookups() {
+        let kb = nobel_mini_kb();
+        let schema = nobel_schema();
+        let ctx = MatchContext::new(&kb);
+        let registry = CacheRegistry::default();
+        let node = city_node(&kb);
+
+        let warm = registry.cache_for(&kb, &schema);
+        let _ = warm.candidates(&ctx, &node, "Haifa");
+        drop(warm);
+
+        // A later "relation" of the same schema sees the warm entry.
+        let again = registry.cache_for(&kb, &schema);
+        let _ = again.candidates(&ctx, &node, "Haifa");
+        assert_eq!(again.stats().node_hits, 1);
+        assert!(registry.stats().live_entries >= 1);
+    }
+
+    /// A rebuilt KB (new generation) must never be served entries computed
+    /// against the old one — the key changes, so the old cache is invisible.
+    #[test]
+    fn stale_kb_generation_is_never_served() {
+        let schema = nobel_schema();
+        let registry = CacheRegistry::default();
+
+        let kb1 = nobel_mini_kb();
+        let node = city_node(&kb1);
+        {
+            let ctx = MatchContext::new(&kb1);
+            let cache = registry.cache_for(&kb1, &schema);
+            let _ = cache.candidates(&ctx, &node, "Haifa");
+            assert_eq!(cache.stats().node_misses, 1);
+        }
+
+        // Same content, new generation: a fresh, empty cache.
+        let kb2 = nobel_mini_kb();
+        assert_ne!(kb1.generation(), kb2.generation());
+        let cache = registry.cache_for(&kb2, &schema);
+        assert!(cache.is_empty(), "stale entries must be unreachable");
+        let stats = cache.stats();
+        assert_eq!((stats.node_hits, stats.node_misses), (0, 0));
+        assert_eq!(registry.stats().cold_misses, 2);
+    }
+
+    #[test]
+    fn distinct_schemas_get_distinct_caches() {
+        let kb = nobel_mini_kb();
+        let registry = CacheRegistry::default();
+        let a = registry.cache_for(&kb, &nobel_schema());
+        let b = registry.cache_for(&kb, &dr_relation::Schema::new("Other", &["X", "Y"]));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(registry.stats().live_caches, 2);
+    }
+
+    #[test]
+    fn lru_cache_eviction_beyond_max_caches() {
+        let kb = nobel_mini_kb();
+        let registry = CacheRegistry::new(RegistryConfig {
+            max_caches: 2,
+            ..Default::default()
+        });
+        let s1 = dr_relation::Schema::new("R1", &["A"]);
+        let s2 = dr_relation::Schema::new("R2", &["A"]);
+        let s3 = dr_relation::Schema::new("R3", &["A"]);
+        let c1 = registry.cache_for(&kb, &s1);
+        let _c2 = registry.cache_for(&kb, &s2);
+        // Touch R1 so R2 is the LRU, then overflow.
+        let _ = registry.cache_for(&kb, &s1);
+        let _c3 = registry.cache_for(&kb, &s3);
+        let stats = registry.stats();
+        assert_eq!(stats.live_caches, 2);
+        assert_eq!(stats.evicted_caches, 1);
+        // R1 survived (same instance), R2 did not: re-asking for R1 is warm
+        // (cold misses stay at the three creations), re-asking for R2 is not.
+        assert!(Arc::ptr_eq(&c1, &registry.cache_for(&kb, &s1)));
+        assert_eq!(registry.stats().cold_misses, 3);
+        let _ = registry.cache_for(&kb, &s2);
+        assert_eq!(registry.stats().cold_misses, 4);
+    }
+
+    #[test]
+    fn evict_stale_drops_dead_generations() {
+        let schema = nobel_schema();
+        let registry = CacheRegistry::default();
+        let kb1 = nobel_mini_kb();
+        let kb2 = nobel_mini_kb();
+        let _ = registry.cache_for(&kb1, &schema);
+        let _ = registry.cache_for(&kb2, &schema);
+        assert_eq!(registry.stats().live_caches, 2);
+        registry.evict_stale(kb2.generation());
+        let stats = registry.stats();
+        assert_eq!(stats.live_caches, 1);
+        assert_eq!(stats.evicted_caches, 1);
+        // The survivor is kb2's cache.
+        let survivor = registry.cache_for(&kb2, &schema);
+        assert_eq!(registry.stats().warm_hits, 1);
+        drop(survivor);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_caches")]
+    fn zero_max_caches_is_rejected() {
+        let _ = CacheRegistry::new(RegistryConfig {
+            max_caches: 0,
+            ..Default::default()
+        });
+    }
+}

@@ -11,27 +11,97 @@
 //! Because keys include the cell value — not just the column — entries are
 //! pure functions of the immutable KB and never go stale: repairing a cell
 //! simply probes a different key. That makes the cache safely shareable
-//! across tuples and across threads; concurrency is a fixed array of shards,
+//! across tuples and across threads; concurrency is an array of shards,
 //! each a [`parking_lot::RwLock`]-guarded map, so readers never contend and
 //! writers only lock one shard.
+//!
+//! A cache may outlive one relation: the
+//! [`CacheRegistry`](crate::repair::registry::CacheRegistry) keys shared
+//! caches by (KB generation, schema fingerprint) so consecutive relations of
+//! the same schema warm-start. Long-lived caches are bounded by an optional
+//! entry budget, enforced per shard with a clock (second-chance) policy:
+//! every hit sets a referenced bit, and an over-budget insert sweeps the
+//! shard's ring, skipping recently referenced entries once and evicting the
+//! first unreferenced one.
 
 use crate::context::MatchContext;
 use crate::graph::schema::SchemaNode;
 use dr_kb::{FxHashMap, Node, PredId};
 use parking_lot::RwLock;
+use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 /// An edge signature: source node, predicate, target node.
 pub type EdgeSig = (SchemaNode, PredId, SchemaNode);
 
-/// Shard count; a small power of two keeps the modulo a mask while spreading
-/// writer contention well past typical thread counts.
-const SHARDS: usize = 16;
+/// Default shard count; a small power of two keeps the modulo a mask while
+/// spreading writer contention well past typical thread counts.
+const DEFAULT_SHARDS: usize = 16;
 
 type NodeKey = (SchemaNode, String);
 type EdgeKey = (EdgeSig, String, String);
+
+/// Sizing knobs for a [`ValueCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueCacheConfig {
+    /// Shard count (rounded up to a power of two; `0` = default 16). Size
+    /// this to the worker count: more shards than workers means writers
+    /// essentially never collide.
+    pub shards: usize,
+    /// Total entry budget across node and edge maps (`0` = unbounded). The
+    /// budget is split evenly across shards; each shard evicts with a clock
+    /// sweep once its slice is full.
+    pub max_entries: usize,
+}
+
+impl Default for ValueCacheConfig {
+    fn default() -> Self {
+        Self {
+            shards: DEFAULT_SHARDS,
+            max_entries: 0,
+        }
+    }
+}
+
+impl ValueCacheConfig {
+    /// A config whose shard count is sized to `threads` workers (at least
+    /// the default, at most 256, next power of two of `4 × threads`).
+    pub fn for_threads(threads: usize) -> Self {
+        let shards = (threads.max(1) * 4)
+            .next_power_of_two()
+            .clamp(DEFAULT_SHARDS, 256);
+        Self {
+            shards,
+            max_entries: 0,
+        }
+    }
+
+    /// Returns the config with the given total entry budget.
+    pub fn with_max_entries(mut self, max_entries: usize) -> Self {
+        self.max_entries = max_entries;
+        self
+    }
+
+    fn normalized_shards(&self) -> usize {
+        if self.shards == 0 {
+            DEFAULT_SHARDS
+        } else {
+            self.shards.next_power_of_two()
+        }
+    }
+
+    /// Per-shard entry cap for one of the two (node/edge) maps.
+    fn per_shard_cap(&self) -> usize {
+        if self.max_entries == 0 {
+            0
+        } else {
+            // Two maps (nodes and edges) share the budget evenly.
+            (self.max_entries / (2 * self.normalized_shards())).max(1)
+        }
+    }
+}
 
 /// Aggregated cache counters, surfaced through
 /// [`RelationReport`](crate::repair::basic::RelationReport).
@@ -45,6 +115,8 @@ pub struct CacheStats {
     pub edge_hits: u64,
     /// Edge-connectivity lookups that had to compute.
     pub edge_misses: u64,
+    /// Entries evicted to stay under the configured budget.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -67,6 +139,32 @@ impl CacheStats {
             self.hits() as f64 / total as f64
         }
     }
+
+    /// Counter deltas since an `earlier` snapshot of the same cache. Used
+    /// by repairers sharing a persistent (registry-owned) cache so one
+    /// relation's report only covers its own lookups.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            node_hits: self.node_hits.saturating_sub(earlier.node_hits),
+            node_misses: self.node_misses.saturating_sub(earlier.node_misses),
+            edge_hits: self.edge_hits.saturating_sub(earlier.edge_hits),
+            edge_misses: self.edge_misses.saturating_sub(earlier.edge_misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
+}
+
+impl std::ops::AddAssign for CacheStats {
+    /// Counter-wise accumulation — used by experiment harnesses summing
+    /// per-table reports into one row.
+    fn add_assign(&mut self, rhs: Self) {
+        self.node_hits += rhs.node_hits;
+        self.node_misses += rhs.node_misses;
+        self.edge_hits += rhs.edge_hits;
+        self.edge_misses += rhs.edge_misses;
+        self.evictions += rhs.evictions;
+    }
 }
 
 /// Whether any candidate pair of `(from, to)` is connected by `rel` in the
@@ -85,14 +183,98 @@ pub(crate) fn edge_connected(
     })
 }
 
-/// A relation-scoped, thread-safe element cache keyed by cell values.
+/// One cached value plus its clock referenced bit. The bit is an atomic so
+/// hits can set it under the shard's *read* lock.
+struct ClockEntry<V> {
+    value: V,
+    referenced: AtomicBool,
+}
+
+impl<V> ClockEntry<V> {
+    fn new(value: V) -> Self {
+        Self {
+            value,
+            referenced: AtomicBool::new(false),
+        }
+    }
+}
+
+/// A bounded map shard with clock (second-chance) eviction.
+struct ClockShard<K, V> {
+    map: FxHashMap<K, ClockEntry<V>>,
+    /// Insertion ring for the clock hand. Keys are pushed on insert and only
+    /// leave through eviction, so `ring.len() == map.len()`.
+    ring: VecDeque<K>,
+    /// Entry cap (`0` = unbounded).
+    cap: usize,
+}
+
+impl<K: Hash + Eq + Clone, V> ClockShard<K, V> {
+    fn new(cap: usize) -> Self {
+        Self {
+            map: FxHashMap::default(),
+            ring: VecDeque::new(),
+            cap,
+        }
+    }
+
+    fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|e| {
+            e.referenced.store(true, Relaxed);
+            &e.value
+        })
+    }
+
+    /// Inserts `value` under `key` unless present (first insert wins),
+    /// returning a reference to the winning value and how many entries were
+    /// evicted to make room.
+    fn insert(&mut self, key: K, value: V) -> (&V, u64) {
+        let mut evicted = 0;
+        if self.cap != 0 && !self.map.contains_key(&key) {
+            while self.map.len() >= self.cap {
+                let Some(victim) = self.ring.pop_front() else {
+                    break;
+                };
+                match self.map.get(&victim) {
+                    Some(e) if e.referenced.swap(false, Relaxed) => {
+                        // Second chance: recently hit, rotate to the back.
+                        self.ring.push_back(victim);
+                    }
+                    Some(_) => {
+                        self.map.remove(&victim);
+                        evicted += 1;
+                    }
+                    // Unreachable while ring and map stay in sync; tolerate.
+                    None => {}
+                }
+            }
+        }
+        let entry = match self.map.entry(key.clone()) {
+            std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.ring.push_back(key);
+                v.insert(ClockEntry::new(value))
+            }
+        };
+        (&entry.value, evicted)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A relation-scoped (or, via the registry, schema-scoped), thread-safe
+/// element cache keyed by cell values.
 pub struct ValueCache {
-    nodes: [RwLock<FxHashMap<NodeKey, Arc<Vec<Node>>>>; SHARDS],
-    edges: [RwLock<FxHashMap<EdgeKey, bool>>; SHARDS],
+    nodes: Vec<RwLock<ClockShard<NodeKey, Arc<Vec<Node>>>>>,
+    edges: Vec<RwLock<ClockShard<EdgeKey, bool>>>,
+    mask: usize,
     node_hits: AtomicU64,
     node_misses: AtomicU64,
     edge_hits: AtomicU64,
     edge_misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for ValueCache {
@@ -101,23 +283,52 @@ impl Default for ValueCache {
     }
 }
 
-fn shard_of<K: Hash>(key: &K) -> usize {
+fn hash_of<K: Hash>(key: &K) -> usize {
     let mut h = std::hash::DefaultHasher::new();
     key.hash(&mut h);
-    (h.finish() as usize) % SHARDS
+    h.finish() as usize
 }
 
 impl ValueCache {
-    /// An empty cache.
+    /// An empty, unbounded cache with the default shard count.
     pub fn new() -> Self {
+        Self::with_config(ValueCacheConfig::default())
+    }
+
+    /// An empty cache with explicit sizing.
+    pub fn with_config(config: ValueCacheConfig) -> Self {
+        let shards = config.normalized_shards();
+        let cap = config.per_shard_cap();
         Self {
-            nodes: std::array::from_fn(|_| RwLock::new(FxHashMap::default())),
-            edges: std::array::from_fn(|_| RwLock::new(FxHashMap::default())),
+            nodes: (0..shards)
+                .map(|_| RwLock::new(ClockShard::new(cap)))
+                .collect(),
+            edges: (0..shards)
+                .map(|_| RwLock::new(ClockShard::new(cap)))
+                .collect(),
+            mask: shards - 1,
             node_hits: AtomicU64::new(0),
             node_misses: AtomicU64::new(0),
             edge_hits: AtomicU64::new(0),
             edge_misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Number of shards (diagnostics).
+    pub fn shard_count(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Total live entries across both maps (counts, not bytes).
+    pub fn len(&self) -> usize {
+        self.nodes.iter().map(|s| s.read().len()).sum::<usize>()
+            + self.edges.iter().map(|s| s.read().len()).sum::<usize>()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Candidates of `node` against `value`, memoized by `(node, value)`.
@@ -128,7 +339,7 @@ impl ValueCache {
         value: &str,
     ) -> Arc<Vec<Node>> {
         let key = (*node, value.to_owned());
-        let shard = &self.nodes[shard_of(&key)];
+        let shard = &self.nodes[hash_of(&key) & self.mask];
         if let Some(cands) = shard.read().get(&key).map(Arc::clone) {
             self.node_hits.fetch_add(1, Relaxed);
             return cands;
@@ -138,7 +349,14 @@ impl ValueCache {
         // correct (the lookup is a pure function of the KB) — first insert
         // wins, everyone returns the same candidates.
         let cands = Arc::new(ctx.candidates(node.ty, node.sim, value));
-        Arc::clone(shard.write().entry(key).or_insert(cands))
+        let mut guard = shard.write();
+        let (winner, evicted) = guard.insert(key, cands);
+        let winner = Arc::clone(winner);
+        drop(guard);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Relaxed);
+        }
+        winner
     }
 
     /// Whether some candidate pair of `(from, to)` is connected by `rel`,
@@ -154,7 +372,7 @@ impl ValueCache {
     ) -> bool {
         let sig = (*from, rel, *to);
         let key = (sig, from_value.to_owned(), to_value.to_owned());
-        let shard = &self.edges[shard_of(&key)];
+        let shard = &self.edges[hash_of(&key) & self.mask];
         if let Some(&ok) = shard.read().get(&key) {
             self.edge_hits.fetch_add(1, Relaxed);
             return ok;
@@ -163,17 +381,21 @@ impl ValueCache {
         let from_cands = self.candidates(ctx, from, from_value);
         let to_cands = self.candidates(ctx, to, to_value);
         let ok = edge_connected(ctx, &from_cands, rel, &to_cands);
-        shard.write().entry(key).or_insert(ok);
+        let (_, evicted) = shard.write().insert(key, ok);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Relaxed);
+        }
         ok
     }
 
-    /// Snapshot of the hit/miss counters.
+    /// Snapshot of the hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             node_hits: self.node_hits.load(Relaxed),
             node_misses: self.node_misses.load(Relaxed),
             edge_hits: self.edge_hits.load(Relaxed),
             edge_misses: self.edge_misses.load(Relaxed),
+            evictions: self.evictions.load(Relaxed),
         }
     }
 }
@@ -283,5 +505,119 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(stats.hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn delta_since_subtracts_counters() {
+        let earlier = CacheStats {
+            node_hits: 5,
+            node_misses: 2,
+            edge_hits: 1,
+            edge_misses: 1,
+            evictions: 3,
+        };
+        let later = CacheStats {
+            node_hits: 9,
+            node_misses: 2,
+            edge_hits: 4,
+            edge_misses: 2,
+            evictions: 3,
+        };
+        let d = later.delta_since(&earlier);
+        assert_eq!(
+            d,
+            CacheStats {
+                node_hits: 4,
+                node_misses: 0,
+                edge_hits: 3,
+                edge_misses: 1,
+                evictions: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn config_sizes_shards_to_workers() {
+        assert_eq!(ValueCacheConfig::for_threads(1).normalized_shards(), 16);
+        assert_eq!(ValueCacheConfig::for_threads(8).normalized_shards(), 32);
+        assert_eq!(ValueCacheConfig::for_threads(100).normalized_shards(), 256);
+        let cache = ValueCache::with_config(ValueCacheConfig::for_threads(8));
+        assert_eq!(cache.shard_count(), 32);
+        assert!(cache.is_empty());
+    }
+
+    /// Filling one shard-slice past its cap advances the eviction counter
+    /// and keeps the live entry count bounded.
+    #[test]
+    fn eviction_counters_advance_past_budget() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        // One shard, tiny budget: per-map cap = max_entries / 2 = 4.
+        let cache = ValueCache::with_config(ValueCacheConfig {
+            shards: 1,
+            max_entries: 8,
+        });
+        let node = city_node(&kb);
+        for i in 0..64 {
+            let _ = cache.candidates(&ctx, &node, &format!("no-such-city-{i}"));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.node_misses, 64);
+        assert!(
+            stats.evictions >= 60,
+            "64 distinct keys through a 4-entry shard must evict: {stats:?}"
+        );
+        assert!(cache.len() <= 4, "live entries stay under the cap");
+    }
+
+    /// Clock's second chance protects a hot working set: with a repeated
+    /// small workload the hit rate never regresses as lookups accumulate.
+    #[test]
+    fn hit_rate_monotone_on_repeated_workload() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let cache = ValueCache::with_config(ValueCacheConfig {
+            shards: 1,
+            max_entries: 8, // per-map cap 4: fits the 2-value working set
+        });
+        let node = city_node(&kb);
+        let working_set = ["Haifa", "Karcag"];
+        let mut last_rate = 0.0;
+        for round in 0..32 {
+            for v in working_set {
+                let _ = cache.candidates(&ctx, &node, v);
+            }
+            let rate = cache.stats().hit_rate();
+            assert!(
+                rate >= last_rate,
+                "hit rate regressed in round {round}: {rate} < {last_rate}"
+            );
+            last_rate = rate;
+        }
+        // The steady state is all-hits after the two cold misses.
+        assert_eq!(cache.stats().node_misses, 2);
+        assert!(last_rate > 0.9);
+    }
+
+    /// A recently referenced entry survives an eviction sweep (second
+    /// chance), while an unreferenced one is the victim.
+    #[test]
+    fn referenced_entries_survive_sweeps() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let cache = ValueCache::with_config(ValueCacheConfig {
+            shards: 1,
+            max_entries: 4, // per-map cap 2
+        });
+        let node = city_node(&kb);
+        let _ = cache.candidates(&ctx, &node, "Haifa");
+        let _ = cache.candidates(&ctx, &node, "Karcag");
+        // Touch Haifa so its referenced bit is set, then overflow the shard.
+        let _ = cache.candidates(&ctx, &node, "Haifa");
+        let _ = cache.candidates(&ctx, &node, "Ithaca");
+        // Haifa still answers from cache; Karcag was the clock victim.
+        let before = cache.stats();
+        let _ = cache.candidates(&ctx, &node, "Haifa");
+        assert_eq!(cache.stats().node_hits, before.node_hits + 1);
     }
 }

@@ -1,10 +1,12 @@
-//! Quality ablations (see `dr_eval::ablation`): what typo normalization and
-//! detection-without-repair are worth.
+//! Quality ablations (see `dr_eval::ablation`): what typo normalization,
+//! detection-without-repair, and cross-relation cache persistence are worth.
 //!
 //! Usage: `cargo run -p dr-eval --bin exp_ablation --release [-- --quick]`
 
-use dr_eval::ablation::{detection_ablation, normalization_ablation, AblationConfig};
-use dr_eval::report::{f3, render_table};
+use dr_eval::ablation::{
+    cache_persistence_ablation, detection_ablation, normalization_ablation, AblationConfig,
+};
+use dr_eval::report::{cache_cell, f3, phases_cell, render_table, secs};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -62,6 +64,36 @@ fn main() {
                 "F-measure",
                 "#-POS",
                 "#-flagged"
+            ],
+            &rows,
+        )
+    );
+
+    let stream_len = 5;
+    let rows: Vec<Vec<String>> = cache_persistence_ablation(&cfg, stream_len)
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.clone(),
+                r.relations.to_string(),
+                secs(r.seconds),
+                cache_cell(&r.cache),
+                phases_cell(&r.timing),
+                r.changes.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "ABLATION: CACHE PERSISTENCE (Nobel stream, same schema)",
+            &[
+                "config",
+                "#-relations",
+                "time",
+                "cache h/m/e",
+                "phases pw+rep",
+                "#-changes"
             ],
             &rows,
         )

@@ -11,16 +11,28 @@ use dr_eval::exp2::SweepDataset;
 use dr_eval::exp3::{
     keyed_rule_sweep, uis_tuple_sweep, webtables_rule_sweep, Exp3Config, TimingPoint,
 };
-use dr_eval::report::{render_table, secs};
+use dr_eval::report::{cache_cell, phases_cell, render_table, secs};
 
 fn print_points(title: &str, x_label: &str, points: &[TimingPoint]) {
     let rows: Vec<Vec<String>> = points
         .iter()
-        .map(|p| vec![p.x.to_string(), p.method.clone(), secs(p.seconds)])
+        .map(|p| {
+            vec![
+                p.x.to_string(),
+                p.method.clone(),
+                secs(p.seconds),
+                cache_cell(&p.cache),
+                phases_cell(&p.timing),
+            ]
+        })
         .collect();
     println!(
         "{}",
-        render_table(title, &[x_label, "method", "time"], &rows)
+        render_table(
+            title,
+            &[x_label, "method", "time", "cache h/m/e", "phases pw+rep"],
+            &rows
+        )
     );
 }
 

@@ -5,7 +5,7 @@
 //! Usage: `cargo run -p dr-eval --bin exp_table3 --release [-- --quick]`
 
 use dr_eval::exp1::{table3, Exp1Config};
-use dr_eval::report::{f3, render_table, secs};
+use dr_eval::report::{cache_cell, f3, phases_cell, render_table, secs};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -37,6 +37,8 @@ fn main() {
                 f3(r.quality.f_measure),
                 r.pos.to_string(),
                 secs(r.seconds),
+                cache_cell(&r.cache),
+                phases_cell(&r.timing),
             ]
         })
         .collect();
@@ -52,7 +54,9 @@ fn main() {
                 "Recall",
                 "F-measure",
                 "#-POS",
-                "time"
+                "time",
+                "cache h/m/e",
+                "phases pw+rep"
             ],
             &table_rows,
         )

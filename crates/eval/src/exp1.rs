@@ -53,6 +53,10 @@ pub struct Exp1Row {
     pub pos: usize,
     /// Repair seconds (extra diagnostic).
     pub seconds: f64,
+    /// Value-cache counters (all-zero for KATARA, which has none).
+    pub cache: dr_core::CacheStats,
+    /// Per-phase repair timings (all-zero for KATARA).
+    pub timing: dr_core::PhaseTimings,
 }
 
 /// One row of Table II.
@@ -161,17 +165,24 @@ fn webtables_katara_patterns(
 }
 
 /// Runs Exp-1 on the WebTables corpus for one KB flavor. Quality counters
-/// are aggregated across the 37 tables.
+/// are aggregated across the 37 tables. The DR runs share one
+/// [`CacheRegistry`](dr_core::CacheRegistry), so same-schema tables
+/// warm-start from their predecessors' value caches.
 fn webtables_rows(cfg: &Exp1Config, flavor: KbFlavor, rows: &mut Vec<Exp1Row>) {
     let world = WebTablesWorld::generate(cfg.seed);
     let profile = KbProfile::of(flavor);
     let kb = world.kb(&profile);
-    let ctx = MatchContext::new(&kb);
+    let registry = std::sync::Arc::new(dr_core::CacheRegistry::new(
+        dr_core::RegistryConfig::default(),
+    ));
+    let ctx = MatchContext::with_registry(&kb, registry);
     let rules = world.rules(&kb);
     let katara_patterns = webtables_katara_patterns(&world, &kb);
 
     let mut dr_totals = (0usize, 0f64, 0usize, 0usize, 0f64); // repaired, correct, errors, pos, secs
     let mut ka_totals = (0usize, 0f64, 0usize, 0usize, 0f64);
+    let mut dr_cache = dr_core::CacheStats::default();
+    let mut dr_timing = dr_core::PhaseTimings::default();
     for table in &world.tables {
         let table_rules = WebTablesWorld::applicable_rules(&rules, table.dirty.schema().arity());
         let outcome = run_drs(&ctx, &table_rules, &table.clean, &table.dirty, DrAlgo::Fast);
@@ -180,6 +191,8 @@ fn webtables_rows(cfg: &Exp1Config, flavor: KbFlavor, rows: &mut Vec<Exp1Row>) {
         dr_totals.2 += outcome.quality.errors;
         dr_totals.3 += outcome.pos_marks;
         dr_totals.4 += outcome.seconds;
+        dr_cache += outcome.cache;
+        dr_timing += outcome.timing;
 
         if let Some(pattern) = &katara_patterns[table.domain] {
             let katara = Katara::new(&ctx, pattern);
@@ -206,6 +219,8 @@ fn webtables_rows(cfg: &Exp1Config, flavor: KbFlavor, rows: &mut Vec<Exp1Row>) {
         quality: quality_from_totals(dr_totals),
         pos: dr_totals.3,
         seconds: dr_totals.4,
+        cache: dr_cache,
+        timing: dr_timing,
     });
     rows.push(Exp1Row {
         dataset: "WebTables",
@@ -214,6 +229,8 @@ fn webtables_rows(cfg: &Exp1Config, flavor: KbFlavor, rows: &mut Vec<Exp1Row>) {
         quality: quality_from_totals(ka_totals),
         pos: ka_totals.3,
         seconds: ka_totals.4,
+        cache: dr_core::CacheStats::default(),
+        timing: dr_core::PhaseTimings::default(),
     });
 }
 
@@ -264,6 +281,8 @@ fn keyed_rows(
         quality: outcome.quality,
         pos: outcome.pos_marks,
         seconds: outcome.seconds,
+        cache: outcome.cache,
+        timing: outcome.timing,
     });
     let pattern = katara_pattern(rules);
     let outcome: RunOutcome = run_katara(&ctx, &pattern, clean, dirty);
@@ -274,6 +293,8 @@ fn keyed_rows(
         quality: outcome.quality,
         pos: outcome.pos_marks,
         seconds: outcome.seconds,
+        cache: outcome.cache,
+        timing: outcome.timing,
     });
 }
 

@@ -223,6 +223,16 @@ fn run_drs_masked(
     let report = match algo {
         DrAlgo::Basic => basic_repair(ctx, rules, &mut working, &opts),
         DrAlgo::Fast => FastRepairer::new(rules).repair_relation(ctx, &mut working, &opts),
+        DrAlgo::Parallel(threads) => dr_core::parallel_repair(
+            ctx,
+            rules,
+            &mut working,
+            &dr_core::ParallelOptions {
+                apply: opts.clone(),
+                threads,
+                ..Default::default()
+            },
+        ),
     };
     let extras = crate::metrics::RepairExtras::from_report(&report);
     crate::metrics::evaluate_masked(clean, dirty, &working, &extras, Some(mask))

@@ -59,6 +59,20 @@ pub fn secs(x: f64) -> String {
     }
 }
 
+/// Formats value-cache counters as `hits/misses/evictions`.
+pub fn cache_cell(c: &dr_core::CacheStats) -> String {
+    format!("{}/{}/{}", c.hits(), c.misses(), c.evictions)
+}
+
+/// Formats phase timings as `prewarm+repair`.
+pub fn phases_cell(t: &dr_core::PhaseTimings) -> String {
+    format!(
+        "{}+{}",
+        secs(t.prewarm.as_secs_f64()),
+        secs(t.repair.as_secs_f64())
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,7 +9,7 @@ use dr_baselines::Fd;
 use dr_core::graph::schema::{SchemaGraph, SchemaNode};
 use dr_core::repair::basic::basic_repair;
 use dr_core::repair::fast::FastRepairer;
-use dr_core::{ApplyOptions, DetectiveRule, MatchContext};
+use dr_core::{parallel_repair, ApplyOptions, DetectiveRule, MatchContext, ParallelOptions};
 use dr_relation::Relation;
 use dr_simmatch::SimFn;
 use std::time::Instant;
@@ -21,6 +21,9 @@ pub enum DrAlgo {
     Basic,
     /// Algorithm 2 (rule ordering + shared element cache).
     Fast,
+    /// Algorithm 2 fanned out over the work-stealing scheduler with the
+    /// given worker count (0 = one per core).
+    Parallel(usize),
 }
 
 impl DrAlgo {
@@ -29,6 +32,7 @@ impl DrAlgo {
         match self {
             DrAlgo::Basic => "bRepair",
             DrAlgo::Fast => "fRepair",
+            DrAlgo::Parallel(_) => "pRepair",
         }
     }
 }
@@ -43,11 +47,29 @@ pub struct RunOutcome {
     /// Cells marked positive (`#-POS`), where the system supports marking.
     pub pos_marks: usize,
     /// Relation-scoped value-cache counters (all-zero for systems that do
-    /// not share one — the baselines and the basic chase).
+    /// not share one — the baselines and the basic chase). When the context
+    /// carries a `CacheRegistry`, these are this run's deltas against the
+    /// persistent cache.
     pub cache: dr_core::CacheStats,
+    /// Per-phase wall-clock timings (zero where the system has no phases).
+    pub timing: dr_core::PhaseTimings,
 }
 
-/// Runs detective rules over a copy of `dirty` and scores the result.
+impl RunOutcome {
+    fn without_phases(quality: Quality, seconds: f64, pos_marks: usize) -> Self {
+        Self {
+            quality,
+            seconds,
+            pos_marks,
+            cache: dr_core::CacheStats::default(),
+            timing: dr_core::PhaseTimings::default(),
+        }
+    }
+}
+
+/// Runs detective rules over a copy of `dirty` and scores the result. A
+/// registry-carrying `ctx` (see [`MatchContext::with_registry`]) makes the
+/// `Fast`/`Parallel` algorithms warm-start from earlier same-schema runs.
 pub fn run_drs(
     ctx: &MatchContext<'_>,
     rules: &[DetectiveRule],
@@ -61,6 +83,16 @@ pub fn run_drs(
     let report = match algo {
         DrAlgo::Basic => basic_repair(ctx, rules, &mut working, &opts),
         DrAlgo::Fast => FastRepairer::new(rules).repair_relation(ctx, &mut working, &opts),
+        DrAlgo::Parallel(threads) => parallel_repair(
+            ctx,
+            rules,
+            &mut working,
+            &ParallelOptions {
+                apply: opts.clone(),
+                threads,
+                ..Default::default()
+            },
+        ),
     };
     let seconds = start.elapsed().as_secs_f64();
     let extras = RepairExtras::from_report(&report);
@@ -70,6 +102,7 @@ pub fn run_drs(
         seconds,
         pos_marks: working.positive_count(),
         cache: report.cache,
+        timing: report.timing,
     }
 }
 
@@ -112,12 +145,7 @@ pub fn run_katara(
     let report = katara.clean(&mut working);
     let seconds = start.elapsed().as_secs_f64();
     let quality = evaluate(clean, dirty, &working, &RepairExtras::default());
-    RunOutcome {
-        quality,
-        seconds,
-        pos_marks: report.marked_positive,
-        cache: dr_core::CacheStats::default(),
-    }
+    RunOutcome::without_phases(quality, seconds, report.marked_positive)
 }
 
 /// Runs the Llunatic-style FD repair over a copy of `dirty` and scores it.
@@ -128,12 +156,7 @@ pub fn run_llunatic(fds: &[Fd], clean: &Relation, dirty: &Relation) -> RunOutcom
     let seconds = start.elapsed().as_secs_f64();
     let extras = RepairExtras::from_llunatic(&changes);
     let quality = evaluate(clean, dirty, &working, &extras);
-    RunOutcome {
-        quality,
-        seconds,
-        pos_marks: 0,
-        cache: dr_core::CacheStats::default(),
-    }
+    RunOutcome::without_phases(quality, seconds, 0)
 }
 
 /// Runs mined constant CFDs over a copy of `dirty` and scores it.
@@ -143,12 +166,7 @@ pub fn run_ccfd(cfds: &ConstantCfdSet, clean: &Relation, dirty: &Relation) -> Ru
     cfds.apply(&mut working);
     let seconds = start.elapsed().as_secs_f64();
     let quality = evaluate(clean, dirty, &working, &RepairExtras::default());
-    RunOutcome {
-        quality,
-        seconds,
-        pos_marks: 0,
-        cache: dr_core::CacheStats::default(),
-    }
+    RunOutcome::without_phases(quality, seconds, 0)
 }
 
 /// The FDs used by the IC-based baselines per dataset (only dependencies
@@ -196,7 +214,7 @@ mod tests {
             &NoiseSpec::new(0.1, 2).with_excluded(vec![name]),
             &w.semantic_source(),
         );
-        for algo in [DrAlgo::Basic, DrAlgo::Fast] {
+        for algo in [DrAlgo::Basic, DrAlgo::Fast, DrAlgo::Parallel(4)] {
             let outcome = run_drs(&ctx, &rules, &clean, &dirty, algo);
             assert!(
                 outcome.quality.precision > 0.9,
@@ -210,10 +228,15 @@ mod tests {
             );
             assert!(outcome.pos_marks > 0);
             match algo {
-                // The fast repairer shares a relation-scoped value cache:
-                // repeated values across the 80 rows must produce hits.
-                DrAlgo::Fast => assert!(outcome.cache.hits() > 0, "{:?}", outcome.cache),
-                DrAlgo::Basic => assert_eq!(outcome.cache.hits(), 0),
+                // The fast/parallel repairers share a relation-scoped value
+                // cache: repeated values across the 80 rows must produce hits.
+                DrAlgo::Fast | DrAlgo::Parallel(_) => {
+                    assert!(outcome.cache.hits() > 0, "{:?}", outcome.cache);
+                }
+                DrAlgo::Basic => {
+                    assert_eq!(outcome.cache.hits(), 0);
+                    assert_eq!(outcome.timing, dr_core::PhaseTimings::default());
+                }
             }
         }
     }

@@ -16,6 +16,11 @@ use crate::ids::{ClassId, InstanceId, LiteralId, Node, PredId};
 use crate::symbol::{Symbol, SymbolTable};
 use crate::taxonomy::Taxonomy;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide counter behind [`KnowledgeBase::generation`]. Starts at 1 so
+/// generation 0 can act as a "no KB" sentinel in cache keys.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
 
 /// Errors raised while finalizing a KB.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -243,6 +248,7 @@ impl KbBuilder {
             direct_instances: direct,
             closed_instances: closed,
             edge_count,
+            generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
         })
     }
 }
@@ -265,9 +271,18 @@ pub struct KnowledgeBase {
     direct_instances: Vec<Vec<InstanceId>>,
     closed_instances: Vec<Vec<InstanceId>>,
     edge_count: usize,
+    generation: u64,
 }
 
 impl KnowledgeBase {
+    /// A process-unique id assigned at [`KbBuilder::finalize`]. Two
+    /// `KnowledgeBase` values never share a generation, so derived state
+    /// (e.g. cached KB lookups keyed by generation) can never be served
+    /// against a different — or rebuilt — KB.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     // ----- name lookups ------------------------------------------------
 
     /// Resolves a class by name.
@@ -602,5 +617,13 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, kb.num_edges());
+    }
+
+    #[test]
+    fn generations_are_unique_even_for_identical_content() {
+        let a = figure1_kb();
+        let b = figure1_kb();
+        assert_ne!(a.generation(), b.generation());
+        assert_ne!(a.generation(), 0, "generation 0 is the `no KB` sentinel");
     }
 }

@@ -97,6 +97,18 @@ impl Schema {
     pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> {
         (0..self.attributes.len()).map(AttrId::from_index)
     }
+
+    /// A stable 64-bit fingerprint of the schema shape: the relation name
+    /// plus the ordered attribute names. Two `Schema` values compare equal
+    /// iff they fingerprint equal (modulo hash collisions), so the
+    /// fingerprint can key caches shared across relations of one schema.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = dr_kb::hash::FxHasher::default();
+        self.name.hash(&mut h);
+        self.attributes.hash(&mut h);
+        h.finish()
+    }
 }
 
 impl PartialEq for Schema {
@@ -141,5 +153,19 @@ mod tests {
         assert_eq!(*a, *b);
         let c = Schema::new("R2", &["X"]);
         assert_ne!(*a, *c);
+    }
+
+    #[test]
+    fn fingerprint_tracks_equality() {
+        let a = Schema::new("R", &["X", "Y"]);
+        let b = Schema::new("R", &["X", "Y"]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Different name, attribute set, or attribute *order* all differ.
+        assert_ne!(
+            a.fingerprint(),
+            Schema::new("R2", &["X", "Y"]).fingerprint()
+        );
+        assert_ne!(a.fingerprint(), Schema::new("R", &["X"]).fingerprint());
+        assert_ne!(a.fingerprint(), Schema::new("R", &["Y", "X"]).fingerprint());
     }
 }

@@ -142,6 +142,100 @@ proptest! {
         }
     }
 
+    /// A `CacheRegistry` shared across a stream of same-schema relations is
+    /// invisible to repair outcomes: registry-backed repair — sequential and
+    /// parallel at 1, 2, 4, and 8 workers — is bit-identical to registry-free
+    /// sequential repair on every relation of the stream, even though every
+    /// run after the first warm-starts from its predecessors' value cache.
+    #[test]
+    fn registry_backed_repair_is_bit_identical_to_registry_free(
+        seed in 0u64..500,
+        n in 10usize..30,
+        rate in 0.0f64..0.25,
+        stream_len in 3usize..6,
+        yago in any::<bool>(),
+    ) {
+        let world = UisWorld::generate(n, seed);
+        let clean = world.clean_relation();
+        let name = clean.schema().attr_expect("Name");
+        let stream: Vec<dr_relation::Relation> = (0..stream_len as u64)
+            .map(|i| {
+                inject(
+                    &clean,
+                    &NoiseSpec::new(rate, seed ^ (i + 1)).with_excluded(vec![name]),
+                    &world.semantic_source(),
+                )
+                .0
+            })
+            .collect();
+        let flavor = if yago { KbFlavor::YagoLike } else { KbFlavor::DbpediaLike };
+        let kb = world.kb(&KbProfile::of(flavor));
+        let rules = UisWorld::rules(&kb);
+
+        let plain_ctx = MatchContext::new(&kb);
+        let registry = std::sync::Arc::new(dr_core::CacheRegistry::new(
+            dr_core::RegistryConfig::default(),
+        ));
+        let reg_ctx = MatchContext::with_registry(&kb, registry.clone());
+
+        for dirty in &stream {
+            let mut baseline = dirty.clone();
+            let base_report = FastRepairer::new(&rules)
+                .repair_relation(&plain_ctx, &mut baseline, &ApplyOptions::default());
+
+            let mut warm = dirty.clone();
+            let warm_report = FastRepairer::new(&rules)
+                .repair_relation(&reg_ctx, &mut warm, &ApplyOptions::default());
+            for cell in baseline.cell_refs() {
+                prop_assert_eq!(
+                    baseline.value(cell),
+                    warm.value(cell),
+                    "registry-backed sequential diverged at {:?}",
+                    cell
+                );
+                prop_assert_eq!(
+                    baseline.tuple(cell.row).is_positive(cell.attr),
+                    warm.tuple(cell.row).is_positive(cell.attr),
+                    "registry-backed sequential: marks diverged at {:?}",
+                    cell
+                );
+            }
+            prop_assert_eq!(&base_report.tuples, &warm_report.tuples);
+
+            for threads in [1usize, 2, 4, 8] {
+                let mut parallel = dirty.clone();
+                let par_report = parallel_repair(
+                    &reg_ctx,
+                    &rules,
+                    &mut parallel,
+                    &ParallelOptions { threads, ..Default::default() },
+                );
+                for cell in baseline.cell_refs() {
+                    prop_assert_eq!(
+                        baseline.value(cell),
+                        parallel.value(cell),
+                        "registry-backed {} threads diverged at {:?}",
+                        threads,
+                        cell
+                    );
+                    prop_assert_eq!(
+                        baseline.tuple(cell.row).is_positive(cell.attr),
+                        parallel.tuple(cell.row).is_positive(cell.attr),
+                        "registry-backed {} threads: marks diverged at {:?}",
+                        threads,
+                        cell
+                    );
+                }
+                prop_assert_eq!(&base_report.tuples, &par_report.tuples);
+            }
+        }
+        // The stream really exercised warm-starts: every repair after the
+        // first asked the registry for the same (KB, schema) cache.
+        let stats = registry.stats();
+        prop_assert_eq!(stats.cold_misses, 1);
+        prop_assert!(stats.warm_hits >= stream.len() as u64 * 5 - 1);
+    }
+
     /// Zero noise ⇒ zero rewrites, for every KB flavor (pure marking).
     #[test]
     fn clean_input_is_never_rewritten(seed in 0u64..500, yago in any::<bool>()) {
