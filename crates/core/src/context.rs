@@ -6,6 +6,7 @@
 //! threads — the "efficient instance matching" machinery of §IV-B(2).
 
 use crate::graph::schema::NodeType;
+use crate::repair::budget::RepairBudget;
 use crate::repair::registry::CacheRegistry;
 use crate::repair::value_cache::ValueCache;
 use dr_kb::{FxHashMap, InstanceId, KnowledgeBase, LiteralId, Node};
@@ -21,6 +22,7 @@ pub struct MatchContext<'kb> {
     kb: &'kb KnowledgeBase,
     indexes: Mutex<FxHashMap<(NodeType, SimFn), Arc<MatchIndex>>>,
     registry: Option<Arc<CacheRegistry>>,
+    budget: RepairBudget,
 }
 
 impl<'kb> MatchContext<'kb> {
@@ -30,6 +32,7 @@ impl<'kb> MatchContext<'kb> {
             kb,
             indexes: Mutex::new(FxHashMap::default()),
             registry: None,
+            budget: RepairBudget::default(),
         }
     }
 
@@ -41,7 +44,22 @@ impl<'kb> MatchContext<'kb> {
             kb,
             indexes: Mutex::new(FxHashMap::default()),
             registry: Some(registry),
+            budget: RepairBudget::default(),
         }
+    }
+
+    /// Sets the per-tuple [`RepairBudget`] every repairer running through
+    /// this context starts its tuples with (builder style). The default is
+    /// unbounded.
+    pub fn with_budget(mut self, budget: RepairBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The per-tuple repair budget (unbounded unless configured via
+    /// [`Self::with_budget`]).
+    pub fn budget(&self) -> &RepairBudget {
+        &self.budget
     }
 
     /// The attached registry, if any.

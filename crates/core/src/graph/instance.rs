@@ -11,6 +11,7 @@
 
 use crate::context::MatchContext;
 use crate::graph::schema::NodeType;
+use crate::repair::budget::BudgetMeter;
 use dr_kb::{Node, PredId};
 use dr_simmatch::SimFn;
 use std::sync::Arc;
@@ -118,8 +119,9 @@ pub type Assignment = Vec<Node>;
 ///
 /// Returns the first complete assignment, or `None`.
 pub fn find_assignment(ctx: &MatchContext<'_>, pattern: &Pattern) -> Option<Assignment> {
+    let meter = BudgetMeter::unbounded();
     let mut result = None;
-    solve(ctx, pattern, &mut |assignment| {
+    solve(ctx, pattern, &meter, &mut |assignment| {
         result = Some(assignment.to_vec());
         Control::Stop
     });
@@ -131,11 +133,28 @@ pub fn has_assignment(ctx: &MatchContext<'_>, pattern: &Pattern) -> bool {
     find_assignment(ctx, pattern).is_some()
 }
 
+/// [`has_assignment`] charging candidate expansions to `meter`; when the
+/// meter exhausts mid-search the result is `false` and the caller must
+/// consult [`BudgetMeter::exhaustion`] to tell "no match" from "ran out".
+pub fn has_assignment_metered(
+    ctx: &MatchContext<'_>,
+    pattern: &Pattern,
+    meter: &BudgetMeter,
+) -> bool {
+    let mut found = false;
+    solve(ctx, pattern, meter, &mut |_| {
+        found = true;
+        Control::Stop
+    });
+    found
+}
+
 /// Collects the distinct KB nodes that pattern node `target` takes across
 /// **all** assignments (used to enumerate repair candidates; sorted).
 pub fn collect_bindings(ctx: &MatchContext<'_>, pattern: &Pattern, target: usize) -> Vec<Node> {
+    let meter = BudgetMeter::unbounded();
     let mut out: Vec<Node> = Vec::new();
-    solve(ctx, pattern, &mut |assignment| {
+    solve(ctx, pattern, &meter, &mut |assignment| {
         out.push(assignment[target]);
         Control::Continue
     });
@@ -149,9 +168,23 @@ pub fn collect_bindings(ctx: &MatchContext<'_>, pattern: &Pattern, target: usize
 pub fn for_each_assignment(
     ctx: &MatchContext<'_>,
     pattern: &Pattern,
+    f: impl FnMut(&Assignment) -> bool,
+) {
+    for_each_assignment_metered(ctx, pattern, &BudgetMeter::unbounded(), f);
+}
+
+/// [`for_each_assignment`] charging candidate expansions to `meter`: every
+/// node the backtracking solver considers binding costs one step. When the
+/// meter exhausts, the search stops as if the visitor had asked to — the
+/// caller must treat the enumeration as incomplete (check
+/// [`BudgetMeter::exhaustion`]) and abort before acting on partial results.
+pub fn for_each_assignment_metered(
+    ctx: &MatchContext<'_>,
+    pattern: &Pattern,
+    meter: &BudgetMeter,
     mut f: impl FnMut(&Assignment) -> bool,
 ) {
-    solve(ctx, pattern, &mut |assignment| {
+    solve(ctx, pattern, meter, &mut |assignment| {
         if f(assignment) {
             Control::Continue
         } else {
@@ -166,9 +199,14 @@ enum Control {
     Stop,
 }
 
-fn solve(ctx: &MatchContext<'_>, pattern: &Pattern, visit: &mut dyn FnMut(&Assignment) -> Control) {
+fn solve(
+    ctx: &MatchContext<'_>,
+    pattern: &Pattern,
+    meter: &BudgetMeter,
+    visit: &mut dyn FnMut(&Assignment) -> Control,
+) {
     let n = pattern.nodes.len();
-    if n == 0 {
+    if n == 0 || meter.is_exhausted() {
         return;
     }
     let base: Vec<Option<Arc<Vec<Node>>>> =
@@ -182,7 +220,16 @@ fn solve(ctx: &MatchContext<'_>, pattern: &Pattern, visit: &mut dyn FnMut(&Assig
     }
     let order = pattern.order(&base);
     let mut assignment: Vec<Option<Node>> = vec![None; n];
-    recurse(ctx, pattern, &base, &order, 0, &mut assignment, visit);
+    recurse(
+        ctx,
+        pattern,
+        &base,
+        &order,
+        0,
+        &mut assignment,
+        meter,
+        visit,
+    );
 }
 
 /// Candidates for `node` given the current partial assignment.
@@ -254,6 +301,7 @@ fn candidates_for(
         .collect()
 }
 
+#[allow(clippy::too_many_arguments)] // internal recursion frame, not an API
 fn recurse(
     ctx: &MatchContext<'_>,
     pattern: &Pattern,
@@ -261,6 +309,7 @@ fn recurse(
     order: &[usize],
     pos: usize,
     assignment: &mut Vec<Option<Node>>,
+    meter: &BudgetMeter,
     visit: &mut dyn FnMut(&Assignment) -> Control,
 ) -> Control {
     if pos == order.len() {
@@ -271,9 +320,18 @@ fn recurse(
         return visit(&complete);
     }
     let node = order[pos];
-    for candidate in candidates_for(ctx, pattern, base, assignment, node) {
+    let candidates = candidates_for(ctx, pattern, base, assignment, node);
+    // Budget: every candidate the solver considers binding is one step (+1
+    // so zero-candidate dead ends still cost something). The count depends
+    // only on the KB, the pattern, and the tuple values — not on cache
+    // warmth or thread schedule — so exhaustion is deterministic.
+    if !meter.charge(candidates.len() as u64 + 1) {
+        return Control::Stop;
+    }
+    for candidate in candidates {
         assignment[node] = Some(candidate);
-        if let Control::Stop = recurse(ctx, pattern, base, order, pos + 1, assignment, visit) {
+        if let Control::Stop = recurse(ctx, pattern, base, order, pos + 1, assignment, meter, visit)
+        {
             assignment[node] = None;
             return Control::Stop;
         }

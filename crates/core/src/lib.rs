@@ -34,11 +34,15 @@ pub use repair::basic::PhaseTimings;
 pub use repair::basic::{
     basic_repair, basic_repair_tuple, RelationReport, RepairStep, TupleReport,
 };
+pub use repair::budget::{BudgetExhaustion, BudgetMeter, ExhaustCause, RepairBudget};
 pub use repair::cache::ElementCache;
 pub use repair::fast::{fast_repair, FastRepairer};
+#[cfg(feature = "fault-injection")]
+pub use repair::fault::{Fault, FaultPlan, FaultSpec};
 pub use repair::multi::{multi_repair_tuple, MultiOptions};
 pub use repair::parallel::{parallel_repair, ParallelOptions};
 pub use repair::registry::{CacheKey, CacheRegistry, RegistryConfig, RegistryStats};
+pub use repair::resilience::{BudgetHistogram, ResilienceReport, TupleOutcome};
 pub use repair::rule_graph::RuleGraph;
 pub use repair::value_cache::{CacheStats, ValueCache, ValueCacheConfig};
 pub use rule::apply::{

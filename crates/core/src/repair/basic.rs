@@ -9,7 +9,8 @@
 
 use crate::context::MatchContext;
 use crate::repair::cache::ElementCache;
-use crate::rule::apply::{apply_rule_cached, ApplyOptions, RuleApplication};
+use crate::repair::resilience::{ResilienceReport, TupleOutcome};
+use crate::rule::apply::{apply_rule_metered, ApplyOptions, RuleApplication};
 use crate::rule::DetectiveRule;
 use dr_relation::{AttrId, Relation, Tuple};
 
@@ -29,6 +30,9 @@ pub struct RepairStep {
 pub struct TupleReport {
     /// Applied rules, in application order.
     pub steps: Vec<RepairStep>,
+    /// How the repair ended ([`TupleOutcome::Completed`] unless the
+    /// tuple's budget ran out or its worker panicked — DESIGN.md §4c).
+    pub outcome: TupleOutcome,
 }
 
 impl TupleReport {
@@ -103,6 +107,9 @@ pub struct RelationReport {
     pub cache: crate::repair::value_cache::CacheStats,
     /// Per-phase wall-clock timings; zero for the basic chase.
     pub timing: PhaseTimings,
+    /// Degraded/failed/quarantined counters plus the budget-exhaustion
+    /// histogram; all-zero on a healthy run (DESIGN.md §4c).
+    pub resilience: ResilienceReport,
 }
 
 impl RelationReport {
@@ -114,6 +121,15 @@ impl RelationReport {
     /// Total value rewrites across all tuples.
     pub fn total_changes(&self) -> usize {
         self.tuples.iter().map(TupleReport::changes).sum()
+    }
+
+    /// Recomputes [`Self::resilience`] from the per-tuple outcomes (loader
+    /// quarantine counts are preserved — they are not derivable from the
+    /// tuples).
+    pub fn tally_resilience(&mut self) {
+        let quarantined = self.resilience.quarantined;
+        self.resilience = ResilienceReport::tally(&self.tuples);
+        self.resilience.quarantined = quarantined;
     }
 }
 
@@ -129,6 +145,7 @@ pub fn basic_repair_tuple(
     tuple: &mut Tuple,
     opts: &ApplyOptions,
 ) -> TupleReport {
+    let meter = ctx.budget().meter();
     let mut remaining: Vec<usize> = (0..rules.len()).collect();
     let mut report = TupleReport::default();
     loop {
@@ -137,15 +154,23 @@ pub fn basic_repair_tuple(
         // element matches (a fresh cache per check).
         for (pos, &ri) in remaining.iter().enumerate() {
             let mut cache = ElementCache::new();
-            let application = apply_rule_cached(ctx, &rules[ri], tuple, opts, &mut cache);
-            if application.applied() {
-                report.steps.push(RepairStep {
-                    rule_index: ri,
-                    rule_name: rules[ri].name().to_owned(),
-                    application,
-                });
-                fired = Some(pos);
-                break;
+            match apply_rule_metered(ctx, &rules[ri], tuple, opts, &mut cache, &meter) {
+                Ok(application) if application.applied() => {
+                    report.steps.push(RepairStep {
+                        rule_index: ri,
+                        rule_name: rules[ri].name().to_owned(),
+                        application,
+                    });
+                    fired = Some(pos);
+                    break;
+                }
+                Ok(_) => {}
+                Err(reason) => {
+                    // Budget exhausted: keep the completed applications,
+                    // skip the remaining rules, degrade the tuple.
+                    report.outcome = TupleOutcome::Degraded { reason };
+                    return report;
+                }
             }
         }
         match fired {
@@ -172,6 +197,7 @@ pub fn basic_repair(
             .tuples
             .push(basic_repair_tuple(ctx, rules, tuple, opts));
     }
+    report.tally_resilience();
     report
 }
 

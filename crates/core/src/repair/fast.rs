@@ -17,10 +17,12 @@
 
 use crate::context::MatchContext;
 use crate::repair::basic::{PhaseTimings, RelationReport, RepairStep, TupleReport};
+use crate::repair::budget::BudgetMeter;
 use crate::repair::cache::ElementCache;
+use crate::repair::resilience::TupleOutcome;
 use crate::repair::rule_graph::RuleGraph;
 use crate::repair::value_cache::ValueCache;
-use crate::rule::apply::{apply_rule_cached, ApplyOptions, RuleApplication};
+use crate::rule::apply::{apply_rule_metered, ApplyOptions, RuleApplication};
 use crate::rule::DetectiveRule;
 use dr_relation::{Relation, Tuple};
 use std::time::Instant;
@@ -54,7 +56,8 @@ impl<'r> FastRepairer<'r> {
         tuple: &mut Tuple,
         opts: &ApplyOptions,
     ) -> TupleReport {
-        self.repair_tuple_with(ctx, tuple, opts, &mut ElementCache::new())
+        let meter = ctx.budget().meter();
+        self.repair_tuple_with(ctx, tuple, opts, &mut ElementCache::new(), &meter)
     }
 
     /// [`Self::repair_tuple`] with the per-tuple overlay backed by a
@@ -68,7 +71,28 @@ impl<'r> FastRepairer<'r> {
         opts: &ApplyOptions,
         shared: &ValueCache,
     ) -> TupleReport {
-        self.repair_tuple_with(ctx, tuple, opts, &mut ElementCache::with_shared(shared))
+        let meter = ctx.budget().meter();
+        self.repair_tuple_shared_metered(ctx, tuple, opts, shared, &meter)
+    }
+
+    /// [`Self::repair_tuple_shared`] spending a caller-owned
+    /// [`BudgetMeter`] — the entry point for callers that need to observe
+    /// or pre-trip the meter (the parallel scheduler, fault injection).
+    pub fn repair_tuple_shared_metered(
+        &self,
+        ctx: &MatchContext<'_>,
+        tuple: &mut Tuple,
+        opts: &ApplyOptions,
+        shared: &ValueCache,
+        meter: &BudgetMeter,
+    ) -> TupleReport {
+        self.repair_tuple_with(
+            ctx,
+            tuple,
+            opts,
+            &mut ElementCache::with_shared(shared),
+            meter,
+        )
     }
 
     fn repair_tuple_with(
@@ -77,11 +101,17 @@ impl<'r> FastRepairer<'r> {
         tuple: &mut Tuple,
         opts: &ApplyOptions,
         cache: &mut ElementCache<'_>,
+        meter: &BudgetMeter,
     ) -> TupleReport {
         let mut report = TupleReport::default();
         for group in &self.order {
             if group.len() == 1 {
-                self.try_rule(ctx, group[0], tuple, opts, cache, &mut report);
+                if self
+                    .try_rule(ctx, group[0], tuple, opts, cache, meter, &mut report)
+                    .is_err()
+                {
+                    return report;
+                }
             } else {
                 // A dependency cycle: re-scan the group until no member
                 // fires. Each rule still applies at most once.
@@ -89,9 +119,13 @@ impl<'r> FastRepairer<'r> {
                 loop {
                     let mut fired = None;
                     for (pos, &ri) in remaining.iter().enumerate() {
-                        if self.try_rule(ctx, ri, tuple, opts, cache, &mut report) {
-                            fired = Some(pos);
-                            break;
+                        match self.try_rule(ctx, ri, tuple, opts, cache, meter, &mut report) {
+                            Ok(true) => {
+                                fired = Some(pos);
+                                break;
+                            }
+                            Ok(false) => {}
+                            Err(()) => return report,
                         }
                     }
                     match fired {
@@ -107,7 +141,10 @@ impl<'r> FastRepairer<'r> {
     }
 
     /// Applies rule `ri` if applicable; maintains cache invalidation.
-    /// Returns whether the rule fired.
+    /// `Ok(fired)` normally; `Err(())` when the budget ran out — the
+    /// degraded outcome is already recorded on `report` and the caller
+    /// must stop this tuple.
+    #[allow(clippy::too_many_arguments)] // internal helper threading the meter
     fn try_rule(
         &self,
         ctx: &MatchContext<'_>,
@@ -115,11 +152,19 @@ impl<'r> FastRepairer<'r> {
         tuple: &mut Tuple,
         opts: &ApplyOptions,
         cache: &mut ElementCache<'_>,
+        meter: &BudgetMeter,
         report: &mut TupleReport,
-    ) -> bool {
-        let application = apply_rule_cached(ctx, &self.rules[ri], tuple, opts, cache);
+    ) -> Result<bool, ()> {
+        let application = match apply_rule_metered(ctx, &self.rules[ri], tuple, opts, cache, meter)
+        {
+            Ok(application) => application,
+            Err(reason) => {
+                report.outcome = TupleOutcome::Degraded { reason };
+                return Err(());
+            }
+        };
         if !application.applied() {
-            return false;
+            return Ok(false);
         }
         // Invalidate cache entries for every column whose value changed.
         match &application {
@@ -144,7 +189,7 @@ impl<'r> FastRepairer<'r> {
             rule_name: self.rules[ri].name().to_owned(),
             application,
         });
-        true
+        Ok(true)
     }
 
     /// Repairs every tuple of `relation`, sharing a relation-scoped
@@ -194,6 +239,7 @@ impl<'r> FastRepairer<'r> {
             prewarm,
             repair: repair_start.elapsed(),
         };
+        report.tally_resilience();
         report
     }
 }
@@ -213,6 +259,7 @@ mod tests {
     use super::*;
     use crate::fixtures::{figure4_rules, nobel_schema, table1_clean, table1_dirty};
     use crate::repair::basic::basic_repair;
+    use crate::rule::apply::apply_rule_cached;
     use dr_kb::fixtures::nobel_mini_kb;
     use dr_relation::GroundTruth;
 

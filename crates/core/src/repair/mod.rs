@@ -3,10 +3,14 @@
 //! multi-version repairs (§IV).
 
 pub mod basic;
+pub mod budget;
 pub mod cache;
 pub mod fast;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod multi;
 pub mod parallel;
 pub mod registry;
+pub mod resilience;
 pub mod rule_graph;
 pub mod value_cache;

@@ -18,10 +18,12 @@
 use crate::context::MatchContext;
 use crate::repair::basic::{PhaseTimings, RelationReport, TupleReport};
 use crate::repair::fast::FastRepairer;
+use crate::repair::resilience::TupleOutcome;
 use crate::rule::apply::ApplyOptions;
 use crate::rule::DetectiveRule;
 use dr_relation::{Relation, Tuple};
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -40,6 +42,13 @@ pub struct ParallelOptions {
     /// Rows per claim when `batch_claim` is set (`0` = auto-tune from the
     /// relation width: narrow relations take bigger batches).
     pub batch_size: usize,
+    /// Deterministic per-row faults to inject (tests/chaos harnesses only;
+    /// see [`FaultPlan`](crate::repair::fault::FaultPlan)). `None` injects
+    /// nothing. With a plan set, the scheduler path runs even for one
+    /// thread or tiny relations, so injection behaves identically at every
+    /// thread count.
+    #[cfg(feature = "fault-injection")]
+    pub fault_plan: Option<std::sync::Arc<crate::repair::fault::FaultPlan>>,
 }
 
 impl ParallelOptions {
@@ -76,7 +85,16 @@ pub fn parallel_repair(
         opts.threads
     };
     let repairer = FastRepairer::new(rules);
-    if threads <= 1 || relation.len() < 2 {
+    #[allow(unused_mut)] // mut only with fault-injection
+    let mut sequential = threads <= 1 || relation.len() < 2;
+    #[cfg(feature = "fault-injection")]
+    {
+        // A fault plan must be honored even where the sequential fallback
+        // would apply, so faulted runs behave identically at every thread
+        // count (the recovery proptests sweep threads = 1, 2, 4, 8).
+        sequential = sequential && opts.fault_plan.is_none();
+    }
+    if sequential {
         return repairer.repair_relation(ctx, relation, &opts.apply);
     }
 
@@ -104,26 +122,92 @@ pub fn parallel_repair(
                 if start >= rows.len() {
                     break;
                 }
+                // `row` indexes two slices at once (`slots` and `rows`), so
+                // a range loop is clearer than a zipped iterator chain.
+                #[allow(clippy::needless_range_loop)]
                 for row in start..(start + batch).min(rows.len()) {
-                    let mut tuple = rows[row].lock();
-                    let report =
-                        repairer.repair_tuple_shared(ctx, &mut tuple, &opts.apply, &shared);
-                    *slots[row].lock() = Some(report);
+                    *slots[row].lock() =
+                        Some(repair_row(&repairer, ctx, opts, &shared, &rows, row));
                 }
             });
         }
     });
 
-    RelationReport {
+    let mut report = RelationReport {
         tuples: slots
             .into_iter()
-            .map(|slot| slot.into_inner().expect("every row claimed and repaired"))
+            .enumerate()
+            .map(|(row, slot)| {
+                // Every claimed row writes its slot (even a panicked one —
+                // `repair_row` converts the panic to a `Failed` report), so
+                // an empty slot can only mean a scheduler hole. Surface it
+                // as a failed row instead of panicking the whole stitch.
+                slot.into_inner().unwrap_or_else(|| TupleReport {
+                    outcome: TupleOutcome::Failed {
+                        message: format!("row {row} was never claimed by a worker"),
+                    },
+                    ..TupleReport::default()
+                })
+            })
             .collect(),
         cache: shared.stats().delta_since(&before),
         timing: PhaseTimings {
             prewarm,
             repair: repair_start.elapsed(),
         },
+        ..RelationReport::default()
+    };
+    report.tally_resilience();
+    report
+}
+
+/// Repairs one claimed row with panic isolation: a panic anywhere in the
+/// row's repair (injected or genuine) is caught at this boundary and
+/// converted into a [`TupleOutcome::Failed`] report carrying the payload
+/// message, so the other rows — and the shared caches, whose locks recover
+/// from poisoning (see `vendor/parking_lot`) — continue unharmed.
+fn repair_row(
+    repairer: &FastRepairer<'_>,
+    ctx: &MatchContext<'_>,
+    opts: &ParallelOptions,
+    shared: &crate::repair::value_cache::ValueCache,
+    rows: &[Mutex<&mut Tuple>],
+    row: usize,
+) -> TupleReport {
+    // The closure captures `&mut Tuple` behind the row mutex, which is not
+    // `UnwindSafe` by type; it is unwind-safe by construction: a fault is
+    // injected *before* the tuple is touched, and a genuine mid-repair
+    // panic leaves at worst a tuple whose completed rule applications stand
+    // (each application mutates only after its enumeration finished) — and
+    // the row is reported `Failed`, so consumers know not to trust it.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let meter = ctx.budget().meter();
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = &opts.fault_plan {
+            plan.trigger(row, &meter);
+        }
+        let mut tuple = rows[row].lock();
+        repairer.repair_tuple_shared_metered(ctx, &mut tuple, &opts.apply, shared, &meter)
+    }));
+    match result {
+        Ok(report) => report,
+        Err(payload) => TupleReport {
+            outcome: TupleOutcome::Failed {
+                message: panic_message(payload.as_ref()),
+            },
+            ..TupleReport::default()
+        },
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 

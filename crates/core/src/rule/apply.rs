@@ -23,8 +23,9 @@
 //! [`ApplyOptions::normalize_fuzzy`] for ablations.
 
 use crate::context::MatchContext;
-use crate::graph::instance::{for_each_assignment, Pattern, PatternNode};
+use crate::graph::instance::{for_each_assignment_metered, Pattern, PatternNode};
 use crate::graph::schema::SchemaNode;
+use crate::repair::budget::{BudgetExhaustion, BudgetMeter};
 use crate::repair::cache::ElementCache;
 use crate::rule::{DetectiveRule, RuleNodeRef};
 use dr_kb::{FxHashSet, Node};
@@ -344,12 +345,34 @@ pub fn apply_rule_cached(
     opts: &ApplyOptions,
     cache: &mut ElementCache<'_>,
 ) -> RuleApplication {
+    // An unbounded meter never exhausts, so the Err arm is unreachable.
+    apply_rule_metered(ctx, rule, tuple, opts, cache, &BudgetMeter::unbounded())
+        .unwrap_or(RuleApplication::NotApplicable)
+}
+
+/// [`apply_rule_cached`] charging the instance-graph searches to `meter`
+/// (the budget pillar of the resilience layer, DESIGN.md §4c).
+///
+/// On exhaustion the application aborts **before mutating the tuple**: a
+/// rule either fully applies (marks, normalizations, repair all written) or
+/// reports `Err` having written nothing — so a degraded tuple is always a
+/// prefix of the fault-free chase, never a torn rule application. Earlier
+/// rules' completed applications stand.
+pub fn apply_rule_metered(
+    ctx: &MatchContext<'_>,
+    rule: &DetectiveRule,
+    tuple: &mut Tuple,
+    opts: &ApplyOptions,
+    cache: &mut ElementCache<'_>,
+    meter: &BudgetMeter,
+) -> Result<RuleApplication, BudgetExhaustion> {
     let kb = ctx.kb();
+    meter.check()?;
     let k = rule.evidence().len();
     let marked_cols = rule.marked_cols();
     let would_mark_new = marked_cols.iter().any(|&c| !tuple.is_positive(c));
     if !would_mark_new {
-        return RuleApplication::NotApplicable;
+        return Ok(RuleApplication::NotApplicable);
     }
 
     // ---- Shared evidence prefilter ----------------------------------------
@@ -357,12 +380,12 @@ pub fn apply_rule_cached(
     // match individually; these checks are memoized across rules.
     for ev in rule.evidence() {
         if !cache.node_ok(ctx, tuple, ev) {
-            return RuleApplication::NotApplicable;
+            return Ok(RuleApplication::NotApplicable);
         }
     }
     for e in rule.evidence_edges() {
         if !prefilter_edge(ctx, cache, rule, tuple, e) {
-            return RuleApplication::NotApplicable;
+            return Ok(RuleApplication::NotApplicable);
         }
     }
 
@@ -377,12 +400,15 @@ pub fn apply_rule_cached(
         let mut obs = LabelObservations::new(pattern.nodes.len());
         let mut found = false;
         let mut visits = 0usize;
-        for_each_assignment(ctx, &pattern, |assignment| {
+        for_each_assignment_metered(ctx, &pattern, meter, |assignment| {
             found = true;
             obs.record(kb, assignment);
             visits += 1;
             visits < opts.max_assignments
         });
+        // Abort before mutating: an exhausted enumeration may have missed
+        // assignments, so normalization/marks would be unreliable.
+        meter.check()?;
         if found {
             let mut to_normalize: Vec<(usize, SchemaNode)> = rule
                 .evidence()
@@ -403,29 +429,29 @@ pub fn apply_rule_cached(
                     newly_marked.push(c);
                 }
             }
-            return RuleApplication::ProofPositive {
+            return Ok(RuleApplication::ProofPositive {
                 newly_marked,
                 normalized,
-            };
+            });
         }
     }
 
     // ---- Proof negative + correction --------------------------------------
     let repair_col = rule.repair_col();
     if tuple.is_positive(repair_col) {
-        return RuleApplication::NotApplicable;
+        return Ok(RuleApplication::NotApplicable);
     }
     // Prefilter the negative node and the negative edges that do not touch
     // the (value-unconstrained) positive node.
     if !cache.node_ok(ctx, tuple, rule.negative()) {
-        return RuleApplication::NotApplicable;
+        return Ok(RuleApplication::NotApplicable);
     }
     let negative_edges: Vec<_> = rule.negative_edges().cloned().collect();
     let negative_prefilter_ok = negative_edges
         .iter()
         .all(|e| prefilter_edge(ctx, cache, rule, tuple, e));
     if !negative_prefilter_ok {
-        return RuleApplication::NotApplicable;
+        return Ok(RuleApplication::NotApplicable);
     }
     let pattern = negative_pattern(ctx, cache, rule, tuple);
     let n_idx = k;
@@ -433,7 +459,7 @@ pub fn apply_rule_cached(
     let mut obs = LabelObservations::new(pattern.nodes.len());
     let mut candidates: FxHashSet<String> = FxHashSet::default();
     let mut visits = 0usize;
-    for_each_assignment(ctx, &pattern, |assignment| {
+    for_each_assignment_metered(ctx, &pattern, meter, |assignment| {
         if assignment[p_idx] != assignment[n_idx] {
             candidates.insert(kb.node_value(assignment[p_idx]).to_owned());
             obs.record(kb, assignment);
@@ -441,6 +467,9 @@ pub fn apply_rule_cached(
         visits += 1;
         visits < opts.max_assignments
     });
+    // Abort before the repair write: exhaustion mid-enumeration may have
+    // missed candidates, and candidates[0] must be deterministic.
+    meter.check()?;
     if candidates.is_empty() {
         if opts.detect_without_repair {
             // Does the negative side alone match (evidence + n, ignoring
@@ -476,7 +505,10 @@ pub fn apply_rule_cached(
                 };
                 negative_only.edges.push((map(e.from), e.rel, map(e.to)));
             }
-            if crate::graph::instance::has_assignment(ctx, &negative_only) {
+            let negative_matches =
+                crate::graph::instance::has_assignment_metered(ctx, &negative_only, meter);
+            meter.check()?;
+            if negative_matches {
                 let mut newly_marked = Vec::new();
                 for ev in rule.evidence() {
                     if !tuple.is_positive(ev.col) {
@@ -486,13 +518,13 @@ pub fn apply_rule_cached(
                 }
                 // Returned even when the evidence was already marked: the
                 // wrong-flag on `repair_col` is the annotation of value.
-                return RuleApplication::DetectedWrong {
+                return Ok(RuleApplication::DetectedWrong {
                     col: repair_col,
                     newly_marked,
-                };
+                });
             }
         }
-        return RuleApplication::NotApplicable;
+        return Ok(RuleApplication::NotApplicable);
     }
     let mut candidates: Vec<String> = candidates.into_iter().collect();
     candidates.sort_unstable();
@@ -519,14 +551,14 @@ pub fn apply_rule_cached(
             newly_marked.push(c);
         }
     }
-    RuleApplication::Repaired {
+    Ok(RuleApplication::Repaired {
         col: repair_col,
         old,
         new,
         candidates,
         newly_marked,
         normalized,
-    }
+    })
 }
 
 #[cfg(test)]

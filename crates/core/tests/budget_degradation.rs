@@ -1,0 +1,175 @@
+//! Per-tuple repair budgets (DESIGN.md §4c): exhaustion degrades a tuple
+//! deterministically instead of hanging or corrupting it, and the default
+//! (unbounded) budget is bit-transparent.
+
+use dr_core::fixtures::{figure4_rules, nobel_schema, table1_dirty};
+use dr_core::{
+    basic_repair, fast_repair, parallel_repair, ApplyOptions, ExhaustCause, MatchContext,
+    ParallelOptions, RepairBudget, TupleOutcome,
+};
+use dr_relation::Relation;
+
+/// Table I repeated `copies` times — enough rows for the parallel paths.
+fn stacked_table1(copies: usize) -> Relation {
+    let base = table1_dirty();
+    let mut relation = Relation::new(nobel_schema());
+    for _ in 0..copies {
+        for t in base.tuples() {
+            relation.push(t.clone());
+        }
+    }
+    relation
+}
+
+#[test]
+fn unbounded_budget_is_transparent() {
+    let kb = dr_kb::fixtures::nobel_mini_kb();
+    let rules = figure4_rules(&kb);
+    let opts = ApplyOptions::default();
+
+    let plain_ctx = MatchContext::new(&kb);
+    let mut plain = table1_dirty();
+    let plain_report = fast_repair(&plain_ctx, &rules, &mut plain, &opts);
+
+    let ctx = MatchContext::new(&kb).with_budget(RepairBudget::unbounded());
+    let mut budgeted = table1_dirty();
+    let budgeted_report = fast_repair(&ctx, &rules, &mut budgeted, &opts);
+
+    assert_eq!(plain_report.tuples, budgeted_report.tuples);
+    assert!(plain_report.resilience.is_clean());
+    assert!(budgeted_report
+        .tuples
+        .iter()
+        .all(|t| t.outcome.is_completed()));
+    for cell in plain.cell_refs() {
+        assert_eq!(plain.value(cell), budgeted.value(cell));
+    }
+}
+
+#[test]
+fn tight_step_cap_degrades_instead_of_hanging() {
+    let kb = dr_kb::fixtures::nobel_mini_kb();
+    let rules = figure4_rules(&kb);
+    let ctx = MatchContext::new(&kb).with_budget(RepairBudget::with_max_steps(1));
+    let mut relation = table1_dirty();
+    let before = relation.clone();
+    let report = fast_repair(&ctx, &rules, &mut relation, &ApplyOptions::default());
+
+    // Every Table I tuple needs more than one candidate expansion, so all
+    // of them degrade — at the very first enumeration, before any rule
+    // could apply, leaving the tuples untouched.
+    assert_eq!(report.resilience.degraded, relation.len());
+    assert_eq!(report.resilience.failed, 0);
+    assert_eq!(
+        report.resilience.exhaustion.total(),
+        relation.len() as u64,
+        "one histogram entry per degraded tuple"
+    );
+    for (row, t) in report.tuples.iter().enumerate() {
+        match &t.outcome {
+            TupleOutcome::Degraded { reason } => {
+                assert_eq!(reason.cause, ExhaustCause::StepCap);
+                assert!(reason.steps > 1, "exhausting charge recorded");
+            }
+            other => panic!("row {row}: expected Degraded, got {other:?}"),
+        }
+        assert!(t.steps.is_empty(), "no rule completed under a 1-step cap");
+    }
+    for cell in before.cell_refs() {
+        assert_eq!(before.value(cell), relation.value(cell), "tuple untouched");
+    }
+}
+
+/// A degraded tuple's trace is a *prefix* of the fault-free trace: rule
+/// applications are atomic under exhaustion (mutate-after-enumerate), so
+/// the budget can only cut the chase short, never alter what fired first.
+#[test]
+fn degraded_trace_is_prefix_of_fault_free_trace() {
+    let kb = dr_kb::fixtures::nobel_mini_kb();
+    let rules = figure4_rules(&kb);
+    let opts = ApplyOptions::default();
+
+    let free_ctx = MatchContext::new(&kb);
+    let mut free = table1_dirty();
+    let free_report = fast_repair(&free_ctx, &rules, &mut free, &opts);
+
+    // Sweep caps from starving to generous; every row's trace must be a
+    // prefix of the fault-free one at every cap.
+    for cap in [1, 8, 32, 128, 512, 2048, 1 << 20] {
+        let ctx = MatchContext::new(&kb).with_budget(RepairBudget::with_max_steps(cap));
+        let mut capped = table1_dirty();
+        let capped_report = fast_repair(&ctx, &rules, &mut capped, &opts);
+        for (row, (c, f)) in capped_report
+            .tuples
+            .iter()
+            .zip(&free_report.tuples)
+            .enumerate()
+        {
+            assert!(
+                c.steps.len() <= f.steps.len() && c.steps.iter().zip(&f.steps).all(|(a, b)| a == b),
+                "cap {cap}, row {row}: trace is not a prefix"
+            );
+            if c.outcome.is_completed() {
+                assert_eq!(c.steps, f.steps, "cap {cap}, row {row}: completed ≠ free");
+            }
+        }
+    }
+}
+
+/// Budget exhaustion is deterministic: the step count depends only on the
+/// enumeration (KB, rules, values), so sequential fast repair, the basic
+/// chase... and every parallel thread count degrade identically.
+#[test]
+fn degradation_is_identical_across_repairers_and_threads() {
+    let kb = dr_kb::fixtures::nobel_mini_kb();
+    let rules = figure4_rules(&kb);
+    let budget = RepairBudget::with_max_steps(24);
+    let opts = ApplyOptions::default();
+
+    let ctx = MatchContext::new(&kb).with_budget(budget);
+    let mut sequential = stacked_table1(6);
+    let seq_report = fast_repair(&ctx, &rules, &mut sequential, &opts);
+    // The cap of 24 is chosen to land mid-repair: some rules complete,
+    // then the budget trips — the interesting regime.
+    assert!(seq_report.resilience.degraded > 0, "cap must bite");
+    assert!(
+        seq_report.total_applications() > 0,
+        "cap must not starve everything"
+    );
+
+    for threads in [1, 2, 4, 8] {
+        let par_ctx = MatchContext::new(&kb).with_budget(budget);
+        let mut parallel = stacked_table1(6);
+        let par_report = parallel_repair(
+            &par_ctx,
+            &rules,
+            &mut parallel,
+            &ParallelOptions {
+                threads,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            seq_report.tuples, par_report.tuples,
+            "{threads} threads: degraded traces diverged"
+        );
+        assert_eq!(seq_report.resilience, par_report.resilience);
+        for cell in sequential.cell_refs() {
+            assert_eq!(sequential.value(cell), parallel.value(cell));
+        }
+    }
+}
+
+#[test]
+fn basic_chase_degrades_too() {
+    let kb = dr_kb::fixtures::nobel_mini_kb();
+    let rules = figure4_rules(&kb);
+    let ctx = MatchContext::new(&kb).with_budget(RepairBudget::with_max_steps(24));
+    let mut relation = table1_dirty();
+    let report = basic_repair(&ctx, &rules, &mut relation, &ApplyOptions::default());
+    assert!(report.resilience.degraded > 0);
+    assert!(report.tuples.iter().all(|t| matches!(
+        &t.outcome,
+        TupleOutcome::Completed | TupleOutcome::Degraded { .. }
+    )));
+}

@@ -178,6 +178,9 @@ pub struct CachePersistenceRow {
     pub cache: dr_core::CacheStats,
     /// Aggregated phase timings across the stream.
     pub timing: dr_core::PhaseTimings,
+    /// Aggregated degraded / failed / quarantined counters across the
+    /// stream (all-zero for fault-free unbounded runs).
+    pub resilience: dr_core::ResilienceReport,
     /// Total value rewrites (identical across regimes by construction —
     /// exposed so callers can assert it).
     pub changes: usize,
@@ -228,6 +231,7 @@ pub fn cache_persistence_ablation(
             seconds: 0.0,
             cache: dr_core::CacheStats::default(),
             timing: dr_core::PhaseTimings::default(),
+            resilience: dr_core::ResilienceReport::default(),
             changes: 0,
         };
         for dirty in &stream {
@@ -237,6 +241,7 @@ pub fn cache_persistence_ablation(
             row.seconds += start.elapsed().as_secs_f64();
             row.cache += report.cache;
             row.timing += report.timing;
+            row.resilience += report.resilience;
             row.changes += report.total_changes();
         }
         rows.push(row);

@@ -6,7 +6,7 @@
 use dr_eval::ablation::{
     cache_persistence_ablation, detection_ablation, normalization_ablation, AblationConfig,
 };
-use dr_eval::report::{cache_cell, f3, phases_cell, render_table, secs};
+use dr_eval::report::{cache_cell, f3, phases_cell, render_table, resilience_cell, secs};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -79,6 +79,7 @@ fn main() {
                 secs(r.seconds),
                 cache_cell(&r.cache),
                 phases_cell(&r.timing),
+                resilience_cell(&r.resilience),
                 r.changes.to_string(),
             ]
         })
@@ -93,6 +94,7 @@ fn main() {
                 "time",
                 "cache h/m/e",
                 "phases pw+rep",
+                "res d/f/q",
                 "#-changes"
             ],
             &rows,

@@ -11,7 +11,7 @@ use dr_eval::exp2::SweepDataset;
 use dr_eval::exp3::{
     keyed_rule_sweep, uis_tuple_sweep, webtables_rule_sweep, Exp3Config, TimingPoint,
 };
-use dr_eval::report::{cache_cell, phases_cell, render_table, secs};
+use dr_eval::report::{cache_cell, phases_cell, render_table, resilience_cell, secs};
 
 fn print_points(title: &str, x_label: &str, points: &[TimingPoint]) {
     let rows: Vec<Vec<String>> = points
@@ -23,6 +23,7 @@ fn print_points(title: &str, x_label: &str, points: &[TimingPoint]) {
                 secs(p.seconds),
                 cache_cell(&p.cache),
                 phases_cell(&p.timing),
+                resilience_cell(&p.resilience),
             ]
         })
         .collect();
@@ -30,7 +31,14 @@ fn print_points(title: &str, x_label: &str, points: &[TimingPoint]) {
         "{}",
         render_table(
             title,
-            &[x_label, "method", "time", "cache h/m/e", "phases pw+rep"],
+            &[
+                x_label,
+                "method",
+                "time",
+                "cache h/m/e",
+                "phases pw+rep",
+                "res d/f/q"
+            ],
             &rows
         )
     );

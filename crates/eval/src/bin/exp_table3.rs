@@ -5,7 +5,7 @@
 //! Usage: `cargo run -p dr-eval --bin exp_table3 --release [-- --quick]`
 
 use dr_eval::exp1::{table3, Exp1Config};
-use dr_eval::report::{cache_cell, f3, phases_cell, render_table, secs};
+use dr_eval::report::{cache_cell, f3, phases_cell, render_table, resilience_cell, secs};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -39,6 +39,7 @@ fn main() {
                 secs(r.seconds),
                 cache_cell(&r.cache),
                 phases_cell(&r.timing),
+                resilience_cell(&r.resilience),
             ]
         })
         .collect();
@@ -56,7 +57,8 @@ fn main() {
                 "#-POS",
                 "time",
                 "cache h/m/e",
-                "phases pw+rep"
+                "phases pw+rep",
+                "res d/f/q"
             ],
             &table_rows,
         )

@@ -57,6 +57,9 @@ pub struct Exp1Row {
     pub cache: dr_core::CacheStats,
     /// Per-phase repair timings (all-zero for KATARA).
     pub timing: dr_core::PhaseTimings,
+    /// Degraded / failed / quarantined counters (all-zero for KATARA and
+    /// for fault-free unbounded runs).
+    pub resilience: dr_core::ResilienceReport,
 }
 
 /// One row of Table II.
@@ -183,6 +186,7 @@ fn webtables_rows(cfg: &Exp1Config, flavor: KbFlavor, rows: &mut Vec<Exp1Row>) {
     let mut ka_totals = (0usize, 0f64, 0usize, 0usize, 0f64);
     let mut dr_cache = dr_core::CacheStats::default();
     let mut dr_timing = dr_core::PhaseTimings::default();
+    let mut dr_resilience = dr_core::ResilienceReport::default();
     for table in &world.tables {
         let table_rules = WebTablesWorld::applicable_rules(&rules, table.dirty.schema().arity());
         let outcome = run_drs(&ctx, &table_rules, &table.clean, &table.dirty, DrAlgo::Fast);
@@ -193,6 +197,7 @@ fn webtables_rows(cfg: &Exp1Config, flavor: KbFlavor, rows: &mut Vec<Exp1Row>) {
         dr_totals.4 += outcome.seconds;
         dr_cache += outcome.cache;
         dr_timing += outcome.timing;
+        dr_resilience += outcome.resilience;
 
         if let Some(pattern) = &katara_patterns[table.domain] {
             let katara = Katara::new(&ctx, pattern);
@@ -221,6 +226,7 @@ fn webtables_rows(cfg: &Exp1Config, flavor: KbFlavor, rows: &mut Vec<Exp1Row>) {
         seconds: dr_totals.4,
         cache: dr_cache,
         timing: dr_timing,
+        resilience: dr_resilience,
     });
     rows.push(Exp1Row {
         dataset: "WebTables",
@@ -231,6 +237,7 @@ fn webtables_rows(cfg: &Exp1Config, flavor: KbFlavor, rows: &mut Vec<Exp1Row>) {
         seconds: ka_totals.4,
         cache: dr_core::CacheStats::default(),
         timing: dr_core::PhaseTimings::default(),
+        resilience: dr_core::ResilienceReport::default(),
     });
 }
 
@@ -283,6 +290,7 @@ fn keyed_rows(
         seconds: outcome.seconds,
         cache: outcome.cache,
         timing: outcome.timing,
+        resilience: outcome.resilience,
     });
     let pattern = katara_pattern(rules);
     let outcome: RunOutcome = run_katara(&ctx, &pattern, clean, dirty);
@@ -295,6 +303,7 @@ fn keyed_rows(
         seconds: outcome.seconds,
         cache: outcome.cache,
         timing: outcome.timing,
+        resilience: outcome.resilience,
     });
 }
 

@@ -24,6 +24,9 @@ pub struct TimingPoint {
     pub cache: dr_core::CacheStats,
     /// Per-phase repair timings (all-zero for methods without phases).
     pub timing: dr_core::PhaseTimings,
+    /// Degraded / failed / quarantined counters (all-zero for baselines
+    /// and fault-free unbounded runs).
+    pub resilience: dr_core::ResilienceReport,
 }
 
 impl TimingPoint {
@@ -34,6 +37,7 @@ impl TimingPoint {
             seconds,
             cache: dr_core::CacheStats::default(),
             timing: dr_core::PhaseTimings::default(),
+            resilience: dr_core::ResilienceReport::default(),
         }
     }
 }
@@ -77,6 +81,7 @@ pub fn webtables_rule_sweep(rule_counts: &[usize], cfg: &Exp3Config) -> Vec<Timi
                 let mut seconds = 0.0;
                 let mut cache = dr_core::CacheStats::default();
                 let mut timing = dr_core::PhaseTimings::default();
+                let mut resilience = dr_core::ResilienceReport::default();
                 for table in &world.tables {
                     let table_rules = dr_datasets::WebTablesWorld::applicable_rules(
                         rules,
@@ -86,6 +91,7 @@ pub fn webtables_rule_sweep(rule_counts: &[usize], cfg: &Exp3Config) -> Vec<Timi
                     seconds += outcome.seconds;
                     cache += outcome.cache;
                     timing += outcome.timing;
+                    resilience += outcome.resilience;
                 }
                 out.push(TimingPoint {
                     x: n,
@@ -93,6 +99,7 @@ pub fn webtables_rule_sweep(rule_counts: &[usize], cfg: &Exp3Config) -> Vec<Timi
                     seconds,
                     cache,
                     timing,
+                    resilience,
                 });
             }
         }
@@ -180,6 +187,7 @@ fn sweep_rules(
                 seconds: outcome.seconds,
                 cache: outcome.cache,
                 timing: outcome.timing,
+                resilience: outcome.resilience,
             });
         }
     }
@@ -215,6 +223,7 @@ pub fn uis_tuple_sweep(sizes: &[usize], cfg: &Exp3Config) -> Vec<TimingPoint> {
                     seconds: kb_seconds + outcome.seconds,
                     cache: outcome.cache,
                     timing: outcome.timing,
+                    resilience: outcome.resilience,
                 });
             }
             // KATARA only on Yago/DBpedia like the paper's plot.

@@ -64,6 +64,11 @@ pub fn cache_cell(c: &dr_core::CacheStats) -> String {
     format!("{}/{}/{}", c.hits(), c.misses(), c.evictions)
 }
 
+/// Formats resilience counters as `degraded/failed/quarantined`.
+pub fn resilience_cell(r: &dr_core::ResilienceReport) -> String {
+    format!("{}/{}/{}", r.degraded, r.failed, r.quarantined)
+}
+
 /// Formats phase timings as `prewarm+repair`.
 pub fn phases_cell(t: &dr_core::PhaseTimings) -> String {
     format!(

@@ -53,6 +53,11 @@ pub struct RunOutcome {
     pub cache: dr_core::CacheStats,
     /// Per-phase wall-clock timings (zero where the system has no phases).
     pub timing: dr_core::PhaseTimings,
+    /// Degraded / failed / quarantined counters (all-zero for baselines
+    /// and for unbounded, fault-free runs — the overwhelmingly common case;
+    /// a non-clean report means tuples were skipped, so quality numbers
+    /// must be read alongside it).
+    pub resilience: dr_core::ResilienceReport,
 }
 
 impl RunOutcome {
@@ -63,6 +68,7 @@ impl RunOutcome {
             pos_marks,
             cache: dr_core::CacheStats::default(),
             timing: dr_core::PhaseTimings::default(),
+            resilience: dr_core::ResilienceReport::default(),
         }
     }
 }
@@ -103,6 +109,7 @@ pub fn run_drs(
         pos_marks: working.positive_count(),
         cache: report.cache,
         timing: report.timing,
+        resilience: report.resilience,
     }
 }
 

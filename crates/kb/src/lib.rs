@@ -40,12 +40,17 @@
 //! ```
 
 #![warn(missing_docs)]
+// Resilience hygiene (DESIGN.md §4c): library code must surface failures as
+// typed errors, not panics. `.expect()` stays available for genuine
+// invariants — the message documents why the panic cannot fire.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod fixtures;
 pub mod graph;
 pub mod hash;
 pub mod ids;
 pub mod ntriples;
+pub mod quarantine;
 pub mod stats;
 pub mod symbol;
 pub mod taxonomy;
@@ -53,6 +58,7 @@ pub mod taxonomy;
 pub use graph::{KbBuilder, KbError, KnowledgeBase};
 pub use hash::{FxHashMap, FxHashSet};
 pub use ids::{ClassId, InstanceId, LiteralId, Node, PredId};
+pub use quarantine::{Diagnostic, LenientOptions, Quarantine};
 pub use stats::{pred_kind, stats, KbStats, PredKind};
 pub use symbol::{Symbol, SymbolTable};
 pub use taxonomy::Taxonomy;

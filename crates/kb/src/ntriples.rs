@@ -22,6 +22,7 @@
 
 use crate::graph::{KbBuilder, KbError, KnowledgeBase};
 use crate::ids::Node;
+use crate::quarantine::{Diagnostic, LenientOptions, Quarantine};
 use std::fmt;
 
 /// Prefix distinguishing class IRIs from instance IRIs.
@@ -180,95 +181,135 @@ fn parse_term(s: &str, line: usize) -> Result<(Term, &str), ParseError> {
     }
 }
 
-/// Parses triple text into a [`KbBuilder`].
+/// Parses one non-blank, non-comment line into `builder`.
 ///
-/// # Errors
-/// Returns the first malformed line.
-pub fn parse_into(builder: &mut KbBuilder, text: &str) -> Result<(), ParseError> {
-    for (lineno, raw) in text.lines().enumerate() {
-        let line = lineno + 1;
-        let trimmed = raw.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let (subject, rest) = parse_term(trimmed, line)?;
-        let (pred, rest) = parse_term(rest, line)?;
-        let (object, rest) = parse_term(rest, line)?;
-        let tail = rest.trim();
-        if tail != "." {
-            return Err(ParseError {
-                line,
-                message: format!("expected trailing `.`, found `{tail}`"),
-            });
-        }
-        let Term::Iri(subj_iri) = subject else {
-            return Err(ParseError {
-                line,
-                message: "subject must be an IRI".into(),
-            });
-        };
-        let Term::Iri(pred_iri) = pred else {
-            return Err(ParseError {
-                line,
-                message: "predicate must be an IRI".into(),
-            });
-        };
+/// All grammar checks run *before* the first builder mutation, so a line
+/// either contributes its whole triple or contributes nothing — the
+/// invariant that lets [`parse_lenient_into`] skip bad lines without
+/// leaving half a triple behind.
+fn parse_line(builder: &mut KbBuilder, trimmed: &str, line: usize) -> Result<(), ParseError> {
+    let (subject, rest) = parse_term(trimmed, line)?;
+    let (pred, rest) = parse_term(rest, line)?;
+    let (object, rest) = parse_term(rest, line)?;
+    let tail = rest.trim();
+    if tail != "." {
+        return Err(ParseError {
+            line,
+            message: format!("expected trailing `.`, found `{tail}`"),
+        });
+    }
+    let Term::Iri(subj_iri) = subject else {
+        return Err(ParseError {
+            line,
+            message: "subject must be an IRI".into(),
+        });
+    };
+    let Term::Iri(pred_iri) = pred else {
+        return Err(ParseError {
+            line,
+            message: "predicate must be an IRI".into(),
+        });
+    };
 
-        match pred_iri.as_str() {
-            RDF_TYPE => {
-                let Term::Iri(obj_iri) = object else {
-                    return Err(ParseError {
-                        line,
-                        message: "rdf:type object must be a class IRI".into(),
-                    });
-                };
-                let Some(class_local) = obj_iri.strip_prefix(CLASS_PREFIX) else {
-                    return Err(ParseError {
-                        line,
-                        message: format!("rdf:type object must have `{CLASS_PREFIX}` prefix"),
-                    });
-                };
-                let c = builder.class(&local_to_label(class_local));
-                let i = builder.instance(&local_to_label(&subj_iri));
-                builder.set_type(i, c);
-            }
-            RDFS_SUBCLASS => {
-                let Term::Iri(obj_iri) = object else {
-                    return Err(ParseError {
-                        line,
-                        message: "subClassOf object must be a class IRI".into(),
-                    });
-                };
-                let (Some(sub_local), Some(sup_local)) = (
-                    subj_iri.strip_prefix(CLASS_PREFIX),
-                    obj_iri.strip_prefix(CLASS_PREFIX),
-                ) else {
-                    return Err(ParseError {
-                        line,
-                        message: format!("subClassOf requires `{CLASS_PREFIX}` on both sides"),
-                    });
-                };
-                let sub = builder.class(&local_to_label(sub_local));
-                let sup = builder.class(&local_to_label(sup_local));
-                builder.subclass(sub, sup);
-            }
-            _ => {
-                let s = builder.instance(&local_to_label(&subj_iri));
-                let p = builder.pred(&local_to_label(&pred_iri));
-                match object {
-                    Term::Iri(obj_iri) => {
-                        let o = builder.instance(&local_to_label(&obj_iri));
-                        builder.edge(s, p, o);
-                    }
-                    Term::Literal(value) => {
-                        let l = builder.literal(&value);
-                        builder.edge(s, p, l);
-                    }
+    match pred_iri.as_str() {
+        RDF_TYPE => {
+            let Term::Iri(obj_iri) = object else {
+                return Err(ParseError {
+                    line,
+                    message: "rdf:type object must be a class IRI".into(),
+                });
+            };
+            let Some(class_local) = obj_iri.strip_prefix(CLASS_PREFIX) else {
+                return Err(ParseError {
+                    line,
+                    message: format!("rdf:type object must have `{CLASS_PREFIX}` prefix"),
+                });
+            };
+            let c = builder.class(&local_to_label(class_local));
+            let i = builder.instance(&local_to_label(&subj_iri));
+            builder.set_type(i, c);
+        }
+        RDFS_SUBCLASS => {
+            let Term::Iri(obj_iri) = object else {
+                return Err(ParseError {
+                    line,
+                    message: "subClassOf object must be a class IRI".into(),
+                });
+            };
+            let (Some(sub_local), Some(sup_local)) = (
+                subj_iri.strip_prefix(CLASS_PREFIX),
+                obj_iri.strip_prefix(CLASS_PREFIX),
+            ) else {
+                return Err(ParseError {
+                    line,
+                    message: format!("subClassOf requires `{CLASS_PREFIX}` on both sides"),
+                });
+            };
+            let sub = builder.class(&local_to_label(sub_local));
+            let sup = builder.class(&local_to_label(sup_local));
+            builder.subclass(sub, sup);
+        }
+        _ => {
+            let s = builder.instance(&local_to_label(&subj_iri));
+            let p = builder.pred(&local_to_label(&pred_iri));
+            match object {
+                Term::Iri(obj_iri) => {
+                    let o = builder.instance(&local_to_label(&obj_iri));
+                    builder.edge(s, p, o);
+                }
+                Term::Literal(value) => {
+                    let l = builder.literal(&value);
+                    builder.edge(s, p, l);
                 }
             }
         }
     }
     Ok(())
+}
+
+/// Lines carrying content: `(1-based line number, trimmed text)` with blanks
+/// and comments skipped.
+fn content_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines()
+        .enumerate()
+        .map(|(lineno, raw)| (lineno + 1, raw.trim()))
+        .filter(|(_, trimmed)| !trimmed.is_empty() && !trimmed.starts_with('#'))
+}
+
+/// Parses triple text into a [`KbBuilder`].
+///
+/// # Errors
+/// Returns the first malformed line.
+pub fn parse_into(builder: &mut KbBuilder, text: &str) -> Result<(), ParseError> {
+    for (line, trimmed) in content_lines(text) {
+        parse_line(builder, trimmed, line)?;
+    }
+    Ok(())
+}
+
+/// Parses triple text into a [`KbBuilder`] leniently: malformed lines are
+/// quarantined (skipped, with a [`Diagnostic`] recorded) instead of
+/// aborting the load. Well-formed lines load exactly as under
+/// [`parse_into`]; each skipped line carries the same message the strict
+/// parser would have raised.
+pub fn parse_lenient_into(
+    builder: &mut KbBuilder,
+    text: &str,
+    opts: &LenientOptions,
+) -> Quarantine {
+    let mut quarantine = Quarantine::new();
+    for (line, trimmed) in content_lines(text) {
+        if let Err(e) = parse_line(builder, trimmed, line) {
+            quarantine.record(
+                Diagnostic {
+                    line: e.line,
+                    message: e.message,
+                },
+                opts,
+            );
+        }
+    }
+    quarantine
 }
 
 /// Parses triple text into a finalized [`KnowledgeBase`].
@@ -281,6 +322,21 @@ pub fn parse(text: &str) -> Result<KnowledgeBase, LoadError> {
     Ok(builder.finalize()?)
 }
 
+/// Parses triple text leniently into a finalized [`KnowledgeBase`],
+/// returning the KB together with the [`Quarantine`] of skipped lines.
+///
+/// # Errors
+/// Only finalization failures (e.g. a cyclic taxonomy) abort the load —
+/// those are structural, not line-local, so there is no record to skip.
+pub fn parse_lenient(
+    text: &str,
+    opts: &LenientOptions,
+) -> Result<(KnowledgeBase, Quarantine), LoadError> {
+    let mut builder = KbBuilder::new();
+    let quarantine = parse_lenient_into(&mut builder, text, opts);
+    Ok((builder.finalize()?, quarantine))
+}
+
 /// Loads a KB from a triple-text file.
 ///
 /// # Errors
@@ -289,6 +345,18 @@ pub fn parse(text: &str) -> Result<KnowledgeBase, LoadError> {
 pub fn load_file(path: impl AsRef<std::path::Path>) -> Result<KnowledgeBase, LoadError> {
     let text = std::fs::read_to_string(path).map_err(LoadError::Io)?;
     parse(&text)
+}
+
+/// Loads a KB from a triple-text file leniently (see [`parse_lenient`]).
+///
+/// # Errors
+/// I/O and finalization failures only; malformed lines are quarantined.
+pub fn load_file_lenient(
+    path: impl AsRef<std::path::Path>,
+    opts: &LenientOptions,
+) -> Result<(KnowledgeBase, Quarantine), LoadError> {
+    let text = std::fs::read_to_string(path).map_err(LoadError::Io)?;
+    parse_lenient(&text, opts)
 }
 
 /// Writes a KB to a triple-text file (see [`serialize`]).
@@ -540,5 +608,102 @@ mod tests {
     fn comments_and_blank_lines_skipped() {
         let kb = parse("\n# nothing\n\n<a> <r> <b> .\n").unwrap();
         assert_eq!(kb.num_edges(), 1);
+    }
+
+    /// Interleaved garbage: the lenient parse loads every good line, skips
+    /// every bad one with its line number and the strict parser's message —
+    /// and the strict parser still rejects the same input at the first bad
+    /// line.
+    #[test]
+    fn lenient_parse_quarantines_interleaved_garbage() {
+        let text = "\
+<a> <r> <b> .
+<a> <r> oops .
+# comment survives
+<c> <rdf:type> <class:thing> .
+\"lit\" <r> <b> .
+<c> <r> \"unterminated .
+<d> <r> <e>
+<a> <worksAt> <e> .
+";
+        let opts = LenientOptions::default();
+        let (kb, quarantine) = parse_lenient(text, &opts).unwrap();
+
+        // Good lines all loaded (1, 4, 8 → 2 data edges + 1 typed instance).
+        assert_eq!(kb.num_edges(), 2);
+        let thing = kb.class_named("thing").unwrap();
+        assert_eq!(kb.instances_of(thing).len(), 1);
+
+        // Bad lines all quarantined, with the strict messages.
+        assert_eq!(quarantine.quarantined(), 4);
+        let lines: Vec<usize> = quarantine.diagnostics().iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![2, 5, 6, 7]);
+        let messages: Vec<&str> = quarantine
+            .diagnostics()
+            .iter()
+            .map(|d| d.message.as_str())
+            .collect();
+        assert_eq!(messages[0], "expected `<iri>` or `\"literal\"`");
+        assert_eq!(messages[1], "subject must be an IRI");
+        assert_eq!(messages[2], "unterminated literal (missing closing quote)");
+        assert_eq!(messages[3], "expected trailing `.`, found ``");
+
+        // The strict parser rejects the same input at the first bad line.
+        match parse(text).unwrap_err() {
+            LoadError::Parse(p) => {
+                assert_eq!(p.line, 2);
+                assert_eq!(p.message, messages[0]);
+            }
+            other => panic!("strict parse must fail: {other}"),
+        }
+    }
+
+    /// Lenient and strict agree exactly on clean input.
+    #[test]
+    fn lenient_parse_is_strict_on_clean_input() {
+        let text = serialize(&figure1_kb());
+        let strict = parse(&text).unwrap();
+        let (lenient, quarantine) = parse_lenient(&text, &LenientOptions::default()).unwrap();
+        assert!(quarantine.is_empty());
+        assert_eq!(serialize(&strict), serialize(&lenient));
+    }
+
+    /// The diagnostic cap bounds memory but not the count.
+    #[test]
+    fn lenient_parse_enforces_diagnostic_cap() {
+        let mut text = String::new();
+        for _ in 0..10 {
+            text.push_str("garbage\n");
+        }
+        text.push_str("<a> <r> <b> .\n");
+        let opts = LenientOptions { max_diagnostics: 3 };
+        let (kb, quarantine) = parse_lenient(&text, &opts).unwrap();
+        assert_eq!(kb.num_edges(), 1);
+        assert_eq!(quarantine.quarantined(), 10);
+        assert_eq!(quarantine.diagnostics().len(), 3);
+        assert_eq!(quarantine.dropped(), 7);
+    }
+
+    /// Structural failures (a cyclic taxonomy) still abort the lenient
+    /// load: they are not line-local, so there is nothing to skip.
+    #[test]
+    fn lenient_parse_still_rejects_cyclic_taxonomy() {
+        let text = "\
+<class:a> <rdfs:subClassOf> <class:b> .
+<class:b> <rdfs:subClassOf> <class:a> .
+";
+        let err = parse_lenient(text, &LenientOptions::default()).unwrap_err();
+        assert!(matches!(err, LoadError::Kb(_)), "{err}");
+    }
+
+    #[test]
+    fn lenient_file_roundtrip() {
+        let path = std::env::temp_dir().join("dr_kb_lenient_test.nt");
+        std::fs::write(&path, "<a> <r> <b> .\nbroken\n").unwrap();
+        let (kb, quarantine) = load_file_lenient(&path, &LenientOptions::default()).unwrap();
+        assert_eq!(kb.num_edges(), 1);
+        assert_eq!(quarantine.quarantined(), 1);
+        assert_eq!(quarantine.diagnostics()[0].line, 2);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,147 @@
+//! Quarantine bookkeeping for lenient loaders (DESIGN.md §4c).
+//!
+//! Real-world dumps are dirty: a handful of malformed lines should not
+//! abort a million-line load. The lenient parse entry points
+//! ([`ntriples::parse_lenient`](crate::ntriples::parse_lenient) here, and
+//! `csv::parse_lenient` in `dr-relation`) skip each malformed record,
+//! record a [`Diagnostic`] for it, and keep going. The strict parsers are
+//! untouched: same inputs, same first-error rejection.
+//!
+//! The contract shared by every lenient loader:
+//!
+//! * every record the strict parser would accept is loaded identically;
+//! * every skipped record produces exactly one diagnostic with its 1-based
+//!   line (or record) number and the same message the strict parser would
+//!   have raised;
+//! * diagnostics are capped ([`LenientOptions::max_diagnostics`]) so a
+//!   wholly-garbage input cannot balloon memory — the quarantined *count*
+//!   keeps counting past the cap.
+
+use std::fmt;
+
+/// One quarantined record: where it was and why it was skipped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// 1-based line number (N-Triples) or record number (CSV).
+    pub line: usize,
+    /// The parse failure, verbatim from the strict grammar.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// Options for lenient parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LenientOptions {
+    /// Maximum number of [`Diagnostic`]s retained; quarantined records past
+    /// the cap are still *counted* but their diagnostics are dropped.
+    pub max_diagnostics: usize,
+}
+
+impl Default for LenientOptions {
+    fn default() -> Self {
+        Self {
+            max_diagnostics: 64,
+        }
+    }
+}
+
+/// The quarantine ledger a lenient parse returns alongside its data: how
+/// many records were skipped and (capped) why.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Quarantine {
+    diagnostics: Vec<Diagnostic>,
+    quarantined: usize,
+    dropped: usize,
+}
+
+impl Quarantine {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one skipped record, retaining its diagnostic unless the
+    /// ledger already holds `opts.max_diagnostics` of them.
+    pub fn record(&mut self, diagnostic: Diagnostic, opts: &LenientOptions) {
+        self.quarantined += 1;
+        if self.diagnostics.len() < opts.max_diagnostics {
+            self.diagnostics.push(diagnostic);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Total records skipped (including any past the diagnostic cap).
+    pub fn quarantined(&self) -> usize {
+        self.quarantined
+    }
+
+    /// Retained diagnostics, in input order (at most the configured cap).
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// How many diagnostics were dropped by the cap.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Whether nothing was quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.quarantined == 0
+    }
+}
+
+impl fmt::Display for Quarantine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} record(s) quarantined", self.quarantined)?;
+        if self.dropped > 0 {
+            write!(f, " ({} diagnostic(s) dropped by cap)", self.dropped)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_until_cap_then_counts() {
+        let opts = LenientOptions { max_diagnostics: 2 };
+        let mut q = Quarantine::new();
+        assert!(q.is_empty());
+        for line in 1..=5 {
+            q.record(
+                Diagnostic {
+                    line,
+                    message: "bad".into(),
+                },
+                &opts,
+            );
+        }
+        assert_eq!(q.quarantined(), 5);
+        assert_eq!(q.diagnostics().len(), 2);
+        assert_eq!(q.dropped(), 3);
+        assert_eq!(q.diagnostics()[0].line, 1);
+        assert_eq!(
+            q.to_string(),
+            "5 record(s) quarantined (3 diagnostic(s) dropped by cap)"
+        );
+    }
+
+    #[test]
+    fn default_cap_is_generous() {
+        assert_eq!(LenientOptions::default().max_diagnostics, 64);
+        let d = Diagnostic {
+            line: 7,
+            message: "expected trailing `.`".into(),
+        };
+        assert_eq!(d.to_string(), "line 7: expected trailing `.`");
+    }
+}

@@ -6,6 +6,7 @@
 use crate::relation::Relation;
 use crate::schema::Schema;
 use crate::tuple::Tuple;
+use dr_kb::{Diagnostic, LenientOptions, Quarantine};
 use std::fmt;
 
 /// CSV parse failure.
@@ -25,74 +26,128 @@ impl fmt::Display for CsvError {
 
 impl std::error::Error for CsvError {}
 
-/// Splits CSV text into records of fields.
-fn parse_records(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
-    let mut records = Vec::new();
-    let mut fields: Vec<String> = Vec::new();
-    let mut field = String::new();
-    let mut chars = text.chars().peekable();
-    let mut in_quotes = false;
-    let mut record_no = 1usize;
-    // Track whether the current record has any content (avoids emitting a
-    // phantom empty record for a trailing newline).
-    let mut record_started = false;
+/// A streaming record scanner over CSV text.
+///
+/// Both the strict and the lenient parse drive this one lexer: the strict
+/// path aborts on the first `Err`, the lenient path quarantines it and
+/// keeps scanning — [`scan_next`](Self::scan_next) leaves the input
+/// positioned after the malformed record, so the grammars cannot drift
+/// apart.
+struct RecordScanner<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    /// Number of the record currently being scanned (1-based; both emitted
+    /// and quarantined records consume a number).
+    record_no: usize,
+}
 
-    while let Some(ch) = chars.next() {
-        if in_quotes {
+impl<'a> RecordScanner<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            chars: text.chars().peekable(),
+            record_no: 1,
+        }
+    }
+
+    /// The record number [`scan_next`](Self::scan_next) just returned.
+    fn last_record_no(&self) -> usize {
+        self.record_no - 1
+    }
+
+    /// Skips input up to and including the next bare `\n` — the recovery
+    /// point after a malformed record. Quote state is deliberately not
+    /// tracked here: the record is already known broken, so its quoting
+    /// cannot be trusted; resynchronizing on the next physical line keeps
+    /// damage bounded to (at worst) a few cascading diagnostics.
+    fn skip_to_newline(&mut self) {
+        for ch in self.chars.by_ref() {
+            if ch == '\n' {
+                break;
+            }
+        }
+    }
+
+    /// Scans the next record: `None` at end of input, `Ok(fields)` for a
+    /// well-formed record, `Err` for a malformed one (input is left at its
+    /// recovery point). Blank lines are skipped, and a trailing newline
+    /// does not produce a phantom empty record.
+    fn scan_next(&mut self) -> Option<Result<Vec<String>, CsvError>> {
+        let mut fields: Vec<String> = Vec::new();
+        let mut field = String::new();
+        let mut in_quotes = false;
+        let mut record_started = false;
+        let record = self.record_no;
+
+        while let Some(ch) = self.chars.next() {
+            if in_quotes {
+                match ch {
+                    '"' => {
+                        if self.chars.peek() == Some(&'"') {
+                            self.chars.next();
+                            field.push('"');
+                        } else {
+                            in_quotes = false;
+                        }
+                    }
+                    _ => field.push(ch),
+                }
+                continue;
+            }
             match ch {
                 '"' => {
-                    if chars.peek() == Some(&'"') {
-                        chars.next();
-                        field.push('"');
-                    } else {
-                        in_quotes = false;
+                    if !field.is_empty() {
+                        self.skip_to_newline();
+                        self.record_no += 1;
+                        return Some(Err(CsvError {
+                            record,
+                            message: "quote inside unquoted field".into(),
+                        }));
                     }
+                    in_quotes = true;
+                    record_started = true;
                 }
-                _ => field.push(ch),
-            }
-            continue;
-        }
-        match ch {
-            '"' => {
-                if !field.is_empty() {
-                    return Err(CsvError {
-                        record: record_no,
-                        message: "quote inside unquoted field".into(),
-                    });
-                }
-                in_quotes = true;
-                record_started = true;
-            }
-            ',' => {
-                fields.push(std::mem::take(&mut field));
-                record_started = true;
-            }
-            '\r' => {
-                // Swallow; \r\n handled by the \n branch.
-            }
-            '\n' => {
-                if record_started || !field.is_empty() || !fields.is_empty() {
+                ',' => {
                     fields.push(std::mem::take(&mut field));
-                    records.push(std::mem::take(&mut fields));
-                    record_no += 1;
+                    record_started = true;
                 }
-                record_started = false;
-            }
-            _ => {
-                field.push(ch);
-                record_started = true;
+                '\r' => {
+                    // Swallow; \r\n handled by the \n branch.
+                }
+                '\n' => {
+                    if record_started || !field.is_empty() || !fields.is_empty() {
+                        fields.push(field);
+                        self.record_no += 1;
+                        return Some(Ok(fields));
+                    }
+                    // Blank line: keep scanning.
+                }
+                _ => {
+                    field.push(ch);
+                    record_started = true;
+                }
             }
         }
+        if in_quotes {
+            self.record_no += 1;
+            return Some(Err(CsvError {
+                record,
+                message: "unterminated quoted field".into(),
+            }));
+        }
+        if record_started || !field.is_empty() || !fields.is_empty() {
+            fields.push(field);
+            self.record_no += 1;
+            return Some(Ok(fields));
+        }
+        None
     }
-    if in_quotes {
-        return Err(CsvError {
-            record: record_no,
-            message: "unterminated quoted field".into(),
-        });
-    }
-    if record_started || !field.is_empty() || !fields.is_empty() {
-        fields.push(field);
-        records.push(fields);
+}
+
+/// Splits CSV text into records of fields.
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut scanner = RecordScanner::new(text);
+    let mut records = Vec::new();
+    while let Some(record) = scanner.scan_next() {
+        records.push(record?);
     }
     Ok(records)
 }
@@ -126,6 +181,81 @@ pub fn parse(name: &str, text: &str) -> Result<Relation, CsvError> {
         relation.push(Tuple::new(record));
     }
     Ok(relation)
+}
+
+/// Parses CSV text into a relation leniently: malformed and ragged records
+/// are quarantined (skipped, with a [`Diagnostic`] carrying the 1-based
+/// record number and the strict parser's message) instead of aborting.
+///
+/// Well-formed records load exactly as under [`parse`]. The header is not
+/// negotiable — it defines the schema, so a missing or malformed first
+/// record fails the whole load just as in strict mode.
+///
+/// # Errors
+/// Only a missing or malformed header record.
+pub fn parse_lenient(
+    name: &str,
+    text: &str,
+    opts: &LenientOptions,
+) -> Result<(Relation, Quarantine), CsvError> {
+    let mut scanner = RecordScanner::new(text);
+    let header = match scanner.scan_next() {
+        None => {
+            return Err(CsvError {
+                record: 1,
+                message: "missing header record".into(),
+            })
+        }
+        Some(Err(e)) => return Err(e),
+        Some(Ok(fields)) => fields,
+    };
+    let attr_names: Vec<&str> = header.iter().map(String::as_str).collect();
+    let arity = attr_names.len();
+    let schema = Schema::new(name, &attr_names);
+    let mut relation = Relation::new(schema);
+    let mut quarantine = Quarantine::new();
+    while let Some(record) = scanner.scan_next() {
+        match record {
+            Ok(fields) if fields.len() == arity => relation.push(Tuple::new(fields)),
+            Ok(fields) => quarantine.record(
+                Diagnostic {
+                    line: scanner.last_record_no(),
+                    message: format!("expected {arity} fields, found {}", fields.len()),
+                },
+                opts,
+            ),
+            Err(e) => quarantine.record(
+                Diagnostic {
+                    line: e.record,
+                    message: e.message,
+                },
+                opts,
+            ),
+        }
+    }
+    Ok((relation, quarantine))
+}
+
+/// Loads a relation from a CSV file leniently (see [`parse_lenient`]); the
+/// relation is named after the file stem.
+///
+/// # Errors
+/// I/O failures (record 0) and header failures only.
+pub fn load_file_lenient(
+    path: impl AsRef<std::path::Path>,
+    opts: &LenientOptions,
+) -> Result<(Relation, Quarantine), CsvError> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("relation")
+        .to_owned();
+    let text = std::fs::read_to_string(path).map_err(|e| CsvError {
+        record: 0,
+        message: format!("io error: {e}"),
+    })?;
+    parse_lenient(&name, &text, opts)
 }
 
 /// Loads a relation from a CSV file; the relation is named after the file
@@ -283,6 +413,143 @@ mod tests {
         let err = load_file("/nonexistent/missing.csv").unwrap_err();
         assert_eq!(err.record, 0);
         assert!(err.message.contains("io error"));
+    }
+
+    /// Interleaved malformed records: the lenient parse loads every good
+    /// row, quarantines each bad one with its record number and the strict
+    /// message — and the strict parser still rejects the same input.
+    #[test]
+    fn lenient_parse_quarantines_interleaved_garbage() {
+        let text = "\
+Name,City
+Avram Hershko,Karcag
+only-one-field
+Marie Curie,Paris
+bad\"quote,x
+a,b,c
+Albert Einstein,Ulm
+";
+        let opts = LenientOptions::default();
+        let (r, quarantine) = parse_lenient("Nobel", text, &opts).unwrap();
+
+        assert_eq!(r.len(), 3);
+        let city = r.schema().attr_expect("City");
+        assert_eq!(r.tuple(0).get(city), "Karcag");
+        assert_eq!(r.tuple(1).get(city), "Paris");
+        assert_eq!(r.tuple(2).get(city), "Ulm");
+
+        assert_eq!(quarantine.quarantined(), 3);
+        let got: Vec<(usize, &str)> = quarantine
+            .diagnostics()
+            .iter()
+            .map(|d| (d.line, d.message.as_str()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (3, "expected 2 fields, found 1"),
+                (5, "quote inside unquoted field"),
+                (6, "expected 2 fields, found 3"),
+            ]
+        );
+
+        // Strict still rejects: it lexes the whole text before arity
+        // checks, so its first error is the quote failure at record 5.
+        let err = parse("Nobel", text).unwrap_err();
+        assert_eq!(err.record, 5);
+        assert_eq!(err.message, "quote inside unquoted field");
+    }
+
+    /// An unterminated quote at EOF quarantines the remainder instead of
+    /// failing the load.
+    #[test]
+    fn lenient_parse_quarantines_unterminated_quote() {
+        let text = "A,B\n1,2\n\"oops,3\n4,5\n";
+        let (r, quarantine) = parse_lenient("R", text, &LenientOptions::default()).unwrap();
+        // The open quote swallows everything to EOF; only the row before it
+        // survives.
+        assert_eq!(r.len(), 1);
+        assert_eq!(quarantine.quarantined(), 1);
+        assert_eq!(quarantine.diagnostics()[0].line, 3);
+        assert_eq!(
+            quarantine.diagnostics()[0].message,
+            "unterminated quoted field"
+        );
+        assert!(parse("R", text).is_err(), "strict still rejects");
+    }
+
+    /// Lenient and strict agree exactly on clean input.
+    #[test]
+    fn lenient_parse_is_strict_on_clean_input() {
+        let text = "A,B\n\"x, y\",\"say \"\"hi\"\"\"\nplain,row\n";
+        let strict = parse("R", text).unwrap();
+        let (lenient, quarantine) = parse_lenient("R", text, &LenientOptions::default()).unwrap();
+        assert!(quarantine.is_empty());
+        assert_eq!(serialize(&strict), serialize(&lenient));
+    }
+
+    /// The header is not negotiable: a missing or malformed first record
+    /// fails the lenient load too.
+    #[test]
+    fn lenient_parse_requires_valid_header() {
+        let err = parse_lenient("R", "", &LenientOptions::default()).unwrap_err();
+        assert_eq!(err.record, 1);
+        assert_eq!(err.message, "missing header record");
+
+        let err = parse_lenient("R", "bad\"header\n1,2\n", &LenientOptions::default()).unwrap_err();
+        assert_eq!(err.record, 1);
+        assert_eq!(err.message, "quote inside unquoted field");
+    }
+
+    /// The diagnostic cap bounds retained diagnostics, not the count.
+    #[test]
+    fn lenient_parse_enforces_diagnostic_cap() {
+        let mut text = String::from("A,B\n");
+        for _ in 0..10 {
+            text.push_str("ragged\n");
+        }
+        text.push_str("ok,row\n");
+        let opts = LenientOptions { max_diagnostics: 4 };
+        let (r, quarantine) = parse_lenient("R", &text, &opts).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(quarantine.quarantined(), 10);
+        assert_eq!(quarantine.diagnostics().len(), 4);
+        assert_eq!(quarantine.dropped(), 6);
+    }
+
+    #[test]
+    fn lenient_file_roundtrip() {
+        let path = std::env::temp_dir().join("dr_relation_lenient.csv");
+        std::fs::write(&path, "A,B\n1,2\nragged\n").unwrap();
+        let (r, quarantine) = load_file_lenient(&path, &LenientOptions::default()).unwrap();
+        assert_eq!(r.schema().name(), "dr_relation_lenient");
+        assert_eq!(r.len(), 1);
+        assert_eq!(quarantine.quarantined(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    proptest! {
+        /// Lenient parsing never changes what loads from *clean* text: it
+        /// returns exactly the strict result with an empty quarantine.
+        #[test]
+        fn lenient_equals_strict_on_serialized_relations(
+            rows in prop::collection::vec(
+                prop::collection::vec("[a-z,\"\n ]{0,8}", 2..=2),
+                0..6,
+            ),
+        ) {
+            let schema = Schema::new("R", &["A", "B"]);
+            let mut rel = Relation::new(schema);
+            for row in &rows {
+                rel.push(Tuple::new(row.clone()));
+            }
+            let text = serialize(&rel);
+            let strict = parse("R", &text).unwrap();
+            let (lenient, quarantine) =
+                parse_lenient("R", &text, &LenientOptions::default()).unwrap();
+            prop_assert!(quarantine.is_empty());
+            prop_assert_eq!(serialize(&strict), serialize(&lenient));
+        }
     }
 
     proptest! {

@@ -19,6 +19,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// Resilience hygiene (DESIGN.md §4c): library code must surface failures as
+// typed errors, not panics. `.expect()` stays available for genuine
+// invariants — the message documents why the panic cannot fire.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod csv;
 pub mod ground_truth;
