@@ -124,12 +124,14 @@ impl RelationReport {
     }
 
     /// Recomputes [`Self::resilience`] from the per-tuple outcomes (loader
-    /// quarantine counts are preserved — they are not derivable from the
-    /// tuples).
+    /// quarantine and scheduler retry counts are preserved — neither is
+    /// derivable from the tuples).
     pub fn tally_resilience(&mut self) {
         let quarantined = self.resilience.quarantined;
+        let retried = self.resilience.retried;
         self.resilience = ResilienceReport::tally(&self.tuples);
         self.resilience.quarantined = quarantined;
+        self.resilience.retried = retried;
     }
 }
 

@@ -13,4 +13,5 @@ pub mod parallel;
 pub mod registry;
 pub mod resilience;
 pub mod rule_graph;
+pub mod snapshot;
 pub mod value_cache;

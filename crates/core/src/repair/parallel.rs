@@ -14,6 +14,12 @@
 //! so the stitched report is in row order and the whole result is
 //! bit-identical to the sequential [`FastRepairer`] regardless of claim
 //! granularity.
+//!
+//! Rows whose worker panicked are re-run exactly once, on fresh worker
+//! threads spawned after the first pass drains (DESIGN.md §4c): transient
+//! faults heal to the fault-free result, deterministic ones report
+//! [`TupleOutcome::Failed`] as before, and the attempt count lands in
+//! [`ResilienceReport::retried`](crate::repair::resilience::ResilienceReport).
 
 use crate::context::MatchContext;
 use crate::repair::basic::{PhaseTimings, RelationReport, TupleReport};
@@ -133,6 +139,45 @@ pub fn parallel_repair(
         }
     });
 
+    // Retry policy: each panicked row gets exactly one more attempt, on a
+    // fresh worker thread spawned after the first pass fully drained. A
+    // transient fault (a poisoned thread-local, an injected `PanicOnce`)
+    // heals to the same report a fault-free run produces — tuples are
+    // independent, so running the row late changes nothing — while a
+    // deterministic panic fails again and keeps its `Failed` outcome. The
+    // fault plan is triggered on the retry too, so injected faults decide
+    // for themselves whether they are transient. A genuine mid-repair
+    // panic leaves at worst a prefix of atomic rule applications; the
+    // retry continues the chase from that state toward the same fixpoint.
+    let retry_rows: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, slot)| {
+            matches!(
+                &*slot.lock(),
+                Some(TupleReport {
+                    outcome: TupleOutcome::Failed { .. },
+                    ..
+                })
+            )
+        })
+        .map(|(row, _)| row)
+        .collect();
+    let retried = retry_rows.len();
+    if retried > 0 {
+        let retry_next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(retry_rows.len()) {
+                scope.spawn(|| loop {
+                    let i = retry_next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&row) = retry_rows.get(i) else { break };
+                    *slots[row].lock() =
+                        Some(repair_row(&repairer, ctx, opts, &shared, &rows, row));
+                });
+            }
+        });
+    }
+
     let mut report = RelationReport {
         tuples: slots
             .into_iter()
@@ -157,6 +202,7 @@ pub fn parallel_repair(
         },
         ..RelationReport::default()
     };
+    report.resilience.retried = retried;
     report.tally_resilience();
     report
 }

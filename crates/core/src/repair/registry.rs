@@ -25,19 +25,46 @@
 //! [`ValueCacheConfig`]), and the registry itself retains at most
 //! `max_caches` distinct caches, dropping the least recently used whole
 //! cache beyond that.
+//!
+//! ## Disk snapshots (cross-process warm starts)
+//!
+//! With a [`RegistryConfig::cache_dir`], the registry adds a persistence
+//! tier below the in-process pool (see [`crate::repair::snapshot`] for the
+//! file format). Disk files are keyed by `(KB content hash, schema
+//! fingerprint)` — the *content* hash, not the process-local generation —
+//! so a later process that rebuilds the same KB warm-starts from the files
+//! an earlier process left behind:
+//!
+//! * a **cold miss** first tries the snapshot file for the key; a valid one
+//!   seeds the fresh cache (`snapshot.warm_loads`), anything else — missing
+//!   file, corruption, key mismatch, out-of-range ids — degrades to a cold
+//!   cache with a capped diagnostic (`snapshot_diagnostics`), never an
+//!   error;
+//! * **eviction writes back**: a cache dropped by LRU pressure or
+//!   [`CacheRegistry::evict_stale`] is snapshotted to disk first, so its
+//!   working set survives its in-memory death;
+//! * [`CacheRegistry::persist`] flushes every live cache, bounded by
+//!   [`RegistryConfig::max_persist_entries`] hottest entries each (the
+//!   clock/second-chance bits decide what is hot).
 
+use crate::repair::snapshot::{self, SnapshotKey, SnapshotPayload};
 use crate::repair::value_cache::{ValueCache, ValueCacheConfig};
 use dr_kb::{FxHashMap, KnowledgeBase};
 use dr_relation::Schema;
 use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 /// Cache identity: (KB generation, schema fingerprint).
 pub type CacheKey = (u64, u64);
 
+/// Most diagnostics retained by the snapshot ledger; later ones are counted
+/// but dropped (same discipline as [`dr_kb::LenientOptions`]).
+const MAX_SNAPSHOT_DIAGNOSTICS: usize = 64;
+
 /// Sizing knobs for a [`CacheRegistry`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegistryConfig {
     /// Entry budget for each retained [`ValueCache`] (`0` = unbounded).
     pub max_entries_per_cache: usize,
@@ -48,6 +75,12 @@ pub struct RegistryConfig {
     /// Distinct `(KB, schema)` caches retained; beyond this the least
     /// recently used cache is dropped. Must be at least 1.
     pub max_caches: usize,
+    /// Directory for cross-process cache snapshots. `None` (the default)
+    /// disables persistence entirely.
+    pub cache_dir: Option<PathBuf>,
+    /// Entry budget per persisted snapshot (`0` = persist everything). The
+    /// hottest entries per shard — by the clock referenced bit — are kept.
+    pub max_persist_entries: usize,
 }
 
 impl Default for RegistryConfig {
@@ -57,11 +90,20 @@ impl Default for RegistryConfig {
             shards: 0,
             threads: 0,
             max_caches: 8,
+            cache_dir: None,
+            max_persist_entries: 1 << 16,
         }
     }
 }
 
 impl RegistryConfig {
+    /// Returns the config with snapshot persistence rooted at `dir`.
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
     /// The per-cache [`ValueCacheConfig`] this registry hands out.
     fn cache_config(&self) -> ValueCacheConfig {
         let base = if self.shards != 0 {
@@ -83,6 +125,43 @@ impl RegistryConfig {
     }
 }
 
+/// Disk-snapshot counters, nested in [`RegistryStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Fresh caches successfully seeded from a disk snapshot.
+    pub warm_loads: u64,
+    /// Fresh caches that found no usable snapshot (missing or rejected).
+    pub cold_loads: u64,
+    /// Snapshots that existed but were rejected (corrupt, key-mismatched,
+    /// or holding out-of-range ids) — a subset of `cold_loads`.
+    pub rejected: u64,
+    /// Snapshots written to disk (explicit persists and eviction
+    /// write-backs).
+    pub saves: u64,
+}
+
+impl SnapshotStats {
+    /// Counter deltas since an `earlier` snapshot of the same registry.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &SnapshotStats) -> SnapshotStats {
+        SnapshotStats {
+            warm_loads: self.warm_loads.saturating_sub(earlier.warm_loads),
+            cold_loads: self.cold_loads.saturating_sub(earlier.cold_loads),
+            rejected: self.rejected.saturating_sub(earlier.rejected),
+            saves: self.saves.saturating_sub(earlier.saves),
+        }
+    }
+}
+
+impl std::ops::AddAssign for SnapshotStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.warm_loads += rhs.warm_loads;
+        self.cold_loads += rhs.cold_loads;
+        self.rejected += rhs.rejected;
+        self.saves += rhs.saves;
+    }
+}
+
 /// Registry-level counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RegistryStats {
@@ -96,11 +175,34 @@ pub struct RegistryStats {
     pub live_caches: usize,
     /// Total entries across all retained caches.
     pub live_entries: usize,
+    /// Disk-snapshot activity (all zeros without a `cache_dir`).
+    pub snapshot: SnapshotStats,
+}
+
+impl RegistryStats {
+    /// Counter deltas since an `earlier` snapshot of the same registry;
+    /// the point-in-time gauges (`live_caches`, `live_entries`) keep their
+    /// later values.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &RegistryStats) -> RegistryStats {
+        RegistryStats {
+            warm_hits: self.warm_hits.saturating_sub(earlier.warm_hits),
+            cold_misses: self.cold_misses.saturating_sub(earlier.cold_misses),
+            evicted_caches: self.evicted_caches.saturating_sub(earlier.evicted_caches),
+            live_caches: self.live_caches,
+            live_entries: self.live_entries,
+            snapshot: self.snapshot.delta_since(&earlier.snapshot),
+        }
+    }
 }
 
 struct Slot {
     cache: Arc<ValueCache>,
     last_used: u64,
+    /// Disk identity, captured at creation when persistence is on. `None`
+    /// for slots created without a live KB in hand (or with persistence
+    /// off): they are never written to disk.
+    disk_key: Option<SnapshotKey>,
 }
 
 /// A process-lifetime pool of schema-keyed [`ValueCache`]s.
@@ -111,6 +213,11 @@ pub struct CacheRegistry {
     warm_hits: AtomicU64,
     cold_misses: AtomicU64,
     evicted_caches: AtomicU64,
+    snapshot_warm_loads: AtomicU64,
+    snapshot_cold_loads: AtomicU64,
+    snapshot_rejected: AtomicU64,
+    snapshot_saves: AtomicU64,
+    snapshot_diagnostics: Mutex<Vec<String>>,
 }
 
 impl Default for CacheRegistry {
@@ -130,6 +237,11 @@ impl CacheRegistry {
             warm_hits: AtomicU64::new(0),
             cold_misses: AtomicU64::new(0),
             evicted_caches: AtomicU64::new(0),
+            snapshot_warm_loads: AtomicU64::new(0),
+            snapshot_cold_loads: AtomicU64::new(0),
+            snapshot_rejected: AtomicU64::new(0),
+            snapshot_saves: AtomicU64::new(0),
+            snapshot_diagnostics: Mutex::new(Vec::new()),
         }
     }
 
@@ -142,17 +254,41 @@ impl CacheRegistry {
     /// `max_caches`, evicting the least recently used) as needed. Repeated
     /// calls with the same live KB and an equal schema return the same warm
     /// instance.
+    ///
+    /// With a [`RegistryConfig::cache_dir`], a newly created cache is first
+    /// seeded from the disk snapshot keyed by `(kb content hash, schema
+    /// fingerprint)` when a valid one exists; missing or corrupt snapshots
+    /// degrade to a cold start and leave a diagnostic, never an error.
     pub fn cache_for(&self, kb: &KnowledgeBase, schema: &Schema) -> Arc<ValueCache> {
-        self.cache_for_key((kb.generation(), schema.fingerprint()))
+        let disk_key = self
+            .config
+            .cache_dir
+            .is_some()
+            .then(|| SnapshotKey::for_pair(kb, schema));
+        let (cache, created) =
+            self.lookup_or_create((kb.generation(), schema.fingerprint()), disk_key);
+        if created {
+            if let (Some(dir), Some(key)) = (self.config.cache_dir.as_deref(), disk_key) {
+                self.seed_from_disk(dir, key, kb, schema, &cache);
+            }
+        }
+        cache
     }
 
-    fn cache_for_key(&self, key: CacheKey) -> Arc<ValueCache> {
+    /// Returns the cache for `key` and whether this call created it.
+    /// Evicted LRU victims are written back to disk (outside the pool lock).
+    fn lookup_or_create(
+        &self,
+        key: CacheKey,
+        disk_key: Option<SnapshotKey>,
+    ) -> (Arc<ValueCache>, bool) {
         let stamp = self.clock.fetch_add(1, Relaxed) + 1;
+        let mut victims: Vec<(SnapshotKey, Arc<ValueCache>)> = Vec::new();
         let mut slots = self.slots.lock();
         if let Some(slot) = slots.get_mut(&key) {
             slot.last_used = stamp;
             self.warm_hits.fetch_add(1, Relaxed);
-            return Arc::clone(&slot.cache);
+            return (Arc::clone(&slot.cache), false);
         }
         self.cold_misses.fetch_add(1, Relaxed);
         while slots.len() >= self.config.max_caches {
@@ -162,7 +298,11 @@ impl CacheRegistry {
                 .map(|(&k, _)| k);
             match lru {
                 Some(k) => {
-                    slots.remove(&k);
+                    if let Some(slot) = slots.remove(&k) {
+                        if let Some(dk) = slot.disk_key {
+                            victims.push((dk, slot.cache));
+                        }
+                    }
                     self.evicted_caches.fetch_add(1, Relaxed);
                 }
                 None => break,
@@ -174,24 +314,138 @@ impl CacheRegistry {
             Slot {
                 cache: Arc::clone(&cache),
                 last_used: stamp,
+                disk_key,
             },
         );
-        cache
+        drop(slots);
+        self.write_back(victims);
+        (cache, true)
     }
 
     /// Drops every cache not belonging to `live_generation` — for
     /// server-style workloads that rebuild their KB in place and want the
     /// stale caches' memory back immediately instead of waiting for LRU
     /// pressure. (Correctness never depends on this: stale generations are
-    /// unreachable through [`Self::cache_for`] regardless.)
+    /// unreachable through [`Self::cache_for`] regardless.) Evicted caches
+    /// with a disk identity are snapshotted to disk first.
     pub fn evict_stale(&self, live_generation: u64) {
+        let mut victims: Vec<(SnapshotKey, Arc<ValueCache>)> = Vec::new();
         let mut slots = self.slots.lock();
         let before = slots.len();
-        slots.retain(|&(generation, _), _| generation == live_generation);
+        slots.retain(|&(generation, _), slot| {
+            let keep = generation == live_generation;
+            if !keep {
+                if let Some(dk) = slot.disk_key {
+                    victims.push((dk, Arc::clone(&slot.cache)));
+                }
+            }
+            keep
+        });
         let dropped = (before - slots.len()) as u64;
         if dropped > 0 {
             self.evicted_caches.fetch_add(dropped, Relaxed);
         }
+        drop(slots);
+        self.write_back(victims);
+    }
+
+    /// Writes every live cache that has a disk identity to the cache
+    /// directory, bounded by [`RegistryConfig::max_persist_entries`] hottest
+    /// entries each. Returns the number of snapshots written. A no-op
+    /// (returning 0) without a `cache_dir`.
+    pub fn persist(&self) -> usize {
+        let targets: Vec<(SnapshotKey, Arc<ValueCache>)> = {
+            let slots = self.slots.lock();
+            slots
+                .values()
+                .filter_map(|s| s.disk_key.map(|k| (k, Arc::clone(&s.cache))))
+                .collect()
+        };
+        self.write_back(targets)
+    }
+
+    /// Saves `(key, cache)` pairs to disk; shared by [`Self::persist`] and
+    /// the eviction paths. Empty caches are skipped.
+    fn write_back(&self, targets: Vec<(SnapshotKey, Arc<ValueCache>)>) -> usize {
+        let Some(dir) = self.config.cache_dir.as_deref() else {
+            return 0;
+        };
+        let mut saved = 0;
+        for (key, cache) in targets {
+            let payload = cache.export_hottest(self.config.max_persist_entries);
+            if payload.is_empty() {
+                continue;
+            }
+            match snapshot::write_snapshot(dir, key, &payload) {
+                Ok(_) => {
+                    self.snapshot_saves.fetch_add(1, Relaxed);
+                    saved += 1;
+                }
+                Err(e) => self.record_diagnostic(format!(
+                    "snapshot save kb={:#x} schema={:#x}: {e}",
+                    key.kb_content_hash, key.schema_fingerprint
+                )),
+            }
+        }
+        saved
+    }
+
+    /// Seeds a freshly created cache from its disk snapshot, if a usable one
+    /// exists. Every failure mode is a cold start; corruption (as opposed to
+    /// simple absence) additionally counts as `rejected` and leaves a
+    /// diagnostic.
+    fn seed_from_disk(
+        &self,
+        dir: &Path,
+        key: SnapshotKey,
+        kb: &KnowledgeBase,
+        schema: &Schema,
+        cache: &ValueCache,
+    ) {
+        let loaded = snapshot::read_snapshot(dir, key)
+            .and_then(|payload| payload.validate(kb, schema).map(|()| payload));
+        match loaded {
+            Ok(payload) => {
+                cache.import(&payload);
+                self.snapshot_warm_loads.fetch_add(1, Relaxed);
+            }
+            Err(e) => {
+                cache.mark_snapshot_cold();
+                self.snapshot_cold_loads.fetch_add(1, Relaxed);
+                if !e.is_absence() {
+                    self.snapshot_rejected.fetch_add(1, Relaxed);
+                    self.record_diagnostic(format!(
+                        "snapshot load kb={:#x} schema={:#x}: {e}",
+                        key.kb_content_hash, key.schema_fingerprint
+                    ));
+                }
+            }
+        }
+    }
+
+    fn record_diagnostic(&self, message: String) {
+        let mut diags = self.snapshot_diagnostics.lock();
+        if diags.len() < MAX_SNAPSHOT_DIAGNOSTICS {
+            diags.push(message);
+        }
+    }
+
+    /// Quarantine-style ledger of snapshot load/save failures (capped at
+    /// [`MAX_SNAPSHOT_DIAGNOSTICS`]; absence of a snapshot file is routine
+    /// and never recorded).
+    pub fn snapshot_diagnostics(&self) -> Vec<String> {
+        self.snapshot_diagnostics.lock().clone()
+    }
+
+    /// Exports the portable payload for `(kb, schema)`'s live cache —
+    /// what [`Self::persist`] would write for it. Mostly for tests and
+    /// tooling; `None` when no live cache exists for the pair.
+    pub fn export_payload(&self, kb: &KnowledgeBase, schema: &Schema) -> Option<SnapshotPayload> {
+        let key = (kb.generation(), schema.fingerprint());
+        let slots = self.slots.lock();
+        slots
+            .get(&key)
+            .map(|s| s.cache.export_hottest(self.config.max_persist_entries))
     }
 
     /// Snapshot of the registry counters.
@@ -203,6 +457,12 @@ impl CacheRegistry {
             evicted_caches: self.evicted_caches.load(Relaxed),
             live_caches: slots.len(),
             live_entries: slots.values().map(|s| s.cache.len()).sum(),
+            snapshot: SnapshotStats {
+                warm_loads: self.snapshot_warm_loads.load(Relaxed),
+                cold_loads: self.snapshot_cold_loads.load(Relaxed),
+                rejected: self.snapshot_rejected.load(Relaxed),
+                saves: self.snapshot_saves.load(Relaxed),
+            },
         }
     }
 }
@@ -344,5 +604,196 @@ mod tests {
             max_caches: 0,
             ..Default::default()
         });
+    }
+
+    // ----- disk snapshots -------------------------------------------------
+
+    /// A unique throwaway directory per test (std-only tempdir).
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::AtomicU32;
+        static N: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "dr-registry-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn persisting_registry(dir: &std::path::Path) -> CacheRegistry {
+        CacheRegistry::new(RegistryConfig::default().with_cache_dir(dir))
+    }
+
+    /// persist() → fresh registry (simulating a new process) → warm load:
+    /// the same entries answer as hits, and both sides count it.
+    #[test]
+    fn persisted_snapshot_warms_a_fresh_registry() {
+        let dir = scratch_dir("warm");
+        let schema = nobel_schema();
+        let kb = nobel_mini_kb();
+        let node = city_node(&kb);
+
+        let first = persisting_registry(&dir);
+        {
+            let ctx = MatchContext::new(&kb);
+            let cache = first.cache_for(&kb, &schema);
+            let _ = cache.candidates(&ctx, &node, "Haifa");
+            let _ = cache.candidates(&ctx, &node, "Karcag");
+        }
+        assert_eq!(first.persist(), 1);
+        let s = first.stats();
+        assert_eq!(s.snapshot.saves, 1);
+        assert_eq!(s.snapshot.cold_loads, 1, "first process started cold");
+
+        // A brand-new registry *and* a rebuilt KB: the generation differs,
+        // the content hash does not, so the snapshot applies.
+        let kb2 = nobel_mini_kb();
+        assert_ne!(kb.generation(), kb2.generation());
+        let second = persisting_registry(&dir);
+        let cache = second.cache_for(&kb2, &schema);
+        assert_eq!(cache.stats().snapshot_warm, 2, "both entries seeded");
+        let ctx = MatchContext::new(&kb2);
+        let node2 = city_node(&kb2);
+        let _ = cache.candidates(&ctx, &node2, "Haifa");
+        assert_eq!(cache.stats().node_hits, 1);
+        assert_eq!(cache.stats().node_misses, 0);
+        let s = second.stats();
+        assert_eq!(s.snapshot.warm_loads, 1);
+        assert_eq!(s.snapshot.rejected, 0);
+        assert!(second.snapshot_diagnostics().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A corrupt snapshot file degrades to a cold cache with a diagnostic —
+    /// never an error, never partial state.
+    #[test]
+    fn corrupt_snapshot_degrades_to_cold_with_diagnostic() {
+        let dir = scratch_dir("corrupt");
+        let schema = nobel_schema();
+        let kb = nobel_mini_kb();
+        let node = city_node(&kb);
+        {
+            let first = persisting_registry(&dir);
+            let ctx = MatchContext::new(&kb);
+            let cache = first.cache_for(&kb, &schema);
+            let _ = cache.candidates(&ctx, &node, "Haifa");
+            assert_eq!(first.persist(), 1);
+        }
+        let key = crate::repair::snapshot::SnapshotKey::for_pair(&kb, &schema);
+        let path = key.path_in(&dir);
+        let mut bytes = std::fs::read(&path).expect("snapshot exists");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("rewrite");
+
+        let second = persisting_registry(&dir);
+        let cache = second.cache_for(&kb, &schema);
+        assert!(cache.is_empty(), "no partial state from a corrupt file");
+        assert_eq!(cache.stats().snapshot_cold, 1);
+        let s = second.stats();
+        assert_eq!(s.snapshot.warm_loads, 0);
+        assert_eq!(s.snapshot.cold_loads, 1);
+        assert_eq!(s.snapshot.rejected, 1);
+        let diags = second.snapshot_diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert!(
+            diags[0].contains("checksum"),
+            "diagnostic names the cause: {diags:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// LRU eviction writes the victim back to disk, so its working set
+    /// survives in-memory death and warms the next cold miss.
+    #[test]
+    fn lru_eviction_writes_back_to_disk() {
+        let dir = scratch_dir("evict");
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let node = city_node(&kb);
+        let registry = CacheRegistry::new(
+            RegistryConfig {
+                max_caches: 1,
+                ..Default::default()
+            }
+            .with_cache_dir(&dir),
+        );
+        let s1 = dr_relation::Schema::new("R1", &["City"]);
+        let s2 = dr_relation::Schema::new("R2", &["City"]);
+        // The cached entry must be keyed by a column of *s1* — snapshot
+        // validation checks ids against the owning schema on reload.
+        let node = SchemaNode::new(s1.attr_expect("City"), node.ty, node.sim);
+        {
+            let cache = registry.cache_for(&kb, &s1);
+            let _ = cache.candidates(&ctx, &node, "Haifa");
+        }
+        // Asking for R2 evicts R1's cache, snapshotting it on the way out.
+        let _ = registry.cache_for(&kb, &s2);
+        assert_eq!(registry.stats().snapshot.saves, 1);
+        assert!(registry.snapshot_diagnostics().is_empty());
+        // R1 comes back warm from disk.
+        let back = registry.cache_for(&kb, &s1);
+        assert_eq!(back.stats().snapshot_warm, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Without a cache_dir nothing touches the filesystem and persist is a
+    /// no-op.
+    #[test]
+    fn no_cache_dir_means_no_persistence() {
+        let kb = nobel_mini_kb();
+        let schema = nobel_schema();
+        let registry = CacheRegistry::default();
+        let _ = registry.cache_for(&kb, &schema);
+        assert_eq!(registry.persist(), 0);
+        let s = registry.stats();
+        assert_eq!(s.snapshot, SnapshotStats::default());
+    }
+
+    #[test]
+    fn registry_stats_delta_subtracts_counters() {
+        let earlier = RegistryStats {
+            warm_hits: 2,
+            cold_misses: 1,
+            evicted_caches: 0,
+            live_caches: 1,
+            live_entries: 10,
+            snapshot: SnapshotStats {
+                warm_loads: 1,
+                cold_loads: 1,
+                rejected: 0,
+                saves: 2,
+            },
+        };
+        let later = RegistryStats {
+            warm_hits: 5,
+            cold_misses: 2,
+            evicted_caches: 1,
+            live_caches: 2,
+            live_entries: 30,
+            snapshot: SnapshotStats {
+                warm_loads: 2,
+                cold_loads: 2,
+                rejected: 1,
+                saves: 2,
+            },
+        };
+        let d = later.delta_since(&earlier);
+        assert_eq!((d.warm_hits, d.cold_misses, d.evicted_caches), (3, 1, 1));
+        assert_eq!(
+            (d.live_caches, d.live_entries),
+            (2, 30),
+            "gauges keep later values"
+        );
+        assert_eq!(
+            d.snapshot,
+            SnapshotStats {
+                warm_loads: 1,
+                cold_loads: 1,
+                rejected: 1,
+                saves: 0,
+            }
+        );
     }
 }

@@ -123,6 +123,13 @@ pub struct ResilienceReport {
     /// repair ever saw them (filled in by the pipeline that loaded the
     /// relation; repairers leave it zero).
     pub quarantined: usize,
+    /// Rows whose first attempt panicked and were re-run once on a fresh
+    /// worker by [`parallel_repair`](crate::repair::parallel). Counts
+    /// retry *attempts*: a healed row still shows here (its outcome is
+    /// `Completed`), and a row that panicked again counts here *and* in
+    /// [`failed`](Self::failed). Advisory — a retried-but-healed run is
+    /// still [`is_clean`](Self::is_clean).
+    pub retried: usize,
     /// Step spend at exhaustion for every degraded tuple.
     pub exhaustion: BudgetHistogram,
 }
@@ -163,6 +170,7 @@ impl std::ops::AddAssign for ResilienceReport {
         self.degraded += rhs.degraded;
         self.failed += rhs.failed;
         self.quarantined += rhs.quarantined;
+        self.retried += rhs.retried;
         self.exhaustion += rhs.exhaustion;
     }
 }
@@ -222,11 +230,23 @@ mod tests {
     fn add_assign_accumulates() {
         let mut a = ResilienceReport::tally(&[degraded(4)]);
         a.add_quarantined(3);
-        let b = ResilienceReport::tally(&[degraded(4), degraded(9)]);
+        a.retried = 2;
+        let mut b = ResilienceReport::tally(&[degraded(4), degraded(9)]);
+        b.retried = 1;
         a += b;
         assert_eq!(a.degraded, 3);
         assert_eq!(a.quarantined, 3);
+        assert_eq!(a.retried, 3);
         assert_eq!(a.exhaustion.total(), 3);
         assert_eq!(a.exhaustion.buckets()[2], 2, "two exhaustions at 4 steps");
+    }
+
+    #[test]
+    fn retried_is_advisory_for_cleanliness() {
+        let r = ResilienceReport {
+            retried: 4,
+            ..Default::default()
+        };
+        assert!(r.is_clean(), "a healed retry leaves the run clean");
     }
 }

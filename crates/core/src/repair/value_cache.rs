@@ -26,6 +26,7 @@
 
 use crate::context::MatchContext;
 use crate::graph::schema::SchemaNode;
+use crate::repair::snapshot::SnapshotPayload;
 use dr_kb::{FxHashMap, Node, PredId};
 use parking_lot::RwLock;
 use std::collections::VecDeque;
@@ -117,6 +118,12 @@ pub struct CacheStats {
     pub edge_misses: u64,
     /// Entries evicted to stay under the configured budget.
     pub evictions: u64,
+    /// Entries preloaded from a disk snapshot when the cache was created
+    /// (warm start; `0` on caches that never touched a snapshot).
+    pub snapshot_warm: u64,
+    /// `1` when a snapshot was looked for but none was usable (missing,
+    /// corrupt, or key-mismatched) — the cache started cold.
+    pub snapshot_cold: u64,
 }
 
 impl CacheStats {
@@ -151,6 +158,8 @@ impl CacheStats {
             edge_hits: self.edge_hits.saturating_sub(earlier.edge_hits),
             edge_misses: self.edge_misses.saturating_sub(earlier.edge_misses),
             evictions: self.evictions.saturating_sub(earlier.evictions),
+            snapshot_warm: self.snapshot_warm.saturating_sub(earlier.snapshot_warm),
+            snapshot_cold: self.snapshot_cold.saturating_sub(earlier.snapshot_cold),
         }
     }
 }
@@ -164,6 +173,8 @@ impl std::ops::AddAssign for CacheStats {
         self.edge_hits += rhs.edge_hits;
         self.edge_misses += rhs.edge_misses;
         self.evictions += rhs.evictions;
+        self.snapshot_warm += rhs.snapshot_warm;
+        self.snapshot_cold += rhs.snapshot_cold;
     }
 }
 
@@ -262,6 +273,39 @@ impl<K: Hash + Eq + Clone, V> ClockShard<K, V> {
     fn len(&self) -> usize {
         self.map.len()
     }
+
+    /// Emits up to `cap` entries (`0` = all), hottest first: entries whose
+    /// clock bit is set (recently referenced) precede unreferenced ones, each
+    /// group in ring (insertion) order. This is the same signal the eviction
+    /// sweep uses, so a bounded snapshot keeps exactly the working set the
+    /// clock would protect.
+    fn export(&self, cap: usize, mut emit: impl FnMut(&K, &V)) {
+        let mut cold: Vec<&K> = Vec::new();
+        let mut emitted = 0usize;
+        let full = |n: usize| cap != 0 && n >= cap;
+        for k in &self.ring {
+            if full(emitted) {
+                return;
+            }
+            if let Some(e) = self.map.get(k) {
+                if e.referenced.load(Relaxed) {
+                    emit(k, &e.value);
+                    emitted += 1;
+                } else {
+                    cold.push(k);
+                }
+            }
+        }
+        for k in cold {
+            if full(emitted) {
+                return;
+            }
+            if let Some(e) = self.map.get(k) {
+                emit(k, &e.value);
+                emitted += 1;
+            }
+        }
+    }
 }
 
 /// A relation-scoped (or, via the registry, schema-scoped), thread-safe
@@ -275,6 +319,8 @@ pub struct ValueCache {
     edge_hits: AtomicU64,
     edge_misses: AtomicU64,
     evictions: AtomicU64,
+    snapshot_warm: AtomicU64,
+    snapshot_cold: AtomicU64,
 }
 
 impl Default for ValueCache {
@@ -312,6 +358,8 @@ impl ValueCache {
             edge_hits: AtomicU64::new(0),
             edge_misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            snapshot_warm: AtomicU64::new(0),
+            snapshot_cold: AtomicU64::new(0),
         }
     }
 
@@ -396,7 +444,71 @@ impl ValueCache {
             edge_hits: self.edge_hits.load(Relaxed),
             edge_misses: self.edge_misses.load(Relaxed),
             evictions: self.evictions.load(Relaxed),
+            snapshot_warm: self.snapshot_warm.load(Relaxed),
+            snapshot_cold: self.snapshot_cold.load(Relaxed),
         }
+    }
+
+    // ----- disk snapshots (DESIGN.md §4a, level 0 persistence) -----------
+
+    /// Exports up to `max_entries` entries (`0` = everything) as a portable
+    /// [`SnapshotPayload`], hottest first per shard. The budget is split the
+    /// same way the live cache splits its own entry budget: evenly across
+    /// shards, half to node entries and half to edge entries — so a bounded
+    /// persist keeps the clock-protected working set of every shard.
+    pub fn export_hottest(&self, max_entries: usize) -> SnapshotPayload {
+        let shards = self.shard_count();
+        let per_shard = if max_entries == 0 {
+            0
+        } else {
+            (max_entries / (2 * shards)).max(1)
+        };
+        let mut payload = SnapshotPayload::default();
+        for shard in &self.nodes {
+            shard.read().export(per_shard, |(sn, value), cands| {
+                payload.nodes.push((*sn, value.clone(), (**cands).clone()));
+            });
+        }
+        for shard in &self.edges {
+            shard.read().export(per_shard, |(sig, from, to), &ok| {
+                payload.edges.push((*sig, from.clone(), to.clone(), ok));
+            });
+        }
+        payload
+    }
+
+    /// Seeds the cache from a decoded snapshot, returning how many entries
+    /// were installed. First insert wins, exactly like live lookups, and the
+    /// cache's own entry budget still applies (importing into a smaller
+    /// cache simply evicts). Advances the `snapshot_warm` counter.
+    pub fn import(&self, payload: &SnapshotPayload) -> usize {
+        let mut imported = 0usize;
+        let mut evicted = 0u64;
+        for (sn, value, cands) in &payload.nodes {
+            let key = (*sn, value.clone());
+            let shard = &self.nodes[hash_of(&key) & self.mask];
+            let (_, ev) = shard.write().insert(key, Arc::new(cands.clone()));
+            evicted += ev;
+            imported += 1;
+        }
+        for (sig, from, to, ok) in &payload.edges {
+            let key = (*sig, from.clone(), to.clone());
+            let shard = &self.edges[hash_of(&key) & self.mask];
+            let (_, ev) = shard.write().insert(key, *ok);
+            evicted += ev;
+            imported += 1;
+        }
+        self.snapshot_warm.fetch_add(imported as u64, Relaxed);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Relaxed);
+        }
+        imported
+    }
+
+    /// Records that a snapshot was looked for and none was usable — the
+    /// cache starts cold. Surfaces as `snapshot_cold` in [`CacheStats`].
+    pub fn mark_snapshot_cold(&self) {
+        self.snapshot_cold.fetch_add(1, Relaxed);
     }
 }
 
@@ -515,6 +627,8 @@ mod tests {
             edge_hits: 1,
             edge_misses: 1,
             evictions: 3,
+            snapshot_warm: 10,
+            snapshot_cold: 1,
         };
         let later = CacheStats {
             node_hits: 9,
@@ -522,6 +636,8 @@ mod tests {
             edge_hits: 4,
             edge_misses: 2,
             evictions: 3,
+            snapshot_warm: 10,
+            snapshot_cold: 1,
         };
         let d = later.delta_since(&earlier);
         assert_eq!(
@@ -532,6 +648,8 @@ mod tests {
                 edge_hits: 3,
                 edge_misses: 1,
                 evictions: 0,
+                snapshot_warm: 0,
+                snapshot_cold: 0,
             }
         );
     }
@@ -597,6 +715,61 @@ mod tests {
         // The steady state is all-hits after the two cold misses.
         assert_eq!(cache.stats().node_misses, 2);
         assert!(last_rate > 0.9);
+    }
+
+    /// Export → import into a fresh cache turns every exported key into a
+    /// hit, and the importer's counters say how it was warmed.
+    #[test]
+    fn export_import_roundtrip_warms_a_fresh_cache() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let donor = ValueCache::new();
+        let node = city_node(&kb);
+        let a = donor.candidates(&ctx, &node, "Haifa");
+        let b = donor.candidates(&ctx, &node, "Karcag");
+        let payload = donor.export_hottest(0);
+        assert_eq!(payload.nodes.len(), 2);
+
+        let fresh = ValueCache::new();
+        assert_eq!(fresh.import(&payload), 2);
+        let x = fresh.candidates(&ctx, &node, "Haifa");
+        let y = fresh.candidates(&ctx, &node, "Karcag");
+        assert_eq!(*x, *a);
+        assert_eq!(*y, *b);
+        let stats = fresh.stats();
+        assert_eq!(stats.node_hits, 2, "imported entries answer as hits");
+        assert_eq!(stats.node_misses, 0);
+        assert_eq!(stats.snapshot_warm, 2);
+        assert_eq!(stats.snapshot_cold, 0);
+    }
+
+    /// A bounded export keeps the referenced (clock-protected) entries.
+    #[test]
+    fn bounded_export_prefers_referenced_entries() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let cache = ValueCache::with_config(ValueCacheConfig {
+            shards: 1,
+            max_entries: 0,
+        });
+        let node = city_node(&kb);
+        for v in ["Haifa", "Karcag", "Ithaca"] {
+            let _ = cache.candidates(&ctx, &node, v);
+        }
+        // Touch Karcag so it is the only referenced entry.
+        let _ = cache.candidates(&ctx, &node, "Karcag");
+        // cap 2 → per-shard cap max(2 / (2 shards·2 maps), 1) = 1.
+        let payload = cache.export_hottest(2);
+        assert_eq!(payload.nodes.len(), 1);
+        assert_eq!(payload.nodes[0].1, "Karcag");
+    }
+
+    #[test]
+    fn mark_snapshot_cold_sets_the_counter() {
+        let cache = ValueCache::new();
+        cache.mark_snapshot_cold();
+        assert_eq!(cache.stats().snapshot_cold, 1);
+        assert_eq!(cache.stats().snapshot_warm, 0);
     }
 
     /// A recently referenced entry survives an eviction sweep (second

@@ -79,6 +79,11 @@ fn seeded_ten_percent_panics_at_eight_threads() {
     assert_eq!(report.tuples.len(), free.len());
     assert_eq!(failed_rows(&report), panicking);
     assert_eq!(report.resilience.failed, panicking.len());
+    assert_eq!(
+        report.resilience.retried,
+        panicking.len(),
+        "every panicked row got its one retry before reporting Failed"
+    );
     assert_eq!(report.resilience.degraded, 0);
     for &row in &panicking {
         match &report.tuples[row].outcome {
@@ -146,6 +151,109 @@ fn seeded_ten_percent_panics_at_eight_threads() {
     assert!(next_report.resilience.is_clean());
     for cell in free.cell_refs() {
         assert_eq!(free.value(cell), next.value(cell), "warm run diverged");
+    }
+}
+
+/// One-shot panics heal: the retry pass re-runs each panicked row once on
+/// a fresh worker, so a seeded transient fault ends bit-identical to a
+/// fault-free run at every thread count, with the retry count surfaced in
+/// the `ResilienceReport` and the run still reading as clean.
+#[test]
+fn one_shot_panics_heal_on_retry() {
+    silence_injected_panics();
+    let kb = dr_kb::fixtures::nobel_mini_kb();
+    let rules = figure4_rules(&kb);
+    let ctx = MatchContext::new(&kb);
+
+    let mut free = stacked_table1(6); // 24 rows
+    let free_report = fast_repair(&ctx, &rules, &mut free, &ApplyOptions::default());
+
+    let seed = 0xFEED_F00D_u64;
+    let healing = FaultPlan::seeded(seed, free.len(), FaultSpec::panics_once(0.20)).healing_rows();
+    assert!(
+        !healing.is_empty(),
+        "seed draws at least one one-shot panic"
+    );
+
+    for threads in [1usize, 2, 4, 8] {
+        // A fresh plan per run: the fired-set is per-plan memory.
+        let plan = FaultPlan::seeded(seed, free.len(), FaultSpec::panics_once(0.20));
+        assert!(plan.disturbed_rows().is_empty(), "one-shot panics heal");
+        let mut healed = stacked_table1(6);
+        let report = parallel_repair(&ctx, &rules, &mut healed, &faulted_opts(threads, plan));
+
+        assert!(
+            report.tuples.iter().all(|t| t.outcome.is_completed()),
+            "{threads} threads: every row completes after its retry"
+        );
+        assert_eq!(report.resilience.failed, 0, "{threads} threads");
+        assert_eq!(
+            report.resilience.retried,
+            healing.len(),
+            "{threads} threads: one retry per first-pass panic"
+        );
+        assert!(
+            report.resilience.is_clean(),
+            "retries are advisory: {:?}",
+            report.resilience
+        );
+        assert_eq!(
+            free_report.tuples, report.tuples,
+            "{threads} threads: traces diverged"
+        );
+        for cell in free.cell_refs() {
+            assert_eq!(free.value(cell), healed.value(cell), "{cell:?}");
+        }
+    }
+}
+
+/// Deterministic double-panics: `Fault::Panic` fires on the retry too, so
+/// the row still reports `Failed` (payload preserved, tuple left as
+/// loaded) while a `PanicOnce` row in the same run heals — and `retried`
+/// counts both.
+#[test]
+fn double_panics_still_fail_with_retry_count() {
+    silence_injected_panics();
+    let kb = dr_kb::fixtures::nobel_mini_kb();
+    let rules = figure4_rules(&kb);
+    let ctx = MatchContext::new(&kb);
+
+    let plan = FaultPlan::new()
+        .with_fault(1, Fault::Panic)
+        .with_fault(6, Fault::Panic)
+        .with_fault(3, Fault::PanicOnce);
+    let pristine = stacked_table1(3); // 12 rows
+    let mut relation = stacked_table1(3);
+    let report = parallel_repair(&ctx, &rules, &mut relation, &faulted_opts(4, plan));
+
+    assert_eq!(failed_rows(&report), vec![1, 6]);
+    assert_eq!(report.resilience.failed, 2);
+    assert_eq!(
+        report.resilience.retried, 3,
+        "all three first-pass panics were retried once"
+    );
+    assert!(
+        report.tuples[3].outcome.is_completed(),
+        "the one-shot row healed: {:?}",
+        report.tuples[3].outcome
+    );
+    for row in [1usize, 6] {
+        match &report.tuples[row].outcome {
+            TupleOutcome::Failed { message } => {
+                assert!(message.contains(&format!("row {row}")), "{message}");
+            }
+            other => panic!("row {row}: {other:?}"),
+        }
+    }
+    for cell in pristine.cell_refs() {
+        if [1usize, 6].contains(&cell.row) {
+            assert_eq!(
+                pristine.value(cell),
+                relation.value(cell),
+                "double-panicked row {} left as loaded",
+                cell.row
+            );
+        }
     }
 }
 
@@ -242,7 +350,8 @@ proptest! {
     #[test]
     fn faulted_runs_isolate_damage(
         seed in any::<u64>(),
-        panic_rate in 0.0f64..0.35,
+        panic_rate in 0.0f64..0.25,
+        panic_once_rate in 0.0f64..0.2,
         exhaust_rate in 0.0f64..0.35,
         threads_idx in 0usize..4,
     ) {
@@ -257,11 +366,13 @@ proptest! {
 
         let plan = FaultPlan::seeded(seed, free.len(), FaultSpec {
             panic_rate,
+            panic_once_rate,
             exhaust_rate,
             ..Default::default()
         });
         let disturbed = plan.disturbed_rows();
         let panicking = plan.panicking_rows();
+        let healing = plan.healing_rows();
         let exhausted = plan.exhausted_rows();
 
         let registry = Arc::new(CacheRegistry::default());
@@ -269,10 +380,15 @@ proptest! {
         let mut faulted = stacked_table1(6);
         let report = parallel_repair(&ctx, &rules, &mut faulted, &faulted_opts(threads, plan));
 
-        // Outcome bookkeeping matches the plan exactly.
+        // Outcome bookkeeping matches the plan exactly: deterministic
+        // panics stay failed after their retry, one-shot panics heal.
         prop_assert_eq!(failed_rows(&report), panicking.clone());
         prop_assert_eq!(report.resilience.failed, panicking.len());
+        prop_assert_eq!(report.resilience.retried, panicking.len() + healing.len());
         prop_assert_eq!(report.resilience.degraded, exhausted.len());
+        for &row in &healing {
+            prop_assert!(report.tuples[row].outcome.is_completed(), "healed row {}", row);
+        }
 
         // Unaffected rows: bit-identical tuples and traces.
         for cell in free.cell_refs() {

@@ -1,0 +1,271 @@
+//! Corruption-tolerance matrix for the snapshot layer (DESIGN.md §4a):
+//! every prefix truncation of a valid snapshot file and a byte flip at
+//! every offset must decode to a typed [`SnapshotError`] — never a panic,
+//! never a silently wrong payload — and a registry pointed at a damaged
+//! file must cold-start an *empty* cache with a quarantine-style
+//! diagnostic, with no partial state installed.
+
+use dr_core::fixtures::nobel_schema;
+use dr_core::repair::snapshot::{decode, encode, write_snapshot};
+use dr_core::{
+    CacheRegistry, NodeType, RegistryConfig, SchemaNode, SnapshotError, SnapshotKey,
+    SnapshotPayload,
+};
+use dr_kb::fixtures::{names, nobel_mini_kb};
+use dr_kb::hash::FxHasher;
+use dr_kb::{KnowledgeBase, Node};
+use dr_relation::Schema;
+use dr_simmatch::SimFn;
+use std::hash::Hasher;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "dr-snap-corrupt-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A small but structurally complete payload: node entries with and without
+/// candidates, edge entries with both flag values — every branch of the
+/// binary format appears in the encoded bytes.
+fn sample_payload(kb: &KnowledgeBase, schema: &Schema) -> SnapshotPayload {
+    let city = SchemaNode::new(
+        schema.attr_expect("City"),
+        NodeType::Class(kb.class_named(names::CITY).expect("city class")),
+        SimFn::Equal,
+    );
+    let name = SchemaNode::new(
+        schema.attr_expect("Name"),
+        NodeType::Class(kb.class_named(names::LAUREATE).expect("laureate class")),
+        SimFn::EditDistance(2),
+    );
+    let works_at = kb.pred_named(names::WORKS_AT).expect("worksAt");
+    let haifa = kb.instances_labeled("Haifa")[0];
+    SnapshotPayload {
+        nodes: vec![
+            (city, "Haifa".into(), vec![Node::Instance(haifa)]),
+            (name, "Nobody".into(), vec![]),
+        ],
+        edges: vec![
+            ((name, works_at, city), "A".into(), "B".into(), false),
+            ((city, works_at, name), "Haifa".into(), "X".into(), true),
+        ],
+    }
+}
+
+/// Recomputes the trailing checksum after a deliberate header/body edit, so
+/// the corruption under test is reached instead of `ChecksumMismatch`.
+fn refix_checksum(mut bytes: Vec<u8>) -> Vec<u8> {
+    bytes.truncate(bytes.len() - 8);
+    let mut h = FxHasher::default();
+    h.write(&bytes);
+    let checksum = h.finish();
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+fn valid_snapshot() -> (KnowledgeBase, Arc<Schema>, SnapshotKey, Vec<u8>) {
+    let kb = nobel_mini_kb();
+    let schema = nobel_schema();
+    let key = SnapshotKey::for_pair(&kb, &schema);
+    let bytes = encode(key, &sample_payload(&kb, &schema));
+    (kb, schema, key, bytes)
+}
+
+/// Every prefix of a valid file — from the empty file up to one byte short
+/// of complete — decodes to an error, never a panic and never an `Ok`.
+#[test]
+fn every_prefix_truncation_decodes_to_an_error() {
+    let (_, _, key, bytes) = valid_snapshot();
+    assert!(decode(&bytes, key).is_ok(), "untruncated file is valid");
+    for len in 0..bytes.len() {
+        let err = decode(&bytes[..len], key)
+            .expect_err(&format!("prefix of {len}/{} bytes accepted", bytes.len()));
+        if len < 40 {
+            assert!(
+                matches!(err, SnapshotError::TooShort(n) if n == len),
+                "prefix {len}: {err}"
+            );
+        }
+        assert!(!err.is_absence(), "prefix {len}: truncation is not absence");
+    }
+}
+
+/// A single flipped bit at every offset — header, body, and checksum
+/// trailer alike — is caught (by the whole-file checksum, or for trailer
+/// flips by the stored/computed mismatch itself).
+#[test]
+fn every_byte_flip_decodes_to_an_error() {
+    let (_, _, key, bytes) = valid_snapshot();
+    for i in 0..bytes.len() {
+        let mut flipped = bytes.clone();
+        flipped[i] ^= 0x40;
+        let err = decode(&flipped, key).expect_err(&format!("flip at byte {i} accepted"));
+        assert!(
+            matches!(err, SnapshotError::ChecksumMismatch { .. }),
+            "flip at byte {i}: {err}"
+        );
+    }
+}
+
+/// Header corruptions with a *re-fixed* checksum reach their specific
+/// rejections: bad magic, unknown version, foreign key, absurd counts.
+#[test]
+fn refixed_header_corruptions_report_specific_errors() {
+    let (_, _, key, bytes) = valid_snapshot();
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(matches!(
+        decode(&refix_checksum(bad_magic), key),
+        Err(SnapshotError::BadMagic(_))
+    ));
+
+    let mut bad_version = bytes.clone();
+    bad_version[4..8].copy_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(
+        decode(&refix_checksum(bad_version), key),
+        Err(SnapshotError::BadVersion(99))
+    ));
+
+    let mut foreign_key = bytes.clone();
+    foreign_key[8] ^= 0x01; // first byte of the stored KB content hash
+    assert!(matches!(
+        decode(&refix_checksum(foreign_key), key),
+        Err(SnapshotError::KeyMismatch { .. })
+    ));
+
+    // A node count far beyond what the body holds must fail the structural
+    // parse (truncated mid-entry / candidate guard), not allocate blindly.
+    let mut huge_count = bytes.clone();
+    huge_count[24..28].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        decode(&refix_checksum(huge_count), key),
+        Err(SnapshotError::Malformed(_))
+    ));
+}
+
+/// The registry-level guarantee, across the whole corruption matrix: a
+/// damaged snapshot file yields a *clean, empty* cold cache (no partial
+/// import), one rejected-load diagnostic naming the key, and a usable
+/// registry afterwards.
+#[test]
+fn registry_cold_starts_empty_with_diagnostic_on_every_corruption() {
+    let (kb, schema, key, bytes) = valid_snapshot();
+
+    let corruptions: Vec<(&str, Vec<u8>, &str)> = vec![
+        ("empty-file", Vec::new(), "too short"),
+        ("truncated-header", bytes[..17].to_vec(), "too short"),
+        (
+            "truncated-body",
+            bytes[..bytes.len() - 9].to_vec(),
+            "checksum",
+        ),
+        (
+            "flipped-body",
+            {
+                let mut b = bytes.clone();
+                let mid = b.len() / 2;
+                b[mid] ^= 0x20;
+                b
+            },
+            "checksum",
+        ),
+        (
+            "bad-magic",
+            {
+                let mut b = bytes.clone();
+                b[0] = b'X';
+                refix_checksum(b)
+            },
+            "magic",
+        ),
+        (
+            "bad-version",
+            {
+                let mut b = bytes.clone();
+                b[4..8].copy_from_slice(&7u32.to_le_bytes());
+                refix_checksum(b)
+            },
+            "version",
+        ),
+        (
+            "foreign-key",
+            {
+                let mut b = bytes.clone();
+                b[9] ^= 0xFF;
+                refix_checksum(b)
+            },
+            "key mismatch",
+        ),
+    ];
+
+    for (label, corrupt, expected_fragment) in corruptions {
+        let dir = scratch_dir(label);
+        std::fs::write(key.path_in(&dir), &corrupt).expect("plant corrupt snapshot");
+
+        let registry = CacheRegistry::new(RegistryConfig::default().with_cache_dir(&dir));
+        let cache = registry.cache_for(&kb, &schema);
+
+        // No partial state: the cache is empty and knows it cold-started.
+        assert!(cache.is_empty(), "{label}: partial import leaked entries");
+        assert_eq!(cache.stats().snapshot_warm, 0, "{label}");
+        assert_eq!(cache.stats().snapshot_cold, 1, "{label}");
+
+        let stats = registry.stats();
+        assert_eq!(stats.snapshot.warm_loads, 0, "{label}");
+        assert_eq!(stats.snapshot.cold_loads, 1, "{label}");
+        assert_eq!(stats.snapshot.rejected, 1, "{label}: one rejected load");
+
+        let diags = registry.snapshot_diagnostics();
+        assert_eq!(diags.len(), 1, "{label}: one diagnostic, got {diags:?}");
+        assert!(
+            diags[0].contains(expected_fragment),
+            "{label}: diagnostic {:?} lacks {expected_fragment:?}",
+            diags[0]
+        );
+        assert!(
+            diags[0].contains(&format!("{:#x}", key.kb_content_hash)),
+            "{label}: diagnostic names the KB hash: {:?}",
+            diags[0]
+        );
+
+        // The registry stays fully usable: a later persist round-trips a
+        // healthy snapshot over the damaged file.
+        cache.import(&sample_payload(&kb, &schema));
+        assert_eq!(registry.persist(), 1, "{label}: persist over damage");
+        let fresh = CacheRegistry::new(RegistryConfig::default().with_cache_dir(&dir));
+        let reloaded = fresh.cache_for(&kb, &schema);
+        assert!(
+            reloaded.stats().snapshot_warm > 0,
+            "{label}: repaired snapshot loads warm"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Atomic writes: the temp file never lingers and the final file appears
+/// complete — a reader polling the directory during a write sees either
+/// nothing or a fully valid snapshot.
+#[test]
+fn writes_leave_no_temp_files_behind() {
+    let (kb, schema, key, _) = valid_snapshot();
+    let dir = scratch_dir("atomic");
+    write_snapshot(&dir, key, &sample_payload(&kb, &schema)).expect("write");
+    let entries: Vec<String> = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(entries.len(), 1, "only the final file remains: {entries:?}");
+    assert!(entries[0].ends_with(".drsnap"), "{entries:?}");
+    assert!(!entries[0].starts_with('.'), "{entries:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -249,6 +249,84 @@ pub fn cache_persistence_ablation(
     rows
 }
 
+/// One snapshot warm-start measurement: a whole stream repaired by one
+/// registry "process".
+#[derive(Debug, Clone)]
+pub struct SnapshotWarmStartRow {
+    /// Configuration label.
+    pub config: String,
+    /// Relations in the stream.
+    pub relations: usize,
+    /// Total repair seconds across the stream.
+    pub seconds: f64,
+    /// Aggregated value-cache counters across the stream.
+    pub cache: dr_core::CacheStats,
+    /// Disk-snapshot counters for this process's registry.
+    pub snapshot: dr_core::SnapshotStats,
+    /// Total value rewrites (identical across processes by construction —
+    /// exposed so callers can assert it).
+    pub changes: usize,
+}
+
+/// Snapshot warm-start ablation (DESIGN.md §4a): repair the same stream of
+/// dirty Nobel variants twice, each time through a *fresh*
+/// [`CacheRegistry`](dr_core::CacheRegistry) sharing `cache_dir` — the
+/// first plays the process that writes the snapshot (cold disk), the
+/// second a later process that seeds its value cache from it. Repair
+/// outcomes must be identical; the second row's `snapshot.warm_loads` and
+/// reduced cache misses are what cross-process persistence buys.
+pub fn snapshot_warm_start_ablation(
+    cfg: &AblationConfig,
+    stream_len: usize,
+    cache_dir: &std::path::Path,
+) -> Vec<SnapshotWarmStartRow> {
+    let world = NobelWorld::generate(cfg.size, cfg.seed);
+    let clean = world.clean_relation();
+    let name = clean.schema().attr_expect("Name");
+    let stream: Vec<dr_relation::Relation> = (0..stream_len as u64)
+        .map(|i| {
+            inject(
+                &clean,
+                &NoiseSpec::new(cfg.error_rate, cfg.seed ^ (i + 1)).with_excluded(vec![name]),
+                &world.semantic_source(),
+            )
+            .0
+        })
+        .collect();
+    let kb = world.kb(&KbProfile::yago());
+    let rules = NobelWorld::rules(&kb);
+    let repairer = FastRepairer::new(&rules);
+    let opts = ApplyOptions::default();
+
+    let mut rows = Vec::new();
+    for label in ["first process (cold disk)", "second process (disk-warm)"] {
+        let registry = Arc::new(dr_core::CacheRegistry::new(
+            dr_core::RegistryConfig::default().with_cache_dir(cache_dir),
+        ));
+        let ctx = MatchContext::with_registry(&kb, Arc::clone(&registry));
+        let mut row = SnapshotWarmStartRow {
+            config: label.to_owned(),
+            relations: stream.len(),
+            seconds: 0.0,
+            cache: dr_core::CacheStats::default(),
+            snapshot: dr_core::SnapshotStats::default(),
+            changes: 0,
+        };
+        for dirty in &stream {
+            let mut working = dirty.clone();
+            let start = std::time::Instant::now();
+            let report = repairer.repair_relation(&ctx, &mut working, &opts);
+            row.seconds += start.elapsed().as_secs_f64();
+            row.cache += report.cache;
+            row.changes += report.total_changes();
+        }
+        registry.persist();
+        row.snapshot = registry.stats().snapshot;
+        rows.push(row);
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,5 +395,44 @@ mod tests {
             cold.cache
         );
         assert!(warm.cache.hits() > 0);
+    }
+
+    #[test]
+    fn snapshot_warm_start_is_transparent_and_loads_from_disk() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "dr-ablation-snap-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("create cache dir");
+
+        let rows = snapshot_warm_start_ablation(&tiny(), 3, &dir);
+        assert_eq!(rows.len(), 2);
+        let first = &rows[0];
+        let second = &rows[1];
+
+        // The snapshot must be invisible to repair outcomes.
+        assert_eq!(first.changes, second.changes);
+        assert!(first.changes > 0, "stream actually repaired something");
+
+        // Process one starts from an empty directory and writes back.
+        assert_eq!(first.snapshot.warm_loads, 0, "{:?}", first.snapshot);
+        assert_eq!(first.snapshot.cold_loads, 1);
+        assert!(first.snapshot.saves >= 1);
+
+        // Process two seeds from disk: a warm load, no rejection, and the
+        // imported entries turn the first relation's misses into hits.
+        assert_eq!(second.snapshot.warm_loads, 1, "{:?}", second.snapshot);
+        assert_eq!(second.snapshot.rejected, 0);
+        assert!(
+            second.cache.misses() < first.cache.misses(),
+            "disk-warm {:?} vs cold {:?}",
+            second.cache,
+            first.cache
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

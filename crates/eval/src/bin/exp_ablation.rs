@@ -1,15 +1,30 @@
 //! Quality ablations (see `dr_eval::ablation`): what typo normalization,
-//! detection-without-repair, and cross-relation cache persistence are worth.
+//! detection-without-repair, cross-relation cache persistence, and
+//! cross-process snapshot warm starts are worth.
 //!
-//! Usage: `cargo run -p dr-eval --bin exp_ablation --release [-- --quick]`
+//! Usage: `cargo run -p dr-eval --bin exp_ablation --release [-- --quick]
+//! [--cache-dir <dir>]`
+//!
+//! The snapshot warm-start ablation needs a disk directory; without
+//! `--cache-dir` it uses (and cleans up) a scratch directory under the
+//! system temp dir.
 
 use dr_eval::ablation::{
-    cache_persistence_ablation, detection_ablation, normalization_ablation, AblationConfig,
+    cache_persistence_ablation, detection_ablation, normalization_ablation,
+    snapshot_warm_start_ablation, AblationConfig,
 };
-use dr_eval::report::{cache_cell, f3, phases_cell, render_table, resilience_cell, secs};
+use dr_eval::report::{
+    cache_cell, f3, phases_cell, render_table, resilience_cell, secs, snapshot_cell,
+};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cache_dir = args
+        .iter()
+        .position(|a| a == "--cache-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
     let cfg = AblationConfig {
         size: if quick { 200 } else { 2_000 },
         ..Default::default()
@@ -94,10 +109,55 @@ fn main() {
                 "time",
                 "cache h/m/e",
                 "phases pw+rep",
-                "res d/f/q",
+                "res d/f/q/r",
                 "#-changes"
             ],
             &rows,
         )
     );
+
+    // Snapshot warm start: two fresh registries ("processes") sharing one
+    // on-disk cache directory.
+    let (snap_dir, ephemeral) = match &cache_dir {
+        Some(dir) => (dir.clone(), false),
+        None => (
+            std::env::temp_dir().join(format!("dr-snap-ablation-{}", std::process::id())),
+            true,
+        ),
+    };
+    std::fs::create_dir_all(&snap_dir).expect("create snapshot cache dir");
+    let snap_rows = snapshot_warm_start_ablation(&cfg, stream_len, &snap_dir);
+    let rows: Vec<Vec<String>> = snap_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.clone(),
+                r.relations.to_string(),
+                secs(r.seconds),
+                cache_cell(&r.cache),
+                snapshot_cell(&r.snapshot),
+                r.changes.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "ABLATION: SNAPSHOT WARM START (Nobel stream, shared disk cache)",
+            &[
+                "config",
+                "#-relations",
+                "time",
+                "cache h/m/e",
+                "snap w/c/r/s",
+                "#-changes"
+            ],
+            &rows,
+        )
+    );
+    let warm: u64 = snap_rows.iter().map(|r| r.snapshot.warm_loads).sum();
+    println!("snapshot-warm-loads: {warm}");
+    if ephemeral {
+        std::fs::remove_dir_all(&snap_dir).ok();
+    }
 }

@@ -5,7 +5,11 @@
 //! * (c) UIS-20K, time vs #-rules 1–5;
 //! * (d) UIS, time vs #-tuples 20K–100K, all methods.
 //!
-//! Usage: `cargo run -p dr-eval --bin exp_fig8 --release [-- --quick]`
+//! Usage: `cargo run -p dr-eval --bin exp_fig8 --release [-- --quick]
+//! [--dump <path>]...`
+//!
+//! `--dump <path>` (repeatable) loads an external `.nt`/`.csv` dump
+//! leniently and prints a capped quarantine summary to stderr.
 
 use dr_eval::exp2::SweepDataset;
 use dr_eval::exp3::{
@@ -37,7 +41,7 @@ fn print_points(title: &str, x_label: &str, points: &[TimingPoint]) {
                 "time",
                 "cache h/m/e",
                 "phases pw+rep",
-                "res d/f/q"
+                "res d/f/q/r"
             ],
             &rows
         )
@@ -45,7 +49,18 @@ fn print_points(title: &str, x_label: &str, points: &[TimingPoint]) {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let dumps = dr_eval::dumps::dump_paths(&args);
+    if !dumps.is_empty() {
+        let quarantined = dr_eval::dumps::report_dumps(&dumps);
+        eprintln!(
+            "loaded {} external dump(s), {} record(s) quarantined",
+            dumps.len(),
+            quarantined
+        );
+    }
     let cfg = if quick {
         Exp3Config {
             nobel_size: 200,

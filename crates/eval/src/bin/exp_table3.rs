@@ -2,14 +2,41 @@
 //! detective rules vs KATARA (precision / recall / F-measure / #-POS) on
 //! WebTables, Nobel, and UIS against both KBs.
 //!
-//! Usage: `cargo run -p dr-eval --bin exp_table3 --release [-- --quick]`
+//! Usage: `cargo run -p dr-eval --bin exp_table3 --release [-- --quick]
+//! [--cache-dir <dir>] [--dump <path>]...`
+//!
+//! * `--cache-dir <dir>` turns on cross-process value-cache snapshots
+//!   (DESIGN.md §4a): DR registries seed from the directory and persist
+//!   back to it, so a second invocation warm-starts from disk. The run
+//!   also prints a greppable `snapshot-warm-loads: N` line.
+//! * `--dump <path>` (repeatable) loads an external `.nt`/`.csv` dump
+//!   leniently and prints a capped quarantine summary to stderr.
 
 use dr_eval::exp1::{table3, Exp1Config};
-use dr_eval::report::{cache_cell, f3, phases_cell, render_table, resilience_cell, secs};
+use dr_eval::report::{
+    cache_cell, f3, phases_cell, render_table, resilience_cell, secs, snapshot_cell,
+};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cache_dir = args
+        .iter()
+        .position(|a| a == "--cache-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+
+    let dumps = dr_eval::dumps::dump_paths(&args);
+    if !dumps.is_empty() {
+        let quarantined = dr_eval::dumps::report_dumps(&dumps);
+        eprintln!(
+            "loaded {} external dump(s), {} record(s) quarantined",
+            dumps.len(),
+            quarantined
+        );
+    }
+
+    let mut cfg = if quick {
         Exp1Config {
             nobel_size: 200,
             uis_size: 400,
@@ -18,6 +45,10 @@ fn main() {
     } else {
         Exp1Config::default()
     };
+    if let Some(dir) = &cache_dir {
+        std::fs::create_dir_all(dir).expect("create cache dir");
+        cfg.cache_dir = Some(dir.clone());
+    }
     eprintln!(
         "running Table III (nobel={}, uis={}, e={}%)...",
         cfg.nobel_size,
@@ -40,6 +71,7 @@ fn main() {
                 cache_cell(&r.cache),
                 phases_cell(&r.timing),
                 resilience_cell(&r.resilience),
+                snapshot_cell(&r.snapshot),
             ]
         })
         .collect();
@@ -58,9 +90,14 @@ fn main() {
                 "time",
                 "cache h/m/e",
                 "phases pw+rep",
-                "res d/f/q"
+                "res d/f/q/r",
+                "snap w/c/r/s"
             ],
             &table_rows,
         )
     );
+    if cache_dir.is_some() {
+        let warm: u64 = rows.iter().map(|r| r.snapshot.warm_loads).sum();
+        println!("snapshot-warm-loads: {warm}");
+    }
 }

@@ -1,0 +1,251 @@
+//! Lenient loading of external dumps for the experiment binaries.
+//!
+//! The drivers accept repeated `--dump <path>` arguments naming real-world
+//! files (`.nt` triple dumps, `.csv` tables). Real dumps are dirty, so
+//! these loads go through the lenient parsers (DESIGN.md §4c): malformed
+//! records are quarantined instead of aborting the run, and each file gets
+//! one capped [`DumpSummary`] on stderr — the total skipped count plus a
+//! bounded sample of diagnostics, so a wholly-garbage file cannot flood
+//! the experiment log.
+
+use dr_kb::{KnowledgeBase, LenientOptions, Quarantine};
+use dr_relation::Relation;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Maximum diagnostics a [`DumpSummary`] renders per file. The quarantine
+/// itself retains up to [`LenientOptions::max_diagnostics`]; this cap only
+/// bounds what is *printed*.
+pub const SUMMARY_SAMPLE: usize = 8;
+
+/// What a dump file parsed into.
+#[derive(Debug)]
+pub enum DumpData {
+    /// A knowledge base, from a `.nt` triple dump. Boxed: a
+    /// [`KnowledgeBase`] is hundreds of bytes wider than a [`Relation`].
+    Kb(Box<KnowledgeBase>),
+    /// A relation, from a `.csv` table dump.
+    Table(Relation),
+}
+
+/// Per-file load outcome: how much loaded, how much was quarantined, and a
+/// capped sample of why.
+#[derive(Debug, Clone)]
+pub struct DumpSummary {
+    /// The file that was loaded.
+    pub path: PathBuf,
+    /// Records loaded (data triples for a KB, tuples for a relation).
+    pub records: usize,
+    /// The quarantine ledger the lenient parser returned.
+    pub quarantine: Quarantine,
+}
+
+impl DumpSummary {
+    /// Whether the load skipped nothing.
+    pub fn is_clean(&self) -> bool {
+        self.quarantine.is_empty()
+    }
+}
+
+impl fmt::Display for DumpSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dump {}: {} record(s) loaded, {}",
+            self.path.display(),
+            self.records,
+            self.quarantine
+        )?;
+        let shown = self.quarantine.diagnostics().len().min(SUMMARY_SAMPLE);
+        for diagnostic in &self.quarantine.diagnostics()[..shown] {
+            write!(f, "\n  {diagnostic}")?;
+        }
+        let hidden = self.quarantine.diagnostics().len() - shown + self.quarantine.dropped();
+        if hidden > 0 {
+            write!(f, "\n  … {hidden} more diagnostic(s) not shown")?;
+        }
+        Ok(())
+    }
+}
+
+/// Loads one dump file leniently, dispatching on its extension (`.nt` →
+/// KB, `.csv` → relation).
+///
+/// # Errors
+///
+/// Unsupported extensions, unreadable files, and non-record-local failures
+/// (a cyclic taxonomy, a missing CSV header) — everything record-local is
+/// quarantined into the summary instead.
+pub fn load_dump(path: &Path) -> Result<(DumpData, DumpSummary), String> {
+    let opts = LenientOptions::default();
+    match path.extension().and_then(|e| e.to_str()).unwrap_or("") {
+        "nt" => {
+            let (kb, quarantine) = dr_kb::ntriples::load_file_lenient(path, &opts)
+                .map_err(|e| format!("dump {}: {e}", path.display()))?;
+            let records = kb.triples().count();
+            let summary = DumpSummary {
+                path: path.to_owned(),
+                records,
+                quarantine,
+            };
+            Ok((DumpData::Kb(Box::new(kb)), summary))
+        }
+        "csv" => {
+            let (table, quarantine) = dr_relation::csv::load_file_lenient(path, &opts)
+                .map_err(|e| format!("dump {}: {e}", path.display()))?;
+            let summary = DumpSummary {
+                path: path.to_owned(),
+                records: table.len(),
+                quarantine,
+            };
+            Ok((DumpData::Table(table), summary))
+        }
+        other => Err(format!(
+            "dump {}: unsupported extension `{other}` (expected .nt or .csv)",
+            path.display()
+        )),
+    }
+}
+
+/// Extracts every `--dump <path>` pair from a raw argument list.
+pub fn dump_paths(args: &[String]) -> Vec<PathBuf> {
+    let mut paths = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--dump" {
+            if let Some(path) = iter.next() {
+                paths.push(PathBuf::from(path));
+            }
+        }
+    }
+    paths
+}
+
+/// Loads every dump and prints one capped summary per file to stderr.
+/// Returns the total quarantined count across all files. A file that fails
+/// outright (unreadable, unsupported) is reported and skipped — one bad
+/// path must not abort the experiment.
+pub fn report_dumps(paths: &[PathBuf]) -> usize {
+    let mut total = 0;
+    for path in paths {
+        match load_dump(path) {
+            Ok((_, summary)) => {
+                total += summary.quarantine.quarantined();
+                eprintln!("{summary}");
+            }
+            Err(message) => eprintln!("{message}"),
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_kb::Diagnostic;
+
+    fn fixture(name: &str) -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join(name)
+    }
+
+    #[test]
+    fn malformed_triple_dump_loads_with_quarantine() {
+        let (data, summary) = load_dump(&fixture("malformed.nt")).expect("lenient load");
+        let DumpData::Kb(kb) = data else {
+            panic!(".nt parses to a KB");
+        };
+        // The two well-formed data triples survive; the four broken lines
+        // (4, 5, 7, 8) are quarantined with the strict parser's messages.
+        assert_eq!(summary.records, 2);
+        assert_eq!(kb.triples().count(), 2);
+        assert_eq!(summary.quarantine.quarantined(), 4);
+        assert_eq!(summary.quarantine.dropped(), 0);
+        let lines: Vec<usize> = summary
+            .quarantine
+            .diagnostics()
+            .iter()
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(lines, vec![4, 5, 7, 8]);
+        let rendered = summary.to_string();
+        assert!(rendered.contains("malformed.nt"), "{rendered}");
+        assert!(rendered.contains("4 record(s) quarantined"), "{rendered}");
+        assert!(rendered.contains("expected trailing `.`"), "{rendered}");
+    }
+
+    #[test]
+    fn malformed_csv_dump_loads_with_quarantine() {
+        let (data, summary) = load_dump(&fixture("malformed.csv")).expect("lenient load");
+        let DumpData::Table(table) = data else {
+            panic!(".csv parses to a relation");
+        };
+        // Two clean tuples load; the ragged records (3, 5) and the stray
+        // quote (4) are quarantined.
+        assert_eq!(summary.records, 2);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.schema().arity(), 3);
+        assert_eq!(summary.quarantine.quarantined(), 3);
+        let lines: Vec<usize> = summary
+            .quarantine
+            .diagnostics()
+            .iter()
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(lines, vec![3, 4, 5]);
+        assert!(summary.to_string().contains("expected 3 fields, found 2"));
+    }
+
+    #[test]
+    fn summary_display_caps_the_sample() {
+        let opts = LenientOptions {
+            max_diagnostics: 12,
+        };
+        let mut quarantine = Quarantine::new();
+        for line in 1..=20 {
+            quarantine.record(
+                Diagnostic {
+                    line,
+                    message: "bad".into(),
+                },
+                &opts,
+            );
+        }
+        let summary = DumpSummary {
+            path: "garbage.nt".into(),
+            records: 5,
+            quarantine,
+        };
+        let rendered = summary.to_string();
+        // Header + SUMMARY_SAMPLE diagnostics + one "more" trailer; the 4
+        // retained-but-unprinted plus the 8 dropped-by-cap are all counted.
+        assert_eq!(rendered.lines().count(), 1 + SUMMARY_SAMPLE + 1);
+        assert!(rendered.contains("20 record(s) quarantined"), "{rendered}");
+        assert!(
+            rendered.contains("… 12 more diagnostic(s) not shown"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn dump_paths_extracts_repeated_flags() {
+        let args: Vec<String> = ["exp", "--quick", "--dump", "a.nt", "--dump", "b.csv"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        assert_eq!(
+            dump_paths(&args),
+            vec![PathBuf::from("a.nt"), PathBuf::from("b.csv")]
+        );
+        assert!(dump_paths(&["exp".to_owned(), "--dump".to_owned()]).is_empty());
+    }
+
+    #[test]
+    fn unsupported_extension_is_an_error() {
+        let err = load_dump(Path::new("dump.json")).expect_err("json unsupported");
+        assert!(err.contains("unsupported extension"), "{err}");
+        let err = load_dump(&fixture("missing.nt")).expect_err("missing file");
+        assert!(err.contains("missing.nt"), "{err}");
+    }
+}

@@ -25,6 +25,11 @@ pub struct Exp1Config {
     pub error_rate: f64,
     /// Master seed.
     pub seed: u64,
+    /// Directory for cross-process value-cache snapshots (DESIGN.md §4a).
+    /// When set, every DR registry seeds from and persists to it, so a
+    /// second run of the same experiment warm-starts from disk. `None`
+    /// keeps the caches purely in-memory.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for Exp1Config {
@@ -34,6 +39,7 @@ impl Default for Exp1Config {
             uis_size: 20_000,
             error_rate: 0.10,
             seed: 17,
+            cache_dir: None,
         }
     }
 }
@@ -60,6 +66,9 @@ pub struct Exp1Row {
     /// Degraded / failed / quarantined counters (all-zero for KATARA and
     /// for fault-free unbounded runs).
     pub resilience: dr_core::ResilienceReport,
+    /// Disk-snapshot counters for the row's registry (all-zero for KATARA
+    /// and when [`Exp1Config::cache_dir`] is unset).
+    pub snapshot: dr_core::SnapshotStats,
 }
 
 /// One row of Table II.
@@ -175,10 +184,12 @@ fn webtables_rows(cfg: &Exp1Config, flavor: KbFlavor, rows: &mut Vec<Exp1Row>) {
     let world = WebTablesWorld::generate(cfg.seed);
     let profile = KbProfile::of(flavor);
     let kb = world.kb(&profile);
-    let registry = std::sync::Arc::new(dr_core::CacheRegistry::new(
-        dr_core::RegistryConfig::default(),
-    ));
-    let ctx = MatchContext::with_registry(&kb, registry);
+    let mut registry_cfg = dr_core::RegistryConfig::default();
+    if let Some(dir) = &cfg.cache_dir {
+        registry_cfg = registry_cfg.with_cache_dir(dir);
+    }
+    let registry = std::sync::Arc::new(dr_core::CacheRegistry::new(registry_cfg));
+    let ctx = MatchContext::with_registry(&kb, std::sync::Arc::clone(&registry));
     let rules = world.rules(&kb);
     let katara_patterns = webtables_katara_patterns(&world, &kb);
 
@@ -217,6 +228,9 @@ fn webtables_rows(cfg: &Exp1Config, flavor: KbFlavor, rows: &mut Vec<Exp1Row>) {
             ka_totals.3 += report.marked_positive;
         }
     }
+    if cfg.cache_dir.is_some() {
+        registry.persist();
+    }
     rows.push(Exp1Row {
         dataset: "WebTables",
         method: "DRs",
@@ -227,6 +241,7 @@ fn webtables_rows(cfg: &Exp1Config, flavor: KbFlavor, rows: &mut Vec<Exp1Row>) {
         cache: dr_cache,
         timing: dr_timing,
         resilience: dr_resilience,
+        snapshot: registry.stats().snapshot,
     });
     rows.push(Exp1Row {
         dataset: "WebTables",
@@ -238,6 +253,7 @@ fn webtables_rows(cfg: &Exp1Config, flavor: KbFlavor, rows: &mut Vec<Exp1Row>) {
         cache: dr_core::CacheStats::default(),
         timing: dr_core::PhaseTimings::default(),
         resilience: dr_core::ResilienceReport::default(),
+        snapshot: dr_core::SnapshotStats::default(),
     });
 }
 
@@ -268,7 +284,9 @@ fn quality_from_totals(t: (usize, f64, usize, usize, f64)) -> Quality {
     }
 }
 
-/// Runs Exp-1 on a keyed dataset (Nobel or UIS).
+/// Runs Exp-1 on a keyed dataset (Nobel or UIS). With a `cache_dir`, the
+/// DR run goes through a snapshot-persisting registry: it seeds from any
+/// snapshot a previous process left behind and writes its own back.
 #[allow(clippy::too_many_arguments)]
 fn keyed_rows(
     dataset: &'static str,
@@ -277,10 +295,26 @@ fn keyed_rows(
     kb: &dr_kb::KnowledgeBase,
     rules: &[dr_core::DetectiveRule],
     flavor: KbFlavor,
+    cache_dir: Option<&std::path::Path>,
     rows: &mut Vec<Exp1Row>,
 ) {
-    let ctx = MatchContext::new(kb);
+    let registry = cache_dir.map(|dir| {
+        std::sync::Arc::new(dr_core::CacheRegistry::new(
+            dr_core::RegistryConfig::default().with_cache_dir(dir),
+        ))
+    });
+    let ctx = match &registry {
+        Some(reg) => MatchContext::with_registry(kb, std::sync::Arc::clone(reg)),
+        None => MatchContext::new(kb),
+    };
     let outcome = run_drs(&ctx, rules, clean, dirty, DrAlgo::Fast);
+    let snapshot = registry
+        .as_ref()
+        .map(|reg| {
+            reg.persist();
+            reg.stats().snapshot
+        })
+        .unwrap_or_default();
     rows.push(Exp1Row {
         dataset,
         method: "DRs",
@@ -291,6 +325,7 @@ fn keyed_rows(
         cache: outcome.cache,
         timing: outcome.timing,
         resilience: outcome.resilience,
+        snapshot,
     });
     let pattern = katara_pattern(rules);
     let outcome: RunOutcome = run_katara(&ctx, &pattern, clean, dirty);
@@ -304,6 +339,7 @@ fn keyed_rows(
         cache: outcome.cache,
         timing: outcome.timing,
         resilience: outcome.resilience,
+        snapshot: dr_core::SnapshotStats::default(),
     });
 }
 
@@ -342,13 +378,21 @@ pub fn table3(cfg: &Exp1Config) -> Vec<Exp1Row> {
             &nobel_kb,
             &nobel_rules,
             flavor,
+            cfg.cache_dir.as_deref(),
             &mut rows,
         );
 
         let uis_kb = uis.kb(&profile);
         let uis_rules = UisWorld::rules(&uis_kb);
         keyed_rows(
-            "UIS", &uis_clean, &uis_dirty, &uis_kb, &uis_rules, flavor, &mut rows,
+            "UIS",
+            &uis_clean,
+            &uis_dirty,
+            &uis_kb,
+            &uis_rules,
+            flavor,
+            cfg.cache_dir.as_deref(),
+            &mut rows,
         );
     }
     rows
@@ -364,6 +408,7 @@ mod tests {
             uis_size: 200,
             error_rate: 0.10,
             seed: 17,
+            cache_dir: None,
         }
     }
 
@@ -379,6 +424,61 @@ mod tests {
         let wt = rows.iter().find(|r| r.dataset == "WebTables").unwrap();
         let nobel = rows.iter().find(|r| r.dataset == "Nobel").unwrap();
         assert!(wt.stats.classes > nobel.stats.classes);
+    }
+
+    /// Two "processes" (two full `table3` runs) sharing a cache directory:
+    /// the first run cold-starts and persists snapshots, the second seeds
+    /// its registries from disk — with identical quality either way.
+    #[test]
+    fn table3_second_run_warm_starts_from_shared_cache_dir() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "dr-exp1-snap-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("create cache dir");
+        let cfg = Exp1Config {
+            nobel_size: 60,
+            uis_size: 80,
+            cache_dir: Some(dir.clone()),
+            ..small_cfg()
+        };
+
+        let first = table3(&cfg);
+        let second = table3(&cfg);
+        assert_eq!(first.len(), second.len());
+
+        let dr_rows = |rows: &[Exp1Row]| -> Vec<Exp1Row> {
+            rows.iter().filter(|r| r.method == "DRs").cloned().collect()
+        };
+        let (first_dr, second_dr) = (dr_rows(&first), dr_rows(&second));
+        for row in &first_dr {
+            assert_eq!(
+                row.snapshot.warm_loads, 0,
+                "{}: first run is cold",
+                row.dataset
+            );
+            assert!(
+                row.snapshot.saves >= 1,
+                "{}: first run persisted",
+                row.dataset
+            );
+        }
+        let warm: u64 = second_dr.iter().map(|r| r.snapshot.warm_loads).sum();
+        assert!(warm > 0, "second run seeded from disk: {second_dr:?}");
+        let rejected: u64 = second_dr.iter().map(|r| r.snapshot.rejected).sum();
+        assert_eq!(rejected, 0, "healthy snapshots are never rejected");
+
+        // Warm-starting is invisible in the reported quality.
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.quality.repaired, b.quality.repaired, "{}", a.dataset);
+            assert_eq!(a.quality.correct, b.quality.correct, "{}", a.dataset);
+            assert_eq!(a.pos, b.pos, "{}", a.dataset);
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// The headline Table III shape: DR precision 1.0 (or near), DR #-POS

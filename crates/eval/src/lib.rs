@@ -15,6 +15,7 @@
 
 pub mod ablation;
 pub mod coverage;
+pub mod dumps;
 pub mod exp1;
 pub mod exp2;
 pub mod exp3;

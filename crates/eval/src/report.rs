@@ -64,9 +64,20 @@ pub fn cache_cell(c: &dr_core::CacheStats) -> String {
     format!("{}/{}/{}", c.hits(), c.misses(), c.evictions)
 }
 
-/// Formats resilience counters as `degraded/failed/quarantined`.
+/// Formats resilience counters as `degraded/failed/quarantined/retried`.
 pub fn resilience_cell(r: &dr_core::ResilienceReport) -> String {
-    format!("{}/{}/{}", r.degraded, r.failed, r.quarantined)
+    format!(
+        "{}/{}/{}/{}",
+        r.degraded, r.failed, r.quarantined, r.retried
+    )
+}
+
+/// Formats disk-snapshot counters as `warm/cold/rejected/saves`.
+pub fn snapshot_cell(s: &dr_core::SnapshotStats) -> String {
+    format!(
+        "{}/{}/{}/{}",
+        s.warm_loads, s.cold_loads, s.rejected, s.saves
+    )
 }
 
 /// Formats phase timings as `prewarm+repair`.

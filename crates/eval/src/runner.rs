@@ -58,6 +58,9 @@ pub struct RunOutcome {
     /// a non-clean report means tuples were skipped, so quality numbers
     /// must be read alongside it).
     pub resilience: dr_core::ResilienceReport,
+    /// Disk-snapshot activity attributable to this run (all-zero unless
+    /// the context carries a registry configured with a cache directory).
+    pub snapshot: dr_core::SnapshotStats,
 }
 
 impl RunOutcome {
@@ -69,6 +72,7 @@ impl RunOutcome {
             cache: dr_core::CacheStats::default(),
             timing: dr_core::PhaseTimings::default(),
             resilience: dr_core::ResilienceReport::default(),
+            snapshot: dr_core::SnapshotStats::default(),
         }
     }
 }
@@ -85,6 +89,7 @@ pub fn run_drs(
 ) -> RunOutcome {
     let opts = ApplyOptions::default();
     let mut working = dirty.clone();
+    let snap_before = ctx.registry().map(|r| r.stats().snapshot);
     let start = Instant::now();
     let report = match algo {
         DrAlgo::Basic => basic_repair(ctx, rules, &mut working, &opts),
@@ -110,6 +115,10 @@ pub fn run_drs(
         cache: report.cache,
         timing: report.timing,
         resilience: report.resilience,
+        snapshot: match (snap_before, ctx.registry()) {
+            (Some(before), Some(r)) => r.stats().snapshot.delta_since(&before),
+            _ => dr_core::SnapshotStats::default(),
+        },
     }
 }
 

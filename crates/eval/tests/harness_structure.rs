@@ -12,6 +12,7 @@ fn tiny1() -> Exp1Config {
         uis_size: 150,
         error_rate: 0.10,
         seed: 17,
+        cache_dir: None,
     }
 }
 

@@ -1,0 +1,229 @@
+//! Deterministic content hash of a finalized [`KnowledgeBase`].
+//!
+//! [`KnowledgeBase::generation`] is deliberately process-local: it changes on
+//! every rebuild, which makes it a safe cache key *within* one process but
+//! useless for cross-process cache persistence. The content hash fills that
+//! gap: two KBs built by replaying the **same construction sequence** (same
+//! classes, predicates, instances, literals, taxonomy edges, and triples, in
+//! the same interning order) hash to the same value — in any process, on any
+//! run.
+//!
+//! The hash is intentionally **representation-dependent**, not merely
+//! set-semantic: it folds names in id order, so it pins down the exact id
+//! assignment of the KB. That is the property the snapshot layer needs —
+//! persisted cache entries carry raw [`Node`] ids, and those ids are only
+//! meaningful under the identical id assignment. A KB with the same triples
+//! but a different interning order hashes differently and simply misses the
+//! snapshot (a cold start, never a wrong answer).
+//!
+//! Built on the workspace [`FxHasher`](crate::hash::FxHasher); triples are
+//! collected and sorted before hashing because [`KnowledgeBase::triples`]
+//! iterates in hash-map order.
+
+use crate::graph::KnowledgeBase;
+use crate::hash::FxHasher;
+use crate::ids::Node;
+use std::hash::Hasher;
+
+/// Domain/version tag folded into every content hash. Bump when the hash
+/// recipe changes so stale snapshot files stop matching instead of being
+/// misread.
+const CONTENT_HASH_VERSION: u64 = 0xD12C_0001;
+
+/// Sentinel separating hash sections so adjacent variable-length sections
+/// cannot alias (e.g. moving a name from the class list to the pred list).
+const SECTION: u64 = 0x5EC7_1040_F00D_CAFE;
+
+fn put_str(h: &mut FxHasher, s: &str) {
+    h.write_u64(s.len() as u64);
+    h.write(s.as_bytes());
+}
+
+fn put_node(h: &mut FxHasher, n: Node) {
+    match n {
+        Node::Instance(i) => {
+            h.write_u8(0);
+            h.write_u32(i.index() as u32);
+        }
+        Node::Literal(l) => {
+            h.write_u8(1);
+            h.write_u32(l.index() as u32);
+        }
+    }
+}
+
+/// Computes the canonical content hash of `kb`.
+///
+/// Covers, in canonical order: class names (by id), predicate names (by id),
+/// instance labels plus their direct class lists (by id), literal values (by
+/// id), taxonomy parent lists (by class id), and all triples sorted by
+/// `(subject, predicate, object)`.
+///
+/// Prefer the cached [`KnowledgeBase::content_hash`] accessor; this free
+/// function recomputes from scratch (O(edges log edges)).
+pub fn content_hash_of(kb: &KnowledgeBase) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(CONTENT_HASH_VERSION);
+
+    h.write_u64(SECTION);
+    h.write_u64(kb.num_classes() as u64);
+    for c in kb.classes() {
+        put_str(&mut h, kb.class_name(c));
+    }
+
+    h.write_u64(SECTION);
+    h.write_u64(kb.num_preds() as u64);
+    for p in kb.preds() {
+        put_str(&mut h, kb.pred_name(p));
+    }
+
+    h.write_u64(SECTION);
+    h.write_u64(kb.num_instances() as u64);
+    for i in kb.instances() {
+        put_str(&mut h, kb.instance_label(i));
+        let mut classes: Vec<u32> = kb
+            .instance_classes(i)
+            .iter()
+            .map(|c| c.index() as u32)
+            .collect();
+        classes.sort_unstable();
+        h.write_u64(classes.len() as u64);
+        for c in classes {
+            h.write_u32(c);
+        }
+    }
+
+    h.write_u64(SECTION);
+    h.write_u64(kb.num_literals() as u64);
+    for idx in 0..kb.num_literals() {
+        put_str(
+            &mut h,
+            kb.literal_value(crate::ids::LiteralId::from_index(idx)),
+        );
+    }
+
+    h.write_u64(SECTION);
+    for c in kb.classes() {
+        let mut parents: Vec<u32> = kb
+            .taxonomy()
+            .parents(c)
+            .iter()
+            .map(|p| p.index() as u32)
+            .collect();
+        parents.sort_unstable();
+        h.write_u64(parents.len() as u64);
+        for p in parents {
+            h.write_u32(p);
+        }
+    }
+
+    h.write_u64(SECTION);
+    let mut triples: Vec<(u32, u32, Node)> = kb
+        .triples()
+        .map(|(s, p, o)| (s.index() as u32, p.index() as u32, o))
+        .collect();
+    triples.sort_unstable();
+    h.write_u64(triples.len() as u64);
+    for (s, p, o) in triples {
+        h.write_u32(s);
+        h.write_u32(p);
+        put_node(&mut h, o);
+    }
+
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::fixtures::figure1_kb;
+    use crate::graph::KbBuilder;
+    use crate::KnowledgeBase;
+
+    fn small_kb(extra_edge: bool, extra_type: bool, extra_parent: bool) -> KnowledgeBase {
+        let mut b = KbBuilder::new();
+        let city = b.class("city");
+        let place = b.class("place");
+        let located_in = b.pred("locatedIn");
+        let haifa = b.instance("Haifa");
+        let israel = b.instance("Israel");
+        b.set_type(haifa, city);
+        if extra_type {
+            b.set_type(israel, place);
+        }
+        if extra_parent {
+            b.subclass(city, place);
+        }
+        b.edge(haifa, located_in, israel);
+        if extra_edge {
+            b.edge(israel, located_in, haifa);
+        }
+        b.finalize().unwrap()
+    }
+
+    #[test]
+    fn identical_construction_sequences_hash_equal() {
+        let a = figure1_kb();
+        let b = figure1_kb();
+        assert_ne!(a.generation(), b.generation());
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn cached_accessor_matches_free_function() {
+        let kb = figure1_kb();
+        assert_eq!(kb.content_hash(), super::content_hash_of(&kb));
+        // Second call hits the cached value and must agree.
+        assert_eq!(kb.content_hash(), kb.content_hash());
+    }
+
+    #[test]
+    fn any_content_change_changes_the_hash() {
+        let base = small_kb(false, false, false).content_hash();
+        assert_ne!(base, small_kb(true, false, false).content_hash(), "edge");
+        assert_ne!(base, small_kb(false, true, false).content_hash(), "type");
+        assert_ne!(
+            base,
+            small_kb(false, false, true).content_hash(),
+            "taxonomy"
+        );
+    }
+
+    #[test]
+    fn renaming_changes_the_hash() {
+        let mut b1 = KbBuilder::new();
+        let c = b1.class("city");
+        let i = b1.instance("Haifa");
+        b1.set_type(i, c);
+        let mut b2 = KbBuilder::new();
+        let c = b2.class("town");
+        let i = b2.instance("Haifa");
+        b2.set_type(i, c);
+        assert_ne!(
+            b1.finalize().unwrap().content_hash(),
+            b2.finalize().unwrap().content_hash()
+        );
+    }
+
+    #[test]
+    fn section_swaps_do_not_alias() {
+        // One KB with the name interned as a class, one as a predicate.
+        let mut b1 = KbBuilder::new();
+        b1.class("locatedIn");
+        let mut b2 = KbBuilder::new();
+        b2.pred("locatedIn");
+        assert_ne!(
+            b1.finalize().unwrap().content_hash(),
+            b2.finalize().unwrap().content_hash()
+        );
+    }
+
+    #[test]
+    fn hash_is_independent_of_generation() {
+        // Interleave other finalizations to perturb the generation counter.
+        let a = small_kb(false, false, false);
+        let _noise = figure1_kb();
+        let b = small_kb(false, false, false);
+        assert_ne!(a.generation(), b.generation());
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+}

@@ -17,6 +17,7 @@ use crate::symbol::{Symbol, SymbolTable};
 use crate::taxonomy::Taxonomy;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Process-wide counter behind [`KnowledgeBase::generation`]. Starts at 1 so
 /// generation 0 can act as a "no KB" sentinel in cache keys.
@@ -249,6 +250,7 @@ impl KbBuilder {
             closed_instances: closed,
             edge_count,
             generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
+            content_hash: OnceLock::new(),
         })
     }
 }
@@ -272,6 +274,7 @@ pub struct KnowledgeBase {
     closed_instances: Vec<Vec<InstanceId>>,
     edge_count: usize,
     generation: u64,
+    content_hash: OnceLock<u64>,
 }
 
 impl KnowledgeBase {
@@ -281,6 +284,17 @@ impl KnowledgeBase {
     /// against a different — or rebuilt — KB.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// A deterministic hash of the KB's full content **and** id assignment
+    /// (see [`crate::content_hash`]). Unlike [`KnowledgeBase::generation`],
+    /// two KBs built by replaying the same construction sequence share a
+    /// content hash across processes, which makes it the right key for
+    /// on-disk cache snapshots. Computed lazily on first use, then cached.
+    pub fn content_hash(&self) -> u64 {
+        *self
+            .content_hash
+            .get_or_init(|| crate::content_hash::content_hash_of(self))
     }
 
     // ----- name lookups ------------------------------------------------

@@ -45,6 +45,7 @@
 // invariants — the message documents why the panic cannot fire.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod content_hash;
 pub mod fixtures;
 pub mod graph;
 pub mod hash;
@@ -55,6 +56,7 @@ pub mod stats;
 pub mod symbol;
 pub mod taxonomy;
 
+pub use content_hash::content_hash_of;
 pub use graph::{KbBuilder, KbError, KnowledgeBase};
 pub use hash::{FxHashMap, FxHashSet};
 pub use ids::{ClassId, InstanceId, LiteralId, Node, PredId};
