@@ -14,7 +14,12 @@
 //!    cold (fresh value cache per relation) vs warm (one `CacheRegistry`
 //!    shared across the stream).
 //! 6. **Batch claiming** — the work-stealing scheduler claiming one row per
-//!    `fetch_add` vs an auto-tuned batch of rows.
+//!    `fetch_add` vs an auto-tuned batch of rows; also prints the
+//!    per-worker `rows_claimed` / `steal_attempts` counters from the
+//!    metric registry for each regime.
+//! 7. **Observability overhead** — repair with no `Obs` handle vs an
+//!    attached registry + tracer at sampling rates 0 / 1% / 100%
+//!    (DESIGN.md §4d's "pay only for what you sample" claim).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dr_bench::{nobel_stream_workload, uis_workload};
@@ -266,10 +271,66 @@ fn bench_batch_claim(c: &mut Criterion) {
             batch_claim,
             ..Default::default()
         };
+        // Probe run with a metric registry attached: surface the per-worker
+        // claim/steal counters the regimes differ by (outside timing).
+        let obs = std::sync::Arc::new(dr_obs::Obs::new());
+        let obs_ctx = workload.ctx().with_obs(std::sync::Arc::clone(&obs));
+        let mut probe = workload.dirty.clone();
+        dr_core::parallel_repair(&obs_ctx, &workload.rules, &mut probe, &par_opts);
+        let snap = obs.metrics().snapshot();
+        let series = |name: &str| -> String {
+            snap.counters
+                .iter()
+                .filter(|c| c.name == name)
+                .map(|c| format!("{}={}", c.labels, c.value))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        eprintln!(
+            "{label}: rows_claimed [{}], steal_attempts [{}]",
+            series("scheduler_rows_claimed_total"),
+            series("scheduler_steal_attempts_total"),
+        );
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut working = workload.dirty.clone();
                 dr_core::parallel_repair(&ctx, &workload.rules, &mut working, &par_opts)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_obs_overhead");
+    group.sample_size(10);
+    let workload = uis_workload(1_000, KbFlavor::YagoLike);
+    let opts = ApplyOptions::default();
+
+    let ctx = workload.ctx();
+    group.bench_function("no_obs", |b| {
+        b.iter(|| {
+            let mut working = workload.dirty.clone();
+            fast_repair(&ctx, &workload.rules, &mut working, &opts)
+        })
+    });
+    for (label, rate) in [
+        ("obs(rate=0)", 0.0),
+        ("obs(rate=0.01)", 0.01),
+        ("obs(rate=1.0)", 1.0),
+    ] {
+        group.bench_function(label, |b| {
+            // A fresh Obs per sample batch so the registry never grows
+            // unboundedly; the tracer writes to a null sink so the bench
+            // measures event construction + sampling, not disk.
+            let obs = std::sync::Arc::new(dr_obs::Obs::with_tracer(dr_obs::Tracer::new(
+                Box::new(std::io::sink()),
+                dr_obs::Sampler::new(42, rate),
+            )));
+            let ctx = workload.ctx().with_obs(obs);
+            b.iter(|| {
+                let mut working = workload.dirty.clone();
+                fast_repair(&ctx, &workload.rules, &mut working, &opts)
             })
         });
     }
@@ -282,6 +343,7 @@ criterion_group!(
     bench_value_cache,
     bench_signature_index,
     bench_cache_persistence,
-    bench_batch_claim
+    bench_batch_claim,
+    bench_obs_overhead
 );
 criterion_main!(benches);

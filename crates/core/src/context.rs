@@ -10,6 +10,7 @@ use crate::repair::budget::RepairBudget;
 use crate::repair::registry::CacheRegistry;
 use crate::repair::value_cache::ValueCache;
 use dr_kb::{FxHashMap, InstanceId, KnowledgeBase, LiteralId, Node};
+use dr_obs::Obs;
 use dr_simmatch::{MatchIndex, SimFn};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -23,6 +24,7 @@ pub struct MatchContext<'kb> {
     indexes: Mutex<FxHashMap<(NodeType, SimFn), Arc<MatchIndex>>>,
     registry: Option<Arc<CacheRegistry>>,
     budget: RepairBudget,
+    obs: Option<Arc<Obs>>,
 }
 
 impl<'kb> MatchContext<'kb> {
@@ -33,6 +35,7 @@ impl<'kb> MatchContext<'kb> {
             indexes: Mutex::new(FxHashMap::default()),
             registry: None,
             budget: RepairBudget::default(),
+            obs: None,
         }
     }
 
@@ -45,6 +48,7 @@ impl<'kb> MatchContext<'kb> {
             indexes: Mutex::new(FxHashMap::default()),
             registry: Some(registry),
             budget: RepairBudget::default(),
+            obs: None,
         }
     }
 
@@ -54,6 +58,28 @@ impl<'kb> MatchContext<'kb> {
     pub fn with_budget(mut self, budget: RepairBudget) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Attaches an observability handle (builder style): repairers running
+    /// through this context record metrics into `obs.metrics()` and, when
+    /// `obs.tracer()` is set, emit sampled JSONL repair traces. Cache and
+    /// registry counters register their own cells as caches are handed
+    /// out, so the metric store and the report stats read the same storage.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Attaches an optional observability handle — convenience for
+    /// plumbing `Option<Arc<Obs>>` config fields through builders.
+    pub fn with_obs_opt(mut self, obs: Option<Arc<Obs>>) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The attached observability handle, if any.
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref()
     }
 
     /// The per-tuple repair budget (unbounded unless configured via
@@ -71,10 +97,21 @@ impl<'kb> MatchContext<'kb> {
     /// the registry's warm, persistent cache when one is attached, or a
     /// fresh relation-lifetime cache otherwise.
     pub fn value_cache_for(&self, schema: &dr_relation::Schema) -> Arc<ValueCache> {
-        match &self.registry {
-            Some(registry) => registry.cache_for(self.kb, schema),
+        let cache = match &self.registry {
+            Some(registry) => {
+                if let Some(obs) = &self.obs {
+                    registry.register_metrics(obs.metrics());
+                }
+                registry.cache_for(self.kb, schema)
+            }
             None => Arc::new(ValueCache::new()),
+        };
+        // Registration is idempotent per cell, so handing out the same
+        // warm cache repeatedly only attaches it once.
+        if let Some(obs) = &self.obs {
+            cache.register_metrics(obs.metrics());
         }
+        cache
     }
 
     /// The underlying KB.

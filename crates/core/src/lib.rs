@@ -25,6 +25,7 @@
 pub mod context;
 pub mod fixtures;
 pub mod graph;
+mod obs;
 pub mod repair;
 pub mod rule;
 
@@ -35,7 +36,7 @@ pub use repair::basic::{
     basic_repair, basic_repair_tuple, RelationReport, RepairStep, TupleReport,
 };
 pub use repair::budget::{BudgetExhaustion, BudgetMeter, ExhaustCause, RepairBudget};
-pub use repair::cache::ElementCache;
+pub use repair::cache::{ElementCache, ElementCacheStats};
 pub use repair::fast::{fast_repair, FastRepairer};
 #[cfg(feature = "fault-injection")]
 pub use repair::fault::{Fault, FaultPlan, FaultSpec};

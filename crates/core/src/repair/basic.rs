@@ -105,7 +105,8 @@ pub struct RelationReport {
     /// counters; all-zero for repairers that do not share one (e.g. the
     /// basic chase).
     pub cache: crate::repair::value_cache::CacheStats,
-    /// Per-phase wall-clock timings; zero for the basic chase.
+    /// Per-phase wall-clock timings; zero for the basic chase unless an
+    /// observability handle is attached (the metrics need real numbers).
     pub timing: PhaseTimings,
     /// Degraded/failed/quarantined counters plus the budget-exhaustion
     /// histogram; all-zero on a healthy run (DESIGN.md §4c).
@@ -192,14 +193,36 @@ pub fn basic_repair(
     relation: &mut Relation,
     opts: &ApplyOptions,
 ) -> RelationReport {
+    let obs = ctx.obs();
+    let tracer = obs.and_then(|o| o.tracer());
+    if let Some(t) = tracer {
+        crate::obs::trace_relation_start(t, "basic", relation.len(), rules.len());
+        crate::obs::trace_phase(t, "repair", true);
+    }
+    let tuple_hist = obs.map(|o| o.metrics().histogram("repair_tuple_seconds", &[]));
+    let repair_start = std::time::Instant::now();
     let mut report = RelationReport::default();
     for row in 0..relation.len() {
         let tuple = relation.tuple_mut(row);
-        report
-            .tuples
-            .push(basic_repair_tuple(ctx, rules, tuple, opts));
+        let started = tuple_hist.as_ref().map(|_| std::time::Instant::now());
+        let tuple_report = basic_repair_tuple(ctx, rules, tuple, opts);
+        if let (Some(hist), Some(started)) = (&tuple_hist, started) {
+            hist.record(started.elapsed());
+        }
+        if let Some(t) = tracer {
+            crate::obs::trace_tuple(t, row, &tuple_report, None);
+        }
+        report.tuples.push(tuple_report);
     }
     report.tally_resilience();
+    if let Some(obs) = obs {
+        report.timing.repair = repair_start.elapsed();
+        crate::obs::record_relation(obs, "basic", &report);
+    }
+    if let Some(t) = tracer {
+        crate::obs::trace_phase(t, "repair", false);
+        crate::obs::trace_relation_end(t, relation.len());
+    }
     report
 }
 

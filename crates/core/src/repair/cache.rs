@@ -26,6 +26,23 @@ use std::sync::Arc;
 
 pub use crate::repair::value_cache::EdgeSig;
 
+/// Hit/miss counters of one [`ElementCache`], split by source level:
+/// `local_*` cover the per-tuple signature-keyed maps, `shared_*` cover the
+/// probes a local miss forwarded to the relation-scoped [`ValueCache`]
+/// overlay (always zero without one). Tuple trace events report these so a
+/// trace can attribute each lookup to the level that answered it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ElementCacheStats {
+    /// Lookups answered by the per-tuple maps.
+    pub local_hits: usize,
+    /// Lookups the per-tuple maps could not answer.
+    pub local_misses: usize,
+    /// Forwarded probes the shared [`ValueCache`] answered.
+    pub shared_hits: usize,
+    /// Forwarded probes the shared cache had to compute.
+    pub shared_misses: usize,
+}
+
 /// Memoized per-tuple element checks, shared across rules; optionally backed
 /// by a relation-scoped [`ValueCache`].
 #[derive(Default)]
@@ -35,6 +52,8 @@ pub struct ElementCache<'v> {
     edges: FxHashMap<EdgeSig, bool>,
     hits: usize,
     misses: usize,
+    shared_hits: usize,
+    shared_misses: usize,
 }
 
 impl ElementCache<'static> {
@@ -67,7 +86,15 @@ impl<'v> ElementCache<'v> {
         }
         self.misses += 1;
         let cands = match self.shared {
-            Some(shared) => shared.candidates(ctx, node, tuple.get(node.col)),
+            Some(shared) => {
+                let (cands, hit) = shared.candidates_with_outcome(ctx, node, tuple.get(node.col));
+                if hit {
+                    self.shared_hits += 1;
+                } else {
+                    self.shared_misses += 1;
+                }
+                cands
+            }
             None => Arc::new(ctx.candidates(node.ty, node.sim, tuple.get(node.col))),
         };
         self.nodes.insert(*node, Arc::clone(&cands));
@@ -97,7 +124,20 @@ impl<'v> ElementCache<'v> {
         self.misses += 1;
         let ok = match self.shared {
             Some(shared) => {
-                shared.edge_ok(ctx, from, rel, to, tuple.get(from.col), tuple.get(to.col))
+                let (ok, hit) = shared.edge_ok_with_outcome(
+                    ctx,
+                    from,
+                    rel,
+                    to,
+                    tuple.get(from.col),
+                    tuple.get(to.col),
+                );
+                if hit {
+                    self.shared_hits += 1;
+                } else {
+                    self.shared_misses += 1;
+                }
+                ok
             }
             None => {
                 let from_cands = self.candidates(ctx, tuple, from);
@@ -127,6 +167,16 @@ impl<'v> ElementCache<'v> {
     /// `(hits, misses)` counters for diagnostics and ablation benches.
     pub fn stats(&self) -> (usize, usize) {
         (self.hits, self.misses)
+    }
+
+    /// Counters split by source level (local maps vs. shared overlay).
+    pub fn level_stats(&self) -> ElementCacheStats {
+        ElementCacheStats {
+            local_hits: self.hits,
+            local_misses: self.misses,
+            shared_hits: self.shared_hits,
+            shared_misses: self.shared_misses,
+        }
     }
 }
 

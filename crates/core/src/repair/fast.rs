@@ -95,7 +95,12 @@ impl<'r> FastRepairer<'r> {
         )
     }
 
-    fn repair_tuple_with(
+    /// Innermost entry point: repairs one tuple through a caller-owned
+    /// element cache. Crate-visible so relation-level drivers (the loop
+    /// below, the parallel scheduler) can keep the cache after the call and
+    /// read its per-tuple [`level_stats`](ElementCache::level_stats) for
+    /// trace events.
+    pub(crate) fn repair_tuple_with(
         &self,
         ctx: &MatchContext<'_>,
         tuple: &mut Tuple,
@@ -220,19 +225,36 @@ impl<'r> FastRepairer<'r> {
         opts: &ApplyOptions,
         shared: &ValueCache,
     ) -> RelationReport {
+        let obs = ctx.obs();
+        let tracer = obs.and_then(|o| o.tracer());
+        if let Some(t) = tracer {
+            crate::obs::trace_relation_start(t, "fast", relation.len(), self.rules.len());
+            crate::obs::trace_phase(t, "prewarm", true);
+        }
+        let tuple_hist = obs.map(|o| o.metrics().histogram("repair_tuple_seconds", &[]));
         let before = shared.stats();
         let prewarm_start = Instant::now();
         ctx.prewarm(self.rules);
         let prewarm = prewarm_start.elapsed();
+        if let Some(t) = tracer {
+            crate::obs::trace_phase(t, "prewarm", false);
+            crate::obs::trace_phase(t, "repair", true);
+        }
         let repair_start = Instant::now();
         let mut report = RelationReport::default();
         for row in 0..relation.len() {
-            report.tuples.push(self.repair_tuple_shared(
-                ctx,
-                relation.tuple_mut(row),
-                opts,
-                shared,
-            ));
+            let meter = ctx.budget().meter();
+            let mut cache = ElementCache::with_shared(shared);
+            let started = tuple_hist.as_ref().map(|_| Instant::now());
+            let tuple_report =
+                self.repair_tuple_with(ctx, relation.tuple_mut(row), opts, &mut cache, &meter);
+            if let (Some(hist), Some(started)) = (&tuple_hist, started) {
+                hist.record(started.elapsed());
+            }
+            if let Some(t) = tracer {
+                crate::obs::trace_tuple(t, row, &tuple_report, Some(cache.level_stats()));
+            }
+            report.tuples.push(tuple_report);
         }
         report.cache = shared.stats().delta_since(&before);
         report.timing = PhaseTimings {
@@ -240,6 +262,13 @@ impl<'r> FastRepairer<'r> {
             repair: repair_start.elapsed(),
         };
         report.tally_resilience();
+        if let Some(obs) = obs {
+            crate::obs::record_relation(obs, "fast", &report);
+        }
+        if let Some(t) = tracer {
+            crate::obs::trace_phase(t, "repair", false);
+            crate::obs::trace_relation_end(t, relation.len());
+        }
         report
     }
 }

@@ -23,14 +23,16 @@
 
 use crate::context::MatchContext;
 use crate::repair::basic::{PhaseTimings, RelationReport, TupleReport};
+use crate::repair::cache::ElementCache;
 use crate::repair::fast::FastRepairer;
 use crate::repair::resilience::TupleOutcome;
 use crate::rule::apply::ApplyOptions;
 use crate::rule::DetectiveRule;
+use dr_obs::Histogram;
 use dr_relation::{Relation, Tuple};
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Parallel repair configuration.
@@ -104,9 +106,20 @@ pub fn parallel_repair(
         return repairer.repair_relation(ctx, relation, &opts.apply);
     }
 
+    let obs = ctx.obs();
+    let tracer = obs.and_then(|o| o.tracer());
+    if let Some(t) = tracer {
+        crate::obs::trace_relation_start(t, "parallel", relation.len(), rules.len());
+        crate::obs::trace_phase(t, "prewarm", true);
+    }
     let prewarm_start = Instant::now();
     ctx.prewarm(rules);
     let prewarm = prewarm_start.elapsed();
+    if let Some(t) = tracer {
+        crate::obs::trace_phase(t, "prewarm", false);
+        crate::obs::trace_phase(t, "repair", true);
+    }
+    let tuple_hist = obs.map(|o| o.metrics().histogram("repair_tuple_seconds", &[]));
 
     let batch = opts.effective_batch(relation);
     let shared = ctx.value_cache_for(relation.schema());
@@ -120,20 +133,40 @@ pub fn parallel_repair(
     let rows: Vec<Mutex<&mut Tuple>> = relation.tuples_mut().iter_mut().map(Mutex::new).collect();
     let slots: Vec<Mutex<Option<TupleReport>>> =
         (0..rows.len()).map(|_| Mutex::new(None)).collect();
+    let workers = threads.min(rows.len());
+    // Per-worker claim tallies: `attempts` counts every `fetch_add` on the
+    // claim counter (including the final, failing one that ends the loop),
+    // `claimed` counts rows actually won. Cheap plain atomics either way;
+    // exported as `scheduler_*` metrics when observability is attached.
+    let claimed: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let attempts: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(rows.len()) {
-            scope.spawn(|| loop {
+        for w in 0..workers {
+            let (claimed, attempts) = (&claimed, &attempts);
+            let (rows, slots, next) = (&rows, &slots, &next);
+            let (repairer, shared, tuple_hist) = (&repairer, &shared, &tuple_hist);
+            scope.spawn(move || loop {
+                attempts[w].fetch_add(1, Ordering::Relaxed);
                 let start = next.fetch_add(batch, Ordering::Relaxed);
                 if start >= rows.len() {
                     break;
                 }
+                let end = (start + batch).min(rows.len());
+                claimed[w].fetch_add((end - start) as u64, Ordering::Relaxed);
                 // `row` indexes two slices at once (`slots` and `rows`), so
                 // a range loop is clearer than a zipped iterator chain.
                 #[allow(clippy::needless_range_loop)]
-                for row in start..(start + batch).min(rows.len()) {
-                    *slots[row].lock() =
-                        Some(repair_row(&repairer, ctx, opts, &shared, &rows, row));
+                for row in start..end {
+                    *slots[row].lock() = Some(repair_row(
+                        repairer,
+                        ctx,
+                        opts,
+                        shared,
+                        rows,
+                        row,
+                        tuple_hist.as_ref(),
+                    ));
                 }
             });
         }
@@ -165,14 +198,34 @@ pub fn parallel_repair(
         .collect();
     let retried = retry_rows.len();
     if retried > 0 {
+        if let Some(t) = tracer {
+            for &row in &retry_rows {
+                crate::obs::trace_retry(t, row);
+            }
+        }
         let retry_next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for _ in 0..threads.min(retry_rows.len()) {
-                scope.spawn(|| loop {
+            // `retry_rows.len() <= rows.len()`, so retry worker indexes stay
+            // within the per-worker tally arrays sized above.
+            for w in 0..threads.min(retry_rows.len()) {
+                let (claimed, attempts) = (&claimed, &attempts);
+                let (rows, slots) = (&rows, &slots);
+                let (retry_rows, retry_next) = (&retry_rows, &retry_next);
+                let (repairer, shared, tuple_hist) = (&repairer, &shared, &tuple_hist);
+                scope.spawn(move || loop {
+                    attempts[w].fetch_add(1, Ordering::Relaxed);
                     let i = retry_next.fetch_add(1, Ordering::Relaxed);
                     let Some(&row) = retry_rows.get(i) else { break };
-                    *slots[row].lock() =
-                        Some(repair_row(&repairer, ctx, opts, &shared, &rows, row));
+                    claimed[w].fetch_add(1, Ordering::Relaxed);
+                    *slots[row].lock() = Some(repair_row(
+                        repairer,
+                        ctx,
+                        opts,
+                        shared,
+                        rows,
+                        row,
+                        tuple_hist.as_ref(),
+                    ));
                 });
             }
         });
@@ -204,6 +257,24 @@ pub fn parallel_repair(
     };
     report.resilience.retried = retried;
     report.tally_resilience();
+    if let Some(obs) = obs {
+        let m = obs.metrics();
+        m.gauge("scheduler_workers", &[]).set(workers as u64);
+        m.gauge("scheduler_batch_rows", &[]).set(batch as u64);
+        for w in 0..workers {
+            let label = w.to_string();
+            let labels = [("worker", label.as_str())];
+            m.counter("scheduler_rows_claimed_total", &labels)
+                .add(claimed[w].load(Ordering::Relaxed));
+            m.counter("scheduler_steal_attempts_total", &labels)
+                .add(attempts[w].load(Ordering::Relaxed));
+        }
+        crate::obs::record_relation(obs, "parallel", &report);
+    }
+    if let Some(t) = tracer {
+        crate::obs::trace_phase(t, "repair", false);
+        crate::obs::trace_relation_end(t, relation.len());
+    }
     report
 }
 
@@ -219,6 +290,7 @@ fn repair_row(
     shared: &crate::repair::value_cache::ValueCache,
     rows: &[Mutex<&mut Tuple>],
     row: usize,
+    hist: Option<&Histogram>,
 ) -> TupleReport {
     // The closure captures `&mut Tuple` behind the row mutex, which is not
     // `UnwindSafe` by type; it is unwind-safe by construction: a fault is
@@ -233,17 +305,30 @@ fn repair_row(
             plan.trigger(row, &meter);
         }
         let mut tuple = rows[row].lock();
-        repairer.repair_tuple_shared_metered(ctx, &mut tuple, &opts.apply, shared, &meter)
+        let mut cache = ElementCache::with_shared(shared);
+        let started = hist.map(|_| Instant::now());
+        let report = repairer.repair_tuple_with(ctx, &mut tuple, &opts.apply, &mut cache, &meter);
+        if let (Some(hist), Some(started)) = (hist, started) {
+            hist.record(started.elapsed());
+        }
+        (report, cache.level_stats())
     }));
-    match result {
-        Ok(report) => report,
-        Err(payload) => TupleReport {
-            outcome: TupleOutcome::Failed {
-                message: panic_message(payload.as_ref()),
+    let (report, cache_stats) = match result {
+        Ok((report, stats)) => (report, Some(stats)),
+        Err(payload) => (
+            TupleReport {
+                outcome: TupleOutcome::Failed {
+                    message: panic_message(payload.as_ref()),
+                },
+                ..TupleReport::default()
             },
-            ..TupleReport::default()
-        },
+            None,
+        ),
+    };
+    if let Some(t) = ctx.obs().and_then(|o| o.tracer()) {
+        crate::obs::trace_tuple(t, row, &report, cache_stats);
     }
+    report
 }
 
 /// Extracts a human-readable message from a panic payload.

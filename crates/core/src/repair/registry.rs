@@ -50,6 +50,7 @@
 use crate::repair::snapshot::{self, SnapshotKey, SnapshotPayload};
 use crate::repair::value_cache::{ValueCache, ValueCacheConfig};
 use dr_kb::{FxHashMap, KnowledgeBase};
+use dr_obs::{Counter, MetricRegistry};
 use dr_relation::Schema;
 use parking_lot::Mutex;
 use std::path::{Path, PathBuf};
@@ -210,13 +211,16 @@ pub struct CacheRegistry {
     config: RegistryConfig,
     slots: Mutex<FxHashMap<CacheKey, Slot>>,
     clock: AtomicU64,
-    warm_hits: AtomicU64,
-    cold_misses: AtomicU64,
-    evicted_caches: AtomicU64,
-    snapshot_warm_loads: AtomicU64,
-    snapshot_cold_loads: AtomicU64,
-    snapshot_rejected: AtomicU64,
-    snapshot_saves: AtomicU64,
+    // `dr_obs::Counter` cells, so an attached observability registry can
+    // expose the same storage [`Self::stats`] reads (see
+    // [`Self::register_metrics`]) — no dual bookkeeping.
+    warm_hits: Counter,
+    cold_misses: Counter,
+    evicted_caches: Counter,
+    snapshot_warm_loads: Counter,
+    snapshot_cold_loads: Counter,
+    snapshot_rejected: Counter,
+    snapshot_saves: Counter,
     snapshot_diagnostics: Mutex<Vec<String>>,
 }
 
@@ -234,13 +238,13 @@ impl CacheRegistry {
             config,
             slots: Mutex::new(FxHashMap::default()),
             clock: AtomicU64::new(0),
-            warm_hits: AtomicU64::new(0),
-            cold_misses: AtomicU64::new(0),
-            evicted_caches: AtomicU64::new(0),
-            snapshot_warm_loads: AtomicU64::new(0),
-            snapshot_cold_loads: AtomicU64::new(0),
-            snapshot_rejected: AtomicU64::new(0),
-            snapshot_saves: AtomicU64::new(0),
+            warm_hits: Counter::new(),
+            cold_misses: Counter::new(),
+            evicted_caches: Counter::new(),
+            snapshot_warm_loads: Counter::new(),
+            snapshot_cold_loads: Counter::new(),
+            snapshot_rejected: Counter::new(),
+            snapshot_saves: Counter::new(),
             snapshot_diagnostics: Mutex::new(Vec::new()),
         }
     }
@@ -248,6 +252,24 @@ impl CacheRegistry {
     /// The registry's configuration.
     pub fn config(&self) -> &RegistryConfig {
         &self.config
+    }
+
+    /// Attaches this registry's counter cells to `metrics` under the
+    /// `cache_registry_*` / `snapshot_*` metric names. Idempotent; live
+    /// caches register their own cells as they are handed out (see
+    /// [`crate::context::MatchContext::value_cache_for`]).
+    pub fn register_metrics(&self, metrics: &MetricRegistry) {
+        metrics.register_counter("cache_registry_warm_hits_total", &[], &self.warm_hits);
+        metrics.register_counter("cache_registry_cold_misses_total", &[], &self.cold_misses);
+        metrics.register_counter(
+            "cache_registry_evicted_caches_total",
+            &[],
+            &self.evicted_caches,
+        );
+        metrics.register_counter("snapshot_warm_loads_total", &[], &self.snapshot_warm_loads);
+        metrics.register_counter("snapshot_cold_loads_total", &[], &self.snapshot_cold_loads);
+        metrics.register_counter("snapshot_rejected_total", &[], &self.snapshot_rejected);
+        metrics.register_counter("snapshot_saves_total", &[], &self.snapshot_saves);
     }
 
     /// The shared cache for `(kb, schema)`, creating (and, beyond
@@ -287,10 +309,10 @@ impl CacheRegistry {
         let mut slots = self.slots.lock();
         if let Some(slot) = slots.get_mut(&key) {
             slot.last_used = stamp;
-            self.warm_hits.fetch_add(1, Relaxed);
+            self.warm_hits.inc();
             return (Arc::clone(&slot.cache), false);
         }
-        self.cold_misses.fetch_add(1, Relaxed);
+        self.cold_misses.inc();
         while slots.len() >= self.config.max_caches {
             let lru = slots
                 .iter()
@@ -303,7 +325,7 @@ impl CacheRegistry {
                             victims.push((dk, slot.cache));
                         }
                     }
-                    self.evicted_caches.fetch_add(1, Relaxed);
+                    self.evicted_caches.inc();
                 }
                 None => break,
             }
@@ -343,7 +365,7 @@ impl CacheRegistry {
         });
         let dropped = (before - slots.len()) as u64;
         if dropped > 0 {
-            self.evicted_caches.fetch_add(dropped, Relaxed);
+            self.evicted_caches.add(dropped);
         }
         drop(slots);
         self.write_back(victims);
@@ -378,7 +400,7 @@ impl CacheRegistry {
             }
             match snapshot::write_snapshot(dir, key, &payload) {
                 Ok(_) => {
-                    self.snapshot_saves.fetch_add(1, Relaxed);
+                    self.snapshot_saves.inc();
                     saved += 1;
                 }
                 Err(e) => self.record_diagnostic(format!(
@@ -407,13 +429,13 @@ impl CacheRegistry {
         match loaded {
             Ok(payload) => {
                 cache.import(&payload);
-                self.snapshot_warm_loads.fetch_add(1, Relaxed);
+                self.snapshot_warm_loads.inc();
             }
             Err(e) => {
                 cache.mark_snapshot_cold();
-                self.snapshot_cold_loads.fetch_add(1, Relaxed);
+                self.snapshot_cold_loads.inc();
                 if !e.is_absence() {
-                    self.snapshot_rejected.fetch_add(1, Relaxed);
+                    self.snapshot_rejected.inc();
                     self.record_diagnostic(format!(
                         "snapshot load kb={:#x} schema={:#x}: {e}",
                         key.kb_content_hash, key.schema_fingerprint
@@ -452,16 +474,16 @@ impl CacheRegistry {
     pub fn stats(&self) -> RegistryStats {
         let slots = self.slots.lock();
         RegistryStats {
-            warm_hits: self.warm_hits.load(Relaxed),
-            cold_misses: self.cold_misses.load(Relaxed),
-            evicted_caches: self.evicted_caches.load(Relaxed),
+            warm_hits: self.warm_hits.get(),
+            cold_misses: self.cold_misses.get(),
+            evicted_caches: self.evicted_caches.get(),
             live_caches: slots.len(),
             live_entries: slots.values().map(|s| s.cache.len()).sum(),
             snapshot: SnapshotStats {
-                warm_loads: self.snapshot_warm_loads.load(Relaxed),
-                cold_loads: self.snapshot_cold_loads.load(Relaxed),
-                rejected: self.snapshot_rejected.load(Relaxed),
-                saves: self.snapshot_saves.load(Relaxed),
+                warm_loads: self.snapshot_warm_loads.get(),
+                cold_loads: self.snapshot_cold_loads.get(),
+                rejected: self.snapshot_rejected.get(),
+                saves: self.snapshot_saves.get(),
             },
         }
     }

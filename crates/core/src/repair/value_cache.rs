@@ -28,10 +28,11 @@ use crate::context::MatchContext;
 use crate::graph::schema::SchemaNode;
 use crate::repair::snapshot::SnapshotPayload;
 use dr_kb::{FxHashMap, Node, PredId};
+use dr_obs::{Counter, MetricRegistry};
 use parking_lot::RwLock;
 use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 /// An edge signature: source node, predicate, target node.
@@ -314,13 +315,16 @@ pub struct ValueCache {
     nodes: Vec<RwLock<ClockShard<NodeKey, Arc<Vec<Node>>>>>,
     edges: Vec<RwLock<ClockShard<EdgeKey, bool>>>,
     mask: usize,
-    node_hits: AtomicU64,
-    node_misses: AtomicU64,
-    edge_hits: AtomicU64,
-    edge_misses: AtomicU64,
-    evictions: AtomicU64,
-    snapshot_warm: AtomicU64,
-    snapshot_cold: AtomicU64,
+    // Counters are `dr_obs::Counter` cells so an attached observability
+    // registry can expose the *same* storage the report columns read —
+    // `stats()` is a view, not a copy kept in sync by hand.
+    node_hits: Counter,
+    node_misses: Counter,
+    edge_hits: Counter,
+    edge_misses: Counter,
+    evictions: Counter,
+    snapshot_warm: Counter,
+    snapshot_cold: Counter,
 }
 
 impl Default for ValueCache {
@@ -353,14 +357,28 @@ impl ValueCache {
                 .map(|_| RwLock::new(ClockShard::new(cap)))
                 .collect(),
             mask: shards - 1,
-            node_hits: AtomicU64::new(0),
-            node_misses: AtomicU64::new(0),
-            edge_hits: AtomicU64::new(0),
-            edge_misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            snapshot_warm: AtomicU64::new(0),
-            snapshot_cold: AtomicU64::new(0),
+            node_hits: Counter::new(),
+            node_misses: Counter::new(),
+            edge_hits: Counter::new(),
+            edge_misses: Counter::new(),
+            evictions: Counter::new(),
+            snapshot_warm: Counter::new(),
+            snapshot_cold: Counter::new(),
         }
+    }
+
+    /// Attaches this cache's counter cells to `metrics` under the
+    /// `value_cache_*` metric names. Idempotent: repeated registration of
+    /// the same cache adds nothing, and several caches registered under
+    /// the same registry sum into one exposition line per metric.
+    pub fn register_metrics(&self, metrics: &MetricRegistry) {
+        metrics.register_counter("value_cache_node_hits_total", &[], &self.node_hits);
+        metrics.register_counter("value_cache_node_misses_total", &[], &self.node_misses);
+        metrics.register_counter("value_cache_edge_hits_total", &[], &self.edge_hits);
+        metrics.register_counter("value_cache_edge_misses_total", &[], &self.edge_misses);
+        metrics.register_counter("value_cache_evictions_total", &[], &self.evictions);
+        metrics.register_counter("value_cache_snapshot_warm_total", &[], &self.snapshot_warm);
+        metrics.register_counter("value_cache_snapshot_cold_total", &[], &self.snapshot_cold);
     }
 
     /// Number of shards (diagnostics).
@@ -386,13 +404,25 @@ impl ValueCache {
         node: &SchemaNode,
         value: &str,
     ) -> Arc<Vec<Node>> {
+        self.candidates_with_outcome(ctx, node, value).0
+    }
+
+    /// Like [`ValueCache::candidates`], also reporting whether the lookup
+    /// was answered from the cache (`true` = hit). Used by the per-tuple
+    /// overlay to attribute hit/miss source levels in traces.
+    pub fn candidates_with_outcome(
+        &self,
+        ctx: &MatchContext<'_>,
+        node: &SchemaNode,
+        value: &str,
+    ) -> (Arc<Vec<Node>>, bool) {
         let key = (*node, value.to_owned());
         let shard = &self.nodes[hash_of(&key) & self.mask];
         if let Some(cands) = shard.read().get(&key).map(Arc::clone) {
-            self.node_hits.fetch_add(1, Relaxed);
-            return cands;
+            self.node_hits.inc();
+            return (cands, true);
         }
-        self.node_misses.fetch_add(1, Relaxed);
+        self.node_misses.inc();
         // Compute outside the lock; a racing writer wastes work but stays
         // correct (the lookup is a pure function of the KB) — first insert
         // wins, everyone returns the same candidates.
@@ -402,9 +432,9 @@ impl ValueCache {
         let winner = Arc::clone(winner);
         drop(guard);
         if evicted > 0 {
-            self.evictions.fetch_add(evicted, Relaxed);
+            self.evictions.add(evicted);
         }
-        winner
+        (winner, false)
     }
 
     /// Whether some candidate pair of `(from, to)` is connected by `rel`,
@@ -418,34 +448,49 @@ impl ValueCache {
         from_value: &str,
         to_value: &str,
     ) -> bool {
+        self.edge_ok_with_outcome(ctx, from, rel, to, from_value, to_value)
+            .0
+    }
+
+    /// Like [`ValueCache::edge_ok`], also reporting whether the check was
+    /// answered from the cache (`true` = hit).
+    pub fn edge_ok_with_outcome(
+        &self,
+        ctx: &MatchContext<'_>,
+        from: &SchemaNode,
+        rel: PredId,
+        to: &SchemaNode,
+        from_value: &str,
+        to_value: &str,
+    ) -> (bool, bool) {
         let sig = (*from, rel, *to);
         let key = (sig, from_value.to_owned(), to_value.to_owned());
         let shard = &self.edges[hash_of(&key) & self.mask];
         if let Some(&ok) = shard.read().get(&key) {
-            self.edge_hits.fetch_add(1, Relaxed);
-            return ok;
+            self.edge_hits.inc();
+            return (ok, true);
         }
-        self.edge_misses.fetch_add(1, Relaxed);
+        self.edge_misses.inc();
         let from_cands = self.candidates(ctx, from, from_value);
         let to_cands = self.candidates(ctx, to, to_value);
         let ok = edge_connected(ctx, &from_cands, rel, &to_cands);
         let (_, evicted) = shard.write().insert(key, ok);
         if evicted > 0 {
-            self.evictions.fetch_add(evicted, Relaxed);
+            self.evictions.add(evicted);
         }
-        ok
+        (ok, false)
     }
 
     /// Snapshot of the hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            node_hits: self.node_hits.load(Relaxed),
-            node_misses: self.node_misses.load(Relaxed),
-            edge_hits: self.edge_hits.load(Relaxed),
-            edge_misses: self.edge_misses.load(Relaxed),
-            evictions: self.evictions.load(Relaxed),
-            snapshot_warm: self.snapshot_warm.load(Relaxed),
-            snapshot_cold: self.snapshot_cold.load(Relaxed),
+            node_hits: self.node_hits.get(),
+            node_misses: self.node_misses.get(),
+            edge_hits: self.edge_hits.get(),
+            edge_misses: self.edge_misses.get(),
+            evictions: self.evictions.get(),
+            snapshot_warm: self.snapshot_warm.get(),
+            snapshot_cold: self.snapshot_cold.get(),
         }
     }
 
@@ -498,9 +543,9 @@ impl ValueCache {
             evicted += ev;
             imported += 1;
         }
-        self.snapshot_warm.fetch_add(imported as u64, Relaxed);
+        self.snapshot_warm.add(imported as u64);
         if evicted > 0 {
-            self.evictions.fetch_add(evicted, Relaxed);
+            self.evictions.add(evicted);
         }
         imported
     }
@@ -508,7 +553,7 @@ impl ValueCache {
     /// Records that a snapshot was looked for and none was usable — the
     /// cache starts cold. Surfaces as `snapshot_cold` in [`CacheStats`].
     pub fn mark_snapshot_cold(&self) {
-        self.snapshot_cold.fetch_add(1, Relaxed);
+        self.snapshot_cold.inc();
     }
 }
 

@@ -42,6 +42,9 @@ pub struct AblationConfig {
     pub typo_share: f64,
     /// Master seed.
     pub seed: u64,
+    /// Observability handle (DESIGN.md §4d); `None` keeps the
+    /// zero-overhead path.
+    pub obs: Option<Arc<dr_obs::Obs>>,
 }
 
 impl Default for AblationConfig {
@@ -51,6 +54,7 @@ impl Default for AblationConfig {
             error_rate: 0.10,
             typo_share: 0.5,
             seed: 47,
+            obs: None,
         }
     }
 }
@@ -62,8 +66,9 @@ fn run_with_options(
     dirty: &dr_relation::Relation,
     label: &str,
     opts: &ApplyOptions,
+    obs: Option<Arc<dr_obs::Obs>>,
 ) -> AblationRow {
-    let ctx = MatchContext::new(kb);
+    let ctx = MatchContext::new(kb).with_obs_opt(obs);
     let mut working = dirty.clone();
     let report = FastRepairer::new(rules).repair_relation(&ctx, &mut working, opts);
     let extras = RepairExtras::from_report(&report);
@@ -108,6 +113,7 @@ pub fn normalization_ablation(cfg: &AblationConfig) -> Vec<AblationRow> {
             &dirty,
             "normalize_fuzzy=on (default)",
             &ApplyOptions::default(),
+            cfg.obs.clone(),
         ),
         run_with_options(
             &kb,
@@ -119,6 +125,7 @@ pub fn normalization_ablation(cfg: &AblationConfig) -> Vec<AblationRow> {
                 normalize_fuzzy: false,
                 ..Default::default()
             },
+            cfg.obs.clone(),
         ),
     ]
 }
@@ -149,6 +156,7 @@ pub fn detection_ablation(cfg: &AblationConfig) -> Vec<AblationRow> {
             &dirty,
             "detect_without_repair=off (default)",
             &ApplyOptions::default(),
+            cfg.obs.clone(),
         ),
         run_with_options(
             &kb,
@@ -160,6 +168,7 @@ pub fn detection_ablation(cfg: &AblationConfig) -> Vec<AblationRow> {
                 detect_without_repair: true,
                 ..Default::default()
             },
+            cfg.obs.clone(),
         ),
     ]
 }
@@ -218,10 +227,13 @@ pub fn cache_persistence_ablation(
         dr_core::RegistryConfig::default(),
     ));
     let regimes: [(&str, MatchContext<'_>); 2] = [
-        ("cold (fresh cache per relation)", MatchContext::new(&kb)),
+        (
+            "cold (fresh cache per relation)",
+            MatchContext::new(&kb).with_obs_opt(cfg.obs.clone()),
+        ),
         (
             "warm (shared registry)",
-            MatchContext::with_registry(&kb, registry),
+            MatchContext::with_registry(&kb, registry).with_obs_opt(cfg.obs.clone()),
         ),
     ];
     for (label, ctx) in regimes {
@@ -303,7 +315,8 @@ pub fn snapshot_warm_start_ablation(
         let registry = Arc::new(dr_core::CacheRegistry::new(
             dr_core::RegistryConfig::default().with_cache_dir(cache_dir),
         ));
-        let ctx = MatchContext::with_registry(&kb, Arc::clone(&registry));
+        let ctx =
+            MatchContext::with_registry(&kb, Arc::clone(&registry)).with_obs_opt(cfg.obs.clone());
         let mut row = SnapshotWarmStartRow {
             config: label.to_owned(),
             relations: stream.len(),

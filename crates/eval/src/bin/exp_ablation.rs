@@ -3,7 +3,7 @@
 //! cross-process snapshot warm starts are worth.
 //!
 //! Usage: `cargo run -p dr-eval --bin exp_ablation --release [-- --quick]
-//! [--cache-dir <dir>]`
+//! [--cache-dir <dir>] [--metrics] [--trace <path>]`
 //!
 //! The snapshot warm-start ablation needs a disk directory; without
 //! `--cache-dir` it uses (and cleans up) a scratch directory under the
@@ -13,6 +13,7 @@ use dr_eval::ablation::{
     cache_persistence_ablation, detection_ablation, normalization_ablation,
     snapshot_warm_start_ablation, AblationConfig,
 };
+use dr_eval::obsflags::ObsCli;
 use dr_eval::report::{
     cache_cell, f3, phases_cell, render_table, resilience_cell, secs, snapshot_cell,
 };
@@ -25,8 +26,10 @@ fn main() {
         .position(|a| a == "--cache-dir")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
+    let obs_cli = ObsCli::from_args(&args);
     let cfg = AblationConfig {
         size: if quick { 200 } else { 2_000 },
+        obs: obs_cli.obs.clone(),
         ..Default::default()
     };
 
@@ -160,4 +163,5 @@ fn main() {
     if ephemeral {
         std::fs::remove_dir_all(&snap_dir).ok();
     }
+    obs_cli.finish();
 }

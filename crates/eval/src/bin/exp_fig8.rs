@@ -10,11 +10,15 @@
 //!
 //! `--dump <path>` (repeatable) loads an external `.nt`/`.csv` dump
 //! leniently and prints a capped quarantine summary to stderr.
+//! `--metrics` / `--trace <path>` / `--trace-sample <rate>` /
+//! `--trace-seed <seed>` — observability flags, see
+//! [`dr_eval::obsflags`].
 
 use dr_eval::exp2::SweepDataset;
 use dr_eval::exp3::{
     keyed_rule_sweep, uis_tuple_sweep, webtables_rule_sweep, Exp3Config, TimingPoint,
 };
+use dr_eval::obsflags::ObsCli;
 use dr_eval::report::{cache_cell, phases_cell, render_table, resilience_cell, secs};
 
 fn print_points(title: &str, x_label: &str, points: &[TimingPoint]) {
@@ -61,7 +65,8 @@ fn main() {
             quarantined
         );
     }
-    let cfg = if quick {
+    let obs_cli = ObsCli::from_args(&args);
+    let mut cfg = if quick {
         Exp3Config {
             nobel_size: 200,
             uis_size: 500,
@@ -70,6 +75,7 @@ fn main() {
     } else {
         Exp3Config::default()
     };
+    cfg.obs = obs_cli.obs.clone();
 
     eprintln!("running Fig 8(a) WebTables rule sweep...");
     let points = webtables_rule_sweep(&[10, 20, 30, 40, 50], &cfg);
@@ -94,4 +100,5 @@ fn main() {
     eprintln!("running Fig 8(d) UIS tuple sweep ({sizes:?})...");
     let points = uis_tuple_sweep(&sizes, &cfg);
     print_points("FIGURE 8(d). TIME vs #-TUPLE — UIS", "#-tuple", &points);
+    obs_cli.finish();
 }

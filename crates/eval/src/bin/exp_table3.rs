@@ -11,8 +11,12 @@
 //!   also prints a greppable `snapshot-warm-loads: N` line.
 //! * `--dump <path>` (repeatable) loads an external `.nt`/`.csv` dump
 //!   leniently and prints a capped quarantine summary to stderr.
+//! * `--metrics` / `--trace <path>` / `--trace-sample <rate>` /
+//!   `--trace-seed <seed>` — observability flags, see
+//!   [`dr_eval::obsflags`].
 
 use dr_eval::exp1::{table3, Exp1Config};
+use dr_eval::obsflags::ObsCli;
 use dr_eval::report::{
     cache_cell, f3, phases_cell, render_table, resilience_cell, secs, snapshot_cell,
 };
@@ -49,6 +53,8 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create cache dir");
         cfg.cache_dir = Some(dir.clone());
     }
+    let obs_cli = ObsCli::from_args(&args);
+    cfg.obs = obs_cli.obs.clone();
     eprintln!(
         "running Table III (nobel={}, uis={}, e={}%)...",
         cfg.nobel_size,
@@ -100,4 +106,5 @@ fn main() {
         let warm: u64 = rows.iter().map(|r| r.snapshot.warm_loads).sum();
         println!("snapshot-warm-loads: {warm}");
     }
+    obs_cli.finish();
 }

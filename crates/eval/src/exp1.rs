@@ -30,6 +30,11 @@ pub struct Exp1Config {
     /// second run of the same experiment warm-starts from disk. `None`
     /// keeps the caches purely in-memory.
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Observability handle (DESIGN.md §4d): when set, every DR
+    /// `MatchContext` records into its metric registry and emits sampled
+    /// JSONL traces through its tracer. `None` keeps the zero-overhead
+    /// path.
+    pub obs: Option<std::sync::Arc<dr_obs::Obs>>,
 }
 
 impl Default for Exp1Config {
@@ -40,6 +45,7 @@ impl Default for Exp1Config {
             error_rate: 0.10,
             seed: 17,
             cache_dir: None,
+            obs: None,
         }
     }
 }
@@ -189,7 +195,8 @@ fn webtables_rows(cfg: &Exp1Config, flavor: KbFlavor, rows: &mut Vec<Exp1Row>) {
         registry_cfg = registry_cfg.with_cache_dir(dir);
     }
     let registry = std::sync::Arc::new(dr_core::CacheRegistry::new(registry_cfg));
-    let ctx = MatchContext::with_registry(&kb, std::sync::Arc::clone(&registry));
+    let ctx = MatchContext::with_registry(&kb, std::sync::Arc::clone(&registry))
+        .with_obs_opt(cfg.obs.clone());
     let rules = world.rules(&kb);
     let katara_patterns = webtables_katara_patterns(&world, &kb);
 
@@ -296,6 +303,7 @@ fn keyed_rows(
     rules: &[dr_core::DetectiveRule],
     flavor: KbFlavor,
     cache_dir: Option<&std::path::Path>,
+    obs: Option<std::sync::Arc<dr_obs::Obs>>,
     rows: &mut Vec<Exp1Row>,
 ) {
     let registry = cache_dir.map(|dir| {
@@ -306,7 +314,8 @@ fn keyed_rows(
     let ctx = match &registry {
         Some(reg) => MatchContext::with_registry(kb, std::sync::Arc::clone(reg)),
         None => MatchContext::new(kb),
-    };
+    }
+    .with_obs_opt(obs);
     let outcome = run_drs(&ctx, rules, clean, dirty, DrAlgo::Fast);
     let snapshot = registry
         .as_ref()
@@ -379,6 +388,7 @@ pub fn table3(cfg: &Exp1Config) -> Vec<Exp1Row> {
             &nobel_rules,
             flavor,
             cfg.cache_dir.as_deref(),
+            cfg.obs.clone(),
             &mut rows,
         );
 
@@ -392,6 +402,7 @@ pub fn table3(cfg: &Exp1Config) -> Vec<Exp1Row> {
             &uis_rules,
             flavor,
             cfg.cache_dir.as_deref(),
+            cfg.obs.clone(),
             &mut rows,
         );
     }
@@ -409,6 +420,7 @@ mod tests {
             error_rate: 0.10,
             seed: 17,
             cache_dir: None,
+            obs: None,
         }
     }
 

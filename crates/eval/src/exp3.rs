@@ -53,6 +53,9 @@ pub struct Exp3Config {
     pub error_rate: f64,
     /// Master seed.
     pub seed: u64,
+    /// Observability handle (DESIGN.md §4d); `None` keeps the
+    /// zero-overhead path.
+    pub obs: Option<std::sync::Arc<dr_obs::Obs>>,
 }
 
 impl Default for Exp3Config {
@@ -62,6 +65,7 @@ impl Default for Exp3Config {
             uis_size: 20_000,
             error_rate: 0.10,
             seed: 41,
+            obs: None,
         }
     }
 }
@@ -73,7 +77,7 @@ pub fn webtables_rule_sweep(rule_counts: &[usize], cfg: &Exp3Config) -> Vec<Timi
     let mut out = Vec::new();
     for flavor in [KbFlavor::YagoLike, KbFlavor::DbpediaLike] {
         let kb = world.kb(&KbProfile::of(flavor));
-        let ctx = MatchContext::new(&kb);
+        let ctx = MatchContext::new(&kb).with_obs_opt(cfg.obs.clone());
         let all_rules = world.rules(&kb);
         for &n in rule_counts {
             let rules = &all_rules[..n.min(all_rules.len())];
@@ -127,7 +131,7 @@ pub fn keyed_rule_sweep(
             );
             for flavor in [KbFlavor::YagoLike, KbFlavor::DbpediaLike] {
                 let kb = world.kb(&KbProfile::of(flavor));
-                let ctx = MatchContext::new(&kb);
+                let ctx = MatchContext::new(&kb).with_obs_opt(cfg.obs.clone());
                 let all_rules = NobelWorld::rules(&kb);
                 sweep_rules(
                     &ctx,
@@ -151,7 +155,7 @@ pub fn keyed_rule_sweep(
             );
             for flavor in [KbFlavor::YagoLike, KbFlavor::DbpediaLike] {
                 let kb = world.kb(&KbProfile::of(flavor));
-                let ctx = MatchContext::new(&kb);
+                let ctx = MatchContext::new(&kb).with_obs_opt(cfg.obs.clone());
                 let all_rules = UisWorld::rules(&kb);
                 sweep_rules(
                     &ctx,
@@ -211,7 +215,7 @@ pub fn uis_tuple_sweep(sizes: &[usize], cfg: &Exp3Config) -> Vec<TimingPoint> {
         for flavor in [KbFlavor::YagoLike, KbFlavor::DbpediaLike] {
             let setup = std::time::Instant::now();
             let kb = world.kb(&KbProfile::of(flavor));
-            let ctx = MatchContext::new(&kb);
+            let ctx = MatchContext::new(&kb).with_obs_opt(cfg.obs.clone());
             let rules = UisWorld::rules(&kb);
             let kb_seconds = setup.elapsed().as_secs_f64();
 
@@ -265,6 +269,7 @@ mod tests {
             uis_size: 300,
             error_rate: 0.10,
             seed: 41,
+            obs: None,
         }
     }
 

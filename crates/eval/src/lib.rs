@@ -20,6 +20,7 @@ pub mod exp1;
 pub mod exp2;
 pub mod exp3;
 pub mod metrics;
+pub mod obsflags;
 pub mod report;
 pub mod runner;
 

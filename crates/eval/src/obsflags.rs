@@ -1,0 +1,152 @@
+//! CLI plumbing for the observability layer (DESIGN.md §4d): parses the
+//! shared `--metrics` / `--trace` flags, builds the
+//! [`Obs`](dr_obs::Obs) handle experiment configs thread into their
+//! [`MatchContext`](dr_core::MatchContext)s, and on
+//! [`finish`](ObsCli::finish) writes the Prometheus-style `metrics.prom`
+//! dump and prints the human summary table.
+//!
+//! Flags (accepted by `exp_table3`, `exp_fig8`, and `exp_ablation`):
+//!
+//! * `--metrics` — record metrics; on exit write `metrics.prom` (override
+//!   the path with `--metrics-out <path>`) and print a summary table.
+//! * `--trace <path>` — emit sampled JSONL repair traces to `<path>`.
+//! * `--trace-sample <rate>` — tuple sampling rate in `[0, 1]`
+//!   (default `1.0`; relation-level events are always emitted).
+//! * `--trace-seed <seed>` — sampler seed (default `42`); the same seed
+//!   and rate reproduce the same sampled row set.
+
+use dr_obs::{MetricsSnapshot, Obs, Sampler, Tracer};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Parsed observability flags plus the live [`Obs`] handle (when any flag
+/// enabled it).
+pub struct ObsCli {
+    /// Handle to clone into experiment configs; `None` when neither
+    /// `--metrics` nor `--trace` was given (zero-overhead path).
+    pub obs: Option<Arc<Obs>>,
+    metrics: bool,
+    metrics_out: PathBuf,
+    trace_path: Option<PathBuf>,
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+}
+
+impl ObsCli {
+    /// Parses the observability flags out of `args` (the full argv).
+    ///
+    /// Panics with a usage message on malformed values — these are
+    /// operator-facing binaries, not a library API.
+    pub fn from_args(args: &[String]) -> Self {
+        let metrics = args.iter().any(|a| a == "--metrics");
+        let metrics_out = flag_value(args, "--metrics-out")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("metrics.prom"));
+        let trace_path = flag_value(args, "--trace").map(PathBuf::from);
+        let sample: f64 = flag_value(args, "--trace-sample")
+            .map(|v| v.parse().expect("--trace-sample takes a rate in [0, 1]"))
+            .unwrap_or(1.0);
+        let seed: u64 = flag_value(args, "--trace-seed")
+            .map(|v| v.parse().expect("--trace-seed takes an integer"))
+            .unwrap_or(42);
+
+        let obs = if metrics || trace_path.is_some() {
+            let obs = match &trace_path {
+                Some(path) => {
+                    let file = std::fs::File::create(path)
+                        .unwrap_or_else(|e| panic!("cannot create trace file {path:?}: {e}"));
+                    Obs::with_tracer(Tracer::new(
+                        Box::new(std::io::BufWriter::new(file)),
+                        Sampler::new(seed, sample),
+                    ))
+                }
+                None => Obs::new(),
+            };
+            Some(Arc::new(obs))
+        } else {
+            None
+        };
+        Self {
+            obs,
+            metrics,
+            metrics_out,
+            trace_path,
+        }
+    }
+
+    /// Finalizes the run: flushes the trace sink, writes `metrics.prom`,
+    /// and prints the human-readable metrics summary. Call once, after the
+    /// experiment finished.
+    pub fn finish(&self) {
+        let Some(obs) = &self.obs else { return };
+        if let Some(tracer) = obs.tracer() {
+            tracer.flush();
+        }
+        if let Some(path) = &self.trace_path {
+            eprintln!("trace written to {}", path.display());
+        }
+        if self.metrics {
+            let snap = obs.metrics().snapshot();
+            std::fs::write(&self.metrics_out, snap.render_prom())
+                .unwrap_or_else(|e| panic!("cannot write {:?}: {e}", self.metrics_out));
+            println!("{}", crate::report::metrics_summary(&snap));
+            println!("metrics written to {}", self.metrics_out.display());
+        }
+    }
+
+    /// The snapshot of the attached registry, if metrics are on (tests).
+    pub fn snapshot(&self) -> Option<MetricsSnapshot> {
+        self.obs.as_ref().map(|o| o.metrics().snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn no_flags_means_no_obs() {
+        let cli = ObsCli::from_args(&argv(&["exp", "--quick"]));
+        assert!(cli.obs.is_none());
+        cli.finish(); // no-op
+    }
+
+    #[test]
+    fn metrics_flag_builds_registry_without_tracer() {
+        let cli = ObsCli::from_args(&argv(&["exp", "--metrics"]));
+        let obs = cli.obs.as_ref().expect("obs enabled");
+        assert!(obs.tracer().is_none());
+        assert!(cli.snapshot().is_some());
+    }
+
+    #[test]
+    fn trace_flag_builds_tracer_and_writes_file() {
+        let dir = std::env::temp_dir().join(format!("dr-obsflags-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        let cli = ObsCli::from_args(&argv(&[
+            "exp",
+            "--trace",
+            path.to_str().unwrap(),
+            "--trace-sample",
+            "0.5",
+            "--trace-seed",
+            "7",
+        ]));
+        let obs = cli.obs.as_ref().expect("obs enabled");
+        obs.tracer()
+            .expect("tracer attached")
+            .emit("{\"ev\":\"x\"}".to_owned());
+        cli.finish();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ev\":\"x\"}\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

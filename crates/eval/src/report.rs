@@ -89,6 +89,45 @@ pub fn phases_cell(t: &dr_core::PhaseTimings) -> String {
     )
 }
 
+/// Renders a [`MetricsSnapshot`](dr_obs::MetricsSnapshot) as a compact
+/// human-readable summary table: one row per counter family (summed over
+/// label sets), gauges, and histogram quantiles.
+pub fn metrics_summary(snap: &dr_obs::MetricsSnapshot) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut families: Vec<&str> = snap
+        .counters
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    families.sort_unstable();
+    for name in families {
+        let total = snap.counter_total(name);
+        let value = if name.ends_with("_seconds") {
+            secs(total as f64 / 1e9)
+        } else {
+            total.to_string()
+        };
+        rows.push(vec![name.to_owned(), "counter".into(), value]);
+    }
+    for g in &snap.gauges {
+        rows.push(vec![g.name.clone(), "gauge".into(), g.value.to_string()]);
+    }
+    for h in &snap.histograms {
+        let q = |p: Option<u64>| p.map_or_else(|| "-".to_owned(), |n| secs(n as f64 / 1e9));
+        let quantiles = format!(
+            "n={} p50={} p95={} p99={}",
+            h.count,
+            q(h.p50),
+            q(h.p95),
+            q(h.p99),
+        );
+        rows.push(vec![h.name.clone(), "histogram".into(), quantiles]);
+    }
+    render_table("METRICS SUMMARY", &["metric", "kind", "value"], &rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,6 +13,7 @@ fn tiny1() -> Exp1Config {
         error_rate: 0.10,
         seed: 17,
         cache_dir: None,
+        obs: None,
     }
 }
 
@@ -67,6 +68,7 @@ fn timing_drivers_cover_both_algorithms() {
         uis_size: 120,
         error_rate: 0.10,
         seed: 41,
+        obs: None,
     };
     let points = webtables_rule_sweep(&[10], &cfg);
     assert_eq!(points.len(), 4); // 2 algos × 2 KBs

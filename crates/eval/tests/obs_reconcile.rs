@@ -1,0 +1,76 @@
+//! Acceptance test for the observability layer (DESIGN.md §4d): a
+//! `table3` run with `--metrics` semantics produces counter totals that
+//! reconcile EXACTLY with the report columns the table prints — the
+//! `res d/f/q/r` resilience cells and the `snap w/c/r/s` snapshot cells.
+//! There is no second bookkeeping path to drift: the report counters and
+//! the metric cells are the same storage.
+
+use dr_eval::exp1::{table3, Exp1Config};
+use dr_obs::{MetricsSnapshot, Obs};
+use std::sync::Arc;
+
+fn outcome_total(snap: &MetricsSnapshot, outcome: &str) -> u64 {
+    snap.counters
+        .iter()
+        .filter(|c| {
+            c.name == "repair_tuples_total" && c.labels.contains(&format!("outcome=\"{outcome}\""))
+        })
+        .map(|c| c.value)
+        .sum()
+}
+
+#[test]
+fn table3_metrics_reconcile_with_report_columns() {
+    let dir = std::env::temp_dir().join(format!("dr-obs-reconcile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create cache dir");
+    let obs = Arc::new(Obs::new());
+    let cfg = Exp1Config {
+        nobel_size: 120,
+        uis_size: 150,
+        error_rate: 0.10,
+        seed: 17,
+        cache_dir: Some(dir.clone()),
+        obs: Some(Arc::clone(&obs)),
+    };
+    let rows = table3(&cfg);
+    std::fs::remove_dir_all(&dir).ok();
+    let snap = obs.metrics().snapshot();
+
+    // Resilience columns (`res d/f/q/r`): summed over every row — KATARA
+    // rows are all-zero by construction, DR rows carry the real counters.
+    let degraded: u64 = rows.iter().map(|r| r.resilience.degraded as u64).sum();
+    let failed: u64 = rows.iter().map(|r| r.resilience.failed as u64).sum();
+    let quarantined: u64 = rows.iter().map(|r| r.resilience.quarantined as u64).sum();
+    let retried: u64 = rows.iter().map(|r| r.resilience.retried as u64).sum();
+    assert_eq!(outcome_total(&snap, "degraded"), degraded);
+    assert_eq!(outcome_total(&snap, "failed"), failed);
+    assert_eq!(snap.counter_total("repair_quarantined_total"), quarantined);
+    assert_eq!(snap.counter_total("repair_retries_total"), retried);
+
+    // Snapshot columns (`snap w/c/r/s`): every registry the run built is
+    // registered into the same metric store, so the lifetime totals match
+    // the per-row sums exactly.
+    let warm: u64 = rows.iter().map(|r| r.snapshot.warm_loads).sum();
+    let cold: u64 = rows.iter().map(|r| r.snapshot.cold_loads).sum();
+    let rejected: u64 = rows.iter().map(|r| r.snapshot.rejected).sum();
+    let saves: u64 = rows.iter().map(|r| r.snapshot.saves).sum();
+    assert_eq!(snap.counter_total("snapshot_warm_loads_total"), warm);
+    assert_eq!(snap.counter_total("snapshot_cold_loads_total"), cold);
+    assert_eq!(snap.counter_total("snapshot_rejected_total"), rejected);
+    assert_eq!(snap.counter_total("snapshot_saves_total"), saves);
+    assert!(saves >= 1, "a cache-dir run persists snapshots");
+
+    // The run repaired real tuples and timed its phases.
+    assert!(snap.counter_total("repair_tuples_total") > 0);
+    let repair_nanos = snap
+        .counter("repair_phase_seconds", "phase=\"repair\"")
+        .unwrap_or(0);
+    assert!(repair_nanos > 0, "repair phase time recorded");
+
+    // And the Prometheus rendering carries the same families the CI leg
+    // greps for.
+    let prom = snap.render_prom();
+    assert!(prom.contains("repair_phase_seconds"));
+    assert!(prom.contains("repair_tuples_total"));
+    assert!(prom.contains("snapshot_saves_total"));
+}

@@ -1,0 +1,102 @@
+//! Minimal JSON object builder for trace events.
+//!
+//! The build environment is fully offline, so instead of a serde dependency
+//! the tracer hand-rolls the one shape it needs: a flat, single-line JSON
+//! object with string/number fields, appended in insertion order. Keeping
+//! field order caller-controlled makes golden-file tests byte-stable.
+
+/// Escape `s` into `out` as the body of a JSON string literal (no quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Builder for one single-line JSON object. Fields render in insertion
+/// order; [`JsonObj::finish`] closes the object and returns the line
+/// (without a trailing newline).
+#[derive(Debug)]
+pub struct JsonObj {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObj {
+    /// Start a new object: `{`.
+    pub fn new() -> Self {
+        JsonObj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        escape_into(&mut self.buf, key);
+        self.buf.push_str("\":");
+    }
+
+    /// Append a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+        self
+    }
+
+    /// Append an unsigned integer field.
+    pub fn num(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Close the object and return the rendered line.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObj {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_in_insertion_order() {
+        let line = JsonObj::new().str("ev", "tuple").num("row", 3).finish();
+        assert_eq!(line, r#"{"ev":"tuple","row":3}"#);
+    }
+
+    #[test]
+    fn escapes_quotes_and_control_chars() {
+        let line = JsonObj::new().str("name", "a\"b\\c\nd\u{1}").finish();
+        assert_eq!(line, "{\"name\":\"a\\\"b\\\\c\\nd\\u0001\"}");
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(JsonObj::new().finish(), "{}");
+    }
+}

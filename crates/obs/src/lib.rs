@@ -1,0 +1,78 @@
+#![warn(missing_docs)]
+//! `dr-obs` — the observability layer for the detective-rules pipeline.
+//!
+//! Two halves, one handle:
+//!
+//! * **Metrics** ([`MetricRegistry`]): lock-free monotonic [`Counter`]s
+//!   (worker-sharded cells), [`Gauge`]s, and log-bucketed latency
+//!   [`Histogram`]s with p50/p95/p99 summaries. Existing subsystem
+//!   counters (value cache, cache registry, snapshots) register their
+//!   *own* cells into the registry, so the Prometheus dump and the report
+//!   columns read the same storage — there is no second bookkeeping path
+//!   to drift from.
+//! * **Tracing** ([`Tracer`]): per-tuple repair spans emitted as JSONL,
+//!   gated by a deterministic seed-driven [`Sampler`] so a trace is
+//!   reproducible at any sampling rate and rate-`r1` traces are subsets
+//!   of rate-`r2` traces for `r1 <= r2`.
+//!
+//! An [`Obs`] bundles both and is threaded through the pipeline as an
+//! `Option<Arc<Obs>>`; when absent, instrumentation compiles down to a
+//! branch per relation and per tuple.
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use json::JsonObj;
+pub use metrics::{
+    Counter, CounterSample, Gauge, Histogram, HistogramSample, MetricRegistry, MetricsSnapshot,
+};
+pub use trace::{memory_tracer, Sampler, SpanBuf, Tracer};
+
+/// The observability handle: a metric registry plus an optional tracer.
+pub struct Obs {
+    metrics: MetricRegistry,
+    tracer: Option<Tracer>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("tracing", &self.tracer.is_some())
+            .finish()
+    }
+}
+
+impl Obs {
+    /// Metrics only, no tracing.
+    pub fn new() -> Self {
+        Obs {
+            metrics: MetricRegistry::new(),
+            tracer: None,
+        }
+    }
+
+    /// Metrics plus a JSONL tracer.
+    pub fn with_tracer(tracer: Tracer) -> Self {
+        Obs {
+            metrics: MetricRegistry::new(),
+            tracer: Some(tracer),
+        }
+    }
+
+    /// The metric registry.
+    pub fn metrics(&self) -> &MetricRegistry {
+        &self.metrics
+    }
+
+    /// The tracer, when tracing is enabled.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,215 @@
+//! Sampled JSONL repair tracing.
+//!
+//! A [`Tracer`] owns a line-oriented sink and a deterministic, seed-driven
+//! row sampler. Per-tuple events are buffered into a [`SpanBuf`] and
+//! flushed as one contiguous block, so concurrent workers never interleave
+//! lines *within* a tuple's span. Events carry no wall-clock fields: the
+//! same seed, rate, and input produce the same line set, which is what the
+//! golden-file and subset tests rely on.
+
+use parking_lot::Mutex;
+use std::io::Write;
+
+/// splitmix64 finalizer — a cheap, high-quality 64-bit mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Decides which rows get traced. Pure function of `(seed, row)`: a row's
+/// hash is compared against a rate-derived threshold, so the sampled set
+/// at rate `r1` is a subset of the set at any `r2 >= r1` under the same
+/// seed (monotone threshold over a fixed hash).
+#[derive(Debug, Clone, Copy)]
+pub struct Sampler {
+    seed: u64,
+    threshold: u64,
+    all: bool,
+    none: bool,
+}
+
+impl Sampler {
+    /// A sampler keeping roughly `rate` (clamped to `[0, 1]`) of rows.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        let rate = if rate.is_nan() {
+            0.0
+        } else {
+            rate.clamp(0.0, 1.0)
+        };
+        Sampler {
+            seed,
+            threshold: (rate * u64::MAX as f64) as u64,
+            all: rate >= 1.0,
+            none: rate <= 0.0,
+        }
+    }
+
+    /// Whether `row` is in the sample.
+    #[inline]
+    pub fn sampled(&self, row: u64) -> bool {
+        if self.all {
+            return true;
+        }
+        if self.none {
+            return false;
+        }
+        splitmix64(self.seed ^ row.wrapping_mul(0x9e3779b97f4a7c15)) <= self.threshold
+    }
+}
+
+/// Buffered lines for one tuple's span. Build events with
+/// [`crate::json::JsonObj`], push them here, then hand the buffer to
+/// [`Tracer::flush_span`] to write all lines atomically.
+#[derive(Debug, Default)]
+pub struct SpanBuf {
+    lines: Vec<String>,
+}
+
+impl SpanBuf {
+    /// An empty span buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one rendered JSON line (no trailing newline).
+    pub fn push(&mut self, line: String) {
+        self.lines.push(line);
+    }
+
+    /// Number of buffered lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the span holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+/// A JSONL trace sink plus its sampler. Writes go through one mutex; the
+/// sampler check happens outside it, so unsampled rows cost one hash.
+pub struct Tracer {
+    sink: Mutex<Box<dyn Write + Send>>,
+    sampler: Sampler,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("sampler", &self.sampler)
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer writing JSON lines to `sink`, keeping rows per `sampler`.
+    pub fn new(sink: Box<dyn Write + Send>, sampler: Sampler) -> Self {
+        Tracer {
+            sink: Mutex::new(sink),
+            sampler,
+        }
+    }
+
+    /// Whether `row`'s span should be recorded.
+    #[inline]
+    pub fn sampled(&self, row: u64) -> bool {
+        self.sampler.sampled(row)
+    }
+
+    /// Write one relation-level event line immediately.
+    pub fn emit(&self, line: String) {
+        let mut sink = self.sink.lock();
+        let _ = writeln!(sink, "{line}");
+    }
+
+    /// Write a span's lines as one contiguous block and flush the sink.
+    pub fn flush_span(&self, span: SpanBuf) {
+        if span.lines.is_empty() {
+            return;
+        }
+        let mut sink = self.sink.lock();
+        for line in &span.lines {
+            let _ = writeln!(sink, "{line}");
+        }
+        let _ = sink.flush();
+    }
+
+    /// Flush the underlying sink.
+    pub fn flush(&self) {
+        let _ = self.sink.lock().flush();
+    }
+}
+
+/// A tracer that appends lines to a shared in-memory buffer — the test
+/// harness's sink of choice.
+pub fn memory_tracer(sampler: Sampler) -> (Tracer, std::sync::Arc<Mutex<Vec<u8>>>) {
+    #[derive(Clone)]
+    struct Buf(std::sync::Arc<Mutex<Vec<u8>>>);
+    impl Write for Buf {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().extend_from_slice(data);
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let shared = std::sync::Arc::new(Mutex::new(Vec::new()));
+    (Tracer::new(Box::new(Buf(shared.clone())), sampler), shared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_bounds_are_exact() {
+        let all = Sampler::new(7, 1.0);
+        let none = Sampler::new(7, 0.0);
+        for row in 0..1000 {
+            assert!(all.sampled(row));
+            assert!(!none.sampled(row));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_monotone_in_rate() {
+        let lo = Sampler::new(42, 0.2);
+        let hi = Sampler::new(42, 0.7);
+        let lo2 = Sampler::new(42, 0.2);
+        let mut kept = 0usize;
+        for row in 0..10_000 {
+            assert_eq!(lo.sampled(row), lo2.sampled(row));
+            if lo.sampled(row) {
+                kept += 1;
+                assert!(hi.sampled(row), "rate-0.2 sample must be in rate-0.7 set");
+            }
+        }
+        // ~20% within generous slack.
+        assert!((1000..3000).contains(&kept), "kept {kept} of 10000");
+    }
+
+    #[test]
+    fn different_seeds_sample_different_rows() {
+        let a = Sampler::new(1, 0.5);
+        let b = Sampler::new(2, 0.5);
+        let differs = (0..1000).any(|row| a.sampled(row) != b.sampled(row));
+        assert!(differs);
+    }
+
+    #[test]
+    fn spans_flush_contiguously() {
+        let (tracer, buf) = memory_tracer(Sampler::new(0, 1.0));
+        let mut span = SpanBuf::new();
+        span.push("{\"ev\":\"a\"}".to_string());
+        span.push("{\"ev\":\"b\"}".to_string());
+        assert_eq!(span.len(), 2);
+        tracer.flush_span(span);
+        tracer.emit("{\"ev\":\"c\"}".to_string());
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        assert_eq!(text, "{\"ev\":\"a\"}\n{\"ev\":\"b\"}\n{\"ev\":\"c\"}\n");
+    }
+}

@@ -1,0 +1,66 @@
+//! Overhead guard for the observability layer (DESIGN.md §4d): an attached
+//! `Obs` handle whose tracer samples at rate 0 must be nearly free —
+//! counters are padded per-thread atomics and unsampled rows skip event
+//! construction entirely. This pins the "pay only for what you sample"
+//! claim with a wall-clock budget on the paper's running example (Table I).
+
+use dr_core::{fast_repair, ApplyOptions, MatchContext};
+use dr_kb::fixtures::nobel_mini_kb;
+use dr_obs::{Obs, Sampler, Tracer};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Table I (the paper's running example) duplicated to a workload large
+/// enough that per-tuple timing dominates fixed setup cost.
+fn table1_workload(copies: usize) -> dr_relation::Relation {
+    let mut relation = dr_relation::Relation::new(dr_core::fixtures::nobel_schema());
+    let base = dr_core::fixtures::table1_dirty();
+    for _ in 0..copies {
+        for t in base.tuples() {
+            relation.push(t.clone());
+        }
+    }
+    relation
+}
+
+/// One timed repair pass under `ctx`.
+fn one_pass(ctx: &MatchContext<'_>, rules: &[dr_core::DetectiveRule]) -> Duration {
+    let opts = ApplyOptions::default();
+    let mut relation = table1_workload(128);
+    let start = Instant::now();
+    fast_repair(ctx, rules, &mut relation, &opts);
+    start.elapsed()
+}
+
+#[test]
+fn rate_zero_observability_is_nearly_free() {
+    let kb = nobel_mini_kb();
+    let rules = dr_core::fixtures::figure4_rules(&kb);
+
+    let bare = MatchContext::new(&kb);
+    let obs = Arc::new(Obs::with_tracer(Tracer::new(
+        Box::new(std::io::sink()),
+        Sampler::new(42, 0.0),
+    )));
+    let traced = MatchContext::new(&kb).with_obs(obs);
+
+    // Warm both paths (indexes, allocator) before measuring.
+    one_pass(&bare, &rules);
+    one_pass(&traced, &rules);
+
+    // Timing on shared CI hardware is noisy, so interleave the two paths
+    // (drift hits both minima equally) and accept as soon as the running
+    // minima land within the 2% budget.
+    let (mut base, mut with_obs) = (Duration::MAX, Duration::MAX);
+    for round in 1..=60 {
+        base = base.min(one_pass(&bare, &rules));
+        with_obs = with_obs.min(one_pass(&traced, &rules));
+        if round >= 5 && with_obs.as_secs_f64() <= base.as_secs_f64() * 1.02 {
+            return;
+        }
+    }
+    panic!(
+        "rate-0 observability exceeded the 2% overhead budget: \
+         base {base:?} vs obs {with_obs:?}"
+    );
+}
