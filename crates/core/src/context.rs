@@ -19,20 +19,37 @@ use std::sync::Arc;
 /// optionally a [`CacheRegistry`] handing out persistent, schema-keyed
 /// [`ValueCache`]s so repairs of consecutive same-schema relations
 /// warm-start.
+///
+/// The index memo sits behind an `Arc`, so [`Self::fork`] can hand out
+/// cheap per-request contexts that share one memo (and registry and obs
+/// handle) while carrying their own [`RepairBudget`] — the serving layer
+/// builds one long-lived context per KB and forks it per request.
 pub struct MatchContext<'kb> {
     kb: &'kb KnowledgeBase,
-    indexes: Mutex<FxHashMap<(NodeType, SimFn), Arc<MatchIndex>>>,
+    indexes: SharedIndexMap,
     registry: Option<Arc<CacheRegistry>>,
     budget: RepairBudget,
     obs: Option<Arc<Obs>>,
 }
+
+/// The fork-shared `(type, sim) → index` memo.
+type SharedIndexMap = Arc<Mutex<FxHashMap<(NodeType, SimFn), Arc<MatchIndex>>>>;
+
+/// Contexts are shared by reference across scheduler worker threads and by
+/// value across serving threads; both require `Send + Sync`, so regressing
+/// either is a compile error here rather than a trait-bound error at a
+/// distant spawn site.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MatchContext<'static>>();
+};
 
 impl<'kb> MatchContext<'kb> {
     /// Wraps a KB.
     pub fn new(kb: &'kb KnowledgeBase) -> Self {
         Self {
             kb,
-            indexes: Mutex::new(FxHashMap::default()),
+            indexes: Arc::new(Mutex::new(FxHashMap::default())),
             registry: None,
             budget: RepairBudget::default(),
             obs: None,
@@ -45,10 +62,25 @@ impl<'kb> MatchContext<'kb> {
     pub fn with_registry(kb: &'kb KnowledgeBase, registry: Arc<CacheRegistry>) -> Self {
         Self {
             kb,
-            indexes: Mutex::new(FxHashMap::default()),
+            indexes: Arc::new(Mutex::new(FxHashMap::default())),
             registry: Some(registry),
             budget: RepairBudget::default(),
             obs: None,
+        }
+    }
+
+    /// A per-request view of this context: shares the KB, the memoized
+    /// index map (an index built through any fork is visible to all), the
+    /// registry, and the obs handle, but owns its budget — callers chain
+    /// [`Self::with_budget`] to give one request a deadline without
+    /// touching the long-lived parent.
+    pub fn fork(&self) -> MatchContext<'kb> {
+        Self {
+            kb: self.kb,
+            indexes: Arc::clone(&self.indexes),
+            registry: self.registry.clone(),
+            budget: self.budget,
+            obs: self.obs.clone(),
         }
     }
 
@@ -304,6 +336,34 @@ mod tests {
         let d = plain.value_cache_for(&schema);
         assert!(!Arc::ptr_eq(&c, &d), "no registry: fresh cache per ask");
         assert!(plain.registry().is_none());
+    }
+
+    #[test]
+    fn forks_share_indexes_but_own_budgets() {
+        let kb = figure1_kb();
+        let registry = Arc::new(crate::repair::registry::CacheRegistry::default());
+        let ctx = MatchContext::with_registry(&kb, Arc::clone(&registry));
+        let city = NodeType::Class(kb.class_named(names::CITY).unwrap());
+
+        let fork = ctx
+            .fork()
+            .with_budget(crate::repair::budget::RepairBudget::with_max_steps(5));
+        // An index built through the fork is visible to the parent (and
+        // vice versa): one memo, not a copy.
+        let a = fork.index_for(city, SimFn::Equal);
+        let b = ctx.index_for(city, SimFn::Equal);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(ctx.index_count(), 1);
+
+        // Budgets stay per-fork.
+        assert!(ctx.budget().is_unbounded());
+        assert!(!fork.budget().is_unbounded());
+
+        // The registry rides along, so forks draw the same warm cache.
+        let schema = dr_relation::Schema::new("R", &["X"]);
+        let c = ctx.value_cache_for(&schema);
+        let d = fork.value_cache_for(&schema);
+        assert!(Arc::ptr_eq(&c, &d));
     }
 
     #[test]

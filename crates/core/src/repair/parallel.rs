@@ -308,8 +308,16 @@ fn repair_row(
         let mut cache = ElementCache::with_shared(shared);
         let started = hist.map(|_| Instant::now());
         let report = repairer.repair_tuple_with(ctx, &mut tuple, &opts.apply, &mut cache, &meter);
+        // A `Failed` attempt must not contribute a latency sample: the row
+        // will be retried, and recording here *and* on the retry would
+        // double-count the tuple — `repair_tuple_seconds_count` is defined
+        // as exactly completed + degraded, one sample per settled tuple.
+        // (Panicked attempts skip this by unwinding; the guard covers any
+        // `Failed` outcome produced without a panic.)
         if let (Some(hist), Some(started)) = (hist, started) {
-            hist.record(started.elapsed());
+            if !matches!(report.outcome, TupleOutcome::Failed { .. }) {
+                hist.record(started.elapsed());
+            }
         }
         (report, cache.level_stats())
     }));

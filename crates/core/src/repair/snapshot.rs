@@ -466,21 +466,27 @@ pub fn decode(bytes: &[u8], expected: SnapshotKey) -> Result<SnapshotPayload, Sn
 // ----- file i/o -----------------------------------------------------------
 
 /// Writes `payload` under `key` into `dir`, atomically: the bytes go to a
-/// process-unique temp file first and are renamed over the final path, so a
+/// write-unique temp file first and are renamed over the final path, so a
 /// concurrent reader sees either the old snapshot or the new one, never a
-/// torn write. Creates `dir` if missing.
+/// torn write. The temp name carries the pid *and* a process-global write
+/// counter: two concurrent persists of the same key — two processes, or two
+/// in-process callers (the server persists after every repair request) —
+/// each own their temp file, so neither can truncate the other mid-write
+/// and rename a torn snapshot. Creates `dir` if missing.
 pub fn write_snapshot(
     dir: &Path,
     key: SnapshotKey,
     payload: &SnapshotPayload,
 ) -> Result<PathBuf, SnapshotError> {
+    static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     std::fs::create_dir_all(dir)?;
     let final_path = key.path_in(dir);
     let tmp_path = dir.join(format!(
-        ".vc-{:016x}-{:016x}.{}.tmp",
+        ".vc-{:016x}-{:016x}.{}.{}.tmp",
         key.kb_content_hash,
         key.schema_fingerprint,
-        std::process::id()
+        std::process::id(),
+        WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     ));
     let bytes = encode(key, payload);
     {

@@ -252,6 +252,57 @@ fn registry_cold_starts_empty_with_diagnostic_on_every_corruption() {
     }
 }
 
+/// Two in-process writers racing on the *same* key (the server persists
+/// after every repair request, so same-key persist races are routine) must
+/// never clobber each other's temp file: whatever the interleaving, the
+/// final file is one writer's complete snapshot — never torn, never a
+/// decode error — and no temp file lingers. Before the write-unique temp
+/// suffix, both writers shared one `.vc-<key>.<pid>.tmp` path, so writer B's
+/// `File::create` could truncate writer A's half-written bytes and A's
+/// rename would then publish a torn snapshot.
+#[test]
+fn two_writers_on_one_key_never_publish_a_torn_snapshot() {
+    let (kb, schema, key, _) = valid_snapshot();
+    let dir = scratch_dir("two-writer");
+
+    // Two distinguishable payloads: the full sample (2 nodes / 2 edges) and
+    // a pruned variant (1 node / 0 edges). The survivor must be exactly one
+    // of them.
+    let full = sample_payload(&kb, &schema);
+    let mut pruned = sample_payload(&kb, &schema);
+    pruned.nodes.truncate(1);
+    pruned.edges.clear();
+
+    const ROUNDS: usize = 40;
+    std::thread::scope(|s| {
+        for payload in [&full, &pruned] {
+            let dir = &dir;
+            s.spawn(move || {
+                for _ in 0..ROUNDS {
+                    write_snapshot(dir, key, payload).expect("concurrent write");
+                }
+            });
+        }
+    });
+
+    let bytes = std::fs::read(key.path_in(&dir)).expect("final snapshot exists");
+    let survivor = decode(&bytes, key).expect("survivor decodes cleanly");
+    let shape = (survivor.nodes.len(), survivor.edges.len());
+    assert!(
+        shape == (full.nodes.len(), full.edges.len())
+            || shape == (pruned.nodes.len(), pruned.edges.len()),
+        "survivor is neither writer's payload: {shape:?}"
+    );
+
+    let leftovers: Vec<String> = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "temp files linger: {leftovers:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Atomic writes: the temp file never lingers and the final file appears
 /// complete — a reader polling the directory during a write sees either
 /// nothing or a fully valid snapshot.

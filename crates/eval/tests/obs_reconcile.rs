@@ -74,3 +74,116 @@ fn table3_metrics_reconcile_with_report_columns() {
     assert!(prom.contains("repair_tuples_total"));
     assert!(prom.contains("snapshot_saves_total"));
 }
+
+/// The same reconciliation discipline on a run that actually *faults*:
+/// injected panics force the retry pass and per-row failure isolation,
+/// and the metric totals must still mirror the stitched report exactly —
+/// no double-recording on the retry path (`--features fault-injection`).
+#[cfg(feature = "fault-injection")]
+mod faulted {
+    use super::outcome_total;
+    use dr_core::fixtures::{figure4_rules, nobel_schema, table1_dirty};
+    use dr_core::repair::fault::silence_injected_panics;
+    use dr_core::{
+        parallel_repair, Fault, FaultPlan, FaultSpec, MatchContext, ParallelOptions, TupleOutcome,
+    };
+    use dr_obs::Obs;
+    use dr_relation::Relation;
+    use std::sync::Arc;
+
+    #[test]
+    fn faulted_retry_run_reconciles_metrics_with_report() {
+        silence_injected_panics();
+        let kb = dr_kb::fixtures::nobel_mini_kb();
+        let rules = figure4_rules(&kb);
+
+        // Table I stacked to 80 rows.
+        let base = table1_dirty();
+        let mut relation = Relation::new(nobel_schema());
+        for _ in 0..20 {
+            for t in base.tuples() {
+                relation.push(t.clone());
+            }
+        }
+        let rows = relation.len();
+
+        // ~20% of rows panic once and heal on retry; rows 1 and 5 have a
+        // deterministic bug that panics on the retry too.
+        let plan = FaultPlan::seeded(0xC0FFEE, rows, FaultSpec::panics_once(0.20))
+            .with_fault(1, Fault::Panic)
+            .with_fault(5, Fault::Panic);
+        let healing = plan.healing_rows().len() as u64;
+        assert!(healing > 0, "seeded plan must exercise the retry pass");
+
+        let obs = Arc::new(Obs::new());
+        let ctx = MatchContext::new(&kb).with_obs(Arc::clone(&obs));
+        let opts = ParallelOptions {
+            threads: 4,
+            fault_plan: Some(Arc::new(plan)),
+            ..Default::default()
+        };
+        let report = parallel_repair(&ctx, &rules, &mut relation, &opts);
+        let snap = obs.metrics().snapshot();
+
+        // Outcome counters mirror the report, and every row is accounted
+        // for exactly once despite the retry pass re-running rows.
+        let completed = report
+            .tuples
+            .iter()
+            .filter(|t| t.outcome.is_completed())
+            .count() as u64;
+        assert_eq!(outcome_total(&snap, "completed"), completed);
+        assert_eq!(
+            outcome_total(&snap, "degraded"),
+            report.resilience.degraded as u64
+        );
+        assert_eq!(
+            outcome_total(&snap, "failed"),
+            report.resilience.failed as u64
+        );
+        assert_eq!(
+            snap.counter_total("repair_tuples_total"),
+            rows as u64,
+            "every row counted exactly once"
+        );
+
+        // The retry path really ran (healed rows) and really failed rows
+        // 1 and 5, and the counters carry exactly the report's numbers.
+        assert!(report.resilience.retried as u64 >= healing.min(1));
+        assert!(
+            matches!(report.tuples[1].outcome, TupleOutcome::Failed { .. })
+                && matches!(report.tuples[5].outcome, TupleOutcome::Failed { .. })
+        );
+        assert_eq!(
+            snap.counter_total("repair_retries_total"),
+            report.resilience.retried as u64
+        );
+
+        // Rule applications: the per-rule counters sum to the steps the
+        // report carries (retried rows contribute their final attempt
+        // only).
+        let steps: u64 = report.tuples.iter().map(|t| t.steps.len() as u64).sum();
+        assert_eq!(snap.counter_total("repair_rules_applied_total"), steps);
+
+        // Per-tuple latency histogram: failed rows never record (a
+        // panicked attempt unwinds before the sample, and a failed retry
+        // is excluded), so count == completed + degraded.
+        let tuple_hist = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "repair_tuple_seconds")
+            .expect("repair_tuple_seconds recorded");
+        assert_eq!(
+            tuple_hist.count,
+            completed + report.resilience.degraded as u64,
+            "histogram count == completed + degraded (no Failed samples, no retry double-records)"
+        );
+
+        // Scheduler accounting: the retry pass claims its rows through
+        // the same counters, so claims == rows + retried.
+        assert_eq!(
+            snap.counter_total("scheduler_rows_claimed_total"),
+            rows as u64 + report.resilience.retried as u64
+        );
+    }
+}

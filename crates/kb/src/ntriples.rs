@@ -337,6 +337,26 @@ pub fn parse_lenient(
     Ok((builder.finalize()?, quarantine))
 }
 
+/// Parses raw triple-text bytes (an upload body, a pipe) leniently into a
+/// finalized [`KnowledgeBase`] — the byte-level twin of [`parse_lenient`],
+/// for callers that never had a path or a `&str` to begin with.
+///
+/// # Errors
+/// Invalid UTF-8 is wrapped as [`LoadError::Io`] (`InvalidData`);
+/// finalization failures as in [`parse_lenient`].
+pub fn parse_lenient_bytes(
+    bytes: &[u8],
+    opts: &LenientOptions,
+) -> Result<(KnowledgeBase, Quarantine), LoadError> {
+    let text = std::str::from_utf8(bytes).map_err(|e| {
+        LoadError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("input is not UTF-8: {e}"),
+        ))
+    })?;
+    parse_lenient(text, opts)
+}
+
 /// Loads a KB from a triple-text file.
 ///
 /// # Errors

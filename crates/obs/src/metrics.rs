@@ -160,15 +160,26 @@ impl Histogram {
         if total == 0 {
             return None;
         }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        // Clamp the rank into [1, total]: `ceil(q * total)` can exceed
+        // `total` when the f64 product rounds up (q = 1.0 included), and an
+        // out-of-range rank would walk past every sample. With the clamp,
+        // q = 1.0 always resolves to the highest non-empty bucket and a
+        // single-sample histogram answers its own bucket for every q.
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
+        let mut last_nonempty = 0;
         for (i, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                last_nonempty = i;
+            }
             seen += c;
             if seen >= rank {
                 return Some(bucket_midpoint(i));
             }
         }
-        Some(bucket_midpoint(HISTOGRAM_BUCKETS - 1))
+        // Unreachable once rank <= total, but if it ever fires it must
+        // report the highest *non-empty* bucket, not bucket 63's ~2^62 ns.
+        Some(bucket_midpoint(last_nonempty))
     }
 
     /// Non-empty buckets as `(upper_bound_nanos, cumulative_count)` pairs,
@@ -509,12 +520,43 @@ mod tests {
         }
         h.record_nanos(1_000_000);
         assert_eq!(h.count(), 100);
+        let p0 = h.quantile_nanos(0.0).unwrap();
+        assert!((512..2048).contains(&p0), "p0 sits in the 1µs bucket: {p0}");
         let p50 = h.quantile_nanos(0.50).unwrap();
         assert!((512..2048).contains(&p50), "p50 = {p50}");
         let p99 = h.quantile_nanos(0.99).unwrap();
         assert!(p99 < 1_000_000, "p99 should still sit in the 1µs bucket");
+        // q = 1.0 must land *in* the highest non-empty bucket (the 1ms
+        // sample's), never overflow past it to bucket 63's ~2^62 ns.
         let p100 = h.quantile_nanos(1.0).unwrap();
-        assert!(p100 >= 524_288, "max must land in the 1ms bucket: {p100}");
+        assert!(
+            (524_288..1_048_576).contains(&p100),
+            "max must land in the 1ms bucket: {p100}"
+        );
+    }
+
+    /// A single-sample histogram answers that sample's bucket for *every*
+    /// quantile — q = 0.0 (rank floor), q = 1.0 (rank ceiling), and points
+    /// between — and an empty histogram answers `None` everywhere.
+    #[test]
+    fn histogram_quantile_edge_cases() {
+        let empty = Histogram::new();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(empty.quantile_nanos(q), None);
+        }
+
+        let single = Histogram::new();
+        single.record_nanos(10_000); // bucket [8192, 16384)
+        assert_eq!(single.count(), 1);
+        let expect = single.quantile_nanos(0.5).unwrap();
+        assert!((8_192..16_384).contains(&expect), "midpoint: {expect}");
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(single.quantile_nanos(q), Some(expect), "q = {q}");
+        }
+
+        // Out-of-range q clamps instead of panicking or overflowing.
+        assert_eq!(single.quantile_nanos(-1.0), Some(expect));
+        assert_eq!(single.quantile_nanos(2.0), Some(expect));
     }
 
     #[test]

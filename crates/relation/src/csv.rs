@@ -236,6 +236,25 @@ pub fn parse_lenient(
     Ok((relation, quarantine))
 }
 
+/// Parses raw CSV bytes (an HTTP request body, a socket read) into a
+/// relation leniently — the byte-level twin of [`parse_lenient`], for
+/// callers that never had a path or a `&str` to begin with.
+///
+/// # Errors
+/// Invalid UTF-8 is reported as a record-0 [`CsvError`] naming the byte
+/// offset; header failures as in [`parse_lenient`].
+pub fn parse_lenient_bytes(
+    name: &str,
+    bytes: &[u8],
+    opts: &LenientOptions,
+) -> Result<(Relation, Quarantine), CsvError> {
+    let text = std::str::from_utf8(bytes).map_err(|e| CsvError {
+        record: 0,
+        message: format!("body is not UTF-8: {e}"),
+    })?;
+    parse_lenient(name, text, opts)
+}
+
 /// Loads a relation from a CSV file leniently (see [`parse_lenient`]); the
 /// relation is named after the file stem.
 ///

@@ -1,0 +1,540 @@
+//! JSON interchange for relations — the request-body twin of [`crate::csv`].
+//!
+//! The serving layer accepts relations as JSON as well as CSV. Two shapes
+//! load, both mirroring the CSV convention that the first record is the
+//! header:
+//!
+//! ```json
+//! [["City", "Country"], ["Haifa", "Israel"]]
+//! {"header": ["City", "Country"], "rows": [["Haifa", "Israel"]]}
+//! ```
+//!
+//! Cells are strings; numbers, booleans, and `null` coerce to their
+//! canonical text (`null` to the empty string) so numeric columns load
+//! without quoting gymnastics. Ragged rows are quarantined under the same
+//! [`LenientOptions`] policy the CSV loader uses — the header is not
+//! negotiable.
+//!
+//! The parser is a self-contained recursive-descent JSON reader (the build
+//! is offline; no serde), kept to what relation bodies need: strings with
+//! full escape handling, numbers, arrays, objects, literals.
+
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use dr_kb::{Diagnostic, LenientOptions, Quarantine};
+use std::fmt;
+
+/// A JSON relation-load failure: structural (bad JSON) or shape-level (the
+/// value is valid JSON but not a relation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input (0 for shape-level errors).
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A parsed JSON value — only what relation bodies need.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, kept as its source text (relations store strings;
+    /// re-rendering through f64 would mangle `1e400` or big integers).
+    Number(String),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// The cell text this scalar coerces to, or `None` for arrays/objects.
+    fn as_cell(&self) -> Option<String> {
+        match self {
+            JsonValue::Null => Some(String::new()),
+            JsonValue::Bool(b) => Some(b.to_string()),
+            JsonValue::Number(n) => Some(n.clone()),
+            JsonValue::String(s) => Some(s.clone()),
+            JsonValue::Array(_) | JsonValue::Object(_) => None,
+        }
+    }
+}
+
+/// Parses one complete JSON value from `text` (trailing non-whitespace is
+/// an error).
+///
+/// # Errors
+/// Malformed JSON, with the byte offset of the failure.
+pub fn parse_value(text: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&cp) {
+                                None
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid \\u escape")),
+                            }
+                            // hex4 advanced past the digits; skip the
+                            // shared `self.pos += 1` below.
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 is passed through verbatim: the
+                    // input is a &str, so byte boundaries are sound.
+                    let start = self.pos;
+                    let rest = &self.bytes[start..];
+                    let len = match rest[0] {
+                        0x00..=0x1F => return Err(self.err("unescaped control character")),
+                        0x20..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    out.push_str(
+                        std::str::from_utf8(&rest[..len.min(rest.len())])
+                            .map_err(|_| self.err("invalid UTF-8 in string"))?,
+                    );
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.err("expected digit"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.err("expected exponent digit"));
+            }
+        }
+        // The scanned range is ASCII digits/signs, so the slice is valid.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        Ok(JsonValue::Number(text.to_owned()))
+    }
+}
+
+/// Extracts `(header, rows)` from a parsed relation body: either a bare
+/// array whose first element is the header, or an object with `header` and
+/// `rows` keys.
+fn relation_shape(value: JsonValue) -> Result<(Vec<String>, Vec<JsonValue>), JsonError> {
+    let shape_err = |message: &str| JsonError {
+        offset: 0,
+        message: message.into(),
+    };
+    let (header_value, rows) = match value {
+        JsonValue::Array(mut items) => {
+            if items.is_empty() {
+                return Err(shape_err("missing header record"));
+            }
+            let header = items.remove(0);
+            (header, items)
+        }
+        JsonValue::Object(fields) => {
+            let mut header = None;
+            let mut rows = None;
+            for (key, value) in fields {
+                match key.as_str() {
+                    "header" => header = Some(value),
+                    "rows" => rows = Some(value),
+                    _ => {} // unknown keys are ignored, like CSV comments
+                }
+            }
+            let header = header.ok_or_else(|| shape_err("missing \"header\" key"))?;
+            let rows = match rows.ok_or_else(|| shape_err("missing \"rows\" key"))? {
+                JsonValue::Array(items) => items,
+                _ => return Err(shape_err("\"rows\" must be an array")),
+            };
+            (header, rows)
+        }
+        _ => return Err(shape_err("relation body must be an array or object")),
+    };
+    let header = match header_value {
+        JsonValue::Array(cells) => cells
+            .iter()
+            .map(|c| {
+                c.as_cell()
+                    .ok_or_else(|| shape_err("header cells must be scalars"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err(shape_err("header must be an array")),
+    };
+    if header.is_empty() {
+        return Err(shape_err("header must not be empty"));
+    }
+    Ok((header, rows))
+}
+
+/// Parses a JSON relation body leniently: rows that are not arrays, have
+/// the wrong arity, or hold non-scalar cells are quarantined (with their
+/// 1-based row number) instead of aborting — the JSON twin of
+/// [`crate::csv::parse_lenient`].
+///
+/// # Errors
+/// Malformed JSON or a missing/invalid header fails the whole load, as in
+/// CSV: the header defines the schema and is not negotiable.
+pub fn parse_lenient(
+    name: &str,
+    text: &str,
+    opts: &LenientOptions,
+) -> Result<(Relation, Quarantine), JsonError> {
+    let (header, rows) = relation_shape(parse_value(text)?)?;
+    let attr_names: Vec<&str> = header.iter().map(String::as_str).collect();
+    let arity = attr_names.len();
+    let schema = Schema::new(name, &attr_names);
+    let mut relation = Relation::new(schema);
+    let mut quarantine = Quarantine::new();
+    for (i, row) in rows.into_iter().enumerate() {
+        let line = i + 1;
+        match row {
+            JsonValue::Array(cells) if cells.len() == arity => {
+                match cells
+                    .iter()
+                    .map(JsonValue::as_cell)
+                    .collect::<Option<Vec<_>>>()
+                {
+                    Some(values) => relation.push(Tuple::new(values)),
+                    None => quarantine.record(
+                        Diagnostic {
+                            line,
+                            message: "row holds a non-scalar cell".into(),
+                        },
+                        opts,
+                    ),
+                }
+            }
+            JsonValue::Array(cells) => quarantine.record(
+                Diagnostic {
+                    line,
+                    message: format!("expected {arity} cells, found {}", cells.len()),
+                },
+                opts,
+            ),
+            _ => quarantine.record(
+                Diagnostic {
+                    line,
+                    message: "row is not an array".into(),
+                },
+                opts,
+            ),
+        }
+    }
+    Ok((relation, quarantine))
+}
+
+/// Byte-level twin of [`parse_lenient`], for request bodies.
+///
+/// # Errors
+/// Invalid UTF-8 is an offset-0 [`JsonError`]; otherwise as
+/// [`parse_lenient`].
+pub fn parse_lenient_bytes(
+    name: &str,
+    bytes: &[u8],
+    opts: &LenientOptions,
+) -> Result<(Relation, Quarantine), JsonError> {
+    let text = std::str::from_utf8(bytes).map_err(|e| JsonError {
+        offset: e.valid_up_to(),
+        message: format!("body is not UTF-8: {e}"),
+    })?;
+    parse_lenient(name, text, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(text: &str) -> (Relation, Quarantine) {
+        parse_lenient("R", text, &LenientOptions::default()).expect("parse")
+    }
+
+    fn schema_names(rel: &Relation) -> Vec<String> {
+        rel.schema().attrs().map(|(_, n)| n.to_owned()).collect()
+    }
+
+    #[test]
+    fn array_shape_loads_with_first_row_as_header() {
+        let (rel, q) = parse_ok(r#"[["City","Country"],["Haifa","Israel"],["Oslo","Norway"]]"#);
+        assert!(q.is_empty());
+        assert_eq!(schema_names(&rel), ["City", "Country"]);
+        assert_eq!(rel.len(), 2);
+        let city = rel.schema().attr_expect("City");
+        assert_eq!(rel.tuple(1).get(city), "Oslo");
+    }
+
+    #[test]
+    fn object_shape_loads_header_and_rows() {
+        let (rel, q) =
+            parse_ok(r#"{"header": ["A", "B"], "rows": [["1", "2"]], "note": "ignored"}"#);
+        assert!(q.is_empty());
+        assert_eq!(schema_names(&rel), ["A", "B"]);
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn scalar_cells_coerce_to_text() {
+        let (rel, q) = parse_ok(r#"[["N","F","B","Z"],[42,1.5,true,null]]"#);
+        assert!(q.is_empty());
+        let t = rel.tuple(0);
+        let s = rel.schema();
+        assert_eq!(t.get(s.attr_expect("N")), "42");
+        assert_eq!(t.get(s.attr_expect("F")), "1.5");
+        assert_eq!(t.get(s.attr_expect("B")), "true");
+        assert_eq!(t.get(s.attr_expect("Z")), "");
+    }
+
+    #[test]
+    fn ragged_and_nonarray_rows_are_quarantined() {
+        let (rel, q) = parse_ok(r#"[["A","B"],["x"],["x","y"],"noise",["x",["nested"]]]"#);
+        assert_eq!(rel.len(), 1, "only the well-shaped row loads");
+        assert_eq!(q.quarantined(), 3);
+        assert!(q.diagnostics()[0].message.contains("expected 2 cells"));
+        assert!(q.diagnostics()[1].message.contains("not an array"));
+        assert!(q.diagnostics()[2].message.contains("non-scalar"));
+        assert_eq!(q.diagnostics()[0].line, 1);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let (rel, _) = parse_ok(r#"[["A"],["tab\tquote\"slash\\uAsur😀"]]"#);
+        let a = rel.schema().attr_expect("A");
+        assert_eq!(rel.tuple(0).get(a), "tab\tquote\"slash\\uAsur😀");
+    }
+
+    #[test]
+    fn header_failures_abort_the_load() {
+        let opts = LenientOptions::default();
+        for bad in [
+            "[]",
+            "[[]]",
+            "{\"rows\": []}",
+            "{\"header\": [\"A\"]}",
+            "\"just a string\"",
+            "[[\"A\"],", // malformed JSON
+        ] {
+            assert!(parse_lenient("R", bad, &opts).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn byte_entry_rejects_invalid_utf8() {
+        let err = parse_lenient_bytes("R", &[0xFF, 0xFE], &LenientOptions::default())
+            .expect_err("invalid UTF-8 accepted");
+        assert!(err.message.contains("UTF-8"));
+    }
+}

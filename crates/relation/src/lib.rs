@@ -26,6 +26,7 @@
 
 pub mod csv;
 pub mod ground_truth;
+pub mod json;
 pub mod noise;
 pub mod relation;
 pub mod schema;

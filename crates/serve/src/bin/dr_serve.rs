@@ -1,0 +1,135 @@
+//! `dr-serve` — the repair service binary.
+//!
+//! ```text
+//! dr-serve --kb nobel:500:42 --kb uis --addr 127.0.0.1:0 \
+//!          --cache-dir /var/cache/dr --port-file /tmp/dr.port
+//! ```
+//!
+//! Flags:
+//!
+//! * `--kb <spec>` (repeatable, required) — a KB to serve:
+//!   `nobel[:size[:seed]]`, `uis[:size[:seed]]`, or `nobel-mini`.
+//! * `--addr <host:port>` — bind address (default `127.0.0.1:7171`;
+//!   port `0` picks a free port).
+//! * `--port-file <path>` — write the bound `host:port` to `<path>` once
+//!   listening (for scripts that bind port 0).
+//! * `--cache-dir <dir>` — persist value-cache snapshots under `<dir>`;
+//!   a restart with the same dir warm-starts every served KB.
+//! * `--threads <n>` — repair worker threads per request (default: all
+//!   cores).
+//! * `--http-threads <n>` — concurrent connections served (default 4).
+//! * `--deadline-ms <n>` — default per-tuple deadline for requests that
+//!   do not pass their own (default: unbounded).
+//! * `--max-steps <n>` — default per-tuple step cap (default: unbounded).
+//! * observability: `--trace <path>`, `--trace-sample`, `--trace-seed`,
+//!   `--metrics-out` (the metric registry is always on — `/metrics` needs
+//!   it — so `--metrics` only controls the exit dump).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dr_core::RegistryConfig;
+use dr_eval::obsflags::ObsCli;
+use dr_obs::Obs;
+use dr_serve::{build_state, KbSpec, ServeConfig, Server};
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+}
+
+fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    flag_value(args, flag).map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| die(&format!("bad value {v:?} for {flag}")))
+    })
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("dr-serve: {message}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+
+    let mut specs = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--kb" {
+            let value = args.get(i + 1).unwrap_or_else(|| die("--kb needs a value"));
+            match KbSpec::parse(value) {
+                Ok(spec) => specs.push(spec),
+                Err(e) => die(&e),
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    if specs.is_empty() {
+        die("pass at least one --kb (nobel[:size[:seed]], uis[:size[:seed]], nobel-mini)");
+    }
+
+    let addr = flag_value(&args, "--addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7171".to_owned());
+    let http_threads: usize = parsed_flag(&args, "--http-threads").unwrap_or(4);
+
+    let mut registry_config = RegistryConfig::default();
+    if let Some(dir) = flag_value(&args, "--cache-dir") {
+        registry_config = registry_config.with_cache_dir(dir);
+    }
+    let config = ServeConfig {
+        repair_threads: parsed_flag(&args, "--threads").unwrap_or(0),
+        default_deadline: parsed_flag::<u64>(&args, "--deadline-ms").map(Duration::from_millis),
+        default_max_steps: parsed_flag(&args, "--max-steps").unwrap_or(0),
+    };
+
+    // `/metrics` needs a registry regardless of --metrics; the flag only
+    // decides whether a metrics.prom dump is written on exit.
+    let obs_cli = ObsCli::from_args(&args);
+    let obs = obs_cli.obs.clone().unwrap_or_else(|| Arc::new(Obs::new()));
+
+    eprintln!(
+        "dr-serve: loading {} KB(s): {}",
+        specs.len(),
+        specs
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let state = match build_state(&specs, registry_config, obs, config) {
+        Ok(state) => state,
+        Err(e) => die(&e),
+    };
+    for entry in &state.entries {
+        eprintln!(
+            "dr-serve:   {}: {} instances, {} edges, {} rules",
+            entry.name,
+            entry.kb.num_instances(),
+            entry.kb.num_edges(),
+            entry.rules.len()
+        );
+    }
+
+    let server = match Server::bind(addr.as_str(), state, http_threads) {
+        Ok(server) => server,
+        Err(e) => die(&format!("cannot bind {addr}: {e}")),
+    };
+    eprintln!("dr-serve: listening on {}", server.addr());
+    if let Some(path) = flag_value(&args, "--port-file") {
+        if let Err(e) = std::fs::write(path, server.addr().to_string()) {
+            die(&format!("cannot write --port-file {path}: {e}"));
+        }
+    }
+
+    // Serve until killed. The registry is persisted after every repair,
+    // so an external SIGKILL loses no cache state worth keeping; the
+    // final obs dump only happens on clean exits, which a long-lived
+    // server does not have.
+    server.join();
+    obs_cli.finish();
+}

@@ -1,0 +1,543 @@
+//! Route dispatch and endpoint logic, socket-free.
+//!
+//! Handlers consume a parsed [`Request`] and a shared [`ServerState`] and
+//! produce a [`Response`] value; the socket layer in `lib.rs` only decides
+//! *how* to put that on the wire (fixed-length vs chunked). Keeping the
+//! service entry point free of I/O is what lets the concurrency tests
+//! drive it from plain threads and compare byte-identical outputs.
+
+use std::time::Instant;
+
+use dr_core::{parallel_repair, ParallelOptions, RelationReport, TupleOutcome};
+use dr_kb::quarantine::{LenientOptions, Quarantine};
+use dr_obs::json::escape_into;
+use dr_relation::Relation;
+
+use crate::http::Request;
+use crate::state::{KbEntry, ServerState};
+
+/// A computed response, not yet serialized to a socket.
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `content-type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Body,
+}
+
+/// How the body should go on the wire.
+pub enum Body {
+    /// One buffer, sent with `content-length`.
+    Full(Vec<u8>),
+    /// NDJSON lines, streamed with chunked encoding (one chunk per line).
+    Lines(Vec<String>),
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: Body::Full(body.into_bytes()),
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Self {
+        let mut body = String::from("{\"error\":\"");
+        escape_into(&mut body, message);
+        body.push_str("\"}");
+        Response::json(status, body)
+    }
+
+    /// The body as one buffer (lines joined with `\n`, trailing newline) —
+    /// what a client that concatenated every chunk would hold. Used by the
+    /// determinism tests to compare responses byte for byte.
+    pub fn body_bytes(&self) -> Vec<u8> {
+        match &self.body {
+            Body::Full(bytes) => bytes.clone(),
+            Body::Lines(lines) => {
+                let mut out = Vec::new();
+                for line in lines {
+                    out.extend_from_slice(line.as_bytes());
+                    out.push(b'\n');
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Routes one request. Never panics; unknown routes get 404, wrong
+/// methods 405.
+pub fn handle(state: &ServerState, req: &Request) -> Response {
+    let started = Instant::now();
+    let (route, response) = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => ("healthz", healthz(state)),
+        ("GET", "/metrics") => ("metrics", metrics(state)),
+        ("GET", "/kbs") => ("kbs", kbs(state)),
+        (method, path) => {
+            if let Some(kb) = path.strip_prefix("/v1/repair/") {
+                if method == "POST" {
+                    ("repair", repair(state, kb, req))
+                } else {
+                    ("repair", Response::error(405, "repair requires POST"))
+                }
+            } else {
+                ("other", Response::error(404, &format!("no route {path}")))
+            }
+        }
+    };
+    let metrics = state.obs.metrics();
+    metrics
+        .counter(
+            "serve_requests_total",
+            &[("route", route), ("status", status_class(response.status))],
+        )
+        .inc();
+    metrics
+        .histogram("serve_request_seconds", &[("route", route)])
+        .record(started.elapsed());
+    response
+}
+
+/// Status label kept low-cardinality: the exact code is in the response,
+/// the metric only needs the class.
+fn status_class(status: u16) -> &'static str {
+    match status {
+        200..=299 => "2xx",
+        400..=499 => "4xx",
+        _ => "5xx",
+    }
+}
+
+fn healthz(state: &ServerState) -> Response {
+    let body = format!(
+        "{{\"status\":\"ok\",\"uptime_seconds\":{},\"kbs\":{}}}",
+        state.started.elapsed().as_secs(),
+        state.entries.len()
+    );
+    Response::json(200, body)
+}
+
+fn metrics(state: &ServerState) -> Response {
+    Response {
+        status: 200,
+        content_type: "text/plain; version=0.0.4",
+        body: Body::Full(state.obs.metrics().snapshot().render_prom().into_bytes()),
+    }
+}
+
+fn kbs(state: &ServerState) -> Response {
+    let mut body = String::from("{\"kbs\":[");
+    for (i, entry) in state.entries.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str("{\"name\":\"");
+        escape_into(&mut body, &entry.name);
+        body.push_str("\",\"schema\":\"");
+        escape_into(&mut body, entry.schema.name());
+        body.push_str("\",\"attrs\":[");
+        for (j, (_, attr)) in entry.schema.attrs().enumerate() {
+            if j > 0 {
+                body.push(',');
+            }
+            body.push('"');
+            escape_into(&mut body, attr);
+            body.push('"');
+        }
+        body.push_str("],");
+        body.push_str(&format!(
+            "\"rules\":{},\"instances\":{},\"edges\":{},\"literals\":{}}}",
+            entry.rules.len(),
+            entry.kb.num_instances(),
+            entry.kb.num_edges(),
+            entry.kb.num_literals(),
+        ));
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+/// Per-request knobs parsed out of the query string.
+struct RepairParams {
+    deadline_ms: Option<u64>,
+    max_steps: Option<u64>,
+    threads: Option<usize>,
+    label: String,
+}
+
+fn parse_params(req: &Request) -> Result<RepairParams, String> {
+    fn num<T: std::str::FromStr>(req: &Request, key: &str) -> Result<Option<T>, String> {
+        req.query_param(key)
+            .map(|v| v.parse::<T>().map_err(|_| format!("bad {key}={v:?}")))
+            .transpose()
+    }
+    let label = match req.query_param("label") {
+        None => "serve".to_owned(),
+        Some(l) => {
+            if l.is_empty()
+                || l.len() > 32
+                || !l
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+            {
+                return Err(format!("label {l:?} must be 1-32 chars of [A-Za-z0-9_-]"));
+            }
+            l.to_owned()
+        }
+    };
+    Ok(RepairParams {
+        deadline_ms: num(req, "deadline_ms")?,
+        max_steps: num(req, "max_steps")?,
+        threads: num(req, "threads")?,
+        label,
+    })
+}
+
+fn repair(state: &ServerState, kb_name: &str, req: &Request) -> Response {
+    let Some(entry) = state.entry(kb_name) else {
+        return Response::error(404, &format!("no KB named {kb_name:?}; see /kbs"));
+    };
+    let params = match parse_params(req) {
+        Ok(p) => p,
+        Err(msg) => return Response::error(400, &msg),
+    };
+
+    // Parse the body with the entry's canonical schema *name* so the
+    // parsed schema fingerprint matches the cache built at boot — that
+    // match is what turns a cold first request into a warm one.
+    let lenient = LenientOptions::default();
+    let content_type = req.header("content-type").unwrap_or("text/csv");
+    let parsed = if content_type.starts_with("application/json") {
+        dr_relation::json::parse_lenient_bytes(entry.schema.name(), &req.body, &lenient)
+            .map_err(|e| format!("JSON parse error at byte {}: {}", e.offset, e.message))
+    } else {
+        dr_relation::csv::parse_lenient_bytes(entry.schema.name(), &req.body, &lenient)
+            .map_err(|e| format!("CSV parse error at record {}: {}", e.record, e.message))
+    };
+    let (mut relation, quarantine) = match parsed {
+        Ok(pair) => pair,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    if relation.schema().fingerprint() != entry.schema.fingerprint() {
+        let expected: Vec<&str> = entry.schema.attrs().map(|(_, n)| n).collect();
+        return Response::error(
+            400,
+            &format!("schema mismatch: {kb_name} expects columns {expected:?}"),
+        );
+    }
+    if relation.is_empty() {
+        return Response::error(400, "no data rows in body");
+    }
+
+    let repair_started = Instant::now();
+    let ctx = entry
+        .ctx
+        .fork()
+        .with_budget(state.budget(params.deadline_ms, params.max_steps));
+    let opts = ParallelOptions {
+        threads: params.threads.unwrap_or(state.config.repair_threads),
+        ..ParallelOptions::default()
+    };
+    let mut report = parallel_repair(&ctx, &entry.rules, &mut relation, &opts);
+    report.resilience.add_quarantined(quarantine.quarantined());
+
+    // Persist after every repair: the snapshot directory stays current
+    // even if the process is killed, and concurrent requests exercising
+    // the same key exercise the atomic-publish path on purpose.
+    state.registry.persist();
+
+    state
+        .obs
+        .metrics()
+        .histogram("serve_repair_seconds", &[("phase", &params.label)])
+        .record(repair_started.elapsed());
+
+    Response {
+        status: 200,
+        content_type: "application/x-ndjson",
+        body: Body::Lines(render_ndjson(entry, &relation, &report, &quarantine)),
+    }
+}
+
+/// Renders the streamed response: a header line, one line per quarantined
+/// input record, one line per repaired tuple (cells + provenance), and a
+/// summary line.
+fn render_ndjson(
+    entry: &KbEntry,
+    relation: &Relation,
+    report: &RelationReport,
+    quarantine: &Quarantine,
+) -> Vec<String> {
+    let mut lines = Vec::with_capacity(relation.len() + 2);
+
+    let mut header = String::from("{\"kind\":\"header\",\"kb\":\"");
+    escape_into(&mut header, &entry.name);
+    header.push_str(&format!(
+        "\",\"rows\":{},\"rules\":{},\"quarantined\":{}}}",
+        relation.len(),
+        entry.rules.len(),
+        quarantine.quarantined()
+    ));
+    lines.push(header);
+
+    for diag in quarantine.diagnostics() {
+        let mut line = format!(
+            "{{\"kind\":\"quarantined\",\"line\":{},\"message\":\"",
+            diag.line
+        );
+        escape_into(&mut line, &diag.message);
+        line.push_str("\"}");
+        lines.push(line);
+    }
+
+    let schema = relation.schema();
+    for (row, (tuple, tr)) in relation.tuples().iter().zip(&report.tuples).enumerate() {
+        let mut line = format!("{{\"kind\":\"tuple\",\"row\":{row},\"outcome\":");
+        match &tr.outcome {
+            TupleOutcome::Completed => line.push_str("\"completed\""),
+            TupleOutcome::Degraded { reason } => {
+                line.push_str(&format!(
+                    "\"degraded\",\"cause\":\"{}\",\"steps_spent\":{}",
+                    reason.cause, reason.steps
+                ));
+            }
+            TupleOutcome::Failed { message } => {
+                line.push_str("\"failed\",\"message\":\"");
+                escape_into(&mut line, message);
+                line.push('"');
+            }
+        }
+        line.push_str(",\"cells\":[");
+        for (i, cell) in tuple.cells().iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push('"');
+            escape_into(&mut line, cell);
+            line.push('"');
+        }
+        line.push_str("],\"positive\":[");
+        for (i, attr) in tuple.positive_attrs().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push('"');
+            escape_into(&mut line, schema.attr_name(attr));
+            line.push('"');
+        }
+        line.push_str("],\"steps\":[");
+        for (i, step) in tr.steps.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("{{\"rule\":{},\"name\":\"", step.rule_index));
+            escape_into(&mut line, &step.rule_name);
+            line.push_str("\",\"kind\":\"");
+            use dr_core::RuleApplication::*;
+            match &step.application {
+                NotApplicable => line.push_str("not_applicable\""),
+                ProofPositive { .. } => line.push_str("proof_positive\""),
+                DetectedWrong { col, .. } => {
+                    line.push_str("detected_wrong\",\"col\":\"");
+                    escape_into(&mut line, schema.attr_name(*col));
+                    line.push('"');
+                }
+                Repaired { col, old, new, .. } => {
+                    line.push_str("repaired\",\"col\":\"");
+                    escape_into(&mut line, schema.attr_name(*col));
+                    line.push_str("\",\"old\":\"");
+                    escape_into(&mut line, old);
+                    line.push_str("\",\"new\":\"");
+                    escape_into(&mut line, new);
+                    line.push('"');
+                }
+            }
+            line.push('}');
+        }
+        line.push_str("]}");
+        lines.push(line);
+    }
+
+    let r = &report.resilience;
+    let completed = report
+        .tuples
+        .iter()
+        .filter(|t| t.outcome.is_completed())
+        .count();
+    lines.push(format!(
+        concat!(
+            "{{\"kind\":\"summary\",\"completed\":{},\"degraded\":{},",
+            "\"failed\":{},\"retried\":{},\"quarantined\":{},",
+            "\"cache\":{{\"node_hits\":{},\"node_misses\":{},",
+            "\"edge_hits\":{},\"edge_misses\":{},\"snapshot_warm\":{}}},",
+            "\"prewarm_seconds\":{:.6},\"repair_seconds\":{:.6}}}"
+        ),
+        completed,
+        r.degraded,
+        r.failed,
+        r.retried,
+        r.quarantined,
+        report.cache.node_hits,
+        report.cache.node_misses,
+        report.cache.edge_hits,
+        report.cache.edge_misses,
+        report.cache.snapshot_warm,
+        report.timing.prewarm.as_secs_f64(),
+        report.timing.repair.as_secs_f64(),
+    ));
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{build_state, KbSpec, ServeConfig};
+    use dr_core::RegistryConfig;
+    use dr_obs::Obs;
+    use std::sync::Arc;
+
+    fn test_state() -> ServerState {
+        build_state(
+            &[KbSpec::NobelMini],
+            RegistryConfig::default(),
+            Arc::new(Obs::new()),
+            ServeConfig::default(),
+        )
+        .expect("state builds")
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: String::new(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn post_csv(path: &str, query: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            query: query.into(),
+            headers: vec![("content-type".into(), "text/csv".into())],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn health_metrics_and_kbs_respond() {
+        let state = test_state();
+        let health = handle(&state, &get("/healthz"));
+        assert_eq!(health.status, 200);
+        let text = String::from_utf8(health.body_bytes()).unwrap();
+        assert!(text.contains("\"status\":\"ok\""), "{text}");
+
+        let kbs = handle(&state, &get("/kbs"));
+        let text = String::from_utf8(kbs.body_bytes()).unwrap();
+        assert!(text.contains("\"name\":\"nobel-mini\""), "{text}");
+        assert!(text.contains("\"attrs\":[\"Name\""), "{text}");
+
+        let metrics = handle(&state, &get("/metrics"));
+        let text = String::from_utf8(metrics.body_bytes()).unwrap();
+        // The handler's own counter from the /healthz call above.
+        assert!(text.contains("serve_requests_total"), "{text}");
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_are_typed_errors() {
+        let state = test_state();
+        assert_eq!(handle(&state, &get("/nope")).status, 404);
+        assert_eq!(handle(&state, &get("/v1/repair/nobel-mini")).status, 405);
+        assert_eq!(
+            handle(&state, &post_csv("/v1/repair/unknown", "", "Name\nx")).status,
+            404
+        );
+    }
+
+    #[test]
+    fn repair_streams_header_tuples_and_summary() {
+        let state = test_state();
+        // Table 1 row 1: Hershko with the published errors (wrong prize
+        // and a city that is not in his country).
+        let body = "Name,DOB,Country,Prize,Institution,City\n\
+                    Avram Hershko,1937-12-31,Israel,Albert Lasker Award for Medicine,Israel Institute of Technology,Karcag\n";
+        let resp = handle(
+            &state,
+            &post_csv("/v1/repair/nobel-mini", "label=test", body),
+        );
+        assert_eq!(resp.status, 200);
+        let Body::Lines(lines) = &resp.body else {
+            panic!("repair must stream NDJSON")
+        };
+        assert!(lines[0].contains("\"kind\":\"header\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"rows\":1"), "{}", lines[0]);
+        let tuple = &lines[1];
+        assert!(tuple.contains("\"kind\":\"tuple\""), "{tuple}");
+        assert!(tuple.contains("\"outcome\":\"completed\""), "{tuple}");
+        let last = lines.last().unwrap();
+        assert!(last.contains("\"kind\":\"summary\""), "{last}");
+        assert!(last.contains("\"completed\":1"), "{last}");
+
+        // Metrics recorded under the request label.
+        let snap = state.obs.metrics().snapshot();
+        assert_eq!(snap.counter_total("serve_requests_total"), 1);
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|h| h.name == "serve_repair_seconds" && h.labels.contains("test")));
+    }
+
+    #[test]
+    fn repair_rejects_bad_inputs() {
+        let state = test_state();
+        let wrong_schema = post_csv("/v1/repair/nobel-mini", "", "A,B\n1,2\n");
+        let resp = handle(&state, &wrong_schema);
+        assert_eq!(resp.status, 400);
+        let text = String::from_utf8(resp.body_bytes()).unwrap();
+        assert!(text.contains("schema mismatch"), "{text}");
+
+        let empty = post_csv(
+            "/v1/repair/nobel-mini",
+            "",
+            "Name,DOB,Country,Prize,Institution,City\n",
+        );
+        assert_eq!(handle(&state, &empty).status, 400);
+
+        let bad_label = post_csv(
+            "/v1/repair/nobel-mini",
+            "label=no%20way",
+            "Name,DOB,Country,Prize,Institution,City\nx,1,2,3,4,5\n",
+        );
+        assert_eq!(handle(&state, &bad_label).status, 400);
+
+        let bad_param = post_csv(
+            "/v1/repair/nobel-mini",
+            "deadline_ms=abc",
+            "Name,DOB,Country,Prize,Institution,City\nx,1,2,3,4,5\n",
+        );
+        assert_eq!(handle(&state, &bad_param).status, 400);
+    }
+
+    #[test]
+    fn repair_accepts_json_bodies() {
+        let state = test_state();
+        let body = r#"[["Name","DOB","Country","Prize","Institution","City"],
+                       ["Marie Curie","1867-11-07","France","Nobel Prize in Chemistry","Paster Institute","Paris"]]"#;
+        let req = Request {
+            method: "POST".into(),
+            path: "/v1/repair/nobel-mini".into(),
+            query: String::new(),
+            headers: vec![("content-type".into(), "application/json".into())],
+            body: body.as_bytes().to_vec(),
+        };
+        let resp = handle(&state, &req);
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body_bytes()).unwrap();
+        assert!(text.contains("\"kind\":\"summary\""), "{text}");
+    }
+}

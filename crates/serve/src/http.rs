@@ -1,0 +1,271 @@
+//! A minimal HTTP/1.1 layer over `std::net` — request parsing, response
+//! writing, chunked streaming.
+//!
+//! The build environment is fully offline, so there is no tokio/hyper to
+//! lean on; the server is thread-per-connection over blocking sockets,
+//! which is exactly right for a repair service whose requests each fan out
+//! over the work-stealing scheduler anyway (DESIGN.md §5). The subset
+//! implemented is what the service needs and nothing more: request line +
+//! headers + `Content-Length` bodies in, fixed or chunked responses out,
+//! `Connection: close` semantics.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted request body (64 MiB) — a relation upload, not a bulk
+/// load; bigger inputs belong in files and the eval binaries.
+pub const MAX_BODY_BYTES: usize = 64 << 20;
+
+/// Largest accepted header block (64 KiB).
+const MAX_HEAD_BYTES: usize = 64 << 10;
+
+/// Socket read/write timeout: a stalled client must not pin a worker
+/// thread forever.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Path without the query string (`/v1/repair/nobel`).
+    pub path: String,
+    /// Raw query string (`deadline_ms=50&label=warm`), empty if none.
+    pub query: String,
+    /// Headers, names lowercased, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty for bodiless requests).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Value of query parameter `key`, if present (no percent-decoding —
+    /// the service's parameters are numbers and short labels).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// A request-parse failure: the status code and message the connection
+/// should answer with before closing.
+#[derive(Debug)]
+pub struct HttpError {
+    /// Status to answer with (400, 413, ...).
+    pub status: u16,
+    /// Human-readable reason, sent as the body.
+    pub message: String,
+}
+
+impl HttpError {
+    fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+/// Reads one request from `stream`. `Ok(None)` means the peer closed the
+/// connection before sending anything (not an error — clients may probe).
+pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, HttpError> {
+    stream.set_read_timeout(Some(IO_TIMEOUT)).ok();
+    stream.set_write_timeout(Some(IO_TIMEOUT)).ok();
+    let mut reader = BufReader::new(stream);
+
+    let mut request_line = String::new();
+    match read_limited_line(&mut reader, &mut request_line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(HttpError::bad_request(format!("read error: {e}"))),
+    }
+    let mut parts = request_line.trim_end().splitn(3, ' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::bad_request("missing method"))?
+        .to_owned();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::bad_request("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::bad_request("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::bad_request(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    let mut head_bytes = request_line.len();
+    loop {
+        let mut line = String::new();
+        let n = read_limited_line(&mut reader, &mut line)
+            .map_err(|e| HttpError::bad_request(format!("read error: {e}")))?;
+        if n == 0 {
+            return Err(HttpError::bad_request("connection closed mid-headers"));
+        }
+        head_bytes += n;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError {
+                status: 431,
+                message: "header block too large".into(),
+            });
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::bad_request(format!("malformed header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse()
+                .map_err(|_| HttpError::bad_request(format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError {
+            status: 413,
+            message: format!("body of {content_length} bytes exceeds {MAX_BODY_BYTES}"),
+        });
+    }
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError {
+            status: 501,
+            message: "chunked request bodies not supported; send content-length".into(),
+        });
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| HttpError::bad_request(format!("short body: {e}")))?;
+
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// `read_line` with a hard per-line cap, so a malicious peer cannot grow an
+/// unbounded buffer.
+fn read_limited_line(
+    reader: &mut BufReader<&mut TcpStream>,
+    out: &mut String,
+) -> std::io::Result<usize> {
+    let mut taken = reader.take(MAX_HEAD_BYTES as u64 + 1);
+    let n = taken.read_line(out)?;
+    if n > MAX_HEAD_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "line too long",
+        ));
+    }
+    Ok(n)
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+/// Writes a complete, fixed-length response.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        status,
+        status_text(status),
+        content_type,
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A chunked-transfer response in progress: the header block is already on
+/// the wire, so each [`chunk`](Self::chunk) streams straight to the client
+/// — repaired tuples go out as they are serialized, not buffered whole.
+pub struct ChunkedResponse<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedResponse<'a> {
+    /// Sends the status line + headers and switches to chunked encoding.
+    pub fn begin(
+        stream: &'a mut TcpStream,
+        status: u16,
+        content_type: &str,
+    ) -> std::io::Result<Self> {
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ntransfer-encoding: chunked\r\nconnection: close\r\n\r\n",
+            status,
+            status_text(status),
+            content_type,
+        )?;
+        Ok(Self { stream })
+    }
+
+    /// Streams one chunk (empty input is skipped — an empty chunk would
+    /// terminate the encoding).
+    pub fn chunk(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", bytes.len())?;
+        self.stream.write_all(bytes)?;
+        self.stream.write_all(b"\r\n")
+    }
+
+    /// Terminates the chunked body and flushes.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}

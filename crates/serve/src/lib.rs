@@ -1,0 +1,162 @@
+//! # dr-serve — repair-as-a-service
+//!
+//! A long-lived HTTP server over the repair pipeline (DESIGN.md §5): named
+//! knowledge bases are loaded once at startup — match indexes prewarmed,
+//! value caches created through the shared [`CacheRegistry`] so `.drsnap`
+//! snapshots warm-load at boot — and every request then repairs an
+//! uploaded relation against them, streaming repaired tuples with per-cell
+//! provenance back as NDJSON.
+//!
+//! The build environment is fully offline (no tokio/hyper), so the wire
+//! layer is a hand-rolled HTTP/1.1 subset over `std::net` with a
+//! thread-per-connection accept pool. That is a deliberate fit, not a
+//! compromise: each repair request fans out over the work-stealing
+//! parallel repairer, so the connection thread is a coordinator that
+//! spends its life blocked on compute, and a handful of them saturate the
+//! machine.
+//!
+//! Endpoints:
+//!
+//! | route                  | method | body                                |
+//! |------------------------|--------|-------------------------------------|
+//! | `/healthz`             | GET    | liveness + uptime                   |
+//! | `/kbs`                 | GET    | served KBs, schemas, rule counts    |
+//! | `/metrics`             | GET    | live Prometheus text                |
+//! | `/v1/repair/{kb}`      | POST   | CSV or JSON relation → NDJSON repair stream |
+//!
+//! [`CacheRegistry`]: dr_core::CacheRegistry
+
+#![warn(missing_docs)]
+// Resilience hygiene (DESIGN.md §4c): library code must surface failures
+// as typed errors, not panics.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod client;
+pub mod handlers;
+pub mod http;
+pub mod state;
+
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+pub use handlers::{handle, Body, Response};
+pub use state::{build_state, KbEntry, KbSpec, ServeConfig, ServerState};
+
+/// A bound, running server: a shared listener drained by a fixed pool of
+/// acceptor threads, each serving one connection at a time end to end.
+pub struct Server {
+    state: Arc<ServerState>,
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (port 0 picks a free port) and starts `http_threads`
+    /// acceptors (minimum 1).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        state: ServerState,
+        http_threads: usize,
+    ) -> std::io::Result<Server> {
+        let listener = Arc::new(TcpListener::bind(addr)?);
+        let addr = listener.local_addr()?;
+        let state = Arc::new(state);
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let mut workers = Vec::new();
+        for i in 0..http_threads.max(1) {
+            let listener = Arc::clone(&listener);
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("dr-serve-http-{i}"))
+                    .spawn(move || {
+                        while !shutdown.load(Ordering::Acquire) {
+                            match listener.accept() {
+                                Ok((stream, _peer)) => serve_connection(&state, stream),
+                                Err(_) if shutdown.load(Ordering::Acquire) => break,
+                                Err(_) => continue,
+                            }
+                        }
+                    })?,
+            );
+        }
+
+        drop(listener); // each worker holds its own Arc
+        Ok(Server {
+            state,
+            addr,
+            shutdown,
+            workers,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (for in-process inspection in tests and the load
+    /// generator).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Blocks until every acceptor exits (i.e. until [`shutdown`]
+    /// (Self::shutdown) is called from another thread, or never).
+    pub fn join(mut self) {
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Asks the acceptors to stop and unblocks them with a self-connect.
+    /// Idempotent; in-flight requests finish first.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        // `accept` has no timeout; poke each blocked acceptor awake.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// Serves one connection: parse, handle, serialize, close.
+fn serve_connection(state: &ServerState, mut stream: TcpStream) {
+    let request = match http::read_request(&mut stream) {
+        Ok(Some(request)) => request,
+        Ok(None) => return, // health probes connect and close
+        Err(e) => {
+            let _ = http::write_response(
+                &mut stream,
+                e.status,
+                "application/json",
+                format!("{{\"error\":{:?}}}", e.message).as_bytes(),
+            );
+            return;
+        }
+    };
+    let response = handlers::handle(state, &request);
+    let result = match &response.body {
+        Body::Full(bytes) => {
+            http::write_response(&mut stream, response.status, response.content_type, bytes)
+        }
+        Body::Lines(lines) => (|| {
+            let mut chunked =
+                http::ChunkedResponse::begin(&mut stream, response.status, response.content_type)?;
+            for line in lines {
+                let mut framed = Vec::with_capacity(line.len() + 1);
+                framed.extend_from_slice(line.as_bytes());
+                framed.push(b'\n');
+                chunked.chunk(&framed)?;
+            }
+            chunked.finish()
+        })(),
+    };
+    // A client hanging up mid-stream is its business, not ours.
+    let _ = result;
+}

@@ -1,0 +1,320 @@
+//! Server state: named KBs pre-loaded at startup, the shared cache
+//! registry, and the observability handle every request records into.
+//!
+//! Each `--kb` flag becomes a [`KbEntry`]: the knowledge base is built (or
+//! generated), leaked to `'static` (KBs live for the whole process — the
+//! service has no unload endpoint, so tying request contexts to a leaked
+//! reference is simpler and faster than reference counting through every
+//! `MatchContext`), its match indexes are prewarmed from the rule set, and
+//! its value cache is created through the shared [`CacheRegistry`] so a
+//! `--cache-dir` snapshot warm-loads at boot rather than on the first
+//! request.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dr_core::{CacheRegistry, MatchContext, RegistryConfig, RepairBudget};
+use dr_datasets::{KbProfile, NobelWorld, UisWorld};
+use dr_kb::graph::KnowledgeBase;
+use dr_obs::Obs;
+use dr_relation::Schema;
+
+/// One served knowledge base with everything a request needs.
+pub struct KbEntry {
+    /// Route name (`/v1/repair/{name}`).
+    pub name: String,
+    /// The KB, leaked to process lifetime at startup.
+    pub kb: &'static KnowledgeBase,
+    /// The canonical schema requests must match (attribute names, in
+    /// order). The schema name also keys the cache fingerprint, so posted
+    /// relations are re-homed onto this schema before repair.
+    pub schema: Arc<Schema>,
+    /// The detective rules for this KB.
+    pub rules: Vec<dr_core::DetectiveRule>,
+    /// Long-lived context: match indexes + shared value-cache registry.
+    /// Requests [`fork`](MatchContext::fork) this (sharing indexes and
+    /// caches, owning their budget) instead of touching it directly.
+    pub ctx: MatchContext<'static>,
+}
+
+/// Server-wide tunables, fixed at startup.
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfig {
+    /// Worker threads per repair request (0 = scheduler default).
+    pub repair_threads: usize,
+    /// Default per-tuple deadline when a request does not pass
+    /// `deadline_ms` (None = unbounded).
+    pub default_deadline: Option<Duration>,
+    /// Default per-tuple step cap (0 = unbounded).
+    pub default_max_steps: u64,
+}
+
+/// Everything shared across connections, behind one `Arc`.
+pub struct ServerState {
+    /// Served KBs, in `--kb` flag order.
+    pub entries: Vec<KbEntry>,
+    /// Value-cache registry shared by every entry and request.
+    pub registry: Arc<CacheRegistry>,
+    /// Metrics + optional tracer; `/metrics` renders its live snapshot.
+    pub obs: Arc<Obs>,
+    /// Server start time, for `/healthz` uptime.
+    pub started: Instant,
+    /// Startup tunables.
+    pub config: ServeConfig,
+}
+
+impl ServerState {
+    /// Looks up a served KB by route name.
+    pub fn entry(&self, name: &str) -> Option<&KbEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// The per-request budget for the given overrides, falling back to
+    /// the server defaults.
+    pub fn budget(&self, deadline_ms: Option<u64>, max_steps: Option<u64>) -> RepairBudget {
+        let deadline = deadline_ms
+            .map(Duration::from_millis)
+            .or(self.config.default_deadline);
+        let max_steps = max_steps.unwrap_or(self.config.default_max_steps);
+        let mut budget = RepairBudget::with_max_steps(max_steps);
+        budget.deadline = deadline;
+        budget
+    }
+}
+
+/// A parsed `--kb` flag value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KbSpec {
+    /// `nobel[:size[:seed]]` — synthetic Nobel world against a YAGO-like
+    /// KB profile (defaults: 200 laureates, seed 7).
+    Nobel {
+        /// Laureate count.
+        size: usize,
+        /// World seed.
+        seed: u64,
+    },
+    /// `uis[:size[:seed]]` — synthetic UIS world (defaults: 200 records,
+    /// seed 7).
+    Uis {
+        /// Record count.
+        size: usize,
+        /// World seed.
+        seed: u64,
+    },
+    /// `nobel-mini` — the paper's Table 1 / Figure 4 fixture KB.
+    NobelMini,
+}
+
+impl KbSpec {
+    /// Parses a `--kb` value. Accepted grammar:
+    /// `nobel`, `nobel:500`, `nobel:500:42`, `uis[:size[:seed]]`,
+    /// `nobel-mini`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut parts = spec.split(':');
+        let head = parts.next().unwrap_or_default();
+        let size = parts
+            .next()
+            .map(|s| {
+                s.parse::<usize>()
+                    .map_err(|_| format!("bad size {s:?} in --kb {spec:?}"))
+            })
+            .transpose()?
+            .unwrap_or(200);
+        let seed = parts
+            .next()
+            .map(|s| {
+                s.parse::<u64>()
+                    .map_err(|_| format!("bad seed {s:?} in --kb {spec:?}"))
+            })
+            .transpose()?
+            .unwrap_or(7);
+        if parts.next().is_some() {
+            return Err(format!("too many `:` fields in --kb {spec:?}"));
+        }
+        match head {
+            "nobel" => Ok(KbSpec::Nobel { size, seed }),
+            "uis" => Ok(KbSpec::Uis { size, seed }),
+            "nobel-mini" => {
+                if spec != "nobel-mini" {
+                    return Err(format!("nobel-mini takes no parameters (got {spec:?})"));
+                }
+                Ok(KbSpec::NobelMini)
+            }
+            other => Err(format!(
+                "unknown KB {other:?} (expected nobel, uis, or nobel-mini)"
+            )),
+        }
+    }
+
+    /// The route name the entry will be served under.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KbSpec::Nobel { .. } => "nobel",
+            KbSpec::Uis { .. } => "uis",
+            KbSpec::NobelMini => "nobel-mini",
+        }
+    }
+
+    /// Builds the KB, schema, and rules for this spec. The KB is leaked:
+    /// served KBs live until process exit by design.
+    fn build(
+        &self,
+    ) -> (
+        &'static KnowledgeBase,
+        Arc<Schema>,
+        Vec<dr_core::DetectiveRule>,
+    ) {
+        match *self {
+            KbSpec::Nobel { size, seed } => {
+                let world = NobelWorld::generate(size, seed);
+                let kb: &'static KnowledgeBase = Box::leak(Box::new(world.kb(&KbProfile::yago())));
+                let rules = NobelWorld::rules(kb);
+                (kb, NobelWorld::schema(), rules)
+            }
+            KbSpec::Uis { size, seed } => {
+                let world = UisWorld::generate(size, seed);
+                let kb: &'static KnowledgeBase = Box::leak(Box::new(world.kb(&KbProfile::yago())));
+                let rules = UisWorld::rules(kb);
+                (kb, UisWorld::schema(), rules)
+            }
+            KbSpec::NobelMini => {
+                let kb: &'static KnowledgeBase =
+                    Box::leak(Box::new(dr_kb::fixtures::nobel_mini_kb()));
+                let rules = dr_core::fixtures::figure4_rules(kb);
+                (kb, dr_core::fixtures::nobel_schema(), rules)
+            }
+        }
+    }
+}
+
+/// Builds the full server state: one entry per spec, prewarmed, with the
+/// entry's value cache created eagerly so disk snapshots load at boot.
+///
+/// Duplicate spec names are rejected (two `--kb nobel:...` flags would
+/// race for one route and one cache fingerprint).
+pub fn build_state(
+    specs: &[KbSpec],
+    registry_config: RegistryConfig,
+    obs: Arc<Obs>,
+    config: ServeConfig,
+) -> Result<ServerState, String> {
+    let registry = Arc::new(CacheRegistry::new(registry_config));
+    registry.register_metrics(obs.metrics());
+
+    let mut entries: Vec<KbEntry> = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let name = spec.name().to_owned();
+        if entries.iter().any(|e| e.name == name) {
+            return Err(format!("duplicate --kb entry {name:?}"));
+        }
+        let (kb, schema, rules) = spec.build();
+        let ctx = MatchContext::with_registry(kb, Arc::clone(&registry)).with_obs(Arc::clone(&obs));
+        ctx.prewarm(&rules);
+        // Create the value cache now: a `--cache-dir` snapshot warm-loads
+        // here, at boot, so the first request is already warm and
+        // `/metrics` shows `snapshot_warm_loads_total` before any POST.
+        let _ = ctx.value_cache_for(&schema);
+        entries.push(KbEntry {
+            name,
+            kb,
+            schema,
+            rules,
+            ctx,
+        });
+    }
+    if entries.is_empty() {
+        return Err("no KBs configured; pass at least one --kb".into());
+    }
+
+    Ok(ServerState {
+        entries,
+        registry,
+        obs,
+        started: Instant::now(),
+        config,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kb_spec_grammar() {
+        assert_eq!(
+            KbSpec::parse("nobel").unwrap(),
+            KbSpec::Nobel { size: 200, seed: 7 }
+        );
+        assert_eq!(
+            KbSpec::parse("nobel:500:42").unwrap(),
+            KbSpec::Nobel {
+                size: 500,
+                seed: 42
+            }
+        );
+        assert_eq!(
+            KbSpec::parse("uis:50").unwrap(),
+            KbSpec::Uis { size: 50, seed: 7 }
+        );
+        assert_eq!(KbSpec::parse("nobel-mini").unwrap(), KbSpec::NobelMini);
+        assert!(KbSpec::parse("nobel:x").is_err());
+        assert!(KbSpec::parse("nobel:1:2:3").is_err());
+        assert!(KbSpec::parse("nobel-mini:5").is_err());
+        assert!(KbSpec::parse("freebase").is_err());
+    }
+
+    #[test]
+    fn build_state_rejects_duplicates_and_empties() {
+        let obs = Arc::new(Obs::new());
+        let err = build_state(
+            &[KbSpec::NobelMini, KbSpec::NobelMini],
+            RegistryConfig::default(),
+            Arc::clone(&obs),
+            ServeConfig::default(),
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+
+        let err = build_state(&[], RegistryConfig::default(), obs, ServeConfig::default())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.contains("no KBs"), "{err}");
+    }
+
+    #[test]
+    fn built_entries_are_prewarmed_and_cached() {
+        let obs = Arc::new(Obs::new());
+        let state = build_state(
+            &[KbSpec::NobelMini],
+            RegistryConfig::default(),
+            obs,
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let entry = state.entry("nobel-mini").expect("entry exists");
+        assert!(entry.ctx.index_count() > 0, "prewarm built indexes");
+        assert_eq!(state.registry.stats().live_caches, 1, "value cache created");
+        assert!(state.entry("nobel").is_none());
+    }
+
+    #[test]
+    fn budget_prefers_request_overrides() {
+        let obs = Arc::new(Obs::new());
+        let config = ServeConfig {
+            default_deadline: Some(Duration::from_millis(250)),
+            default_max_steps: 10,
+            ..ServeConfig::default()
+        };
+        let state =
+            build_state(&[KbSpec::NobelMini], RegistryConfig::default(), obs, config).unwrap();
+
+        let b = state.budget(None, None);
+        assert_eq!(b.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(b.max_steps, 10);
+
+        let b = state.budget(Some(50), Some(3));
+        assert_eq!(b.deadline, Some(Duration::from_millis(50)));
+        assert_eq!(b.max_steps, 3);
+    }
+}

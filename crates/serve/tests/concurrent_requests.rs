@@ -1,0 +1,181 @@
+//! Service-level concurrency test: many simultaneous repair requests
+//! against one shared `ServerState` must produce exactly the repairs that
+//! the same requests produce one at a time.
+//!
+//! Repair outputs are deterministic (the chase is Church–Rosser, so the
+//! fixpoint does not depend on scheduling), but the shared value cache is
+//! not: hit/miss counts depend on which request warmed an entry first.
+//! The test therefore compares the NDJSON *data* lines (header, tuples,
+//! provenance) byte for byte and checks the summary's outcome counts,
+//! while leaving the summary's cache counters free.
+
+use std::sync::Arc;
+
+use dr_core::RegistryConfig;
+use dr_datasets::NobelWorld;
+use dr_obs::Obs;
+use dr_relation::{inject, NoiseSpec};
+use dr_serve::http::Request;
+use dr_serve::{build_state, handle, KbSpec, ServeConfig, ServerState};
+
+const KB_SIZE: usize = 120;
+const SEED: u64 = 17;
+const REQUESTS: usize = 8;
+const ROWS: usize = 25;
+
+fn fresh_state() -> ServerState {
+    build_state(
+        &[KbSpec::Nobel {
+            size: KB_SIZE,
+            seed: SEED,
+        }],
+        RegistryConfig::default(),
+        Arc::new(Obs::new()),
+        ServeConfig::default(),
+    )
+    .expect("state builds")
+}
+
+/// The same dirty CSV bodies every run: distinct row windows of the world
+/// relation, each with its own noise seed.
+fn request_bodies() -> Vec<String> {
+    let world = NobelWorld::generate(KB_SIZE, SEED);
+    let clean = world.clean_relation();
+    let name = clean.schema().attr_expect("Name");
+    let semantic = world.semantic_source();
+    (0..REQUESTS)
+        .map(|r| {
+            let mut slice = dr_relation::Relation::new(Arc::clone(clean.schema()));
+            for i in 0..ROWS {
+                let src = clean.tuple((r * ROWS + i) % clean.len());
+                slice.push(dr_relation::Tuple::new(src.cells().to_vec()));
+            }
+            let spec = NoiseSpec::new(0.15, SEED ^ (r as u64 + 1)).with_excluded(vec![name]);
+            let (dirty, _) = inject(&slice, &spec, &semantic);
+            dr_relation::csv::serialize(&dirty)
+        })
+        .collect()
+}
+
+fn post(body: &str) -> Request {
+    Request {
+        method: "POST".into(),
+        path: "/v1/repair/nobel".into(),
+        query: "threads=2".into(),
+        headers: vec![("content-type".into(), "text/csv".into())],
+        body: body.as_bytes().to_vec(),
+    }
+}
+
+/// Splits a response body into (data lines, summary line).
+fn split_response(bytes: Vec<u8>) -> (Vec<String>, String) {
+    let text = String::from_utf8(bytes).expect("NDJSON is UTF-8");
+    let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+    let summary = lines.pop().expect("response has a summary line");
+    assert!(summary.contains("\"kind\":\"summary\""), "{summary}");
+    (lines, summary)
+}
+
+/// Pulls `"key":<int>` out of a summary line.
+fn field(line: &str, key: &str) -> u64 {
+    let pattern = format!("\"{key}\":");
+    let at = line
+        .find(&pattern)
+        .unwrap_or_else(|| panic!("{key} in {line}"));
+    line[at + pattern.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("integer field")
+}
+
+#[test]
+fn concurrent_requests_match_sequential_repairs() {
+    let bodies = request_bodies();
+
+    // Sequential baseline on its own state.
+    let sequential_state = fresh_state();
+    let sequential: Vec<(Vec<String>, String)> = bodies
+        .iter()
+        .map(|b| {
+            let resp = handle(&sequential_state, &post(b));
+            assert_eq!(resp.status, 200);
+            split_response(resp.body_bytes())
+        })
+        .collect();
+
+    // The same requests, all in flight at once against one shared state.
+    let concurrent_state = fresh_state();
+    let concurrent: Vec<(Vec<String>, String)> = std::thread::scope(|s| {
+        let state = &concurrent_state;
+        let handles: Vec<_> = bodies
+            .iter()
+            .map(|b| {
+                s.spawn(move || {
+                    let resp = handle(state, &post(b));
+                    assert_eq!(resp.status, 200);
+                    split_response(resp.body_bytes())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+
+    for (i, ((seq_lines, seq_summary), (con_lines, con_summary))) in
+        sequential.iter().zip(&concurrent).enumerate()
+    {
+        assert_eq!(
+            seq_lines, con_lines,
+            "request {i}: repaired tuples/provenance differ under concurrency"
+        );
+        for key in ["completed", "degraded", "failed", "quarantined"] {
+            assert_eq!(
+                field(seq_summary, key),
+                field(con_summary, key),
+                "request {i}: summary {key} differs under concurrency"
+            );
+        }
+    }
+
+    // Concurrency must not corrupt the shared observability path either:
+    // the one shared registry saw every tuple exactly once.
+    let snap = concurrent_state.obs.metrics().snapshot();
+    assert_eq!(
+        snap.counter_total("repair_tuples_total"),
+        (REQUESTS * ROWS) as u64
+    );
+    assert_eq!(
+        snap.counter("serve_requests_total", "route=\"repair\",status=\"2xx\""),
+        Some(REQUESTS as u64)
+    );
+}
+
+#[test]
+fn concurrent_requests_against_one_kb_share_the_value_cache() {
+    let bodies = request_bodies();
+    let state = fresh_state();
+    let stats_before = state.registry.stats();
+
+    std::thread::scope(|s| {
+        for b in &bodies {
+            let state = &state;
+            s.spawn(move || {
+                let resp = handle(state, &post(b));
+                assert_eq!(resp.status, 200);
+            });
+        }
+    });
+
+    let stats = state.registry.stats();
+    // Boot created the cache; request forks reuse it rather than
+    // creating per-request caches.
+    assert_eq!(stats.live_caches, 1, "all requests share one cache");
+    assert_eq!(
+        stats.cold_misses, stats_before.cold_misses,
+        "no request re-created the boot-time cache"
+    );
+}

@@ -1,5 +1,5 @@
 //! Cross-crate property tests: randomized worlds and noise, checking the
-//! invariants DESIGN.md §6 lists at the whole-pipeline level.
+//! invariants DESIGN.md §7 lists at the whole-pipeline level.
 
 use dr_core::repair::basic::basic_repair;
 use dr_core::repair::fast::FastRepairer;
