@@ -9,7 +9,7 @@ use crate::graph::schema::NodeType;
 use crate::repair::budget::RepairBudget;
 use crate::repair::registry::CacheRegistry;
 use crate::repair::value_cache::ValueCache;
-use dr_kb::{FxHashMap, InstanceId, KnowledgeBase, LiteralId, Node};
+use dr_kb::{FxHashMap, InstanceId, KbRef, LiteralId, Node};
 use dr_obs::Obs;
 use dr_simmatch::{MatchIndex, SimFn};
 use parking_lot::Mutex;
@@ -25,7 +25,7 @@ use std::sync::Arc;
 /// handle) while carrying their own [`RepairBudget`] — the serving layer
 /// builds one long-lived context per KB and forks it per request.
 pub struct MatchContext<'kb> {
-    kb: &'kb KnowledgeBase,
+    kb: KbRef<'kb>,
     indexes: SharedIndexMap,
     registry: Option<Arc<CacheRegistry>>,
     budget: RepairBudget,
@@ -45,10 +45,11 @@ const _: fn() = || {
 };
 
 impl<'kb> MatchContext<'kb> {
-    /// Wraps a KB.
-    pub fn new(kb: &'kb KnowledgeBase) -> Self {
+    /// Wraps either KB backend (`&KnowledgeBase`, `&MappedKb`, or an
+    /// existing [`KbRef`]).
+    pub fn new(kb: impl Into<KbRef<'kb>>) -> Self {
         Self {
-            kb,
+            kb: kb.into(),
             indexes: Arc::new(Mutex::new(FxHashMap::default())),
             registry: None,
             budget: RepairBudget::default(),
@@ -59,9 +60,9 @@ impl<'kb> MatchContext<'kb> {
     /// Wraps a KB and attaches a persistent cache registry: repairers
     /// running through this context draw their relation-scoped
     /// [`ValueCache`] from the registry instead of starting cold.
-    pub fn with_registry(kb: &'kb KnowledgeBase, registry: Arc<CacheRegistry>) -> Self {
+    pub fn with_registry(kb: impl Into<KbRef<'kb>>, registry: Arc<CacheRegistry>) -> Self {
         Self {
-            kb,
+            kb: kb.into(),
             indexes: Arc::new(Mutex::new(FxHashMap::default())),
             registry: Some(registry),
             budget: RepairBudget::default(),
@@ -146,8 +147,8 @@ impl<'kb> MatchContext<'kb> {
         cache
     }
 
-    /// The underlying KB.
-    pub fn kb(&self) -> &'kb KnowledgeBase {
+    /// The underlying KB, as a backend-agnostic [`KbRef`].
+    pub fn kb(&self) -> KbRef<'kb> {
         self.kb
     }
 
@@ -166,13 +167,15 @@ impl<'kb> MatchContext<'kb> {
 
     fn build_index(&self, ty: NodeType, sim: SimFn) -> MatchIndex {
         match ty {
-            NodeType::Class(c) => MatchIndex::build(
-                sim,
-                self.kb
-                    .instances_of(c)
-                    .iter()
-                    .map(|&i| (i.index() as u32, self.kb.instance_label(i))),
-            ),
+            NodeType::Class(c) => {
+                let instances = self.kb.instances_of(c);
+                MatchIndex::build(
+                    sim,
+                    instances
+                        .iter()
+                        .map(|&i| (i.index() as u32, self.kb.instance_label(i))),
+                )
+            }
             NodeType::Literal => MatchIndex::build(
                 sim,
                 (0..self.kb.num_literals())

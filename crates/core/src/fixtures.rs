@@ -7,7 +7,6 @@
 use crate::graph::schema::NodeType;
 use crate::rule::{DetectiveRule, RuleEdge, RuleNodeRef};
 use dr_kb::fixtures::names;
-use dr_kb::KnowledgeBase;
 use dr_relation::{Relation, Schema};
 use std::sync::Arc;
 
@@ -105,8 +104,9 @@ pub fn table1_clean() -> Relation {
 ///   (negative);
 /// * `phi4` — Prize: wonPrize→Chemistry awards (positive) vs
 ///   wonPrize→American awards (negative).
-pub fn figure4_rules(kb: &KnowledgeBase) -> Vec<DetectiveRule> {
+pub fn figure4_rules<'a>(kb: impl Into<dr_kb::KbRef<'a>>) -> Vec<DetectiveRule> {
     use dr_simmatch::SimFn;
+    let kb = kb.into();
     let schema = nobel_schema();
     let class = |n: &str| NodeType::Class(kb.class_named(n).expect("fixture class"));
     let pred = |n: &str| kb.pred_named(n).expect("fixture pred");

@@ -42,7 +42,9 @@ pub use repair::fast::{fast_repair, FastRepairer};
 pub use repair::fault::{Fault, FaultPlan, FaultSpec};
 pub use repair::multi::{multi_repair_tuple, MultiOptions};
 pub use repair::parallel::{parallel_repair, ParallelOptions};
-pub use repair::registry::{CacheKey, CacheRegistry, RegistryConfig, RegistryStats, SnapshotStats};
+pub use repair::registry::{
+    CacheKey, CacheRegistry, RegistryConfig, RegistryStats, SnapshotGcConfig, SnapshotStats,
+};
 pub use repair::resilience::{BudgetHistogram, ResilienceReport, TupleOutcome};
 pub use repair::rule_graph::RuleGraph;
 pub use repair::snapshot::{SnapshotError, SnapshotKey, SnapshotPayload};

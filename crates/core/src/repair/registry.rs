@@ -49,13 +49,14 @@
 
 use crate::repair::snapshot::{self, SnapshotKey, SnapshotPayload};
 use crate::repair::value_cache::{ValueCache, ValueCacheConfig};
-use dr_kb::{FxHashMap, KnowledgeBase};
+use dr_kb::{FxHashMap, KbRef};
 use dr_obs::{Counter, MetricRegistry};
 use dr_relation::Schema;
 use parking_lot::Mutex;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
+use std::time::{Duration, SystemTime};
 
 /// Cache identity: (KB generation, schema fingerprint).
 pub type CacheKey = (u64, u64);
@@ -82,6 +83,39 @@ pub struct RegistryConfig {
     /// Entry budget per persisted snapshot (`0` = persist everything). The
     /// hottest entries per shard — by the clock referenced bit — are kept.
     pub max_persist_entries: usize,
+    /// Garbage collection of the snapshot directory, run by
+    /// [`CacheRegistry::persist`].
+    pub gc: SnapshotGcConfig,
+}
+
+/// Bounds on the snapshot directory, enforced after every
+/// [`CacheRegistry::persist`]. A cache dir accretes files forever
+/// otherwise: every distinct `(KB content, schema)` pair leaves a
+/// `.drsnap` behind, and a crashed writer leaves `.tmp` orphans that no
+/// rename will ever claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotGcConfig {
+    /// Retain at most this many `.drsnap` files; beyond it the oldest
+    /// (by mtime) files not belonging to a live in-memory cache are
+    /// removed. `0` disables GC entirely.
+    pub max_snapshots: usize,
+    /// Never remove a `.drsnap` younger than this, even over the count
+    /// cap — a concurrent writer's fresh output is not an orphan.
+    pub min_prune_age: Duration,
+    /// Remove `.tmp` write leftovers (`.vc-*.tmp`, `*.drkb.tmp`) older
+    /// than this; younger ones may still be mid-rename in another
+    /// process.
+    pub max_tmp_age: Duration,
+}
+
+impl Default for SnapshotGcConfig {
+    fn default() -> Self {
+        Self {
+            max_snapshots: 256,
+            min_prune_age: Duration::from_secs(300),
+            max_tmp_age: Duration::from_secs(3600),
+        }
+    }
 }
 
 impl Default for RegistryConfig {
@@ -93,6 +127,7 @@ impl Default for RegistryConfig {
             max_caches: 8,
             cache_dir: None,
             max_persist_entries: 1 << 16,
+            gc: SnapshotGcConfig::default(),
         }
     }
 }
@@ -102,6 +137,13 @@ impl RegistryConfig {
     #[must_use]
     pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Returns the config with the given snapshot-directory GC policy.
+    #[must_use]
+    pub fn with_gc(mut self, gc: SnapshotGcConfig) -> Self {
+        self.gc = gc;
         self
     }
 
@@ -139,6 +181,9 @@ pub struct SnapshotStats {
     /// Snapshots written to disk (explicit persists and eviction
     /// write-backs).
     pub saves: u64,
+    /// Snapshot-directory files removed by GC (`.drsnap` pruned over the
+    /// count cap plus orphaned `.tmp` leftovers).
+    pub gc_removed: u64,
 }
 
 impl SnapshotStats {
@@ -150,6 +195,7 @@ impl SnapshotStats {
             cold_loads: self.cold_loads.saturating_sub(earlier.cold_loads),
             rejected: self.rejected.saturating_sub(earlier.rejected),
             saves: self.saves.saturating_sub(earlier.saves),
+            gc_removed: self.gc_removed.saturating_sub(earlier.gc_removed),
         }
     }
 }
@@ -160,6 +206,7 @@ impl std::ops::AddAssign for SnapshotStats {
         self.cold_loads += rhs.cold_loads;
         self.rejected += rhs.rejected;
         self.saves += rhs.saves;
+        self.gc_removed += rhs.gc_removed;
     }
 }
 
@@ -221,6 +268,7 @@ pub struct CacheRegistry {
     snapshot_cold_loads: Counter,
     snapshot_rejected: Counter,
     snapshot_saves: Counter,
+    snapshot_gc_removed: Counter,
     snapshot_diagnostics: Mutex<Vec<String>>,
 }
 
@@ -245,6 +293,7 @@ impl CacheRegistry {
             snapshot_cold_loads: Counter::new(),
             snapshot_rejected: Counter::new(),
             snapshot_saves: Counter::new(),
+            snapshot_gc_removed: Counter::new(),
             snapshot_diagnostics: Mutex::new(Vec::new()),
         }
     }
@@ -270,6 +319,7 @@ impl CacheRegistry {
         metrics.register_counter("snapshot_cold_loads_total", &[], &self.snapshot_cold_loads);
         metrics.register_counter("snapshot_rejected_total", &[], &self.snapshot_rejected);
         metrics.register_counter("snapshot_saves_total", &[], &self.snapshot_saves);
+        metrics.register_counter("snapshot_gc_removed_total", &[], &self.snapshot_gc_removed);
     }
 
     /// The shared cache for `(kb, schema)`, creating (and, beyond
@@ -281,7 +331,8 @@ impl CacheRegistry {
     /// seeded from the disk snapshot keyed by `(kb content hash, schema
     /// fingerprint)` when a valid one exists; missing or corrupt snapshots
     /// degrade to a cold start and leave a diagnostic, never an error.
-    pub fn cache_for(&self, kb: &KnowledgeBase, schema: &Schema) -> Arc<ValueCache> {
+    pub fn cache_for<'a>(&self, kb: impl Into<KbRef<'a>>, schema: &Schema) -> Arc<ValueCache> {
+        let kb = kb.into();
         let disk_key = self
             .config
             .cache_dir
@@ -373,8 +424,9 @@ impl CacheRegistry {
 
     /// Writes every live cache that has a disk identity to the cache
     /// directory, bounded by [`RegistryConfig::max_persist_entries`] hottest
-    /// entries each. Returns the number of snapshots written. A no-op
-    /// (returning 0) without a `cache_dir`.
+    /// entries each, then garbage-collects the snapshot directory (see
+    /// [`SnapshotGcConfig`]). Returns the number of snapshots written. A
+    /// no-op (returning 0) without a `cache_dir`.
     pub fn persist(&self) -> usize {
         let targets: Vec<(SnapshotKey, Arc<ValueCache>)> = {
             let slots = self.slots.lock();
@@ -383,7 +435,81 @@ impl CacheRegistry {
                 .filter_map(|s| s.disk_key.map(|k| (k, Arc::clone(&s.cache))))
                 .collect()
         };
-        self.write_back(targets)
+        let saved = self.write_back(targets);
+        self.gc_snapshots();
+        saved
+    }
+
+    /// Enforces [`SnapshotGcConfig`] on the cache directory: removes aged
+    /// `.tmp` write leftovers, then prunes the oldest `.drsnap` files over
+    /// the count cap — skipping files that back a live in-memory cache and
+    /// files younger than `min_prune_age`, so a concurrent writer's output
+    /// is never reaped. Unreadable directories and racing deletes are
+    /// ignored: GC is best-effort by design.
+    fn gc_snapshots(&self) {
+        let Some(dir) = self.config.cache_dir.as_deref() else {
+            return;
+        };
+        let gc = self.config.gc;
+        if gc.max_snapshots == 0 {
+            return;
+        }
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let now = SystemTime::now();
+        let age_of = |mtime: SystemTime| now.duration_since(mtime).unwrap_or_default();
+        let live: std::collections::HashSet<PathBuf> = {
+            let slots = self.slots.lock();
+            slots
+                .values()
+                .filter_map(|s| s.disk_key.map(|k| k.path_in(dir)))
+                .collect()
+        };
+        let mut snaps: Vec<(PathBuf, SystemTime)> = Vec::new();
+        let mut removed = 0u64;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Ok(meta) = entry.metadata() else {
+                continue;
+            };
+            if !meta.is_file() {
+                continue;
+            }
+            let mtime = meta.modified().unwrap_or(now);
+            let orphan_tmp = name.ends_with(".tmp")
+                && (name.starts_with(".vc-")
+                    || name.ends_with(format!(".{}.tmp", dr_kb::image::EXTENSION).as_str()));
+            if orphan_tmp {
+                if age_of(mtime) >= gc.max_tmp_age && std::fs::remove_file(&path).is_ok() {
+                    removed += 1;
+                }
+            } else if name.ends_with(&format!(".{}", snapshot::EXTENSION)) {
+                snaps.push((path, mtime));
+            }
+        }
+        if snaps.len() > gc.max_snapshots {
+            snaps.sort_by_key(|&(_, mtime)| mtime);
+            let mut excess = snaps.len() - gc.max_snapshots;
+            for (path, mtime) in snaps {
+                if excess == 0 {
+                    break;
+                }
+                if live.contains(&path) || age_of(mtime) < gc.min_prune_age {
+                    continue;
+                }
+                if std::fs::remove_file(&path).is_ok() {
+                    removed += 1;
+                    excess -= 1;
+                }
+            }
+        }
+        if removed > 0 {
+            self.snapshot_gc_removed.add(removed);
+        }
     }
 
     /// Saves `(key, cache)` pairs to disk; shared by [`Self::persist`] and
@@ -420,7 +546,7 @@ impl CacheRegistry {
         &self,
         dir: &Path,
         key: SnapshotKey,
-        kb: &KnowledgeBase,
+        kb: KbRef<'_>,
         schema: &Schema,
         cache: &ValueCache,
     ) {
@@ -462,8 +588,12 @@ impl CacheRegistry {
     /// Exports the portable payload for `(kb, schema)`'s live cache —
     /// what [`Self::persist`] would write for it. Mostly for tests and
     /// tooling; `None` when no live cache exists for the pair.
-    pub fn export_payload(&self, kb: &KnowledgeBase, schema: &Schema) -> Option<SnapshotPayload> {
-        let key = (kb.generation(), schema.fingerprint());
+    pub fn export_payload<'a>(
+        &self,
+        kb: impl Into<KbRef<'a>>,
+        schema: &Schema,
+    ) -> Option<SnapshotPayload> {
+        let key = (kb.into().generation(), schema.fingerprint());
         let slots = self.slots.lock();
         slots
             .get(&key)
@@ -484,6 +614,7 @@ impl CacheRegistry {
                 cold_loads: self.snapshot_cold_loads.get(),
                 rejected: self.snapshot_rejected.get(),
                 saves: self.snapshot_saves.get(),
+                gc_removed: self.snapshot_gc_removed.get(),
             },
         }
     }
@@ -496,6 +627,7 @@ mod tests {
     use crate::fixtures::nobel_schema;
     use crate::graph::schema::{NodeType, SchemaNode};
     use dr_kb::fixtures::{names, nobel_mini_kb};
+    use dr_kb::KnowledgeBase;
     use dr_simmatch::SimFn;
 
     fn city_node(kb: &KnowledgeBase) -> SchemaNode {
@@ -773,6 +905,153 @@ mod tests {
         assert_eq!(s.snapshot, SnapshotStats::default());
     }
 
+    // ----- snapshot-directory GC ------------------------------------------
+
+    /// Backdates a file's mtime so GC age thresholds see it as old.
+    fn backdate(path: &std::path::Path, by: Duration) {
+        let old = SystemTime::now() - by;
+        let f = std::fs::File::options()
+            .append(true)
+            .open(path)
+            .expect("open for set_times");
+        f.set_times(std::fs::FileTimes::new().set_modified(old))
+            .expect("set mtime");
+    }
+
+    /// An eagerly-pruning GC policy: no age grace for snapshots or temps.
+    fn eager_gc(max_snapshots: usize) -> SnapshotGcConfig {
+        SnapshotGcConfig {
+            max_snapshots,
+            min_prune_age: Duration::ZERO,
+            max_tmp_age: Duration::ZERO,
+        }
+    }
+
+    /// Two writers share a cache dir. Writer B persisted snapshots that
+    /// writer A has no live cache for (dead generations); over the count
+    /// cap, GC reaps B's oldest orphans but never a file backing one of
+    /// A's live caches — even when the live file's mtime is the oldest of
+    /// all.
+    #[test]
+    fn gc_prunes_orphans_but_never_live_snapshots() {
+        let dir = scratch_dir("gc-two-writer");
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+
+        // Writer B: three schemas, persisted, then dropped entirely — its
+        // snapshot files are orphans from writer A's point of view.
+        {
+            let writer_b = persisting_registry(&dir);
+            for name in ["B1", "B2", "B3"] {
+                let schema = dr_relation::Schema::new(name, &["City"]);
+                let node = SchemaNode::new(
+                    schema.attr_expect("City"),
+                    city_node(&kb).ty,
+                    city_node(&kb).sim,
+                );
+                let cache = writer_b.cache_for(&kb, &schema);
+                let _ = cache.candidates(&ctx, &node, "Haifa");
+            }
+            assert_eq!(writer_b.persist(), 3);
+        }
+
+        // Writer A: one live schema, GC capped at 2 files total.
+        let writer_a = CacheRegistry::new(
+            RegistryConfig::default()
+                .with_cache_dir(&dir)
+                .with_gc(eager_gc(2)),
+        );
+        let schema_a = dr_relation::Schema::new("A1", &["City"]);
+        let node_a = SchemaNode::new(
+            schema_a.attr_expect("City"),
+            city_node(&kb).ty,
+            city_node(&kb).sim,
+        );
+        let live_path = SnapshotKey::for_pair(&kb, &schema_a).path_in(&dir);
+        {
+            let cache = writer_a.cache_for(&kb, &schema_a);
+            let _ = cache.candidates(&ctx, &node_a, "Haifa");
+        }
+        assert_eq!(writer_a.persist(), 1);
+        // Make A's live file the OLDEST on disk: a naive oldest-first
+        // reaper would pick it first.
+        backdate(&live_path, Duration::from_secs(7200));
+
+        assert_eq!(writer_a.persist(), 1);
+        assert!(live_path.exists(), "live snapshot must never be reaped");
+        let remaining: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(
+            remaining.len(),
+            2,
+            "pruned down to max_snapshots: {remaining:?}"
+        );
+        assert_eq!(writer_a.stats().snapshot.gc_removed, 2);
+
+        // The reaped keys come back cold but intact — a prune is an
+        // eviction from disk, not corruption.
+        let schema_b1 = dr_relation::Schema::new("B1", &["City"]);
+        let cache = writer_a.cache_for(&kb, &schema_b1);
+        assert_eq!(cache.stats().snapshot_warm + cache.stats().snapshot_cold, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Orphaned `.tmp` files from crashed writers are reaped once old
+    /// enough; fresh ones (possibly mid-rename in another process) are not.
+    #[test]
+    fn gc_reaps_aged_tmp_orphans_only() {
+        let dir = scratch_dir("gc-tmp");
+        let kb = nobel_mini_kb();
+        let schema = nobel_schema();
+        let registry = CacheRegistry::new(RegistryConfig::default().with_cache_dir(&dir).with_gc(
+            SnapshotGcConfig {
+                max_tmp_age: Duration::from_secs(60),
+                ..eager_gc(8)
+            },
+        ));
+        let ctx = MatchContext::new(&kb);
+        let node = city_node(&kb);
+        {
+            let cache = registry.cache_for(&kb, &schema);
+            let _ = cache.candidates(&ctx, &node, "Haifa");
+        }
+
+        let old_vc = dir.join(".vc-dead-writer.0.0.tmp");
+        let old_img = dir.join(".nobel.999.0.drkb.tmp");
+        let fresh = dir.join(".vc-fresh-writer.1.0.tmp");
+        let unrelated = dir.join("notes.txt");
+        for p in [&old_vc, &old_img, &fresh, &unrelated] {
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(p, b"leftover").unwrap();
+        }
+        backdate(&old_vc, Duration::from_secs(3600));
+        backdate(&old_img, Duration::from_secs(3600));
+
+        assert_eq!(registry.persist(), 1);
+        assert!(!old_vc.exists(), "aged .vc tmp reaped");
+        assert!(!old_img.exists(), "aged .drkb tmp reaped");
+        assert!(fresh.exists(), "fresh tmp kept — may be mid-rename");
+        assert!(unrelated.exists(), "non-snapshot files are never touched");
+        assert_eq!(registry.stats().snapshot.gc_removed, 2);
+
+        // GC off (max_snapshots = 0) leaves even aged orphans alone.
+        backdate(&fresh, Duration::from_secs(3600));
+        let off = CacheRegistry::new(RegistryConfig::default().with_cache_dir(&dir).with_gc(
+            SnapshotGcConfig {
+                max_snapshots: 0,
+                ..eager_gc(0)
+            },
+        ));
+        let _ = off.cache_for(&kb, &schema);
+        let _ = off.persist();
+        assert!(fresh.exists(), "disabled GC removes nothing");
+        assert_eq!(off.stats().snapshot.gc_removed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn registry_stats_delta_subtracts_counters() {
         let earlier = RegistryStats {
@@ -786,6 +1065,7 @@ mod tests {
                 cold_loads: 1,
                 rejected: 0,
                 saves: 2,
+                gc_removed: 1,
             },
         };
         let later = RegistryStats {
@@ -799,6 +1079,7 @@ mod tests {
                 cold_loads: 2,
                 rejected: 1,
                 saves: 2,
+                gc_removed: 4,
             },
         };
         let d = later.delta_since(&earlier);
@@ -815,6 +1096,7 @@ mod tests {
                 cold_loads: 1,
                 rejected: 1,
                 saves: 0,
+                gc_removed: 3,
             }
         );
     }

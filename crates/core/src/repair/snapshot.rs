@@ -39,7 +39,7 @@
 use crate::graph::schema::{NodeType, SchemaNode};
 use crate::repair::value_cache::EdgeSig;
 use dr_kb::hash::FxHasher;
-use dr_kb::{ClassId, InstanceId, KnowledgeBase, LiteralId, Node, PredId};
+use dr_kb::{ClassId, InstanceId, KbRef, LiteralId, Node, PredId};
 use dr_relation::{AttrId, Schema};
 use dr_simmatch::SimFn;
 use std::fmt;
@@ -61,18 +61,18 @@ pub const EXTENSION: &str = "drsnap";
 /// process-independent content hash, not the generation id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SnapshotKey {
-    /// [`KnowledgeBase::content_hash`] of the KB the entries were computed
-    /// against.
+    /// The KB's deterministic content hash ([`KbRef::content_hash`]) the
+    /// entries were computed against.
     pub kb_content_hash: u64,
     /// [`Schema::fingerprint`] of the relation schema.
     pub schema_fingerprint: u64,
 }
 
 impl SnapshotKey {
-    /// The disk identity for `(kb, schema)`.
-    pub fn for_pair(kb: &KnowledgeBase, schema: &Schema) -> Self {
+    /// The disk identity for `(kb, schema)` — either KB backend.
+    pub fn for_pair<'a>(kb: impl Into<KbRef<'a>>, schema: &Schema) -> Self {
         Self {
-            kb_content_hash: kb.content_hash(),
+            kb_content_hash: kb.into().content_hash(),
             schema_fingerprint: schema.fingerprint(),
         }
     }
@@ -112,7 +112,12 @@ impl SnapshotPayload {
     /// schema)` pair. A snapshot that passes the key check can still be a
     /// hash collision or a forged file; ids out of range would index out of
     /// bounds much later, so reject the whole payload up front.
-    pub fn validate(&self, kb: &KnowledgeBase, schema: &Schema) -> Result<(), SnapshotError> {
+    pub fn validate<'a>(
+        &self,
+        kb: impl Into<KbRef<'a>>,
+        schema: &Schema,
+    ) -> Result<(), SnapshotError> {
+        let kb = kb.into();
         let attrs = schema.arity();
         let node_ok = |n: &Node| match *n {
             Node::Instance(i) => i.index() < kb.num_instances(),
@@ -514,6 +519,7 @@ mod tests {
     use super::*;
     use crate::fixtures::nobel_schema;
     use dr_kb::fixtures::{names, nobel_mini_kb};
+    use dr_kb::KnowledgeBase;
 
     fn sample_key() -> SnapshotKey {
         SnapshotKey {

@@ -230,7 +230,7 @@ impl LabelObservations {
         }
     }
 
-    fn record(&mut self, kb: &dr_kb::KnowledgeBase, assignment: &[Node]) {
+    fn record(&mut self, kb: dr_kb::KbRef<'_>, assignment: &[Node]) {
         for (i, &node) in assignment.iter().enumerate() {
             // Bound: sets stay tiny in practice; only distinct labels stored.
             self.labels[i].insert(kb.node_value(node).to_owned());

@@ -65,7 +65,7 @@ fn candidate_classes(ctx: &MatchContext<'_>, values: &[&str]) -> Vec<ClassId> {
     let kb = ctx.kb();
     let mut direct: FxHashSet<ClassId> = FxHashSet::default();
     for &v in values {
-        for &i in kb.instances_labeled(v) {
+        for &i in kb.instances_labeled(v).iter() {
             direct.extend(kb.instance_classes(i).iter().copied());
         }
     }
@@ -208,7 +208,7 @@ pub fn discover_graph(
                 }
                 let mut connected: FxHashSet<PredId> = FxHashSet::default();
                 for &x in &from {
-                    for &p in kb.preds_of(x) {
+                    for &p in kb.preds_of(x).iter() {
                         if !connected.contains(&p)
                             && kb.objects(x, p).iter().any(|o| to_set.contains(o))
                         {

@@ -335,7 +335,8 @@ impl NobelWorld {
     /// paper's experiments rely on to repair typos "to the most similar
     /// candidate" (Fig. 7 discussion). Joint-assignment edge constraints
     /// keep the tolerant matches unambiguous.
-    pub fn rules(kb: &KnowledgeBase) -> Vec<DetectiveRule> {
+    pub fn rules<'a>(kb: impl Into<dr_kb::KbRef<'a>>) -> Vec<DetectiveRule> {
+        let kb = kb.into();
         let schema = Self::schema();
         let class = |n: &str| NodeType::Class(kb.class_named(n).expect("nobel class"));
         let pred = |n: &str| kb.pred_named(n).expect("nobel pred");

@@ -285,8 +285,9 @@ impl UisWorld {
     }
 
     /// The five UIS detective rules against `kb`.
-    pub fn rules(kb: &KnowledgeBase) -> Vec<DetectiveRule> {
+    pub fn rules<'a>(kb: impl Into<dr_kb::KbRef<'a>>) -> Vec<DetectiveRule> {
         use uis_names::*;
+        let kb = kb.into();
         let schema = Self::schema();
         let class = |n: &str| NodeType::Class(kb.class_named(n).expect("uis class"));
         let pred = |n: &str| kb.pred_named(n).expect("uis pred");

@@ -1,0 +1,95 @@
+//! `dr_kbpack` — packs a knowledge base into a `.drkb` mmap image.
+//!
+//! ```text
+//! dr_kbpack [--strict] <input.nt> <out.drkb>
+//! dr_kbpack --fixture <nobel-mini|figure1> <out.drkb>
+//! ```
+//!
+//! The input is loaded with the lenient N-Triples parser by default —
+//! malformed lines are quarantined and reported on stderr, exactly like
+//! the other lenient loaders — and packed deterministically: the same
+//! triples always produce a byte-identical image, keyed by the KB's
+//! `content_hash`. `--strict` aborts on the first malformed line instead.
+//! After writing, the image is re-opened through the mmap reader and
+//! checked against the source KB's `content_hash`, so a reported success
+//! means a bootable image.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use dr_kb::ntriples;
+use dr_kb::{KnowledgeBase, LenientOptions, MappedKb};
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("dr_kbpack: {message}");
+    ExitCode::from(2)
+}
+
+fn usage() -> ExitCode {
+    fail("usage: dr_kbpack [--strict] <input.nt> <out.drkb> | dr_kbpack --fixture <nobel-mini|figure1> <out.drkb>")
+}
+
+fn load(args: &[String]) -> Result<(KnowledgeBase, String), String> {
+    match args {
+        [fixture_flag, name, _out] if fixture_flag == "--fixture" => {
+            let kb = match name.as_str() {
+                "nobel-mini" => dr_kb::fixtures::nobel_mini_kb(),
+                "figure1" => dr_kb::fixtures::figure1_kb(),
+                other => return Err(format!("unknown fixture {other:?}")),
+            };
+            Ok((kb, format!("fixture {name}")))
+        }
+        [strict_flag, input, _out] if strict_flag == "--strict" => {
+            let kb = ntriples::load_file(input).map_err(|e| format!("{input}: {e}"))?;
+            Ok((kb, input.clone()))
+        }
+        [input, _out] => {
+            let (kb, quarantine) = ntriples::load_file_lenient(input, &LenientOptions::default())
+                .map_err(|e| format!("{input}: {e}"))?;
+            if !quarantine.is_empty() {
+                eprintln!("dr_kbpack: {input}: {quarantine}");
+                for d in quarantine.diagnostics() {
+                    eprintln!("dr_kbpack:   {d}");
+                }
+            }
+            Ok((kb, input.clone()))
+        }
+        _ => Err("bad arguments".into()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 || args.len() > 3 {
+        return usage();
+    }
+    let out = Path::new(args.last().map(String::as_str).unwrap_or_default()).to_path_buf();
+
+    let (kb, source) = match load(&args) {
+        Ok(loaded) => loaded,
+        Err(e) => return fail(&e),
+    };
+
+    if let Err(e) = dr_kb::write_image(&out, &kb) {
+        return fail(&format!("{}: {e}", out.display()));
+    }
+    // Prove the image boots: reopen through the mmap path and demand the
+    // packed content hash.
+    if let Err(e) = MappedKb::open_expecting(&out, kb.content_hash()) {
+        return fail(&format!(
+            "{}: written image failed to open: {e}",
+            out.display()
+        ));
+    }
+    let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "kbpack: {} -> {} ({} bytes, content_hash={:#018x}, {} instances, {} edges)",
+        source,
+        out.display(),
+        bytes,
+        kb.content_hash(),
+        kb.num_instances(),
+        kb.num_edges()
+    );
+    ExitCode::SUCCESS
+}

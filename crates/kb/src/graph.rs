@@ -23,6 +23,13 @@ use std::sync::OnceLock;
 /// generation 0 can act as a "no KB" sentinel in cache keys.
 static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
 
+/// Draws the next process-unique KB generation. Shared by
+/// [`KbBuilder::finalize`] and `MappedKb::open` so every live KB — in-memory
+/// or mapped — gets a distinct cache-registry key.
+pub(crate) fn alloc_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
 /// Errors raised while finalizing a KB.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KbError {
@@ -249,7 +256,7 @@ impl KbBuilder {
             direct_instances: direct,
             closed_instances: closed,
             edge_count,
-            generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
+            generation: alloc_generation(),
             content_hash: OnceLock::new(),
         })
     }

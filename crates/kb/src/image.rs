@@ -1,0 +1,821 @@
+//! The `.drkb` on-disk KB image format (DESIGN.md §8).
+//!
+//! A knowledge base packed into one flat, versioned binary file that
+//! [`MappedKb`](crate::mapped::MappedKb) can open by mmap and query with
+//! binary searches — no parse, no allocation proportional to KB size. The
+//! conventions mirror the `.drsnap` value-cache snapshots: little-endian
+//! fixed-width fields, a magic/version/`content_hash` header, and a
+//! trailing FxHash checksum that is verified *before* any field is
+//! interpreted, so torn writes and bit rot surface as a typed error rather
+//! than a panic or a silently wrong answer.
+//!
+//! ## Layout
+//!
+//! ```text
+//! header (64 bytes)
+//!   magic            [u8;4]  "DRKB"
+//!   version          u32
+//!   content_hash     u64     KnowledgeBase::content_hash of the packed KB
+//!   num_classes      u32
+//!   num_preds        u32
+//!   num_instances    u32
+//!   num_literals     u32
+//!   num_edges        u64
+//!   num_spo_runs     u32     distinct (subject, predicate) pairs
+//!   num_osp_runs     u32     distinct (object, predicate) pairs
+//!   strings_len      u64     length of the string heap section
+//!   reserved         u64     must be zero
+//! section table (20 × { offset u64, len u64 })
+//! sections (contiguous, in table order)
+//! checksum           u64     FxHash of every preceding byte
+//! ```
+//!
+//! Sections (all integers little-endian):
+//!
+//! | # | name          | contents |
+//! |---|---------------|----------|
+//! | 0 | Strings       | one UTF-8 heap: class names, pred names, instance labels, literal values, in id order |
+//! | 1–4 | *StrOffs    | per id space, `(n+1)` × u64 heap offsets; string `i` is `heap[off[i]..off[i+1]]` |
+//! | 5–6 | *ByName     | class/pred ids (u32) sorted by name — binary-searched by `class_named`/`pred_named` |
+//! | 7 | InstByLabel   | instance ids sorted by `(label, id)` — range-scanned by `instances_labeled` |
+//! | 8 | LitByValue    | literal ids sorted by value |
+//! | 9 | TaxParents    | CSR over classes: `subClassOf` parent lists in insertion order |
+//! | 10 | InstClasses  | CSR over instances: direct classes in insertion order |
+//! | 11 | DirectInst   | CSR over classes: sorted direct instances |
+//! | 12 | ClosedInst   | CSR over classes: sorted instances incl. taxonomy closure |
+//! | 13 | PredsOf      | CSR over instances: sorted outgoing predicates |
+//! | 14–16 | Spo*      | sorted `(s,p)` keys, run offsets, encoded object nodes per run (sorted) |
+//! | 17–19 | Osp*      | sorted `(o,p)` keys, run offsets, subject ids per run (sorted) |
+//! ```text
+//! CSR over n rows = (n+1) × u32 offsets, then the concatenated u32 rows.
+//! Node encoding   = u64: bit 32 is the literal tag, low 32 bits the id —
+//!                   ordered exactly like the derived `Ord` on `Node`.
+//! ```
+//!
+//! [`pack`] is deterministic: the same finalized KB (same `content_hash`)
+//! always produces byte-identical images, pinned by a golden-file test.
+
+use std::hash::Hasher;
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::graph::KnowledgeBase;
+use crate::hash::FxHasher;
+use crate::ids::{ClassId, InstanceId, LiteralId, Node, PredId};
+
+/// First bytes of every image.
+pub const MAGIC: [u8; 4] = *b"DRKB";
+/// Current format version; bump on any layout change.
+pub const FORMAT_VERSION: u32 = 1;
+/// Canonical file extension (`.drkb`).
+pub const EXTENSION: &str = "drkb";
+
+pub(crate) const NUM_SECTIONS: usize = 20;
+pub(crate) const HEADER_LEN: usize = 64;
+pub(crate) const BODY_START: usize = HEADER_LEN + NUM_SECTIONS * 16;
+/// Smallest plausible image: header + section table + checksum.
+pub const MIN_LEN: usize = BODY_START + 8;
+
+/// Section indexes into the table (see the module docs for contents).
+pub(crate) mod section {
+    pub const STRINGS: usize = 0;
+    pub const CLASS_STR: usize = 1;
+    pub const PRED_STR: usize = 2;
+    pub const INST_STR: usize = 3;
+    pub const LIT_STR: usize = 4;
+    pub const CLASS_BY_NAME: usize = 5;
+    pub const PRED_BY_NAME: usize = 6;
+    pub const INST_BY_LABEL: usize = 7;
+    pub const LIT_BY_VALUE: usize = 8;
+    pub const TAX_PARENTS: usize = 9;
+    pub const INST_CLASSES: usize = 10;
+    pub const DIRECT_INST: usize = 11;
+    pub const CLOSED_INST: usize = 12;
+    pub const PREDS_OF: usize = 13;
+    pub const SPO_KEYS: usize = 14;
+    pub const SPO_OFFS: usize = 15;
+    pub const SPO_NODES: usize = 16;
+    pub const OSP_KEYS: usize = 17;
+    pub const OSP_OFFS: usize = 18;
+    pub const OSP_SUBJS: usize = 19;
+}
+
+/// Why an image failed to open or write. Mirrors `SnapshotError` in
+/// `dr-core`: every corruption mode maps to a typed variant, never a panic.
+#[derive(Debug)]
+pub enum KbImageError {
+    /// Filesystem failure (missing file, permissions, short write).
+    Io(io::Error),
+    /// File shorter than the fixed header + section table + checksum.
+    TooShort(usize),
+    /// First four bytes are not `DRKB` — not an image at all.
+    BadMagic([u8; 4]),
+    /// An image from a different (likely future) format version.
+    BadVersion(u32),
+    /// Stored checksum does not match the bytes — torn write or bit rot.
+    ChecksumMismatch {
+        /// Checksum read from the trailer.
+        stored: u64,
+        /// Checksum computed over the preceding bytes.
+        computed: u64,
+    },
+    /// The image is intact but packs a different KB than the caller
+    /// expected (`content_hash` key mismatch).
+    KeyMismatch {
+        /// The `content_hash` in the image header.
+        found: u64,
+        /// The `content_hash` the caller demanded.
+        expected: u64,
+    },
+    /// Checksum passed but the structure is inconsistent — a packer bug
+    /// or a deliberately crafted file; the message names the first
+    /// violated invariant.
+    Malformed(&'static str),
+}
+
+impl KbImageError {
+    /// True for the one non-corruption case — the file simply is not
+    /// there. Everything else means an image existed and was bad.
+    pub fn is_absence(&self) -> bool {
+        matches!(self, KbImageError::Io(e) if e.kind() == io::ErrorKind::NotFound)
+    }
+}
+
+impl std::fmt::Display for KbImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KbImageError::Io(e) => write!(f, "io error: {e}"),
+            KbImageError::TooShort(len) => {
+                write!(f, "file too short for a KB image ({len} bytes)")
+            }
+            KbImageError::BadMagic(m) => write!(f, "bad magic {m:?}"),
+            KbImageError::BadVersion(v) => write!(f, "unsupported image version {v}"),
+            KbImageError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch (stored {stored:#x}, computed {computed:#x})"
+            ),
+            KbImageError::KeyMismatch { found, expected } => {
+                write!(f, "image packs KB {found:#x}, expected {expected:#x}")
+            }
+            KbImageError::Malformed(what) => write!(f, "malformed image: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for KbImageError {}
+
+impl From<io::Error> for KbImageError {
+    fn from(e: io::Error) -> Self {
+        KbImageError::Io(e)
+    }
+}
+
+/// The checksum over everything before the 8-byte trailer: the same
+/// FxHash-of-all-bytes the `.drsnap` format uses. Public so corruption
+/// tests can re-seal a deliberately damaged body.
+pub fn image_checksum(body: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(body);
+    h.finish()
+}
+
+/// Bit 32 tags a literal; instances have tag 0. Chosen so the u64 order of
+/// encoded nodes equals the derived `Ord` on [`Node`] (`Instance < Literal`,
+/// then by id) — sorted mem slices and sorted image runs compare equal.
+const NODE_TAG_LITERAL: u64 = 1 << 32;
+
+pub(crate) fn encode_node(n: Node) -> u64 {
+    match n {
+        Node::Instance(i) => i.index() as u64,
+        Node::Literal(l) => NODE_TAG_LITERAL | l.index() as u64,
+    }
+}
+
+pub(crate) fn decode_node(v: u64) -> Option<Node> {
+    let id = (v & 0xFFFF_FFFF) as usize;
+    match v >> 32 {
+        0 => Some(Node::Instance(InstanceId::from_index(id))),
+        1 => Some(Node::Literal(LiteralId::from_index(id))),
+        _ => None,
+    }
+}
+
+pub(crate) fn u32_at(b: &[u8], pos: usize) -> u32 {
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(&b[pos..pos + 4]);
+    u32::from_le_bytes(buf)
+}
+
+pub(crate) fn u64_at(b: &[u8], pos: usize) -> u64 {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&b[pos..pos + 8]);
+    u64::from_le_bytes(buf)
+}
+
+fn small(n: usize) -> u32 {
+    u32::try_from(n).expect("image section exceeds u32 range")
+}
+
+fn push_u32s(out: &mut Vec<u8>, vals: impl IntoIterator<Item = u32>) {
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Appends `n` strings to the shared heap and writes their `(n+1)` u64
+/// offset table into `out`.
+fn push_string_table<'a>(
+    heap: &mut Vec<u8>,
+    out: &mut Vec<u8>,
+    strings: impl Iterator<Item = &'a str>,
+) {
+    for s in strings {
+        out.extend_from_slice(&(heap.len() as u64).to_le_bytes());
+        heap.extend_from_slice(s.as_bytes());
+    }
+    out.extend_from_slice(&(heap.len() as u64).to_le_bytes());
+}
+
+/// Writes a CSR section: `(n+1)` u32 offsets, then the concatenated rows.
+fn push_csr(out: &mut Vec<u8>, n: usize, mut row: impl FnMut(usize, &mut Vec<u32>)) {
+    let mut offs: Vec<u32> = Vec::with_capacity(n + 1);
+    let mut data: Vec<u32> = Vec::new();
+    let mut buf: Vec<u32> = Vec::new();
+    for i in 0..n {
+        offs.push(small(data.len()));
+        buf.clear();
+        row(i, &mut buf);
+        data.extend_from_slice(&buf);
+    }
+    offs.push(small(data.len()));
+    push_u32s(out, offs);
+    push_u32s(out, data);
+}
+
+/// Packs `kb` into image bytes. Deterministic: a KB with the same triples
+/// (same `content_hash`) always packs to byte-identical output.
+pub fn pack(kb: &KnowledgeBase) -> Vec<u8> {
+    let nc = kb.num_classes();
+    let np = kb.num_preds();
+    let ni = kb.num_instances();
+    let nl = kb.num_literals();
+    let ne = kb.num_edges() as u64;
+    assert!(
+        ne <= u32::MAX as u64,
+        "image run offsets are u32: {ne} edges exceed the format limit"
+    );
+
+    let mut sections: Vec<Vec<u8>> = vec![Vec::new(); NUM_SECTIONS];
+
+    // Strings: one heap, four offset tables, all in id order.
+    let mut heap: Vec<u8> = Vec::new();
+    push_string_table(
+        &mut heap,
+        &mut sections[section::CLASS_STR],
+        kb.classes().map(|c| kb.class_name(c)),
+    );
+    push_string_table(
+        &mut heap,
+        &mut sections[section::PRED_STR],
+        kb.preds().map(|p| kb.pred_name(p)),
+    );
+    push_string_table(
+        &mut heap,
+        &mut sections[section::INST_STR],
+        kb.instances().map(|i| kb.instance_label(i)),
+    );
+    push_string_table(
+        &mut heap,
+        &mut sections[section::LIT_STR],
+        (0..nl).map(|l| kb.literal_value(LiteralId::from_index(l))),
+    );
+    let strings_len = heap.len() as u64;
+    sections[section::STRINGS] = heap;
+
+    // Name/label/value lookup tables: ids sorted by string (ties — only
+    // possible for homonym instance labels — broken by id).
+    let mut class_by_name: Vec<u32> = (0..nc as u32).collect();
+    class_by_name.sort_unstable_by(|&a, &b| {
+        kb.class_name(ClassId::from_index(a as usize))
+            .cmp(kb.class_name(ClassId::from_index(b as usize)))
+    });
+    push_u32s(&mut sections[section::CLASS_BY_NAME], class_by_name);
+
+    let mut pred_by_name: Vec<u32> = (0..np as u32).collect();
+    pred_by_name.sort_unstable_by(|&a, &b| {
+        kb.pred_name(PredId::from_index(a as usize))
+            .cmp(kb.pred_name(PredId::from_index(b as usize)))
+    });
+    push_u32s(&mut sections[section::PRED_BY_NAME], pred_by_name);
+
+    let mut inst_by_label: Vec<u32> = (0..ni as u32).collect();
+    inst_by_label.sort_unstable_by(|&a, &b| {
+        kb.instance_label(InstanceId::from_index(a as usize))
+            .cmp(kb.instance_label(InstanceId::from_index(b as usize)))
+            .then(a.cmp(&b))
+    });
+    push_u32s(&mut sections[section::INST_BY_LABEL], inst_by_label);
+
+    let mut lit_by_value: Vec<u32> = (0..nl as u32).collect();
+    lit_by_value.sort_unstable_by(|&a, &b| {
+        kb.literal_value(LiteralId::from_index(a as usize))
+            .cmp(kb.literal_value(LiteralId::from_index(b as usize)))
+    });
+    push_u32s(&mut sections[section::LIT_BY_VALUE], lit_by_value);
+
+    // Adjacency CSRs, straight from the query surface they will serve.
+    push_csr(&mut sections[section::TAX_PARENTS], nc, |i, row| {
+        row.extend(
+            kb.taxonomy()
+                .parents(ClassId::from_index(i))
+                .iter()
+                .map(|p| p.index() as u32),
+        );
+    });
+    push_csr(&mut sections[section::INST_CLASSES], ni, |i, row| {
+        row.extend(
+            kb.instance_classes(InstanceId::from_index(i))
+                .iter()
+                .map(|c| c.index() as u32),
+        );
+    });
+    push_csr(&mut sections[section::DIRECT_INST], nc, |i, row| {
+        row.extend(
+            kb.direct_instances_of(ClassId::from_index(i))
+                .iter()
+                .map(|x| x.index() as u32),
+        );
+    });
+    push_csr(&mut sections[section::CLOSED_INST], nc, |i, row| {
+        row.extend(
+            kb.instances_of(ClassId::from_index(i))
+                .iter()
+                .map(|x| x.index() as u32),
+        );
+    });
+    push_csr(&mut sections[section::PREDS_OF], ni, |i, row| {
+        row.extend(
+            kb.preds_of(InstanceId::from_index(i))
+                .iter()
+                .map(|p| p.index() as u32),
+        );
+    });
+
+    // SPO runs: (s, p) keys ascend because instances and preds_of both do.
+    let mut spo_count: u32 = 0;
+    let mut num_spo: u32 = 0;
+    for s in kb.instances() {
+        for &p in kb.preds_of(s) {
+            let objs = kb.objects(s, p);
+            sections[section::SPO_KEYS].extend_from_slice(&(s.index() as u32).to_le_bytes());
+            sections[section::SPO_KEYS].extend_from_slice(&(p.index() as u32).to_le_bytes());
+            sections[section::SPO_OFFS].extend_from_slice(&spo_count.to_le_bytes());
+            for &o in objs {
+                sections[section::SPO_NODES].extend_from_slice(&encode_node(o).to_le_bytes());
+            }
+            spo_count += small(objs.len());
+            num_spo += 1;
+        }
+    }
+    sections[section::SPO_OFFS].extend_from_slice(&spo_count.to_le_bytes());
+
+    // OSP runs: grouped via a BTreeMap so keys come out sorted.
+    let mut osp: std::collections::BTreeMap<(u64, u32), Vec<u32>> =
+        std::collections::BTreeMap::new();
+    for (s, p, o) in kb.triples() {
+        osp.entry((encode_node(o), p.index() as u32))
+            .or_default()
+            .push(s.index() as u32);
+    }
+    let num_osp = small(osp.len());
+    let mut osp_count: u32 = 0;
+    for ((o, p), mut subs) in osp {
+        subs.sort_unstable();
+        subs.dedup();
+        sections[section::OSP_KEYS].extend_from_slice(&o.to_le_bytes());
+        sections[section::OSP_KEYS].extend_from_slice(&p.to_le_bytes());
+        sections[section::OSP_OFFS].extend_from_slice(&osp_count.to_le_bytes());
+        osp_count += small(subs.len());
+        push_u32s(&mut sections[section::OSP_SUBJS], subs);
+    }
+    sections[section::OSP_OFFS].extend_from_slice(&osp_count.to_le_bytes());
+
+    // Header + section table + sections + checksum.
+    let body_len: usize = sections.iter().map(Vec::len).sum();
+    let mut buf = Vec::with_capacity(BODY_START + body_len + 8);
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&kb.content_hash().to_le_bytes());
+    buf.extend_from_slice(&small(nc).to_le_bytes());
+    buf.extend_from_slice(&small(np).to_le_bytes());
+    buf.extend_from_slice(&small(ni).to_le_bytes());
+    buf.extend_from_slice(&small(nl).to_le_bytes());
+    buf.extend_from_slice(&ne.to_le_bytes());
+    buf.extend_from_slice(&num_spo.to_le_bytes());
+    buf.extend_from_slice(&num_osp.to_le_bytes());
+    buf.extend_from_slice(&strings_len.to_le_bytes());
+    buf.extend_from_slice(&0u64.to_le_bytes()); // reserved
+    debug_assert_eq!(buf.len(), HEADER_LEN);
+    let mut offset = BODY_START as u64;
+    for s in &sections {
+        buf.extend_from_slice(&offset.to_le_bytes());
+        buf.extend_from_slice(&(s.len() as u64).to_le_bytes());
+        offset += s.len() as u64;
+    }
+    debug_assert_eq!(buf.len(), BODY_START);
+    for s in &sections {
+        buf.extend_from_slice(s);
+    }
+    let checksum = image_checksum(&buf);
+    buf.extend_from_slice(&checksum.to_le_bytes());
+    buf
+}
+
+/// Process-global suffix for temp names, so two threads packing images
+/// into one directory never collide.
+static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Packs `kb` and writes it to `path` atomically: a unique
+/// `.<name>.<pid>.<seq>.drkb.tmp` sibling is written, fsynced, then
+/// renamed over `path`. Readers either see the old image or the complete
+/// new one, never a prefix.
+pub fn write_image(path: &Path, kb: &KnowledgeBase) -> Result<(), KbImageError> {
+    let bytes = pack(kb);
+    let dir = path
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let name = path.file_name().and_then(|s| s.to_str()).unwrap_or("image");
+    let tmp = dir.join(format!(
+        ".{name}.{}.{}.drkb.tmp",
+        std::process::id(),
+        WRITE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let write = || -> io::Result<()> {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    };
+    if let Err(e) = write() {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    Ok(())
+}
+
+/// A fully validated map of an image's sections. Constructed once at open;
+/// after [`ImageLayout::parse`] succeeds, every query-time read is in
+/// bounds and every invariant queries rely on (sortedness, id ranges,
+/// UTF-8) is known to hold — corrupt files are rejected here, so the query
+/// path never panics and never returns silently wrong data.
+#[derive(Debug, Clone)]
+pub(crate) struct ImageLayout {
+    pub content_hash: u64,
+    pub num_classes: usize,
+    pub num_preds: usize,
+    pub num_instances: usize,
+    pub num_literals: usize,
+    pub num_edges: u64,
+    pub num_spo: usize,
+    pub num_osp: usize,
+    sections: [Range<usize>; NUM_SECTIONS],
+}
+
+impl ImageLayout {
+    pub fn section<'a>(&self, bytes: &'a [u8], idx: usize) -> &'a [u8] {
+        &bytes[self.sections[idx].clone()]
+    }
+
+    pub fn parse(bytes: &[u8]) -> Result<Self, KbImageError> {
+        if bytes.len() < MIN_LEN {
+            return Err(KbImageError::TooShort(bytes.len()));
+        }
+        // Checksum first: any flipped or missing byte is caught before a
+        // single field is trusted.
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64_at(trailer, 0);
+        let computed = image_checksum(body);
+        if stored != computed {
+            return Err(KbImageError::ChecksumMismatch { stored, computed });
+        }
+        let magic: [u8; 4] = body[0..4].try_into().expect("4-byte slice");
+        if magic != MAGIC {
+            return Err(KbImageError::BadMagic(magic));
+        }
+        let version = u32_at(body, 4);
+        if version != FORMAT_VERSION {
+            return Err(KbImageError::BadVersion(version));
+        }
+        let content_hash = u64_at(body, 8);
+        let num_classes = u32_at(body, 16) as usize;
+        let num_preds = u32_at(body, 20) as usize;
+        let num_instances = u32_at(body, 24) as usize;
+        let num_literals = u32_at(body, 28) as usize;
+        let num_edges = u64_at(body, 32);
+        let num_spo = u32_at(body, 40) as usize;
+        let num_osp = u32_at(body, 44) as usize;
+        let strings_len = u64_at(body, 48);
+        if u64_at(body, 56) != 0 {
+            return Err(KbImageError::Malformed("reserved header field is nonzero"));
+        }
+        if num_edges > u32::MAX as u64 {
+            return Err(KbImageError::Malformed(
+                "edge count exceeds u32 run offsets",
+            ));
+        }
+
+        // Section table: packed images are contiguous in table order, so
+        // require exactly that — it rules out overlap and hidden gaps.
+        let mut sections: [Range<usize>; NUM_SECTIONS] = std::array::from_fn(|_| 0..0);
+        let mut expect_off = BODY_START as u64;
+        for (i, sec) in sections.iter_mut().enumerate() {
+            let off = u64_at(body, HEADER_LEN + i * 16);
+            let len = u64_at(body, HEADER_LEN + i * 16 + 8);
+            if off != expect_off {
+                return Err(KbImageError::Malformed("section table is not contiguous"));
+            }
+            let end = off
+                .checked_add(len)
+                .ok_or(KbImageError::Malformed("section length overflows"))?;
+            if end > body.len() as u64 {
+                return Err(KbImageError::Malformed("section extends past the file"));
+            }
+            *sec = off as usize..end as usize;
+            expect_off = end;
+        }
+        if expect_off != body.len() as u64 {
+            return Err(KbImageError::Malformed("trailing bytes after last section"));
+        }
+
+        let layout = ImageLayout {
+            content_hash,
+            num_classes,
+            num_preds,
+            num_instances,
+            num_literals,
+            num_edges,
+            num_spo,
+            num_osp,
+            sections,
+        };
+        layout.validate(body, strings_len)?;
+        Ok(layout)
+    }
+
+    /// Structural validation beyond the checksum: section shapes, string
+    /// table monotonicity + UTF-8, CSR consistency, id bounds, and the
+    /// sort invariants every binary search relies on.
+    fn validate(&self, body: &[u8], strings_len: u64) -> Result<(), KbImageError> {
+        use section::*;
+        let malformed = KbImageError::Malformed;
+
+        let heap = self.section(body, STRINGS);
+        if heap.len() as u64 != strings_len {
+            return Err(malformed("strings_len disagrees with section table"));
+        }
+
+        // String offset tables: (n+1) monotonic u64s into the heap, every
+        // slice valid UTF-8 (validated once here; query-time reads trust it).
+        let tables = [
+            (CLASS_STR, self.num_classes),
+            (PRED_STR, self.num_preds),
+            (INST_STR, self.num_instances),
+            (LIT_STR, self.num_literals),
+        ];
+        for (idx, n) in tables {
+            let sec = self.section(body, idx);
+            if sec.len() != (n + 1) * 8 {
+                return Err(malformed("string offset table has wrong size"));
+            }
+            let mut prev = u64_at(sec, 0);
+            for i in 1..=n {
+                let cur = u64_at(sec, i * 8);
+                if cur < prev {
+                    return Err(malformed("string offsets are not monotonic"));
+                }
+                prev = cur;
+            }
+            if prev > heap.len() as u64 {
+                return Err(malformed("string offset past the heap"));
+            }
+            for i in 0..n {
+                let start = u64_at(sec, i * 8) as usize;
+                let end = u64_at(sec, (i + 1) * 8) as usize;
+                if std::str::from_utf8(&heap[start..end]).is_err() {
+                    return Err(malformed("string is not valid UTF-8"));
+                }
+            }
+        }
+
+        // Lookup tables: a permutation of 0..n, strictly ascending by the
+        // string they point at (ids break instance-label ties).
+        let str_of = |table: usize, id: usize| -> &[u8] {
+            let sec = self.section(body, table);
+            let start = u64_at(sec, id * 8) as usize;
+            let end = u64_at(sec, (id + 1) * 8) as usize;
+            &heap[start..end]
+        };
+        let lookups = [
+            (CLASS_BY_NAME, CLASS_STR, self.num_classes, false),
+            (PRED_BY_NAME, PRED_STR, self.num_preds, false),
+            (INST_BY_LABEL, INST_STR, self.num_instances, true),
+            (LIT_BY_VALUE, LIT_STR, self.num_literals, false),
+        ];
+        for (idx, str_table, n, ties_by_id) in lookups {
+            let sec = self.section(body, idx);
+            if sec.len() != n * 4 {
+                return Err(malformed("lookup table has wrong size"));
+            }
+            let mut prev: Option<u32> = None;
+            for i in 0..n {
+                let id = u32_at(sec, i * 4);
+                if id as usize >= n {
+                    return Err(malformed("lookup table id out of range"));
+                }
+                if let Some(p) = prev {
+                    let ord = str_of(str_table, p as usize).cmp(str_of(str_table, id as usize));
+                    let ok = match ord {
+                        std::cmp::Ordering::Less => true,
+                        std::cmp::Ordering::Equal => ties_by_id && p < id,
+                        std::cmp::Ordering::Greater => false,
+                    };
+                    if !ok {
+                        return Err(malformed("lookup table is not sorted"));
+                    }
+                }
+                prev = Some(id);
+            }
+        }
+
+        // CSR sections: shape, final-offset consistency, id bounds, and
+        // (where the in-memory KB guarantees it) sorted rows.
+        let csrs = [
+            (TAX_PARENTS, self.num_classes, self.num_classes, false),
+            (INST_CLASSES, self.num_instances, self.num_classes, false),
+            (DIRECT_INST, self.num_classes, self.num_instances, true),
+            (CLOSED_INST, self.num_classes, self.num_instances, true),
+            (PREDS_OF, self.num_instances, self.num_preds, true),
+        ];
+        for (idx, n, id_bound, sorted) in csrs {
+            let sec = self.section(body, idx);
+            if sec.len() < (n + 1) * 4 || !sec.len().is_multiple_of(4) {
+                return Err(malformed("CSR section has wrong size"));
+            }
+            let data_count = sec.len() / 4 - (n + 1);
+            let mut prev_off = u32_at(sec, 0);
+            if prev_off != 0 {
+                return Err(malformed("CSR does not start at offset zero"));
+            }
+            for i in 1..=n {
+                let off = u32_at(sec, i * 4);
+                if off < prev_off || off as usize > data_count {
+                    return Err(malformed("CSR offsets are not monotonic"));
+                }
+                if sorted {
+                    let base = (n + 1 + prev_off as usize) * 4;
+                    let mut prev_val: Option<u32> = None;
+                    for j in 0..(off - prev_off) as usize {
+                        let v = u32_at(sec, base + j * 4);
+                        if v as usize >= id_bound {
+                            return Err(malformed("CSR id out of range"));
+                        }
+                        if prev_val.is_some_and(|p| p >= v) {
+                            return Err(malformed("CSR row is not sorted"));
+                        }
+                        prev_val = Some(v);
+                    }
+                }
+                prev_off = off;
+            }
+            if prev_off as usize != data_count {
+                return Err(malformed("CSR final offset disagrees with data"));
+            }
+            if !sorted {
+                let base = (n + 1) * 4;
+                for j in 0..data_count {
+                    if u32_at(sec, base + j * 4) as usize >= id_bound {
+                        return Err(malformed("CSR id out of range"));
+                    }
+                }
+            }
+        }
+
+        self.validate_runs(body)
+    }
+
+    fn validate_runs(&self, body: &[u8]) -> Result<(), KbImageError> {
+        use section::*;
+        let malformed = KbImageError::Malformed;
+
+        // SPO: strictly ascending (s, p) keys, non-empty runs whose nodes
+        // decode, stay in id range, and ascend (has_edge binary-searches).
+        let keys = self.section(body, SPO_KEYS);
+        let offs = self.section(body, SPO_OFFS);
+        let nodes = self.section(body, SPO_NODES);
+        if keys.len() != self.num_spo * 8 || offs.len() != (self.num_spo + 1) * 4 {
+            return Err(malformed("SPO index has wrong size"));
+        }
+        if nodes.len() as u64 != self.num_edges * 8 {
+            return Err(malformed("SPO nodes disagree with edge count"));
+        }
+        let mut prev_key: Option<u64> = None;
+        let mut prev_off = u32_at(offs, 0);
+        if prev_off != 0 {
+            return Err(malformed("SPO runs do not start at zero"));
+        }
+        for r in 0..self.num_spo {
+            let s = u32_at(keys, r * 8);
+            let p = u32_at(keys, r * 8 + 4);
+            if s as usize >= self.num_instances || p as usize >= self.num_preds {
+                return Err(malformed("SPO key id out of range"));
+            }
+            let key = (s as u64) << 32 | p as u64;
+            if prev_key.is_some_and(|k| k >= key) {
+                return Err(malformed("SPO keys are not sorted"));
+            }
+            prev_key = Some(key);
+            let off = u32_at(offs, (r + 1) * 4);
+            if off <= prev_off || off as u64 > self.num_edges {
+                return Err(malformed("SPO run offsets are not ascending"));
+            }
+            let mut prev_node: Option<u64> = None;
+            for j in prev_off..off {
+                let v = u64_at(nodes, j as usize * 8);
+                let node = decode_node(v).ok_or(malformed("SPO node has a bad tag"))?;
+                let in_range = match node {
+                    Node::Instance(i) => i.index() < self.num_instances,
+                    Node::Literal(l) => l.index() < self.num_literals,
+                };
+                if !in_range {
+                    return Err(malformed("SPO node id out of range"));
+                }
+                if prev_node.is_some_and(|p| p >= v) {
+                    return Err(malformed("SPO run is not sorted"));
+                }
+                prev_node = Some(v);
+            }
+            prev_off = off;
+        }
+        if prev_off as u64 != self.num_edges {
+            return Err(malformed("SPO runs do not cover all edges"));
+        }
+
+        // OSP: same story with 12-byte (o, p) keys and subject-id runs.
+        let keys = self.section(body, OSP_KEYS);
+        let offs = self.section(body, OSP_OFFS);
+        let subs = self.section(body, OSP_SUBJS);
+        if keys.len() != self.num_osp * 12 || offs.len() != (self.num_osp + 1) * 4 {
+            return Err(malformed("OSP index has wrong size"));
+        }
+        if subs.len() as u64 != self.num_edges * 4 {
+            return Err(malformed("OSP subjects disagree with edge count"));
+        }
+        let mut prev_key: Option<(u64, u32)> = None;
+        let mut prev_off = u32_at(offs, 0);
+        if prev_off != 0 {
+            return Err(malformed("OSP runs do not start at zero"));
+        }
+        for r in 0..self.num_osp {
+            let o = u64_at(keys, r * 12);
+            let p = u32_at(keys, r * 12 + 8);
+            let node = decode_node(o).ok_or(malformed("OSP key has a bad tag"))?;
+            let in_range = match node {
+                Node::Instance(i) => i.index() < self.num_instances,
+                Node::Literal(l) => l.index() < self.num_literals,
+            };
+            if !in_range || p as usize >= self.num_preds {
+                return Err(malformed("OSP key id out of range"));
+            }
+            if prev_key.is_some_and(|k| k >= (o, p)) {
+                return Err(malformed("OSP keys are not sorted"));
+            }
+            prev_key = Some((o, p));
+            let off = u32_at(offs, (r + 1) * 4);
+            if off <= prev_off || off as u64 > self.num_edges {
+                return Err(malformed("OSP run offsets are not ascending"));
+            }
+            let mut prev_sub: Option<u32> = None;
+            for j in prev_off..off {
+                let s = u32_at(subs, j as usize * 4);
+                if s as usize >= self.num_instances {
+                    return Err(malformed("OSP subject id out of range"));
+                }
+                if prev_sub.is_some_and(|p| p >= s) {
+                    return Err(malformed("OSP run is not sorted"));
+                }
+                prev_sub = Some(s);
+            }
+            prev_off = off;
+        }
+        if prev_off as u64 != self.num_edges {
+            return Err(malformed("OSP runs do not cover all edges"));
+        }
+        Ok(())
+    }
+}

@@ -50,17 +50,24 @@ pub mod fixtures;
 pub mod graph;
 pub mod hash;
 pub mod ids;
+pub mod image;
+pub mod mapped;
+pub mod mmapfile;
 pub mod ntriples;
 pub mod quarantine;
 pub mod stats;
 pub mod symbol;
 pub mod taxonomy;
+pub mod view;
 
 pub use content_hash::content_hash_of;
 pub use graph::{KbBuilder, KbError, KnowledgeBase};
 pub use hash::{FxHashMap, FxHashSet};
 pub use ids::{ClassId, InstanceId, LiteralId, Node, PredId};
-pub use quarantine::{Diagnostic, LenientOptions, Quarantine};
+pub use image::{pack, write_image, KbImageError};
+pub use mapped::MappedKb;
+pub use quarantine::{strip_bom, Diagnostic, LenientOptions, Quarantine};
 pub use stats::{pred_kind, stats, KbStats, PredKind};
 pub use symbol::{Symbol, SymbolTable};
 pub use taxonomy::Taxonomy;
+pub use view::{KbQuery, KbRef};

@@ -267,10 +267,13 @@ fn parse_line(builder: &mut KbBuilder, trimmed: &str, line: usize) -> Result<(),
     Ok(())
 }
 
-/// Lines carrying content: `(1-based line number, trimmed text)` with blanks
-/// and comments skipped.
+/// Lines carrying content: `(1-based line number, trimmed text)` with a
+/// leading BOM, blanks, and comments skipped. `str::lines` already treats
+/// `\r\n` as a line break and `trim` removes the leftover `\r`, so CRLF
+/// input parses identically to LF input.
 fn content_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
-    text.lines()
+    crate::quarantine::strip_bom(text)
+        .lines()
         .enumerate()
         .map(|(lineno, raw)| (lineno + 1, raw.trim()))
         .filter(|(_, trimmed)| !trimmed.is_empty() && !trimmed.starts_with('#'))

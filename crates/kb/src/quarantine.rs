@@ -97,6 +97,15 @@ impl Quarantine {
     }
 }
 
+/// Strips a single leading UTF-8 byte-order mark, the one piece of
+/// Windows-tool debris `trim()` does not remove (U+FEFF is not
+/// whitespace). Shared by every lenient loader — N-Triples here, CSV and
+/// JSON in `dr-relation` — so `dr_kbpack` and the upload paths agree on
+/// BOM handling: the mark never reaches a parsed name, header, or value.
+pub fn strip_bom(text: &str) -> &str {
+    text.strip_prefix('\u{FEFF}').unwrap_or(text)
+}
+
 impl fmt::Display for Quarantine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} record(s) quarantined", self.quarantined)?;

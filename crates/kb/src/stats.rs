@@ -3,9 +3,9 @@
 //! Used by the experiment harness to report Table-II-style alignment numbers
 //! and by examples to describe generated KBs.
 
-use crate::graph::KnowledgeBase;
 use crate::hash::FxHashSet;
 use crate::ids::PredId;
+use crate::view::KbRef;
 
 /// The kind of a predicate, derived from the objects it connects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,12 +43,14 @@ pub struct KbStats {
     pub typed_instances: usize,
 }
 
-/// Classifies one predicate by scanning its triples.
-pub fn pred_kind(kb: &KnowledgeBase, p: PredId) -> PredKind {
+/// Classifies one predicate by scanning its triples. Works against either
+/// KB backend (in-memory or mapped image).
+pub fn pred_kind<'a>(kb: impl Into<KbRef<'a>>, p: PredId) -> PredKind {
+    let kb = kb.into();
     let mut saw_instance = false;
     let mut saw_literal = false;
     for s in kb.instances() {
-        for o in kb.objects(s, p) {
+        for o in kb.objects(s, p).iter() {
             if o.is_literal() {
                 saw_literal = true;
             } else {
@@ -67,8 +69,9 @@ pub fn pred_kind(kb: &KnowledgeBase, p: PredId) -> PredKind {
     }
 }
 
-/// Computes all [`KbStats`] for `kb`.
-pub fn stats(kb: &KnowledgeBase) -> KbStats {
+/// Computes all [`KbStats`] for `kb` — either backend.
+pub fn stats<'a>(kb: impl Into<KbRef<'a>>) -> KbStats {
+    let kb = kb.into();
     let mut relationships = 0;
     let mut properties = 0;
     let mut other = 0;

@@ -1,0 +1,55 @@
+//! Byte-exact golden test for the `.drkb` image format: packing the
+//! `nobel-mini` fixture must produce the identical byte sequence on every
+//! run and machine — the format is versioned, the packer is deterministic,
+//! and any drift here is a format change that needs a `FORMAT_VERSION`
+//! bump (or at minimum a deliberate golden regeneration), mirroring
+//! `crates/core/tests/trace_schema.rs`.
+
+use dr_kb::fixtures::nobel_mini_kb;
+use dr_kb::image::{FORMAT_VERSION, MAGIC, MIN_LEN};
+use dr_kb::pack;
+
+const GOLDEN: &[u8] = include_bytes!("golden/nobel_mini.drkb");
+
+/// Regenerates the golden image. Run explicitly after an intentional
+/// format change:
+/// `cargo test -p dr-kb --test image_golden -- --ignored`.
+#[test]
+#[ignore = "writes the golden file; run only to regenerate it"]
+fn regenerate_golden() {
+    let bytes = pack(&nobel_mini_kb());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/nobel_mini.drkb");
+    std::fs::write(path, bytes).expect("write golden image");
+}
+
+#[test]
+fn packed_nobel_mini_matches_golden_byte_for_byte() {
+    let bytes = pack(&nobel_mini_kb());
+    assert_eq!(bytes.len(), GOLDEN.len(), "image size drifted");
+    if bytes != GOLDEN {
+        let first_diff = bytes
+            .iter()
+            .zip(GOLDEN)
+            .position(|(a, b)| a != b)
+            .unwrap_or(bytes.len().min(GOLDEN.len()));
+        panic!(
+            "image bytes drifted from the golden file (first difference at \
+             offset {first_diff}); if the format change is intentional, bump \
+             FORMAT_VERSION and regenerate crates/kb/tests/golden/nobel_mini.drkb"
+        );
+    }
+}
+
+#[test]
+fn golden_image_layout_pins_the_format_header() {
+    assert!(GOLDEN.len() >= MIN_LEN);
+    assert_eq!(&GOLDEN[..4], &MAGIC, "magic bytes");
+    let version = u32::from_le_bytes(GOLDEN[4..8].try_into().expect("4 bytes"));
+    assert_eq!(version, FORMAT_VERSION, "format version field");
+    let content_hash = u64::from_le_bytes(GOLDEN[8..16].try_into().expect("8 bytes"));
+    assert_eq!(
+        content_hash,
+        nobel_mini_kb().content_hash(),
+        "stored content hash keys the image to its source KB"
+    );
+}

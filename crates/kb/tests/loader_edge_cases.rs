@@ -1,0 +1,81 @@
+//! Byte-level edge cases for the lenient N-Triples loader: files written
+//! by Windows tooling (CRLF line endings, UTF-8 BOM) and editors that do
+//! or don't leave a trailing newline must all load to the same KB with an
+//! empty quarantine — none of these are *malformed*, just inconvenient.
+
+use dr_kb::{ntriples, strip_bom, KnowledgeBase, LenientOptions};
+
+const CLEAN: &str = "<a> <rdf:type> <class:person> .\n<a> <knows> <b> .\n<a> <name> \"Ada\" .\n";
+
+fn load(text: &str) -> (KnowledgeBase, dr_kb::Quarantine) {
+    ntriples::parse_lenient(text, &LenientOptions::default()).expect("parse")
+}
+
+fn assert_same_kb(text: &str, label: &str) {
+    let (clean, q0) = load(CLEAN);
+    let (kb, q) = load(text);
+    assert!(q0.is_empty());
+    assert!(q.is_empty(), "{label}: quarantine should be empty: {q}");
+    assert_eq!(
+        kb.content_hash(),
+        clean.content_hash(),
+        "{label}: same triples must hash identically"
+    );
+    assert_eq!(kb.num_edges(), clean.num_edges(), "{label}");
+}
+
+#[test]
+fn crlf_line_endings_load_clean() {
+    assert_same_kb(&CLEAN.replace('\n', "\r\n"), "CRLF");
+}
+
+#[test]
+fn utf8_bom_is_stripped_not_quarantined() {
+    assert_same_kb(&format!("\u{FEFF}{CLEAN}"), "BOM");
+}
+
+#[test]
+fn bom_plus_crlf_combine() {
+    assert_same_kb(
+        &format!("\u{FEFF}{}", CLEAN.replace('\n', "\r\n")),
+        "BOM+CRLF",
+    );
+}
+
+#[test]
+fn missing_trailing_newline_loads_clean() {
+    assert_same_kb(CLEAN.trim_end(), "no trailing newline");
+}
+
+#[test]
+fn empty_trailing_lines_load_clean() {
+    assert_same_kb(&format!("{CLEAN}\n\n"), "empty trailing lines");
+    assert_same_kb(&format!("{CLEAN}\r\n\r\n"), "empty trailing CRLF lines");
+}
+
+#[test]
+fn bom_only_in_first_line_is_stripped() {
+    // A BOM mid-file is real content (a zero-width no-break space inside a
+    // label), not a byte-order mark — only the leading one is stripped.
+    let text = "<a\u{FEFF}b> <knows> <c> .\n";
+    let (kb, q) = load(text);
+    assert!(q.is_empty(), "{q}");
+    assert!(!kb.instances_labeled("a\u{FEFF}b").is_empty());
+}
+
+#[test]
+fn strip_bom_is_idempotent_and_single_shot() {
+    assert_eq!(strip_bom("\u{FEFF}x"), "x");
+    assert_eq!(strip_bom("\u{FEFF}\u{FEFF}x"), "\u{FEFF}x");
+    assert_eq!(strip_bom("x"), "x");
+    assert_eq!(strip_bom(""), "");
+}
+
+#[test]
+fn lenient_bytes_handles_bom_and_crlf() {
+    let bytes = format!("\u{FEFF}{}", CLEAN.replace('\n', "\r\n")).into_bytes();
+    let (kb, q) = ntriples::parse_lenient_bytes(&bytes, &LenientOptions::default()).expect("parse");
+    assert!(q.is_empty(), "{q}");
+    let (clean, _) = load(CLEAN);
+    assert_eq!(kb.content_hash(), clean.content_hash());
+}

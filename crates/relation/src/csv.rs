@@ -42,6 +42,9 @@ struct RecordScanner<'a> {
 
 impl<'a> RecordScanner<'a> {
     fn new(text: &'a str) -> Self {
+        // A UTF-8 BOM would otherwise glue itself to the first header
+        // field name; Excel and friends emit one routinely.
+        let text = dr_kb::strip_bom(text);
         Self {
             chars: text.chars().peekable(),
             record_no: 1,

@@ -81,7 +81,9 @@ impl JsonValue {
 /// Malformed JSON, with the byte offset of the failure.
 pub fn parse_value(text: &str) -> Result<JsonValue, JsonError> {
     let mut p = Parser {
-        bytes: text.as_bytes(),
+        // A UTF-8 BOM is not legal JSON but common in files from Windows
+        // tooling; tolerate exactly one at the start.
+        bytes: dr_kb::strip_bom(text).as_bytes(),
         pos: 0,
     };
     p.skip_ws();

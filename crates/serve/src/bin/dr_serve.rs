@@ -7,8 +7,12 @@
 //!
 //! Flags:
 //!
-//! * `--kb <spec>` (repeatable, required) — a KB to serve:
+//! * `--kb <spec>` (repeatable) — a KB built in memory at boot:
 //!   `nobel[:size[:seed]]`, `uis[:size[:seed]]`, or `nobel-mini`.
+//! * `--kb-image <family>=<path>` (repeatable) — a packed `.drkb` image
+//!   (see `dr_kbpack`) served via mmap without parsing any N-Triples;
+//!   `family` (`nobel`, `uis`, `nobel-mini`) picks schema and rules.
+//!   At least one `--kb` or `--kb-image` is required.
 //! * `--addr <host:port>` — bind address (default `127.0.0.1:7171`;
 //!   port `0` picks a free port).
 //! * `--port-file <path>` — write the bound `host:port` to `<path>` once
@@ -64,12 +68,21 @@ fn main() {
                 Err(e) => die(&e),
             }
             i += 2;
+        } else if args[i] == "--kb-image" {
+            let value = args
+                .get(i + 1)
+                .unwrap_or_else(|| die("--kb-image needs a value"));
+            match KbSpec::parse_image(value) {
+                Ok(spec) => specs.push(spec),
+                Err(e) => die(&e),
+            }
+            i += 2;
         } else {
             i += 1;
         }
     }
     if specs.is_empty() {
-        die("pass at least one --kb (nobel[:size[:seed]], uis[:size[:seed]], nobel-mini)");
+        die("pass at least one --kb (nobel[:size[:seed]], uis[:size[:seed]], nobel-mini) or --kb-image <family>=<path>");
     }
 
     let addr = flag_value(&args, "--addr")

@@ -1,0 +1,136 @@
+//! `exp_kb_boot` — KB boot-time comparison: in-memory build vs mmap image.
+//!
+//! Builds each requested KB twice through `build_state` — once from the
+//! in-memory spec (`--kb` path: generate/parse + index construction) and
+//! once from a freshly packed `.drkb` image (`--kb-image` path: mmap open,
+//! no parsing) — and prints the server's own `kb_load_seconds{backend=...}`
+//! histogram lines, so the numbers reported are exactly what `/metrics`
+//! would export. Repeats each boot `--iters` times to smooth noise.
+//!
+//! ```text
+//! exp_kb_boot --kb-size 400 --seed 7 --iters 5
+//! ```
+//!
+//! Output is greppable: one `kb_load_seconds` line per backend plus a
+//! human summary per KB.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dr_core::RegistryConfig;
+use dr_obs::Obs;
+use dr_serve::{build_state, ImageFamily, KbSpec, ServeConfig};
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("exp_kb_boot: bad value {v:?} for {name}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(default)
+}
+
+/// Boots one spec through `build_state` and returns wall-clock seconds.
+/// The obs registry is shared so every iteration lands in the same
+/// `kb_load_seconds{backend=...}` histogram.
+fn boot(spec: &KbSpec, obs: &Arc<Obs>) -> f64 {
+    let started = Instant::now();
+    let state = build_state(
+        std::slice::from_ref(spec),
+        RegistryConfig::default(),
+        Arc::clone(obs),
+        ServeConfig::default(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("exp_kb_boot: {e}");
+        std::process::exit(2);
+    });
+    let secs = started.elapsed().as_secs_f64();
+    assert!(!state.entries.is_empty());
+    secs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let kb_size: usize = flag(&args, "--kb-size", 400);
+    let seed: u64 = flag(&args, "--seed", 7);
+    let iters: usize = flag(&args, "--iters", 5);
+
+    let image_dir = std::env::temp_dir().join(format!("dr-kb-boot-{}", std::process::id()));
+    std::fs::create_dir_all(&image_dir).expect("create image dir");
+
+    let cases: Vec<(&str, KbSpec, ImageFamily)> = vec![
+        ("nobel-mini", KbSpec::NobelMini, ImageFamily::NobelMini),
+        (
+            "nobel",
+            KbSpec::Nobel {
+                size: kb_size,
+                seed,
+            },
+            ImageFamily::Nobel,
+        ),
+        (
+            "uis",
+            KbSpec::Uis {
+                size: kb_size,
+                seed,
+            },
+            ImageFamily::Uis,
+        ),
+    ];
+
+    let obs = Arc::new(Obs::new());
+    println!("# exp_kb_boot: kb-size={kb_size} seed={seed} iters={iters}");
+    println!("# boot = full build_state (KB load + rule build + index prewarm + cache warm)");
+    for (name, mem_spec, family) in &cases {
+        // Pack an image from the same KB the mem path builds, so both
+        // backends answer for identical content.
+        let kb = match *mem_spec {
+            KbSpec::NobelMini => dr_kb::fixtures::nobel_mini_kb(),
+            KbSpec::Nobel { size, seed } => {
+                dr_datasets::NobelWorld::generate(size, seed).kb(&dr_datasets::KbProfile::yago())
+            }
+            KbSpec::Uis { size, seed } => {
+                dr_datasets::UisWorld::generate(size, seed).kb(&dr_datasets::KbProfile::yago())
+            }
+            KbSpec::Image { .. } => unreachable!("cases are mem specs"),
+        };
+        let image_path = image_dir.join(format!("{name}.drkb"));
+        dr_kb::write_image(&image_path, &kb).expect("pack image");
+        let image_spec = KbSpec::Image {
+            family: *family,
+            path: image_path.clone(),
+        };
+
+        let mut mem_total = 0.0;
+        let mut mmap_total = 0.0;
+        for _ in 0..iters {
+            mem_total += boot(mem_spec, &obs);
+            mmap_total += boot(&image_spec, &obs);
+        }
+        let bytes = std::fs::metadata(&image_path).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "{name}: instances={} edges={} image_bytes={bytes} mem_boot_s={:.4} mmap_boot_s={:.4} speedup={:.2}x",
+            kb.num_instances(),
+            kb.num_edges(),
+            mem_total / iters as f64,
+            mmap_total / iters as f64,
+            mem_total / mmap_total.max(1e-9),
+        );
+    }
+
+    // The histogram lines themselves — what /metrics exports for the
+    // load phase, labelled by backend.
+    let prom = obs.metrics().snapshot().render_prom();
+    for line in prom.lines() {
+        if line.contains("kb_load_seconds") {
+            println!("{line}");
+        }
+    }
+
+    std::fs::remove_dir_all(&image_dir).ok();
+}

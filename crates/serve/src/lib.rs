@@ -42,7 +42,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 pub use handlers::{handle, Body, Response};
-pub use state::{build_state, KbEntry, KbSpec, ServeConfig, ServerState};
+pub use state::{build_state, ImageFamily, KbEntry, KbSpec, ServeConfig, ServerState};
 
 /// A bound, running server: a shared listener drained by a fixed pool of
 /// acceptor threads, each serving one connection at a time end to end.

@@ -10,12 +10,15 @@
 //! `--cache-dir` snapshot warm-loads at boot rather than on the first
 //! request.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dr_core::{CacheRegistry, MatchContext, RegistryConfig, RepairBudget};
 use dr_datasets::{KbProfile, NobelWorld, UisWorld};
 use dr_kb::graph::KnowledgeBase;
+use dr_kb::{KbRef, MappedKb};
+use dr_obs::json::JsonObj;
 use dr_obs::Obs;
 use dr_relation::Schema;
 
@@ -23,8 +26,9 @@ use dr_relation::Schema;
 pub struct KbEntry {
     /// Route name (`/v1/repair/{name}`).
     pub name: String,
-    /// The KB, leaked to process lifetime at startup.
-    pub kb: &'static KnowledgeBase,
+    /// The KB, leaked to process lifetime at startup — in-memory
+    /// (`--kb`) or served from a mapped `.drkb` image (`--kb-image`).
+    pub kb: KbRef<'static>,
     /// The canonical schema requests must match (attribute names, in
     /// order). The schema name also keys the cache fingerprint, so posted
     /// relations are re-homed onto this schema before repair.
@@ -103,6 +107,49 @@ pub enum KbSpec {
     },
     /// `nobel-mini` — the paper's Table 1 / Figure 4 fixture KB.
     NobelMini,
+    /// `--kb-image <family>=<path>` — boot from a packed `.drkb` image via
+    /// mmap, skipping KB construction entirely. The family picks the
+    /// schema and rule set the image is served with.
+    Image {
+        /// Which schema/rules the imaged KB speaks.
+        family: ImageFamily,
+        /// Path to the `.drkb` file.
+        path: PathBuf,
+    },
+}
+
+/// The schema/rule family an imaged KB belongs to. A `.drkb` file stores
+/// only the graph; rules and the canonical relation schema come from the
+/// family named on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImageFamily {
+    /// Nobel-laureate schema + rules.
+    Nobel,
+    /// UIS schema + rules.
+    Uis,
+    /// The paper's Table 1 / Figure 4 fixture schema + rules.
+    NobelMini,
+}
+
+impl ImageFamily {
+    fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "nobel" => Ok(ImageFamily::Nobel),
+            "uis" => Ok(ImageFamily::Uis),
+            "nobel-mini" => Ok(ImageFamily::NobelMini),
+            other => Err(format!(
+                "unknown KB family {other:?} (expected nobel, uis, or nobel-mini)"
+            )),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            ImageFamily::Nobel => "nobel",
+            ImageFamily::Uis => "uis",
+            ImageFamily::NobelMini => "nobel-mini",
+        }
+    }
 }
 
 impl KbSpec {
@@ -146,42 +193,75 @@ impl KbSpec {
         }
     }
 
+    /// Parses a `--kb-image` value: `<family>=<path>`, e.g.
+    /// `nobel-mini=/var/lib/dr/nobel-mini.drkb`.
+    pub fn parse_image(spec: &str) -> Result<Self, String> {
+        let (family, path) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--kb-image wants <family>=<path>, got {spec:?}"))?;
+        if path.is_empty() {
+            return Err(format!("empty path in --kb-image {spec:?}"));
+        }
+        Ok(KbSpec::Image {
+            family: ImageFamily::parse(family)?,
+            path: PathBuf::from(path),
+        })
+    }
+
     /// The route name the entry will be served under.
     pub fn name(&self) -> &'static str {
         match self {
             KbSpec::Nobel { .. } => "nobel",
             KbSpec::Uis { .. } => "uis",
             KbSpec::NobelMini => "nobel-mini",
+            KbSpec::Image { family, .. } => family.name(),
+        }
+    }
+
+    /// Which backend this spec boots: `"mem"` or `"mmap"` (the
+    /// `kb_load_seconds` histogram label).
+    pub fn backend(&self) -> &'static str {
+        match self {
+            KbSpec::Image { .. } => "mmap",
+            _ => "mem",
         }
     }
 
     /// Builds the KB, schema, and rules for this spec. The KB is leaked:
     /// served KBs live until process exit by design.
-    fn build(
-        &self,
-    ) -> (
-        &'static KnowledgeBase,
-        Arc<Schema>,
-        Vec<dr_core::DetectiveRule>,
-    ) {
+    fn build(&self) -> Result<(KbRef<'static>, Arc<Schema>, Vec<dr_core::DetectiveRule>), String> {
         match *self {
             KbSpec::Nobel { size, seed } => {
                 let world = NobelWorld::generate(size, seed);
                 let kb: &'static KnowledgeBase = Box::leak(Box::new(world.kb(&KbProfile::yago())));
                 let rules = NobelWorld::rules(kb);
-                (kb, NobelWorld::schema(), rules)
+                Ok((kb.into(), NobelWorld::schema(), rules))
             }
             KbSpec::Uis { size, seed } => {
                 let world = UisWorld::generate(size, seed);
                 let kb: &'static KnowledgeBase = Box::leak(Box::new(world.kb(&KbProfile::yago())));
                 let rules = UisWorld::rules(kb);
-                (kb, UisWorld::schema(), rules)
+                Ok((kb.into(), UisWorld::schema(), rules))
             }
             KbSpec::NobelMini => {
                 let kb: &'static KnowledgeBase =
                     Box::leak(Box::new(dr_kb::fixtures::nobel_mini_kb()));
                 let rules = dr_core::fixtures::figure4_rules(kb);
-                (kb, dr_core::fixtures::nobel_schema(), rules)
+                Ok((kb.into(), dr_core::fixtures::nobel_schema(), rules))
+            }
+            KbSpec::Image { family, ref path } => {
+                let mapped = MappedKb::open(path)
+                    .map_err(|e| format!("--kb-image {}: {e}", path.display()))?;
+                let kb: KbRef<'static> = KbRef::Mapped(Box::leak(Box::new(mapped)));
+                let (schema, rules) = match family {
+                    ImageFamily::Nobel => (NobelWorld::schema(), NobelWorld::rules(kb)),
+                    ImageFamily::Uis => (UisWorld::schema(), UisWorld::rules(kb)),
+                    ImageFamily::NobelMini => (
+                        dr_core::fixtures::nobel_schema(),
+                        dr_core::fixtures::figure4_rules(kb),
+                    ),
+                };
+                Ok((kb, schema, rules))
             }
         }
     }
@@ -207,7 +287,27 @@ pub fn build_state(
         if entries.iter().any(|e| e.name == name) {
             return Err(format!("duplicate --kb entry {name:?}"));
         }
-        let (kb, schema, rules) = spec.build();
+        // The KB load/alignment phase, timed per backend: the histogram
+        // is the greppable evidence that an mmap boot skips the parse
+        // (`kb_load_seconds{backend="mmap"}` vs `backend="mem"`). The
+        // trace event carries no duration — traces stay byte-deterministic
+        // under a fixed seed; timings belong to the histogram.
+        let load_started = Instant::now();
+        let (kb, schema, rules) = spec.build()?;
+        obs.metrics()
+            .histogram("kb_load_seconds", &[("backend", spec.backend())])
+            .record(load_started.elapsed());
+        if let Some(tracer) = obs.tracer() {
+            tracer.emit(
+                JsonObj::new()
+                    .str("ev", "kb_load")
+                    .str("kb", &name)
+                    .str("backend", spec.backend())
+                    .num("instances", kb.num_instances() as u64)
+                    .num("edges", kb.num_edges() as u64)
+                    .finish(),
+            );
+        }
         let ctx = MatchContext::with_registry(kb, Arc::clone(&registry)).with_obs(Arc::clone(&obs));
         ctx.prewarm(&rules);
         // Create the value cache now: a `--cache-dir` snapshot warm-loads
@@ -261,6 +361,70 @@ mod tests {
         assert!(KbSpec::parse("nobel:1:2:3").is_err());
         assert!(KbSpec::parse("nobel-mini:5").is_err());
         assert!(KbSpec::parse("freebase").is_err());
+    }
+
+    #[test]
+    fn kb_image_spec_grammar() {
+        assert_eq!(
+            KbSpec::parse_image("nobel-mini=/tmp/x.drkb").unwrap(),
+            KbSpec::Image {
+                family: ImageFamily::NobelMini,
+                path: PathBuf::from("/tmp/x.drkb"),
+            }
+        );
+        assert_eq!(KbSpec::parse_image("uis=rel/a.drkb").unwrap().name(), "uis");
+        assert!(KbSpec::parse_image("nobel-mini").is_err());
+        assert!(KbSpec::parse_image("nobel-mini=").is_err());
+        assert!(KbSpec::parse_image("freebase=/tmp/x.drkb").is_err());
+        assert_eq!(KbSpec::parse_image("nobel=/a").unwrap().backend(), "mmap");
+        assert_eq!(KbSpec::NobelMini.backend(), "mem");
+    }
+
+    #[test]
+    fn image_spec_serves_like_memory() {
+        let path = std::env::temp_dir().join(format!("dr-serve-image-{}.drkb", std::process::id()));
+        let kb = dr_kb::fixtures::nobel_mini_kb();
+        dr_kb::write_image(&path, &kb).expect("pack fixture");
+
+        let obs = Arc::new(Obs::new());
+        let state = build_state(
+            &[KbSpec::Image {
+                family: ImageFamily::NobelMini,
+                path: path.clone(),
+            }],
+            RegistryConfig::default(),
+            Arc::clone(&obs),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let entry = state.entry("nobel-mini").expect("entry exists");
+        assert_eq!(entry.kb.backend(), "mmap");
+        assert_eq!(entry.kb.content_hash(), kb.content_hash());
+        assert_eq!(entry.kb.num_instances(), kb.num_instances());
+        assert!(entry.ctx.index_count() > 0, "prewarm ran against the image");
+        let dump = obs.metrics().snapshot().render_prom();
+        assert!(
+            dump.contains("kb_load_seconds") && dump.contains("backend=\"mmap\""),
+            "kb_load_seconds{{backend=mmap}} recorded: {dump}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn image_spec_reports_open_errors() {
+        let obs = Arc::new(Obs::new());
+        let err = build_state(
+            &[KbSpec::Image {
+                family: ImageFamily::Nobel,
+                path: PathBuf::from("/nonexistent/missing.drkb"),
+            }],
+            RegistryConfig::default(),
+            obs,
+            ServeConfig::default(),
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(err.contains("missing.drkb"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Differential tests for the `.drkb` mmap KB backend: the in-memory
+//! [`dr_kb::KnowledgeBase`] is the oracle, the packed-and-reopened
+//! [`dr_kb::MappedKb`] is the implementation under test. Randomized KBs
+//! (proptest over generator seeds) pin the whole query surface; the Nobel
+//! and UIS fixture worlds pin end-to-end `parallel_repair` outputs at one
+//! and four worker threads.
+//!
+//! Set `DR_QUICK=1` to shrink the property-test case counts for CI smoke
+//! legs; the fixture-world tests always run in full.
+
+use dr_datasets::{KbFlavor, KbProfile, NobelWorld, UisWorld};
+use dr_integration_tests::differential::{
+    assert_backends_agree, assert_repairs_agree, pack_and_open, proptest_cases, random_kb,
+};
+use dr_kb::pack;
+use dr_relation::noise::{inject, NoiseSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(proptest_cases(48)))]
+
+    /// Every query surface answers identically across backends, for
+    /// arbitrary generator seeds — arbitrary taxonomy forests, label
+    /// collisions, literal mixes, and edge densities.
+    #[test]
+    fn randomized_kbs_answer_identically(seed in any::<u64>()) {
+        let kb = random_kb(seed);
+        let packed = pack_and_open(&kb, "prop");
+        assert_backends_agree(&kb, &packed.mapped);
+    }
+
+    /// Packing is deterministic for every generated KB: same triples,
+    /// byte-identical image.
+    #[test]
+    fn packing_randomized_kbs_is_deterministic(seed in any::<u64>()) {
+        let kb = random_kb(seed);
+        prop_assert_eq!(pack(&kb), pack(&kb));
+    }
+}
+
+/// The degenerate smallest KB round-trips too.
+#[test]
+fn empty_kb_round_trips() {
+    let kb = dr_kb::graph::KbBuilder::new()
+        .finalize()
+        .expect("empty KB finalizes");
+    let packed = pack_and_open(&kb, "empty");
+    assert_backends_agree(&kb, &packed.mapped);
+}
+
+#[test]
+fn nobel_mini_queries_and_repairs_agree() {
+    let kb = dr_kb::fixtures::nobel_mini_kb();
+    let packed = pack_and_open(&kb, "nobel-mini");
+    assert_backends_agree(&kb, &packed.mapped);
+    // Rules built against the image must repair exactly like rules built
+    // against the oracle — same candidates, same rewrites, same marks.
+    let rules = dr_core::fixtures::figure4_rules(&packed.mapped);
+    assert_repairs_agree(
+        &kb,
+        &packed.mapped,
+        &rules,
+        &dr_core::fixtures::table1_dirty(),
+    );
+}
+
+#[test]
+fn nobel_world_queries_and_repairs_agree() {
+    let world = NobelWorld::generate(120, 23);
+    let clean = world.clean_relation();
+    let name = clean.schema().attr_expect("Name");
+    let (dirty, _) = inject(
+        &clean,
+        &NoiseSpec::new(0.12, 23).with_excluded(vec![name]),
+        &world.semantic_source(),
+    );
+    for flavor in [KbFlavor::YagoLike, KbFlavor::DbpediaLike] {
+        let kb = world.kb(&KbProfile::of(flavor));
+        let packed = pack_and_open(&kb, "nobel");
+        assert_backends_agree(&kb, &packed.mapped);
+        let rules = NobelWorld::rules(&packed.mapped);
+        assert_repairs_agree(&kb, &packed.mapped, &rules, &dirty);
+    }
+}
+
+#[test]
+fn uis_world_queries_and_repairs_agree() {
+    let world = UisWorld::generate(150, 29);
+    let clean = world.clean_relation();
+    let name = clean.schema().attr_expect("Name");
+    let (dirty, _) = inject(
+        &clean,
+        &NoiseSpec::new(0.12, 29).with_excluded(vec![name]),
+        &world.semantic_source(),
+    );
+    for flavor in [KbFlavor::YagoLike, KbFlavor::DbpediaLike] {
+        let kb = world.kb(&KbProfile::of(flavor));
+        let packed = pack_and_open(&kb, "uis");
+        assert_backends_agree(&kb, &packed.mapped);
+        let rules = UisWorld::rules(&packed.mapped);
+        assert_repairs_agree(&kb, &packed.mapped, &rules, &dirty);
+    }
+}
