@@ -15,17 +15,21 @@
 //! bit-identical to the sequential [`FastRepairer`] regardless of claim
 //! granularity.
 //!
-//! Rows whose worker panicked are re-run exactly once, on fresh worker
-//! threads spawned after the first pass drains (DESIGN.md §4c): transient
-//! faults heal to the fault-free result, deterministic ones report
-//! [`TupleOutcome::Failed`] as before, and the attempt count lands in
-//! [`ResilienceReport::retried`](crate::repair::resilience::ResilienceReport).
+//! Rows whose worker panicked are re-run under a configurable
+//! [`RetryPolicy`] (DESIGN.md §4c/§9), on fresh worker threads spawned
+//! after each pass drains: transient faults heal to the fault-free result,
+//! deterministic ones report [`TupleOutcome::Failed`] once the attempt cap
+//! is reached, and every retry attempt lands in
+//! [`ResilienceReport::retried`](crate::repair::resilience::ResilienceReport)
+//! and the `retry_attempts_total{attempt}` counter. The default policy is
+//! the historical behavior — one retry, no backoff.
 
 use crate::context::MatchContext;
 use crate::repair::basic::{PhaseTimings, RelationReport, TupleReport};
 use crate::repair::cache::ElementCache;
 use crate::repair::fast::FastRepairer;
 use crate::repair::resilience::TupleOutcome;
+use crate::repair::retry::RetryPolicy;
 use crate::rule::apply::ApplyOptions;
 use crate::rule::DetectiveRule;
 use dr_obs::Histogram;
@@ -50,6 +54,9 @@ pub struct ParallelOptions {
     /// Rows per claim when `batch_claim` is set (`0` = auto-tune from the
     /// relation width: narrow relations take bigger batches).
     pub batch_size: usize,
+    /// Retry/backoff policy for rows whose worker panicked. The default is
+    /// the historical one-shot retry with no backoff.
+    pub retry: RetryPolicy,
     /// Deterministic per-row faults to inject (tests/chaos harnesses only;
     /// see [`FaultPlan`](crate::repair::fault::FaultPlan)). `None` injects
     /// nothing. With a plan set, the scheduler path runs even for one
@@ -172,38 +179,48 @@ pub fn parallel_repair(
         }
     });
 
-    // Retry policy: each panicked row gets exactly one more attempt, on a
-    // fresh worker thread spawned after the first pass fully drained. A
-    // transient fault (a poisoned thread-local, an injected `PanicOnce`)
-    // heals to the same report a fault-free run produces — tuples are
-    // independent, so running the row late changes nothing — while a
-    // deterministic panic fails again and keeps its `Failed` outcome. The
-    // fault plan is triggered on the retry too, so injected faults decide
-    // for themselves whether they are transient. A genuine mid-repair
-    // panic leaves at worst a prefix of atomic rule applications; the
-    // retry continues the chase from that state toward the same fixpoint.
-    let retry_rows: Vec<usize> = slots
-        .iter()
-        .enumerate()
-        .filter(|(_, slot)| {
-            matches!(
-                &*slot.lock(),
-                Some(TupleReport {
-                    outcome: TupleOutcome::Failed { .. },
-                    ..
-                })
-            )
-        })
-        .map(|(row, _)| row)
-        .collect();
-    let retried = retry_rows.len();
-    if retried > 0 {
+    // Retry policy (DESIGN.md §4c/§9): rows still `Failed` after a pass
+    // are re-claimed by fresh worker threads, up to `opts.retry`'s total
+    // attempt cap, with the policy's deterministic exponential backoff
+    // slept by the claiming worker just before the re-run. A transient
+    // fault (a poisoned thread-local, an injected `PanicOnce`) heals to
+    // the same report a fault-free run produces — tuples are independent,
+    // so running a row late changes nothing — while a deterministic panic
+    // fails on every attempt and keeps its `Failed` outcome once the cap
+    // is reached. The fault plan is triggered on every attempt too, so
+    // injected faults decide for themselves whether they are transient. A
+    // genuine mid-repair panic leaves at worst a prefix of atomic rule
+    // applications; the retry continues the chase from that state toward
+    // the same fixpoint.
+    let mut retried = 0usize;
+    let mut retry_attempt_counts: Vec<(u32, usize)> = Vec::new();
+    for attempt in 2..=opts.retry.attempts() {
+        let retry_rows: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| {
+                matches!(
+                    &*slot.lock(),
+                    Some(TupleReport {
+                        outcome: TupleOutcome::Failed { .. },
+                        ..
+                    })
+                )
+            })
+            .map(|(row, _)| row)
+            .collect();
+        if retry_rows.is_empty() {
+            break;
+        }
+        retried += retry_rows.len();
+        retry_attempt_counts.push((attempt, retry_rows.len()));
         if let Some(t) = tracer {
             for &row in &retry_rows {
                 crate::obs::trace_retry(t, row);
             }
         }
         let retry_next = AtomicUsize::new(0);
+        let policy = &opts.retry;
         std::thread::scope(|scope| {
             // `retry_rows.len() <= rows.len()`, so retry worker indexes stay
             // within the per-worker tally arrays sized above.
@@ -217,6 +234,10 @@ pub fn parallel_repair(
                     let i = retry_next.fetch_add(1, Ordering::Relaxed);
                     let Some(&row) = retry_rows.get(i) else { break };
                     claimed[w].fetch_add(1, Ordering::Relaxed);
+                    let backoff = policy.backoff(row, attempt);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
                     *slots[row].lock() = Some(repair_row(
                         repairer,
                         ctx,
@@ -268,6 +289,13 @@ pub fn parallel_repair(
                 .add(claimed[w].load(Ordering::Relaxed));
             m.counter("scheduler_steal_attempts_total", &labels)
                 .add(attempts[w].load(Ordering::Relaxed));
+        }
+        // Per-attempt retry counts; summed over attempts this equals
+        // `ResilienceReport::retried` (and `repair_retries_total`).
+        for (attempt, n) in &retry_attempt_counts {
+            let label = attempt.to_string();
+            m.counter("retry_attempts_total", &[("attempt", label.as_str())])
+                .add(*n as u64);
         }
         crate::obs::record_relation(obs, "parallel", &report);
     }

@@ -123,12 +123,15 @@ pub struct ResilienceReport {
     /// repair ever saw them (filled in by the pipeline that loaded the
     /// relation; repairers leave it zero).
     pub quarantined: usize,
-    /// Rows whose first attempt panicked and were re-run once on a fresh
-    /// worker by [`parallel_repair`](crate::repair::parallel). Counts
-    /// retry *attempts*: a healed row still shows here (its outcome is
-    /// `Completed`), and a row that panicked again counts here *and* in
-    /// [`failed`](Self::failed). Advisory — a retried-but-healed run is
-    /// still [`is_clean`](Self::is_clean).
+    /// Retry *attempts* performed by
+    /// [`parallel_repair`](crate::repair::parallel) under its
+    /// [`RetryPolicy`](crate::repair::retry::RetryPolicy): every re-run of
+    /// a panicked row counts once, so a row that failed twice before
+    /// healing on its third attempt contributes 2. A healed row still
+    /// shows here (its outcome is `Completed`), and a row that exhausted
+    /// the attempt cap counts here *and* in [`failed`](Self::failed).
+    /// Advisory — a retried-but-healed run is still
+    /// [`is_clean`](Self::is_clean).
     pub retried: usize,
     /// Step spend at exhaustion for every degraded tuple.
     pub exhaustion: BudgetHistogram,

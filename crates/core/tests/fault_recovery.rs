@@ -9,11 +9,12 @@ use dr_core::fixtures::{figure4_rules, nobel_schema, table1_dirty};
 use dr_core::repair::fault::silence_injected_panics;
 use dr_core::{
     fast_repair, parallel_repair, ApplyOptions, CacheRegistry, ExhaustCause, Fault, FaultPlan,
-    FaultSpec, MatchContext, ParallelOptions, RelationReport, TupleOutcome,
+    FaultSpec, MatchContext, ParallelOptions, RelationReport, RetryPolicy, TupleOutcome,
 };
 use dr_relation::Relation;
 use proptest::prelude::*;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Table I repeated `copies` times.
 fn stacked_table1(copies: usize) -> Relation {
@@ -318,6 +319,83 @@ fn forced_exhaustion_degrades_planned_rows() {
                 cell.row
             );
         }
+    }
+}
+
+/// Retry-policy accounting under fault injection (DESIGN.md §9): a
+/// 4-attempt policy re-runs a deterministic panic exactly 3 times before
+/// accepting the failure, heals a one-shot panic on its first retry, and
+/// the books balance three ways — the `ResilienceReport` tallies, the
+/// `repair_tuples_total{outcome}` / `repair_retries_total` counters, and
+/// the per-attempt `retry_attempts_total` series.
+#[test]
+fn retry_policy_caps_attempts_and_reconciles_metrics() {
+    silence_injected_panics();
+    let kb = dr_kb::fixtures::nobel_mini_kb();
+    let rules = figure4_rules(&kb);
+    let obs = Arc::new(dr_obs::Obs::new());
+    let ctx = MatchContext::new(&kb).with_obs(Arc::clone(&obs));
+
+    let plan = FaultPlan::new()
+        .with_fault(2, Fault::Panic) // fails on every attempt
+        .with_fault(5, Fault::PanicOnce); // heals on the first retry
+    let mut relation = stacked_table1(3); // 12 rows
+    let opts = ParallelOptions {
+        threads: 4,
+        retry: RetryPolicy::with_attempts(4)
+            .with_backoff(Duration::from_millis(1), Duration::from_millis(2))
+            .with_seed(11),
+        fault_plan: Some(Arc::new(plan)),
+        ..Default::default()
+    };
+    let report = parallel_repair(&ctx, &rules, &mut relation, &opts);
+
+    // The cap holds: row 2 gets 3 retries (attempts 2..=4) then stays
+    // Failed; row 5 heals with 1 retry. 4 retry attempts in total.
+    assert_eq!(failed_rows(&report), vec![2]);
+    assert_eq!(report.resilience.failed, 1);
+    assert_eq!(
+        report.resilience.retried, 4,
+        "3 capped retries for row 2 + 1 healing retry for row 5"
+    );
+
+    let snap = obs.metrics().snapshot();
+    let res = &report.resilience;
+    // res d/f/q/r ↔ outcome counters.
+    assert_eq!(
+        snap.counter(
+            "repair_tuples_total",
+            "algo=\"parallel\",outcome=\"completed\""
+        ),
+        Some((relation.len() - res.failed - res.degraded) as u64)
+    );
+    assert_eq!(
+        snap.counter(
+            "repair_tuples_total",
+            "algo=\"parallel\",outcome=\"failed\""
+        ),
+        Some(res.failed as u64)
+    );
+    assert_eq!(res.degraded, 0);
+    assert_eq!(res.quarantined, 0);
+    assert_eq!(snap.counter_total("repair_quarantined_total"), 0);
+    // retried ↔ repair_retries_total ↔ Σ retry_attempts_total{attempt}.
+    assert_eq!(
+        snap.counter_total("repair_retries_total"),
+        res.retried as u64
+    );
+    assert_eq!(
+        snap.counter_total("retry_attempts_total"),
+        res.retried as u64
+    );
+    // Per-attempt shape: both rows run on attempt 2; only the
+    // deterministic panic is still failed for attempts 3 and 4.
+    for (attempt, expected) in [(2u32, 2u64), (3, 1), (4, 1)] {
+        assert_eq!(
+            snap.counter("retry_attempts_total", &format!("attempt=\"{attempt}\"")),
+            Some(expected),
+            "attempt {attempt}"
+        );
     }
 }
 

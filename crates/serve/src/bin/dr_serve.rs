@@ -25,17 +25,34 @@
 //! * `--deadline-ms <n>` — default per-tuple deadline for requests that
 //!   do not pass their own (default: unbounded).
 //! * `--max-steps <n>` — default per-tuple step cap (default: unbounded).
+//! * survival layer (DESIGN.md §9):
+//!   `--max-inflight <n>` — concurrent repair requests admitted (0 =
+//!   auto from core count); `--max-queue <n>` — waiters beyond that
+//!   before instant shedding (0 = auto); `--queue-wait-ms <n>` — longest
+//!   a queued request waits before `429`; `--retry-attempts <n>` /
+//!   `--retry-backoff-ms <n>` — default retry policy for failed rows;
+//!   `--idle-ms <n>` — keep-alive idle timeout;
+//!   `--max-requests-per-conn <n>` — keep-alive request cap (0 =
+//!   unlimited); `--breaker-threshold <n>` — consecutive failed repairs
+//!   that mark a KB degraded (0 = off); `--breaker-cooldown-ms <n>` —
+//!   fail-fast window before a probe; `--drain-ms <n>` — SIGTERM drain
+//!   deadline (default 30000).
 //! * observability: `--trace <path>`, `--trace-sample`, `--trace-seed`,
 //!   `--metrics-out` (the metric registry is always on — `/metrics` needs
 //!   it — so `--metrics` only controls the exit dump).
+//!
+//! On SIGTERM/SIGINT the server drains: `/readyz` flips to 503, new
+//! repairs are refused, in-flight streams finish (up to `--drain-ms`),
+//! cache snapshots and the final obs dump are flushed, and the process
+//! exits 0.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use dr_core::RegistryConfig;
+use dr_core::{RegistryConfig, RetryPolicy};
 use dr_eval::obsflags::ObsCli;
 use dr_obs::Obs;
-use dr_serve::{build_state, KbSpec, ServeConfig, Server};
+use dr_serve::{build_state, AdmissionConfig, KbSpec, ServeConfig, Server};
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
     args.iter()
@@ -94,11 +111,42 @@ fn main() {
     if let Some(dir) = flag_value(&args, "--cache-dir") {
         registry_config = registry_config.with_cache_dir(dir);
     }
+    let defaults = ServeConfig::default();
+    let mut retry = RetryPolicy::default();
+    if let Some(attempts) = parsed_flag(&args, "--retry-attempts") {
+        retry.max_attempts = attempts;
+    }
+    if let Some(ms) = parsed_flag::<u64>(&args, "--retry-backoff-ms") {
+        retry.base_backoff = Duration::from_millis(ms);
+    }
     let config = ServeConfig {
         repair_threads: parsed_flag(&args, "--threads").unwrap_or(0),
         default_deadline: parsed_flag::<u64>(&args, "--deadline-ms").map(Duration::from_millis),
         default_max_steps: parsed_flag(&args, "--max-steps").unwrap_or(0),
+        admission: AdmissionConfig {
+            max_inflight_repairs: parsed_flag(&args, "--max-inflight").unwrap_or(0),
+            max_queue: parsed_flag(&args, "--max-queue").unwrap_or(0),
+            queue_wait: parsed_flag::<u64>(&args, "--queue-wait-ms")
+                .map(Duration::from_millis)
+                .unwrap_or(defaults.admission.queue_wait),
+            ..AdmissionConfig::default()
+        },
+        retry,
+        max_requests_per_conn: parsed_flag(&args, "--max-requests-per-conn")
+            .unwrap_or(defaults.max_requests_per_conn),
+        idle_timeout: parsed_flag::<u64>(&args, "--idle-ms")
+            .map(Duration::from_millis)
+            .unwrap_or(defaults.idle_timeout),
+        breaker_threshold: parsed_flag(&args, "--breaker-threshold")
+            .unwrap_or(defaults.breaker_threshold),
+        breaker_cooldown: parsed_flag::<u64>(&args, "--breaker-cooldown-ms")
+            .map(Duration::from_millis)
+            .unwrap_or(defaults.breaker_cooldown),
+        ..defaults
     };
+    let drain_deadline = parsed_flag::<u64>(&args, "--drain-ms")
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_secs(30));
 
     // `/metrics` needs a registry regardless of --metrics; the flag only
     // decides whether a metrics.prom dump is written on exit.
@@ -139,10 +187,76 @@ fn main() {
         }
     }
 
-    // Serve until killed. The registry is persisted after every repair,
-    // so an external SIGKILL loses no cache state worth keeping; the
-    // final obs dump only happens on clean exits, which a long-lived
-    // server does not have.
-    server.join();
-    obs_cli.finish();
+    // Serve until signalled. SIGTERM/SIGINT drains gracefully: readiness
+    // flips, in-flight streams finish under --drain-ms, snapshots and the
+    // obs dump are flushed, and the process exits 0. A SIGKILL still
+    // loses nothing vital — the registry persists after every repair.
+    #[cfg(unix)]
+    {
+        sig::install();
+        loop {
+            if sig::pending() {
+                eprintln!(
+                    "dr-serve: termination signal; draining (deadline {} ms)",
+                    drain_deadline.as_millis()
+                );
+                let drained = server.drain(drain_deadline);
+                eprintln!(
+                    "dr-serve: drain {}",
+                    if drained {
+                        "complete"
+                    } else {
+                        "deadline exceeded; exiting with requests in flight"
+                    }
+                );
+                obs_cli.finish();
+                // Skip joining acceptors: an idle keep-alive peer could
+                // hold one until its idle timeout, and everything durable
+                // is already flushed.
+                std::process::exit(0);
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = drain_deadline;
+        server.join();
+        obs_cli.finish();
+    }
+}
+
+/// Minimal signal hookup without a libc dependency: `signal(2)` is
+/// declared directly (the same idiom as `dr-kb`'s mmap bindings) and the
+/// handler only stores an atomic flag — the drain itself runs on the main
+/// thread, where blocking and allocation are safe.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::Release);
+    }
+
+    /// Routes SIGTERM and SIGINT to the flag.
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_term as *const () as usize);
+            signal(SIGINT, on_term as *const () as usize);
+        }
+    }
+
+    /// Whether a termination signal has arrived.
+    pub fn pending() -> bool {
+        TERM.load(Ordering::Acquire)
+    }
 }

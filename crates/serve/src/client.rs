@@ -1,7 +1,8 @@
-//! A minimal blocking HTTP/1.1 client for the load generator, the CI
-//! smoke leg, and the integration tests — enough to talk to `dr-serve`
-//! (fixed-length and chunked responses, `connection: close`), nothing
-//! more.
+//! A minimal blocking HTTP/1.1 client for the load generator, the chaos
+//! harness, the CI smoke leg, and the integration tests — enough to talk
+//! to `dr-serve` (fixed-length and chunked responses, one-shot
+//! `connection: close` requests and persistent keep-alive
+//! [`Connection`]s), nothing more.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -47,6 +48,64 @@ pub fn request(
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
 
+    write_request(&mut stream, method, target, content_type, body, false)?;
+    read_response(&mut BufReader::new(stream))
+}
+
+/// Convenience GET.
+pub fn get(addr: impl ToSocketAddrs, target: &str) -> std::io::Result<ClientResponse> {
+    request(addr, "GET", target, "", &[])
+}
+
+/// A persistent keep-alive connection: many requests over one socket.
+///
+/// Each [`request`](Self::request) sends `connection: keep-alive` and
+/// decodes exactly one framed response, leaving the socket ready for the
+/// next request — the client-side half of the server's keep-alive loop,
+/// used by the chaos harness to prove sockets are actually reused.
+pub struct Connection {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Connection {
+    /// Opens a connection with the default I/O timeouts.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { stream, reader })
+    }
+
+    /// Sends one request on the open socket and reads its response. An
+    /// `Err` means the connection is no longer usable (the server closed
+    /// it, timed it out, or the response was malformed).
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        content_type: &str,
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        write_request(&mut self.stream, method, target, content_type, body, true)?;
+        read_response(&mut self.reader)
+    }
+
+    /// Convenience GET on the open socket.
+    pub fn get(&mut self, target: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", target, "", &[])
+    }
+}
+
+fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    target: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
     write!(stream, "{method} {target} HTTP/1.1\r\nhost: dr-serve\r\n")?;
     if !body.is_empty() {
         write!(
@@ -55,25 +114,22 @@ pub fn request(
             body.len()
         )?;
     }
-    write!(stream, "connection: close\r\n\r\n")?;
+    write!(
+        stream,
+        "connection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" }
+    )?;
     stream.write_all(body)?;
-    stream.flush()?;
-
-    read_response(stream)
-}
-
-/// Convenience GET.
-pub fn get(addr: impl ToSocketAddrs, target: &str) -> std::io::Result<ClientResponse> {
-    request(addr, "GET", target, "", &[])
+    stream.flush()
 }
 
 fn invalid(message: impl Into<String>) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, message.into())
 }
 
-fn read_response(stream: TcpStream) -> std::io::Result<ClientResponse> {
-    let mut reader = BufReader::new(stream);
-
+/// Reads one framed response off `reader`, leaving any bytes after it (the
+/// next keep-alive response) unread.
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<ClientResponse> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
     let status: u16 = status_line
@@ -101,7 +157,7 @@ fn read_response(stream: TcpStream) -> std::io::Result<ClientResponse> {
         .iter()
         .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
     let body = if chunked {
-        read_chunked(&mut reader)?
+        read_chunked(reader)?
     } else if let Some((_, v)) = headers.iter().find(|(k, _)| k == "content-length") {
         let len: usize = v
             .parse()

@@ -13,6 +13,7 @@ use dr_kb::quarantine::{LenientOptions, Quarantine};
 use dr_obs::json::escape_into;
 use dr_relation::Relation;
 
+use crate::admission::Admission;
 use crate::http::Request;
 use crate::state::{KbEntry, ServerState};
 
@@ -22,6 +23,8 @@ pub struct Response {
     pub status: u16,
     /// `content-type` header value.
     pub content_type: &'static str,
+    /// Extra headers beyond content-type/framing (e.g. `retry-after`).
+    pub headers: Vec<(&'static str, String)>,
     /// Response body.
     pub body: Body,
 }
@@ -39,6 +42,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: Body::Full(body.into_bytes()),
         }
     }
@@ -48,6 +52,11 @@ impl Response {
         escape_into(&mut body, message);
         body.push_str("\"}");
         Response::json(status, body)
+    }
+
+    fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.headers.push((name, value));
+        self
     }
 
     /// The body as one buffer (lines joined with `\n`, trailing newline) —
@@ -74,6 +83,7 @@ pub fn handle(state: &ServerState, req: &Request) -> Response {
     let started = Instant::now();
     let (route, response) = match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => ("healthz", healthz(state)),
+        ("GET", "/readyz") => ("readyz", readyz(state)),
         ("GET", "/metrics") => ("metrics", metrics(state)),
         ("GET", "/kbs") => ("kbs", kbs(state)),
         (method, path) => {
@@ -120,10 +130,22 @@ fn healthz(state: &ServerState) -> Response {
     Response::json(200, body)
 }
 
+/// Readiness, split from liveness: a draining server is still *alive*
+/// (`/healthz` 200 — don't restart it, it is finishing work) but no longer
+/// *ready* (`/readyz` 503 — take it out of the balancer rotation).
+fn readyz(state: &ServerState) -> Response {
+    if state.lifecycle.is_draining() {
+        Response::error(503, "draining")
+    } else {
+        Response::json(200, "{\"status\":\"ready\"}".to_owned())
+    }
+}
+
 fn metrics(state: &ServerState) -> Response {
     Response {
         status: 200,
         content_type: "text/plain; version=0.0.4",
+        headers: Vec::new(),
         body: Body::Full(state.obs.metrics().snapshot().render_prom().into_bytes()),
     }
 }
@@ -149,11 +171,16 @@ fn kbs(state: &ServerState) -> Response {
         }
         body.push_str("],");
         body.push_str(&format!(
-            "\"rules\":{},\"instances\":{},\"edges\":{},\"literals\":{}}}",
+            "\"rules\":{},\"instances\":{},\"edges\":{},\"literals\":{},\"health\":\"{}\"}}",
             entry.rules.len(),
             entry.kb.num_instances(),
             entry.kb.num_edges(),
             entry.kb.num_literals(),
+            if entry.health.is_degraded() {
+                "degraded"
+            } else {
+                "ok"
+            },
         ));
     }
     body.push_str("]}");
@@ -165,7 +192,15 @@ struct RepairParams {
     deadline_ms: Option<u64>,
     max_steps: Option<u64>,
     threads: Option<usize>,
+    retry_attempts: Option<u32>,
+    retry_backoff_ms: Option<u64>,
+    retry_seed: Option<u64>,
     label: String,
+    /// Seeded per-row faults (chaos harness only): `(seed, spec)`, built
+    /// into a [`FaultPlan`](dr_core::FaultPlan) once the row count is
+    /// known.
+    #[cfg(feature = "fault-injection")]
+    fault: Option<(u64, dr_core::FaultSpec)>,
 }
 
 fn parse_params(req: &Request) -> Result<RepairParams, String> {
@@ -188,11 +223,42 @@ fn parse_params(req: &Request) -> Result<RepairParams, String> {
             l.to_owned()
         }
     };
+    let has_fault_params = req.query.split('&').any(|pair| {
+        pair.split('=')
+            .next()
+            .is_some_and(|k| k.starts_with("fault_"))
+    });
+    #[cfg(not(feature = "fault-injection"))]
+    if has_fault_params {
+        return Err(
+            "fault_* parameters need a server built with --features fault-injection".into(),
+        );
+    }
+    #[cfg(feature = "fault-injection")]
+    let fault = if has_fault_params {
+        let spec = dr_core::FaultSpec {
+            panic_rate: num::<f64>(req, "fault_panic_rate")?.unwrap_or(0.0),
+            panic_once_rate: num::<f64>(req, "fault_panic_once_rate")?.unwrap_or(0.0),
+            slow_rate: num::<f64>(req, "fault_slow_rate")?.unwrap_or(0.0),
+            slow_duration: std::time::Duration::from_millis(
+                num::<u64>(req, "fault_slow_ms")?.unwrap_or(10),
+            ),
+            exhaust_rate: num::<f64>(req, "fault_exhaust_rate")?.unwrap_or(0.0),
+        };
+        Some((num::<u64>(req, "fault_seed")?.unwrap_or(0), spec))
+    } else {
+        None
+    };
     Ok(RepairParams {
         deadline_ms: num(req, "deadline_ms")?,
         max_steps: num(req, "max_steps")?,
         threads: num(req, "threads")?,
+        retry_attempts: num(req, "retry_attempts")?,
+        retry_backoff_ms: num(req, "retry_backoff_ms")?,
+        retry_seed: num(req, "retry_seed")?,
         label,
+        #[cfg(feature = "fault-injection")]
+        fault,
     })
 }
 
@@ -200,9 +266,37 @@ fn repair(state: &ServerState, kb_name: &str, req: &Request) -> Response {
     let Some(entry) = state.entry(kb_name) else {
         return Response::error(404, &format!("no KB named {kb_name:?}; see /kbs"));
     };
+    if state.lifecycle.is_draining() {
+        // In-flight repairs finish across a drain; *new* ones are refused
+        // so the drain deadline is spent finishing, not starting.
+        return Response::error(503, "server is draining").with_header("retry-after", "1".into());
+    }
     let params = match parse_params(req) {
         Ok(p) => p,
         Err(msg) => return Response::error(400, &msg),
+    };
+    if !entry.health.allow() {
+        return Response::error(
+            503,
+            &format!("KB {kb_name:?} is degraded (breaker open); see /kbs"),
+        )
+        .with_header(
+            "retry-after",
+            state.config.breaker_cooldown.as_secs().max(1).to_string(),
+        );
+    }
+
+    // Admission: everything beyond this point (body parse + repair) holds
+    // a permit, so the in-flight cap bounds memory and scheduler load, not
+    // just repair concurrency.
+    let _permit = match state.gate.acquire() {
+        Admission::Granted(permit) => permit,
+        Admission::Shed {
+            retry_after_secs, ..
+        } => {
+            return Response::error(429, "server at capacity; retry later")
+                .with_header("retry-after", retry_after_secs.to_string());
+        }
     };
 
     // Parse the body with the entry's canonical schema *name* so the
@@ -237,12 +331,28 @@ fn repair(state: &ServerState, kb_name: &str, req: &Request) -> Response {
         .ctx
         .fork()
         .with_budget(state.budget(params.deadline_ms, params.max_steps));
+    let mut retry = state.config.retry;
+    if let Some(attempts) = params.retry_attempts {
+        retry.max_attempts = attempts;
+    }
+    if let Some(ms) = params.retry_backoff_ms {
+        retry.base_backoff = std::time::Duration::from_millis(ms);
+    }
+    if let Some(seed) = params.retry_seed {
+        retry.seed = seed;
+    }
     let opts = ParallelOptions {
         threads: params.threads.unwrap_or(state.config.repair_threads),
+        retry,
+        #[cfg(feature = "fault-injection")]
+        fault_plan: params.fault.map(|(seed, spec)| {
+            std::sync::Arc::new(dr_core::FaultPlan::seeded(seed, relation.len(), spec))
+        }),
         ..ParallelOptions::default()
     };
     let mut report = parallel_repair(&ctx, &entry.rules, &mut relation, &opts);
     report.resilience.add_quarantined(quarantine.quarantined());
+    entry.health.record(report.resilience.failed == 0);
 
     // Persist after every repair: the snapshot directory stays current
     // even if the process is killed, and concurrent requests exercising
@@ -258,6 +368,7 @@ fn repair(state: &ServerState, kb_name: &str, req: &Request) -> Response {
     Response {
         status: 200,
         content_type: "application/x-ndjson",
+        headers: Vec::new(),
         body: Body::Lines(render_ndjson(entry, &relation, &report, &quarantine)),
     }
 }
@@ -416,6 +527,7 @@ mod tests {
             query: String::new(),
             headers: Vec::new(),
             body: Vec::new(),
+            http11: true,
         }
     }
 
@@ -426,6 +538,7 @@ mod tests {
             query: query.into(),
             headers: vec![("content-type".into(), "text/csv".into())],
             body: body.as_bytes().to_vec(),
+            http11: true,
         }
     }
 
@@ -534,6 +647,7 @@ mod tests {
             query: String::new(),
             headers: vec![("content-type".into(), "application/json".into())],
             body: body.as_bytes().to_vec(),
+            http11: true,
         };
         let resp = handle(&state, &req);
         assert_eq!(resp.status, 200);

@@ -1,5 +1,5 @@
 //! A minimal HTTP/1.1 layer over `std::net` — request parsing, response
-//! writing, chunked streaming.
+//! writing, chunked streaming, keep-alive.
 //!
 //! The build environment is fully offline, so there is no tokio/hyper to
 //! lean on; the server is thread-per-connection over blocking sockets,
@@ -7,7 +7,16 @@
 //! over the work-stealing scheduler anyway (DESIGN.md §5). The subset
 //! implemented is what the service needs and nothing more: request line +
 //! headers + `Content-Length` bodies in, fixed or chunked responses out,
-//! `Connection: close` semantics.
+//! HTTP/1.1 persistent connections with explicit `Connection` semantics
+//! (the connection loop in `lib.rs` owns the idle-timeout and
+//! requests-per-connection policy; this layer only parses the client's
+//! preference and stamps the decision onto responses).
+//!
+//! Failure mapping (DESIGN.md §9): a read that times out mid-request is
+//! `408 Request Timeout`; a body above the cap is `413`; an oversized
+//! header block is `431`; everything else malformed is `400`. A peer that
+//! connects and never sends a byte is closed silently — that is a probe or
+//! an idle keep-alive connection, not an error.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -37,6 +46,9 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The body (empty for bodiless requests).
     pub body: Vec<u8>,
+    /// Whether the request line said `HTTP/1.1` (persistent by default)
+    /// rather than `HTTP/1.0` (close by default).
+    pub http11: bool,
 }
 
 impl Request {
@@ -56,13 +68,24 @@ impl Request {
             (k == key).then_some(v)
         })
     }
+
+    /// Whether the client asked (or defaulted) to keep the connection
+    /// open: HTTP/1.1 unless `connection: close`, HTTP/1.0 only with an
+    /// explicit `connection: keep-alive`.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
 }
 
 /// A request-parse failure: the status code and message the connection
 /// should answer with before closing.
 #[derive(Debug)]
 pub struct HttpError {
-    /// Status to answer with (400, 413, ...).
+    /// Status to answer with (400, 408, 413, ...).
     pub status: u16,
     /// Human-readable reason, sent as the body.
     pub message: String,
@@ -75,19 +98,37 @@ impl HttpError {
             message: message.into(),
         }
     }
+
+    fn timeout(during: &str) -> Self {
+        Self {
+            status: 408,
+            message: format!("timed out reading {during}"),
+        }
+    }
 }
 
-/// Reads one request from `stream`. `Ok(None)` means the peer closed the
-/// connection before sending anything (not an error — clients may probe).
-pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, HttpError> {
-    stream.set_read_timeout(Some(IO_TIMEOUT)).ok();
-    stream.set_write_timeout(Some(IO_TIMEOUT)).ok();
-    let mut reader = BufReader::new(stream);
+/// Whether an I/O error is a blocking-socket read timeout (both kinds,
+/// because platforms disagree on which one `SO_RCVTIMEO` surfaces as).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
 
+/// Reads one request from an open connection's reader. `Ok(None)` means
+/// the peer closed — or went idle past the socket's read timeout — before
+/// sending the first byte of a request (not an error: health probes
+/// connect-and-close, and keep-alive clients idle out). A timeout *after*
+/// bytes of a request have arrived is a half-sent request and maps to
+/// `408`.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, HttpError> {
     let mut request_line = String::new();
-    match read_limited_line(&mut reader, &mut request_line) {
+    match read_limited_line(reader, &mut request_line) {
         Ok(0) => return Ok(None),
         Ok(_) => {}
+        Err(e) if is_timeout(&e) && request_line.is_empty() => return Ok(None),
+        Err(e) if is_timeout(&e) => return Err(HttpError::timeout("request line")),
         Err(e) => return Err(HttpError::bad_request(format!("read error: {e}"))),
     }
     let mut parts = request_line.trim_end().splitn(3, ' ');
@@ -107,6 +148,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, HttpError
             "unsupported version {version:?}"
         )));
     }
+    let http11 = version.trim_end() != "HTTP/1.0";
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_owned(), q.to_owned()),
         None => (target.to_owned(), String::new()),
@@ -116,8 +158,13 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, HttpError
     let mut head_bytes = request_line.len();
     loop {
         let mut line = String::new();
-        let n = read_limited_line(&mut reader, &mut line)
-            .map_err(|e| HttpError::bad_request(format!("read error: {e}")))?;
+        let n = read_limited_line(reader, &mut line).map_err(|e| {
+            if is_timeout(&e) {
+                HttpError::timeout("headers")
+            } else {
+                HttpError::bad_request(format!("read error: {e}"))
+            }
+        })?;
         if n == 0 {
             return Err(HttpError::bad_request("connection closed mid-headers"));
         }
@@ -164,9 +211,13 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, HttpError
     }
 
     let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| HttpError::bad_request(format!("short body: {e}")))?;
+    reader.read_exact(&mut body).map_err(|e| {
+        if is_timeout(&e) {
+            HttpError::timeout("body")
+        } else {
+            HttpError::bad_request(format!("short body: {e}"))
+        }
+    })?;
 
     Ok(Some(Request {
         method,
@@ -174,13 +225,14 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, HttpError
         query,
         headers,
         body,
+        http11,
     }))
 }
 
 /// `read_line` with a hard per-line cap, so a malicious peer cannot grow an
 /// unbounded buffer.
 fn read_limited_line(
-    reader: &mut BufReader<&mut TcpStream>,
+    reader: &mut BufReader<TcpStream>,
     out: &mut String,
 ) -> std::io::Result<usize> {
     let mut taken = reader.take(MAX_HEAD_BYTES as u64 + 1);
@@ -200,7 +252,9 @@ fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
@@ -209,21 +263,41 @@ fn status_text(status: u16) -> &'static str {
     }
 }
 
+fn write_head(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    keep_alive: bool,
+    extra_headers: &[(&'static str, String)],
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\n",
+        status,
+        status_text(status),
+        content_type,
+    )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    write!(
+        stream,
+        "connection: {}\r\n",
+        if keep_alive { "keep-alive" } else { "close" }
+    )
+}
+
 /// Writes a complete, fixed-length response.
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
     content_type: &str,
     body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&'static str, String)],
 ) -> std::io::Result<()> {
-    write!(
-        stream,
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
-        status,
-        status_text(status),
-        content_type,
-        body.len()
-    )?;
+    write_head(stream, status, content_type, keep_alive, extra_headers)?;
+    write!(stream, "content-length: {}\r\n\r\n", body.len())?;
     stream.write_all(body)?;
     stream.flush()
 }
@@ -241,14 +315,11 @@ impl<'a> ChunkedResponse<'a> {
         stream: &'a mut TcpStream,
         status: u16,
         content_type: &str,
+        keep_alive: bool,
+        extra_headers: &[(&'static str, String)],
     ) -> std::io::Result<Self> {
-        write!(
-            stream,
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ntransfer-encoding: chunked\r\nconnection: close\r\n\r\n",
-            status,
-            status_text(status),
-            content_type,
-        )?;
+        write_head(stream, status, content_type, keep_alive, extra_headers)?;
+        write!(stream, "transfer-encoding: chunked\r\n\r\n")?;
         Ok(Self { stream })
     }
 

@@ -15,12 +15,22 @@
 //! spends its life blocked on compute, and a handful of them saturate the
 //! machine.
 //!
+//! On top of the pipeline sits the survival layer (DESIGN.md §9):
+//! admission control sheds excess repair load with `429 Retry-After`
+//! instead of queueing it unboundedly ([`admission`]), connections are
+//! keep-alive with idle timeouts and per-connection request caps, each
+//! KB carries a health breaker that fails fast when repairs keep failing,
+//! and [`Server::drain`] turns SIGTERM into a graceful exit: `/readyz`
+//! goes 503, accepting stops, in-flight streams finish under a deadline,
+//! and `.drsnap` snapshots are flushed.
+//!
 //! Endpoints:
 //!
 //! | route                  | method | body                                |
 //! |------------------------|--------|-------------------------------------|
 //! | `/healthz`             | GET    | liveness + uptime                   |
-//! | `/kbs`                 | GET    | served KBs, schemas, rule counts    |
+//! | `/readyz`              | GET    | readiness (503 while draining)      |
+//! | `/kbs`                 | GET    | served KBs, schemas, health         |
 //! | `/metrics`             | GET    | live Prometheus text                |
 //! | `/v1/repair/{kb}`      | POST   | CSV or JSON relation → NDJSON repair stream |
 //!
@@ -31,18 +41,26 @@
 // as typed errors, not panics.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod admission;
 pub mod client;
 pub mod handlers;
 pub mod http;
 pub mod state;
 
+use std::io::BufReader;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
+use crate::admission::AcceptBackoff;
+
+pub use admission::{Admission, AdmissionConfig, AdmissionGate, Permit, ShedReason};
 pub use handlers::{handle, Body, Response};
-pub use state::{build_state, ImageFamily, KbEntry, KbSpec, ServeConfig, ServerState};
+pub use state::{
+    build_state, Breaker, ImageFamily, KbEntry, KbSpec, Lifecycle, ServeConfig, ServerState,
+};
 
 /// A bound, running server: a shared listener drained by a fixed pool of
 /// acceptor threads, each serving one connection at a time end to end.
@@ -75,11 +93,25 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("dr-serve-http-{i}"))
                     .spawn(move || {
+                        let mut backoff = AcceptBackoff::new();
                         while !shutdown.load(Ordering::Acquire) {
                             match listener.accept() {
-                                Ok((stream, _peer)) => serve_connection(&state, stream),
+                                Ok((stream, _peer)) => {
+                                    backoff.on_success();
+                                    serve_connection(&state, &shutdown, stream);
+                                }
                                 Err(_) if shutdown.load(Ordering::Acquire) => break,
-                                Err(_) => continue,
+                                Err(e) => {
+                                    // Transient accept failures (EMFILE,
+                                    // ECONNABORTED, ...) must not busy-spin
+                                    // the acceptor: back off, and log once
+                                    // per error streak.
+                                    let (delay, log) = backoff.on_error();
+                                    if log {
+                                        eprintln!("dr-serve: accept error (backing off): {e}");
+                                    }
+                                    std::thread::sleep(delay);
+                                }
                             }
                         }
                     })?,
@@ -123,40 +155,116 @@ impl Server {
             let _ = TcpStream::connect(self.addr);
         }
     }
+
+    /// Graceful drain (DESIGN.md §9): flips `/readyz` to 503 and refuses
+    /// new repairs, stops accepting, waits up to `deadline` for in-flight
+    /// requests to finish, then flushes `.drsnap` snapshots. Returns
+    /// whether every in-flight request completed within the deadline.
+    ///
+    /// Keep-alive connections close after their current response (the
+    /// connection loop checks the drain flag), so an idle connection never
+    /// holds the drain hostage; a *streaming* response runs to completion
+    /// because the client paid for those bytes.
+    pub fn drain(&self, deadline: Duration) -> bool {
+        self.state.lifecycle.begin_drain();
+        self.shutdown();
+        let started = Instant::now();
+        while self.state.lifecycle.active() > 0 && started.elapsed() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let drained = self.state.lifecycle.active() == 0;
+        // Flush snapshots even on a missed deadline: whatever finished is
+        // worth keeping, and persist() publishes atomically.
+        self.state.registry.persist();
+        drained
+    }
 }
 
-/// Serves one connection: parse, handle, serialize, close.
-fn serve_connection(state: &ServerState, mut stream: TcpStream) {
-    let request = match http::read_request(&mut stream) {
-        Ok(Some(request)) => request,
-        Ok(None) => return, // health probes connect and close
-        Err(e) => {
-            let _ = http::write_response(
+/// Serves one connection: a keep-alive loop of parse → handle → serialize,
+/// until the client closes, asks to close, idles out, hits the
+/// per-connection request cap, or the server starts draining.
+fn serve_connection(state: &ServerState, shutdown: &AtomicBool, mut stream: TcpStream) {
+    let metrics = state.obs.metrics();
+    metrics.counter("serve_connections_total", &[]).inc();
+    stream.set_write_timeout(Some(http::IO_TIMEOUT)).ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut served = 0usize;
+
+    loop {
+        // First request: the client connected to talk, give it the full
+        // header window. Later requests: an idle keep-alive connection
+        // only ties up this acceptor, so time out sooner.
+        let read_timeout = if served == 0 {
+            state.config.header_timeout
+        } else {
+            state.config.idle_timeout
+        };
+        stream.set_read_timeout(Some(read_timeout)).ok();
+
+        let request = match http::read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // probe, clean close, or idle timeout
+            Err(e) => {
+                let _ = http::write_response(
+                    &mut stream,
+                    e.status,
+                    "application/json",
+                    format!("{{\"error\":{:?}}}", e.message).as_bytes(),
+                    false,
+                    &[],
+                );
+                return;
+            }
+        };
+        served += 1;
+        if served > 1 {
+            metrics.counter("serve_keepalive_reuse_total", &[]).inc();
+        }
+
+        let _active = state.lifecycle.track();
+        let response = handlers::handle(state, &request);
+        let cap = state.config.max_requests_per_conn;
+        let keep_alive = request.wants_keep_alive()
+            && (cap == 0 || served < cap)
+            && !state.lifecycle.is_draining()
+            && !shutdown.load(Ordering::Acquire);
+        let result = match &response.body {
+            Body::Full(bytes) => http::write_response(
                 &mut stream,
-                e.status,
-                "application/json",
-                format!("{{\"error\":{:?}}}", e.message).as_bytes(),
-            );
+                response.status,
+                response.content_type,
+                bytes,
+                keep_alive,
+                &response.headers,
+            ),
+            Body::Lines(lines) => (|| {
+                let mut chunked = http::ChunkedResponse::begin(
+                    &mut stream,
+                    response.status,
+                    response.content_type,
+                    keep_alive,
+                    &response.headers,
+                )?;
+                for line in lines {
+                    let mut framed = Vec::with_capacity(line.len() + 1);
+                    framed.extend_from_slice(line.as_bytes());
+                    framed.push(b'\n');
+                    chunked.chunk(&framed)?;
+                }
+                chunked.finish()
+            })(),
+        };
+        if let Err(_e) = result {
+            // A client hanging up mid-stream is its business; count it,
+            // close, and this worker moves on to the next connection.
+            metrics.counter("serve_client_disconnect_total", &[]).inc();
             return;
         }
-    };
-    let response = handlers::handle(state, &request);
-    let result = match &response.body {
-        Body::Full(bytes) => {
-            http::write_response(&mut stream, response.status, response.content_type, bytes)
+        if !keep_alive {
+            return;
         }
-        Body::Lines(lines) => (|| {
-            let mut chunked =
-                http::ChunkedResponse::begin(&mut stream, response.status, response.content_type)?;
-            for line in lines {
-                let mut framed = Vec::with_capacity(line.len() + 1);
-                framed.extend_from_slice(line.as_bytes());
-                framed.push(b'\n');
-                chunked.chunk(&framed)?;
-            }
-            chunked.finish()
-        })(),
-    };
-    // A client hanging up mid-stream is its business, not ours.
-    let _ = result;
+    }
 }

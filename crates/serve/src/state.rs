@@ -11,16 +11,20 @@
 //! request.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dr_core::{CacheRegistry, MatchContext, RegistryConfig, RepairBudget};
+use dr_core::{CacheRegistry, MatchContext, RegistryConfig, RepairBudget, RetryPolicy};
 use dr_datasets::{KbProfile, NobelWorld, UisWorld};
 use dr_kb::graph::KnowledgeBase;
 use dr_kb::{KbRef, MappedKb};
 use dr_obs::json::JsonObj;
-use dr_obs::Obs;
+use dr_obs::{MetricRegistry, Obs};
 use dr_relation::Schema;
+use parking_lot::Mutex;
+
+use crate::admission::{AdmissionConfig, AdmissionGate};
 
 /// One served knowledge base with everything a request needs.
 pub struct KbEntry {
@@ -39,10 +43,13 @@ pub struct KbEntry {
     /// Requests [`fork`](MatchContext::fork) this (sharing indexes and
     /// caches, owning their budget) instead of touching it directly.
     pub ctx: MatchContext<'static>,
+    /// Health breaker: repeated repair failures mark this KB degraded in
+    /// `/kbs` and fail requests fast instead of burning workers.
+    pub health: Breaker,
 }
 
 /// Server-wide tunables, fixed at startup.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads per repair request (0 = scheduler default).
     pub repair_threads: usize,
@@ -51,6 +58,181 @@ pub struct ServeConfig {
     pub default_deadline: Option<Duration>,
     /// Default per-tuple step cap (0 = unbounded).
     pub default_max_steps: u64,
+    /// Admission-control limits for the repair route.
+    pub admission: AdmissionConfig,
+    /// Default retry policy for `Failed` rows (overridable per request
+    /// via `retry_attempts` / `retry_backoff_ms` / `retry_seed`).
+    pub retry: RetryPolicy,
+    /// Requests served on one keep-alive connection before the server
+    /// forces a close (0 = unlimited).
+    pub max_requests_per_conn: usize,
+    /// How long a keep-alive connection may idle between requests.
+    pub idle_timeout: Duration,
+    /// How long the first request on a connection may take to arrive in
+    /// full (request line + headers + body); a half-sent request past
+    /// this gets `408`.
+    pub header_timeout: Duration,
+    /// Consecutive failed repairs (post-retry `failed > 0`) that trip a
+    /// KB's breaker (0 = breaker disabled).
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker fails fast before letting a probe
+    /// request through.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            repair_threads: 0,
+            default_deadline: None,
+            default_max_steps: 0,
+            admission: AdmissionConfig::default(),
+            retry: RetryPolicy::default(),
+            max_requests_per_conn: 1000,
+            idle_timeout: Duration::from_secs(5),
+            header_timeout: crate::http::IO_TIMEOUT,
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Where the server is in its life: serving, or draining toward exit.
+///
+/// `/readyz` reads [`is_draining`](Self::is_draining); the connection
+/// loop counts every in-flight request through [`track`](Self::track) so
+/// a drain can wait for the count to hit zero before flushing snapshots
+/// and exiting (DESIGN.md §9).
+#[derive(Debug, Default)]
+pub struct Lifecycle {
+    draining: AtomicBool,
+    active: AtomicUsize,
+}
+
+impl Lifecycle {
+    /// Flips the server to draining: `/readyz` goes 503, keep-alive
+    /// connections close after their current response. Idempotent.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+    }
+
+    /// Whether a drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Registers an in-flight request; the guard deregisters on drop
+    /// (including on panic, so a wedged handler cannot pin the count).
+    pub fn track(&self) -> ActiveGuard<'_> {
+        self.active.fetch_add(1, Ordering::AcqRel);
+        ActiveGuard { lifecycle: self }
+    }
+
+    /// Requests currently in flight.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+}
+
+/// RAII handle for one in-flight request (see [`Lifecycle::track`]).
+pub struct ActiveGuard<'a> {
+    lifecycle: &'a Lifecycle,
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.lifecycle.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Per-KB health breaker (DESIGN.md §9).
+///
+/// A KB whose repairs keep failing — a corrupted `.drkb` image, a rule
+/// set that panics on this schema — should not have every request burn a
+/// full scheduler fan-out (plus retries) just to report the same failure.
+/// After `threshold` *consecutive* requests with failed rows the breaker
+/// trips: requests fail fast with `503` and `/kbs` reports the KB
+/// `degraded`. After `cooldown` one probe request is let through
+/// (half-open); a clean probe resets the breaker, a failed one re-trips
+/// it immediately.
+#[derive(Debug)]
+pub struct Breaker {
+    threshold: u32,
+    cooldown: Duration,
+    inner: Mutex<BreakerInner>,
+    trips: dr_obs::Counter,
+    degraded: dr_obs::Gauge,
+}
+
+#[derive(Debug, Default)]
+struct BreakerInner {
+    consecutive_failures: u32,
+    tripped_at: Option<Instant>,
+}
+
+impl Breaker {
+    /// Builds a breaker and registers its `serve_breaker_trips_total` /
+    /// `serve_kb_degraded` cells under the KB's name.
+    pub fn new(
+        threshold: u32,
+        cooldown: Duration,
+        metrics: &MetricRegistry,
+        kb_name: &str,
+    ) -> Self {
+        Self {
+            threshold,
+            cooldown,
+            inner: Mutex::new(BreakerInner::default()),
+            trips: metrics.counter("serve_breaker_trips_total", &[("kb", kb_name)]),
+            degraded: metrics.gauge("serve_kb_degraded", &[("kb", kb_name)]),
+        }
+    }
+
+    /// Whether a request may proceed. A tripped breaker fails fast until
+    /// its cooldown elapses, then admits probes (half-open: one more
+    /// failure re-trips instantly, a success resets).
+    pub fn allow(&self) -> bool {
+        if self.threshold == 0 {
+            return true;
+        }
+        let mut inner = self.inner.lock();
+        match inner.tripped_at {
+            None => true,
+            Some(tripped) if tripped.elapsed() >= self.cooldown => {
+                inner.tripped_at = None;
+                inner.consecutive_failures = self.threshold.saturating_sub(1);
+                self.degraded.set(0);
+                true
+            }
+            Some(_) => false,
+        }
+    }
+
+    /// Records one finished repair: `ok` when no rows failed post-retry.
+    pub fn record(&self, ok: bool) {
+        if self.threshold == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if ok {
+            inner.consecutive_failures = 0;
+            inner.tripped_at = None;
+            self.degraded.set(0);
+            return;
+        }
+        inner.consecutive_failures += 1;
+        if inner.consecutive_failures >= self.threshold && inner.tripped_at.is_none() {
+            inner.tripped_at = Some(Instant::now());
+            self.trips.inc();
+            self.degraded.set(1);
+        }
+    }
+
+    /// Whether the breaker is currently tripped (the `/kbs` `health`
+    /// field).
+    pub fn is_degraded(&self) -> bool {
+        self.inner.lock().tripped_at.is_some()
+    }
 }
 
 /// Everything shared across connections, behind one `Arc`.
@@ -65,6 +247,10 @@ pub struct ServerState {
     pub started: Instant,
     /// Startup tunables.
     pub config: ServeConfig,
+    /// Admission gate for the repair route (DESIGN.md §9).
+    pub gate: AdmissionGate,
+    /// Drain state + in-flight request count.
+    pub lifecycle: Lifecycle,
 }
 
 impl ServerState {
@@ -314,24 +500,34 @@ pub fn build_state(
         // here, at boot, so the first request is already warm and
         // `/metrics` shows `snapshot_warm_loads_total` before any POST.
         let _ = ctx.value_cache_for(&schema);
+        let health = Breaker::new(
+            config.breaker_threshold,
+            config.breaker_cooldown,
+            obs.metrics(),
+            &name,
+        );
         entries.push(KbEntry {
             name,
             kb,
             schema,
             rules,
             ctx,
+            health,
         });
     }
     if entries.is_empty() {
         return Err("no KBs configured; pass at least one --kb".into());
     }
 
+    let gate = AdmissionGate::new(config.admission, obs.metrics());
     Ok(ServerState {
         entries,
         registry,
         obs,
         started: Instant::now(),
         config,
+        gate,
+        lifecycle: Lifecycle::default(),
     })
 }
 

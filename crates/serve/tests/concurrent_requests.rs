@@ -64,6 +64,7 @@ fn post(body: &str) -> Request {
         query: "threads=2".into(),
         headers: vec![("content-type".into(), "text/csv".into())],
         body: body.as_bytes().to_vec(),
+        http11: true,
     }
 }
 
