@@ -9,11 +9,98 @@ use crate::graph::schema::NodeType;
 use crate::repair::budget::RepairBudget;
 use crate::repair::registry::CacheRegistry;
 use crate::repair::value_cache::ValueCache;
-use dr_kb::{FxHashMap, InstanceId, KbRef, LiteralId, Node};
+use dr_kb::{FxHashMap, InstanceId, KbFootprint, KbRef, LiteralId, Node, PredId};
 use dr_obs::Obs;
 use dr_simmatch::{MatchIndex, SimFn};
 use parking_lot::Mutex;
+use std::borrow::Cow;
 use std::sync::Arc;
+
+/// Accumulates the KB regions a repair *reads* — the read-side twin of the
+/// write-side [`KbFootprint`] a [`dr_kb::KbDelta`] produces. Repairers fork
+/// their context with a recorder per tuple; every KB read routed through the
+/// context (candidate lookups, type checks, edge probes) lands in it, and the
+/// resulting per-row footprint is what selective re-repair intersects with a
+/// delta's footprint to decide which rows must be re-run.
+///
+/// Interior-mutable so one recorder can be shared through an immutable
+/// context; recording is a short lock around small hash-set inserts.
+#[derive(Debug, Default)]
+pub struct FootprintRecorder {
+    fp: Mutex<KbFootprint>,
+}
+
+impl FootprintRecorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a dependency on the extent/labels of class `c`.
+    pub fn record_class(&self, c: dr_kb::ClassId) {
+        self.fp.lock().classes.insert(c);
+    }
+
+    /// Records a dependency on the literal pool.
+    pub fn record_literals(&self) {
+        self.fp.lock().literals = true;
+    }
+
+    /// Records a dependency on the outgoing edges `(s, rel, *)`.
+    pub fn record_out_pair(&self, s: InstanceId, rel: PredId) {
+        self.fp.lock().out_pairs.insert((s, rel));
+    }
+
+    /// Records a dependency on the incoming edges `(*, rel, o)`.
+    pub fn record_in_pair(&self, o: Node, rel: PredId) {
+        self.fp.lock().in_pairs.insert((o, rel));
+    }
+
+    /// Records a dependency on a schema-node type (class extent or literals).
+    pub fn record_ty(&self, ty: NodeType) {
+        match ty {
+            NodeType::Class(c) => self.record_class(c),
+            NodeType::Literal => self.record_literals(),
+        }
+    }
+
+    /// Drains the accumulated footprint, leaving the recorder empty.
+    pub fn take(&self) -> KbFootprint {
+        std::mem::take(&mut *self.fp.lock())
+    }
+
+    /// A copy of the accumulated footprint without draining it.
+    pub fn snapshot(&self) -> KbFootprint {
+        self.fp.lock().clone()
+    }
+}
+
+/// An owned, shareable handle to a context's `(type, sim) → index` memo.
+///
+/// The serving layer holds one `IndexMemo` per loaded KB *generation* and
+/// rebuilds [`MatchContext`]s around it per request; applying a
+/// [`dr_kb::KbDelta`] swaps in a fresh memo, which is how index staleness is
+/// ruled out by construction — indexes derived from generation N can never be
+/// consulted by a context over generation N+1.
+#[derive(Clone, Default)]
+pub struct IndexMemo(SharedIndexMap);
+
+impl IndexMemo {
+    /// A fresh, empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of `(type, sim)` indexes built so far.
+    pub fn len(&self) -> usize {
+        self.0.lock().len()
+    }
+
+    /// Whether no index has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.0.lock().is_empty()
+    }
+}
 
 /// A knowledge base with memoized per-(type, sim) match indexes, and
 /// optionally a [`CacheRegistry`] handing out persistent, schema-keyed
@@ -30,6 +117,7 @@ pub struct MatchContext<'kb> {
     registry: Option<Arc<CacheRegistry>>,
     budget: RepairBudget,
     obs: Option<Arc<Obs>>,
+    recorder: Option<Arc<FootprintRecorder>>,
 }
 
 /// The fork-shared `(type, sim) → index` memo.
@@ -54,6 +142,7 @@ impl<'kb> MatchContext<'kb> {
             registry: None,
             budget: RepairBudget::default(),
             obs: None,
+            recorder: None,
         }
     }
 
@@ -67,6 +156,26 @@ impl<'kb> MatchContext<'kb> {
             registry: Some(registry),
             budget: RepairBudget::default(),
             obs: None,
+            recorder: None,
+        }
+    }
+
+    /// Wraps a KB around an externally owned [`IndexMemo`] (and optional
+    /// registry). This is the serving-layer constructor: the caller keeps
+    /// the memo alive across requests and discards it when the KB
+    /// generation changes.
+    pub fn with_memo(
+        kb: impl Into<KbRef<'kb>>,
+        memo: &IndexMemo,
+        registry: Option<Arc<CacheRegistry>>,
+    ) -> Self {
+        Self {
+            kb: kb.into(),
+            indexes: Arc::clone(&memo.0),
+            registry,
+            budget: RepairBudget::default(),
+            obs: None,
+            recorder: None,
         }
     }
 
@@ -82,7 +191,21 @@ impl<'kb> MatchContext<'kb> {
             registry: self.registry.clone(),
             budget: self.budget,
             obs: self.obs.clone(),
+            recorder: self.recorder.clone(),
         }
+    }
+
+    /// Attaches a [`FootprintRecorder`] (builder style): every KB read made
+    /// through this context (and its forks) is accumulated into it. Repairers
+    /// fork with a fresh recorder per tuple to capture per-row footprints.
+    pub fn with_recorder(mut self, recorder: Arc<FootprintRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The attached footprint recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<FootprintRecorder>> {
+        self.recorder.as_ref()
     }
 
     /// Sets the per-tuple [`RepairBudget`] every repairer running through
@@ -186,6 +309,9 @@ impl<'kb> MatchContext<'kb> {
 
     /// All KB nodes of type `ty` whose value matches `value` under `sim`.
     pub fn candidates(&self, ty: NodeType, sim: SimFn, value: &str) -> Vec<Node> {
+        if let Some(rec) = &self.recorder {
+            rec.record_ty(ty);
+        }
         let index = self.index_for(ty, sim);
         let hits = index.lookup(value);
         match ty {
@@ -202,6 +328,9 @@ impl<'kb> MatchContext<'kb> {
 
     /// Whether `node` has the required type.
     pub fn type_ok(&self, node: Node, ty: NodeType) -> bool {
+        if let Some(rec) = &self.recorder {
+            rec.record_ty(ty);
+        }
         match (ty, node) {
             (NodeType::Class(c), Node::Instance(i)) => self.kb.has_type(i, c),
             (NodeType::Literal, Node::Literal(_)) => true,
@@ -214,9 +343,39 @@ impl<'kb> MatchContext<'kb> {
         self.type_ok(node, ty) && sim.matches(value, self.kb.node_value(node))
     }
 
+    /// Whether the KB contains the edge `(s, rel, o)`, recording the read
+    /// as an out-pair dependency on `(s, rel)`.
+    pub fn kb_has_edge(&self, s: InstanceId, rel: PredId, o: Node) -> bool {
+        if let Some(rec) = &self.recorder {
+            rec.record_out_pair(s, rel);
+        }
+        self.kb.has_edge(s, rel, o)
+    }
+
+    /// The objects of `(s, rel, *)`, recording the read as an out-pair
+    /// dependency on `(s, rel)`.
+    pub fn kb_objects(&self, s: InstanceId, rel: PredId) -> Cow<'kb, [Node]> {
+        if let Some(rec) = &self.recorder {
+            rec.record_out_pair(s, rel);
+        }
+        self.kb.objects(s, rel)
+    }
+
+    /// The subjects of `(*, rel, o)`, recording the read as an in-pair
+    /// dependency on `(o, rel)`.
+    pub fn kb_subjects(&self, o: Node, rel: PredId) -> Cow<'kb, [InstanceId]> {
+        if let Some(rec) = &self.recorder {
+            rec.record_in_pair(o, rel);
+        }
+        self.kb.subjects(o, rel)
+    }
+
     /// Every KB node of type `ty` (the unfiltered extent) — the fallback
     /// candidate set for unconstrained pattern nodes.
     pub fn extent(&self, ty: NodeType) -> Vec<Node> {
+        if let Some(rec) = &self.recorder {
+            rec.record_ty(ty);
+        }
         match ty {
             NodeType::Class(c) => self
                 .kb

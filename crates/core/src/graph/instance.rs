@@ -241,23 +241,23 @@ fn candidates_for(
     node: usize,
 ) -> Vec<Node> {
     let pnode = &pattern.nodes[node];
-    let kb = ctx.kb();
 
     // Constraint check against every edge touching `node` whose other
-    // endpoint is already assigned.
+    // endpoint is already assigned. KB reads go through the context so an
+    // attached recorder captures them as footprint dependencies.
     let edge_ok = |candidate: Node| -> bool {
         pattern.edges.iter().all(|&(u, rel, v)| {
             if u == node {
                 match assignment[v] {
                     Some(xv) => match candidate {
-                        Node::Instance(ci) => kb.has_edge(ci, rel, xv),
+                        Node::Instance(ci) => ctx.kb_has_edge(ci, rel, xv),
                         Node::Literal(_) => false,
                     },
                     None => true,
                 }
             } else if v == node {
                 match assignment[u] {
-                    Some(Node::Instance(xu)) => kb.has_edge(xu, rel, candidate),
+                    Some(Node::Instance(xu)) => ctx.kb_has_edge(xu, rel, candidate),
                     Some(Node::Literal(_)) => false,
                     None => true,
                 }
@@ -275,8 +275,8 @@ fn candidates_for(
     for &(u, rel, v) in &pattern.edges {
         if u == node {
             if let Some(xv) = assignment[v] {
-                return kb
-                    .subjects(xv, rel)
+                return ctx
+                    .kb_subjects(xv, rel)
                     .iter()
                     .map(|&s| Node::Instance(s))
                     .filter(|&c| ctx.type_ok(c, pnode.ty) && edge_ok(c))
@@ -284,8 +284,8 @@ fn candidates_for(
             }
         } else if v == node {
             if let Some(Node::Instance(xu)) = assignment[u] {
-                return kb
-                    .objects(xu, rel)
+                return ctx
+                    .kb_objects(xu, rel)
                     .iter()
                     .copied()
                     .filter(|&c| ctx.type_ok(c, pnode.ty) && edge_ok(c))

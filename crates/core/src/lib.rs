@@ -29,7 +29,7 @@ mod obs;
 pub mod repair;
 pub mod rule;
 
-pub use context::MatchContext;
+pub use context::{FootprintRecorder, IndexMemo, MatchContext};
 pub use graph::schema::{NodeType, SchemaGraph, SchemaNode};
 pub use repair::basic::PhaseTimings;
 pub use repair::basic::{
@@ -41,7 +41,7 @@ pub use repair::fast::{fast_repair, FastRepairer};
 #[cfg(feature = "fault-injection")]
 pub use repair::fault::{Fault, FaultPlan, FaultSpec};
 pub use repair::multi::{multi_repair_tuple, MultiOptions};
-pub use repair::parallel::{parallel_repair, ParallelOptions};
+pub use repair::parallel::{parallel_repair, parallel_repair_selective, ParallelOptions};
 pub use repair::registry::{
     CacheKey, CacheRegistry, RegistryConfig, RegistryStats, SnapshotGcConfig, SnapshotStats,
 };

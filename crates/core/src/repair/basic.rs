@@ -111,6 +111,16 @@ pub struct RelationReport {
     /// Degraded/failed/quarantined counters plus the budget-exhaustion
     /// histogram; all-zero on a healthy run (DESIGN.md §4c).
     pub resilience: ResilienceReport,
+    /// Per-row KB read footprints, indexed like [`Self::tuples`] — what
+    /// selective re-repair intersects with a delta's footprint to decide
+    /// which rows to re-run. Empty for repairers that do not record
+    /// (the basic chase).
+    pub footprints: Vec<dr_kb::KbFootprint>,
+    /// `Some(n)` when this report came from
+    /// [`parallel_repair_selective`](crate::repair::parallel::parallel_repair_selective):
+    /// `n` rows were actually re-repaired, the rest reused prior results.
+    /// `None` on full repairs.
+    pub selected_rows: Option<usize>,
 }
 
 impl RelationReport {

@@ -15,7 +15,7 @@
 //!    rules; entries are invalidated only when a repair rewrites their
 //!    column.
 
-use crate::context::MatchContext;
+use crate::context::{FootprintRecorder, MatchContext};
 use crate::repair::basic::{PhaseTimings, RelationReport, RepairStep, TupleReport};
 use crate::repair::budget::BudgetMeter;
 use crate::repair::cache::ElementCache;
@@ -245,9 +245,14 @@ impl<'r> FastRepairer<'r> {
         for row in 0..relation.len() {
             let meter = ctx.budget().meter();
             let mut cache = ElementCache::with_shared(shared);
+            // A fresh recorder per row captures this tuple's KB reads as its
+            // footprint — the provenance selective re-repair intersects with
+            // later KB deltas.
+            let recorder = std::sync::Arc::new(FootprintRecorder::new());
+            let row_ctx = ctx.fork().with_recorder(std::sync::Arc::clone(&recorder));
             let started = tuple_hist.as_ref().map(|_| Instant::now());
             let tuple_report =
-                self.repair_tuple_with(ctx, relation.tuple_mut(row), opts, &mut cache, &meter);
+                self.repair_tuple_with(&row_ctx, relation.tuple_mut(row), opts, &mut cache, &meter);
             if let (Some(hist), Some(started)) = (&tuple_hist, started) {
                 hist.record(started.elapsed());
             }
@@ -255,6 +260,7 @@ impl<'r> FastRepairer<'r> {
                 crate::obs::trace_tuple(t, row, &tuple_report, Some(cache.level_stats()));
             }
             report.tuples.push(tuple_report);
+            report.footprints.push(recorder.take());
         }
         report.cache = shared.stats().delta_since(&before);
         report.timing = PhaseTimings {

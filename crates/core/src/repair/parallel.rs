@@ -24,7 +24,7 @@
 //! and the `retry_attempts_total{attempt}` counter. The default policy is
 //! the historical behavior — one retry, no backoff.
 
-use crate::context::MatchContext;
+use crate::context::{FootprintRecorder, MatchContext};
 use crate::repair::basic::{PhaseTimings, RelationReport, TupleReport};
 use crate::repair::cache::ElementCache;
 use crate::repair::fast::FastRepairer;
@@ -32,11 +32,13 @@ use crate::repair::resilience::TupleOutcome;
 use crate::repair::retry::RetryPolicy;
 use crate::rule::apply::ApplyOptions;
 use crate::rule::DetectiveRule;
+use dr_kb::KbFootprint;
 use dr_obs::Histogram;
 use dr_relation::{Relation, Tuple};
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Parallel repair configuration.
@@ -138,7 +140,7 @@ pub fn parallel_repair(
     // row's report lands in its row-indexed slot, keeping the stitched
     // report in row order whatever the claim granularity.
     let rows: Vec<Mutex<&mut Tuple>> = relation.tuples_mut().iter_mut().map(Mutex::new).collect();
-    let slots: Vec<Mutex<Option<TupleReport>>> =
+    let slots: Vec<Mutex<Option<(TupleReport, KbFootprint)>>> =
         (0..rows.len()).map(|_| Mutex::new(None)).collect();
     let workers = threads.min(rows.len());
     // Per-worker claim tallies: `attempts` counts every `fetch_add` on the
@@ -201,10 +203,13 @@ pub fn parallel_repair(
             .filter(|(_, slot)| {
                 matches!(
                     &*slot.lock(),
-                    Some(TupleReport {
-                        outcome: TupleOutcome::Failed { .. },
-                        ..
-                    })
+                    Some((
+                        TupleReport {
+                            outcome: TupleOutcome::Failed { .. },
+                            ..
+                        },
+                        _,
+                    ))
                 )
             })
             .map(|(row, _)| row)
@@ -252,23 +257,30 @@ pub fn parallel_repair(
         });
     }
 
-    let mut report = RelationReport {
-        tuples: slots
-            .into_iter()
-            .enumerate()
-            .map(|(row, slot)| {
-                // Every claimed row writes its slot (even a panicked one —
-                // `repair_row` converts the panic to a `Failed` report), so
-                // an empty slot can only mean a scheduler hole. Surface it
-                // as a failed row instead of panicking the whole stitch.
-                slot.into_inner().unwrap_or_else(|| TupleReport {
+    let mut tuples = Vec::with_capacity(slots.len());
+    let mut footprints = Vec::with_capacity(slots.len());
+    for (row, slot) in slots.into_iter().enumerate() {
+        // Every claimed row writes its slot (even a panicked one —
+        // `repair_row` converts the panic to a `Failed` report), so
+        // an empty slot can only mean a scheduler hole. Surface it
+        // as a failed row instead of panicking the whole stitch.
+        let (tuple_report, fp) = slot.into_inner().unwrap_or_else(|| {
+            (
+                TupleReport {
                     outcome: TupleOutcome::Failed {
                         message: format!("row {row} was never claimed by a worker"),
                     },
                     ..TupleReport::default()
-                })
-            })
-            .collect(),
+                },
+                KbFootprint::default(),
+            )
+        });
+        tuples.push(tuple_report);
+        footprints.push(fp);
+    }
+    let mut report = RelationReport {
+        tuples,
+        footprints,
         cache: shared.stats().delta_since(&before),
         timing: PhaseTimings {
             prewarm,
@@ -306,6 +318,88 @@ pub fn parallel_repair(
     report
 }
 
+/// Re-repairs only the rows a KB delta could have affected, splicing every
+/// other row's tuple and report straight from the prior run.
+///
+/// A row is selected when its recorded [`KbFootprint`] in `prior`
+/// intersects `delta_fp`, or when its prior outcome never settled
+/// (non-`Completed` rows carry no trustworthy result, so they always
+/// re-run). Unselected rows copy their repaired tuple verbatim from
+/// `prior_repaired`: tuples are mutually independent and the footprint
+/// over-approximates every KB read the row made, so a row whose reads the
+/// delta did not touch reproduces its prior result exactly — the
+/// delta≡rebuild differential suite holds this to byte equality.
+///
+/// `relation` must be the same dirty input (same rows, same order) the
+/// prior run started from. If the shapes disagree — row count mismatch, or
+/// `prior` carries no per-row footprints — the call degrades to a full
+/// [`parallel_repair`], reporting `selected_rows = Some(len)`.
+pub fn parallel_repair_selective(
+    ctx: &MatchContext<'_>,
+    rules: &[DetectiveRule],
+    relation: &mut Relation,
+    opts: &ParallelOptions,
+    prior: &RelationReport,
+    prior_repaired: &Relation,
+    delta_fp: &KbFootprint,
+) -> RelationReport {
+    let len = relation.len();
+    if prior.tuples.len() != len || prior.footprints.len() != len || prior_repaired.len() != len {
+        let mut report = parallel_repair(ctx, rules, relation, opts);
+        report.selected_rows = Some(len);
+        return report;
+    }
+    let selected: Vec<usize> = (0..len)
+        .filter(|&row| {
+            !prior.tuples[row].outcome.is_completed() || prior.footprints[row].intersects(delta_fp)
+        })
+        .collect();
+
+    // Repair the selected rows as their own sub-relation through the full
+    // parallel path (which itself falls back to the sequential repairer
+    // for tiny selections) — tuple independence makes the sub-run
+    // indistinguishable from those rows' share of a full re-repair.
+    let mut sub = Relation::new(Arc::clone(relation.schema()));
+    for &row in &selected {
+        sub.push(relation.tuple(row).clone());
+    }
+    let sub_report = parallel_repair(ctx, rules, &mut sub, opts);
+
+    let mut report = RelationReport {
+        cache: sub_report.cache,
+        timing: sub_report.timing,
+        selected_rows: Some(selected.len()),
+        ..RelationReport::default()
+    };
+    report.resilience.retried = sub_report.resilience.retried;
+    let mut sub_row = 0usize;
+    for row in 0..len {
+        if sub_row < selected.len() && selected[sub_row] == row {
+            *relation.tuple_mut(row) = sub.tuple(sub_row).clone();
+            report.tuples.push(sub_report.tuples[sub_row].clone());
+            report.footprints.push(
+                sub_report
+                    .footprints
+                    .get(sub_row)
+                    .cloned()
+                    .unwrap_or_default(),
+            );
+            sub_row += 1;
+        } else {
+            *relation.tuple_mut(row) = prior_repaired.tuple(row).clone();
+            report.tuples.push(prior.tuples[row].clone());
+            report.footprints.push(prior.footprints[row].clone());
+        }
+    }
+    report.tally_resilience();
+    if let Some(obs) = ctx.obs() {
+        obs.metrics()
+            .counter("rerepair_selected_rows", &[])
+            .add(selected.len() as u64);
+    }
+    report
+}
+
 /// Repairs one claimed row with panic isolation: a panic anywhere in the
 /// row's repair (injected or genuine) is caught at this boundary and
 /// converted into a [`TupleOutcome::Failed`] report carrying the payload
@@ -319,7 +413,13 @@ fn repair_row(
     rows: &[Mutex<&mut Tuple>],
     row: usize,
     hist: Option<&Histogram>,
-) -> TupleReport {
+) -> (TupleReport, KbFootprint) {
+    // Every KB read the row makes lands in its own recorder, so the
+    // stitched report carries a per-row footprint for selective re-repair
+    // (a panicked attempt keeps whatever was recorded before the unwind —
+    // conservative, since failed rows are always re-selected anyway).
+    let recorder = Arc::new(FootprintRecorder::new());
+    let row_ctx = ctx.fork().with_recorder(Arc::clone(&recorder));
     // The closure captures `&mut Tuple` behind the row mutex, which is not
     // `UnwindSafe` by type; it is unwind-safe by construction: a fault is
     // injected *before* the tuple is touched, and a genuine mid-repair
@@ -335,7 +435,8 @@ fn repair_row(
         let mut tuple = rows[row].lock();
         let mut cache = ElementCache::with_shared(shared);
         let started = hist.map(|_| Instant::now());
-        let report = repairer.repair_tuple_with(ctx, &mut tuple, &opts.apply, &mut cache, &meter);
+        let report =
+            repairer.repair_tuple_with(&row_ctx, &mut tuple, &opts.apply, &mut cache, &meter);
         // A `Failed` attempt must not contribute a latency sample: the row
         // will be retried, and recording here *and* on the retry would
         // double-count the tuple — `repair_tuple_seconds_count` is defined
@@ -364,7 +465,7 @@ fn repair_row(
     if let Some(t) = ctx.obs().and_then(|o| o.tracer()) {
         crate::obs::trace_tuple(t, row, &report, cache_stats);
     }
-    report
+    (report, recorder.take())
 }
 
 /// Extracts a human-readable message from a panic payload.
@@ -579,6 +680,115 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(fixed.effective_batch(&wide), 3);
+    }
+
+    /// A delta that touches nothing any row read selects zero rows: the
+    /// selective path splices every tuple and report from the prior run
+    /// byte for byte.
+    #[test]
+    fn selective_with_disjoint_delta_reuses_every_row() {
+        let kb = nobel_mini_kb();
+        let rules = figure4_rules(&kb);
+        let ctx = MatchContext::new(&kb);
+        let opts = ParallelOptions {
+            threads: 4,
+            ..Default::default()
+        };
+
+        let mut prior_repaired = table1_dirty();
+        let prior = parallel_repair(&ctx, &rules, &mut prior_repaired, &opts);
+        assert_eq!(prior.footprints.len(), prior_repaired.len());
+        assert!(
+            prior.footprints.iter().any(|fp| !fp.is_empty()),
+            "table1 rows read the KB, so footprints must be recorded"
+        );
+
+        let mut again = table1_dirty();
+        let report = parallel_repair_selective(
+            &ctx,
+            &rules,
+            &mut again,
+            &opts,
+            &prior,
+            &prior_repaired,
+            &KbFootprint::default(),
+        );
+        assert_eq!(report.selected_rows, Some(0));
+        assert_eq!(report.tuples, prior.tuples);
+        for cell in again.cell_refs() {
+            assert_eq!(again.value(cell), prior_repaired.value(cell));
+            assert_eq!(
+                again.tuple(cell.row).is_positive(cell.attr),
+                prior_repaired.tuple(cell.row).is_positive(cell.attr),
+            );
+        }
+    }
+
+    /// A taxonomy-wide delta (`all_classes`) intersects every class-reading
+    /// row: the selective result still matches a full re-repair exactly.
+    #[test]
+    fn selective_with_global_delta_matches_full_rerepair() {
+        let kb = nobel_mini_kb();
+        let rules = figure4_rules(&kb);
+        let ctx = MatchContext::new(&kb);
+        let opts = ParallelOptions {
+            threads: 4,
+            ..Default::default()
+        };
+
+        let mut prior_repaired = table1_dirty();
+        let prior = parallel_repair(&ctx, &rules, &mut prior_repaired, &opts);
+
+        let mut full = table1_dirty();
+        let full_report = parallel_repair(&ctx, &rules, &mut full, &opts);
+
+        let delta_fp = KbFootprint {
+            all_classes: true,
+            ..Default::default()
+        };
+        let mut selective = table1_dirty();
+        let report = parallel_repair_selective(
+            &ctx,
+            &rules,
+            &mut selective,
+            &opts,
+            &prior,
+            &prior_repaired,
+            &delta_fp,
+        );
+        let selected = report.selected_rows.expect("selective sets the count");
+        assert!(selected > 0, "class-reading rows must be re-selected");
+        assert_eq!(report.tuples, full_report.tuples);
+        for cell in full.cell_refs() {
+            assert_eq!(selective.value(cell), full.value(cell));
+        }
+    }
+
+    /// A prior report with no footprints (e.g. from a build predating the
+    /// incremental subsystem) degrades to a full re-repair.
+    #[test]
+    fn selective_without_footprints_falls_back_to_full() {
+        let kb = nobel_mini_kb();
+        let rules = figure4_rules(&kb);
+        let ctx = MatchContext::new(&kb);
+        let opts = ParallelOptions::default();
+
+        let mut prior_repaired = table1_dirty();
+        let mut prior = parallel_repair(&ctx, &rules, &mut prior_repaired, &opts);
+        prior.footprints.clear();
+
+        let mut again = table1_dirty();
+        let report = parallel_repair_selective(
+            &ctx,
+            &rules,
+            &mut again,
+            &opts,
+            &prior,
+            &prior_repaired,
+            &KbFootprint::default(),
+        );
+        assert_eq!(report.selected_rows, Some(again.len()));
+        assert_eq!(report.tuples, prior.tuples);
     }
 
     /// More workers than rows: the claim counter just runs out early.

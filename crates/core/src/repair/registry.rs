@@ -20,6 +20,13 @@
 //! * **Schema fingerprint** — hash of the relation name and ordered
 //!   attribute names; schema changes re-key the cache the same way.
 //!
+//! A [`dr_kb::KbDelta`] applied *in place* is the one mutation that should
+//! NOT cold-start everything: [`CacheRegistry::apply_delta`] re-keys the old
+//! generation's caches to the new generation, sweeping only the entries
+//! whose recorded footprint intersects the delta's [`KbFootprint`]
+//! ([`ValueCache::invalidate`]); everything else stays warm across the
+//! generation bump.
+//!
 //! Memory is bounded twice: each `ValueCache` evicts entries under its own
 //! budget (clock over per-shard entry counts, see
 //! [`ValueCacheConfig`]), and the registry itself retains at most
@@ -49,7 +56,7 @@
 
 use crate::repair::snapshot::{self, SnapshotKey, SnapshotPayload};
 use crate::repair::value_cache::{ValueCache, ValueCacheConfig};
-use dr_kb::{FxHashMap, KbRef};
+use dr_kb::{FxHashMap, KbFootprint, KbRef};
 use dr_obs::{Counter, MetricRegistry};
 use dr_relation::Schema;
 use parking_lot::Mutex;
@@ -219,6 +226,9 @@ pub struct RegistryStats {
     pub cold_misses: u64,
     /// Whole caches dropped to stay under `max_caches`.
     pub evicted_caches: u64,
+    /// Entries swept by footprint intersection across all
+    /// [`CacheRegistry::apply_delta`] calls.
+    pub invalidated_entries: u64,
     /// Caches currently retained.
     pub live_caches: usize,
     /// Total entries across all retained caches.
@@ -237,6 +247,9 @@ impl RegistryStats {
             warm_hits: self.warm_hits.saturating_sub(earlier.warm_hits),
             cold_misses: self.cold_misses.saturating_sub(earlier.cold_misses),
             evicted_caches: self.evicted_caches.saturating_sub(earlier.evicted_caches),
+            invalidated_entries: self
+                .invalidated_entries
+                .saturating_sub(earlier.invalidated_entries),
             live_caches: self.live_caches,
             live_entries: self.live_entries,
             snapshot: self.snapshot.delta_since(&earlier.snapshot),
@@ -264,6 +277,7 @@ pub struct CacheRegistry {
     warm_hits: Counter,
     cold_misses: Counter,
     evicted_caches: Counter,
+    invalidated_entries: Counter,
     snapshot_warm_loads: Counter,
     snapshot_cold_loads: Counter,
     snapshot_rejected: Counter,
@@ -289,6 +303,7 @@ impl CacheRegistry {
             warm_hits: Counter::new(),
             cold_misses: Counter::new(),
             evicted_caches: Counter::new(),
+            invalidated_entries: Counter::new(),
             snapshot_warm_loads: Counter::new(),
             snapshot_cold_loads: Counter::new(),
             snapshot_rejected: Counter::new(),
@@ -314,6 +329,11 @@ impl CacheRegistry {
             "cache_registry_evicted_caches_total",
             &[],
             &self.evicted_caches,
+        );
+        metrics.register_counter(
+            "cache_invalidated_entries_total",
+            &[],
+            &self.invalidated_entries,
         );
         metrics.register_counter("snapshot_warm_loads_total", &[], &self.snapshot_warm_loads);
         metrics.register_counter("snapshot_cold_loads_total", &[], &self.snapshot_cold_loads);
@@ -393,6 +413,74 @@ impl CacheRegistry {
         drop(slots);
         self.write_back(victims);
         (cache, true)
+    }
+
+    /// Migrates every cache of `old_generation` across a KB delta: sweeps
+    /// the entries whose recorded footprint intersects `fp`
+    /// ([`ValueCache::invalidate`]), re-keys the cache under
+    /// `new_generation`, and re-points its disk identity at
+    /// `new_content_hash` so later persists land under the post-delta KB's
+    /// key. Returns the number of entries swept (also accumulated into the
+    /// `cache_invalidated_entries_total` metric).
+    ///
+    /// Everything the delta did not touch survives warm — this is the whole
+    /// point of footprint-based invalidation; compare
+    /// [`Self::evict_stale`], which drops stale caches wholesale.
+    pub fn apply_delta(
+        &self,
+        old_generation: u64,
+        new_generation: u64,
+        new_content_hash: u64,
+        fp: &KbFootprint,
+    ) -> u64 {
+        let mut invalidated = 0u64;
+        let mut slots = self.slots.lock();
+        let keys: Vec<CacheKey> = slots
+            .keys()
+            .filter(|&&(generation, _)| generation == old_generation)
+            .copied()
+            .collect();
+        for key in keys {
+            let Some(mut slot) = slots.remove(&key) else {
+                continue;
+            };
+            invalidated += slot.cache.invalidate(fp);
+            if let Some(dk) = slot.disk_key.as_mut() {
+                dk.kb_content_hash = new_content_hash;
+            }
+            slots.insert((new_generation, key.1), slot);
+        }
+        drop(slots);
+        if invalidated > 0 {
+            self.invalidated_entries.add(invalidated);
+        }
+        invalidated
+    }
+
+    /// Drops every cache belonging to `generation` — the unload path: a KB
+    /// removed from a serving pool releases its cache memory immediately.
+    /// Evicted caches with a disk identity are snapshotted first, exactly
+    /// like LRU victims. Returns how many caches were dropped.
+    pub fn evict_generation(&self, generation: u64) -> usize {
+        let mut victims: Vec<(SnapshotKey, Arc<ValueCache>)> = Vec::new();
+        let mut slots = self.slots.lock();
+        let before = slots.len();
+        slots.retain(|&(g, _), slot| {
+            let keep = g != generation;
+            if !keep {
+                if let Some(dk) = slot.disk_key {
+                    victims.push((dk, Arc::clone(&slot.cache)));
+                }
+            }
+            keep
+        });
+        let dropped = before - slots.len();
+        if dropped > 0 {
+            self.evicted_caches.add(dropped as u64);
+        }
+        drop(slots);
+        self.write_back(victims);
+        dropped
     }
 
     /// Drops every cache not belonging to `live_generation` — for
@@ -607,6 +695,7 @@ impl CacheRegistry {
             warm_hits: self.warm_hits.get(),
             cold_misses: self.cold_misses.get(),
             evicted_caches: self.evicted_caches.get(),
+            invalidated_entries: self.invalidated_entries.get(),
             live_caches: slots.len(),
             live_entries: slots.values().map(|s| s.cache.len()).sum(),
             snapshot: SnapshotStats {
@@ -749,6 +838,56 @@ mod tests {
         let survivor = registry.cache_for(&kb2, &schema);
         assert_eq!(registry.stats().warm_hits, 1);
         drop(survivor);
+    }
+
+    /// apply_delta migrates the cache to the new generation, sweeping only
+    /// the entries the footprint touches; untouched entries survive warm
+    /// under the *new* key while the old key becomes a cold miss.
+    #[test]
+    fn apply_delta_rekeys_and_sweeps_intersecting_entries() {
+        let kb = nobel_mini_kb();
+        let schema = nobel_schema();
+        let registry = CacheRegistry::default();
+        let ctx = MatchContext::new(&kb);
+        let city = city_node(&kb);
+        let country = SchemaNode::new(
+            nobel_schema().attr_expect("Country"),
+            NodeType::Class(kb.class_named(names::COUNTRY).unwrap()),
+            SimFn::Equal,
+        );
+        let cache = registry.cache_for(&kb, &schema);
+        let _ = cache.candidates(&ctx, &city, "Haifa");
+        let _ = cache.candidates(&ctx, &country, "Israel");
+        assert_eq!(cache.len(), 2);
+
+        let mut fp = KbFootprint::new();
+        fp.classes.insert(kb.class_named(names::CITY).unwrap());
+        let new_gen = kb.generation() + 1_000_000; // simulated bump
+        let swept = registry.apply_delta(kb.generation(), new_gen, 0xFEED, &fp);
+        assert_eq!(swept, 1, "only the city entry intersects");
+        assert_eq!(registry.stats().invalidated_entries, 1);
+        assert_eq!(registry.stats().live_caches, 1);
+        assert_eq!(cache.len(), 1, "country entry survives the sweep");
+        // The old generation no longer resolves to the migrated cache.
+        let old_key_cache = registry.cache_for(&kb, &schema);
+        assert!(!Arc::ptr_eq(&cache, &old_key_cache));
+        assert_eq!(registry.stats().cold_misses, 2);
+    }
+
+    #[test]
+    fn evict_generation_drops_only_that_generation() {
+        let schema = nobel_schema();
+        let registry = CacheRegistry::default();
+        let kb1 = nobel_mini_kb();
+        let kb2 = nobel_mini_kb();
+        let _ = registry.cache_for(&kb1, &schema);
+        let survivor = registry.cache_for(&kb2, &schema);
+        assert_eq!(registry.evict_generation(kb1.generation()), 1);
+        let stats = registry.stats();
+        assert_eq!(stats.live_caches, 1);
+        assert_eq!(stats.evicted_caches, 1);
+        assert!(Arc::ptr_eq(&survivor, &registry.cache_for(&kb2, &schema)));
+        assert_eq!(registry.evict_generation(kb1.generation()), 0);
     }
 
     #[test]
@@ -1058,6 +1197,7 @@ mod tests {
             warm_hits: 2,
             cold_misses: 1,
             evicted_caches: 0,
+            invalidated_entries: 1,
             live_caches: 1,
             live_entries: 10,
             snapshot: SnapshotStats {
@@ -1072,6 +1212,7 @@ mod tests {
             warm_hits: 5,
             cold_misses: 2,
             evicted_caches: 1,
+            invalidated_entries: 4,
             live_caches: 2,
             live_entries: 30,
             snapshot: SnapshotStats {
@@ -1084,6 +1225,7 @@ mod tests {
         };
         let d = later.delta_since(&earlier);
         assert_eq!((d.warm_hits, d.cold_misses, d.evicted_caches), (3, 1, 1));
+        assert_eq!(d.invalidated_entries, 3);
         assert_eq!(
             (d.live_caches, d.live_entries),
             (2, 30),

@@ -9,7 +9,7 @@
 //! raw [`Node`] ids inside the entries are meaningful to any process whose KB
 //! hashes identically; any other process simply never opens the file.
 //!
-//! ## Format (version 1, little-endian)
+//! ## Format (version 2, little-endian)
 //!
 //! ```text
 //! magic            [u8; 4] = b"DRVC"
@@ -19,13 +19,18 @@
 //! node count       u32
 //! edge count       u32
 //! node entries     { SchemaNode, value: str, candidates: [Node] } × n
-//! edge entries     { SchemaNode, PredId, SchemaNode, from: str, to: str, ok: u8 } × m
+//! edge entries     { SchemaNode, PredId, SchemaNode, from: str, to: str,
+//!                    ok: u8, probed: u32 count + [u32 instance id] } × m
 //! checksum         u64  (FxHash of every preceding byte)
 //! ```
 //!
 //! Strings are `u32` length + UTF-8 bytes; `SchemaNode` is
 //! `{col: u32, ty: tag u8 + u32, sim: tag u8 + u32}`; `Node` is a tag byte
-//! plus a `u32` id.
+//! plus a `u32` id. Version 2 added the per-edge `probed` instance list —
+//! the hit-attribution record footprint-based invalidation needs
+//! ([`EdgeEntry`](crate::repair::value_cache::EdgeEntry)); version-1 files
+//! are rejected as [`SnapshotError::BadVersion`] and degrade to a cold
+//! start like any other unusable snapshot.
 //!
 //! ## Safety model
 //!
@@ -51,7 +56,7 @@ use std::path::{Path, PathBuf};
 pub const MAGIC: [u8; 4] = *b"DRVC";
 
 /// Current snapshot format version.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// File extension used for snapshot files.
 pub const EXTENSION: &str = "drsnap";
@@ -93,8 +98,9 @@ impl SnapshotKey {
 pub struct SnapshotPayload {
     /// `(schema node, cell value) → candidate nodes`.
     pub nodes: Vec<(SchemaNode, String, Vec<Node>)>,
-    /// `(edge signature, from value, to value) → connected`.
-    pub edges: Vec<(EdgeSig, String, String, bool)>,
+    /// `(edge signature, from value, to value) → (connected, probed
+    /// instances)` — the probed list is the entry's invalidation footprint.
+    pub edges: Vec<(EdgeSig, String, String, bool, Vec<InstanceId>)>,
 }
 
 impl SnapshotPayload {
@@ -135,9 +141,12 @@ impl SnapshotPayload {
                 return Err(SnapshotError::Malformed("node entry id out of bounds"));
             }
         }
-        for ((from, rel, to), _, _, _) in &self.edges {
+        for ((from, rel, to), _, _, _, probed) in &self.edges {
             if !schema_node_ok(from) || !schema_node_ok(to) || rel.index() >= kb.num_preds() {
                 return Err(SnapshotError::Malformed("edge entry id out of bounds"));
+            }
+            if !probed.iter().all(|i| i.index() < kb.num_instances()) {
+                return Err(SnapshotError::Malformed("probed instance id out of bounds"));
             }
         }
         Ok(())
@@ -289,13 +298,17 @@ pub fn encode(key: SnapshotKey, payload: &SnapshotPayload) -> Vec<u8> {
             put_node(&mut buf, c);
         }
     }
-    for ((from, rel, to), from_value, to_value, ok) in &payload.edges {
+    for ((from, rel, to), from_value, to_value, ok, probed) in &payload.edges {
         put_schema_node(&mut buf, from);
         put_u32(&mut buf, rel.index() as u32);
         put_schema_node(&mut buf, to);
         put_str(&mut buf, from_value);
         put_str(&mut buf, to_value);
         buf.push(u8::from(*ok));
+        put_u32(&mut buf, probed.len() as u32);
+        for i in probed {
+            put_u32(&mut buf, i.index() as u32);
+        }
     }
     let mut h = FxHasher::default();
     h.write(&buf);
@@ -458,9 +471,19 @@ pub fn decode(bytes: &[u8], expected: SnapshotKey) -> Result<SnapshotPayload, Sn
             1 => true,
             _ => return Err(SnapshotError::Malformed("edge flag not 0/1")),
         };
+        let n_probed = cur.u32()? as usize;
+        // Each probed id costs 4 bytes on disk; reject counts the remaining
+        // bytes cannot hold before allocating.
+        if n_probed > (cur.bytes.len() - cur.pos) / 4 {
+            return Err(SnapshotError::Malformed("probed count exceeds body"));
+        }
+        let mut probed = Vec::with_capacity(n_probed);
+        for _ in 0..n_probed {
+            probed.push(InstanceId::from_index(cur.u32()? as usize));
+        }
         payload
             .edges
-            .push(((from, rel, to), from_value, to_value, ok));
+            .push(((from, rel, to), from_value, to_value, ok, probed));
     }
     if cur.pos != cur.bytes.len() {
         return Err(SnapshotError::Malformed("trailing bytes after entries"));
@@ -547,8 +570,20 @@ mod tests {
                 (name, "Nobody".into(), vec![]),
             ],
             edges: vec![
-                ((name, works_at, city), "A".into(), "B".into(), false),
-                ((city, works_at, name), "Haifa".into(), "X".into(), true),
+                (
+                    (name, works_at, city),
+                    "A".into(),
+                    "B".into(),
+                    false,
+                    vec![],
+                ),
+                (
+                    (city, works_at, name),
+                    "Haifa".into(),
+                    "X".into(),
+                    true,
+                    vec![haifa],
+                ),
             ],
         }
     }
@@ -623,8 +658,32 @@ mod tests {
         assert!(payload.validate(&kb, &schema).is_err());
 
         let mut payload = sample_payload(&kb, &schema);
+        payload.edges[1]
+            .4
+            .push(InstanceId::from_index(kb.num_instances()));
+        assert!(payload.validate(&kb, &schema).is_err());
+
+        let mut payload = sample_payload(&kb, &schema);
         payload.nodes[0].0.col = AttrId::from_index(schema.arity());
         assert!(payload.validate(&kb, &schema).is_err());
+    }
+
+    /// A pre-probed-list (version 1) file is rejected as `BadVersion` — the
+    /// registry turns that into a capped diagnostic and a cold start.
+    #[test]
+    fn version_1_files_are_rejected() {
+        let key = sample_key();
+        let mut bytes = encode(key, &SnapshotPayload::default());
+        // Rewrite the version field (bytes 4..8) and re-checksum.
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let body_len = bytes.len() - 8;
+        let mut h = FxHasher::default();
+        h.write(&bytes[..body_len]);
+        let checksum = h.finish();
+        bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        let err = decode(&bytes, key).expect_err("v1 must be rejected");
+        assert!(matches!(err, SnapshotError::BadVersion(1)));
+        assert!(!err.is_absence());
     }
 
     #[test]

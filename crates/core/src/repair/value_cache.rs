@@ -9,11 +9,19 @@
 //! signature, from-value, to-value)`.
 //!
 //! Because keys include the cell value — not just the column — entries are
-//! pure functions of the immutable KB and never go stale: repairing a cell
-//! simply probes a different key. That makes the cache safely shareable
-//! across tuples and across threads; concurrency is an array of shards,
-//! each a [`parking_lot::RwLock`]-guarded map, so readers never contend and
-//! writers only lock one shard.
+//! pure functions of the KB *at one generation* and never go stale while
+//! that generation lives: repairing a cell simply probes a different key.
+//! That makes the cache safely shareable across tuples and across threads;
+//! concurrency is an array of shards, each a [`parking_lot::RwLock`]-guarded
+//! map, so readers never contend and writers only lock one shard.
+//!
+//! When the KB *does* change (a [`dr_kb::KbDelta`]), the delta's
+//! [`KbFootprint`] names exactly the regions it touched, and
+//! [`ValueCache::invalidate`] removes only the entries whose recorded reads
+//! intersect it: node entries depend on their schema-node type (a class
+//! extent or the literal pool), edge entries additionally on the `(from
+//! instance, predicate)` out-pairs they probed (see [`EdgeEntry`]). Every
+//! other entry survives and keeps warm-starting repairs.
 //!
 //! A cache may outlive one relation: the
 //! [`CacheRegistry`](crate::repair::registry::CacheRegistry) keys shared
@@ -25,9 +33,9 @@
 //! first unreferenced one.
 
 use crate::context::MatchContext;
-use crate::graph::schema::SchemaNode;
+use crate::graph::schema::{NodeType, SchemaNode};
 use crate::repair::snapshot::SnapshotPayload;
-use dr_kb::{FxHashMap, Node, PredId};
+use dr_kb::{FxHashMap, InstanceId, KbFootprint, Node, PredId};
 use dr_obs::{Counter, MetricRegistry};
 use parking_lot::RwLock;
 use std::collections::VecDeque;
@@ -37,6 +45,23 @@ use std::sync::Arc;
 
 /// An edge signature: source node, predicate, target node.
 pub type EdgeSig = (SchemaNode, PredId, SchemaNode);
+
+/// A cached edge-connectivity answer plus the KB reads that produced it.
+///
+/// `probed` is the hit-attribution record: the instance from-candidates whose
+/// outgoing `rel` edges were actually consulted — the prefix up to and
+/// including the first connected one when `ok`, or every instance
+/// from-candidate when `!ok`. A delta that does not touch any `(probed[i],
+/// rel)` out-pair (nor either endpoint's candidate set) can neither flip `ok`
+/// nor change which prefix a recomputation would probe, so the entry is
+/// exactly as fresh as its footprint says.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeEntry {
+    /// Whether some candidate pair is connected.
+    pub ok: bool,
+    /// Instance from-candidates whose out-edges were consulted.
+    pub probed: Vec<InstanceId>,
+}
 
 /// Default shard count; a small power of two keeps the modulo a mask while
 /// spreading writer contention well past typical thread counts.
@@ -187,12 +212,48 @@ pub(crate) fn edge_connected(
     rel: PredId,
     to_cands: &[Node],
 ) -> bool {
-    let kb = ctx.kb();
+    edge_probe(ctx, from_cands, rel, to_cands).0
+}
+
+/// [`edge_connected`] plus the probed-instance record an [`EdgeEntry`]
+/// stores. Out-edge reads go through the context, so an attached
+/// [`FootprintRecorder`](crate::context::FootprintRecorder) sees each probe.
+pub(crate) fn edge_probe(
+    ctx: &MatchContext<'_>,
+    from_cands: &[Node],
+    rel: PredId,
+    to_cands: &[Node],
+) -> (bool, Vec<InstanceId>) {
     let to_set: dr_kb::FxHashSet<Node> = to_cands.iter().copied().collect();
-    from_cands.iter().any(|&f| match f {
-        Node::Instance(i) => kb.objects(i, rel).iter().any(|o| to_set.contains(o)),
-        Node::Literal(_) => false,
-    })
+    let mut probed = Vec::new();
+    for &f in from_cands {
+        if let Node::Instance(i) = f {
+            probed.push(i);
+            if ctx.kb_objects(i, rel).iter().any(|o| to_set.contains(o)) {
+                return (true, probed);
+            }
+        }
+    }
+    (false, probed)
+}
+
+/// Whether a delta footprint invalidates a dependency on `ty`'s extent.
+fn ty_stale(fp: &KbFootprint, ty: NodeType) -> bool {
+    match ty {
+        NodeType::Class(c) => fp.touches_class(c),
+        NodeType::Literal => fp.literals,
+    }
+}
+
+/// Whether a delta footprint invalidates a cached edge entry.
+fn edge_stale(fp: &KbFootprint, sig: &EdgeSig, entry: &EdgeEntry) -> bool {
+    let (from, rel, to) = sig;
+    ty_stale(fp, from.ty)
+        || ty_stale(fp, to.ty)
+        || entry
+            .probed
+            .iter()
+            .any(|&f| fp.out_pairs.contains(&(f, *rel)))
 }
 
 /// One cached value plus its clock referenced bit. The bit is an atomic so
@@ -275,6 +336,23 @@ impl<K: Hash + Eq + Clone, V> ClockShard<K, V> {
         self.map.len()
     }
 
+    /// Removes every entry for which `keep` returns `false`, keeping the
+    /// clock ring in sync, and returns how many entries were removed.
+    fn retain(&mut self, mut keep: impl FnMut(&K, &V) -> bool) -> u64 {
+        let before = self.map.len();
+        self.map.retain(|k, e| keep(k, &e.value));
+        if self.map.len() != before {
+            self.ring.retain(|k| self.map.contains_key(k));
+        }
+        (before - self.map.len()) as u64
+    }
+
+    /// Counts the entries a [`ClockShard::retain`] with the same predicate
+    /// would remove, without removing them.
+    fn count_matching(&self, mut stale: impl FnMut(&K, &V) -> bool) -> u64 {
+        self.map.iter().filter(|(k, e)| stale(k, &e.value)).count() as u64
+    }
+
     /// Emits up to `cap` entries (`0` = all), hottest first: entries whose
     /// clock bit is set (recently referenced) precede unreferenced ones, each
     /// group in ring (insertion) order. This is the same signal the eviction
@@ -313,7 +391,7 @@ impl<K: Hash + Eq + Clone, V> ClockShard<K, V> {
 /// element cache keyed by cell values.
 pub struct ValueCache {
     nodes: Vec<RwLock<ClockShard<NodeKey, Arc<Vec<Node>>>>>,
-    edges: Vec<RwLock<ClockShard<EdgeKey, bool>>>,
+    edges: Vec<RwLock<ClockShard<EdgeKey, EdgeEntry>>>,
     mask: usize,
     // Counters are `dr_obs::Counter` cells so an attached observability
     // registry can expose the *same* storage the report columns read —
@@ -420,6 +498,11 @@ impl ValueCache {
         let shard = &self.nodes[hash_of(&key) & self.mask];
         if let Some(cands) = shard.read().get(&key).map(Arc::clone) {
             self.node_hits.inc();
+            // A cached answer still *depends* on the KB region it was
+            // computed from — record it so per-row footprints stay sound.
+            if let Some(rec) = ctx.recorder() {
+                rec.record_ty(node.ty);
+            }
             return (cands, true);
         }
         self.node_misses.inc();
@@ -466,19 +549,72 @@ impl ValueCache {
         let sig = (*from, rel, *to);
         let key = (sig, from_value.to_owned(), to_value.to_owned());
         let shard = &self.edges[hash_of(&key) & self.mask];
-        if let Some(&ok) = shard.read().get(&key) {
-            self.edge_hits.inc();
-            return (ok, true);
+        {
+            let guard = shard.read();
+            if let Some(entry) = guard.get(&key) {
+                self.edge_hits.inc();
+                // Replay the entry's recorded reads into the row's
+                // footprint: endpoint candidate sets plus every out-pair
+                // the original computation probed.
+                if let Some(rec) = ctx.recorder() {
+                    rec.record_ty(from.ty);
+                    rec.record_ty(to.ty);
+                    for &f in &entry.probed {
+                        rec.record_out_pair(f, rel);
+                    }
+                }
+                return (entry.ok, true);
+            }
         }
         self.edge_misses.inc();
         let from_cands = self.candidates(ctx, from, from_value);
         let to_cands = self.candidates(ctx, to, to_value);
-        let ok = edge_connected(ctx, &from_cands, rel, &to_cands);
-        let (_, evicted) = shard.write().insert(key, ok);
+        let (ok, probed) = edge_probe(ctx, &from_cands, rel, &to_cands);
+        let (_, evicted) = shard.write().insert(key, EdgeEntry { ok, probed });
         if evicted > 0 {
             self.evictions.add(evicted);
         }
         (ok, false)
+    }
+
+    /// Removes every entry whose recorded KB reads intersect `fp` (the
+    /// footprint of an applied [`dr_kb::KbDelta`]), returning how many
+    /// entries were dropped. Everything else survives the delta.
+    pub fn invalidate(&self, fp: &KbFootprint) -> u64 {
+        if fp.is_empty() {
+            return 0;
+        }
+        let mut removed = 0u64;
+        for shard in &self.nodes {
+            removed += shard.write().retain(|(sn, _), _| !ty_stale(fp, sn.ty));
+        }
+        for shard in &self.edges {
+            removed += shard
+                .write()
+                .retain(|(sig, _, _), entry| !edge_stale(fp, sig, entry));
+        }
+        removed
+    }
+
+    /// Counts the entries [`ValueCache::invalidate`] would drop for `fp`,
+    /// without dropping them — the staleness-soundness suites use this to
+    /// assert that no stale entry survives an invalidation pass.
+    pub fn count_stale(&self, fp: &KbFootprint) -> u64 {
+        if fp.is_empty() {
+            return 0;
+        }
+        let mut stale = 0u64;
+        for shard in &self.nodes {
+            stale += shard
+                .read()
+                .count_matching(|(sn, _), _| ty_stale(fp, sn.ty));
+        }
+        for shard in &self.edges {
+            stale += shard
+                .read()
+                .count_matching(|(sig, _, _), entry| edge_stale(fp, sig, entry));
+        }
+        stale
     }
 
     /// Snapshot of the hit/miss/eviction counters.
@@ -515,8 +651,14 @@ impl ValueCache {
             });
         }
         for shard in &self.edges {
-            shard.read().export(per_shard, |(sig, from, to), &ok| {
-                payload.edges.push((*sig, from.clone(), to.clone(), ok));
+            shard.read().export(per_shard, |(sig, from, to), entry| {
+                payload.edges.push((
+                    *sig,
+                    from.clone(),
+                    to.clone(),
+                    entry.ok,
+                    entry.probed.clone(),
+                ));
             });
         }
         payload
@@ -536,10 +678,14 @@ impl ValueCache {
             evicted += ev;
             imported += 1;
         }
-        for (sig, from, to, ok) in &payload.edges {
+        for (sig, from, to, ok, probed) in &payload.edges {
             let key = (*sig, from.clone(), to.clone());
             let shard = &self.edges[hash_of(&key) & self.mask];
-            let (_, ev) = shard.write().insert(key, *ok);
+            let entry = EdgeEntry {
+                ok: *ok,
+                probed: probed.clone(),
+            };
+            let (_, ev) = shard.write().insert(key, entry);
             evicted += ev;
             imported += 1;
         }
@@ -815,6 +961,90 @@ mod tests {
         cache.mark_snapshot_cold();
         assert_eq!(cache.stats().snapshot_cold, 1);
         assert_eq!(cache.stats().snapshot_warm, 0);
+    }
+
+    /// A footprint that touches the class a node entry depends on drops
+    /// exactly that entry; an unrelated footprint drops nothing.
+    #[test]
+    fn invalidate_drops_only_intersecting_entries() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let cache = ValueCache::new();
+        let node = city_node(&kb);
+        let _ = cache.candidates(&ctx, &node, "Haifa");
+        assert_eq!(cache.len(), 1);
+
+        let mut other = KbFootprint::new();
+        other
+            .classes
+            .insert(kb.class_named(names::COUNTRY).unwrap());
+        assert_eq!(cache.count_stale(&other), 0);
+        assert_eq!(cache.invalidate(&other), 0);
+        assert_eq!(cache.len(), 1, "unrelated delta leaves the entry warm");
+
+        let mut hit = KbFootprint::new();
+        hit.classes.insert(kb.class_named(names::CITY).unwrap());
+        assert_eq!(cache.count_stale(&hit), 1);
+        assert_eq!(cache.invalidate(&hit), 1);
+        assert!(cache.is_empty());
+        // The dropped entry recomputes as a miss on the next probe.
+        let _ = cache.candidates(&ctx, &node, "Haifa");
+        assert_eq!(cache.stats().node_misses, 2);
+    }
+
+    /// Edge entries go stale when a delta touches an out-pair they probed,
+    /// even if neither endpoint's candidate set changed.
+    #[test]
+    fn edge_entries_invalidate_on_probed_out_pairs() {
+        let kb = nobel_mini_kb();
+        let ctx = MatchContext::new(&kb);
+        let schema = nobel_schema();
+        let cache = ValueCache::new();
+        let name = SchemaNode::new(
+            schema.attr_expect("Name"),
+            NodeType::Class(kb.class_named(names::LAUREATE).unwrap()),
+            SimFn::Equal,
+        );
+        let inst = SchemaNode::new(
+            schema.attr_expect("Institution"),
+            NodeType::Class(kb.class_named(names::ORGANIZATION).unwrap()),
+            SimFn::EditDistance(2),
+        );
+        let works_at = kb.pred_named(names::WORKS_AT).unwrap();
+        assert!(cache.edge_ok(
+            &ctx,
+            &name,
+            works_at,
+            &inst,
+            "Avram Hershko",
+            "Israel Institute of Technology",
+        ));
+        let hershko = kb.instances_labeled("Avram Hershko")[0];
+        let mut fp = KbFootprint::new();
+        fp.out_pairs.insert((hershko, works_at));
+        // Only the edge entry probed (hershko, worksAt); the two node
+        // entries depend on class extents, which this delta leaves alone.
+        assert_eq!(cache.count_stale(&fp), 1);
+        assert_eq!(cache.invalidate(&fp), 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    /// Cache hits replay the entry's recorded reads into an attached
+    /// footprint recorder, so per-row footprints stay sound on warm paths.
+    #[test]
+    fn hits_record_footprints_like_misses() {
+        let kb = nobel_mini_kb();
+        let base = MatchContext::new(&kb);
+        let cache = ValueCache::new();
+        let node = city_node(&kb);
+        // Warm the entry without a recorder attached.
+        let _ = cache.candidates(&base, &node, "Haifa");
+        let rec = Arc::new(crate::context::FootprintRecorder::new());
+        let ctx = base.fork().with_recorder(Arc::clone(&rec));
+        let (_, was_hit) = cache.candidates_with_outcome(&ctx, &node, "Haifa");
+        assert!(was_hit);
+        let fp = rec.take();
+        assert!(fp.touches_class(kb.class_named(names::CITY).unwrap()));
     }
 
     /// A recently referenced entry survives an eviction sweep (second

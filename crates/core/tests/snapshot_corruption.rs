@@ -54,8 +54,20 @@ fn sample_payload(kb: &KnowledgeBase, schema: &Schema) -> SnapshotPayload {
             (name, "Nobody".into(), vec![]),
         ],
         edges: vec![
-            ((name, works_at, city), "A".into(), "B".into(), false),
-            ((city, works_at, name), "Haifa".into(), "X".into(), true),
+            (
+                (name, works_at, city),
+                "A".into(),
+                "B".into(),
+                false,
+                vec![],
+            ),
+            (
+                (city, works_at, name),
+                "Haifa".into(),
+                "X".into(),
+                true,
+                vec![haifa],
+            ),
         ],
     }
 }

@@ -1,0 +1,535 @@
+//! KB deltas: incremental edits to a finalized [`KnowledgeBase`] and the
+//! **footprint** of KB regions they touch.
+//!
+//! The paper assumes a frozen KB, but a live service curates its KB in
+//! place (DESIGN.md §10). A [`KbDelta`] is an ordered batch of edits —
+//! insert/retract triples, add/remove `rdf:type` edges, add/remove
+//! `subClassOf` edges — that [`KnowledgeBase::apply_delta`] applies
+//! in place, bumping the KB generation and returning a [`KbFootprint`]
+//! describing exactly which classes, adjacency pairs, and literal state
+//! changed. Cache layers record the footprint they *read* during matching
+//! and invalidate only entries whose read footprint intersects a delta's
+//! write footprint.
+//!
+//! Every delta op names entities **by label/value**, with the same
+//! resolution semantics as [`KbBuilder`]: an instance label resolves to
+//! the first instance carrying it, or creates a fresh one. This makes
+//! "apply the delta in place" and "rebuild the KB from scratch with the
+//! ops appended" produce byte-identical KBs — the property the
+//! `kb_delta_differential` suite pins.
+//!
+//! [`KnowledgeBase`]: crate::KnowledgeBase
+//! [`KnowledgeBase::apply_delta`]: crate::KnowledgeBase::apply_delta
+//! [`KbBuilder`]: crate::KbBuilder
+
+use crate::hash::FxHashSet;
+use crate::ids::{ClassId, InstanceId, Node, PredId};
+use std::fmt;
+
+/// An edge target named by content: an instance label or a literal value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaNode {
+    /// An instance, by label (resolved like [`crate::KbBuilder::instance`]).
+    Instance(String),
+    /// A literal, by value (interned if new).
+    Literal(String),
+}
+
+/// One KB edit. All names resolve against the target KB at apply time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Adds the triple `(subject, pred, object)`; a duplicate is a no-op.
+    InsertTriple {
+        /// Subject instance label.
+        subject: String,
+        /// Predicate name.
+        pred: String,
+        /// Object node.
+        object: DeltaNode,
+    },
+    /// Removes the triple `(subject, pred, object)` if present. The named
+    /// entities are still interned (so retracting against a rebuilt KB
+    /// assigns the same ids), but no edge change happens on a miss.
+    RetractTriple {
+        /// Subject instance label.
+        subject: String,
+        /// Predicate name.
+        pred: String,
+        /// Object node.
+        object: DeltaNode,
+    },
+    /// Types `instance` with `class` (an `rdf:type` insert).
+    AddType {
+        /// Instance label.
+        instance: String,
+        /// Class name.
+        class: String,
+    },
+    /// Removes the direct `rdf:type` edge `instance → class`, if present.
+    RemoveType {
+        /// Instance label.
+        instance: String,
+        /// Class name.
+        class: String,
+    },
+    /// Declares `sub ⊑ sup` in the taxonomy.
+    AddSubclass {
+        /// Subclass name.
+        sub: String,
+        /// Superclass name.
+        sup: String,
+    },
+    /// Removes the direct `sub ⊑ sup` taxonomy edge, if present.
+    RemoveSubclass {
+        /// Subclass name.
+        sub: String,
+        /// Superclass name.
+        sup: String,
+    },
+}
+
+/// An ordered batch of KB edits, applied atomically by
+/// [`KnowledgeBase::apply_delta`](crate::KnowledgeBase::apply_delta):
+/// either every op lands and the generation bumps, or (on a taxonomy
+/// cycle) nothing changes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KbDelta {
+    ops: Vec<DeltaOp>,
+}
+
+impl KbDelta {
+    /// Creates an empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a raw op.
+    pub fn push(&mut self, op: DeltaOp) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Appends an [`DeltaOp::InsertTriple`].
+    pub fn insert(&mut self, subject: &str, pred: &str, object: DeltaNode) -> &mut Self {
+        self.push(DeltaOp::InsertTriple {
+            subject: subject.to_owned(),
+            pred: pred.to_owned(),
+            object,
+        })
+    }
+
+    /// Appends a [`DeltaOp::RetractTriple`].
+    pub fn retract(&mut self, subject: &str, pred: &str, object: DeltaNode) -> &mut Self {
+        self.push(DeltaOp::RetractTriple {
+            subject: subject.to_owned(),
+            pred: pred.to_owned(),
+            object,
+        })
+    }
+
+    /// Appends an [`DeltaOp::AddType`].
+    pub fn add_type(&mut self, instance: &str, class: &str) -> &mut Self {
+        self.push(DeltaOp::AddType {
+            instance: instance.to_owned(),
+            class: class.to_owned(),
+        })
+    }
+
+    /// Appends a [`DeltaOp::RemoveType`].
+    pub fn remove_type(&mut self, instance: &str, class: &str) -> &mut Self {
+        self.push(DeltaOp::RemoveType {
+            instance: instance.to_owned(),
+            class: class.to_owned(),
+        })
+    }
+
+    /// Appends an [`DeltaOp::AddSubclass`].
+    pub fn add_subclass(&mut self, sub: &str, sup: &str) -> &mut Self {
+        self.push(DeltaOp::AddSubclass {
+            sub: sub.to_owned(),
+            sup: sup.to_owned(),
+        })
+    }
+
+    /// Appends a [`DeltaOp::RemoveSubclass`].
+    pub fn remove_subclass(&mut self, sub: &str, sup: &str) -> &mut Self {
+        self.push(DeltaOp::RemoveSubclass {
+            sub: sub.to_owned(),
+            sup: sup.to_owned(),
+        })
+    }
+
+    /// The ops, in application order.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the delta contains no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Parses the TSV wire format (one op per line, tab-separated because
+    /// labels routinely contain spaces):
+    ///
+    /// ```text
+    /// insert \t <subject> \t <pred> \t i:<label> | l:<value>
+    /// retract\t <subject> \t <pred> \t i:<label> | l:<value>
+    /// type+  \t <instance> \t <class>
+    /// type-  \t <instance> \t <class>
+    /// sub+   \t <sub> \t <sup>
+    /// sub-   \t <sub> \t <sup>
+    /// ```
+    ///
+    /// Blank lines and lines starting with `#` are skipped; a trailing
+    /// `\r` is tolerated.
+    ///
+    /// # Errors
+    /// Returns the 1-based line and a message for the first malformed line.
+    pub fn parse_tsv(text: &str) -> Result<KbDelta, DeltaParseError> {
+        let mut delta = KbDelta::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.strip_suffix('\r').unwrap_or(raw);
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |message: String| DeltaParseError {
+                line: idx + 1,
+                message,
+            };
+            let fields: Vec<&str> = line.split('\t').collect();
+            let expect = |n: usize| -> Result<(), DeltaParseError> {
+                if fields.len() != n {
+                    return Err(err(format!(
+                        "op `{}` takes {} fields, got {}",
+                        fields[0],
+                        n - 1,
+                        fields.len() - 1
+                    )));
+                }
+                if fields[1..].iter().any(|f| f.is_empty()) {
+                    return Err(err(format!("op `{}` has an empty field", fields[0])));
+                }
+                Ok(())
+            };
+            match fields[0] {
+                "insert" | "retract" => {
+                    expect(4)?;
+                    let object = DeltaNode::parse(fields[3]).ok_or_else(|| {
+                        err(format!(
+                            "bad object `{}`: want i:<label> or l:<value>",
+                            fields[3]
+                        ))
+                    })?;
+                    let (subject, pred) = (fields[1].to_owned(), fields[2].to_owned());
+                    delta.push(if fields[0] == "insert" {
+                        DeltaOp::InsertTriple {
+                            subject,
+                            pred,
+                            object,
+                        }
+                    } else {
+                        DeltaOp::RetractTriple {
+                            subject,
+                            pred,
+                            object,
+                        }
+                    });
+                }
+                "type+" | "type-" => {
+                    expect(3)?;
+                    let (instance, class) = (fields[1].to_owned(), fields[2].to_owned());
+                    delta.push(if fields[0] == "type+" {
+                        DeltaOp::AddType { instance, class }
+                    } else {
+                        DeltaOp::RemoveType { instance, class }
+                    });
+                }
+                "sub+" | "sub-" => {
+                    expect(3)?;
+                    let (sub, sup) = (fields[1].to_owned(), fields[2].to_owned());
+                    delta.push(if fields[0] == "sub+" {
+                        DeltaOp::AddSubclass { sub, sup }
+                    } else {
+                        DeltaOp::RemoveSubclass { sub, sup }
+                    });
+                }
+                other => return Err(err(format!("unknown op `{other}`"))),
+            }
+        }
+        Ok(delta)
+    }
+
+    /// Renders the delta back to the TSV wire format parsed by
+    /// [`KbDelta::parse_tsv`].
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        for op in &self.ops {
+            match op {
+                DeltaOp::InsertTriple {
+                    subject,
+                    pred,
+                    object,
+                } => {
+                    out.push_str(&format!("insert\t{subject}\t{pred}\t{}\n", object.render()));
+                }
+                DeltaOp::RetractTriple {
+                    subject,
+                    pred,
+                    object,
+                } => {
+                    out.push_str(&format!(
+                        "retract\t{subject}\t{pred}\t{}\n",
+                        object.render()
+                    ));
+                }
+                DeltaOp::AddType { instance, class } => {
+                    out.push_str(&format!("type+\t{instance}\t{class}\n"));
+                }
+                DeltaOp::RemoveType { instance, class } => {
+                    out.push_str(&format!("type-\t{instance}\t{class}\n"));
+                }
+                DeltaOp::AddSubclass { sub, sup } => {
+                    out.push_str(&format!("sub+\t{sub}\t{sup}\n"));
+                }
+                DeltaOp::RemoveSubclass { sub, sup } => {
+                    out.push_str(&format!("sub-\t{sub}\t{sup}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl DeltaNode {
+    fn parse(field: &str) -> Option<DeltaNode> {
+        if let Some(label) = field.strip_prefix("i:") {
+            Some(DeltaNode::Instance(label.to_owned()))
+        } else {
+            field
+                .strip_prefix("l:")
+                .map(|value| DeltaNode::Literal(value.to_owned()))
+        }
+    }
+
+    fn render(&self) -> String {
+        match self {
+            DeltaNode::Instance(label) => format!("i:{label}"),
+            DeltaNode::Literal(value) => format!("l:{value}"),
+        }
+    }
+}
+
+/// A malformed line in the TSV delta wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for DeltaParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "delta line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DeltaParseError {}
+
+/// The set of KB regions a delta **wrote** — or, symmetrically, the set of
+/// regions a cache entry / repaired tuple **read** while matching.
+///
+/// Granularity (DESIGN.md §10):
+/// * `classes` — classes whose *closed extent* (`instances_of`) or typing
+///   answer may have changed. A type edit on class `c` lands here together
+///   with every ancestor of `c`; readers record the class a rule node
+///   names, so ancestor expansion on the write side makes the overlap
+///   check a plain set intersection.
+/// * `out_pairs` / `in_pairs` — forward/backward adjacency keys touched by
+///   an edge insert or retract; readers record the `(subject, pred)` /
+///   `(object, pred)` keys they probed.
+/// * `literals` — set by a writer when a **new** literal value is interned
+///   (a reader that looked a literal up by value and missed could now
+///   hit); readers set it when they resolve literals by value.
+/// * `all_classes` — a taxonomy edit moved subsumption itself; every
+///   class-dependent reader intersects.
+#[derive(Debug, Clone, Default)]
+pub struct KbFootprint {
+    /// Classes whose extent or typing answers changed / were read.
+    pub classes: FxHashSet<ClassId>,
+    /// Forward-adjacency keys `(subject, pred)` changed / probed.
+    pub out_pairs: FxHashSet<(InstanceId, PredId)>,
+    /// Backward-adjacency keys `(object, pred)` changed / probed.
+    pub in_pairs: FxHashSet<(Node, PredId)>,
+    /// A new literal value was interned / literals were resolved by value.
+    pub literals: bool,
+    /// The taxonomy itself changed; subsumes every class reader.
+    pub all_classes: bool,
+}
+
+impl KbFootprint {
+    /// Creates an empty footprint.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the footprint touches nothing.
+    pub fn is_empty(&self) -> bool {
+        !self.all_classes
+            && !self.literals
+            && self.classes.is_empty()
+            && self.out_pairs.is_empty()
+            && self.in_pairs.is_empty()
+    }
+
+    /// Whether the footprint covers class `c`.
+    pub fn touches_class(&self, c: ClassId) -> bool {
+        self.all_classes || self.classes.contains(&c)
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &KbFootprint) {
+        self.classes.extend(other.classes.iter().copied());
+        self.out_pairs.extend(other.out_pairs.iter().copied());
+        self.in_pairs.extend(other.in_pairs.iter().copied());
+        self.literals |= other.literals;
+        self.all_classes |= other.all_classes;
+    }
+
+    /// Whether two footprints overlap — the staleness test between a
+    /// reader's recorded footprint and a delta's write footprint.
+    /// Symmetric.
+    pub fn intersects(&self, other: &KbFootprint) -> bool {
+        if self.literals && other.literals {
+            return true;
+        }
+        let classes_overlap = if self.all_classes {
+            other.all_classes || !other.classes.is_empty()
+        } else if other.all_classes {
+            !self.classes.is_empty()
+        } else {
+            intersect_sets(&self.classes, &other.classes)
+        };
+        classes_overlap
+            || intersect_sets(&self.out_pairs, &other.out_pairs)
+            || intersect_sets(&self.in_pairs, &other.in_pairs)
+    }
+}
+
+fn intersect_sets<T: Eq + std::hash::Hash>(a: &FxHashSet<T>, b: &FxHashSet<T>) -> bool {
+    let (small, big) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small.iter().any(|x| big.contains(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsv_roundtrip() {
+        let mut d = KbDelta::new();
+        d.insert(
+            "Avram Hershko",
+            "worksAt",
+            DeltaNode::Instance("Technion".into()),
+        )
+        .retract(
+            "Avram Hershko",
+            "bornOnDate",
+            DeltaNode::Literal("1937-12-31".into()),
+        )
+        .add_type("Haifa", "city")
+        .remove_type("Haifa", "village")
+        .add_subclass("city", "place")
+        .remove_subclass("city", "region");
+        let tsv = d.to_tsv();
+        let back = KbDelta::parse_tsv(&tsv).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn parse_skips_blanks_comments_and_crlf() {
+        let d = KbDelta::parse_tsv("# comment\n\ninsert\ta\tp\ti:b\r\n").unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(
+            d.ops()[0],
+            DeltaOp::InsertTriple {
+                subject: "a".into(),
+                pred: "p".into(),
+                object: DeltaNode::Instance("b".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for (text, want_line) in [
+            ("frobnicate\ta\tb", 1),
+            ("insert\ta\tp", 1),
+            ("insert\ta\tp\tb", 1),
+            ("insert\ta\tp\tx:b", 1),
+            ("type+\ta", 1),
+            ("# fine\nsub+\ta\tb\tc", 2),
+            ("insert\t\tp\ti:b", 1),
+        ] {
+            let err = KbDelta::parse_tsv(text).unwrap_err();
+            assert_eq!(err.line, want_line, "for {text:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn footprint_intersection_rules() {
+        let mut read = KbFootprint::new();
+        read.classes.insert(ClassId::from_index(3));
+        read.out_pairs
+            .insert((InstanceId::from_index(1), PredId::from_index(0)));
+
+        let mut write = KbFootprint::new();
+        assert!(!read.intersects(&write));
+        write.classes.insert(ClassId::from_index(2));
+        assert!(!read.intersects(&write));
+        write.classes.insert(ClassId::from_index(3));
+        assert!(read.intersects(&write));
+
+        let mut tax = KbFootprint::new();
+        tax.all_classes = true;
+        assert!(read.intersects(&tax));
+        assert!(tax.intersects(&read));
+        let pure_edges = KbFootprint {
+            out_pairs: [(InstanceId::from_index(9), PredId::from_index(9))]
+                .into_iter()
+                .collect(),
+            ..KbFootprint::new()
+        };
+        assert!(
+            !pure_edges.intersects(&tax),
+            "taxonomy edits leave adjacency readers alone"
+        );
+
+        let mut lit_read = KbFootprint::new();
+        lit_read.literals = true;
+        let mut lit_write = KbFootprint::new();
+        assert!(!lit_read.intersects(&lit_write));
+        lit_write.literals = true;
+        assert!(lit_read.intersects(&lit_write));
+    }
+
+    #[test]
+    fn footprint_merge_and_empty() {
+        let mut a = KbFootprint::new();
+        assert!(a.is_empty());
+        let mut b = KbFootprint::new();
+        b.classes.insert(ClassId::from_index(1));
+        b.literals = true;
+        a.merge(&b);
+        assert!(!a.is_empty());
+        assert!(a.touches_class(ClassId::from_index(1)));
+        assert!(a.literals);
+    }
+}

@@ -50,12 +50,22 @@ pub fn figure1_kb() -> KnowledgeBase {
 /// Builds a KB covering all four tuples of Table I, sufficient to apply all
 /// four detective rules of Figure 4 to every row.
 pub fn nobel_mini_kb() -> KnowledgeBase {
+    nobel_mini_builder()
+        .finalize()
+        .expect("fixture taxonomy is acyclic")
+}
+
+/// The builder behind [`nobel_mini_kb`], still open for edits. Delta-vs-
+/// rebuild oracles replay the original construction plus a
+/// [`crate::delta::KbDelta`]'s ops through this builder and compare the
+/// result against [`KnowledgeBase::apply_delta`] applied in place.
+pub fn nobel_mini_builder() -> KbBuilder {
     let mut b = KbBuilder::new();
     add_hershko(&mut b);
     add_curie(&mut b);
     add_hoffmann(&mut b);
     add_calvin(&mut b);
-    b.finalize().expect("fixture taxonomy is acyclic")
+    b
 }
 
 fn add_hershko(b: &mut KbBuilder) {

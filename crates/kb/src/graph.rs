@@ -11,6 +11,7 @@
 //! * O(log n) membership (`has_edge`),
 //! * exact-label lookup (`instances_labeled`).
 
+use crate::delta::{DeltaNode, DeltaOp, KbDelta, KbFootprint};
 use crate::hash::FxHashMap;
 use crate::ids::{ClassId, InstanceId, LiteralId, Node, PredId};
 use crate::symbol::{Symbol, SymbolTable};
@@ -162,6 +163,24 @@ impl KbBuilder {
     /// Adds a triple `(s, p, o)`.
     pub fn edge(&mut self, s: InstanceId, p: PredId, o: impl Into<Node>) {
         self.edges.push((s, p, o.into()));
+    }
+
+    /// Removes every copy of the triple `(s, p, o)` added so far. The
+    /// rebuild-oracle counterpart of [`crate::delta::DeltaOp::RetractTriple`].
+    pub fn retract_edge(&mut self, s: InstanceId, p: PredId, o: impl Into<Node>) {
+        let o = o.into();
+        self.edges.retain(|&(es, ep, eo)| (es, ep, eo) != (s, p, o));
+    }
+
+    /// Removes the `rdf:type` edge typing `i` with `c`, if present. Other
+    /// classes of `i` keep their relative order.
+    pub fn remove_type(&mut self, i: InstanceId, c: ClassId) {
+        self.instances[i.index()].classes.retain(|&d| d != c);
+    }
+
+    /// Retracts the direct `sub ⊑ sup` taxonomy edge, if present.
+    pub fn remove_subclass(&mut self, sub: ClassId, sup: ClassId) {
+        self.taxonomy.remove_subclass(sub, sup);
     }
 
     /// Number of instances created so far.
@@ -481,6 +500,356 @@ impl KnowledgeBase {
             .iter()
             .flat_map(|(&(s, p), objs)| objs.iter().map(move |&o| (s, p, o)))
     }
+
+    // ----- incremental edits (DESIGN.md §10) ------------------------------
+
+    /// Applies `delta` in place: every op lands in order, indexes are
+    /// maintained, the generation bumps, and the cached content hash is
+    /// reset. Returns the **write footprint** — the classes, adjacency
+    /// pairs, and literal state the delta touched — which cache layers
+    /// intersect against recorded read footprints to invalidate only
+    /// stale entries.
+    ///
+    /// The result is byte-identical to rebuilding the KB from scratch
+    /// with the delta's ops appended to the original construction
+    /// sequence (same ids, same content hash) — the invariant pinned by
+    /// the `kb_delta_differential` suite.
+    ///
+    /// # Errors
+    /// If a `sub+` op would make the taxonomy cyclic, nothing is mutated
+    /// and [`KbError::TaxonomyCycle`] is returned.
+    pub fn apply_delta(&mut self, delta: &KbDelta) -> Result<KbFootprint, KbError> {
+        // --- plan: assign ids for not-yet-existing classes without
+        // mutating, so taxonomy edits can be cycle-checked up front and a
+        // rejected delta leaves the KB untouched.
+        let mut planned: FxHashMap<Box<str>, ClassId> = FxHashMap::default();
+        let mut next_class = self.class_names.len();
+        fn plan_class(
+            kb: &KnowledgeBase,
+            planned: &mut FxHashMap<Box<str>, ClassId>,
+            next_class: &mut usize,
+            name: &str,
+        ) -> ClassId {
+            if let Some(c) = kb.class_named(name) {
+                return c;
+            }
+            if let Some(&c) = planned.get(name) {
+                return c;
+            }
+            let c = ClassId::from_index(*next_class);
+            *next_class += 1;
+            planned.insert(name.into(), c);
+            c
+        }
+        let mut tax_ops: Vec<(bool, ClassId, ClassId)> = Vec::new();
+        for op in delta.ops() {
+            match op {
+                DeltaOp::AddType { class, .. } | DeltaOp::RemoveType { class, .. } => {
+                    plan_class(self, &mut planned, &mut next_class, class);
+                }
+                DeltaOp::AddSubclass { sub, sup } => {
+                    let a = plan_class(self, &mut planned, &mut next_class, sub);
+                    let b = plan_class(self, &mut planned, &mut next_class, sup);
+                    tax_ops.push((true, a, b));
+                }
+                DeltaOp::RemoveSubclass { sub, sup } => {
+                    let a = plan_class(self, &mut planned, &mut next_class, sub);
+                    let b = plan_class(self, &mut planned, &mut next_class, sup);
+                    tax_ops.push((false, a, b));
+                }
+                DeltaOp::InsertTriple { .. } | DeltaOp::RetractTriple { .. } => {}
+            }
+        }
+        let taxonomy_changed = !tax_ops.is_empty();
+
+        // --- validate: rebuild the taxonomy (existing edges replayed in
+        // construction order + delta edits in op order) whenever the
+        // hierarchy changes or new classes appear, so `descendants` covers
+        // every class. Finalize before touching `self`: a cycle aborts the
+        // whole delta.
+        let needs_tax_rebuild = taxonomy_changed || next_class > self.class_names.len();
+        let new_taxonomy = if needs_tax_rebuild {
+            let mut t = Taxonomy::new();
+            let total = next_class.max(self.taxonomy.num_classes());
+            if total > 0 {
+                t.ensure(ClassId::from_index(total - 1));
+            }
+            for c in 0..self.taxonomy.num_classes() {
+                let c = ClassId::from_index(c);
+                for &p in self.taxonomy.parents(c) {
+                    t.add_subclass(c, p);
+                }
+            }
+            for &(add, sub, sup) in &tax_ops {
+                if add {
+                    t.add_subclass(sub, sup);
+                } else {
+                    t.remove_subclass(sub, sup);
+                }
+            }
+            t.finalize().map_err(|c| {
+                let name = self
+                    .class_names
+                    .get(c.index())
+                    .map(|&s| self.symbols.resolve(s).to_owned())
+                    .or_else(|| {
+                        planned
+                            .iter()
+                            .find(|&(_, &id)| id == c)
+                            .map(|(n, _)| n.to_string())
+                    })
+                    .unwrap_or_else(|| format!("{c:?}"));
+                KbError::TaxonomyCycle(name)
+            })?;
+            Some(t)
+        } else {
+            None
+        };
+
+        // --- mutate: ops in order. Entities are interned even by retract
+        // ops (id parity with the rebuild oracle); the footprint records
+        // only regions that actually changed.
+        let mut fp = KbFootprint::new();
+        let mut types_changed = false;
+        for op in delta.ops() {
+            match op {
+                DeltaOp::InsertTriple {
+                    subject,
+                    pred,
+                    object,
+                } => {
+                    let s = self.intern_instance_mut(subject);
+                    let p = self.intern_pred_mut(pred);
+                    let o = self.intern_node_mut(object, &mut fp);
+                    let objs = self.out.entry((s, p)).or_default();
+                    if let Err(pos) = objs.binary_search(&o) {
+                        objs.insert(pos, o);
+                        let subs = self.inn.entry((o, p)).or_default();
+                        if let Err(sp) = subs.binary_search(&s) {
+                            subs.insert(sp, s);
+                        }
+                        let preds = &mut self.preds_of[s.index()];
+                        if let Err(pp) = preds.binary_search(&p) {
+                            preds.insert(pp, p);
+                        }
+                        self.edge_count += 1;
+                        fp.out_pairs.insert((s, p));
+                        fp.in_pairs.insert((o, p));
+                    }
+                }
+                DeltaOp::RetractTriple {
+                    subject,
+                    pred,
+                    object,
+                } => {
+                    let s = self.intern_instance_mut(subject);
+                    let p = self.intern_pred_mut(pred);
+                    let o = self.intern_node_mut(object, &mut fp);
+                    let Some(objs) = self.out.get_mut(&(s, p)) else {
+                        continue;
+                    };
+                    let Ok(pos) = objs.binary_search(&o) else {
+                        continue;
+                    };
+                    objs.remove(pos);
+                    if objs.is_empty() {
+                        self.out.remove(&(s, p));
+                        let preds = &mut self.preds_of[s.index()];
+                        if let Ok(pp) = preds.binary_search(&p) {
+                            preds.remove(pp);
+                        }
+                    }
+                    if let Some(subs) = self.inn.get_mut(&(o, p)) {
+                        if let Ok(sp) = subs.binary_search(&s) {
+                            subs.remove(sp);
+                        }
+                        if subs.is_empty() {
+                            self.inn.remove(&(o, p));
+                        }
+                    }
+                    self.edge_count -= 1;
+                    fp.out_pairs.insert((s, p));
+                    fp.in_pairs.insert((o, p));
+                }
+                DeltaOp::AddType { instance, class } => {
+                    let i = self.intern_instance_mut(instance);
+                    let c = self.intern_class_mut(class);
+                    let meta = &mut self.instances[i.index()];
+                    if !meta.classes.contains(&c) {
+                        meta.classes.push(c);
+                        let direct = &mut self.direct_instances[c.index()];
+                        if let Err(pos) = direct.binary_search(&i) {
+                            direct.insert(pos, i);
+                        }
+                        types_changed = true;
+                        fp.classes.insert(c);
+                    }
+                }
+                DeltaOp::RemoveType { instance, class } => {
+                    let i = self.intern_instance_mut(instance);
+                    let c = self.intern_class_mut(class);
+                    let meta = &mut self.instances[i.index()];
+                    if let Some(pos) = meta.classes.iter().position(|&d| d == c) {
+                        meta.classes.remove(pos);
+                        let direct = &mut self.direct_instances[c.index()];
+                        if let Ok(dp) = direct.binary_search(&i) {
+                            direct.remove(dp);
+                        }
+                        types_changed = true;
+                        fp.classes.insert(c);
+                    }
+                }
+                DeltaOp::AddSubclass { sub, sup } | DeltaOp::RemoveSubclass { sub, sup } => {
+                    // Edge set already folded into `new_taxonomy`; intern
+                    // here so class-id assignment matches the plan (and
+                    // the rebuild oracle).
+                    self.intern_class_mut(sub);
+                    self.intern_class_mut(sup);
+                }
+            }
+        }
+        debug_assert_eq!(self.class_names.len(), next_class, "plan/mutation id drift");
+
+        if let Some(t) = new_taxonomy {
+            self.taxonomy = t;
+        }
+        if types_changed || needs_tax_rebuild {
+            self.recompute_closed_instances();
+        }
+
+        // Ancestor expansion against the *installed* taxonomy: a type edit
+        // on `c` changes the closed extent of `c` and every class above it.
+        fp.all_classes = taxonomy_changed;
+        if !fp.classes.is_empty() {
+            let direct: Vec<ClassId> = fp.classes.iter().copied().collect();
+            let mut stack = direct;
+            while let Some(c) = stack.pop() {
+                for &p in self.taxonomy.parents(c) {
+                    if fp.classes.insert(p) {
+                        stack.push(p);
+                    }
+                }
+            }
+        }
+
+        self.generation = alloc_generation();
+        self.content_hash = OnceLock::new();
+        Ok(fp)
+    }
+
+    fn recompute_closed_instances(&mut self) {
+        let n = self.class_names.len().max(self.taxonomy.num_classes());
+        let mut closed: Vec<Vec<InstanceId>> = Vec::with_capacity(n);
+        for c in 0..n {
+            let class = ClassId::from_index(c);
+            let mut acc: Vec<InstanceId> = Vec::new();
+            for &d in self.taxonomy.descendants(class) {
+                if let Some(direct) = self.direct_instances.get(d.index()) {
+                    acc.extend_from_slice(direct);
+                }
+            }
+            acc.sort_unstable();
+            acc.dedup();
+            closed.push(acc);
+        }
+        self.closed_instances = closed;
+    }
+
+    fn intern_class_mut(&mut self, name: &str) -> ClassId {
+        let sym = self.symbols.intern(name);
+        if let Some(&c) = self.class_by_name.get(&sym) {
+            return c;
+        }
+        let id = ClassId::from_index(self.class_names.len());
+        self.class_names.push(sym);
+        self.class_by_name.insert(sym, id);
+        // Keep the per-class indexes dense; closures are recomputed after
+        // the op loop.
+        if self.direct_instances.len() < id.index() + 1 {
+            self.direct_instances.resize_with(id.index() + 1, Vec::new);
+        }
+        if self.closed_instances.len() < id.index() + 1 {
+            self.closed_instances.resize_with(id.index() + 1, Vec::new);
+        }
+        id
+    }
+
+    fn intern_pred_mut(&mut self, name: &str) -> PredId {
+        let sym = self.symbols.intern(name);
+        if let Some(&p) = self.pred_by_name.get(&sym) {
+            return p;
+        }
+        let id = PredId::from_index(self.pred_names.len());
+        self.pred_names.push(sym);
+        self.pred_by_name.insert(sym, id);
+        id
+    }
+
+    fn intern_instance_mut(&mut self, label: &str) -> InstanceId {
+        let sym = self.symbols.intern(label);
+        if let Some(ids) = self.instance_by_label.get(&sym) {
+            if let Some(&first) = ids.first() {
+                return first;
+            }
+        }
+        let id = InstanceId::from_index(self.instances.len());
+        self.instances.push(InstanceMeta {
+            label: sym,
+            classes: Vec::new(),
+        });
+        // New id is the maximum, so pushing keeps the per-label list sorted.
+        self.instance_by_label.entry(sym).or_default().push(id);
+        self.preds_of.push(Vec::new());
+        id
+    }
+
+    fn intern_node_mut(&mut self, node: &DeltaNode, fp: &mut KbFootprint) -> Node {
+        match node {
+            DeltaNode::Instance(label) => Node::Instance(self.intern_instance_mut(label)),
+            DeltaNode::Literal(value) => {
+                let sym = self.symbols.intern(value);
+                if let Some(&l) = self.literal_by_value.get(&sym) {
+                    return Node::Literal(l);
+                }
+                let id = LiteralId::from_index(self.literal_values.len());
+                self.literal_values.push(sym);
+                self.literal_by_value.insert(sym, id);
+                // A reader that resolved this value before the delta saw a
+                // miss; flag literal state as changed.
+                fp.literals = true;
+                Node::Literal(id)
+            }
+        }
+    }
+}
+
+impl Clone for KnowledgeBase {
+    /// Deep-copies the KB content under a **fresh generation**: generations
+    /// are process-unique identities, never shared — cache state keyed to
+    /// the source KB must not leak onto the clone. The cached content hash
+    /// carries over (content is identical).
+    fn clone(&self) -> Self {
+        KnowledgeBase {
+            symbols: self.symbols.clone(),
+            class_names: self.class_names.clone(),
+            class_by_name: self.class_by_name.clone(),
+            pred_names: self.pred_names.clone(),
+            pred_by_name: self.pred_by_name.clone(),
+            instances: self.instances.clone(),
+            instance_by_label: self.instance_by_label.clone(),
+            literal_values: self.literal_values.clone(),
+            literal_by_value: self.literal_by_value.clone(),
+            taxonomy: self.taxonomy.clone(),
+            out: self.out.clone(),
+            inn: self.inn.clone(),
+            preds_of: self.preds_of.clone(),
+            direct_instances: self.direct_instances.clone(),
+            closed_instances: self.closed_instances.clone(),
+            edge_count: self.edge_count,
+            generation: alloc_generation(),
+            content_hash: self.content_hash.clone(),
+        }
+    }
 }
 
 impl fmt::Debug for KnowledgeBase {
@@ -646,5 +1015,182 @@ mod tests {
         let b = figure1_kb();
         assert_ne!(a.generation(), b.generation());
         assert_ne!(a.generation(), 0, "generation 0 is the `no KB` sentinel");
+    }
+
+    #[test]
+    fn clone_draws_a_fresh_generation_but_keeps_content() {
+        let a = figure1_kb();
+        let hash = a.content_hash();
+        let b = a.clone();
+        assert_ne!(a.generation(), b.generation());
+        assert_eq!(b.content_hash(), hash);
+        assert_eq!(b.num_edges(), a.num_edges());
+    }
+
+    #[test]
+    fn delta_insert_and_retract_maintain_indexes() {
+        let mut kb = figure1_kb();
+        let gen0 = kb.generation();
+        let works_at = kb.pred_named("worksAt").unwrap();
+        let haifa = kb.instances_labeled("Haifa")[0];
+
+        let mut d = KbDelta::new();
+        d.insert("Ada Yonath", "worksAt", DeltaNode::Instance("Haifa".into()));
+        let fp = kb.apply_delta(&d).unwrap();
+        assert!(kb.generation() > gen0);
+
+        let ada = kb.instances_labeled("Ada Yonath")[0];
+        assert!(kb.has_edge(ada, works_at, Node::Instance(haifa)));
+        assert_eq!(kb.subjects(Node::Instance(haifa), works_at), &[ada]);
+        assert_eq!(kb.preds_of(ada), &[works_at]);
+        assert!(fp.out_pairs.contains(&(ada, works_at)));
+        assert!(fp.in_pairs.contains(&(Node::Instance(haifa), works_at)));
+        assert!(fp.classes.is_empty() && !fp.all_classes && !fp.literals);
+
+        let edges = kb.num_edges();
+        let mut r = KbDelta::new();
+        r.retract("Ada Yonath", "worksAt", DeltaNode::Instance("Haifa".into()));
+        kb.apply_delta(&r).unwrap();
+        assert!(!kb.has_edge(ada, works_at, Node::Instance(haifa)));
+        assert_eq!(kb.num_edges(), edges - 1);
+        assert!(kb.preds_of(ada).is_empty());
+        assert!(kb.subjects(Node::Instance(haifa), works_at).is_empty());
+    }
+
+    #[test]
+    fn delta_type_ops_update_closed_extents_with_ancestors_in_footprint() {
+        let mut b = KbBuilder::new();
+        let person = b.class("person");
+        let chemist = b.class("chemist");
+        b.subclass(chemist, person);
+        let i = b.instance("Marie Curie");
+        b.set_type(i, chemist);
+        let mut kb = b.finalize().unwrap();
+
+        let mut d = KbDelta::new();
+        d.add_type("Paul Berg", "chemist");
+        let fp = kb.apply_delta(&d).unwrap();
+        let berg = kb.instances_labeled("Paul Berg")[0];
+        assert_eq!(kb.instances_of(person), &[i, berg]);
+        assert!(fp.touches_class(chemist) && fp.touches_class(person));
+        assert!(!fp.all_classes);
+
+        let mut r = KbDelta::new();
+        r.remove_type("Marie Curie", "chemist");
+        let fp = kb.apply_delta(&r).unwrap();
+        assert_eq!(kb.instances_of(person), &[berg]);
+        assert!(kb.instance_classes(i).is_empty());
+        assert!(fp.touches_class(person));
+    }
+
+    #[test]
+    fn delta_taxonomy_edit_sets_all_classes_and_cycle_aborts_cleanly() {
+        let mut b = KbBuilder::new();
+        let person = b.class("person");
+        let chemist = b.class("chemist");
+        b.subclass(chemist, person);
+        let i = b.instance("Marie Curie");
+        b.set_type(i, chemist);
+        let mut kb = b.finalize().unwrap();
+
+        // A cyclic edit is rejected before anything mutates.
+        let gen = kb.generation();
+        let mut bad = KbDelta::new();
+        bad.add_subclass("person", "chemist");
+        match kb.apply_delta(&bad) {
+            Err(KbError::TaxonomyCycle(_)) => {}
+            other => panic!("expected cycle error, got {other:?}"),
+        }
+        assert_eq!(kb.generation(), gen, "rejected delta must not mutate");
+        assert_eq!(kb.instances_of(person), &[i]);
+
+        // Removing the subclass edge empties person's closed extent.
+        let mut d = KbDelta::new();
+        d.remove_subclass("chemist", "person");
+        let fp = kb.apply_delta(&d).unwrap();
+        assert!(fp.all_classes);
+        assert!(kb.instances_of(person).is_empty());
+        assert_eq!(kb.instances_of(chemist), &[i]);
+    }
+
+    #[test]
+    fn delta_matches_rebuild_content_hash() {
+        // In-place delta vs replaying construction + ops through the
+        // builder: same ids, same content hash.
+        let build_base = |b: &mut KbBuilder| {
+            let city = b.class("city");
+            let country = b.class("country");
+            let located_in = b.pred("locatedIn");
+            let haifa = b.instance("Haifa");
+            let israel = b.instance("Israel");
+            b.set_type(haifa, city);
+            b.set_type(israel, country);
+            b.edge(haifa, located_in, israel);
+        };
+
+        let mut live = {
+            let mut b = KbBuilder::new();
+            build_base(&mut b);
+            b.finalize().unwrap()
+        };
+        let mut d = KbDelta::new();
+        d.insert("Haifa", "population", DeltaNode::Literal("285000".into()))
+            .retract("Haifa", "locatedIn", DeltaNode::Instance("Israel".into()))
+            .add_type("Haifa", "port")
+            .add_subclass("port", "place")
+            .remove_type("Israel", "country");
+        let fp = live.apply_delta(&d).unwrap();
+        assert!(fp.literals, "new literal interned");
+
+        let rebuilt = {
+            let mut b = KbBuilder::new();
+            build_base(&mut b);
+            // Mirror the ops 1:1 through the builder (the rebuild oracle).
+            let s = b.instance("Haifa");
+            let p = b.pred("population");
+            let l = b.literal("285000");
+            b.edge(s, p, l);
+            let s = b.instance("Haifa");
+            let p = b.pred("locatedIn");
+            let o = b.instance("Israel");
+            b.retract_edge(s, p, o);
+            let i = b.instance("Haifa");
+            let c = b.class("port");
+            b.set_type(i, c);
+            let sub = b.class("port");
+            let sup = b.class("place");
+            b.subclass(sub, sup);
+            let i = b.instance("Israel");
+            let c = b.class("country");
+            b.remove_type(i, c);
+            b.finalize().unwrap()
+        };
+
+        assert_eq!(live.content_hash(), rebuilt.content_hash());
+        assert_eq!(live.num_edges(), rebuilt.num_edges());
+        assert_eq!(live.num_classes(), rebuilt.num_classes());
+        assert_eq!(live.num_instances(), rebuilt.num_instances());
+        assert_eq!(live.num_literals(), rebuilt.num_literals());
+    }
+
+    #[test]
+    fn empty_and_noop_deltas_have_empty_footprints() {
+        let mut kb = figure1_kb();
+        let fp = kb.apply_delta(&KbDelta::new()).unwrap();
+        assert!(fp.is_empty());
+
+        // Re-inserting an existing edge and retracting a missing one both
+        // leave the KB — and the footprint — untouched.
+        let mut d = KbDelta::new();
+        d.insert(
+            "Israel Institute of Technology",
+            "locatedIn",
+            DeltaNode::Instance("Haifa".into()),
+        );
+        d.retract("Haifa", "locatedIn", DeltaNode::Instance("Karcag".into()));
+        let edges = kb.num_edges();
+        let fp = kb.apply_delta(&d).unwrap();
+        assert!(fp.is_empty(), "no-op ops must not invalidate: {fp:?}");
+        assert_eq!(kb.num_edges(), edges);
     }
 }

@@ -46,6 +46,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod content_hash;
+pub mod delta;
 pub mod fixtures;
 pub mod graph;
 pub mod hash;
@@ -61,6 +62,7 @@ pub mod taxonomy;
 pub mod view;
 
 pub use content_hash::content_hash_of;
+pub use delta::{DeltaNode, DeltaOp, DeltaParseError, KbDelta, KbFootprint};
 pub use graph::{KbBuilder, KbError, KnowledgeBase};
 pub use hash::{FxHashMap, FxHashSet};
 pub use ids::{ClassId, InstanceId, LiteralId, Node, PredId};

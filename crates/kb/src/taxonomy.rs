@@ -54,6 +54,20 @@ impl Taxonomy {
         }
     }
 
+    /// Removes the direct `subClassOf` edge `sub ⊑ sup`, if present.
+    /// Transitive subsumption through other paths is unaffected.
+    ///
+    /// # Panics
+    /// Panics if called after [`Taxonomy::finalize`].
+    pub fn remove_subclass(&mut self, sub: ClassId, sup: ClassId) {
+        assert!(!self.finalized, "taxonomy already finalized");
+        if sub.index() >= self.parents.len() || sup.index() >= self.parents.len() {
+            return;
+        }
+        self.parents[sub.index()].retain(|&p| p != sup);
+        self.children[sup.index()].retain(|&c| c != sub);
+    }
+
     /// Number of classes known to the taxonomy.
     pub fn num_classes(&self) -> usize {
         self.parents.len()

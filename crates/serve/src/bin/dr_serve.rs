@@ -167,12 +167,15 @@ fn main() {
         Err(e) => die(&e),
     };
     for entry in &state.entries {
+        let Some(core) = entry.core() else { continue };
+        let kb = core.kb.as_ref();
         eprintln!(
-            "dr-serve:   {}: {} instances, {} edges, {} rules",
+            "dr-serve:   {}: {} instances, {} edges, {} rules (generation {})",
             entry.name,
-            entry.kb.num_instances(),
-            entry.kb.num_edges(),
-            entry.rules.len()
+            kb.num_instances(),
+            kb.num_edges(),
+            core.rules.len(),
+            kb.generation(),
         );
     }
 

@@ -6,16 +6,18 @@
 //! service entry point free of I/O is what lets the concurrency tests
 //! drive it from plain threads and compare byte-identical outputs.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use dr_core::{parallel_repair, ParallelOptions, RelationReport, TupleOutcome};
 use dr_kb::quarantine::{LenientOptions, Quarantine};
+use dr_kb::KbDelta;
 use dr_obs::json::escape_into;
 use dr_relation::Relation;
 
 use crate::admission::Admission;
 use crate::http::Request;
-use crate::state::{KbEntry, ServerState};
+use crate::state::{DeltaApplyError, KbCore, KbEntry, ServerState};
 
 /// A computed response, not yet serialized to a socket.
 pub struct Response {
@@ -93,6 +95,21 @@ pub fn handle(state: &ServerState, req: &Request) -> Response {
                 } else {
                     ("repair", Response::error(405, "repair requires POST"))
                 }
+            } else if let Some(rest) = path.strip_prefix("/v1/kbs/") {
+                if let Some(kb) = rest.strip_suffix("/delta") {
+                    if method == "POST" {
+                        ("kb_delta", kb_delta(state, kb, req))
+                    } else {
+                        ("kb_delta", Response::error(405, "delta requires POST"))
+                    }
+                } else if method == "DELETE" {
+                    ("kb_unload", kb_unload(state, rest))
+                } else {
+                    (
+                        "kb_unload",
+                        Response::error(405, "KB management requires DELETE or POST .../delta"),
+                    )
+                }
             } else {
                 ("other", Response::error(404, &format!("no route {path}")))
             }
@@ -122,10 +139,10 @@ fn status_class(status: u16) -> &'static str {
 }
 
 fn healthz(state: &ServerState) -> Response {
+    let loaded = state.entries.iter().filter(|e| e.core().is_some()).count();
     let body = format!(
-        "{{\"status\":\"ok\",\"uptime_seconds\":{},\"kbs\":{}}}",
+        "{{\"status\":\"ok\",\"uptime_seconds\":{},\"kbs\":{loaded}}}",
         state.started.elapsed().as_secs(),
-        state.entries.len()
     );
     Response::json(200, body)
 }
@@ -152,10 +169,14 @@ fn metrics(state: &ServerState) -> Response {
 
 fn kbs(state: &ServerState) -> Response {
     let mut body = String::from("{\"kbs\":[");
-    for (i, entry) in state.entries.iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    for entry in &state.entries {
+        // Unloaded KBs no longer exist as far as clients are concerned.
+        let Some(core) = entry.core() else { continue };
+        if !first {
             body.push(',');
         }
+        first = false;
         body.push_str("{\"name\":\"");
         escape_into(&mut body, &entry.name);
         body.push_str("\",\"schema\":\"");
@@ -170,12 +191,18 @@ fn kbs(state: &ServerState) -> Response {
             body.push('"');
         }
         body.push_str("],");
+        let kb = core.kb.as_ref();
         body.push_str(&format!(
-            "\"rules\":{},\"instances\":{},\"edges\":{},\"literals\":{},\"health\":\"{}\"}}",
-            entry.rules.len(),
-            entry.kb.num_instances(),
-            entry.kb.num_edges(),
-            entry.kb.num_literals(),
+            concat!(
+                "\"rules\":{},\"instances\":{},\"edges\":{},\"literals\":{},",
+                "\"generation\":{},\"backend\":\"{}\",\"health\":\"{}\"}}"
+            ),
+            core.rules.len(),
+            kb.num_instances(),
+            kb.num_edges(),
+            kb.num_literals(),
+            kb.generation(),
+            kb.backend(),
             if entry.health.is_degraded() {
                 "degraded"
             } else {
@@ -184,6 +211,85 @@ fn kbs(state: &ServerState) -> Response {
         ));
     }
     body.push_str("]}");
+    Response::json(200, body)
+}
+
+/// `POST /v1/kbs/{kb}/delta` — applies a TSV-encoded [`KbDelta`] to an
+/// in-memory KB: the entry swaps to a successor core at the next KB
+/// generation, value-cache entries whose recorded footprint intersects the
+/// delta's are swept (the rest re-key to the new generation and stay
+/// warm), and the response reports the new generation.
+fn kb_delta(state: &ServerState, kb_name: &str, req: &Request) -> Response {
+    let Some(entry) = state.entry(kb_name) else {
+        return Response::error(404, &format!("no KB named {kb_name:?}; see /kbs"));
+    };
+    if state.lifecycle.is_draining() {
+        return Response::error(503, "server is draining").with_header("retry-after", "1".into());
+    }
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "delta body must be UTF-8 TSV");
+    };
+    let delta = match KbDelta::parse_tsv(text) {
+        Ok(d) => d,
+        Err(e) => {
+            return Response::error(400, &format!("delta line {}: {}", e.line, e.message));
+        }
+    };
+    if delta.ops().is_empty() {
+        return Response::error(400, "empty delta (no ops)");
+    }
+    match entry.apply_delta(&delta, &state.registry) {
+        Ok(outcome) => {
+            state
+                .obs
+                .metrics()
+                .counter("kb_delta_applied_total", &[("kb", &entry.name)])
+                .inc();
+            // Re-keyed snapshots carry the new content hash; flush them so
+            // a restart against the post-delta KB warm-loads.
+            state.registry.persist();
+            let mut body = String::from("{\"kb\":\"");
+            escape_into(&mut body, &entry.name);
+            body.push_str(&format!(
+                "\",\"generation\":{},\"ops\":{},\"invalidated\":{}}}",
+                outcome.generation,
+                delta.ops().len(),
+                outcome.invalidated,
+            ));
+            Response::json(200, body)
+        }
+        Err(DeltaApplyError::Unloaded) => {
+            Response::error(404, &format!("KB {kb_name:?} was unloaded"))
+        }
+        Err(DeltaApplyError::Immutable) => Response::error(
+            409,
+            &format!("KB {kb_name:?} is an immutable mmap image; deltas need an in-memory KB"),
+        ),
+        Err(DeltaApplyError::Rejected(msg)) => {
+            Response::error(400, &format!("delta rejected: {msg}"))
+        }
+    }
+}
+
+/// `DELETE /v1/kbs/{kb}` — unloads a served KB: subsequent requests 404,
+/// its value caches are evicted (written back to disk first when a cache
+/// dir is configured), and the KB's memory is released once the last
+/// in-flight request drops its core handle.
+fn kb_unload(state: &ServerState, kb_name: &str) -> Response {
+    let Some(entry) = state.entry(kb_name) else {
+        return Response::error(404, &format!("no KB named {kb_name:?}; see /kbs"));
+    };
+    let Some(core) = entry.unload() else {
+        return Response::error(404, &format!("KB {kb_name:?} was already unloaded"));
+    };
+    let caches_dropped = state
+        .registry
+        .evict_generation(core.kb.as_ref().generation());
+    let mut body = String::from("{\"kb\":\"");
+    escape_into(&mut body, &entry.name);
+    body.push_str(&format!(
+        "\",\"unloaded\":true,\"caches_dropped\":{caches_dropped}}}"
+    ));
     Response::json(200, body)
 }
 
@@ -266,6 +372,11 @@ fn repair(state: &ServerState, kb_name: &str, req: &Request) -> Response {
     let Some(entry) = state.entry(kb_name) else {
         return Response::error(404, &format!("no KB named {kb_name:?}; see /kbs"));
     };
+    // Clone the core's Arc up front: a delta swapping a new generation in
+    // mid-request leaves this repair on the generation it started with.
+    let Some(core) = entry.core() else {
+        return Response::error(404, &format!("KB {kb_name:?} was unloaded"));
+    };
     if state.lifecycle.is_draining() {
         // In-flight repairs finish across a drain; *new* ones are refused
         // so the drain deadline is spent finishing, not starting.
@@ -327,9 +438,8 @@ fn repair(state: &ServerState, kb_name: &str, req: &Request) -> Response {
     }
 
     let repair_started = Instant::now();
-    let ctx = entry
-        .ctx
-        .fork()
+    let ctx = core
+        .context(Arc::clone(&state.registry), Arc::clone(&state.obs))
         .with_budget(state.budget(params.deadline_ms, params.max_steps));
     let mut retry = state.config.retry;
     if let Some(attempts) = params.retry_attempts {
@@ -350,7 +460,7 @@ fn repair(state: &ServerState, kb_name: &str, req: &Request) -> Response {
         }),
         ..ParallelOptions::default()
     };
-    let mut report = parallel_repair(&ctx, &entry.rules, &mut relation, &opts);
+    let mut report = parallel_repair(&ctx, &core.rules, &mut relation, &opts);
     report.resilience.add_quarantined(quarantine.quarantined());
     entry.health.record(report.resilience.failed == 0);
 
@@ -369,7 +479,7 @@ fn repair(state: &ServerState, kb_name: &str, req: &Request) -> Response {
         status: 200,
         content_type: "application/x-ndjson",
         headers: Vec::new(),
-        body: Body::Lines(render_ndjson(entry, &relation, &report, &quarantine)),
+        body: Body::Lines(render_ndjson(entry, &core, &relation, &report, &quarantine)),
     }
 }
 
@@ -378,6 +488,7 @@ fn repair(state: &ServerState, kb_name: &str, req: &Request) -> Response {
 /// summary line.
 fn render_ndjson(
     entry: &KbEntry,
+    core: &KbCore,
     relation: &Relation,
     report: &RelationReport,
     quarantine: &Quarantine,
@@ -386,10 +497,13 @@ fn render_ndjson(
 
     let mut header = String::from("{\"kind\":\"header\",\"kb\":\"");
     escape_into(&mut header, &entry.name);
+    // No KB generation here: repair responses are byte-deterministic for
+    // identical inputs (the concurrency suite compares them), and the
+    // generation is a process-unique counter. Clients read it from /kbs.
     header.push_str(&format!(
         "\",\"rows\":{},\"rules\":{},\"quarantined\":{}}}",
         relation.len(),
-        entry.rules.len(),
+        core.rules.len(),
         quarantine.quarantined()
     ));
     lines.push(header);
@@ -634,6 +748,158 @@ mod tests {
             "Name,DOB,Country,Prize,Institution,City\nx,1,2,3,4,5\n",
         );
         assert_eq!(handle(&state, &bad_param).status, 400);
+    }
+
+    fn post_tsv(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            query: String::new(),
+            headers: vec![("content-type".into(), "text/tab-separated-values".into())],
+            body: body.as_bytes().to_vec(),
+            http11: true,
+        }
+    }
+
+    fn delete(path: &str) -> Request {
+        Request {
+            method: "DELETE".into(),
+            path: path.into(),
+            query: String::new(),
+            headers: Vec::new(),
+            body: Vec::new(),
+            http11: true,
+        }
+    }
+
+    #[test]
+    fn delta_endpoint_bumps_generation_and_repair_reflects_it() {
+        let state = test_state();
+        let kbs_before = String::from_utf8(handle(&state, &get("/kbs")).body_bytes()).unwrap();
+        assert!(kbs_before.contains("\"generation\":"), "{kbs_before}");
+
+        // Pre-delta: φ2 repairs Hershko's City from Karcag to Haifa via
+        // `Technion locatedIn Haifa`.
+        let body = "Name,DOB,Country,Prize,Institution,City\n\
+                    Avram Hershko,1937-12-31,Israel,Nobel Prize in Chemistry,Israel Institute of Technology,Karcag\n";
+        let resp = handle(&state, &post_csv("/v1/repair/nobel-mini", "", body));
+        assert_eq!(resp.status, 200);
+        let before = String::from_utf8(resp.body_bytes()).unwrap();
+        assert!(
+            before.contains("\"new\":\"Haifa\""),
+            "pre-delta repair lands on Haifa: {before}"
+        );
+
+        // Retarget the institution's locatedIn edge: Haifa is no longer
+        // derivable for this row.
+        let delta = "retract\tIsrael Institute of Technology\tlocatedIn\ti:Haifa\n\
+                     insert\tIsrael Institute of Technology\tlocatedIn\ti:Karcag\n";
+        let resp = handle(&state, &post_tsv("/v1/kbs/nobel-mini/delta", delta));
+        assert_eq!(
+            resp.status,
+            200,
+            "{}",
+            String::from_utf8(resp.body_bytes()).unwrap()
+        );
+        let text = String::from_utf8(resp.body_bytes()).unwrap();
+        assert!(text.contains("\"kb\":\"nobel-mini\""), "{text}");
+        assert!(text.contains("\"ops\":2"), "{text}");
+        assert!(text.contains("\"generation\":"), "{text}");
+
+        let kbs_after = String::from_utf8(handle(&state, &get("/kbs")).body_bytes()).unwrap();
+        assert_ne!(
+            kbs_before, kbs_after,
+            "generation bump must be visible in /kbs"
+        );
+
+        // Post-delta: the same request no longer repairs to Haifa — the
+        // swept value-cache entries were recomputed against the new edge,
+        // and City=Karcag is now the consistent value.
+        let resp = handle(&state, &post_csv("/v1/repair/nobel-mini", "", body));
+        assert_eq!(resp.status, 200);
+        let after = String::from_utf8(resp.body_bytes()).unwrap();
+        assert!(
+            !after.contains("\"new\":\"Haifa\""),
+            "post-delta repair must not resurrect the retracted edge: {after}"
+        );
+
+        let snap = state.obs.metrics().snapshot();
+        assert_eq!(snap.counter_total("kb_delta_applied_total"), 1);
+        // The exported sweep counter reconciles with the registry's own
+        // stats, and the pre-delta repair made at least one entry sweepable
+        // (its footprint covered the retargeted locatedIn edge).
+        let invalidated = state.registry.stats().invalidated_entries;
+        assert!(invalidated > 0, "delta swept intersecting entries");
+        assert_eq!(
+            snap.counter_total("cache_invalidated_entries_total"),
+            invalidated
+        );
+    }
+
+    #[test]
+    fn delta_endpoint_rejects_bad_bodies() {
+        let state = test_state();
+        assert_eq!(
+            handle(&state, &post_tsv("/v1/kbs/nobel-mini/delta", "")).status,
+            400,
+            "empty delta"
+        );
+        assert_eq!(
+            handle(&state, &post_tsv("/v1/kbs/nobel-mini/delta", "bogus\tx\n")).status,
+            400,
+            "unknown op"
+        );
+        assert_eq!(
+            handle(&state, &post_tsv("/v1/kbs/missing/delta", "sub+\tA\tB\n")).status,
+            404
+        );
+        assert_eq!(
+            handle(&state, &get("/v1/kbs/nobel-mini/delta")).status,
+            405,
+            "delta requires POST"
+        );
+        // A self-cycle is validated and rejected with the KB untouched.
+        let resp = handle(
+            &state,
+            &post_tsv("/v1/kbs/nobel-mini/delta", "sub+\tA\tB\nsub+\tB\tA\n"),
+        );
+        assert_eq!(resp.status, 400);
+        let text = String::from_utf8(resp.body_bytes()).unwrap();
+        assert!(text.contains("rejected"), "{text}");
+    }
+
+    #[test]
+    fn unload_releases_the_kb_and_later_requests_404() {
+        let state = test_state();
+        let resp = handle(&state, &delete("/v1/kbs/nobel-mini"));
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body_bytes()).unwrap();
+        assert!(text.contains("\"unloaded\":true"), "{text}");
+
+        assert_eq!(handle(&state, &delete("/v1/kbs/nobel-mini")).status, 404);
+        assert_eq!(
+            handle(
+                &state,
+                &post_csv(
+                    "/v1/repair/nobel-mini",
+                    "",
+                    "Name,DOB,Country,Prize,Institution,City\nx,1,2,3,4,5\n"
+                )
+            )
+            .status,
+            404
+        );
+        assert_eq!(
+            handle(
+                &state,
+                &post_tsv("/v1/kbs/nobel-mini/delta", "sub+\tA\tB\n")
+            )
+            .status,
+            404
+        );
+        let kbs = String::from_utf8(handle(&state, &get("/kbs")).body_bytes()).unwrap();
+        assert!(!kbs.contains("nobel-mini"), "{kbs}");
+        assert_eq!(state.registry.stats().live_caches, 0, "caches evicted");
     }
 
     #[test]

@@ -30,9 +30,11 @@
 //! |------------------------|--------|-------------------------------------|
 //! | `/healthz`             | GET    | liveness + uptime                   |
 //! | `/readyz`              | GET    | readiness (503 while draining)      |
-//! | `/kbs`                 | GET    | served KBs, schemas, health         |
+//! | `/kbs`                 | GET    | served KBs, schemas, generations, health |
 //! | `/metrics`             | GET    | live Prometheus text                |
 //! | `/v1/repair/{kb}`      | POST   | CSV or JSON relation → NDJSON repair stream |
+//! | `/v1/kbs/{kb}/delta`   | POST   | TSV KB delta → next generation (incremental cache invalidation) |
+//! | `/v1/kbs/{kb}`         | DELETE | unload the KB (404 afterwards, memory released) |
 //!
 //! [`CacheRegistry`]: dr_core::CacheRegistry
 
@@ -59,7 +61,8 @@ use crate::admission::AcceptBackoff;
 pub use admission::{Admission, AdmissionConfig, AdmissionGate, Permit, ShedReason};
 pub use handlers::{handle, Body, Response};
 pub use state::{
-    build_state, Breaker, ImageFamily, KbEntry, KbSpec, Lifecycle, ServeConfig, ServerState,
+    build_state, Breaker, DeltaApplyError, DeltaOutcome, ImageFamily, KbCore, KbEntry, KbSpec,
+    Lifecycle, OwnedKb, ServeConfig, ServerState,
 };
 
 /// A bound, running server: a shared listener drained by a fixed pool of

@@ -2,50 +2,169 @@
 //! registry, and the observability handle every request records into.
 //!
 //! Each `--kb` flag becomes a [`KbEntry`]: the knowledge base is built (or
-//! generated), leaked to `'static` (KBs live for the whole process — the
-//! service has no unload endpoint, so tying request contexts to a leaked
-//! reference is simpler and faster than reference counting through every
-//! `MatchContext`), its match indexes are prewarmed from the rule set, and
-//! its value cache is created through the shared [`CacheRegistry`] so a
-//! `--cache-dir` snapshot warm-loads at boot rather than on the first
-//! request.
+//! generated) into an [`Arc`]-owned [`KbCore`] — the KB itself, its rule
+//! set, and the shared match-index memo — behind a swap lock. Requests
+//! clone the `Arc` and build a short-lived [`MatchContext`] over it, so a
+//! `POST /v1/kbs/{kb}/delta` can install a *new* core (next KB generation,
+//! fresh indexes) without touching in-flight repairs, and
+//! `DELETE /v1/kbs/{kb}` releases the KB's memory once the last in-flight
+//! handle drops. The entry's value cache is created through the shared
+//! [`CacheRegistry`] so a `--cache-dir` snapshot warm-loads at boot rather
+//! than on the first request.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dr_core::{CacheRegistry, MatchContext, RegistryConfig, RepairBudget, RetryPolicy};
+use dr_core::{CacheRegistry, IndexMemo, MatchContext, RegistryConfig, RepairBudget, RetryPolicy};
 use dr_datasets::{KbProfile, NobelWorld, UisWorld};
 use dr_kb::graph::KnowledgeBase;
-use dr_kb::{KbRef, MappedKb};
+use dr_kb::{KbDelta, KbRef, MappedKb};
 use dr_obs::json::JsonObj;
 use dr_obs::{MetricRegistry, Obs};
 use dr_relation::Schema;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::admission::{AdmissionConfig, AdmissionGate};
+
+/// A served KB, owned by `Arc` so a delta can swap in a successor
+/// generation and an unload can release memory once the last in-flight
+/// request drops its handle.
+pub enum OwnedKb {
+    /// An in-memory, builder-finalized KB (`--kb`). Deltas apply here.
+    Mem(Arc<KnowledgeBase>),
+    /// A memory-mapped `.drkb` image (`--kb-image`). Immutable: a delta
+    /// against it is refused with `409`.
+    Mapped(Arc<MappedKb>),
+}
+
+impl OwnedKb {
+    /// A borrowed view for query/context construction.
+    pub fn as_ref(&self) -> KbRef<'_> {
+        match self {
+            OwnedKb::Mem(kb) => KbRef::Mem(kb),
+            OwnedKb::Mapped(kb) => KbRef::Mapped(kb),
+        }
+    }
+}
+
+/// One generation of a served KB: the graph, the rules compiled against
+/// its id space, and the `(type, sim)` match-index memo shared by every
+/// request context built over this generation.
+pub struct KbCore {
+    /// The knowledge base.
+    pub kb: OwnedKb,
+    /// Detective rules. Shared (not regenerated) across deltas: id
+    /// interning is append-only, so `ClassId`/`PredId` stay valid in the
+    /// successor generation.
+    pub rules: Arc<Vec<dr_core::DetectiveRule>>,
+    /// Match indexes built over this generation; a delta installs a fresh
+    /// memo so no stale index survives the swap.
+    pub memo: IndexMemo,
+}
+
+impl KbCore {
+    /// Builds a request context over this core: shared indexes via the
+    /// memo, value caches via the registry.
+    pub fn context(&self, registry: Arc<CacheRegistry>, obs: Arc<Obs>) -> MatchContext<'_> {
+        MatchContext::with_memo(self.kb.as_ref(), &self.memo, Some(registry)).with_obs(obs)
+    }
+}
+
+/// The result of a successfully applied KB delta.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaOutcome {
+    /// The KB generation after the delta.
+    pub generation: u64,
+    /// Cache entries swept because their footprint intersected the delta.
+    pub invalidated: u64,
+}
+
+/// Why a delta could not be applied.
+#[derive(Debug)]
+pub enum DeltaApplyError {
+    /// The KB was unloaded (`DELETE /v1/kbs/{name}`).
+    Unloaded,
+    /// The KB is an immutable mmap image.
+    Immutable,
+    /// The delta itself was rejected (e.g. it would create a taxonomy
+    /// cycle); the KB is untouched.
+    Rejected(String),
+}
 
 /// One served knowledge base with everything a request needs.
 pub struct KbEntry {
     /// Route name (`/v1/repair/{name}`).
     pub name: String,
-    /// The KB, leaked to process lifetime at startup — in-memory
-    /// (`--kb`) or served from a mapped `.drkb` image (`--kb-image`).
-    pub kb: KbRef<'static>,
     /// The canonical schema requests must match (attribute names, in
     /// order). The schema name also keys the cache fingerprint, so posted
     /// relations are re-homed onto this schema before repair.
     pub schema: Arc<Schema>,
-    /// The detective rules for this KB.
-    pub rules: Vec<dr_core::DetectiveRule>,
-    /// Long-lived context: match indexes + shared value-cache registry.
-    /// Requests [`fork`](MatchContext::fork) this (sharing indexes and
-    /// caches, owning their budget) instead of touching it directly.
-    pub ctx: MatchContext<'static>,
     /// Health breaker: repeated repair failures mark this KB degraded in
     /// `/kbs` and fail requests fast instead of burning workers.
     pub health: Breaker,
+    /// The current core, `None` once unloaded. Swapped whole on delta.
+    core: RwLock<Option<Arc<KbCore>>>,
+}
+
+impl KbEntry {
+    /// The current core, or `None` if the KB was unloaded.
+    pub fn core(&self) -> Option<Arc<KbCore>> {
+        self.core.read().clone()
+    }
+
+    /// Unloads the KB: takes the core out so new requests 404. Memory is
+    /// released when the last in-flight `Arc<KbCore>` drops. Returns the
+    /// removed core, or `None` if already unloaded.
+    pub fn unload(&self) -> Option<Arc<KbCore>> {
+        self.core.write().take()
+    }
+
+    /// Applies `delta` by cloning the current KB, mutating the clone, and
+    /// swapping in a successor core (new generation, fresh index memo).
+    ///
+    /// The registry is told about the generation step so surviving value
+    /// cache entries are re-keyed to the new generation and entries whose
+    /// recorded footprint intersects the delta's are swept. In-flight
+    /// requests keep repairing against the old core's `Arc`; they and the
+    /// old core retire together.
+    pub fn apply_delta(
+        &self,
+        delta: &KbDelta,
+        registry: &CacheRegistry,
+    ) -> Result<DeltaOutcome, DeltaApplyError> {
+        let mut guard = self.core.write();
+        let Some(core) = guard.as_ref() else {
+            return Err(DeltaApplyError::Unloaded);
+        };
+        let OwnedKb::Mem(old_kb) = &core.kb else {
+            return Err(DeltaApplyError::Immutable);
+        };
+        let old_generation = old_kb.generation();
+        let mut new_kb = (**old_kb).clone();
+        let fp = new_kb
+            .apply_delta(delta)
+            .map_err(|e| DeltaApplyError::Rejected(e.to_string()))?;
+        let generation = new_kb.generation();
+        let invalidated =
+            registry.apply_delta(old_generation, generation, new_kb.content_hash(), &fp);
+        let new_core = Arc::new(KbCore {
+            kb: OwnedKb::Mem(Arc::new(new_kb)),
+            rules: Arc::clone(&core.rules),
+            memo: IndexMemo::new(),
+        });
+        // Prewarm the successor's indexes before publishing it, so the
+        // first post-delta request pays no index-build stall (and no
+        // stale index from the old generation can ever be consulted).
+        MatchContext::with_memo(new_core.kb.as_ref(), &new_core.memo, None)
+            .prewarm(&new_core.rules);
+        *guard = Some(Arc::clone(&new_core));
+        Ok(DeltaOutcome {
+            generation,
+            invalidated,
+        })
+    }
 }
 
 /// Server-wide tunables, fixed at startup.
@@ -413,41 +532,42 @@ impl KbSpec {
         }
     }
 
-    /// Builds the KB, schema, and rules for this spec. The KB is leaked:
-    /// served KBs live until process exit by design.
-    fn build(&self) -> Result<(KbRef<'static>, Arc<Schema>, Vec<dr_core::DetectiveRule>), String> {
+    /// Builds the KB, schema, and rules for this spec. The KB is
+    /// `Arc`-owned so deltas can swap generations and unload can release
+    /// the memory.
+    fn build(&self) -> Result<(OwnedKb, Arc<Schema>, Vec<dr_core::DetectiveRule>), String> {
         match *self {
             KbSpec::Nobel { size, seed } => {
                 let world = NobelWorld::generate(size, seed);
-                let kb: &'static KnowledgeBase = Box::leak(Box::new(world.kb(&KbProfile::yago())));
-                let rules = NobelWorld::rules(kb);
-                Ok((kb.into(), NobelWorld::schema(), rules))
+                let kb = Arc::new(world.kb(&KbProfile::yago()));
+                let rules = NobelWorld::rules(&*kb);
+                Ok((OwnedKb::Mem(kb), NobelWorld::schema(), rules))
             }
             KbSpec::Uis { size, seed } => {
                 let world = UisWorld::generate(size, seed);
-                let kb: &'static KnowledgeBase = Box::leak(Box::new(world.kb(&KbProfile::yago())));
-                let rules = UisWorld::rules(kb);
-                Ok((kb.into(), UisWorld::schema(), rules))
+                let kb = Arc::new(world.kb(&KbProfile::yago()));
+                let rules = UisWorld::rules(&*kb);
+                Ok((OwnedKb::Mem(kb), UisWorld::schema(), rules))
             }
             KbSpec::NobelMini => {
-                let kb: &'static KnowledgeBase =
-                    Box::leak(Box::new(dr_kb::fixtures::nobel_mini_kb()));
-                let rules = dr_core::fixtures::figure4_rules(kb);
-                Ok((kb.into(), dr_core::fixtures::nobel_schema(), rules))
+                let kb = Arc::new(dr_kb::fixtures::nobel_mini_kb());
+                let rules = dr_core::fixtures::figure4_rules(&*kb);
+                Ok((OwnedKb::Mem(kb), dr_core::fixtures::nobel_schema(), rules))
             }
             KbSpec::Image { family, ref path } => {
-                let mapped = MappedKb::open(path)
-                    .map_err(|e| format!("--kb-image {}: {e}", path.display()))?;
-                let kb: KbRef<'static> = KbRef::Mapped(Box::leak(Box::new(mapped)));
+                let mapped = Arc::new(
+                    MappedKb::open(path)
+                        .map_err(|e| format!("--kb-image {}: {e}", path.display()))?,
+                );
                 let (schema, rules) = match family {
-                    ImageFamily::Nobel => (NobelWorld::schema(), NobelWorld::rules(kb)),
-                    ImageFamily::Uis => (UisWorld::schema(), UisWorld::rules(kb)),
+                    ImageFamily::Nobel => (NobelWorld::schema(), NobelWorld::rules(&*mapped)),
+                    ImageFamily::Uis => (UisWorld::schema(), UisWorld::rules(&*mapped)),
                     ImageFamily::NobelMini => (
                         dr_core::fixtures::nobel_schema(),
-                        dr_core::fixtures::figure4_rules(kb),
+                        dr_core::fixtures::figure4_rules(&*mapped),
                     ),
                 };
-                Ok((kb, schema, rules))
+                Ok((OwnedKb::Mapped(mapped), schema, rules))
             }
         }
     }
@@ -489,17 +609,23 @@ pub fn build_state(
                     .str("ev", "kb_load")
                     .str("kb", &name)
                     .str("backend", spec.backend())
-                    .num("instances", kb.num_instances() as u64)
-                    .num("edges", kb.num_edges() as u64)
+                    .num("instances", kb.as_ref().num_instances() as u64)
+                    .num("edges", kb.as_ref().num_edges() as u64)
                     .finish(),
             );
         }
-        let ctx = MatchContext::with_registry(kb, Arc::clone(&registry)).with_obs(Arc::clone(&obs));
-        ctx.prewarm(&rules);
+        let core = Arc::new(KbCore {
+            kb,
+            rules: Arc::new(rules),
+            memo: IndexMemo::new(),
+        });
+        let ctx = core.context(Arc::clone(&registry), Arc::clone(&obs));
+        ctx.prewarm(&core.rules);
         // Create the value cache now: a `--cache-dir` snapshot warm-loads
         // here, at boot, so the first request is already warm and
         // `/metrics` shows `snapshot_warm_loads_total` before any POST.
         let _ = ctx.value_cache_for(&schema);
+        drop(ctx);
         let health = Breaker::new(
             config.breaker_threshold,
             config.breaker_cooldown,
@@ -508,11 +634,9 @@ pub fn build_state(
         );
         entries.push(KbEntry {
             name,
-            kb,
             schema,
-            rules,
-            ctx,
             health,
+            core: RwLock::new(Some(core)),
         });
     }
     if entries.is_empty() {
@@ -594,10 +718,11 @@ mod tests {
         )
         .unwrap();
         let entry = state.entry("nobel-mini").expect("entry exists");
-        assert_eq!(entry.kb.backend(), "mmap");
-        assert_eq!(entry.kb.content_hash(), kb.content_hash());
-        assert_eq!(entry.kb.num_instances(), kb.num_instances());
-        assert!(entry.ctx.index_count() > 0, "prewarm ran against the image");
+        let core = entry.core().expect("entry is loaded");
+        assert_eq!(core.kb.as_ref().backend(), "mmap");
+        assert_eq!(core.kb.as_ref().content_hash(), kb.content_hash());
+        assert_eq!(core.kb.as_ref().num_instances(), kb.num_instances());
+        assert!(!core.memo.is_empty(), "prewarm ran against the image");
         let dump = obs.metrics().snapshot().render_prom();
         assert!(
             dump.contains("kb_load_seconds") && dump.contains("backend=\"mmap\""),
@@ -653,9 +778,81 @@ mod tests {
         )
         .unwrap();
         let entry = state.entry("nobel-mini").expect("entry exists");
-        assert!(entry.ctx.index_count() > 0, "prewarm built indexes");
+        let core = entry.core().expect("entry is loaded");
+        assert!(!core.memo.is_empty(), "prewarm built indexes");
         assert_eq!(state.registry.stats().live_caches, 1, "value cache created");
         assert!(state.entry("nobel").is_none());
+    }
+
+    #[test]
+    fn delta_swaps_generation_and_keeps_old_core_alive() {
+        let obs = Arc::new(Obs::new());
+        let state = build_state(
+            &[KbSpec::NobelMini],
+            RegistryConfig::default(),
+            obs,
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let entry = state.entry("nobel-mini").expect("entry exists");
+        let core0 = entry.core().expect("loaded");
+        let gen0 = core0.kb.as_ref().generation();
+
+        let mut delta = KbDelta::new();
+        delta.add_type("Test Laureate", dr_kb::fixtures::names::LAUREATE);
+        let outcome = entry.apply_delta(&delta, &state.registry).expect("applies");
+        assert_ne!(outcome.generation, gen0);
+
+        let core1 = entry.core().expect("still loaded");
+        assert_eq!(core1.kb.as_ref().generation(), outcome.generation);
+        assert!(!core1.memo.is_empty(), "successor core is prewarmed");
+        // The pre-delta handle keeps serving its own generation: in-flight
+        // requests are unaffected by the swap.
+        assert_eq!(core0.kb.as_ref().generation(), gen0);
+    }
+
+    #[test]
+    fn rejected_delta_leaves_the_core_untouched() {
+        let obs = Arc::new(Obs::new());
+        let state = build_state(
+            &[KbSpec::NobelMini],
+            RegistryConfig::default(),
+            obs,
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let entry = state.entry("nobel-mini").expect("entry exists");
+        let gen0 = entry.core().expect("loaded").kb.as_ref().generation();
+
+        let mut delta = KbDelta::new();
+        delta.add_subclass("A", "B").add_subclass("B", "A");
+        let err = entry.apply_delta(&delta, &state.registry).unwrap_err();
+        assert!(matches!(err, DeltaApplyError::Rejected(_)), "{err:?}");
+        assert_eq!(entry.core().expect("loaded").kb.as_ref().generation(), gen0);
+    }
+
+    #[test]
+    fn unload_takes_the_core_and_refuses_further_work() {
+        let obs = Arc::new(Obs::new());
+        let state = build_state(
+            &[KbSpec::NobelMini],
+            RegistryConfig::default(),
+            obs,
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let entry = state.entry("nobel-mini").expect("entry exists");
+        let removed = entry.unload().expect("first unload returns the core");
+        assert!(entry.core().is_none());
+        assert!(entry.unload().is_none(), "second unload is a no-op");
+
+        let mut delta = KbDelta::new();
+        delta.add_type("X", dr_kb::fixtures::names::LAUREATE);
+        assert!(matches!(
+            entry.apply_delta(&delta, &state.registry),
+            Err(DeltaApplyError::Unloaded)
+        ));
+        drop(removed); // last handle: the KB's memory goes with it
     }
 
     #[test]

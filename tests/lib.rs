@@ -11,7 +11,10 @@ pub mod differential {
     //! Differential-oracle harness for the `.drkb` mmap KB backend.
 
     use dr_core::{parallel_repair, DetectiveRule, MatchContext, ParallelOptions};
-    use dr_kb::{write_image, KbRef, KnowledgeBase, MappedKb, Node};
+    use dr_kb::{
+        pack, write_image, DeltaNode, DeltaOp, KbBuilder, KbDelta, KbRef, KnowledgeBase, MappedKb,
+        Node,
+    };
     use dr_relation::Relation;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -67,6 +70,15 @@ pub mod differential {
     /// both instance and literal objects — every structure the image
     /// format has a section for.
     pub fn random_kb(seed: u64) -> KnowledgeBase {
+        random_kb_builder(seed)
+            .finalize()
+            .expect("forest taxonomy cannot cycle")
+    }
+
+    /// The open builder behind [`random_kb`] — delta-vs-rebuild oracles
+    /// replay this construction plus a [`KbDelta`]'s ops through the
+    /// builder and compare against `apply_delta` applied in place.
+    pub fn random_kb_builder(seed: u64) -> KbBuilder {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut b = dr_kb::graph::KbBuilder::new();
 
@@ -122,7 +134,171 @@ pub mod differential {
             b.edge(s, p, object);
         }
 
-        b.finalize().expect("forest taxonomy cannot cycle")
+        b
+    }
+
+    /// Generates a randomized [`KbDelta`] against `kb` from `seed`: a mix
+    /// of edge inserts/retracts, type edits, and taxonomy edits, naming
+    /// mostly entities that exist in `kb` (so ops actually land) plus a few
+    /// fresh names (so interning-order parity is exercised). Retracts are
+    /// biased toward real triples of `kb`. Taxonomy edits may propose a
+    /// cycle — callers handle the `apply_delta` error branch.
+    pub fn random_delta(seed: u64, kb: &KnowledgeBase) -> KbDelta {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_de17a);
+        let labels: Vec<String> = kb
+            .instances()
+            .map(|i| kb.instance_label(i).to_owned())
+            .collect();
+        let preds: Vec<String> = kb.preds().map(|p| kb.pred_name(p).to_owned()).collect();
+        let classes: Vec<String> = kb.classes().map(|c| kb.class_name(c).to_owned()).collect();
+        let triples: Vec<(String, String, DeltaNode)> = kb
+            .triples()
+            .map(|(s, p, o)| {
+                let object = match o {
+                    Node::Instance(i) => DeltaNode::Instance(kb.instance_label(i).to_owned()),
+                    Node::Literal(l) => DeltaNode::Literal(kb.literal_value(l).to_owned()),
+                };
+                (
+                    kb.instance_label(s).to_owned(),
+                    kb.pred_name(p).to_owned(),
+                    object,
+                )
+            })
+            .collect();
+
+        fn pick(rng: &mut StdRng, pool: &[String], fresh: &str) -> String {
+            if pool.is_empty() || rng.gen_bool(0.2) {
+                format!("delta-{fresh}-{}", rng.gen_range(0..4u32))
+            } else {
+                pool[rng.gen_range(0..pool.len())].clone()
+            }
+        }
+
+        let mut delta = KbDelta::new();
+        for _ in 0..rng.gen_range(1..14usize) {
+            match rng.gen_range(0..8u32) {
+                0 | 1 => {
+                    let object = if rng.gen_bool(0.4) {
+                        DeltaNode::Literal(format!("value-{}", rng.gen_range(0..12u32)))
+                    } else {
+                        DeltaNode::Instance(pick(&mut rng, &labels, "inst"))
+                    };
+                    let subject = pick(&mut rng, &labels, "inst");
+                    let pred = pick(&mut rng, &preds, "pred");
+                    delta.insert(&subject, &pred, object);
+                }
+                2 | 3 => {
+                    // Bias retracts toward triples that exist, so they are
+                    // not all no-ops.
+                    if !triples.is_empty() && rng.gen_bool(0.7) {
+                        let (s, p, o) = triples[rng.gen_range(0..triples.len())].clone();
+                        delta.retract(&s, &p, o);
+                    } else {
+                        let subject = pick(&mut rng, &labels, "inst");
+                        let pred = pick(&mut rng, &preds, "pred");
+                        let object = DeltaNode::Instance(pick(&mut rng, &labels, "inst"));
+                        delta.retract(&subject, &pred, object);
+                    }
+                }
+                4 => {
+                    let i = pick(&mut rng, &labels, "inst");
+                    let c = pick(&mut rng, &classes, "class");
+                    delta.add_type(&i, &c);
+                }
+                5 => {
+                    let i = pick(&mut rng, &labels, "inst");
+                    let c = pick(&mut rng, &classes, "class");
+                    delta.remove_type(&i, &c);
+                }
+                6 => {
+                    let sub = pick(&mut rng, &classes, "class");
+                    let sup = pick(&mut rng, &classes, "class");
+                    delta.add_subclass(&sub, &sup);
+                }
+                _ => {
+                    let sub = pick(&mut rng, &classes, "class");
+                    let sup = pick(&mut rng, &classes, "class");
+                    delta.remove_subclass(&sub, &sup);
+                }
+            }
+        }
+        delta
+    }
+
+    /// Replays `delta`'s ops through an open builder, mirroring the
+    /// name-resolution semantics of `KnowledgeBase::apply_delta` 1:1 —
+    /// the rebuild side of the delta ≡ rebuild oracle. Entities are
+    /// interned even by retract ops, exactly like the in-place path, so
+    /// both sides assign identical ids.
+    pub fn replay_delta(b: &mut KbBuilder, delta: &KbDelta) {
+        fn node(b: &mut KbBuilder, object: &DeltaNode) -> Node {
+            match object {
+                DeltaNode::Instance(label) => b.instance(label).into(),
+                DeltaNode::Literal(value) => b.literal(value).into(),
+            }
+        }
+        for op in delta.ops() {
+            match op {
+                DeltaOp::InsertTriple {
+                    subject,
+                    pred,
+                    object,
+                } => {
+                    let s = b.instance(subject);
+                    let p = b.pred(pred);
+                    let o = node(b, object);
+                    b.edge(s, p, o);
+                }
+                DeltaOp::RetractTriple {
+                    subject,
+                    pred,
+                    object,
+                } => {
+                    let s = b.instance(subject);
+                    let p = b.pred(pred);
+                    let o = node(b, object);
+                    b.retract_edge(s, p, o);
+                }
+                DeltaOp::AddType { instance, class } => {
+                    let i = b.instance(instance);
+                    let c = b.class(class);
+                    b.set_type(i, c);
+                }
+                DeltaOp::RemoveType { instance, class } => {
+                    let i = b.instance(instance);
+                    let c = b.class(class);
+                    b.remove_type(i, c);
+                }
+                DeltaOp::AddSubclass { sub, sup } => {
+                    let a = b.class(sub);
+                    let s = b.class(sup);
+                    b.subclass(a, s);
+                }
+                DeltaOp::RemoveSubclass { sub, sup } => {
+                    let a = b.class(sub);
+                    let s = b.class(sup);
+                    b.remove_subclass(a, s);
+                }
+            }
+        }
+    }
+
+    /// Asserts a delta applied in place equals rebuilding from scratch:
+    /// identical content hash, byte-identical packed image, and agreement
+    /// on every query surface. `live` is the `apply_delta` result;
+    /// `rebuilt` is the replayed-construction oracle.
+    pub fn assert_delta_equals_rebuild(live: &KnowledgeBase, rebuilt: &KnowledgeBase) {
+        assert_eq!(
+            live.content_hash(),
+            rebuilt.content_hash(),
+            "delta vs rebuild: content hash"
+        );
+        assert_eq!(
+            pack(live),
+            pack(rebuilt),
+            "delta vs rebuild: packed images must be byte-identical"
+        );
+        assert_surfaces_agree(rebuilt.into(), live.into());
     }
 
     fn sorted<T: Ord + Copy>(xs: &[T]) -> Vec<T> {
@@ -144,6 +320,13 @@ pub mod differential {
         assert_ne!(i.generation(), m.generation(), "distinct cache keys");
         assert_eq!(i.backend(), "mmap");
         assert_eq!(m.backend(), "mem");
+        assert_surfaces_agree(m, i);
+    }
+
+    /// Backend-agnostic half of [`assert_backends_agree`]: every query
+    /// surface of `i` must answer exactly as the oracle `m` — also the
+    /// agreement check between a delta'd KB and its rebuilt twin.
+    pub fn assert_surfaces_agree(m: KbRef<'_>, i: KbRef<'_>) {
         assert_eq!(i.num_classes(), m.num_classes(), "class count");
         assert_eq!(i.num_preds(), m.num_preds(), "pred count");
         assert_eq!(i.num_instances(), m.num_instances(), "instance count");
@@ -254,14 +437,14 @@ pub mod differential {
     /// and four worker threads and asserts identical outcomes: the
     /// repaired relations (values and positive marks) and the per-tuple
     /// reports must match exactly.
-    pub fn assert_repairs_agree(
-        mem: &KnowledgeBase,
-        mapped: &MappedKb,
+    pub fn assert_repairs_agree<'a, 'b>(
+        mem: impl Into<KbRef<'a>>,
+        mapped: impl Into<KbRef<'b>>,
         rules: &[DetectiveRule],
         dirty: &Relation,
     ) {
-        let mem_ctx = MatchContext::new(mem);
-        let img_ctx = MatchContext::new(mapped);
+        let mem_ctx = MatchContext::new(mem.into());
+        let img_ctx = MatchContext::new(mapped.into());
         for threads in [1usize, 4] {
             let opts = ParallelOptions {
                 threads,

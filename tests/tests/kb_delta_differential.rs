@@ -1,0 +1,138 @@
+//! Differential tests for KB deltas: applying a [`dr_kb::KbDelta`] in
+//! place (`KnowledgeBase::apply_delta`) must be indistinguishable from
+//! rebuilding the KB from scratch with the same ops appended to the
+//! original construction sequence — identical ids, identical content
+//! hash, byte-identical packed image, agreement on every query surface,
+//! and byte-identical `parallel_repair` outputs at one and four worker
+//! threads. A rejected delta (taxonomy cycle) must leave the KB — and its
+//! generation — untouched.
+//!
+//! Set `DR_QUICK=1` to shrink the property-test case counts for CI smoke
+//! legs.
+
+use dr_integration_tests::differential::{
+    assert_backends_agree, assert_delta_equals_rebuild, assert_repairs_agree, pack_and_open,
+    proptest_cases, random_delta, random_kb, random_kb_builder, replay_delta,
+};
+use dr_kb::fixtures::{nobel_mini_builder, nobel_mini_kb};
+use dr_kb::{DeltaNode, KbDelta};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(proptest_cases(48)))]
+
+    /// In-place delta ≡ rebuild, for arbitrary generator seeds and
+    /// arbitrary op mixes (edge inserts/retracts over existing and fresh
+    /// entities, type edits, taxonomy edits). On the cycle-rejection
+    /// branch the delta must be perfectly atomic.
+    #[test]
+    fn randomized_deltas_match_rebuild(seed in any::<u64>(), delta_seed in any::<u64>()) {
+        let mut live = random_kb(seed);
+        let generation_before = live.generation();
+        let hash_before = live.content_hash();
+        let delta = random_delta(delta_seed, &live);
+
+        match live.apply_delta(&delta) {
+            Ok(_footprint) => {
+                prop_assert_ne!(live.generation(), generation_before, "delta must bump the generation");
+                let mut b = random_kb_builder(seed);
+                replay_delta(&mut b, &delta);
+                let rebuilt = b.finalize().expect("live apply succeeded; rebuild must too");
+                assert_delta_equals_rebuild(&live, &rebuilt);
+            }
+            Err(_cycle) => {
+                prop_assert_eq!(live.generation(), generation_before, "rejected delta must not bump");
+                prop_assert_eq!(live.content_hash(), hash_before, "rejected delta must not mutate");
+                assert_delta_equals_rebuild(&live, &random_kb(seed));
+            }
+        }
+    }
+
+    /// A delta'd KB still packs into a `.drkb` image that answers
+    /// identically through the mmap backend — deltas compose with the
+    /// out-of-core path.
+    #[test]
+    fn delta_kbs_pack_and_answer_identically(seed in any::<u64>(), delta_seed in any::<u64>()) {
+        let mut live = random_kb(seed);
+        let delta = random_delta(delta_seed, &live);
+        if live.apply_delta(&delta).is_ok() {
+            let packed = pack_and_open(&live, "delta");
+            assert_backends_agree(&live, &packed.mapped);
+        }
+    }
+
+    /// Repairs against a delta'd nobel-mini KB are byte-identical to
+    /// repairs against its rebuilt twin, at one and four worker threads —
+    /// the op mix drawn from the fixture's own vocabulary so deltas hit
+    /// the regions the Figure-4 rules read.
+    #[test]
+    fn nobel_mini_delta_repairs_match_rebuild(delta_seed in any::<u64>()) {
+        let mut live = nobel_mini_kb();
+        let delta = random_delta(delta_seed, &live);
+        if live.apply_delta(&delta).is_ok() {
+            let mut b = nobel_mini_builder();
+            replay_delta(&mut b, &delta);
+            let rebuilt = b.finalize().expect("live apply succeeded; rebuild must too");
+            assert_delta_equals_rebuild(&live, &rebuilt);
+            let rules = dr_core::fixtures::figure4_rules(&live);
+            assert_repairs_agree(&live, &rebuilt, &rules, &dr_core::fixtures::table1_dirty());
+        }
+    }
+}
+
+/// A targeted delta that moves the Technion from Haifa to Karcag: the ϕ2
+/// (City) repair evidence changes, and the delta'd KB must still repair
+/// exactly like its rebuilt twin — including through the mmap backend.
+#[test]
+fn relocation_delta_repairs_match_rebuild_and_image() {
+    let mut live = nobel_mini_kb();
+    let mut delta = KbDelta::new();
+    delta
+        .retract(
+            "Israel Institute of Technology",
+            "locatedIn",
+            DeltaNode::Instance("Haifa".into()),
+        )
+        .insert(
+            "Israel Institute of Technology",
+            "locatedIn",
+            DeltaNode::Instance("Karcag".into()),
+        )
+        .add_type("Jerusalem", "city")
+        .insert(
+            "Jerusalem",
+            "locatedIn",
+            DeltaNode::Instance("Israel".into()),
+        );
+    let footprint = live.apply_delta(&delta).expect("acyclic delta applies");
+    assert!(!footprint.is_empty(), "edge + type edits leave a footprint");
+
+    let mut b = nobel_mini_builder();
+    replay_delta(&mut b, &delta);
+    let rebuilt = b.finalize().expect("rebuild finalizes");
+    assert_delta_equals_rebuild(&live, &rebuilt);
+
+    let rules = dr_core::fixtures::figure4_rules(&live);
+    let dirty = dr_core::fixtures::table1_dirty();
+    assert_repairs_agree(&live, &rebuilt, &rules, &dirty);
+
+    let packed = pack_and_open(&live, "nobel-delta");
+    assert_backends_agree(&live, &packed.mapped);
+    let image_rules = dr_core::fixtures::figure4_rules(&packed.mapped);
+    assert_repairs_agree(&live, &packed.mapped, &image_rules, &dirty);
+}
+
+/// An empty delta is a generation bump and nothing else.
+#[test]
+fn empty_delta_only_bumps_generation() {
+    let mut live = nobel_mini_kb();
+    let hash_before = live.content_hash();
+    let generation_before = live.generation();
+    let footprint = live
+        .apply_delta(&KbDelta::new())
+        .expect("empty delta applies");
+    assert!(footprint.is_empty());
+    assert_ne!(live.generation(), generation_before);
+    assert_eq!(live.content_hash(), hash_before);
+    assert_delta_equals_rebuild(&live, &nobel_mini_kb());
+}

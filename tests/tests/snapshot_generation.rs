@@ -1,0 +1,184 @@
+//! `.drsnap` snapshots across KB deltas: a snapshot is keyed by the KB's
+//! *content hash*, so after a delta bumps the KB to new content the old
+//! snapshot simply does not match anymore. The contract (DESIGN.md §10):
+//!
+//! * a post-delta boot is a plain **cold start** — the old snapshot is
+//!   skipped by key, never loaded into the new-generation cache;
+//! * a stale snapshot forced onto the new key's path is **rejected** with
+//!   a capped diagnostic (`KeyMismatch`), never a hard failure;
+//! * repairs proceed identically either way.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use dr_core::{
+    parallel_repair, CacheRegistry, MatchContext, ParallelOptions, RegistryConfig, SnapshotKey,
+};
+use dr_kb::fixtures::nobel_mini_kb;
+use dr_kb::{DeltaNode, KbDelta, KnowledgeBase};
+
+/// A scratch snapshot directory removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "dr-snapshot-generation-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// Warms and persists a snapshot for `kb` under `dir`, returning its key.
+fn persist_snapshot(kb: &KnowledgeBase, dir: &PathBuf) -> SnapshotKey {
+    let registry = Arc::new(CacheRegistry::new(
+        RegistryConfig::default().with_cache_dir(dir),
+    ));
+    let ctx = MatchContext::with_registry(kb, Arc::clone(&registry));
+    let rules = dr_core::fixtures::figure4_rules(kb);
+    let mut relation = dr_core::fixtures::table1_dirty();
+    let opts = ParallelOptions {
+        threads: 1,
+        ..Default::default()
+    };
+    parallel_repair(&ctx, &rules, &mut relation, &opts);
+    assert!(registry.persist() >= 1, "warm cache must persist");
+    let key = SnapshotKey::for_pair(kb, dr_core::fixtures::table1_dirty().schema());
+    assert!(key.path_in(dir).exists(), "snapshot file must exist");
+    key
+}
+
+fn relocation_delta() -> KbDelta {
+    let mut delta = KbDelta::new();
+    delta
+        .retract(
+            "Israel Institute of Technology",
+            "locatedIn",
+            DeltaNode::Instance("Haifa".into()),
+        )
+        .insert(
+            "Israel Institute of Technology",
+            "locatedIn",
+            DeltaNode::Instance("Karcag".into()),
+        );
+    delta
+}
+
+/// After a delta, the old snapshot's filename no longer matches the new
+/// content hash: the next boot is a routine cold start — no warm load, no
+/// rejection, no diagnostic.
+#[test]
+fn stale_generation_snapshot_is_skipped_cold() {
+    let scratch = ScratchDir::new("cold");
+    let kb = nobel_mini_kb();
+    let old_key = persist_snapshot(&kb, &scratch.0);
+
+    let mut next = kb.clone();
+    next.apply_delta(&relocation_delta())
+        .expect("delta applies");
+    let schema = dr_core::fixtures::table1_dirty();
+    let new_key = SnapshotKey::for_pair(&next, schema.schema());
+    assert_ne!(
+        old_key.kb_content_hash, new_key.kb_content_hash,
+        "a content-changing delta must move the snapshot key"
+    );
+    assert_ne!(old_key.path_in(&scratch.0), new_key.path_in(&scratch.0));
+
+    // A fresh process booting against the post-delta KB: the stale
+    // snapshot is invisible (different filename), so the cache cold-starts
+    // without any failure or diagnostic.
+    let registry = CacheRegistry::new(RegistryConfig::default().with_cache_dir(&scratch.0));
+    let cache = registry.cache_for(&next, schema.schema());
+    assert!(cache.is_empty(), "stale-generation snapshot must not seed");
+    let stats = registry.stats();
+    assert_eq!(stats.snapshot.cold_loads, 1);
+    assert_eq!(
+        stats.snapshot.rejected, 0,
+        "absence is routine, not corruption"
+    );
+    assert!(registry.snapshot_diagnostics().is_empty());
+
+    // The pre-delta KB still warm-loads from the same directory.
+    let registry = CacheRegistry::new(RegistryConfig::default().with_cache_dir(&scratch.0));
+    let cache = registry.cache_for(&kb, schema.schema());
+    assert!(
+        !cache.is_empty(),
+        "old-generation snapshot still seeds the old KB"
+    );
+    assert_eq!(registry.stats().snapshot.warm_loads, 1);
+}
+
+/// A stale snapshot *forced onto the new key's path* (copied over, e.g. by
+/// an operator or a buggy sync job) is rejected by the key check inside
+/// the file: a capped diagnostic, a cold start — never a hard failure and
+/// never stale entries.
+#[test]
+fn forged_snapshot_path_is_rejected_with_diagnostic() {
+    let scratch = ScratchDir::new("forged");
+    let kb = nobel_mini_kb();
+    let old_key = persist_snapshot(&kb, &scratch.0);
+
+    let mut next = kb.clone();
+    next.apply_delta(&relocation_delta())
+        .expect("delta applies");
+    let schema = dr_core::fixtures::table1_dirty();
+    let new_key = SnapshotKey::for_pair(&next, schema.schema());
+    std::fs::copy(old_key.path_in(&scratch.0), new_key.path_in(&scratch.0))
+        .expect("copy stale snapshot onto the new key's path");
+
+    let registry = CacheRegistry::new(RegistryConfig::default().with_cache_dir(&scratch.0));
+    let cache = registry.cache_for(&next, schema.schema());
+    assert!(cache.is_empty(), "key-mismatched snapshot must not seed");
+    let stats = registry.stats();
+    assert_eq!(stats.snapshot.cold_loads, 1);
+    assert_eq!(
+        stats.snapshot.rejected, 1,
+        "forged path counts as a rejection"
+    );
+    let diagnostics = registry.snapshot_diagnostics();
+    assert_eq!(
+        diagnostics.len(),
+        1,
+        "one capped diagnostic: {diagnostics:?}"
+    );
+    assert!(
+        diagnostics[0].contains("key mismatch"),
+        "diagnostic names the cause: {}",
+        diagnostics[0]
+    );
+
+    // Never a hard failure: the cold cache still repairs, and a later
+    // persist atomically replaces the forged file with a valid snapshot
+    // under the new key.
+    let ctx = MatchContext::with_registry(
+        &next,
+        Arc::new(CacheRegistry::new(
+            RegistryConfig::default().with_cache_dir(&scratch.0),
+        )),
+    );
+    let rules = dr_core::fixtures::figure4_rules(&next);
+    let mut relation = dr_core::fixtures::table1_dirty();
+    let opts = ParallelOptions {
+        threads: 1,
+        ..Default::default()
+    };
+    let report = parallel_repair(&ctx, &rules, &mut relation, &opts);
+    assert!(report.tuples.iter().all(|t| t.outcome.is_completed()));
+    let registry = ctx
+        .registry()
+        .expect("context carries the registry")
+        .clone();
+    assert!(registry.persist() >= 1);
+    let reread = CacheRegistry::new(RegistryConfig::default().with_cache_dir(&scratch.0));
+    let cache = reread.cache_for(&next, schema.schema());
+    assert!(!cache.is_empty(), "repaired-over snapshot warm-loads again");
+    assert_eq!(reread.stats().snapshot.rejected, 0);
+}
