@@ -10,7 +10,7 @@ use crate::repair::budget::RepairBudget;
 use crate::repair::registry::CacheRegistry;
 use crate::repair::value_cache::ValueCache;
 use dr_kb::{FxHashMap, InstanceId, KbFootprint, KbRef, LiteralId, Node, PredId};
-use dr_obs::Obs;
+use dr_obs::{Obs, SpanCtx};
 use dr_simmatch::{MatchIndex, SimFn};
 use parking_lot::Mutex;
 use std::borrow::Cow;
@@ -118,6 +118,7 @@ pub struct MatchContext<'kb> {
     budget: RepairBudget,
     obs: Option<Arc<Obs>>,
     recorder: Option<Arc<FootprintRecorder>>,
+    span: Option<SpanCtx>,
 }
 
 /// The fork-shared `(type, sim) → index` memo.
@@ -143,6 +144,7 @@ impl<'kb> MatchContext<'kb> {
             budget: RepairBudget::default(),
             obs: None,
             recorder: None,
+            span: None,
         }
     }
 
@@ -157,6 +159,7 @@ impl<'kb> MatchContext<'kb> {
             budget: RepairBudget::default(),
             obs: None,
             recorder: None,
+            span: None,
         }
     }
 
@@ -176,6 +179,7 @@ impl<'kb> MatchContext<'kb> {
             budget: RepairBudget::default(),
             obs: None,
             recorder: None,
+            span: None,
         }
     }
 
@@ -192,7 +196,29 @@ impl<'kb> MatchContext<'kb> {
             budget: self.budget,
             obs: self.obs.clone(),
             recorder: self.recorder.clone(),
+            span: self.span.clone(),
         }
+    }
+
+    /// Attaches a live span context (builder style): phases and repairers
+    /// running through this context open their spans as children of it.
+    /// Unlike the JSONL tracer this surface carries real durations; it is
+    /// absent (and free) unless the serving layer armed the request.
+    pub fn with_span(mut self, span: SpanCtx) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attaches an optional span context — convenience for plumbing
+    /// `Option<SpanCtx>` through forks.
+    pub fn with_span_opt(mut self, span: Option<SpanCtx>) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// The attached live span context, if the request is being traced.
+    pub fn span(&self) -> Option<&SpanCtx> {
+        self.span.as_ref()
     }
 
     /// Attaches a [`FootprintRecorder`] (builder style): every KB read made
@@ -283,7 +309,21 @@ impl<'kb> MatchContext<'kb> {
         // Build outside the lock: index construction can be slow and other
         // (ty, sim) lookups shouldn't wait on it. A racing builder wastes
         // work but stays correct; first insert wins.
-        let built = Arc::new(self.build_index(ty, sim));
+        let built = {
+            let mut span = self.span.as_ref().map(|s| s.child("index_build"));
+            let built = Arc::new(self.build_index(ty, sim));
+            if let Some(span) = span.as_mut() {
+                span.attr_static(
+                    "kind",
+                    match ty {
+                        NodeType::Class(_) => "class",
+                        NodeType::Literal => "literal",
+                    },
+                );
+                span.attr_num("entries", built.len() as u64);
+            }
+            built
+        };
         let mut guard = self.indexes.lock();
         Arc::clone(guard.entry((ty, sim)).or_insert(built))
     }

@@ -39,13 +39,33 @@ use crate::rule::apply::RuleApplication;
 use dr_kb::FxHashMap;
 use dr_obs::{JsonObj, Obs, SpanBuf, Tracer};
 
-/// Stable label for what a rule application did.
-fn application_kind(application: &RuleApplication) -> &'static str {
+/// Row-span floor for *speculative* live captures (DESIGN.md §11): an
+/// unforced capture records a row span only when the row ran at least
+/// this long. Fast rows cost two clock reads and a branch — which is what
+/// keeps the armed-but-unretained path inside the `exp_trace_overhead`
+/// budget — while the rows that explain a slow- or error-retained trace
+/// are far above this floor. Forced captures record every row.
+pub(crate) const SPECULATIVE_ROW_FLOOR: std::time::Duration = std::time::Duration::from_micros(100);
+
+/// Stable label for what a rule application did. Shared with the live
+/// span surface, so the JSONL `rule.outcome` field and a rule span's
+/// `result` attribute can never disagree.
+pub(crate) fn application_kind(application: &RuleApplication) -> &'static str {
     match application {
         RuleApplication::Repaired { .. } => "repaired",
         RuleApplication::ProofPositive { .. } => "proof_positive",
         RuleApplication::DetectedWrong { .. } => "detected_wrong",
         RuleApplication::NotApplicable => "not_applicable",
+    }
+}
+
+/// Stable label for a tuple's terminal outcome. Shared between the JSONL
+/// `outcome` event and the live row span's `outcome` attribute.
+pub(crate) fn outcome_label(outcome: &TupleOutcome) -> &'static str {
+    match outcome {
+        TupleOutcome::Completed => "completed",
+        TupleOutcome::Degraded { .. } => "degraded",
+        TupleOutcome::Failed { .. } => "failed",
     }
 }
 
@@ -160,13 +180,16 @@ pub(crate) fn trace_retry(tracer: &Tracer, row: usize) {
 /// one `rule` event per applied rule, a `cache` event when the per-tuple
 /// cache stats are available, and the terminal `outcome` event. The span
 /// is flushed as one contiguous block, so concurrent workers never
-/// interleave within it.
+/// interleave within it. Takes the whole [`Obs`] handle so lines dropped
+/// by the [`SpanBuf`] byte budget land in
+/// `trace_dropped_spans_total{surface="jsonl"}`.
 pub(crate) fn trace_tuple(
-    tracer: &Tracer,
+    obs: &Obs,
     row: usize,
     report: &TupleReport,
     cache: Option<ElementCacheStats>,
 ) {
+    let Some(tracer) = obs.tracer() else { return };
     let row64 = row as u64;
     if !tracer.sampled(row64) {
         return;
@@ -204,14 +227,7 @@ pub(crate) fn trace_tuple(
     let outcome = JsonObj::new()
         .str("ev", "outcome")
         .num("row", row64)
-        .str(
-            "outcome",
-            match &report.outcome {
-                TupleOutcome::Completed => "completed",
-                TupleOutcome::Degraded { .. } => "degraded",
-                TupleOutcome::Failed { .. } => "failed",
-            },
-        )
+        .str("outcome", outcome_label(&report.outcome))
         .num("steps", report.steps.len() as u64);
     let outcome = match &report.outcome {
         TupleOutcome::Completed => outcome,
@@ -221,6 +237,11 @@ pub(crate) fn trace_tuple(
         TupleOutcome::Failed { message } => outcome.str("message", message),
     };
     span.push(outcome.finish());
+    if span.dropped() > 0 {
+        obs.metrics()
+            .counter("trace_dropped_spans_total", &[("surface", "jsonl")])
+            .add(span.dropped() as u64);
+    }
     tracer.flush_span(span);
 }
 
@@ -284,14 +305,16 @@ mod tests {
     #[test]
     fn unsampled_rows_emit_nothing() {
         let (tracer, buf) = memory_tracer(Sampler::new(3, 0.0));
-        trace_tuple(&tracer, 7, &TupleReport::default(), None);
-        trace_retry(&tracer, 7);
+        let obs = Obs::with_tracer(tracer);
+        trace_tuple(&obs, 7, &TupleReport::default(), None);
+        trace_retry(obs.tracer().unwrap(), 7);
         assert!(lines(&buf).is_empty());
     }
 
     #[test]
     fn tuple_span_follows_the_documented_sequence() {
         let (tracer, buf) = memory_tracer(Sampler::new(0, 1.0));
+        let obs = Obs::with_tracer(tracer);
         let report = TupleReport {
             steps: vec![RepairStep {
                 rule_index: 2,
@@ -306,7 +329,7 @@ mod tests {
             },
         };
         trace_tuple(
-            &tracer,
+            &obs,
             5,
             &report,
             Some(ElementCacheStats {

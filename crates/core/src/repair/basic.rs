@@ -219,8 +219,8 @@ pub fn basic_repair(
         if let (Some(hist), Some(started)) = (&tuple_hist, started) {
             hist.record(started.elapsed());
         }
-        if let Some(t) = tracer {
-            crate::obs::trace_tuple(t, row, &tuple_report, None);
+        if let Some(o) = obs {
+            crate::obs::trace_tuple(o, row, &tuple_report, None);
         }
         report.tuples.push(tuple_report);
     }

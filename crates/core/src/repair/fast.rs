@@ -160,14 +160,32 @@ impl<'r> FastRepairer<'r> {
         meter: &BudgetMeter,
         report: &mut TupleReport,
     ) -> Result<bool, ()> {
+        // A live rule span per check — only on *detailed* (forced) traces:
+        // this is the innermost loop, and speculative captures must stay
+        // inside the exp_trace_overhead budget. The `result` attribute
+        // mirrors the JSONL `rule.outcome` label, with `budget_exhausted`
+        // marking the check that tripped the meter.
+        let mut rule_span = ctx.span().filter(|s| s.detailed()).map(|s| {
+            let mut sp = s.child("rule");
+            sp.attr("name", self.rules[ri].name());
+            sp
+        });
         let application = match apply_rule_metered(ctx, &self.rules[ri], tuple, opts, cache, meter)
         {
             Ok(application) => application,
             Err(reason) => {
+                if let Some(mut sp) = rule_span.take() {
+                    sp.attr_static("result", "budget_exhausted");
+                    sp.finish();
+                }
                 report.outcome = TupleOutcome::Degraded { reason };
                 return Err(());
             }
         };
+        if let Some(mut sp) = rule_span.take() {
+            sp.attr_static("result", crate::obs::application_kind(&application));
+            sp.finish();
+        }
         if !application.applied() {
             return Ok(false);
         }
@@ -227,19 +245,43 @@ impl<'r> FastRepairer<'r> {
     ) -> RelationReport {
         let obs = ctx.obs();
         let tracer = obs.and_then(|o| o.tracer());
+        // Live span surface, mirroring the parallel scheduler's topology:
+        // prewarm and repair phase spans under the request, one row span
+        // per tuple, rule spans beneath (opened inside `try_rule`).
+        let live = ctx.span().cloned();
         if let Some(t) = tracer {
             crate::obs::trace_relation_start(t, "fast", relation.len(), self.rules.len());
             crate::obs::trace_phase(t, "prewarm", true);
         }
-        let tuple_hist = obs.map(|o| o.metrics().histogram("repair_tuple_seconds", &[]));
+        let tuple_hist = obs.map(|o| {
+            (
+                o.metrics().histogram("repair_tuple_seconds", &[]),
+                o.metrics()
+                    .window_histogram("repair_tuple_seconds_window", &[]),
+            )
+        });
         let before = shared.stats();
+        let prewarm_span = live.as_ref().map(|s| s.child("prewarm"));
         let prewarm_start = Instant::now();
-        ctx.prewarm(self.rules);
+        match &prewarm_span {
+            Some(sp) => ctx.fork().with_span(sp.ctx()).prewarm(self.rules),
+            None => ctx.prewarm(self.rules),
+        }
         let prewarm = prewarm_start.elapsed();
+        if let Some(sp) = prewarm_span {
+            sp.finish();
+        }
         if let Some(t) = tracer {
             crate::obs::trace_phase(t, "prewarm", false);
             crate::obs::trace_phase(t, "repair", true);
         }
+        let repair_span = live.as_ref().map(|s| s.child("repair"));
+        let row_parent = repair_span.as_ref().map(|s| s.ctx());
+        // Speculative captures (tail sampling armed, not forced) keep the
+        // row path to two clock reads: spans are recorded retroactively
+        // and only for rows above `SPECULATIVE_ROW_FLOOR`. Forced captures
+        // open a full guard per row with attributes and rule children.
+        let detailed = live.as_ref().is_some_and(|s| s.detailed());
         let repair_start = Instant::now();
         let mut report = RelationReport::default();
         for row in 0..relation.len() {
@@ -249,18 +291,60 @@ impl<'r> FastRepairer<'r> {
             // footprint — the provenance selective re-repair intersects with
             // later KB deltas.
             let recorder = std::sync::Arc::new(FootprintRecorder::new());
-            let row_ctx = ctx.fork().with_recorder(std::sync::Arc::clone(&recorder));
+            let row_span = if detailed {
+                row_parent.as_ref().map(|s| {
+                    let mut sp = s.child("row");
+                    sp.attr_num("row", row as u64);
+                    sp
+                })
+            } else {
+                None
+            };
+            let spec_row_start = match (&row_parent, detailed) {
+                (Some(_), false) => Some(Instant::now()),
+                _ => None,
+            };
+            let row_ctx = ctx
+                .fork()
+                .with_recorder(std::sync::Arc::clone(&recorder))
+                .with_span_opt(row_span.as_ref().map(|s| s.ctx()));
             let started = tuple_hist.as_ref().map(|_| Instant::now());
             let tuple_report =
                 self.repair_tuple_with(&row_ctx, relation.tuple_mut(row), opts, &mut cache, &meter);
-            if let (Some(hist), Some(started)) = (&tuple_hist, started) {
-                hist.record(started.elapsed());
+            if let (Some((hist, window)), Some(started)) = (&tuple_hist, started) {
+                let elapsed = started.elapsed();
+                hist.record(elapsed);
+                window.record(elapsed);
             }
-            if let Some(t) = tracer {
-                crate::obs::trace_tuple(t, row, &tuple_report, Some(cache.level_stats()));
+            if let Some(mut sp) = row_span {
+                let cache_stats = cache.level_stats();
+                sp.attr_static("outcome", crate::obs::outcome_label(&tuple_report.outcome));
+                sp.attr_num("steps", tuple_report.steps.len() as u64);
+                sp.attr_num(
+                    "cache_hits",
+                    (cache_stats.local_hits + cache_stats.shared_hits) as u64,
+                );
+                sp.attr_num(
+                    "cache_misses",
+                    (cache_stats.local_misses + cache_stats.shared_misses) as u64,
+                );
+                sp.finish();
+            } else if let (Some(parent), Some(started)) = (&row_parent, spec_row_start) {
+                let took = started.elapsed();
+                if took >= crate::obs::SPECULATIVE_ROW_FLOOR {
+                    parent.record_completed("row", started, took);
+                }
+            }
+            if let Some(o) = obs {
+                crate::obs::trace_tuple(o, row, &tuple_report, Some(cache.level_stats()));
             }
             report.tuples.push(tuple_report);
             report.footprints.push(recorder.take());
+        }
+        if let Some(mut sp) = repair_span {
+            sp.attr_num("rows", relation.len() as u64);
+            sp.attr_num("value_cache_entries", shared.len() as u64);
+            sp.finish();
         }
         report.cache = shared.stats().delta_since(&before);
         report.timing = PhaseTimings {

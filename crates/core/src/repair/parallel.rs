@@ -33,7 +33,7 @@ use crate::repair::retry::RetryPolicy;
 use crate::rule::apply::ApplyOptions;
 use crate::rule::DetectiveRule;
 use dr_kb::KbFootprint;
-use dr_obs::Histogram;
+use dr_obs::{Histogram, SpanCtx, WindowHistogram};
 use dr_relation::{Relation, Tuple};
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -117,22 +117,46 @@ pub fn parallel_repair(
 
     let obs = ctx.obs();
     let tracer = obs.and_then(|o| o.tracer());
+    // The live span surface rides beside the JSONL tracer: phase spans
+    // (prewarm/repair) under the request's span, per-row spans under the
+    // repair phase. Absent a traced request, `live` is `None` and every
+    // hook below is one branch.
+    let live = ctx.span().cloned();
     if let Some(t) = tracer {
         crate::obs::trace_relation_start(t, "parallel", relation.len(), rules.len());
         crate::obs::trace_phase(t, "prewarm", true);
     }
+    let prewarm_span = live.as_ref().map(|s| s.child("prewarm"));
     let prewarm_start = Instant::now();
-    ctx.prewarm(rules);
+    match &prewarm_span {
+        // Prewarm under a forked context carrying the prewarm span, so
+        // the index builds it triggers nest under it in the waterfall.
+        Some(sp) => ctx.fork().with_span(sp.ctx()).prewarm(rules),
+        None => ctx.prewarm(rules),
+    }
     let prewarm = prewarm_start.elapsed();
+    if let Some(sp) = prewarm_span {
+        sp.finish();
+    }
     if let Some(t) = tracer {
         crate::obs::trace_phase(t, "prewarm", false);
         crate::obs::trace_phase(t, "repair", true);
     }
-    let tuple_hist = obs.map(|o| o.metrics().histogram("repair_tuple_seconds", &[]));
+    let tuple_hist = obs.map(|o| {
+        (
+            o.metrics().histogram("repair_tuple_seconds", &[]),
+            o.metrics()
+                .window_histogram("repair_tuple_seconds_window", &[]),
+        )
+    });
 
     let batch = opts.effective_batch(relation);
     let shared = ctx.value_cache_for(relation.schema());
     let before = shared.stats();
+    // One "repair" phase span covers the scheduler passes and retries;
+    // row spans parent onto it through `row_span`.
+    let repair_span = live.as_ref().map(|s| s.child("repair"));
+    let row_span = repair_span.as_ref().map(|s| s.ctx());
     let repair_start = Instant::now();
     // Each row index is claimed exactly once via `fetch_add` (in batches of
     // `batch` consecutive rows), so the per-row mutexes are never contended
@@ -155,6 +179,7 @@ pub fn parallel_repair(
             let (claimed, attempts) = (&claimed, &attempts);
             let (rows, slots, next) = (&rows, &slots, &next);
             let (repairer, shared, tuple_hist) = (&repairer, &shared, &tuple_hist);
+            let row_span = &row_span;
             scope.spawn(move || loop {
                 attempts[w].fetch_add(1, Ordering::Relaxed);
                 let start = next.fetch_add(batch, Ordering::Relaxed);
@@ -174,6 +199,7 @@ pub fn parallel_repair(
                         shared,
                         rows,
                         row,
+                        row_span.as_ref(),
                         tuple_hist.as_ref(),
                     ));
                 }
@@ -234,6 +260,7 @@ pub fn parallel_repair(
                 let (rows, slots) = (&rows, &slots);
                 let (retry_rows, retry_next) = (&retry_rows, &retry_next);
                 let (repairer, shared, tuple_hist) = (&repairer, &shared, &tuple_hist);
+                let row_span = &row_span;
                 scope.spawn(move || loop {
                     attempts[w].fetch_add(1, Ordering::Relaxed);
                     let i = retry_next.fetch_add(1, Ordering::Relaxed);
@@ -250,11 +277,20 @@ pub fn parallel_repair(
                         shared,
                         rows,
                         row,
+                        row_span.as_ref(),
                         tuple_hist.as_ref(),
                     ));
                 });
             }
         });
+    }
+
+    if let Some(mut sp) = repair_span {
+        sp.attr_num("rows", rows.len() as u64);
+        sp.attr_num("workers", workers as u64);
+        sp.attr_num("retried", retried as u64);
+        sp.attr_num("value_cache_entries", shared.len() as u64);
+        sp.finish();
     }
 
     let mut tuples = Vec::with_capacity(slots.len());
@@ -405,6 +441,7 @@ pub fn parallel_repair_selective(
 /// converted into a [`TupleOutcome::Failed`] report carrying the payload
 /// message, so the other rows — and the shared caches, whose locks recover
 /// from poisoning (see `vendor/parking_lot`) — continue unharmed.
+#[allow(clippy::too_many_arguments)] // scheduler plumbing, all call-local
 fn repair_row(
     repairer: &FastRepairer<'_>,
     ctx: &MatchContext<'_>,
@@ -412,14 +449,34 @@ fn repair_row(
     shared: &crate::repair::value_cache::ValueCache,
     rows: &[Mutex<&mut Tuple>],
     row: usize,
-    hist: Option<&Histogram>,
+    span: Option<&SpanCtx>,
+    hist: Option<&(Histogram, WindowHistogram)>,
 ) -> (TupleReport, KbFootprint) {
     // Every KB read the row makes lands in its own recorder, so the
     // stitched report carries a per-row footprint for selective re-repair
     // (a panicked attempt keeps whatever was recorded before the unwind —
     // conservative, since failed rows are always re-selected anyway).
     let recorder = Arc::new(FootprintRecorder::new());
-    let row_ctx = ctx.fork().with_recorder(Arc::clone(&recorder));
+    // Speculative captures record rows retroactively, above a duration
+    // floor only — see the matching branch in `FastRepairer`.
+    let detailed = span.is_some_and(|s| s.detailed());
+    let row_span = if detailed {
+        span.map(|s| {
+            let mut sp = s.child("row");
+            sp.attr_num("row", row as u64);
+            sp
+        })
+    } else {
+        None
+    };
+    let spec_row_start = match (span, detailed) {
+        (Some(_), false) => Some(Instant::now()),
+        _ => None,
+    };
+    let row_ctx = ctx
+        .fork()
+        .with_recorder(Arc::clone(&recorder))
+        .with_span_opt(row_span.as_ref().map(|s| s.ctx()));
     // The closure captures `&mut Tuple` behind the row mutex, which is not
     // `UnwindSafe` by type; it is unwind-safe by construction: a fault is
     // injected *before* the tuple is touched, and a genuine mid-repair
@@ -443,9 +500,11 @@ fn repair_row(
         // as exactly completed + degraded, one sample per settled tuple.
         // (Panicked attempts skip this by unwinding; the guard covers any
         // `Failed` outcome produced without a panic.)
-        if let (Some(hist), Some(started)) = (hist, started) {
+        if let (Some((hist, window)), Some(started)) = (hist, started) {
             if !matches!(report.outcome, TupleOutcome::Failed { .. }) {
-                hist.record(started.elapsed());
+                let elapsed = started.elapsed();
+                hist.record(elapsed);
+                window.record(elapsed);
             }
         }
         (report, cache.level_stats())
@@ -462,8 +521,25 @@ fn repair_row(
             None,
         ),
     };
-    if let Some(t) = ctx.obs().and_then(|o| o.tracer()) {
-        crate::obs::trace_tuple(t, row, &report, cache_stats);
+    if let Some(mut sp) = row_span {
+        sp.attr_static("outcome", crate::obs::outcome_label(&report.outcome));
+        sp.attr_num("steps", report.steps.len() as u64);
+        if let Some(stats) = &cache_stats {
+            sp.attr_num("cache_hits", (stats.local_hits + stats.shared_hits) as u64);
+            sp.attr_num(
+                "cache_misses",
+                (stats.local_misses + stats.shared_misses) as u64,
+            );
+        }
+        sp.finish();
+    } else if let (Some(parent), Some(started)) = (span, spec_row_start) {
+        let took = started.elapsed();
+        if took >= crate::obs::SPECULATIVE_ROW_FLOOR {
+            parent.record_completed("row", started, took);
+        }
+    }
+    if let Some(obs) = ctx.obs() {
+        crate::obs::trace_tuple(obs, row, &report, cache_stats);
     }
     (report, recorder.take())
 }

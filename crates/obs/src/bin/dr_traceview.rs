@@ -1,0 +1,80 @@
+//! `dr_traceview` — text waterfall for retained request traces.
+//!
+//! Feed it the JSON from `GET /v1/traces/{id}` (a file argument or stdin)
+//! and it prints an indented waterfall: one row per span with its window
+//! within the request, duration, self time, and attributes. An index
+//! document from `GET /v1/traces` prints as a one-line-per-trace table.
+//!
+//! ```text
+//! curl -s host:8080/v1/traces/<id> | dr_traceview
+//! dr_traceview trace.json
+//! ```
+
+use dr_obs::{render_waterfall, JsonValue, StoredTrace};
+use std::io::Read;
+
+fn die(msg: &str) -> ! {
+    eprintln!("dr_traceview: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: dr_traceview [trace.json]  (reads stdin when no file is given)");
+        println!("input: the JSON body of /v1/traces/<id> (waterfall) or /v1/traces (index)");
+        return;
+    }
+    let text = match args.first() {
+        Some(path) => std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}"))),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .unwrap_or_else(|e| die(&format!("cannot read stdin: {e}")));
+            buf
+        }
+    };
+    let value =
+        dr_obs::json::parse(text.trim()).unwrap_or_else(|e| die(&format!("invalid JSON: {e}")));
+
+    // An index document carries a `traces` array of summaries; a single
+    // trace carries a `spans` array.
+    if let Some(list) = value.get("traces").and_then(JsonValue::as_array) {
+        if list.is_empty() {
+            println!("no retained traces");
+            return;
+        }
+        println!(
+            "{:<32}  {:>10}  {:<8}  {:<6}  {:>6}  KB",
+            "TRACE", "DURATION", "ROUTE", "WHY", "SPANS"
+        );
+        for t in list {
+            let get_str = |k: &str| {
+                t.get(k)
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?")
+                    .to_owned()
+            };
+            let nanos = t
+                .get("duration_nanos")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0);
+            println!(
+                "{:<32}  {:>9.3}ms  {:<8}  {:<6}  {:>6}  {}",
+                get_str("trace_id"),
+                nanos as f64 / 1e6,
+                get_str("route"),
+                get_str("why"),
+                t.get("spans").and_then(JsonValue::as_u64).unwrap_or(0),
+                get_str("kb"),
+            );
+        }
+        return;
+    }
+
+    let trace =
+        StoredTrace::from_json(&value).unwrap_or_else(|e| die(&format!("not a trace: {e}")));
+    print!("{}", render_waterfall(&trace));
+}

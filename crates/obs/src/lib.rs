@@ -18,15 +18,31 @@
 //! An [`Obs`] bundles both and is threaded through the pipeline as an
 //! `Option<Arc<Obs>>`; when absent, instrumentation compiles down to a
 //! branch per relation and per tuple.
+//!
+//! A third, request-scoped surface sits beside them: live span trees
+//! ([`ActiveTrace`]/[`SpanCtx`]) with monotonic-clock durations, retained
+//! by tail sampling into a bounded [`TraceStore`] and rendered by
+//! [`render_waterfall`]. Where the JSONL tracer is byte-deterministic by
+//! construction (no clocks), the live surface exists to answer "where did
+//! *this* request's time go" — see DESIGN.md §11. Sliding-window
+//! latency ([`WindowHistogram`]) rounds out the live view on `/metrics`.
 
 pub mod json;
 pub mod metrics;
+pub mod span;
+pub mod store;
 pub mod trace;
 
-pub use json::JsonObj;
+pub use json::{JsonObj, JsonValue};
 pub use metrics::{
     Counter, CounterSample, Gauge, Histogram, HistogramSample, MetricRegistry, MetricsSnapshot,
+    WindowHistogram,
 };
+pub use span::{
+    parse_traceparent, ActiveTrace, AttrValue, Span, SpanCtx, SpanId, SpanRecord, TraceId,
+    DEFAULT_MAX_SPANS,
+};
+pub use store::{render_waterfall, StoredTrace, TailPolicy, TraceStore};
 pub use trace::{memory_tracer, Sampler, SpanBuf, Tracer};
 
 /// The observability handle: a metric registry plus an optional tracer.

@@ -11,7 +11,7 @@ use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Number of per-counter shards. A power of two so the thread-slot mask is
 /// a single AND; 16 comfortably covers the worker counts the scheduler uses.
@@ -156,30 +156,7 @@ impl Histogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return None;
-        }
-        // Clamp the rank into [1, total]: `ceil(q * total)` can exceed
-        // `total` when the f64 product rounds up (q = 1.0 included), and an
-        // out-of-range rank would walk past every sample. With the clamp,
-        // q = 1.0 always resolves to the highest non-empty bucket and a
-        // single-sample histogram answers its own bucket for every q.
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        let mut last_nonempty = 0;
-        for (i, &c) in counts.iter().enumerate() {
-            if c > 0 {
-                last_nonempty = i;
-            }
-            seen += c;
-            if seen >= rank {
-                return Some(bucket_midpoint(i));
-            }
-        }
-        // Unreachable once rank <= total, but if it ever fires it must
-        // report the highest *non-empty* bucket, not bucket 63's ~2^62 ns.
-        Some(bucket_midpoint(last_nonempty))
+        quantile_from_counts(&counts, q)
     }
 
     /// Non-empty buckets as `(upper_bound_nanos, cumulative_count)` pairs,
@@ -199,6 +176,162 @@ impl Histogram {
 }
 
 impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Quantile walk shared by [`Histogram`] and [`WindowHistogram`]: the
+/// midpoint of the bucket holding rank `ceil(q * total)`, with the rank
+/// clamped into `[1, total]` so q = 1.0 resolves to the highest non-empty
+/// bucket and a single-sample histogram answers its own bucket everywhere.
+fn quantile_from_counts(counts: &[u64], q: f64) -> Option<u64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    let mut last_nonempty = 0;
+    for (i, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            last_nonempty = i;
+        }
+        seen += c;
+        if seen >= rank {
+            return Some(bucket_midpoint(i));
+        }
+    }
+    // Unreachable once rank <= total, but if it ever fires it must
+    // report the highest *non-empty* bucket, not bucket 63's ~2^62 ns.
+    Some(bucket_midpoint(last_nonempty))
+}
+
+/// Sliding-window slot geometry: 13 slots of 5 s cover the last ~60 s
+/// (the current, partially-filled slot plus 12 full ones).
+const WINDOW_SLOTS: usize = 13;
+const WINDOW_SLOT_SECS: u64 = 5;
+
+#[derive(Debug, Clone, Copy)]
+struct WindowSlot {
+    /// Which 5-second epoch this slot currently holds; slots are lazily
+    /// reset when a new epoch wraps around onto them.
+    epoch: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum_nanos: u64,
+}
+
+impl WindowSlot {
+    fn reset(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.buckets = [0; HISTOGRAM_BUCKETS];
+        self.count = 0;
+        self.sum_nanos = 0;
+    }
+}
+
+#[derive(Debug)]
+struct WindowInner {
+    origin: Instant,
+    slots: [WindowSlot; WINDOW_SLOTS],
+}
+
+/// A latency histogram over only the last ~60 seconds of samples, so
+/// `/metrics` can expose *live* p95/p99 without cumulative-rate math.
+///
+/// Time is diced into 5-second epochs over a ring of 13 slots; recording
+/// lazily reclaims the slot its epoch maps onto, and reads merge the
+/// slots that are still inside the window. Unlike [`Histogram`] the hot
+/// path takes a mutex, which is fine for the per-request and per-tuple
+/// rates it serves (the lock is held for a few dozen nanoseconds).
+#[derive(Debug, Clone)]
+pub struct WindowHistogram {
+    inner: Arc<Mutex<WindowInner>>,
+}
+
+impl WindowHistogram {
+    /// A fresh, empty window.
+    pub fn new() -> Self {
+        let slot = WindowSlot {
+            // u64::MAX marks "never used": it can't equal a live epoch, so
+            // the first record into a slot always resets it.
+            epoch: u64::MAX,
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum_nanos: 0,
+        };
+        WindowHistogram {
+            inner: Arc::new(Mutex::new(WindowInner {
+                origin: Instant::now(),
+                slots: [slot; WINDOW_SLOTS],
+            })),
+        }
+    }
+
+    fn current_epoch(&self) -> u64 {
+        self.inner.lock().origin.elapsed().as_secs() / WINDOW_SLOT_SECS
+    }
+
+    /// Record one duration.
+    pub fn record(&self, d: Duration) {
+        self.record_nanos(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one raw nanosecond sample.
+    pub fn record_nanos(&self, nanos: u64) {
+        let epoch = self.current_epoch();
+        self.record_at(epoch, nanos);
+    }
+
+    fn record_at(&self, epoch: u64, nanos: u64) {
+        let mut inner = self.inner.lock();
+        let slot = &mut inner.slots[(epoch % WINDOW_SLOTS as u64) as usize];
+        if slot.epoch != epoch {
+            slot.reset(epoch);
+        }
+        slot.buckets[Histogram::bucket_of(nanos)] += 1;
+        slot.count += 1;
+        slot.sum_nanos += nanos;
+    }
+
+    /// Merged in-window state as `(bucket counts, count, sum_nanos)`.
+    fn merged_at(&self, epoch: u64) -> ([u64; HISTOGRAM_BUCKETS], u64, u64) {
+        let oldest = epoch.saturating_sub(WINDOW_SLOTS as u64 - 1);
+        let inner = self.inner.lock();
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        for slot in &inner.slots {
+            if slot.epoch >= oldest && slot.epoch <= epoch {
+                for (acc, b) in buckets.iter_mut().zip(slot.buckets.iter()) {
+                    *acc += b;
+                }
+                count += slot.count;
+                sum += slot.sum_nanos;
+            }
+        }
+        (buckets, count, sum)
+    }
+
+    /// Samples currently inside the window.
+    pub fn count(&self) -> u64 {
+        self.merged_at(self.current_epoch()).1
+    }
+
+    /// Sum of in-window samples, nanoseconds.
+    pub fn sum_nanos(&self) -> u64 {
+        self.merged_at(self.current_epoch()).2
+    }
+
+    /// Estimated in-window quantile, or `None` when the window is empty.
+    pub fn quantile_nanos(&self, q: f64) -> Option<u64> {
+        let (buckets, _, _) = self.merged_at(self.current_epoch());
+        quantile_from_counts(&buckets, q)
+    }
+}
+
+impl Default for WindowHistogram {
     fn default() -> Self {
         Self::new()
     }
@@ -248,6 +381,7 @@ struct RegistryInner {
     counters: BTreeMap<MetricKey, Vec<Counter>>,
     gauges: BTreeMap<MetricKey, Gauge>,
     histograms: BTreeMap<MetricKey, Histogram>,
+    windows: BTreeMap<MetricKey, WindowHistogram>,
 }
 
 /// Catalog of named metrics. Registration and snapshotting lock a mutex;
@@ -303,6 +437,13 @@ impl MetricRegistry {
         self.inner.lock().histograms.entry(key).or_default().clone()
     }
 
+    /// Get or create the sliding-window histogram for `name`/`labels`.
+    /// Conventionally named `<base>_seconds_window`.
+    pub fn window_histogram(&self, name: &str, labels: &[(&str, &str)]) -> WindowHistogram {
+        let key = (name.to_string(), render_labels(labels));
+        self.inner.lock().windows.entry(key).or_default().clone()
+    }
+
     /// A point-in-time copy of every metric's value.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.lock();
@@ -338,10 +479,25 @@ impl MetricRegistry {
                 buckets: h.cumulative_buckets(),
             })
             .collect();
+        let windows = inner
+            .windows
+            .iter()
+            .map(|((name, labels), w)| HistogramSample {
+                name: name.clone(),
+                labels: labels.clone(),
+                count: w.count(),
+                sum_nanos: w.sum_nanos(),
+                p50: w.quantile_nanos(0.50),
+                p95: w.quantile_nanos(0.95),
+                p99: w.quantile_nanos(0.99),
+                buckets: Vec::new(),
+            })
+            .collect();
         MetricsSnapshot {
             counters,
             gauges,
             histograms,
+            windows,
         }
     }
 }
@@ -388,12 +544,16 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<CounterSample>,
     /// Histogram readings, sorted by (name, labels).
     pub histograms: Vec<HistogramSample>,
+    /// Sliding-window histogram readings (rendered as summaries), sorted
+    /// by (name, labels); `buckets` is always empty for these.
+    pub windows: Vec<HistogramSample>,
 }
 
-/// Names ending in `_seconds` store nanoseconds internally and render as
-/// fractional seconds in the Prometheus dump.
+/// Names ending in `_seconds` (or `_seconds_window` for the sliding
+/// windows) store nanoseconds internally and render as fractional seconds
+/// in the Prometheus dump.
 fn is_seconds(name: &str) -> bool {
-    name.ends_with("_seconds")
+    name.ends_with("_seconds") || name.ends_with("_seconds_window")
 }
 
 fn nanos_str(nanos: u64) -> String {
@@ -417,6 +577,14 @@ impl MetricsSnapshot {
             .filter(|c| c.name == name)
             .map(|c| c.value)
             .sum()
+    }
+
+    /// The sliding-window reading with exactly this `name` and rendered
+    /// `labels`, if present.
+    pub fn window(&self, name: &str, labels: &str) -> Option<&HistogramSample> {
+        self.windows
+            .iter()
+            .find(|w| w.name == name && w.labels == labels)
     }
 
     /// Render as Prometheus text exposition. Deterministic: metrics sort
@@ -475,6 +643,34 @@ impl MetricsSnapshot {
             } else {
                 out.push_str(&format!("{}_sum{{{}}} {}\n", h.name, h.labels, sum));
                 out.push_str(&format!("{}_count{{{}}} {}\n", h.name, h.labels, h.count));
+            }
+        }
+        for w in &self.windows {
+            out.push_str(&format!("# TYPE {} summary\n", w.name));
+            let sep = if w.labels.is_empty() { "" } else { "," };
+            for (q, value) in [("0.5", w.p50), ("0.95", w.p95), ("0.99", w.p99)] {
+                let Some(nanos) = value else { continue };
+                let rendered = if is_seconds(&w.name) {
+                    nanos_str(nanos)
+                } else {
+                    nanos.to_string()
+                };
+                out.push_str(&format!(
+                    "{}{{{}{}quantile=\"{}\"}} {}\n",
+                    w.name, w.labels, sep, q, rendered
+                ));
+            }
+            let sum = if is_seconds(&w.name) {
+                nanos_str(w.sum_nanos)
+            } else {
+                w.sum_nanos.to_string()
+            };
+            if w.labels.is_empty() {
+                out.push_str(&format!("{}_sum {}\n", w.name, sum));
+                out.push_str(&format!("{}_count {}\n", w.name, w.count));
+            } else {
+                out.push_str(&format!("{}_sum{{{}}} {}\n", w.name, w.labels, sum));
+                out.push_str(&format!("{}_count{{{}}} {}\n", w.name, w.labels, w.count));
             }
         }
         out
@@ -578,6 +774,69 @@ mod tests {
             reg.snapshot().counter("value_cache_node_hits_total", ""),
             Some(7)
         );
+    }
+
+    #[test]
+    fn window_histogram_expires_old_epochs() {
+        let w = WindowHistogram::new();
+        // Epoch 0: three 1µs samples; epoch 1: one 1ms sample.
+        w.record_at(0, 1_000);
+        w.record_at(0, 1_000);
+        w.record_at(0, 1_000);
+        w.record_at(1, 1_000_000);
+        let (buckets, count, sum) = w.merged_at(1);
+        assert_eq!(count, 4);
+        assert_eq!(sum, 3_000 + 1_000_000);
+        assert_eq!(
+            quantile_from_counts(&buckets, 0.5).map(|n| n < 10_000),
+            Some(true)
+        );
+        // 13 epochs later the epoch-0 slot has aged out; epoch 1 remains
+        // (1 >= 13 - 12), then one more epoch retires it too.
+        let (_, count, sum) = w.merged_at(13);
+        assert_eq!(count, 1);
+        assert_eq!(sum, 1_000_000);
+        let (_, count, _) = w.merged_at(14);
+        assert_eq!(count, 0);
+        // Recording into a wrapped slot reclaims it rather than merging
+        // with the stale epoch's data.
+        w.record_at(13, 2_000);
+        let (_, count, sum) = w.merged_at(13);
+        assert_eq!(count, 2, "epoch 13 sample + epoch 1 still in window");
+        assert_eq!(sum, 1_000_000 + 2_000);
+    }
+
+    #[test]
+    fn window_histogram_live_path_and_render() {
+        let reg = MetricRegistry::new();
+        let w = reg.window_histogram("lat_seconds_window", &[("route", "repair")]);
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.quantile_nanos(0.95), None);
+        for _ in 0..20 {
+            w.record(Duration::from_micros(100));
+        }
+        // Clones share state, like the other primitives.
+        let w2 = reg.window_histogram("lat_seconds_window", &[("route", "repair")]);
+        assert_eq!(w2.count(), 20);
+        let p95 = w.quantile_nanos(0.95).expect("non-empty");
+        assert!((65_536..262_144).contains(&p95), "100µs bucket: {p95}");
+
+        let snap = reg.snapshot();
+        let sample = snap
+            .window("lat_seconds_window", "route=\"repair\"")
+            .expect("window in snapshot");
+        assert_eq!(sample.count, 20);
+        assert_eq!(sample.p95, Some(p95));
+        let text = snap.render_prom();
+        assert!(
+            text.contains("# TYPE lat_seconds_window summary\n"),
+            "got:\n{text}"
+        );
+        assert!(
+            text.contains("lat_seconds_window{route=\"repair\",quantile=\"0.95\"} 0.000"),
+            "seconds rendering: \n{text}"
+        );
+        assert!(text.contains("lat_seconds_window_count{route=\"repair\"} 20\n"));
     }
 
     #[test]

@@ -1,0 +1,497 @@
+//! Tail-sampled trace retention (DESIGN.md §11).
+//!
+//! Every armed request *captures* a span tree; the [`TraceStore`] decides
+//! after the fact — when the outcome is known — whether it is worth
+//! keeping. A trace is retained when it was explicitly forced
+//! (`?trace=1`), when the request errored or degraded, or when it ran
+//! longer than the slow threshold. Everything else is discarded at the
+//! cost of one branch, which is what keeps the armed-but-unretained path
+//! inside the `exp_trace_overhead` budget.
+//!
+//! Retained traces live in a bounded ring (oldest evicted first) and are
+//! served as JSON by `GET /v1/traces` / `GET /v1/traces/{id}`; the
+//! [`render_waterfall`] text view is what `dr_traceview` prints.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::json::{escape_into, JsonValue};
+use crate::span::{ActiveTrace, AttrValue, SpanId, SpanRecord};
+use std::borrow::Cow;
+
+/// When a finished trace is worth retaining.
+#[derive(Debug, Clone, Copy)]
+pub struct TailPolicy {
+    /// Keep traces at least this slow; `None` disables the latency rule.
+    pub slow: Option<Duration>,
+    /// Keep traces whose request errored or degraded.
+    pub keep_errors: bool,
+}
+
+impl Default for TailPolicy {
+    fn default() -> Self {
+        TailPolicy {
+            slow: Some(Duration::from_millis(500)),
+            keep_errors: true,
+        }
+    }
+}
+
+impl TailPolicy {
+    /// Why a trace with these outcomes is kept, or `None` to discard.
+    /// Precedence: forced > error > slow (the strongest signal wins the
+    /// `why` label shown in the trace index).
+    pub fn why_keep(&self, forced: bool, error: bool, duration: Duration) -> Option<&'static str> {
+        if forced {
+            return Some("forced");
+        }
+        if error && self.keep_errors {
+            return Some("error");
+        }
+        match self.slow {
+            Some(slow) if duration >= slow => Some("slow"),
+            _ => None,
+        }
+    }
+}
+
+/// A retained trace: index metadata plus the full span tree.
+#[derive(Debug, Clone)]
+pub struct StoredTrace {
+    /// 32-hex trace id.
+    pub trace_id: String,
+    /// Route label (e.g. `repair`).
+    pub route: String,
+    /// Knowledge-base name the request targeted.
+    pub kb: String,
+    /// End-to-end duration, nanoseconds.
+    pub duration_nanos: u64,
+    /// Retention reason: `forced`, `error`, or `slow`.
+    pub why: String,
+    /// Spans dropped by the per-trace cap during capture.
+    pub dropped_spans: u64,
+    /// The recorded spans (finish order; children precede parents).
+    pub spans: Vec<SpanRecord>,
+}
+
+impl StoredTrace {
+    fn head_fields(&self, out: &mut String) {
+        out.push_str("{\"trace_id\":\"");
+        escape_into(out, &self.trace_id);
+        out.push_str("\",\"route\":\"");
+        escape_into(out, &self.route);
+        out.push_str("\",\"kb\":\"");
+        escape_into(out, &self.kb);
+        out.push_str("\",\"duration_nanos\":");
+        out.push_str(&self.duration_nanos.to_string());
+        out.push_str(",\"why\":\"");
+        escape_into(out, &self.why);
+        out.push_str("\",\"dropped_spans\":");
+        out.push_str(&self.dropped_spans.to_string());
+        out.push_str(",\"spans\":");
+    }
+
+    /// One-line index entry: metadata plus the span count.
+    pub fn summary_json(&self) -> String {
+        let mut out = String::with_capacity(160);
+        self.head_fields(&mut out);
+        out.push_str(&self.spans.len().to_string());
+        out.push('}');
+        out
+    }
+
+    /// Full JSON document including the span tree.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.spans.len() * 128);
+        self.head_fields(&mut out);
+        out.push('[');
+        for (i, span) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"id\":\"");
+            out.push_str(&span.id.to_hex());
+            out.push_str("\",\"parent\":");
+            match span.parent {
+                Some(p) => {
+                    out.push('"');
+                    out.push_str(&p.to_hex());
+                    out.push('"');
+                }
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"name\":\"");
+            escape_into(&mut out, &span.name);
+            out.push_str("\",\"start_nanos\":");
+            out.push_str(&span.start_nanos.to_string());
+            out.push_str(",\"duration_nanos\":");
+            out.push_str(&span.duration_nanos.to_string());
+            out.push_str(",\"attrs\":{");
+            for (j, (k, v)) in span.attrs.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_into(&mut out, k);
+                out.push_str("\":");
+                match v {
+                    AttrValue::Num(n) => out.push_str(&n.to_string()),
+                    AttrValue::Str(s) => {
+                        out.push('"');
+                        escape_into(&mut out, s);
+                        out.push('"');
+                    }
+                }
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Rebuilds a trace from its [`to_json`](StoredTrace::to_json)
+    /// rendering — the `dr_traceview` entry point.
+    pub fn from_json(value: &JsonValue) -> Result<StoredTrace, String> {
+        let str_field = |key: &str| -> Result<String, String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing string field `{key}`"))
+        };
+        let num_field = |key: &str| -> Result<u64, String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("missing numeric field `{key}`"))
+        };
+        let spans_json = value
+            .get("spans")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing `spans` array")?;
+        let mut spans = Vec::with_capacity(spans_json.len());
+        for (i, s) in spans_json.iter().enumerate() {
+            let id = s
+                .get("id")
+                .and_then(JsonValue::as_str)
+                .and_then(SpanId::parse_hex)
+                .ok_or_else(|| format!("span {i}: bad `id`"))?;
+            let parent = match s.get("parent") {
+                None | Some(JsonValue::Null) => None,
+                Some(p) => Some(
+                    p.as_str()
+                        .and_then(SpanId::parse_hex)
+                        .ok_or_else(|| format!("span {i}: bad `parent`"))?,
+                ),
+            };
+            let name = Cow::Owned(
+                s.get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| format!("span {i}: missing `name`"))?
+                    .to_owned(),
+            );
+            let start_nanos = s
+                .get("start_nanos")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("span {i}: missing `start_nanos`"))?;
+            let duration_nanos = s
+                .get("duration_nanos")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("span {i}: missing `duration_nanos`"))?;
+            let attrs = match s.get("attrs") {
+                Some(JsonValue::Object(pairs)) => pairs
+                    .iter()
+                    .map(|(k, v)| {
+                        let value = match v {
+                            JsonValue::Str(s) => AttrValue::Str(Cow::Owned(s.clone())),
+                            other => AttrValue::Num(
+                                other
+                                    .as_u64()
+                                    .ok_or_else(|| format!("span {i}: bad attr `{k}`"))?,
+                            ),
+                        };
+                        Ok((Cow::Owned(k.clone()), value))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                _ => Vec::new(),
+            };
+            spans.push(SpanRecord {
+                id,
+                parent,
+                name,
+                start_nanos,
+                duration_nanos,
+                attrs,
+            });
+        }
+        Ok(StoredTrace {
+            trace_id: str_field("trace_id")?,
+            route: str_field("route")?,
+            kb: str_field("kb")?,
+            duration_nanos: num_field("duration_nanos")?,
+            why: str_field("why")?,
+            dropped_spans: num_field("dropped_spans")?,
+            spans,
+        })
+    }
+}
+
+/// Bounded ring of retained traces, newest kept, oldest evicted.
+#[derive(Debug)]
+pub struct TraceStore {
+    capacity: usize,
+    policy: TailPolicy,
+    ring: Mutex<VecDeque<Arc<StoredTrace>>>,
+}
+
+impl TraceStore {
+    /// A store holding at most `capacity` traces under `policy`.
+    pub fn new(capacity: usize, policy: TailPolicy) -> Self {
+        TraceStore {
+            capacity: capacity.max(1),
+            policy,
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The retention policy.
+    pub fn policy(&self) -> TailPolicy {
+        self.policy
+    }
+
+    /// Tail-sampling decision point: retains the finished `trace` when
+    /// the policy says so and returns why it was kept, or `None` when the
+    /// capture is discarded. `error` is the request-level outcome signal
+    /// (any failed or degraded rows).
+    pub fn offer(
+        &self,
+        trace: &ActiveTrace,
+        route: &str,
+        kb: &str,
+        error: bool,
+    ) -> Option<&'static str> {
+        let duration = trace.elapsed();
+        let why = self.policy.why_keep(trace.forced(), error, duration)?;
+        let stored = Arc::new(StoredTrace {
+            trace_id: trace.id().to_hex(),
+            route: route.to_owned(),
+            kb: kb.to_owned(),
+            duration_nanos: duration.as_nanos().min(u64::MAX as u128) as u64,
+            why: why.to_owned(),
+            dropped_spans: trace.dropped(),
+            spans: trace.take_spans(),
+        });
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(stored);
+        Some(why)
+    }
+
+    /// Retained traces, newest first.
+    pub fn recent(&self) -> Vec<Arc<StoredTrace>> {
+        self.ring.lock().iter().rev().cloned().collect()
+    }
+
+    /// Looks up a retained trace by its 32-hex id.
+    pub fn get(&self, trace_id: &str) -> Option<Arc<StoredTrace>> {
+        self.ring
+            .lock()
+            .iter()
+            .rev()
+            .find(|t| t.trace_id == trace_id)
+            .cloned()
+    }
+
+    /// Number of retained traces.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// Whether no traces are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().is_empty()
+    }
+}
+
+/// Renders a stored trace as an indented text waterfall: one row per
+/// span with a bar showing its window within the root, its duration, and
+/// its *self time* (duration minus direct children) — the number that
+/// tells you which layer actually spent the time.
+pub fn render_waterfall(trace: &StoredTrace) -> String {
+    const BAR: usize = 32;
+    let mut out = format!(
+        "TRACE {}  route={} kb={}  duration={}  why={}  spans={} dropped={}\n",
+        trace.trace_id,
+        trace.route,
+        trace.kb,
+        fmt_nanos(trace.duration_nanos),
+        trace.why,
+        trace.spans.len(),
+        trace.dropped_spans,
+    );
+    if trace.spans.is_empty() {
+        return out;
+    }
+    // Index spans and group children under parents, ordered by start.
+    let mut order: Vec<usize> = (0..trace.spans.len()).collect();
+    order.sort_by_key(|&i| (trace.spans[i].start_nanos, trace.spans[i].id.0));
+    let mut roots = Vec::new();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); trace.spans.len()];
+    let index_of = |id: SpanId| trace.spans.iter().position(|s| s.id == id);
+    for &i in &order {
+        match trace.spans[i].parent.and_then(index_of) {
+            Some(p) => children[p].push(i),
+            None => roots.push(i),
+        }
+    }
+    let total = trace
+        .spans
+        .iter()
+        .map(|s| s.start_nanos + s.duration_nanos)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 0)).collect();
+    while let Some((i, depth)) = stack.pop() {
+        let span = &trace.spans[i];
+        let child_nanos: u64 = children[i]
+            .iter()
+            .map(|&c| trace.spans[c].duration_nanos)
+            .sum();
+        let self_nanos = span.duration_nanos.saturating_sub(child_nanos);
+        let lead = ((span.start_nanos as u128 * BAR as u128) / total as u128) as usize;
+        let fill = (span.duration_nanos as u128 * BAR as u128).div_ceil(total as u128) as usize;
+        let lead = lead.min(BAR);
+        let fill = fill.clamp(1, BAR - lead.min(BAR - 1));
+        let mut bar = String::with_capacity(BAR);
+        bar.push_str(&" ".repeat(lead));
+        bar.push_str(&"#".repeat(fill));
+        bar.push_str(&" ".repeat(BAR - lead - fill));
+        out.push_str(&format!(
+            "  [{bar}] {:>10}  {}{}  (self {})",
+            fmt_nanos(span.duration_nanos),
+            "  ".repeat(depth),
+            span.name,
+            fmt_nanos(self_nanos),
+        ));
+        for (k, v) in &span.attrs {
+            out.push_str(&format!("  {k}={v}"));
+        }
+        out.push('\n');
+        for &c in children[i].iter().rev() {
+            stack.push((c, depth + 1));
+        }
+    }
+    out
+}
+
+fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.3}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3}ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.1}us", nanos as f64 / 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::span::{SpanCtx, TraceId};
+
+    fn finished_trace(forced: bool) -> ActiveTrace {
+        let trace = Arc::new(ActiveTrace::new(TraceId::generate(), 64, forced));
+        let root = SpanCtx::root(Arc::clone(&trace)).child("request");
+        let child = root.child("repair");
+        child.finish();
+        root.finish();
+        Arc::try_unwrap(trace).expect("sole owner")
+    }
+
+    #[test]
+    fn policy_precedence_forced_error_slow() {
+        let p = TailPolicy {
+            slow: Some(Duration::from_millis(100)),
+            keep_errors: true,
+        };
+        let fast = Duration::from_millis(1);
+        let slow = Duration::from_millis(100);
+        assert_eq!(p.why_keep(true, true, slow), Some("forced"));
+        assert_eq!(p.why_keep(false, true, fast), Some("error"));
+        assert_eq!(p.why_keep(false, false, slow), Some("slow"));
+        assert_eq!(p.why_keep(false, false, fast), None);
+        let off = TailPolicy {
+            slow: None,
+            keep_errors: false,
+        };
+        assert_eq!(off.why_keep(false, true, slow), None);
+    }
+
+    #[test]
+    fn offer_retains_forced_and_discards_quiet() {
+        let store = TraceStore::new(4, TailPolicy::default());
+        let kept = finished_trace(true);
+        assert_eq!(store.offer(&kept, "repair", "nobel", false), Some("forced"));
+        let quiet = finished_trace(false);
+        assert_eq!(store.offer(&quiet, "repair", "nobel", false), None);
+        assert_eq!(store.len(), 1);
+        let got = store.get(&kept.id().to_hex()).expect("retained");
+        assert_eq!(got.why, "forced");
+        assert_eq!(got.spans.len(), 2);
+        assert!(store.get(&quiet.id().to_hex()).is_none());
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let store = TraceStore::new(2, TailPolicy::default());
+        let traces: Vec<_> = (0..3).map(|_| finished_trace(true)).collect();
+        for t in &traces {
+            store.offer(t, "repair", "kb", false);
+        }
+        assert_eq!(store.len(), 2);
+        assert!(store.get(&traces[0].id().to_hex()).is_none(), "evicted");
+        let recent = store.recent();
+        assert_eq!(recent[0].trace_id, traces[2].id().to_hex(), "newest first");
+        assert_eq!(recent[1].trace_id, traces[1].id().to_hex());
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let store = TraceStore::new(2, TailPolicy::default());
+        let t = finished_trace(true);
+        store.offer(&t, "repair", "nobel", false);
+        let stored = store.get(&t.id().to_hex()).unwrap();
+        let doc = stored.to_json();
+        let parsed = json::parse(&doc).expect("valid json");
+        let back = StoredTrace::from_json(&parsed).expect("round trip");
+        assert_eq!(back.trace_id, stored.trace_id);
+        assert_eq!(back.spans, stored.spans);
+        assert_eq!(back.duration_nanos, stored.duration_nanos);
+        // Summary json parses too and carries the span count.
+        let summary = json::parse(&stored.summary_json()).expect("valid summary");
+        assert_eq!(
+            summary.get("spans").and_then(JsonValue::as_u64),
+            Some(stored.spans.len() as u64)
+        );
+    }
+
+    #[test]
+    fn waterfall_lists_every_span_with_self_time() {
+        let store = TraceStore::new(2, TailPolicy::default());
+        let t = finished_trace(true);
+        store.offer(&t, "repair", "nobel", false);
+        let stored = store.get(&t.id().to_hex()).unwrap();
+        let text = render_waterfall(&stored);
+        assert!(text.contains("why=forced"), "{text}");
+        assert!(text.contains("request"), "{text}");
+        assert!(text.contains("repair"), "{text}");
+        assert_eq!(text.lines().count(), 1 + stored.spans.len());
+        assert!(text.contains("(self "), "{text}");
+    }
+}

@@ -10,8 +10,9 @@
 use parking_lot::Mutex;
 use std::io::Write;
 
-/// splitmix64 finalizer — a cheap, high-quality 64-bit mixer.
-fn splitmix64(mut x: u64) -> u64 {
+/// splitmix64 finalizer — a cheap, high-quality 64-bit mixer. Shared with
+/// the live-span surface for id generation.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e3779b97f4a7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
@@ -59,22 +60,53 @@ impl Sampler {
     }
 }
 
-/// Buffered lines for one tuple's span. Build events with
-/// [`crate::json::JsonObj`], push them here, then hand the buffer to
-/// [`Tracer::flush_span`] to write all lines atomically.
-#[derive(Debug, Default)]
+/// Default per-tuple buffer cap: a pathological tuple (thousands of rule
+/// events) cannot balloon memory past this many bytes of buffered lines.
+pub const SPAN_BUF_MAX_BYTES: usize = 64 * 1024;
+
+/// Buffered lines for one tuple's span, bounded by a byte budget. Build
+/// events with [`crate::json::JsonObj`], push them here, then hand the
+/// buffer to [`Tracer::flush_span`] to write all lines atomically. Lines
+/// past the budget are dropped and counted ([`SpanBuf::dropped`]) so the
+/// caller can feed `trace_dropped_spans_total`.
+#[derive(Debug)]
 pub struct SpanBuf {
     lines: Vec<String>,
+    bytes: usize,
+    max_bytes: usize,
+    dropped: usize,
+}
+
+impl Default for SpanBuf {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SpanBuf {
-    /// An empty span buffer.
+    /// An empty span buffer with the default byte budget.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_max_bytes(SPAN_BUF_MAX_BYTES)
     }
 
-    /// Append one rendered JSON line (no trailing newline).
+    /// An empty span buffer holding at most `max_bytes` of line data.
+    pub fn with_max_bytes(max_bytes: usize) -> Self {
+        SpanBuf {
+            lines: Vec::new(),
+            bytes: 0,
+            max_bytes: max_bytes.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Append one rendered JSON line (no trailing newline). Dropped and
+    /// counted instead if it would push the buffer past its byte budget.
     pub fn push(&mut self, line: String) {
+        if self.bytes + line.len() > self.max_bytes {
+            self.dropped += 1;
+            return;
+        }
+        self.bytes += line.len();
         self.lines.push(line);
     }
 
@@ -86,6 +118,11 @@ impl SpanBuf {
     /// Whether the span holds no lines.
     pub fn is_empty(&self) -> bool {
         self.lines.is_empty()
+    }
+
+    /// Lines dropped by the byte budget.
+    pub fn dropped(&self) -> usize {
+        self.dropped
     }
 }
 
@@ -198,6 +235,17 @@ mod tests {
         let b = Sampler::new(2, 0.5);
         let differs = (0..1000).any(|row| a.sampled(row) != b.sampled(row));
         assert!(differs);
+    }
+
+    #[test]
+    fn span_buf_drops_past_byte_budget() {
+        let mut span = SpanBuf::with_max_bytes(24);
+        span.push("x".repeat(10)); // kept, 10 bytes
+        span.push("y".repeat(10)); // kept, 20 bytes
+        span.push("z".repeat(10)); // would be 30 > 24: dropped
+        span.push("w".repeat(4)); // still fits: kept
+        assert_eq!(span.len(), 3);
+        assert_eq!(span.dropped(), 1);
     }
 
     #[test]

@@ -40,6 +40,11 @@
 //! * observability: `--trace <path>`, `--trace-sample`, `--trace-seed`,
 //!   `--metrics-out` (the metric registry is always on — `/metrics` needs
 //!   it — so `--metrics` only controls the exit dump).
+//! * live traces (DESIGN.md §11): `--trace-slow-ms <n>` — tail-sampling
+//!   latency threshold (0 disables the latency rule; default 500);
+//!   `--trace-store <n>` — retained traces kept for `/v1/traces`
+//!   (default 64); `--trace-max-spans <n>` — per-trace recorded-span cap
+//!   (default 512); `--no-live-trace` — disable span capture entirely.
 //!
 //! On SIGTERM/SIGINT the server drains: `/readyz` flips to 503, new
 //! repairs are refused, in-flight streams finish (up to `--drain-ms`),
@@ -142,6 +147,16 @@ fn main() {
         breaker_cooldown: parsed_flag::<u64>(&args, "--breaker-cooldown-ms")
             .map(Duration::from_millis)
             .unwrap_or(defaults.breaker_cooldown),
+        trace_capture: !args.iter().any(|a| a == "--no-live-trace"),
+        trace_slow: match parsed_flag::<u64>(&args, "--trace-slow-ms") {
+            Some(0) => None,
+            Some(ms) => Some(Duration::from_millis(ms)),
+            None => defaults.trace_slow,
+        },
+        trace_max_spans: parsed_flag(&args, "--trace-max-spans")
+            .unwrap_or(defaults.trace_max_spans),
+        trace_store_capacity: parsed_flag(&args, "--trace-store")
+            .unwrap_or(defaults.trace_store_capacity),
         ..defaults
     };
     let drain_deadline = parsed_flag::<u64>(&args, "--drain-ms")

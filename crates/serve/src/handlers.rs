@@ -88,8 +88,15 @@ pub fn handle(state: &ServerState, req: &Request) -> Response {
         ("GET", "/readyz") => ("readyz", readyz(state)),
         ("GET", "/metrics") => ("metrics", metrics(state)),
         ("GET", "/kbs") => ("kbs", kbs(state)),
+        ("GET", "/v1/traces") => ("traces", traces_index(state)),
         (method, path) => {
-            if let Some(kb) = path.strip_prefix("/v1/repair/") {
+            if let Some(id) = path.strip_prefix("/v1/traces/") {
+                if method == "GET" {
+                    ("traces", trace_get(state, id))
+                } else {
+                    ("traces", Response::error(405, "traces are GET-only"))
+                }
+            } else if let Some(kb) = path.strip_prefix("/v1/repair/") {
                 if method == "POST" {
                     ("repair", repair(state, kb, req))
                 } else {
@@ -122,9 +129,15 @@ pub fn handle(state: &ServerState, req: &Request) -> Response {
             &[("route", route), ("status", status_class(response.status))],
         )
         .inc();
+    let elapsed = started.elapsed();
     metrics
         .histogram("serve_request_seconds", &[("route", route)])
-        .record(started.elapsed());
+        .record(elapsed);
+    // The same latency again into the sliding ~60s window, so /metrics
+    // shows current-tail quantiles next to the since-boot histogram.
+    metrics
+        .window_histogram("serve_request_seconds_window", &[("route", route)])
+        .record(elapsed);
     response
 }
 
@@ -141,10 +154,37 @@ fn status_class(status: u16) -> &'static str {
 fn healthz(state: &ServerState) -> Response {
     let loaded = state.entries.iter().filter(|e| e.core().is_some()).count();
     let body = format!(
-        "{{\"status\":\"ok\",\"uptime_seconds\":{},\"kbs\":{loaded}}}",
+        "{{\"status\":\"ok\",\"version\":\"{}\",\"uptime_seconds\":{},\"kbs\":{loaded}}}",
+        env!("CARGO_PKG_VERSION"),
         state.started.elapsed().as_secs(),
     );
     Response::json(200, body)
+}
+
+/// `GET /v1/traces` — index of tail-sampled retained traces, newest
+/// first: id, route, kb, duration, why it was kept, span count.
+fn traces_index(state: &ServerState) -> Response {
+    let mut body = String::from("{\"traces\":[");
+    for (i, t) in state.traces.recent().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&t.summary_json());
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+/// `GET /v1/traces/{id}` — one retained trace as a full span-tree JSON
+/// document (what `dr_traceview` renders as a waterfall).
+fn trace_get(state: &ServerState, id: &str) -> Response {
+    match state.traces.get(id) {
+        Some(trace) => Response::json(200, trace.to_json()),
+        None => Response::error(
+            404,
+            &format!("no retained trace {id:?}; see /v1/traces for the index"),
+        ),
+    }
 }
 
 /// Readiness, split from liveness: a draining server is still *alive*
@@ -410,6 +450,12 @@ fn repair(state: &ServerState, kb_name: &str, req: &Request) -> Response {
         }
     };
 
+    // Arm the live span capture now — the root `request` span covers body
+    // parse and repair (breaker and admission rejections are not worth a
+    // trace). Whether the capture is *kept* is decided at the end by the
+    // tail policy; `?trace=1` forces it.
+    let mut capture = state.start_trace(req, "repair", kb_name);
+
     // Parse the body with the entry's canonical schema *name* so the
     // parsed schema fingerprint matches the cache built at boot — that
     // match is what turns a cold first request into a warm one.
@@ -440,7 +486,8 @@ fn repair(state: &ServerState, kb_name: &str, req: &Request) -> Response {
     let repair_started = Instant::now();
     let ctx = core
         .context(Arc::clone(&state.registry), Arc::clone(&state.obs))
-        .with_budget(state.budget(params.deadline_ms, params.max_steps));
+        .with_budget(state.budget(params.deadline_ms, params.max_steps))
+        .with_span_opt(capture.as_ref().map(|c| c.root.ctx()));
     let mut retry = state.config.retry;
     if let Some(attempts) = params.retry_attempts {
         retry.max_attempts = attempts;
@@ -475,11 +522,28 @@ fn repair(state: &ServerState, kb_name: &str, req: &Request) -> Response {
         .histogram("serve_repair_seconds", &[("phase", &params.label)])
         .record(repair_started.elapsed());
 
+    // Finish the root span and make the tail-sampling call. A retained
+    // trace's id is echoed in the NDJSON summary so the client can fetch
+    // `/v1/traces/{id}` for the waterfall.
+    let trace_id = capture.take().and_then(|mut c| {
+        let error = report.resilience.failed > 0 || report.resilience.degraded > 0;
+        c.root.attr_num("rows", relation.len() as u64);
+        c.root.finish();
+        state.finish_trace(&c.trace, "repair", &entry.name, error)
+    });
+
     Response {
         status: 200,
         content_type: "application/x-ndjson",
         headers: Vec::new(),
-        body: Body::Lines(render_ndjson(entry, &core, &relation, &report, &quarantine)),
+        body: Body::Lines(render_ndjson(
+            entry,
+            &core,
+            &relation,
+            &report,
+            &quarantine,
+            trace_id.as_deref(),
+        )),
     }
 }
 
@@ -492,6 +556,7 @@ fn render_ndjson(
     relation: &Relation,
     report: &RelationReport,
     quarantine: &Quarantine,
+    trace_id: Option<&str>,
 ) -> Vec<String> {
     let mut lines = Vec::with_capacity(relation.len() + 2);
 
@@ -592,7 +657,7 @@ fn render_ndjson(
         .iter()
         .filter(|t| t.outcome.is_completed())
         .count();
-    lines.push(format!(
+    let mut summary = format!(
         concat!(
             "{{\"kind\":\"summary\",\"completed\":{},\"degraded\":{},",
             "\"failed\":{},\"retried\":{},\"quarantined\":{},",
@@ -612,7 +677,18 @@ fn render_ndjson(
         report.cache.snapshot_warm,
         report.timing.prewarm.as_secs_f64(),
         report.timing.repair.as_secs_f64(),
-    ));
+    );
+    // Only retained traces get their id echoed: a discarded capture's id
+    // would 404 on /v1/traces/{id}. Determinism note: the concurrency
+    // suite byte-compares data lines, not the summary, so this field is
+    // free to vary per request.
+    if let Some(id) = trace_id {
+        summary.pop();
+        summary.push_str(",\"trace_id\":\"");
+        summary.push_str(id);
+        summary.push_str("\"}");
+    }
+    lines.push(summary);
     lines
 }
 

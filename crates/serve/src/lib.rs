@@ -35,8 +35,18 @@
 //! | `/v1/repair/{kb}`      | POST   | CSV or JSON relation → NDJSON repair stream |
 //! | `/v1/kbs/{kb}/delta`   | POST   | TSV KB delta → next generation (incremental cache invalidation) |
 //! | `/v1/kbs/{kb}`         | DELETE | unload the KB (404 afterwards, memory released) |
+//! | `/v1/traces`           | GET    | tail-sampled trace index (id, route, duration, why kept) |
+//! | `/v1/traces/{id}`      | GET    | one retained trace's full span tree (feed to `dr_traceview`) |
+//!
+//! Repair requests are armed with a live span capture (DESIGN.md §11):
+//! the root `request` span forks through [`MatchContext::fork`] into the
+//! scheduler's per-row spans and down to per-rule checks, and tail
+//! sampling keeps the capture only when it was forced (`?trace=1`), the
+//! request errored or degraded, or it crossed the slow threshold. A
+//! `traceparent` request header adopts the caller's trace id.
 //!
 //! [`CacheRegistry`]: dr_core::CacheRegistry
+//! [`MatchContext::fork`]: dr_core::MatchContext::fork
 
 #![warn(missing_docs)]
 // Resilience hygiene (DESIGN.md §4c): library code must surface failures
@@ -62,7 +72,7 @@ pub use admission::{Admission, AdmissionConfig, AdmissionGate, Permit, ShedReaso
 pub use handlers::{handle, Body, Response};
 pub use state::{
     build_state, Breaker, DeltaApplyError, DeltaOutcome, ImageFamily, KbCore, KbEntry, KbSpec,
-    Lifecycle, OwnedKb, ServeConfig, ServerState,
+    Lifecycle, OwnedKb, RequestTrace, ServeConfig, ServerState,
 };
 
 /// A bound, running server: a shared listener drained by a fixed pool of

@@ -22,11 +22,15 @@ use dr_datasets::{KbProfile, NobelWorld, UisWorld};
 use dr_kb::graph::KnowledgeBase;
 use dr_kb::{KbDelta, KbRef, MappedKb};
 use dr_obs::json::JsonObj;
-use dr_obs::{MetricRegistry, Obs};
+use dr_obs::{
+    parse_traceparent, ActiveTrace, MetricRegistry, Obs, Span, SpanCtx, TailPolicy, TraceId,
+    TraceStore,
+};
 use dr_relation::Schema;
 use parking_lot::{Mutex, RwLock};
 
 use crate::admission::{AdmissionConfig, AdmissionGate};
+use crate::http::Request;
 
 /// A served KB, owned by `Arc` so a delta can swap in a successor
 /// generation and an unload can release memory once the last in-flight
@@ -197,6 +201,19 @@ pub struct ServeConfig {
     /// How long a tripped breaker fails fast before letting a probe
     /// request through.
     pub breaker_cooldown: Duration,
+    /// Whether repair requests capture live span trees at all. Off means
+    /// `?trace=1` is ignored and `/v1/traces` stays empty.
+    pub trace_capture: bool,
+    /// Tail-sampling latency threshold: captured traces at least this
+    /// slow are retained (`None` disables the latency rule).
+    pub trace_slow: Option<Duration>,
+    /// Whether traces of requests with failed or degraded rows are
+    /// retained.
+    pub trace_errors: bool,
+    /// Per-trace recorded-span cap (DESIGN.md §11 bounding satellite).
+    pub trace_max_spans: usize,
+    /// Retained traces kept in the `/v1/traces` ring.
+    pub trace_store_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -212,6 +229,11 @@ impl Default for ServeConfig {
             header_timeout: crate::http::IO_TIMEOUT,
             breaker_threshold: 5,
             breaker_cooldown: Duration::from_secs(10),
+            trace_capture: true,
+            trace_slow: Some(Duration::from_millis(500)),
+            trace_errors: true,
+            trace_max_spans: dr_obs::DEFAULT_MAX_SPANS,
+            trace_store_capacity: 64,
         }
     }
 }
@@ -370,6 +392,18 @@ pub struct ServerState {
     pub gate: AdmissionGate,
     /// Drain state + in-flight request count.
     pub lifecycle: Lifecycle,
+    /// Tail-sampled retained traces (`/v1/traces`, DESIGN.md §11).
+    pub traces: TraceStore,
+}
+
+/// A live capture armed for one request: the shared trace plus the root
+/// `request` span guard. Finish the root, then [`ServerState::finish_trace`]
+/// makes the tail-sampling call.
+pub struct RequestTrace {
+    /// The trace every span of this request records into.
+    pub trace: Arc<ActiveTrace>,
+    /// The root span covering the whole request.
+    pub root: Span,
 }
 
 impl ServerState {
@@ -388,6 +422,56 @@ impl ServerState {
         let mut budget = RepairBudget::with_max_steps(max_steps);
         budget.deadline = deadline;
         budget
+    }
+
+    /// Arms a live span capture for one request, if capture is enabled.
+    ///
+    /// A `traceparent` request header adopts the caller's trace id (the
+    /// remote parent span is kept as a root-span attribute — the stored
+    /// root keeps a `null` parent so the tree is self-contained);
+    /// `?trace=1` forces retention at tail-sampling time. The W3C sampled
+    /// flag is *not* honored: retention here is the tail policy's call.
+    pub fn start_trace(&self, req: &Request, route: &str, kb: &str) -> Option<RequestTrace> {
+        if !self.config.trace_capture {
+            return None;
+        }
+        let forced = matches!(req.query_param("trace"), Some("1") | Some("true"));
+        let remote = req.header("traceparent").and_then(parse_traceparent);
+        let id = remote
+            .map(|(id, _, _)| id)
+            .unwrap_or_else(TraceId::generate);
+        let trace = Arc::new(ActiveTrace::new(id, self.config.trace_max_spans, forced));
+        let mut root = SpanCtx::root(Arc::clone(&trace)).child("request");
+        root.attr("route", route);
+        root.attr("kb", kb);
+        if let Some((_, parent, _)) = remote {
+            root.attr("remote_parent", &parent.to_hex());
+        }
+        Some(RequestTrace { trace, root })
+    }
+
+    /// Tail-sampling decision for a finished capture (the root span must
+    /// already be finished). Returns the trace id's hex when the trace was
+    /// retained. Records `trace_retained_total{why}` and the live-surface
+    /// `trace_dropped_spans_total`.
+    pub fn finish_trace(
+        &self,
+        trace: &ActiveTrace,
+        route: &str,
+        kb: &str,
+        error: bool,
+    ) -> Option<String> {
+        let metrics = self.obs.metrics();
+        if trace.dropped() > 0 {
+            metrics
+                .counter("trace_dropped_spans_total", &[("surface", "live")])
+                .add(trace.dropped());
+        }
+        let why = self.traces.offer(trace, route, kb, error)?;
+        metrics
+            .counter("trace_retained_total", &[("why", why)])
+            .inc();
+        Some(trace.id().to_hex())
     }
 }
 
@@ -586,6 +670,24 @@ pub fn build_state(
 ) -> Result<ServerState, String> {
     let registry = Arc::new(CacheRegistry::new(registry_config));
     registry.register_metrics(obs.metrics());
+    // The standard "what binary is this" gauge: always 1, the value lives
+    // in the labels. `/healthz` carries the same version for humans.
+    obs.metrics()
+        .gauge(
+            "build_info",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                (
+                    "profile",
+                    if cfg!(debug_assertions) {
+                        "debug"
+                    } else {
+                        "release"
+                    },
+                ),
+            ],
+        )
+        .set(1);
 
     let mut entries: Vec<KbEntry> = Vec::with_capacity(specs.len());
     for spec in specs {
@@ -644,6 +746,13 @@ pub fn build_state(
     }
 
     let gate = AdmissionGate::new(config.admission, obs.metrics());
+    let traces = TraceStore::new(
+        config.trace_store_capacity,
+        TailPolicy {
+            slow: config.trace_slow,
+            keep_errors: config.trace_errors,
+        },
+    );
     Ok(ServerState {
         entries,
         registry,
@@ -652,6 +761,7 @@ pub fn build_state(
         config,
         gate,
         lifecycle: Lifecycle::default(),
+        traces,
     })
 }
 
